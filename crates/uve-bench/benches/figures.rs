@@ -1,0 +1,31 @@
+//! `cargo bench --bench figures` regenerates every table and figure of the
+//! paper's evaluation (Figs. 8–11, Sec. VI-B/VI-C). Not a Criterion
+//! harness: the output *is* the artifact.
+
+fn main() {
+    // Criterion passes `--bench`; any other filter argument selects a
+    // subset by name.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| {
+        let filters: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+        filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+    };
+    if want("fig8") {
+        uve_bench::figures::fig8(None);
+    }
+    if want("fig9") {
+        uve_bench::figures::fig9();
+    }
+    if want("fig10") {
+        uve_bench::figures::fig10();
+    }
+    if want("fig11") {
+        uve_bench::figures::fig11();
+    }
+    if want("modules") {
+        uve_bench::figures::modules();
+    }
+    if want("overheads") {
+        uve_bench::figures::overheads();
+    }
+}

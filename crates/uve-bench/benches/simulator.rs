@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks of the simulator itself: emulation
+//! throughput, timing-model throughput, address-generator throughput, and
+//! the ISA tooling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use uve_bench::measure;
+use uve_core::{EmuConfig, Emulator};
+use uve_cpu::{CpuConfig, OoOCore};
+use uve_isa::{assemble, encode, decode};
+use uve_kernels::{saxpy::Saxpy, Benchmark, Flavor};
+use uve_mem::Memory;
+use uve_stream::{ElemWidth, NoMemory, Pattern, Walker};
+
+fn bench_emulator(c: &mut Criterion) {
+    let bench = Saxpy::new(4096);
+    let prog = bench.program(Flavor::Uve);
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("saxpy-uve-4096", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+            bench.setup(&mut emu);
+            emu.run(&prog).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let bench = Saxpy::new(4096);
+    let prog = bench.program(Flavor::Uve);
+    let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+    bench.setup(&mut emu);
+    let trace = emu.run(&prog).unwrap().trace;
+    let core = OoOCore::new(CpuConfig::default());
+    let mut g = c.benchmark_group("timing");
+    g.throughput(Throughput::Elements(trace.committed()));
+    g.bench_function("ooo-saxpy-trace", |b| b.iter(|| core.run(&trace)));
+    g.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let pattern = Pattern::builder(0, ElemWidth::Word)
+        .dim(0, 1024, 1)
+        .dim(0, 256, 1024)
+        .build()
+        .unwrap();
+    let mut g = c.benchmark_group("walker");
+    g.throughput(Throughput::Elements(1024 * 256));
+    g.bench_function("2d-262144-elems", |b| {
+        b.iter(|| {
+            let mut w = Walker::new(&pattern);
+            let mut n = 0u64;
+            while w.next_elem(&NoMemory).is_some() {
+                n += 1;
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+fn bench_isa_tools(c: &mut Criterion) {
+    let bench = Saxpy::new(1024);
+    let prog = bench.program(Flavor::Sve);
+    c.bench_function("encode-decode-program", |b| {
+        b.iter(|| {
+            prog.insts()
+                .iter()
+                .enumerate()
+                .map(|(pc, i)| {
+                    let w = encode(i, pc as u32).unwrap();
+                    decode(w, pc as u32).unwrap()
+                })
+                .count()
+        });
+    });
+    let text = "
+    li x10, 4096
+    li x11, 0x100000
+    li x12, 0x200000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    ss.ld.w u1, x12, x10, x13
+    ss.st.w u2, x12, x10, x13
+    so.v.dup.w.fp u3, f10
+loop:
+    so.a.mul.w.fp u4, u3, u0, p0
+    so.a.add.w.fp u2, u4, u1, p0
+    so.b.nend u0, loop
+    halt
+";
+    c.bench_function("assemble-saxpy", |b| {
+        b.iter(|| assemble("saxpy", text).unwrap())
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cpu = CpuConfig::default();
+    c.bench_function("measure-saxpy-uve-1024", |b| {
+        b.iter(|| measure(&Saxpy::new(1024), Flavor::Uve, &cpu))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_emulator, bench_timing_model, bench_walker, bench_isa_tools, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Fig. 10 — Streaming Engine FIFO-depth sensitivity.
+fn main() {
+    uve_bench::figures::fig10();
+}

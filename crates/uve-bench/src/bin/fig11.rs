@@ -1,0 +1,4 @@
+//! Fig. 11 — streaming cache-level sensitivity.
+fn main() {
+    uve_bench::figures::fig11();
+}

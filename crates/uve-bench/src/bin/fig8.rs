@@ -1,0 +1,13 @@
+//! Fig. 8 — the main evaluation (panels A–E).
+//!
+//! Usage: `fig8 [--panel a|b|c|d|e]` (default: all panels).
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    uve_bench::figures::fig8(panel.as_deref());
+}

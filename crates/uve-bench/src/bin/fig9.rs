@@ -1,0 +1,4 @@
+//! Fig. 9 — physical-vector-register sensitivity.
+fn main() {
+    uve_bench::figures::fig9();
+}

@@ -1,0 +1,4 @@
+//! Sec. VI-B — Stream Processing Module count sensitivity.
+fn main() {
+    uve_bench::figures::modules();
+}

@@ -1,0 +1,4 @@
+//! Sec. VI-C — Streaming Engine hardware storage inventory.
+fn main() {
+    uve_bench::figures::overheads();
+}

@@ -1,0 +1,330 @@
+//! The figure/table generators, callable from the `fig*` binaries and from
+//! the `figures` bench target (`cargo bench` regenerates every figure).
+
+use crate::{geomean, header, measure, measure_with, row, Measured};
+use uve_core::engine::EngineConfig;
+use uve_cpu::CpuConfig;
+use uve_isa::MemLevel;
+use uve_kernels::{
+    evaluation_suite, gemm::Gemm, gemm::GemmUnrolled, jacobi::Jacobi2d, mamr::Mamr,
+    stream::Stream, threemm::ThreeMm, Benchmark, Flavor,
+};
+use uve_stream::StateSizeReport;
+
+struct KernelRuns {
+    name: String,
+    sve_vectorized: bool,
+    uve: Measured,
+    sve: Measured,
+    neon: Measured,
+}
+
+fn suite_runs(cpu: &CpuConfig) -> Vec<KernelRuns> {
+    evaluation_suite()
+        .into_iter()
+        .map(|bench| {
+            eprintln!("running {} ...", bench.name());
+            KernelRuns {
+                name: bench.name().to_string(),
+                sve_vectorized: bench.sve_vectorized(),
+                uve: measure(bench.as_ref(), Flavor::Uve, cpu),
+                sve: measure(bench.as_ref(), Flavor::Sve, cpu),
+                neon: measure(bench.as_ref(), Flavor::Neon, cpu),
+            }
+        })
+        .collect()
+}
+
+fn sensitivity_subset() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Gemm::new(32, 32, 32)),
+        Box::new(Jacobi2d::new(64, 2)),
+        Box::new(Stream::new(49152)),
+        Box::new(Mamr::full(128)),
+    ]
+}
+
+/// Fig. 8, panels A–E. `panel` restricts output (`a`..`e`); `None` = all.
+pub fn fig8(panel: Option<&str>) {
+    let want = |p: &str| panel.is_none_or(|x| x == p);
+    let cpu = CpuConfig::default();
+    let runs = if want("a") || want("b") || want("c") || want("d") {
+        suite_runs(&cpu)
+    } else {
+        Vec::new()
+    };
+
+    if want("a") {
+        header(
+            "Fig. 8.A — committed-instruction reduction (1 - UVE/baseline)",
+            &["vs SVE", "vs NEON"],
+        );
+        let mut vs_sve = Vec::new();
+        let mut vs_neon = Vec::new();
+        for r in &runs {
+            let a1 = if r.sve_vectorized {
+                let v = 1.0 - r.uve.committed as f64 / r.sve.committed as f64;
+                vs_sve.push(1.0 - v);
+                format!("{:.1}%", 100.0 * v)
+            } else {
+                "n/v".to_string()
+            };
+            let a2 = 1.0 - r.uve.committed as f64 / r.neon.committed as f64;
+            vs_neon.push(1.0 - a2);
+            row(&r.name, &[a1, format!("{:.1}%", 100.0 * a2)]);
+        }
+        println!(
+            "average reduction: vs SVE {:.1}% (paper: 60.9%), vs NEON {:.1}% (paper: 93.2%)",
+            100.0 * (1.0 - geomean(&vs_sve)),
+            100.0 * (1.0 - geomean(&vs_neon)),
+        );
+    }
+
+    if want("b") {
+        header("Fig. 8.B — speed-up of UVE", &["vs SVE", "vs NEON"]);
+        let mut su = Vec::new();
+        for r in &runs {
+            let b1 = if r.sve_vectorized {
+                let v = r.sve.cycles() as f64 / r.uve.cycles() as f64;
+                su.push(v);
+                format!("{v:.2}x")
+            } else {
+                "n/v".to_string()
+            };
+            let b2 = r.neon.cycles() as f64 / r.uve.cycles() as f64;
+            row(&r.name, &[b1, format!("{b2:.2}x")]);
+        }
+        println!(
+            "average speed-up vs SVE (vectorized kernels): {:.2}x (paper: 2.4x)",
+            geomean(&su)
+        );
+    }
+
+    if want("c") {
+        header(
+            "Fig. 8.C — rename blocks per cycle",
+            &["UVE", "SVE", "NEON"],
+        );
+        let mut uve_b = Vec::new();
+        let mut sve_b = Vec::new();
+        for r in &runs {
+            if r.sve_vectorized {
+                uve_b.push(r.uve.stats.rename_blocks_per_cycle());
+                sve_b.push(r.sve.stats.rename_blocks_per_cycle());
+            }
+            row(
+                &r.name,
+                &[
+                    format!("{:.3}", r.uve.stats.rename_blocks_per_cycle()),
+                    format!("{:.3}", r.sve.stats.rename_blocks_per_cycle()),
+                    format!("{:.3}", r.neon.stats.rename_blocks_per_cycle()),
+                ],
+            );
+        }
+        let ua: f64 = uve_b.iter().sum::<f64>() / uve_b.len() as f64;
+        let sa: f64 = sve_b.iter().sum::<f64>() / sve_b.len() as f64;
+        println!(
+            "average (vectorized kernels): UVE {ua:.3}, SVE {sa:.3} → {:.1}% fewer (paper: 33.4%)",
+            100.0 * (1.0 - ua / sa)
+        );
+    }
+
+    if want("d") {
+        header(
+            "Fig. 8.D — DRAM bus utilization (read+write)/peak",
+            &["UVE", "SVE", "NEON"],
+        );
+        for r in &runs {
+            row(
+                &r.name,
+                &[
+                    format!("{:.3}", r.uve.stats.bus_utilization),
+                    format!("{:.3}", r.sve.stats.bus_utilization),
+                    format!("{:.3}", r.neon.stats.bus_utilization),
+                ],
+            );
+        }
+    }
+
+    if want("e") {
+        header(
+            "Fig. 8.E — GEMM speed-up from UVE loop unrolling (vs no unrolling)",
+            &["factor", "speed-up"],
+        );
+        let base = measure(&GemmUnrolled::new(32, 128, 32, 1), Flavor::Uve, &cpu);
+        for factor in [2usize, 4, 8] {
+            let m = measure(&GemmUnrolled::new(32, 128, 32, factor), Flavor::Uve, &cpu);
+            row(
+                "GEMM",
+                &[
+                    format!("{factor}"),
+                    format!("{:.2}x", base.cycles() as f64 / m.cycles() as f64),
+                ],
+            );
+        }
+    }
+}
+
+/// Fig. 9 — physical-vector-register sensitivity (UVE flat, SVE gains).
+pub fn fig9() {
+    let pvrs = [48usize, 64, 96];
+    for flavor in [Flavor::Uve, Flavor::Sve] {
+        header(
+            &format!("Fig. 9 — {flavor}: speed-up vs 48 physical vector registers"),
+            &["PVR=48", "PVR=64", "PVR=96"],
+        );
+        for bench in sensitivity_subset() {
+            let mut cells = vec!["1.00x".to_string()];
+            let base = {
+                let cpu = CpuConfig {
+                    vec_prf: pvrs[0],
+                    ..CpuConfig::default()
+                };
+                measure(bench.as_ref(), flavor, &cpu).cycles()
+            };
+            for &pvr in &pvrs[1..] {
+                let cpu = CpuConfig {
+                    vec_prf: pvr,
+                    ..CpuConfig::default()
+                };
+                let m = measure(bench.as_ref(), flavor, &cpu);
+                cells.push(format!("{:.2}x", base as f64 / m.cycles() as f64));
+            }
+            row(bench.name(), &cells);
+        }
+    }
+}
+
+/// Fig. 10 — FIFO-depth sensitivity (≥4 required; MAMR most sensitive).
+pub fn fig10() {
+    let depths = [2usize, 4, 8, 12];
+    header(
+        "Fig. 10 — UVE speed-up vs FIFO depth 8",
+        &["d=2", "d=4", "d=8", "d=12"],
+    );
+    let mut benches = sensitivity_subset();
+    benches.insert(1, Box::new(ThreeMm::new(32)));
+    for bench in benches {
+        let cycles: Vec<u64> = depths
+            .iter()
+            .map(|&d| {
+                let cpu = CpuConfig {
+                    engine: EngineConfig {
+                        fifo_depth: d,
+                        ..EngineConfig::default()
+                    },
+                    ..CpuConfig::default()
+                };
+                measure(bench.as_ref(), Flavor::Uve, &cpu).cycles()
+            })
+            .collect();
+        let base = cycles[2] as f64;
+        row(
+            bench.name(),
+            &cycles
+                .iter()
+                .map(|&c| format!("{:.2}x", base / c as f64))
+                .collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// Fig. 11 — streaming cache-level sensitivity (L2 best overall).
+pub fn fig11() {
+    let cpu = CpuConfig::default();
+    let levels = [MemLevel::L1, MemLevel::L2, MemLevel::Mem];
+    header(
+        "Fig. 11 — UVE speed-up vs streaming level (normalized to L2)",
+        &["L1", "L2", "DRAM"],
+    );
+    for bench in sensitivity_subset() {
+        let cycles: Vec<u64> = levels
+            .iter()
+            .map(|&l| measure_with(bench.as_ref(), Flavor::Uve, &cpu, l).cycles())
+            .collect();
+        let base = cycles[1] as f64;
+        row(
+            bench.name(),
+            &cycles
+                .iter()
+                .map(|&c| format!("{:.2}x", base / c as f64))
+                .collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// Sec. VI-B — Stream Processing Module count sensitivity (<0.1% changes).
+pub fn modules() {
+    let counts = [2usize, 4, 8];
+    header(
+        "Sec. VI-B — UVE speed-up vs 2 Stream Processing Modules",
+        &["m=2", "m=4", "m=8"],
+    );
+    for bench in sensitivity_subset() {
+        let cycles: Vec<u64> = counts
+            .iter()
+            .map(|&m| {
+                let cpu = CpuConfig {
+                    engine: EngineConfig {
+                        processing_modules: m,
+                        ..EngineConfig::default()
+                    },
+                    ..CpuConfig::default()
+                };
+                measure(bench.as_ref(), Flavor::Uve, &cpu).cycles()
+            })
+            .collect();
+        let base = cycles[0] as f64;
+        row(
+            bench.name(),
+            &cycles
+                .iter()
+                .map(|&c| format!("{:.4}x", base / c as f64))
+                .collect::<Vec<_>>(),
+        );
+    }
+}
+
+/// Sec. VI-C — hardware storage inventory.
+pub fn overheads() {
+    fn report(name: &str, cfg: &EngineConfig) {
+        let r = cfg.storage_report();
+        println!("\n{name}:");
+        println!(
+            "  streams={} dims={} mods={} fifo_depth={}",
+            cfg.max_streams, cfg.max_dims, cfg.max_mods, cfg.fifo_depth
+        );
+        println!(
+            "  Stream Table + SCROB : {:>6} B ({:.1} KB)",
+            r.stream_table_bytes,
+            r.stream_table_bytes as f64 / 1024.0
+        );
+        println!(
+            "  Load/Store FIFOs     : {:>6} B ({:.1} KB)",
+            r.fifo_bytes,
+            r.fifo_bytes as f64 / 1024.0
+        );
+        println!("  Memory Request Queue : {:>6} B", r.request_queue_bytes);
+        println!(
+            "  total                : {:>6} B ({:.1} KB, {:.1}% of a 64 KB L1)",
+            r.total_bytes(),
+            r.total_bytes() as f64 / 1024.0,
+            100.0 * r.total_bytes() as f64 / (64.0 * 1024.0)
+        );
+    }
+    println!("=== Sec. VI-C — Streaming Engine storage ===");
+    report("default configuration (Table I)", &EngineConfig::default());
+    report(
+        "reduced configuration (8 streams, 4 dims)",
+        &EngineConfig {
+            max_streams: 8,
+            max_dims: 4,
+            ..EngineConfig::default()
+        },
+    );
+    let ctx = StateSizeReport::architectural();
+    println!(
+        "\nper-stream context-switch state: {} B (1-D) … {} B (8-D + 7 modifiers); paper: 32-400 B",
+        ctx.min_bytes, ctx.max_bytes
+    );
+}

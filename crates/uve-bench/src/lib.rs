@@ -1,0 +1,131 @@
+//! Evaluation harness regenerating the tables and figures of the UVE paper.
+//!
+//! Each figure has a binary under `src/bin` (see `DESIGN.md` for the
+//! experiment index):
+//!
+//! - `fig8` — code reduction, speed-up, rename blocks/cycle, bus
+//!   utilization, and the GEMM unrolling study (panels A–E);
+//! - `fig9` — sensitivity to the number of physical vector registers;
+//! - `fig10` — sensitivity to the Streaming Engine FIFO depth;
+//! - `fig11` — sensitivity to the streaming cache level;
+//! - `modules` — sensitivity to the number of Stream Processing Modules
+//!   (Sec. VI-B);
+//! - `overheads` — the Streaming Engine storage inventory (Sec. VI-C).
+//!
+//! All binaries run the same flow: functional emulation of a kernel
+//! ([`uve_kernels`]) producing a dynamic trace, then the cycle-level
+//! out-of-order model ([`uve_cpu`]) with the Table I configuration.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+use uve_core::EmuConfig;
+use uve_cpu::{CpuConfig, OoOCore, TimingStats};
+use uve_isa::MemLevel;
+use uve_kernels::{Benchmark, Flavor};
+use uve_mem::Memory;
+
+/// One measured kernel execution.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Kernel name.
+    pub name: String,
+    /// Code flavour.
+    pub flavor: Flavor,
+    /// Committed dynamic instructions.
+    pub committed: u64,
+    /// Timing statistics from the out-of-order model.
+    pub stats: TimingStats,
+}
+
+impl Measured {
+    /// Cycles taken.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+/// Emulates and times `bench` in `flavor` under `cpu` with streams
+/// defaulting to `level`.
+///
+/// # Panics
+///
+/// Panics if the kernel mis-executes or fails its correctness check —
+/// measurement of an incorrect run would be meaningless.
+pub fn measure_with(
+    bench: &dyn Benchmark,
+    flavor: Flavor,
+    cpu: &CpuConfig,
+    level: MemLevel,
+) -> Measured {
+    let emu_cfg = EmuConfig {
+        vlen_bytes: flavor.vlen_bytes(),
+        stream_level: level,
+        ..EmuConfig::default()
+    };
+    let mut emu = uve_core::Emulator::new(emu_cfg, Memory::new());
+    bench.setup(&mut emu);
+    let program = bench.program(flavor);
+    let result = emu
+        .run(&program)
+        .unwrap_or_else(|e| panic!("{}/{flavor}: {e}", bench.name()));
+    bench
+        .check(&emu)
+        .unwrap_or_else(|e| panic!("{}/{flavor}: {e}", bench.name()));
+    let stats = OoOCore::new(cpu.clone()).run_warm(&result.trace);
+    Measured {
+        name: bench.name().to_string(),
+        flavor,
+        committed: result.committed,
+        stats,
+    }
+}
+
+/// [`measure_with`] at the default L2 stream level.
+pub fn measure(bench: &dyn Benchmark, flavor: Flavor, cpu: &CpuConfig) -> Measured {
+    measure_with(bench, flavor, cpu, MemLevel::L2)
+}
+
+/// Geometric mean of a ratio series (the paper reports average factors).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Prints a row with a fixed-width first column.
+pub fn row(name: &str, cells: &[String]) {
+    print!("{name:<16}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Prints a header row.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n=== {title} ===");
+    row("kernel", &cols.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uve_kernels::saxpy::Saxpy;
+
+    #[test]
+    fn measure_runs_and_checks() {
+        let cpu = CpuConfig::default();
+        let m = measure(&Saxpy::new(256), Flavor::Uve, &cpu);
+        assert!(m.cycles() > 0);
+        assert!(m.committed > 0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!(geomean(&[]).is_nan());
+    }
+}

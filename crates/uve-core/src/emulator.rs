@@ -1,0 +1,1281 @@
+//! The functional emulator: executes a [`Program`] with full ISA semantics,
+//! producing results in memory and a dynamic [`Trace`] for the timing model.
+
+use crate::stream_unit::{StreamError, StreamUnit};
+use crate::trace::{BranchOutcome, Trace, TraceOp};
+use crate::value::{PredVal, Scalar, VecVal};
+use std::fmt;
+use uve_isa::{
+    AluOp, BrCond, Dir, DupSrc, ElemWidth, ExecClass, FpOp, FpUnOp, HorizOp, Inst, PredCond,
+    PredOp, Program, RegClass, StreamCond, StreamCtl, VCmpOp, VOp, VReg, VType, VUnOp,
+    XReg,
+};
+use uve_mem::{Memory, LINE_BYTES};
+
+/// Emulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmuConfig {
+    /// Vector length in bytes (512-bit = 64 by default; NEON-like baselines
+    /// run with 16).
+    pub vlen_bytes: usize,
+    /// Dynamic instruction budget; exceeding it aborts the run.
+    pub max_steps: u64,
+    /// Record a trace (disable for pure functional runs to save memory).
+    pub record_trace: bool,
+    /// Default memory level for streams (Fig. 11 knob; `so.cfg.mem`
+    /// overrides per register).
+    pub stream_level: uve_isa::MemLevel,
+}
+
+impl Default for EmuConfig {
+    fn default() -> Self {
+        Self {
+            vlen_bytes: 64,
+            max_steps: 200_000_000,
+            record_trace: true,
+            stream_level: uve_isa::MemLevel::L2,
+        }
+    }
+}
+
+/// Errors aborting emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// A stream operation failed.
+    Stream {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// The underlying stream error.
+        err: StreamError,
+    },
+    /// The PC left the program without reaching `halt`.
+    PcOutOfRange(u32),
+    /// The dynamic instruction budget was exhausted (likely an infinite
+    /// loop).
+    OutOfFuel(u64),
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::Stream { pc, err } => write!(f, "stream error at pc {pc}: {err}"),
+            EmuError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range (missing halt?)"),
+            EmuError::OutOfFuel(n) => write!(f, "exceeded instruction budget of {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Result of a completed emulation.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Committed dynamic instruction count.
+    pub committed: u64,
+    /// The dynamic trace (empty if tracing was disabled).
+    pub trace: Trace,
+}
+
+/// The functional machine: scalar/vector/predicate registers, memory, and
+/// the stream unit.
+#[derive(Debug)]
+pub struct Emulator {
+    cfg: EmuConfig,
+    /// The simulated memory (public: kernels place their arrays here).
+    pub mem: Memory,
+    x: [i64; 32],
+    f: [f64; 32],
+    v: Vec<VecVal>,
+    p: Vec<PredVal>,
+    streams: StreamUnit,
+    /// Active vector length in bytes (`ss.setvl` can narrow it below the
+    /// hardware maximum `cfg.vlen_bytes`).
+    vl_bytes: usize,
+}
+
+impl Emulator {
+    /// Creates an emulator with the given configuration over `mem`.
+    pub fn new(cfg: EmuConfig, mem: Memory) -> Self {
+        let v = (0..32)
+            .map(|_| VecVal::empty(cfg.vlen_bytes, ElemWidth::Word))
+            .collect();
+        let mut p: Vec<PredVal> = (0..16).map(|_| PredVal::all_false()).collect();
+        p[0] = PredVal::all_true(); // hardwired p0
+        Self {
+            cfg,
+            mem,
+            x: [0; 32],
+            f: [0.0; 32],
+            v,
+            p,
+            streams: StreamUnit::with_default_level(cfg.stream_level),
+            vl_bytes: cfg.vlen_bytes,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> EmuConfig {
+        self.cfg
+    }
+
+    /// Reads a scalar integer register.
+    pub fn x(&self, r: XReg) -> i64 {
+        self.x[r.index()]
+    }
+
+    /// Writes a scalar integer register (`x0` stays zero).
+    pub fn set_x(&mut self, r: XReg, v: i64) {
+        if r != XReg::ZERO {
+            self.x[r.index()] = v;
+        }
+    }
+
+    /// Reads a scalar FP register.
+    pub fn f(&self, r: uve_isa::FReg) -> f64 {
+        self.f[r.index()]
+    }
+
+    /// Writes a scalar FP register.
+    pub fn set_f(&mut self, r: uve_isa::FReg, v: f64) {
+        self.f[r.index()] = v;
+    }
+
+    /// Reads a vector register (plain value; does not consume streams).
+    pub fn v(&self, r: VReg) -> &VecVal {
+        &self.v[r.index()]
+    }
+
+    /// The stream unit (for inspection in tests).
+    pub fn streams(&self) -> &StreamUnit {
+        &self.streams
+    }
+
+    /// Active vector lanes at `width` (respects `ss.setvl`).
+    fn lanes(&self, width: ElemWidth) -> usize {
+        self.vl_bytes / width.bytes()
+    }
+
+    /// The active vector length in bytes.
+    pub fn active_vlen_bytes(&self) -> usize {
+        self.vl_bytes
+    }
+
+    fn is_input_stream(&self, r: VReg) -> bool {
+        self.streams.get(r).is_some_and(|s| s.dir == Dir::Load)
+    }
+
+    fn is_output_stream(&self, r: VReg) -> bool {
+        self.streams.get(r).is_some_and(|s| s.dir == Dir::Store)
+    }
+
+    /// Reads a vector operand, consuming one chunk if it is an input
+    /// stream. Consumed registers are tracked in `consumed` so a register
+    /// used twice in one instruction is only iterated once.
+    fn read_v(
+        &mut self,
+        r: VReg,
+        trace: &mut Trace,
+        op: &mut TraceOp,
+        consumed: &mut Vec<(VReg, VecVal)>,
+        pc: u32,
+    ) -> Result<VecVal, EmuError> {
+        if let Some((_, val)) = consumed.iter().find(|(c, _)| *c == r) {
+            return Ok(val.clone());
+        }
+        if self.is_input_stream(r) {
+            let c = self
+                .streams
+                .consume(r, &self.mem, self.vl_bytes, trace)
+                .map_err(|err| EmuError::Stream { pc, err })?;
+            let inst = self.streams.get(r).expect("stream present").instance;
+            op.stream_reads.push((inst, c.chunk));
+            if self.streams.get(r).is_some_and(|s| s.at_end()) {
+                // Pattern complete: the stream terminates and the register
+                // reverts to a plain vector register (Sec. IV-A, Stream
+                // Termination).
+                op.stream_close = Some(inst);
+                let _ = self.streams.stop(r);
+            }
+            self.v[r.index()] = c.value.clone();
+            consumed.push((r, c.value.clone()));
+            Ok(c.value)
+        } else {
+            if self.is_output_stream(r) {
+                return Err(EmuError::Stream {
+                    pc,
+                    err: StreamError::WrongDirection(r.num()),
+                });
+            }
+            Ok(self.v[r.index()].clone())
+        }
+    }
+
+    /// Writes a vector destination, producing into an output stream if one
+    /// is bound.
+    fn write_v(
+        &mut self,
+        r: VReg,
+        val: VecVal,
+        trace: &mut Trace,
+        op: &mut TraceOp,
+        pc: u32,
+    ) -> Result<(), EmuError> {
+        if self.is_output_stream(r) {
+            let chunk = self
+                .streams
+                .produce(r, &mut self.mem, &val, trace)
+                .map_err(|err| EmuError::Stream { pc, err })?;
+            let inst = self.streams.get(r).expect("stream present").instance;
+            op.stream_writes.push((inst, chunk));
+            if self.streams.get(r).is_some_and(|s| s.at_end()) {
+                op.stream_close = Some(inst);
+                let _ = self.streams.stop(r);
+            }
+        } else if self.is_input_stream(r) {
+            return Err(EmuError::Stream {
+                pc,
+                err: StreamError::WrongDirection(r.num()),
+            });
+        }
+        self.v[r.index()] = val;
+        Ok(())
+    }
+
+    fn dup_value(&self, src: DupSrc, width: ElemWidth, ty: VType) -> VecVal {
+        let mut v = VecVal::empty(self.cfg.vlen_bytes, width);
+        let lanes = self.lanes(width);
+        for i in 0..lanes {
+            match (ty, src) {
+                (VType::Int, DupSrc::X(r)) => v.set_int(i, self.x[r.index()]),
+                (VType::Int, DupSrc::F(r)) => v.set_int(i, self.f[r.index()] as i64),
+                (VType::Fp, DupSrc::F(r)) => v.set_float(i, self.f[r.index()]),
+                (VType::Fp, DupSrc::X(r)) => v.set_float(i, self.x[r.index()] as f64),
+            }
+            v.set_lane_valid(i, true);
+        }
+        v
+    }
+
+    /// Runs `program` from index 0 to `halt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution error (stream misuse, runaway loop, PC
+    /// escape).
+    pub fn run(&mut self, program: &Program) -> Result<RunResult, EmuError> {
+        let mut trace = Trace::new();
+        let mut pc: u32 = 0;
+        let mut steps: u64 = 0;
+        loop {
+            if steps >= self.cfg.max_steps {
+                return Err(EmuError::OutOfFuel(self.cfg.max_steps));
+            }
+            let Some(inst) = program.fetch(pc) else {
+                return Err(EmuError::PcOutOfRange(pc));
+            };
+            if inst == Inst::Halt {
+                steps += 1;
+                if self.cfg.record_trace {
+                    trace.ops.push(TraceOp::new(pc, ExecClass::Simple));
+                }
+                break;
+            }
+            let next = self.step(inst, pc, &mut trace)?;
+            steps += 1;
+            pc = next;
+        }
+        Ok(RunResult {
+            committed: steps,
+            trace,
+        })
+    }
+
+    /// Executes one instruction at `pc`, returning the next PC.
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self, inst: Inst, pc: u32, trace: &mut Trace) -> Result<u32, EmuError> {
+        let mut op = TraceOp::new(pc, inst.exec_class());
+        let mut next = pc + 1;
+        let mut consumed: Vec<(VReg, VecVal)> = Vec::new();
+        let vlen = self.cfg.vlen_bytes;
+
+        match inst {
+            Inst::Alu { op: o, rd, rs1, rs2 } => {
+                let a = self.x[rs1.index()];
+                let b = self.x[rs2.index()];
+                self.set_x(rd, scalar_alu(o, a, b));
+            }
+            Inst::AluImm { op: o, rd, rs1, imm } => {
+                let a = self.x[rs1.index()];
+                self.set_x(rd, scalar_alu(o, a, imm as i64));
+            }
+            Inst::Lui { rd, imm } => self.set_x(rd, (imm as i64) << 12),
+            Inst::Ld { rd, base, off, width } => {
+                let addr = (self.x[base.index()] + off as i64) as u64;
+                self.set_x(rd, self.mem.read_elem(addr, width));
+                record_mem(&mut op, addr, width.bytes() as u64, false);
+            }
+            Inst::St { src, base, off, width } => {
+                let addr = (self.x[base.index()] + off as i64) as u64;
+                self.mem.write_elem(addr, width, self.x[src.index()]);
+                record_mem(&mut op, addr, width.bytes() as u64, true);
+            }
+            Inst::Fld { fd, base, off, width } => {
+                let addr = (self.x[base.index()] + off as i64) as u64;
+                let v = match width {
+                    ElemWidth::Double => self.mem.read_f64(addr),
+                    _ => self.mem.read_f32(addr) as f64,
+                };
+                self.set_f(fd, v);
+                record_mem(&mut op, addr, width.bytes() as u64, false);
+            }
+            Inst::Fst { src, base, off, width } => {
+                let addr = (self.x[base.index()] + off as i64) as u64;
+                match width {
+                    ElemWidth::Double => self.mem.write_f64(addr, self.f[src.index()]),
+                    _ => self.mem.write_f32(addr, self.f[src.index()] as f32),
+                }
+                record_mem(&mut op, addr, width.bytes() as u64, true);
+            }
+            Inst::FAlu { op: o, width, fd, fs1, fs2 } => {
+                let a = self.f[fs1.index()];
+                let b = self.f[fs2.index()];
+                self.set_f(fd, fp_alu(o, a, b, width));
+            }
+            Inst::FMac { width, fd, fs1, fs2, fs3 } => {
+                let r = self.f[fs1.index()] * self.f[fs2.index()] + self.f[fs3.index()];
+                self.set_f(fd, round_fp(r, width));
+            }
+            Inst::FUn { op: o, width, fd, fs } => {
+                let a = self.f[fs.index()];
+                let r = match o {
+                    FpUnOp::Sqrt => a.sqrt(),
+                    FpUnOp::Abs => a.abs(),
+                    FpUnOp::Neg => -a,
+                    FpUnOp::Mv => a,
+                };
+                self.set_f(fd, round_fp(r, width));
+            }
+            Inst::FMvXF { rd, fs } => self.set_x(rd, self.f[fs.index()].to_bits() as i64),
+            Inst::FMvFX { fd, rs } => self.set_f(fd, f64::from_bits(self.x[rs.index()] as u64)),
+            Inst::FCvtFX { width, fd, rs } => {
+                self.set_f(fd, round_fp(self.x[rs.index()] as f64, width));
+            }
+            Inst::FCvtXF { width: _, rd, fs } => self.set_x(rd, self.f[fs.index()] as i64),
+            Inst::Branch { cond, rs1, rs2, target } => {
+                let a = self.x[rs1.index()];
+                let b = self.x[rs2.index()];
+                let taken = match cond {
+                    BrCond::Eq => a == b,
+                    BrCond::Ne => a != b,
+                    BrCond::Lt => a < b,
+                    BrCond::Ge => a >= b,
+                    BrCond::Ltu => (a as u64) < (b as u64),
+                    BrCond::Geu => (a as u64) >= (b as u64),
+                };
+                if taken {
+                    next = target;
+                }
+                op.branch = Some(BranchOutcome { taken, next_pc: next });
+            }
+            Inst::Jal { rd, target } => {
+                self.set_x(rd, (pc + 1) as i64);
+                next = target;
+                op.branch = Some(BranchOutcome {
+                    taken: true,
+                    next_pc: next,
+                });
+            }
+            Inst::Halt | Inst::Nop => {}
+            Inst::SsStart { u, dir, width, base, size, stride, done } => {
+                let inst_id = self
+                    .streams
+                    .start(
+                        u,
+                        dir,
+                        width,
+                        self.x[base.index()] as u64,
+                        self.x[size.index()] as u64,
+                        self.x[stride.index()],
+                        done,
+                        trace,
+                    )
+                    .map_err(|err| EmuError::Stream { pc, err })?;
+                op.stream_open = inst_id;
+            }
+            Inst::SsApp { u, offset, size, stride, end } => {
+                let inst_id = self
+                    .streams
+                    .append_dim(
+                        u,
+                        self.x[offset.index()],
+                        self.x[size.index()] as u64,
+                        self.x[stride.index()],
+                        end,
+                        trace,
+                    )
+                    .map_err(|err| EmuError::Stream { pc, err })?;
+                op.stream_open = inst_id;
+            }
+            Inst::SsAppMod { u, target, behaviour, disp, count, end } => {
+                let inst_id = self
+                    .streams
+                    .append_static_mod(
+                        u,
+                        target,
+                        behaviour,
+                        self.x[disp.index()],
+                        self.x[count.index()] as u64,
+                        end,
+                        trace,
+                    )
+                    .map_err(|err| EmuError::Stream { pc, err })?;
+                op.stream_open = inst_id;
+            }
+            Inst::SsAppInd { u, target, behaviour, origin, end } => {
+                let inst_id = self
+                    .streams
+                    .append_indirect_mod(u, target, behaviour, origin, end, &self.mem, trace)
+                    .map_err(|err| EmuError::Stream { pc, err })?;
+                op.stream_open = inst_id;
+            }
+            Inst::SsCtl { op: ctl, u } => {
+                let r = match ctl {
+                    StreamCtl::Suspend => self.streams.suspend(u).map(|()| None),
+                    StreamCtl::Resume => self.streams.resume(u).map(|()| None),
+                    StreamCtl::Stop => self.streams.stop(u).map(Some),
+                };
+                op.stream_close = r.map_err(|err| EmuError::Stream { pc, err })?;
+            }
+            Inst::SsCfgMem { u, level } => self.streams.set_level(u, level),
+            Inst::SsBranch { cond, u, target } => {
+                let (flags, at_end) =
+                    self.streams.branch_flags(u).ok_or(EmuError::Stream {
+                        pc,
+                        err: StreamError::NotConfigured(u.num()),
+                    })?;
+                let taken = match cond {
+                    StreamCond::NotEnd => !at_end,
+                    StreamCond::End => at_end,
+                    StreamCond::DimNotEnd(k) => !flags.ends_dim(k as usize),
+                    StreamCond::DimEnd(k) => flags.ends_dim(k as usize),
+                };
+                if taken {
+                    next = target;
+                }
+                op.branch = Some(BranchOutcome { taken, next_pc: next });
+            }
+            Inst::SsGetVl { rd, width } => {
+                self.set_x(rd, self.lanes(width) as i64);
+            }
+            Inst::SsSetVl { rd, rs, width } => {
+                let max = self.cfg.vlen_bytes / width.bytes();
+                let req = self.x[rs.index()].max(0) as usize;
+                let granted = req.min(max).max(1);
+                self.vl_bytes = granted * width.bytes();
+                self.set_x(rd, granted as i64);
+            }
+            Inst::VDup { vd, src, width, ty } => {
+                let val = self.dup_value(src, width, ty);
+                self.write_v(vd, val, trace, &mut op, pc)?;
+            }
+            Inst::VMv { vd, vs } => {
+                let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                self.write_v(vd, val, trace, &mut op, pc)?;
+            }
+            Inst::VUn { op: o, ty, width, vd, vs, pred } => {
+                let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let a = align_width(a, width);
+                let pm = self.p[pred.index()].clone();
+                let mut out = VecVal::empty(vlen, width);
+                for i in 0..self.lanes(width) {
+                    if a.lane_valid(i) && pm.get(i) {
+                        let s = match (ty, o) {
+                            (VType::Fp, VUnOp::Abs) => Scalar::Fp(a.float(i).abs()),
+                            (VType::Fp, VUnOp::Neg) => Scalar::Fp(-a.float(i)),
+                            (VType::Fp, VUnOp::Sqrt) => Scalar::Fp(a.float(i).sqrt()),
+                            (VType::Fp, VUnOp::Mv) => Scalar::Fp(a.float(i)),
+                            (VType::Int, VUnOp::Abs) => Scalar::Int(a.int(i).wrapping_abs()),
+                            (VType::Int, VUnOp::Neg) => Scalar::Int(a.int(i).wrapping_neg()),
+                            (VType::Int, VUnOp::Sqrt) => {
+                                Scalar::Int((a.int(i).max(0) as f64).sqrt() as i64)
+                            }
+                            (VType::Int, VUnOp::Mv) => Scalar::Int(a.int(i)),
+                        };
+                        out.set_scalar(i, s);
+                        out.set_lane_valid(i, true);
+                    }
+                }
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VArith { op: o, ty, width, vd, vs1, vs2, pred } => {
+                let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
+                let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
+                let out = self.lanewise(o, ty, width, &a, &b, pred);
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VArithVS { op: o, ty, width, vd, vs1, scalar, pred } => {
+                let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
+                let b = self.dup_value(scalar, width, ty);
+                let out = self.lanewise(o, ty, width, &a, &b, pred);
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VMacVS { ty, width, vd, vs1, scalar, pred } => {
+                let acc = self.read_v(vd, trace, &mut op, &mut consumed, pc)?;
+                let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
+                let b = self.dup_value(scalar, width, ty);
+                let out = mac_lanes(self, acc, a, b, ty, width, pred, vlen);
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VMac { ty, width, vd, vs1, vs2, pred } => {
+                let acc = self.read_v(vd, trace, &mut op, &mut consumed, pc)?;
+                let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
+                let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
+                let out = mac_lanes(self, acc, a, b, ty, width, pred, vlen);
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VRed { op: o, ty, width, vd, vs, pred } => {
+                let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let a = align_width(a, width);
+                let pm = self.p[pred.index()].clone();
+                let mut out = VecVal::empty(vlen, width);
+                let mut acc: Option<Scalar> = None;
+                for i in 0..self.lanes(width) {
+                    if !(a.lane_valid(i) && pm.get(i)) {
+                        continue;
+                    }
+                    let x = a.scalar(i, ty);
+                    acc = Some(match (acc, ty) {
+                        (None, _) => x,
+                        (Some(Scalar::Fp(v)), VType::Fp) => Scalar::Fp(match o {
+                            HorizOp::Add => v + x.as_fp(),
+                            HorizOp::Max => v.max(x.as_fp()),
+                            HorizOp::Min => v.min(x.as_fp()),
+                        }),
+                        (Some(Scalar::Int(v)), VType::Int) => Scalar::Int(match o {
+                            HorizOp::Add => v.wrapping_add(x.as_int()),
+                            HorizOp::Max => v.max(x.as_int()),
+                            HorizOp::Min => v.min(x.as_int()),
+                        }),
+                        _ => unreachable!("type confusion in reduction"),
+                    });
+                }
+                if let Some(s) = acc {
+                    out.set_scalar(0, s);
+                    out.set_lane_valid(0, true);
+                }
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VCmp { op: o, ty, width, pd, vs1, vs2 } => {
+                let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
+                let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
+                let a = align_width(a, width);
+                let b = align_width(b, width);
+                let mut pv = PredVal::all_false();
+                for i in 0..self.lanes(width) {
+                    if a.lane_valid(i) && b.lane_valid(i) {
+                        let r = match ty {
+                            VType::Fp => cmp_f(o, a.float(i), b.float(i)),
+                            VType::Int => cmp_i(o, a.int(i), b.int(i)),
+                        };
+                        pv.set(i, r);
+                    }
+                }
+                self.p[pd.index()] = pv;
+            }
+            Inst::PredAlu { op: o, pd, ps1, ps2 } => {
+                let a = self.p[ps1.index()].clone();
+                let b = self.p[ps2.index()].clone();
+                self.p[pd.index()] = match o {
+                    PredOp::Mov => a,
+                    PredOp::Not => a.not(crate::value::MAX_LANES),
+                    PredOp::And => a.and(&b),
+                    PredOp::Or => a.or(&b),
+                };
+                // p0 stays hardwired.
+                self.p[0] = PredVal::all_true();
+            }
+            Inst::PredFromValid { pd, vs } => {
+                let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let mut pv = PredVal::all_false();
+                for i in 0..a.lanes() {
+                    pv.set(i, a.lane_valid(i));
+                }
+                self.p[pd.index()] = pv;
+            }
+            Inst::BrPred { cond, p, target } => {
+                let pv = &self.p[p.index()];
+                let taken = match cond {
+                    PredCond::First => pv.first(),
+                    PredCond::Any => pv.any(crate::value::MAX_LANES),
+                    PredCond::None => !pv.any(crate::value::MAX_LANES),
+                };
+                if taken {
+                    next = target;
+                }
+                op.branch = Some(BranchOutcome { taken, next_pc: next });
+            }
+            Inst::VExtractF { fd, vs, lane, width } => {
+                let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let a = align_width(a, width);
+                self.set_f(fd, a.float(lane as usize));
+            }
+            Inst::VExtractX { rd, vs, lane, width } => {
+                let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let a = align_width(a, width);
+                self.set_x(rd, a.int(lane as usize));
+            }
+            Inst::VLoad { vd, base, index, width, pred } => {
+                let b = self.x[base.index()] as u64;
+                let idx = self.x[index.index()];
+                let pm = self.p[pred.index()].clone();
+                let mut out = VecVal::empty(vlen, width);
+                let wb = width.bytes() as u64;
+                let mut first_addr = None;
+                for l in 0..self.lanes(width) {
+                    if pm.get(l) {
+                        let addr = b.wrapping_add(((idx + l as i64) as u64).wrapping_mul(wb));
+                        out.set_int(l, self.mem.read_elem(addr, width));
+                        out.set_lane_valid(l, true);
+                        first_addr.get_or_insert(addr);
+                        push_line(&mut op.mem_lines, addr, wb);
+                    }
+                }
+                op.mem_addr = first_addr.unwrap_or(b);
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VStore { vs, base, index, width, pred } => {
+                let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let val = align_width(val, width);
+                let b = self.x[base.index()] as u64;
+                let idx = self.x[index.index()];
+                let pm = self.p[pred.index()].clone();
+                let wb = width.bytes() as u64;
+                op.is_store = true;
+                let mut first_addr = None;
+                for l in 0..self.lanes(width) {
+                    if pm.get(l) && val.lane_valid(l) {
+                        let addr = b.wrapping_add(((idx + l as i64) as u64).wrapping_mul(wb));
+                        self.mem.write_elem(addr, width, val.int(l));
+                        first_addr.get_or_insert(addr);
+                        push_line(&mut op.mem_lines, addr, wb);
+                    }
+                }
+                op.mem_addr = first_addr.unwrap_or(b);
+            }
+            Inst::VGather { vd, base, idx, width, pred } => {
+                let b = self.x[base.index()] as u64;
+                let iv = self.read_v(idx, trace, &mut op, &mut consumed, pc)?;
+                let iv = align_width(iv, width);
+                let pm = self.p[pred.index()].clone();
+                let mut out = VecVal::empty(vlen, width);
+                let wb = width.bytes() as u64;
+                let mut first_addr = None;
+                for l in 0..self.lanes(width) {
+                    if pm.get(l) && iv.lane_valid(l) {
+                        let addr = b.wrapping_add((iv.int(l) as u64).wrapping_mul(wb));
+                        out.set_int(l, self.mem.read_elem(addr, width));
+                        out.set_lane_valid(l, true);
+                        first_addr.get_or_insert(addr);
+                        push_line(&mut op.mem_lines, addr, wb);
+                    }
+                }
+                op.mem_addr = first_addr.unwrap_or(b);
+                self.write_v(vd, out, trace, &mut op, pc)?;
+            }
+            Inst::VScatter { vs, base, idx, width, pred } => {
+                let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let val = align_width(val, width);
+                let b = self.x[base.index()] as u64;
+                let iv = self.read_v(idx, trace, &mut op, &mut consumed, pc)?;
+                let iv = align_width(iv, width);
+                let pm = self.p[pred.index()].clone();
+                let wb = width.bytes() as u64;
+                op.is_store = true;
+                let mut first_addr = None;
+                for l in 0..self.lanes(width) {
+                    if pm.get(l) && val.lane_valid(l) && iv.lane_valid(l) {
+                        let addr = b.wrapping_add((iv.int(l) as u64).wrapping_mul(wb));
+                        self.mem.write_elem(addr, width, val.int(l));
+                        first_addr.get_or_insert(addr);
+                        push_line(&mut op.mem_lines, addr, wb);
+                    }
+                }
+                op.mem_addr = first_addr.unwrap_or(b);
+            }
+            Inst::WhileLt { pd, rs1, rs2, width } => {
+                let a = self.x[rs1.index()];
+                let b = self.x[rs2.index()];
+                let mut pv = PredVal::all_false();
+                for l in 0..self.lanes(width) {
+                    pv.set(l, a + (l as i64) < b);
+                }
+                self.p[pd.index()] = pv;
+                self.p[0] = PredVal::all_true();
+            }
+            Inst::IncVl { rd, width } => {
+                let n = self.lanes(width) as i64;
+                self.set_x(rd, self.x[rd.index()] + n);
+            }
+            Inst::CntVl { rd, width } => {
+                let n = self.lanes(width) as i64;
+                self.set_x(rd, n);
+            }
+            Inst::VLoadPost { vd, base, width, pred } => {
+                let b = self.x[base.index()] as u64;
+                let pm = self.p[pred.index()].clone();
+                let mut out = VecVal::empty(vlen, width);
+                let wb = width.bytes() as u64;
+                for l in 0..self.lanes(width) {
+                    if pm.get(l) {
+                        let addr = b + l as u64 * wb;
+                        out.set_int(l, self.mem.read_elem(addr, width));
+                        out.set_lane_valid(l, true);
+                        push_line(&mut op.mem_lines, addr, wb);
+                    }
+                }
+                op.mem_addr = b;
+                self.write_v(vd, out, trace, &mut op, pc)?;
+                self.set_x(base, (b + vlen as u64) as i64);
+            }
+            Inst::VStorePost { vs, base, width, pred } => {
+                let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
+                let val = align_width(val, width);
+                let b = self.x[base.index()] as u64;
+                let pm = self.p[pred.index()].clone();
+                let wb = width.bytes() as u64;
+                op.is_store = true;
+                op.mem_addr = b;
+                for l in 0..self.lanes(width) {
+                    if pm.get(l) && val.lane_valid(l) {
+                        let addr = b + l as u64 * wb;
+                        self.mem.write_elem(addr, width, val.int(l));
+                        push_line(&mut op.mem_lines, addr, wb);
+                    }
+                }
+                self.set_x(base, (b + vlen as u64) as i64);
+            }
+        }
+
+        if self.cfg.record_trace {
+            // Register dependencies, with stream-register operands removed
+            // (they travel through the FIFO readiness interface instead).
+            op.srcs = inst
+                .srcs()
+                .into_iter()
+                .filter(|r| {
+                    !(r.class == RegClass::Vec
+                        && op
+                            .stream_reads
+                            .iter()
+                            .any(|(i, _)| trace.streams[*i as usize].u == r.num))
+                })
+                .collect();
+            op.dests = inst
+                .dests()
+                .into_iter()
+                .filter(|r| {
+                    !(r.class == RegClass::Vec
+                        && op
+                            .stream_writes
+                            .iter()
+                            .any(|(i, _)| trace.streams[*i as usize].u == r.num))
+                })
+                .collect();
+            trace.ops.push(op);
+        }
+        Ok(next)
+    }
+
+    fn lanewise(
+        &self,
+        o: VOp,
+        ty: VType,
+        width: ElemWidth,
+        a: &VecVal,
+        b: &VecVal,
+        pred: uve_isa::PReg,
+    ) -> VecVal {
+        let a = align_width(a.clone(), width);
+        let b = align_width(b.clone(), width);
+        let pm = &self.p[pred.index()];
+        let mut out = VecVal::empty(self.cfg.vlen_bytes, width);
+        for i in 0..self.lanes(width) {
+            if a.lane_valid(i) && b.lane_valid(i) && pm.get(i) {
+                match ty {
+                    VType::Fp => {
+                        out.set_float(i, round_fp(fp_vop(o, a.float(i), b.float(i)), width));
+                    }
+                    VType::Int => out.set_int(i, int_vop(o, a.int(i), b.int(i))),
+                }
+                out.set_lane_valid(i, true);
+            }
+        }
+        out
+    }
+}
+
+fn acc_lane_f(acc: &VecVal, i: usize) -> f64 {
+    if acc.lane_valid(i) {
+        acc.float(i)
+    } else {
+        0.0
+    }
+}
+
+fn acc_lane_i(acc: &VecVal, i: usize) -> i64 {
+    if acc.lane_valid(i) {
+        acc.int(i)
+    } else {
+        0
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mac_lanes(
+    emu: &Emulator,
+    acc: VecVal,
+    a: VecVal,
+    b: VecVal,
+    ty: VType,
+    width: ElemWidth,
+    pred: uve_isa::PReg,
+    vlen: usize,
+) -> VecVal {
+    let acc = align_width(acc, width);
+    let a = align_width(a, width);
+    let b = align_width(b, width);
+    let pm = emu.p[pred.index()].clone();
+    let mut out = VecVal::empty(vlen, width);
+    for i in 0..vlen / width.bytes() {
+        // Accumulator lanes beyond the operand tail pass through unchanged
+        // (predicated-off behaviour of fmla).
+        if a.lane_valid(i) && b.lane_valid(i) && pm.get(i) {
+            match ty {
+                VType::Fp => out.set_float(
+                    i,
+                    round_fp(acc_lane_f(&acc, i) + a.float(i) * b.float(i), width),
+                ),
+                VType::Int => out.set_int(
+                    i,
+                    acc_lane_i(&acc, i).wrapping_add(a.int(i).wrapping_mul(b.int(i))),
+                ),
+            }
+            out.set_lane_valid(i, true);
+        } else if acc.lane_valid(i) {
+            out.set_int(i, acc.int(i));
+            out.set_lane_valid(i, true);
+        }
+    }
+    out
+}
+
+fn align_width(v: VecVal, width: ElemWidth) -> VecVal {
+    if v.width() == width {
+        v
+    } else {
+        v.reinterpret(width)
+    }
+}
+
+fn record_mem(op: &mut TraceOp, addr: u64, bytes: u64, is_store: bool) {
+    op.mem_addr = addr;
+    op.is_store = is_store;
+    push_line(&mut op.mem_lines, addr, bytes);
+}
+
+fn push_line(lines: &mut Vec<u64>, addr: u64, bytes: u64) {
+    let first = addr / LINE_BYTES;
+    let last = (addr + bytes - 1) / LINE_BYTES;
+    for l in first..=last {
+        if lines.last() != Some(&l) {
+            lines.push(l);
+        }
+    }
+}
+
+fn scalar_alu(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => ((a as i128 * b as i128) >> 64) as i64,
+        AluOp::Div => {
+            if b == 0 {
+                -1
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a.wrapping_shl((b & 63) as u32),
+        AluOp::Srl => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+        AluOp::Sra => a.wrapping_shr((b & 63) as u32),
+        AluOp::Slt => i64::from(a < b),
+        AluOp::Sltu => i64::from((a as u64) < (b as u64)),
+        AluOp::Min => a.min(b),
+        AluOp::Max => a.max(b),
+    }
+}
+
+fn round_fp(v: f64, width: ElemWidth) -> f64 {
+    match width {
+        ElemWidth::Double => v,
+        _ => v as f32 as f64,
+    }
+}
+
+fn fp_alu(op: FpOp, a: f64, b: f64, width: ElemWidth) -> f64 {
+    let r = match op {
+        FpOp::Add => a + b,
+        FpOp::Sub => a - b,
+        FpOp::Mul => a * b,
+        FpOp::Div => a / b,
+        FpOp::Min => a.min(b),
+        FpOp::Max => a.max(b),
+    };
+    round_fp(r, width)
+}
+
+fn fp_vop(o: VOp, a: f64, b: f64) -> f64 {
+    match o {
+        VOp::Add => a + b,
+        VOp::Sub => a - b,
+        VOp::Mul => a * b,
+        VOp::Div => a / b,
+        VOp::Min => a.min(b),
+        VOp::Max => a.max(b),
+        VOp::And | VOp::Or | VOp::Xor | VOp::Shl | VOp::Shr => {
+            panic!("bitwise vector op has no FP interpretation")
+        }
+    }
+}
+
+fn int_vop(o: VOp, a: i64, b: i64) -> i64 {
+    match o {
+        VOp::Add => a.wrapping_add(b),
+        VOp::Sub => a.wrapping_sub(b),
+        VOp::Mul => a.wrapping_mul(b),
+        VOp::Div => {
+            if b == 0 {
+                -1
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        VOp::Min => a.min(b),
+        VOp::Max => a.max(b),
+        VOp::And => a & b,
+        VOp::Or => a | b,
+        VOp::Xor => a ^ b,
+        VOp::Shl => a.wrapping_shl((b & 63) as u32),
+        VOp::Shr => a.wrapping_shr((b & 63) as u32),
+    }
+}
+
+fn cmp_f(o: VCmpOp, a: f64, b: f64) -> bool {
+    match o {
+        VCmpOp::Eq => a == b,
+        VCmpOp::Ne => a != b,
+        VCmpOp::Lt => a < b,
+        VCmpOp::Le => a <= b,
+        VCmpOp::Gt => a > b,
+        VCmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_i(o: VCmpOp, a: i64, b: i64) -> bool {
+    match o {
+        VCmpOp::Eq => a == b,
+        VCmpOp::Ne => a != b,
+        VCmpOp::Lt => a < b,
+        VCmpOp::Le => a <= b,
+        VCmpOp::Gt => a > b,
+        VCmpOp::Ge => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uve_isa::assemble;
+
+    fn run_text(text: &str, setup: impl FnOnce(&mut Emulator)) -> (Emulator, RunResult) {
+        let prog = assemble("t", text).expect("assembles");
+        let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+        setup(&mut emu);
+        let r = emu.run(&prog).expect("runs");
+        (emu, r)
+    }
+
+    #[test]
+    fn scalar_loop() {
+        let (emu, r) = run_text(
+            "
+    li x10, 0
+    li x11, 10
+loop:
+    addi x10, x10, 1
+    bne x10, x11, loop
+    halt
+",
+            |_| {},
+        );
+        assert_eq!(emu.x(XReg::A0), 10);
+        assert_eq!(r.committed, 2 + 10 * 2 + 1);
+    }
+
+    #[test]
+    fn uve_saxpy_fig4() {
+        // The paper's Fig. 4 saxpy: y = a*x + y over 20 f32 elements
+        // (one full vector + padded tail).
+        let n = 20usize;
+        let (emu, r) = run_text(
+            "
+    li x10, 20          ; n
+    li x11, 0x10000     ; &x
+    li x12, 0x20000     ; &y
+    li x13, 1           ; stride
+    ss.ld.w u0, x11, x10, x13
+    ss.ld.w u1, x12, x10, x13
+    ss.st.w u2, x12, x10, x13
+    so.v.dup.w.fp u3, f10
+loop:
+    so.a.mul.w.fp u4, u3, u0, p0
+    so.a.add.w.fp u2, u4, u1, p0
+    so.b.nend u0, loop
+    halt
+",
+            |emu| {
+                emu.set_f(uve_isa::FReg::FA0, 2.0);
+                let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+                let y: Vec<f32> = (0..n).map(|i| (i * 10) as f32).collect();
+                emu.mem.write_f32_slice(0x10000, &x);
+                emu.mem.write_f32_slice(0x20000, &y);
+            },
+        );
+        let y = emu.mem.read_f32_slice(0x20000, n);
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + (i * 10) as f32, "y[{i}]");
+        }
+        // Trace recorded 3 streams with chunks.
+        assert_eq!(r.trace.streams.len(), 3);
+        assert_eq!(r.trace.streams[0].elements(), 20);
+        assert_eq!(r.trace.streams[2].elements(), 20);
+    }
+
+    #[test]
+    fn sve_saxpy_baseline() {
+        // SVE-like predicated loop equivalent of Fig. 1.B.
+        let n = 20usize;
+        let (emu, _r) = run_text(
+            "
+    li x10, 0            ; i
+    li x11, 20           ; n
+    li x12, 0x10000      ; &x (element base)
+    li x13, 0x20000      ; &y
+    so.v.dup.w.fp u0, f10
+    whilelt.w p1, x10, x11
+loop:
+    vl1.w u1, x12, x10, p1
+    vl1.w u2, x13, x10, p1
+    so.a.mul.w.fp u3, u0, u1, p1
+    so.a.add.w.fp u4, u3, u2, p1
+    vs1.w u4, x13, x10, p1
+    incvl.w x10
+    whilelt.w p1, x10, x11
+    so.b.pfirst p1, loop
+    halt
+",
+            |emu| {
+                emu.set_f(uve_isa::FReg::FA0, 2.0);
+                let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+                let y: Vec<f32> = (0..n).map(|i| (i * 10) as f32).collect();
+                emu.mem.write_f32_slice(0x10000, &x);
+                emu.mem.write_f32_slice(0x20000, &y);
+            },
+        );
+        let y = emu.mem.read_f32_slice(0x20000, n);
+        for (i, v) in y.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + (i * 10) as f32, "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn row_max_fig2() {
+        // The paper's Fig. 2: maximum across rows of a 3×5 matrix.
+        let (emu, _r) = run_text(
+            "
+    li x10, 5            ; Nc
+    li x11, 3            ; Nr
+    li x12, 0x10000      ; &A
+    li x13, 0x20000      ; &C
+    li x14, 1
+    ss.ld.w.sta u0, x12, x10, x14
+    ss.end u0, x0, x11, x10
+    ss.st.w u1, x13, x11, x14
+next_line:
+    so.v.mv u5, u0
+    so.b.dim0.end u0, hmax
+loop:
+    so.a.max.w.fp u5, u5, u0, p0
+    so.b.dim0.nend u0, loop
+hmax:
+    so.a.hmax.w.fp u1, u5, p0
+    so.b.nend u0, next_line
+    halt
+",
+            |emu| {
+                #[rustfmt::skip]
+                let a: Vec<f32> = vec![
+                    1.0, 9.0, 2.0, 3.0, 4.0,
+                    5.0, 0.0, 5.5, 1.0, 2.0,
+                    7.0, 6.0, 3.0, 8.0, 2.5,
+                ];
+                emu.mem.write_f32_slice(0x10000, &a);
+            },
+        );
+        let c = emu.mem.read_f32_slice(0x20000, 3);
+        assert_eq!(c, vec![9.0, 5.5, 8.0]);
+    }
+
+    #[test]
+    fn stream_direction_misuse_errors() {
+        let prog = assemble(
+            "t",
+            "
+    li x10, 4
+    li x11, 0x1000
+    li x12, 1
+    ss.st.w u0, x11, x10, x12
+    so.a.add.w.fp u1, u0, u0, p0
+    halt
+",
+        )
+        .unwrap();
+        let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+        let err = emu.run(&prog).unwrap_err();
+        assert!(matches!(
+            err,
+            EmuError::Stream {
+                err: StreamError::WrongDirection(0),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel_detects_infinite_loop() {
+        let prog = assemble("t", "loop: jal x0, loop\nhalt").unwrap();
+        let mut emu = Emulator::new(
+            EmuConfig {
+                max_steps: 1000,
+                ..EmuConfig::default()
+            },
+            Memory::new(),
+        );
+        assert!(matches!(emu.run(&prog), Err(EmuError::OutOfFuel(1000))));
+    }
+
+    #[test]
+    fn missing_halt_detected() {
+        let prog = assemble("t", "addi x1, x0, 1").unwrap();
+        let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+        assert!(matches!(emu.run(&prog), Err(EmuError::PcOutOfRange(1))));
+    }
+
+    #[test]
+    fn trace_excludes_stream_regs_from_deps() {
+        let (_, r) = run_text(
+            "
+    li x10, 16
+    li x11, 0x1000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    so.a.add.w.fp u4, u0, u0, p0
+    halt
+",
+            |_| {},
+        );
+        let add = r
+            .trace
+            .ops
+            .iter()
+            .find(|o| !o.stream_reads.is_empty())
+            .expect("stream-consuming op present");
+        // u0 must not appear as a register dependency.
+        assert!(add.srcs.iter().all(|s| s.class != RegClass::Vec));
+        assert_eq!(add.stream_reads.len(), 1); // consumed once, used twice
+    }
+
+    #[test]
+    fn scalar_mem_roundtrip() {
+        let (emu, r) = run_text(
+            "
+    li x10, 1234
+    li x11, 0x3000
+    st.w x10, 4(x11)
+    ld.w x12, 4(x11)
+    halt
+",
+            |_| {},
+        );
+        assert_eq!(emu.x(XReg::A2), 1234);
+        let st = r.trace.ops.iter().find(|o| o.is_store).unwrap();
+        assert_eq!(st.mem_lines, vec![0x3004 / 64]);
+    }
+
+    #[test]
+    fn fp_scalar_ops() {
+        let (emu, _) = run_text(
+            "
+    fadd.w f2, f0, f1
+    fmul.w f3, f0, f1
+    fmadd.w f4, f0, f1, f2
+    fsqrt.w f5, f3
+    halt
+",
+            |emu| {
+                emu.set_f(uve_isa::FReg::new(0), 3.0);
+                emu.set_f(uve_isa::FReg::new(1), 4.0);
+            },
+        );
+        assert_eq!(emu.f(uve_isa::FReg::new(2)), 7.0);
+        assert_eq!(emu.f(uve_isa::FReg::new(3)), 12.0);
+        assert_eq!(emu.f(uve_isa::FReg::new(4)), 19.0);
+        assert!((emu.f(uve_isa::FReg::new(5)) - 12f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter() {
+        let (emu, _) = run_text(
+            "
+    li x10, 0x1000      ; base
+    li x11, 4
+    li x12, 0
+    whilelt.w p1, x12, x11
+    vl1.w u1, x13, x12, p1   ; load indices from 0x2000 (x13 set below)
+    vgather.w u2, x10, u1, p1
+    vscatter.w u2, x14, u1, p1
+    halt
+",
+            |emu| {
+                emu.set_x(XReg::A3, 0x2000);
+                emu.set_x(XReg::A4, 0x3000);
+                emu.mem.write_i32_slice(0x2000, &[3, 1, 0, 2]);
+                emu.mem.write_i32_slice(0x1000, &[100, 101, 102, 103]);
+            },
+        );
+        // gather: u2 = A[idx] = [103, 101, 100, 102]; scatter writes them
+        // back permuted to 0x3000[idx] → identity at distinct slots.
+        assert_eq!(emu.mem.read_i32_slice(0x3000, 4), vec![100, 101, 102, 103]);
+    }
+}

@@ -1,0 +1,436 @@
+//! Instruction-level semantics tests for the emulator: one small program
+//! per behaviour, covering the parts of the ISA the kernel suite exercises
+//! only incidentally.
+
+use uve_core::{EmuConfig, Emulator, RunResult};
+use uve_isa::{assemble, FReg, XReg};
+use uve_mem::Memory;
+
+fn run(text: &str, setup: impl FnOnce(&mut Emulator)) -> (Emulator, RunResult) {
+    let prog = assemble("t", text).expect("assembles");
+    let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+    setup(&mut emu);
+    let r = emu.run(&prog).expect("runs");
+    (emu, r)
+}
+
+#[test]
+fn scalar_alu_semantics() {
+    let (emu, _) = run(
+        "
+    li x1, 7
+    li x2, -3
+    add x3, x1, x2
+    sub x4, x1, x2
+    mul x5, x1, x2
+    div x6, x1, x2
+    rem x7, x1, x2
+    and x8, x1, x2
+    or x9, x1, x2
+    xor x10, x1, x2
+    min x11, x1, x2
+    max x12, x1, x2
+    slt x13, x2, x1
+    sltu x14, x2, x1
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(3)), 4);
+    assert_eq!(emu.x(XReg::new(4)), 10);
+    assert_eq!(emu.x(XReg::new(5)), -21);
+    assert_eq!(emu.x(XReg::new(6)), -2); // trunc toward zero
+    assert_eq!(emu.x(XReg::new(7)), 1);
+    assert_eq!(emu.x(XReg::new(8)), 7 & -3);
+    assert_eq!(emu.x(XReg::new(9)), 7 | -3);
+    assert_eq!(emu.x(XReg::new(10)), 7 ^ -3);
+    assert_eq!(emu.x(XReg::new(11)), -3);
+    assert_eq!(emu.x(XReg::new(12)), 7);
+    assert_eq!(emu.x(XReg::new(13)), 1); // -3 < 7 signed
+    assert_eq!(emu.x(XReg::new(14)), 0); // unsigned: huge > 7
+}
+
+#[test]
+fn division_by_zero_riscv_semantics() {
+    let (emu, _) = run(
+        "
+    li x1, 42
+    li x2, 0
+    div x3, x1, x2
+    rem x4, x1, x2
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(3)), -1);
+    assert_eq!(emu.x(XReg::new(4)), 42);
+}
+
+#[test]
+fn shifts_mask_their_amount() {
+    let (emu, _) = run(
+        "
+    li x1, 1
+    li x2, 65
+    sll x3, x1, x2      ; 65 & 63 = 1
+    li x4, -8
+    li x5, 2
+    sra x6, x4, x5
+    srl x7, x4, x5
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(3)), 2);
+    assert_eq!(emu.x(XReg::new(6)), -2);
+    assert!(emu.x(XReg::new(7)) > 0);
+}
+
+#[test]
+fn jal_links_and_jumps() {
+    let (emu, _) = run(
+        "
+    jal x1, target
+    li x2, 111          ; skipped
+target:
+    li x3, 5
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(1)), 1);
+    assert_eq!(emu.x(XReg::new(2)), 0);
+    assert_eq!(emu.x(XReg::new(3)), 5);
+}
+
+#[test]
+fn fp_conversions_and_moves() {
+    let (emu, _) = run(
+        "
+    li x1, -7
+    fcvt.f.x.w f1, x1
+    fcvt.x.f.w x2, f1
+    fmv.w f2, f1
+    fneg.w f3, f1
+    fabs.w f4, f3
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(2)), -7);
+    assert_eq!(emu.f(FReg::new(2)), -7.0);
+    assert_eq!(emu.f(FReg::new(3)), 7.0);
+    assert_eq!(emu.f(FReg::new(4)), 7.0);
+}
+
+#[test]
+fn vector_int_ops_all_widths() {
+    // Byte-wide vector add with wraparound.
+    let (emu, _) = run(
+        "
+    li x1, 127
+    so.v.dup.b.sg u1, x1
+    li x2, 1
+    so.v.dup.b.sg u2, x2
+    so.a.add.b.sg u3, u1, u2, p0
+    so.v.extr.x.b x3, u3[0]
+    so.a.add.h.sg u4, u1, u2, p0
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(3)), -128); // i8 wrap
+}
+
+#[test]
+fn vector_compare_and_predicated_op() {
+    let (emu, _) = run(
+        "
+    li x1, 3
+    so.v.dup.w.sg u1, x1
+    li x2, 5
+    so.v.dup.w.sg u2, x2
+    so.p.lt.w.sg p1, u1, u2        ; all true
+    so.p.gt.w.sg p2, u1, u2        ; all false
+    so.p.not p3, p2
+    so.p.and p4, p1, p3
+    so.a.add.w.sg u3, u1, u2, p4   ; executes on all lanes
+    so.v.extr.x.w x3, u3[7]
+    so.a.add.w.sg u4, u1, u2, p2   ; no lanes
+    so.v.extr.x.w x4, u4[0]
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(3)), 8);
+    assert_eq!(emu.x(XReg::new(4)), 0); // lane invalid → zero
+}
+
+#[test]
+fn predicate_branches() {
+    let (emu, _) = run(
+        "
+    li x1, 0
+    li x2, 1
+    so.v.dup.w.sg u1, x1
+    so.v.dup.w.sg u2, x2
+    so.p.lt.w.sg p1, u1, u2      ; all true
+    so.b.pnone p1, bad
+    so.b.pany p1, good
+bad:
+    li x5, 99
+    halt
+good:
+    li x5, 7
+    so.p.gt.w.sg p2, u1, u2     ; all false
+    so.b.pfirst p2, bad
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(5)), 7);
+}
+
+#[test]
+fn legacy_post_increment_vector_memory() {
+    let (emu, _) = run(
+        "
+    li x1, 0x1000
+    li x2, 0x2000
+    ss.load.w u1, x1, p0
+    ss.store.w u1, x2, p0
+    ss.load.w u2, x1, p0      ; x1 advanced by one vector
+    halt
+",
+        |emu| {
+            let data: Vec<f32> = (0..32).map(|i| i as f32).collect();
+            emu.mem.write_f32_slice(0x1000, &data);
+        },
+    );
+    // Base registers post-incremented by VL (64 bytes).
+    assert_eq!(emu.x(XReg::new(1)), 0x1000 + 128);
+    assert_eq!(emu.x(XReg::new(2)), 0x2000 + 64);
+    assert_eq!(emu.mem.read_f32(0x2000), 0.0);
+    assert_eq!(emu.mem.read_f32(0x2000 + 60), 15.0);
+    assert_eq!(emu.v(uve_isa::VReg::new(2)).float(0), 16.0);
+}
+
+#[test]
+fn getvl_reports_lanes_per_width() {
+    let (emu, _) = run(
+        "
+    ss.getvl.b x1
+    ss.getvl.h x2
+    ss.getvl.w x3
+    ss.getvl.d x4
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(1)), 64);
+    assert_eq!(emu.x(XReg::new(2)), 32);
+    assert_eq!(emu.x(XReg::new(3)), 16);
+    assert_eq!(emu.x(XReg::new(4)), 8);
+}
+
+#[test]
+fn narrow_machine_gets_narrow_vectors() {
+    let prog = assemble("t", "ss.getvl.w x1\nhalt").unwrap();
+    let mut emu = Emulator::new(
+        EmuConfig {
+            vlen_bytes: 16,
+            ..EmuConfig::default()
+        },
+        Memory::new(),
+    );
+    emu.run(&prog).unwrap();
+    assert_eq!(emu.x(XReg::new(1)), 4);
+}
+
+#[test]
+fn double_width_stream_roundtrip() {
+    let (emu, _) = run(
+        "
+    li x10, 12
+    li x11, 0x1000
+    li x12, 0x2000
+    li x13, 1
+    ss.ld.d u0, x11, x10, x13
+    ss.st.d u1, x12, x10, x13
+loop:
+    so.a.mul.vs.d.fp u1, u0, f10, p0
+    so.b.nend u0, loop
+    halt
+",
+        |emu| {
+            emu.set_f(FReg::FA0, 3.0);
+            let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+            emu.mem.write_f64_slice(0x1000, &data);
+        },
+    );
+    let out = emu.mem.read_f64_slice(0x2000, 12);
+    for (i, v) in out.iter().enumerate() {
+        assert_eq!(*v, 3.0 * i as f64);
+    }
+}
+
+#[test]
+fn stream_level_configuration_instruction() {
+    let (_, r) = run(
+        "
+    li x10, 16
+    li x11, 0x1000
+    li x13, 1
+    so.cfg.mem.l1 u0
+    ss.ld.w u0, x11, x10, x13
+    so.cfg.mem.dram u1
+    ss.st.w u1, x11, x10, x13
+loop:
+    so.v.mv u1, u0
+    so.b.nend u0, loop
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(r.trace.streams[0].level, uve_isa::MemLevel::L1);
+    assert_eq!(r.trace.streams[1].level, uve_isa::MemLevel::Mem);
+}
+
+#[test]
+fn gather_with_duplicate_indices() {
+    let (emu, _) = run(
+        "
+    li x1, 0x1000
+    li x2, 4
+    li x3, 0
+    whilelt.w p1, x3, x2
+    vl1.w u1, x4, x3, p1
+    vgather.w u2, x1, u1, p1
+    so.a.hadd.w.sg u3, u2, p0
+    so.v.extr.x.w x5, u3[0]
+    halt
+",
+        |emu| {
+            emu.set_x(XReg::new(4), 0x2000);
+            emu.mem.write_i32_slice(0x2000, &[1, 1, 2, 1]);
+            emu.mem.write_i32_slice(0x1000, &[10, 20, 30, 40]);
+        },
+    );
+    assert_eq!(emu.x(XReg::new(5)), 20 + 20 + 30 + 20);
+}
+
+#[test]
+fn vector_min_max_and_reductions() {
+    let (emu, _) = run(
+        "
+    li x10, 5
+    li x11, 0x1000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    so.a.hmin.w.fp u5, u0, p0
+    so.v.extr.f.w f1, u5[0]
+    li x20, 0x2000
+    fst.w f1, 0(x20)
+    halt
+",
+        |emu| {
+            emu.mem.write_f32_slice(0x1000, &[3.0, -1.5, 7.0, 0.0, 2.0]);
+        },
+    );
+    assert_eq!(emu.mem.read_f32(0x2000), -1.5);
+}
+
+#[test]
+fn halt_is_recorded_in_trace() {
+    let (_, r) = run("halt", |_| {});
+    assert_eq!(r.committed, 1);
+    assert_eq!(r.trace.ops.len(), 1);
+}
+
+#[test]
+fn setvl_narrows_and_restores_vector_length() {
+    let (emu, _) = run(
+        "
+    ss.getvl.w x1          ; hardware max
+    li x2, 4
+    ss.setvl.w x3, x2      ; narrow to 4 word lanes
+    ss.getvl.w x4
+    li x5, 9999
+    ss.setvl.w x6, x5      ; clamped back to the maximum
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(1)), 16);
+    assert_eq!(emu.x(XReg::new(3)), 4);
+    assert_eq!(emu.x(XReg::new(4)), 4);
+    assert_eq!(emu.x(XReg::new(6)), 16);
+    assert_eq!(emu.active_vlen_bytes(), 64);
+}
+
+#[test]
+fn setvl_shrinks_stream_chunks() {
+    // With VL narrowed to 4 lanes, a 16-element stream takes 4 chunks.
+    let (_, r) = run(
+        "
+    li x2, 4
+    ss.setvl.w x3, x2
+    li x10, 16
+    li x11, 0x1000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+loop:
+    so.v.mv u5, u0
+    so.b.nend u0, loop
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(r.trace.streams[0].chunks.len(), 4);
+    assert!(r.trace.streams[0].chunks.iter().all(|c| c.valid == 4));
+}
+
+#[test]
+fn predicate_from_valid_lanes() {
+    // A stream tail leaves invalid lanes; `so.p.fromvalid` exposes them as
+    // a predicate for a subsequent conditional branch.
+    let (emu, _) = run(
+        "
+    li x10, 5
+    li x11, 0x1000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    so.v.mv u5, u0             ; 5 valid lanes of 16
+    so.p.fromvalid p1, u5
+    so.b.pfirst p1, has_data
+    li x1, 0
+    halt
+has_data:
+    li x1, 1
+    halt
+",
+        |_| {},
+    );
+    assert_eq!(emu.x(XReg::new(1)), 1);
+}
+
+#[test]
+fn li_expands_large_constants() {
+    // Exercises all three `li` expansion tiers, including the 64-bit path
+    // that assembles the low half in the scratch register t6.
+    for value in [
+        0i64,
+        -1,
+        2047,
+        -2048,
+        4096,
+        0x7fff_f000,
+        -0x8000_0000,
+        0x1_2345_6789i64,
+        0x7fff_ffff_ffff_ffff,
+        -0x1234_5678_9abc_def0,
+    ] {
+        let (emu, _) = run(&format!("li x20, {value}\nhalt"), |_| {});
+        assert_eq!(emu.x(XReg::new(20)), value, "li {value:#x}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests on the vector-value layer: lane encodings, validity
+//! propagation, and the reinterpretation rules the emulator relies on.
+
+use proptest::prelude::*;
+use uve_core::{PredVal, VecVal};
+use uve_isa::ElemWidth;
+
+fn widths() -> impl Strategy<Value = ElemWidth> {
+    prop_oneof![
+        Just(ElemWidth::Byte),
+        Just(ElemWidth::Half),
+        Just(ElemWidth::Word),
+        Just(ElemWidth::Double),
+    ]
+}
+
+proptest! {
+    /// Integer lanes round-trip after truncation to the lane width.
+    #[test]
+    fn int_lane_roundtrip(w in widths(), lane in 0usize..8, v in any::<i64>()) {
+        let mut val = VecVal::empty(64, w);
+        val.set_int(lane, v);
+        let bits = w.bytes() * 8;
+        let expect = (v << (64 - bits)) >> (64 - bits); // sign-truncate
+        prop_assert_eq!(val.int(lane), expect);
+    }
+
+    /// Float lanes round-trip exactly at f64, through f32 rounding at Word.
+    #[test]
+    fn float_lane_roundtrip(lane in 0usize..8, v in -1e30f64..1e30) {
+        let mut d = VecVal::empty(64, ElemWidth::Double);
+        d.set_float(lane, v);
+        prop_assert_eq!(d.float(lane), v);
+        let mut s = VecVal::empty(64, ElemWidth::Word);
+        s.set_float(lane, v);
+        prop_assert_eq!(s.float(lane), f64::from(v as f32));
+    }
+
+    /// `from_ints` marks exactly the provided lanes valid, in order.
+    #[test]
+    fn from_ints_valid_prefix(vals in prop::collection::vec(-100i64..100, 0..16)) {
+        let v = VecVal::from_ints(64, ElemWidth::Word, &vals);
+        prop_assert_eq!(v.valid_count(), vals.len());
+        prop_assert_eq!(v.valid_prefix(), vals.len());
+        for (i, x) in vals.iter().enumerate() {
+            prop_assert_eq!(v.int(i), *x);
+        }
+    }
+
+    /// Reinterpreting preserves raw bytes: Word→Byte→Word is the identity
+    /// on the valid prefix.
+    #[test]
+    fn reinterpret_preserves_bytes(vals in prop::collection::vec(any::<i32>(), 1..16)) {
+        let as_i64: Vec<i64> = vals.iter().map(|&x| i64::from(x)).collect();
+        let w = VecVal::from_ints(64, ElemWidth::Word, &as_i64);
+        let b = w.reinterpret(ElemWidth::Byte);
+        let back = b.reinterpret(ElemWidth::Word);
+        prop_assert_eq!(back.valid_prefix(), vals.len());
+        for (i, x) in vals.iter().enumerate() {
+            prop_assert_eq!(back.int(i) as i32, *x);
+        }
+    }
+
+    /// De Morgan over predicate lanes.
+    #[test]
+    fn pred_de_morgan(a in prop::collection::vec(any::<bool>(), 16),
+                      b in prop::collection::vec(any::<bool>(), 16)) {
+        let pa = PredVal::from_bools(&a);
+        let pb = PredVal::from_bools(&b);
+        let lhs = pa.and(&pb).not(16);
+        let rhs = pa.not(16).or(&pb.not(16));
+        for i in 0..16 {
+            prop_assert_eq!(lhs.get(i), rhs.get(i));
+        }
+    }
+
+    /// Predicate counting is consistent with `any`.
+    #[test]
+    fn pred_count_vs_any(a in prop::collection::vec(any::<bool>(), 1..32)) {
+        let p = PredVal::from_bools(&a);
+        prop_assert_eq!(p.any(a.len()), p.count(a.len()) > 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! CPU timing-model configuration (Table I of the paper, based on public
+//! ARM Cortex-A76 information).
+
+use uve_core::engine::EngineConfig;
+use uve_isa::ExecClass;
+use uve_mem::MemConfig;
+
+/// Out-of-order core configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle (4-wide).
+    pub fetch_width: usize,
+    /// µOps committed per cycle (4-wide).
+    pub commit_width: usize,
+    /// µOps issued per cycle across all clusters (8-wide).
+    pub issue_width: usize,
+    /// Decode queue capacity between fetch and rename.
+    pub decode_queue: usize,
+    /// Reorder buffer entries (128).
+    pub rob_entries: usize,
+    /// Aggregate issue-queue entries (80).
+    pub iq_entries: usize,
+    /// Load queue entries (32).
+    pub lq_entries: usize,
+    /// Store queue entries (48).
+    pub sq_entries: usize,
+    /// Integer physical registers (128).
+    pub int_prf: usize,
+    /// Floating-point physical registers (192).
+    pub fp_prf: usize,
+    /// Vector physical registers (48 × 512-bit) — the Fig. 9 knob.
+    pub vec_prf: usize,
+    /// Predicate physical registers.
+    pub pred_prf: usize,
+    /// Integer ALUs (2, with a 24-entry scheduler).
+    pub int_units: usize,
+    /// Integer-vector/FP functional units (2, 24-entry scheduler).
+    pub fpvec_units: usize,
+    /// Load ports (2, shared 24-entry memory scheduler).
+    pub load_ports: usize,
+    /// Store ports (1).
+    pub store_ports: usize,
+    /// Scheduler entries per cluster (24).
+    pub cluster_entries: usize,
+    /// Front-end refill penalty after a branch mispredict, in cycles.
+    pub mispredict_penalty: u64,
+    /// Bimodal predictor table size (entries).
+    pub predictor_entries: usize,
+    /// Streaming Engine configuration (UVE only).
+    pub engine: EngineConfig,
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// Hard cycle cap (runaway guard).
+    pub max_cycles: u64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            fetch_width: 4,
+            commit_width: 4,
+            issue_width: 8,
+            decode_queue: 16,
+            rob_entries: 128,
+            iq_entries: 80,
+            lq_entries: 32,
+            sq_entries: 48,
+            int_prf: 128,
+            fp_prf: 192,
+            vec_prf: 48,
+            pred_prf: 32,
+            int_units: 2,
+            fpvec_units: 2,
+            load_ports: 2,
+            store_ports: 1,
+            cluster_entries: 24,
+            mispredict_penalty: 11,
+            predictor_entries: 4096,
+            engine: EngineConfig::default(),
+            mem: MemConfig::default(),
+            max_cycles: 2_000_000_000,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// Execution latency of a resource class, in cycles (A76-flavoured).
+    ///
+    /// `Load`/`Store` latencies come from the memory model instead; the
+    /// value here is the minimum pipeline occupancy.
+    pub fn latency(&self, class: ExecClass) -> u64 {
+        match class {
+            ExecClass::IntAlu | ExecClass::Simple => 1,
+            ExecClass::IntMul => 3,
+            ExecClass::IntDiv => 12,
+            ExecClass::FpAdd => 2,
+            ExecClass::FpMul => 3,
+            ExecClass::FpMac => 4,
+            ExecClass::FpDiv => 11,
+            ExecClass::VecInt => 2,
+            ExecClass::Load => 1,
+            ExecClass::Store => 1,
+            ExecClass::Branch => 1,
+            ExecClass::StreamCfg | ExecClass::StreamCtl => 1,
+        }
+    }
+
+    /// Free physical registers per class after mapping the architectural
+    /// state.
+    pub fn free_regs(&self) -> [usize; 4] {
+        [
+            self.int_prf.saturating_sub(32).max(1),
+            self.fp_prf.saturating_sub(32).max(1),
+            self.vec_prf.saturating_sub(32).max(1),
+            self.pred_prf.saturating_sub(16).max(1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_i() {
+        let c = CpuConfig::default();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 48);
+        assert_eq!(c.vec_prf, 48);
+        assert_eq!(c.engine.processing_modules, 2);
+        assert_eq!(c.engine.fifo_depth, 8);
+    }
+
+    #[test]
+    fn free_regs_subtract_architectural() {
+        let c = CpuConfig::default();
+        assert_eq!(c.free_regs(), [96, 160, 16, 16]);
+    }
+
+    #[test]
+    fn latencies_sane() {
+        let c = CpuConfig::default();
+        assert!(c.latency(ExecClass::FpDiv) > c.latency(ExecClass::FpAdd));
+        assert_eq!(c.latency(ExecClass::IntAlu), 1);
+    }
+}

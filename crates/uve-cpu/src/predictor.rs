@@ -1,0 +1,100 @@
+//! Branch prediction: a bimodal (2-bit saturating counter) direction
+//! predictor. Targets are provided by an idealized BTB (the trace knows
+//! them), so only direction mispredicts cost cycles.
+
+/// A table of 2-bit saturating counters indexed by PC.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<u8>,
+    predictions: u64,
+    mispredicts: u64,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` counters (rounded up to a power
+    /// of two), initialized to weakly taken.
+    pub fn new(entries: usize) -> Self {
+        Self {
+            counters: vec![2; entries.next_power_of_two().max(2)],
+            predictions: 0,
+            mispredicts: 0,
+        }
+    }
+
+    /// Predicts the direction of the branch at `pc`, trains on the actual
+    /// outcome, and returns whether the prediction was correct.
+    pub fn predict_and_train(&mut self, pc: u32, taken: bool) -> bool {
+        let idx = (pc as usize) & (self.counters.len() - 1);
+        let c = &mut self.counters[idx];
+        let predicted = *c >= 2;
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+        self.predictions += 1;
+        let correct = predicted == taken;
+        if !correct {
+            self.mispredicts += 1;
+        }
+        correct
+    }
+
+    /// Total predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    pub fn mispredicts(&self) -> u64 {
+        self.mispredicts
+    }
+
+    /// Misprediction rate in [0, 1].
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_steady_loop() {
+        let mut p = Bimodal::new(16);
+        // Loop branch: taken 99 times then not taken.
+        let mut wrong = 0;
+        for i in 0..100 {
+            let taken = i != 99;
+            if !p.predict_and_train(4, taken) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 2, "bimodal should only miss the exit: {wrong}");
+    }
+
+    #[test]
+    fn alternating_pattern_hurts() {
+        let mut p = Bimodal::new(16);
+        for i in 0..100 {
+            p.predict_and_train(8, i % 2 == 0);
+        }
+        assert!(p.mispredict_rate() > 0.3);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = Bimodal::new(16);
+        for _ in 0..10 {
+            p.predict_and_train(1, true);
+            p.predict_and_train(2, false);
+        }
+        assert!(p.predict_and_train(1, true));
+        assert!(p.predict_and_train(2, false));
+    }
+}

@@ -1,0 +1,147 @@
+//! Timing statistics reported by the out-of-order model — the quantities
+//! the paper's figures are built from.
+
+use crate::predictor::Bimodal;
+use uve_core::engine::{EngineSim, EngineStats};
+use uve_mem::{MemStats, MemSystem};
+
+/// Why rename stalled in a given cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenameBlockReason {
+    /// Reorder buffer full.
+    Rob,
+    /// Issue queue / scheduler cluster full.
+    Iq,
+    /// Load or store queue full.
+    Lsq,
+    /// No free physical register.
+    Prf,
+    /// Streaming Engine store FIFO slot not yet reserved.
+    StoreFifo,
+}
+
+/// Per-reason rename-stall counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RenameBlockReasons {
+    /// Cycles blocked on the ROB.
+    pub rob: u64,
+    /// Cycles blocked on issue queues.
+    pub iq: u64,
+    /// Cycles blocked on load/store queues.
+    pub lsq: u64,
+    /// Cycles blocked on physical registers.
+    pub prf: u64,
+    /// Cycles blocked on store-FIFO reservation.
+    pub store_fifo: u64,
+}
+
+impl RenameBlockReasons {
+    pub(crate) fn bump(&mut self, r: RenameBlockReason) {
+        match r {
+            RenameBlockReason::Rob => self.rob += 1,
+            RenameBlockReason::Iq => self.iq += 1,
+            RenameBlockReason::Lsq => self.lsq += 1,
+            RenameBlockReason::Prf => self.prf += 1,
+            RenameBlockReason::StoreFifo => self.store_fifo += 1,
+        }
+    }
+}
+
+/// Results of one timing simulation.
+#[derive(Debug, Clone, Default)]
+pub struct TimingStats {
+    /// Total cycles to commit the trace.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Cycles the rename stage was blocked (Fig. 8.C numerator).
+    pub rename_blocked_cycles: u64,
+    /// Rename-stall breakdown.
+    pub rename_block_reasons: RenameBlockReasons,
+    /// Dynamic branches fetched.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Memory hierarchy statistics.
+    pub mem: MemStats,
+    /// Streaming Engine statistics.
+    pub engine: EngineStats,
+    /// DRAM bus utilization `(read+write)/peak` over the run (Fig. 8.D).
+    pub bus_utilization: f64,
+}
+
+impl TimingStats {
+    pub(crate) fn empty() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn finalize(&mut self, mem: &MemSystem, engine: &EngineSim, _pred: &Bimodal) {
+        self.mem = mem.stats();
+        self.engine = engine.stats();
+        self.bus_utilization = mem.bus_utilization(self.cycles);
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average rename blocks per cycle (Fig. 8.C metric).
+    pub fn rename_blocks_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.rename_blocked_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = TimingStats::empty();
+        s.cycles = 100;
+        s.committed = 250;
+        s.rename_blocked_cycles = 25;
+        s.branches = 10;
+        s.branch_mispredicts = 1;
+        assert_eq!(s.ipc(), 2.5);
+        assert_eq!(s.rename_blocks_per_cycle(), 0.25);
+        assert_eq!(s.mispredict_rate(), 0.1);
+    }
+
+    #[test]
+    fn zero_cycle_metrics_are_zero() {
+        let s = TimingStats::empty();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.rename_blocks_per_cycle(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+
+    #[test]
+    fn reason_bumps() {
+        let mut r = RenameBlockReasons::default();
+        r.bump(RenameBlockReason::Prf);
+        r.bump(RenameBlockReason::Prf);
+        r.bump(RenameBlockReason::StoreFifo);
+        assert_eq!(r.prf, 2);
+        assert_eq!(r.store_fifo, 1);
+        assert_eq!(r.rob, 0);
+    }
+}

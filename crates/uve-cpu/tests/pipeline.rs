@@ -1,0 +1,164 @@
+//! Structural tests of the out-of-order pipeline model: each resource limit
+//! of Table I must be observable as back-pressure.
+
+use uve_core::{EmuConfig, Emulator, Trace};
+use uve_cpu::{CpuConfig, OoOCore};
+use uve_isa::assemble;
+use uve_mem::{MemConfig, Memory};
+
+fn trace_of(text: &str, setup: impl FnOnce(&mut Emulator)) -> Trace {
+    let prog = assemble("t", text).unwrap();
+    let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+    setup(&mut emu);
+    emu.run(&prog).unwrap().trace
+}
+
+fn independent_alu_block(n: usize) -> String {
+    let mut t = String::new();
+    for i in 0..n {
+        t.push_str(&format!("    addi x{}, x0, 1\n", 1 + (i % 8)));
+    }
+    t.push_str("    halt\n");
+    t
+}
+
+#[test]
+fn issue_width_caps_ipc() {
+    let t = trace_of(&independent_alu_block(600), |_| {});
+    // 2 integer ALUs: IPC can't exceed ~2 even with 8-wide issue.
+    let s = OoOCore::new(CpuConfig::default()).run(&t);
+    assert!(s.ipc() <= 2.2, "{}", s.ipc());
+    // Doubling the ALUs lifts the ceiling (bounded by 4-wide fetch/commit).
+    let s4 = OoOCore::new(CpuConfig {
+        int_units: 4,
+        ..CpuConfig::default()
+    })
+    .run(&t);
+    assert!(s4.ipc() > s.ipc() * 1.3, "{} vs {}", s4.ipc(), s.ipc());
+}
+
+#[test]
+fn rob_size_limits_latency_tolerance() {
+    // Independent loads that all miss: a bigger ROB exposes more MLP.
+    // Stride of 4096+64 bytes: distinct pages AND alternating DRAM
+    // channels, so bandwidth never serializes the loads.
+    let mut text = String::from("    li x1, 0x100000\n");
+    for i in 0..64 {
+        text.push_str(&format!("    li x9, {}\n", 0x100000 + i * 4160));
+        text.push_str(&format!("    ld.w x{}, 0(x9)\n", 2 + (i % 7)));
+    }
+    text.push_str("    halt\n");
+    let t = trace_of(&text, |_| {});
+    // Disable prefetching and lift the MSHR caps so the ROB is the only
+    // limit on memory-level parallelism.
+    let no_pf = MemConfig {
+        l1_prefetcher: false,
+        l2_prefetcher: false,
+        l1_mshrs: 64,
+        l2_mshrs: 64,
+        ..MemConfig::default()
+    };
+    let small = OoOCore::new(CpuConfig {
+        rob_entries: 8,
+        mem: no_pf.clone(),
+        ..CpuConfig::default()
+    })
+    .run(&t);
+    let large = OoOCore::new(CpuConfig {
+        rob_entries: 128,
+        mem: no_pf,
+        ..CpuConfig::default()
+    })
+    .run(&t);
+    assert!(
+        large.cycles * 3 < small.cycles * 2,
+        "large {} vs small {}",
+        large.cycles,
+        small.cycles
+    );
+}
+
+#[test]
+fn store_queue_backpressure() {
+    let mut text = String::from("    li x1, 0x100000\n");
+    for i in 0..200 {
+        text.push_str(&format!("    st.w x1, {}(x1)\n", (i % 500) * 8));
+    }
+    text.push_str("    halt\n");
+    let t = trace_of(&text, |_| {});
+    let s = OoOCore::new(CpuConfig {
+        sq_entries: 2,
+        ..CpuConfig::default()
+    })
+    .run(&t);
+    assert!(s.rename_block_reasons.lsq > 0);
+}
+
+#[test]
+fn front_end_width_bounds_commit() {
+    let t = trace_of(&independent_alu_block(400), |_| {});
+    let s = OoOCore::new(CpuConfig {
+        int_units: 8,
+        fetch_width: 1,
+        ..CpuConfig::default()
+    })
+    .run(&t);
+    // 1-wide fetch: at most one instruction per cycle overall.
+    assert!(s.ipc() <= 1.05, "{}", s.ipc());
+}
+
+#[test]
+fn taken_branches_cost_fetch_bubbles() {
+    // A chain of unconditional jumps: each taken redirect costs a bubble.
+    let mut text = String::new();
+    for i in 0..100 {
+        text.push_str(&format!("    jal x0, l{i}\nl{i}:\n"));
+    }
+    text.push_str("    halt\n");
+    let jumps = trace_of(&text, |_| {});
+    let s = OoOCore::new(CpuConfig::default()).run(&jumps);
+    // 100 jumps cannot retire at 4 IPC with one-per-cycle fetch redirects.
+    assert!(s.cycles >= 100, "{}", s.cycles);
+}
+
+#[test]
+fn stats_report_branch_profile() {
+    let t = trace_of(
+        "
+    li x1, 50
+loop:
+    addi x1, x1, -1
+    bne x1, x0, loop
+    halt
+",
+        |_| {},
+    );
+    let s = OoOCore::new(CpuConfig::default()).run(&t);
+    assert_eq!(s.branches, 50);
+    assert!(s.branch_mispredicts <= 3);
+    assert!(s.mispredict_rate() < 0.1);
+}
+
+#[test]
+fn warm_and_cold_runs_share_functional_results() {
+    let t = trace_of(
+        "
+    li x10, 256
+    li x11, 0x100000
+    li x12, 0x200000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    ss.st.w u1, x12, x10, x13
+loop:
+    so.v.mv u1, u0
+    so.b.nend u0, loop
+    halt
+",
+        |_| {},
+    );
+    let core = OoOCore::new(CpuConfig::default());
+    let cold = core.run(&t);
+    let warm = core.run_warm(&t);
+    assert_eq!(cold.committed, warm.committed);
+    assert!(warm.cycles <= cold.cycles);
+}

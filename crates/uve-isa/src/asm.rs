@@ -1,0 +1,1297 @@
+//! Textual assembler and disassembler.
+//!
+//! The syntax follows the paper's mnemonics: stream configuration uses the
+//! `ss.` prefix, stream/vector operations the `so.` prefix, and the scalar
+//! subset is RISC-V-flavoured. [`assemble`] and [`disassemble_program`]
+//! round-trip.
+
+use crate::inst::*;
+use crate::program::{Program, ProgramBuilder, ProgramError};
+use crate::reg::{FReg, PReg, VReg, XReg};
+use std::fmt;
+use uve_stream::{Behaviour, ElemWidth, IndirectBehaviour, Param};
+
+/// Error raised while assembling text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// Unknown mnemonic at the given line.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The unrecognized mnemonic.
+        mnemonic: String,
+    },
+    /// Malformed operand list.
+    BadOperands {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Label error detected at build time.
+    Program(ProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            AsmError::BadOperands { line, detail } => {
+                write!(f, "line {line}: bad operands: {detail}")
+            }
+            AsmError::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ProgramError> for AsmError {
+    fn from(e: ProgramError) -> Self {
+        AsmError::Program(e)
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Div => "div",
+        AluOp::Rem => "rem",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Min => "min",
+        AluOp::Max => "max",
+    }
+}
+
+fn alu_from(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "mul" => AluOp::Mul,
+        "mulh" => AluOp::Mulh,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "min" => AluOp::Min,
+        "max" => AluOp::Max,
+        _ => return None,
+    })
+}
+
+fn fp_name(op: FpOp) -> &'static str {
+    match op {
+        FpOp::Add => "fadd",
+        FpOp::Sub => "fsub",
+        FpOp::Mul => "fmul",
+        FpOp::Div => "fdiv",
+        FpOp::Min => "fmin",
+        FpOp::Max => "fmax",
+    }
+}
+
+fn vop_name(op: VOp) -> &'static str {
+    match op {
+        VOp::Add => "add",
+        VOp::Sub => "sub",
+        VOp::Mul => "mul",
+        VOp::Div => "div",
+        VOp::Min => "min",
+        VOp::Max => "max",
+        VOp::And => "and",
+        VOp::Or => "or",
+        VOp::Xor => "xor",
+        VOp::Shl => "shl",
+        VOp::Shr => "shr",
+    }
+}
+
+fn vop_from(name: &str) -> Option<VOp> {
+    Some(match name {
+        "add" => VOp::Add,
+        "sub" => VOp::Sub,
+        "mul" => VOp::Mul,
+        "div" => VOp::Div,
+        "min" => VOp::Min,
+        "max" => VOp::Max,
+        "and" => VOp::And,
+        "or" => VOp::Or,
+        "xor" => VOp::Xor,
+        "shl" => VOp::Shl,
+        "shr" => VOp::Shr,
+        _ => return None,
+    })
+}
+
+fn ty_name(ty: VType) -> &'static str {
+    match ty {
+        VType::Int => "sg",
+        VType::Fp => "fp",
+    }
+}
+
+fn cond_name(c: BrCond) -> &'static str {
+    match c {
+        BrCond::Eq => "beq",
+        BrCond::Ne => "bne",
+        BrCond::Lt => "blt",
+        BrCond::Ge => "bge",
+        BrCond::Ltu => "bltu",
+        BrCond::Geu => "bgeu",
+    }
+}
+
+fn param_name(p: Param) -> &'static str {
+    match p {
+        Param::Offset => "off",
+        Param::Size => "size",
+        Param::Stride => "stride",
+    }
+}
+
+fn param_from(s: &str) -> Option<Param> {
+    Some(match s {
+        "off" => Param::Offset,
+        "size" => Param::Size,
+        "stride" => Param::Stride,
+        _ => return None,
+    })
+}
+
+/// Renders one instruction in assembly syntax (branch targets printed as
+/// absolute instruction indices).
+pub fn disassemble(i: &Inst) -> String {
+    use Inst::*;
+    match *i {
+        Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", alu_name(op)),
+        AluImm { op, rd, rs1, imm } => format!("{}i {rd}, {rs1}, {imm}", alu_name(op)),
+        Lui { rd, imm } => format!("lui {rd}, {imm}"),
+        Ld { rd, base, off, width } => format!("ld.{width} {rd}, {off}({base})"),
+        St { src, base, off, width } => format!("st.{width} {src}, {off}({base})"),
+        Fld { fd, base, off, width } => format!("fld.{width} {fd}, {off}({base})"),
+        Fst { src, base, off, width } => format!("fst.{width} {src}, {off}({base})"),
+        FAlu { op, width, fd, fs1, fs2 } => {
+            format!("{}.{width} {fd}, {fs1}, {fs2}", fp_name(op))
+        }
+        FMac { width, fd, fs1, fs2, fs3 } => format!("fmadd.{width} {fd}, {fs1}, {fs2}, {fs3}"),
+        FUn { op, width, fd, fs } => {
+            let n = match op {
+                FpUnOp::Sqrt => "fsqrt",
+                FpUnOp::Abs => "fabs",
+                FpUnOp::Neg => "fneg",
+                FpUnOp::Mv => "fmv",
+            };
+            format!("{n}.{width} {fd}, {fs}")
+        }
+        FMvXF { rd, fs } => format!("fmv.x.f {rd}, {fs}"),
+        FMvFX { fd, rs } => format!("fmv.f.x {fd}, {rs}"),
+        FCvtFX { width, fd, rs } => format!("fcvt.f.x.{width} {fd}, {rs}"),
+        FCvtXF { width, rd, fs } => format!("fcvt.x.f.{width} {rd}, {fs}"),
+        Branch { cond, rs1, rs2, target } => {
+            format!("{} {rs1}, {rs2}, {target}", cond_name(cond))
+        }
+        Jal { rd, target } => format!("jal {rd}, {target}"),
+        Halt => "halt".into(),
+        Nop => "nop".into(),
+        SsStart { u, dir, width, base, size, stride, done } => {
+            let d = match dir {
+                Dir::Load => "ld",
+                Dir::Store => "st",
+            };
+            let sta = if done { "" } else { ".sta" };
+            format!("ss.{d}.{width}{sta} {u}, {base}, {size}, {stride}")
+        }
+        SsApp { u, offset, size, stride, end } => {
+            let m = if end { "ss.end" } else { "ss.app" };
+            format!("{m} {u}, {offset}, {size}, {stride}")
+        }
+        SsAppMod { u, target, behaviour, disp, count, end } => {
+            let m = if end { "ss.end" } else { "ss.app" };
+            let b = match behaviour {
+                Behaviour::Add => "add",
+                Behaviour::Sub => "sub",
+            };
+            format!("{m}.mod.{}.{b} {u}, {disp}, {count}", param_name(target))
+        }
+        SsAppInd { u, target, behaviour, origin, end } => {
+            let m = if end { "ss.end" } else { "ss.app" };
+            let b = match behaviour {
+                IndirectBehaviour::SetAdd => "setadd",
+                IndirectBehaviour::SetSub => "setsub",
+                IndirectBehaviour::SetValue => "setval",
+            };
+            format!("{m}.ind.{}.{b} {u}, {origin}", param_name(target))
+        }
+        SsCtl { op, u } => {
+            let n = match op {
+                StreamCtl::Suspend => "ss.suspend",
+                StreamCtl::Resume => "ss.resume",
+                StreamCtl::Stop => "ss.stop",
+            };
+            format!("{n} {u}")
+        }
+        SsCfgMem { u, level } => {
+            let l = match level {
+                MemLevel::L1 => "l1",
+                MemLevel::L2 => "l2",
+                MemLevel::Mem => "dram",
+            };
+            format!("so.cfg.mem.{l} {u}")
+        }
+        SsBranch { cond, u, target } => {
+            let c = match cond {
+                StreamCond::NotEnd => "so.b.nend".to_string(),
+                StreamCond::End => "so.b.end".to_string(),
+                StreamCond::DimNotEnd(k) => format!("so.b.dim{k}.nend"),
+                StreamCond::DimEnd(k) => format!("so.b.dim{k}.end"),
+            };
+            format!("{c} {u}, {target}")
+        }
+        SsGetVl { rd, width } => format!("ss.getvl.{width} {rd}"),
+        SsSetVl { rd, rs, width } => format!("ss.setvl.{width} {rd}, {rs}"),
+        PredFromValid { pd, vs } => format!("so.p.fromvalid {pd}, {vs}"),
+        VDup { vd, src, width, ty } => match src {
+            DupSrc::X(r) => format!("so.v.dup.{width}.{} {vd}, {r}", ty_name(ty)),
+            DupSrc::F(r) => format!("so.v.dup.{width}.{} {vd}, {r}", ty_name(ty)),
+        },
+        VMv { vd, vs } => format!("so.v.mv {vd}, {vs}"),
+        VUn { op, ty, width, vd, vs, pred } => {
+            let n = match op {
+                VUnOp::Abs => "abs",
+                VUnOp::Neg => "neg",
+                VUnOp::Sqrt => "sqrt",
+                VUnOp::Mv => "mvp",
+            };
+            format!("so.a.{n}.{width}.{} {vd}, {vs}, {pred}", ty_name(ty))
+        }
+        VArith { op, ty, width, vd, vs1, vs2, pred } => format!(
+            "so.a.{}.{width}.{} {vd}, {vs1}, {vs2}, {pred}",
+            vop_name(op),
+            ty_name(ty)
+        ),
+        VArithVS { op, ty, width, vd, vs1, scalar, pred } => {
+            let s = match scalar {
+                DupSrc::X(r) => r.to_string(),
+                DupSrc::F(r) => r.to_string(),
+            };
+            format!(
+                "so.a.{}.vs.{width}.{} {vd}, {vs1}, {s}, {pred}",
+                vop_name(op),
+                ty_name(ty)
+            )
+        }
+        VMac { ty, width, vd, vs1, vs2, pred } => format!(
+            "so.a.mac.{width}.{} {vd}, {vs1}, {vs2}, {pred}",
+            ty_name(ty)
+        ),
+        VMacVS { ty, width, vd, vs1, scalar, pred } => {
+            let s = match scalar {
+                DupSrc::X(r) => r.to_string(),
+                DupSrc::F(r) => r.to_string(),
+            };
+            format!(
+                "so.a.mac.vs.{width}.{} {vd}, {vs1}, {s}, {pred}",
+                ty_name(ty)
+            )
+        }
+        VRed { op, ty, width, vd, vs, pred } => {
+            let n = match op {
+                HorizOp::Add => "hadd",
+                HorizOp::Max => "hmax",
+                HorizOp::Min => "hmin",
+            };
+            format!("so.a.{n}.{width}.{} {vd}, {vs}, {pred}", ty_name(ty))
+        }
+        VCmp { op, ty, width, pd, vs1, vs2 } => {
+            let n = match op {
+                VCmpOp::Eq => "eq",
+                VCmpOp::Ne => "ne",
+                VCmpOp::Lt => "lt",
+                VCmpOp::Le => "le",
+                VCmpOp::Gt => "gt",
+                VCmpOp::Ge => "ge",
+            };
+            format!(
+                "so.p.{n}.{width}.{} {pd}, {vs1}, {vs2}",
+                ty_name(ty)
+            )
+        }
+        PredAlu { op, pd, ps1, ps2 } => match op {
+            PredOp::Mov => format!("so.p.mov {pd}, {ps1}"),
+            PredOp::Not => format!("so.p.not {pd}, {ps1}"),
+            PredOp::And => format!("so.p.and {pd}, {ps1}, {ps2}"),
+            PredOp::Or => format!("so.p.or {pd}, {ps1}, {ps2}"),
+        },
+        BrPred { cond, p, target } => {
+            let n = match cond {
+                PredCond::First => "so.b.pfirst",
+                PredCond::Any => "so.b.pany",
+                PredCond::None => "so.b.pnone",
+            };
+            format!("{n} {p}, {target}")
+        }
+        VExtractF { fd, vs, lane, width } => {
+            format!("so.v.extr.f.{width} {fd}, {vs}[{lane}]")
+        }
+        VExtractX { rd, vs, lane, width } => {
+            format!("so.v.extr.x.{width} {rd}, {vs}[{lane}]")
+        }
+        VLoad { vd, base, index, width, pred } => {
+            format!("vl1.{width} {vd}, {base}, {index}, {pred}")
+        }
+        VStore { vs, base, index, width, pred } => {
+            format!("vs1.{width} {vs}, {base}, {index}, {pred}")
+        }
+        VGather { vd, base, idx, width, pred } => {
+            format!("vgather.{width} {vd}, {base}, {idx}, {pred}")
+        }
+        VScatter { vs, base, idx, width, pred } => {
+            format!("vscatter.{width} {vs}, {base}, {idx}, {pred}")
+        }
+        WhileLt { pd, rs1, rs2, width } => format!("whilelt.{width} {pd}, {rs1}, {rs2}"),
+        IncVl { rd, width } => format!("incvl.{width} {rd}"),
+        CntVl { rd, width } => format!("cntvl.{width} {rd}"),
+        VLoadPost { vd, base, width, pred } => {
+            format!("ss.load.{width} {vd}, {base}, {pred}")
+        }
+        VStorePost { vs, base, width, pred } => {
+            format!("ss.store.{width} {vs}, {base}, {pred}")
+        }
+    }
+}
+
+/// Renders a whole program, emitting labels.
+pub fn disassemble_program(p: &Program) -> String {
+    let mut by_index: Vec<(u32, &str)> = p.labels().map(|(l, i)| (i, l)).collect();
+    by_index.sort();
+    let mut out = String::new();
+    for (pc, inst) in p.insts().iter().enumerate() {
+        for (i, l) in &by_index {
+            if *i == pc as u32 {
+                out.push_str(l);
+                out.push_str(":\n");
+            }
+        }
+        out.push_str("    ");
+        out.push_str(&disassemble(inst));
+        out.push('\n');
+    }
+    out
+}
+
+struct Parser<'a> {
+    line: usize,
+    ops: Vec<&'a str>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, detail: impl Into<String>) -> AsmError {
+        AsmError::BadOperands {
+            line: self.line,
+            detail: detail.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, AsmError> {
+        let t = self
+            .ops
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("missing operand"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn x(&mut self) -> Result<XReg, AsmError> {
+        let t = self.next()?;
+        parse_reg(t, 'x')
+            .and_then(XReg::try_new)
+            .ok_or_else(|| self.err(format!("expected x register, got `{t}`")))
+    }
+
+    fn f(&mut self) -> Result<FReg, AsmError> {
+        let t = self.next()?;
+        parse_reg(t, 'f')
+            .and_then(FReg::try_new)
+            .ok_or_else(|| self.err(format!("expected f register, got `{t}`")))
+    }
+
+    fn v(&mut self) -> Result<VReg, AsmError> {
+        let t = self.next()?;
+        parse_reg(t, 'u')
+            .and_then(VReg::try_new)
+            .ok_or_else(|| self.err(format!("expected u register, got `{t}`")))
+    }
+
+    fn p(&mut self) -> Result<PReg, AsmError> {
+        let t = self.next()?;
+        parse_reg(t, 'p')
+            .and_then(PReg::try_new)
+            .ok_or_else(|| self.err(format!("expected p register, got `{t}`")))
+    }
+
+    fn imm(&mut self) -> Result<i64, AsmError> {
+        let t = self.next()?;
+        parse_imm(t).ok_or_else(|| self.err(format!("expected immediate, got `{t}`")))
+    }
+
+    /// `off(base)` address syntax.
+    fn addr(&mut self) -> Result<(i32, XReg), AsmError> {
+        let t = self.next()?;
+        let open = t.find('(').ok_or_else(|| self.err("expected off(base)"))?;
+        let close = t.rfind(')').ok_or_else(|| self.err("expected off(base)"))?;
+        let off = parse_imm(&t[..open]).ok_or_else(|| self.err("bad offset"))? as i32;
+        let base = parse_reg(&t[open + 1..close], 'x')
+            .and_then(XReg::try_new)
+            .ok_or_else(|| self.err("bad base register"))?;
+        Ok((off, base))
+    }
+
+    /// `uN[lane]` syntax.
+    fn v_lane(&mut self) -> Result<(VReg, u8), AsmError> {
+        let t = self.next()?;
+        let open = t.find('[').ok_or_else(|| self.err("expected u[lane]"))?;
+        let close = t.rfind(']').ok_or_else(|| self.err("expected u[lane]"))?;
+        let v = parse_reg(&t[..open], 'u')
+            .and_then(VReg::try_new)
+            .ok_or_else(|| self.err("bad u register"))?;
+        let lane = t[open + 1..close]
+            .parse::<u8>()
+            .map_err(|_| self.err("bad lane"))?;
+        Ok((v, lane))
+    }
+
+    fn dup_src(&mut self) -> Result<DupSrc, AsmError> {
+        let t = self.next()?;
+        if let Some(n) = parse_reg(t, 'x') {
+            return XReg::try_new(n)
+                .map(DupSrc::X)
+                .ok_or_else(|| self.err("bad x register"));
+        }
+        if let Some(n) = parse_reg(t, 'f') {
+            return FReg::try_new(n)
+                .map(DupSrc::F)
+                .ok_or_else(|| self.err("bad f register"));
+        }
+        Err(self.err(format!("expected x/f register, got `{t}`")))
+    }
+
+    /// Branch target: either a number (absolute) or a label.
+    fn target(&mut self) -> Result<Target<'a>, AsmError> {
+        let t = self.next()?;
+        Ok(match parse_imm(t) {
+            Some(v) => Target::Abs(v as u32),
+            None => Target::Label(t),
+        })
+    }
+}
+
+enum Target<'a> {
+    Abs(u32),
+    Label(&'a str),
+}
+
+fn parse_reg(t: &str, prefix: char) -> Option<u8> {
+    let t = t.trim();
+    let rest = t.strip_prefix(prefix)?;
+    rest.parse::<u8>().ok()
+}
+
+fn parse_imm(t: &str) -> Option<i64> {
+    let t = t.trim();
+    if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("-0x")) {
+        let v = i64::from_str_radix(h, 16).ok()?;
+        return Some(if t.starts_with('-') { -v } else { v });
+    }
+    t.parse::<i64>().ok()
+}
+
+fn width_of(s: &str) -> Option<ElemWidth> {
+    if s.len() == 1 {
+        ElemWidth::from_suffix(s.chars().next().unwrap())
+    } else {
+        None
+    }
+}
+
+/// Assembles a text program.
+///
+/// One instruction per line; `label:` lines (or prefixes) define labels; `;`
+/// and `#` start comments.
+///
+/// # Errors
+///
+/// Returns the first syntax or label error encountered.
+pub fn assemble(name: &str, text: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new(name);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let mut s = raw;
+        if let Some(i) = s.find(';') {
+            s = &s[..i];
+        }
+        if let Some(i) = s.find('#') {
+            s = &s[..i];
+        }
+        let mut s = s.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = s.find(':') {
+            let (label, rest) = s.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            b.label(label);
+            s = rest[1..].trim();
+        }
+        if s.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match s.find(char::is_whitespace) {
+            Some(i) => (&s[..i], &s[i..]),
+            None => (s, ""),
+        };
+        let ops: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        let mut p = Parser { line, ops, pos: 0 };
+        parse_inst(&mut b, mnemonic, &mut p)?;
+    }
+    Ok(b.build()?)
+}
+
+fn push_branch(b: &mut ProgramBuilder, inst: Inst, t: Target<'_>) {
+    match t {
+        Target::Abs(a) => {
+            let mut i = inst;
+            i.set_branch_target(a);
+            b.push(i);
+        }
+        Target::Label(l) => {
+            b.push_branch(inst, l);
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(), AsmError> {
+    let parts: Vec<&str> = m.split('.').collect();
+    let unknown = || AsmError::UnknownMnemonic {
+        line: p.line,
+        mnemonic: m.to_string(),
+    };
+    match parts.as_slice() {
+        ["halt"] => {
+            b.push(Inst::Halt);
+        }
+        ["nop"] => {
+            b.push(Inst::Nop);
+        }
+        ["lui"] => {
+            let i = Inst::Lui {
+                rd: p.x()?,
+                imm: p.imm()? as i32,
+            };
+            b.push(i);
+        }
+        ["jal"] => {
+            let rd = p.x()?;
+            let t = p.target()?;
+            push_branch(b, Inst::Jal { rd, target: 0 }, t);
+        }
+        ["li"] => {
+            let rd = p.x()?;
+            let v = p.imm()?;
+            b.li(rd, v);
+        }
+        ["beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu"] => {
+            let cond = match parts[0] {
+                "beq" => BrCond::Eq,
+                "bne" => BrCond::Ne,
+                "blt" => BrCond::Lt,
+                "bge" => BrCond::Ge,
+                "bltu" => BrCond::Ltu,
+                _ => BrCond::Geu,
+            };
+            let rs1 = p.x()?;
+            let rs2 = p.x()?;
+            let t = p.target()?;
+            push_branch(
+                b,
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target: 0,
+                },
+                t,
+            );
+        }
+        ["ld", w] | ["st", w] if width_of(w).is_some() => {
+            let width = width_of(w).unwrap();
+            if parts[0] == "ld" {
+                let rd = p.x()?;
+                let (off, base) = p.addr()?;
+                b.push(Inst::Ld { rd, base, off, width });
+            } else {
+                let src = p.x()?;
+                let (off, base) = p.addr()?;
+                b.push(Inst::St { src, base, off, width });
+            }
+        }
+        ["fld", w] | ["fst", w] if width_of(w).is_some() => {
+            let width = width_of(w).unwrap();
+            if parts[0] == "fld" {
+                let fd = p.f()?;
+                let (off, base) = p.addr()?;
+                b.push(Inst::Fld { fd, base, off, width });
+            } else {
+                let src = p.f()?;
+                let (off, base) = p.addr()?;
+                b.push(Inst::Fst { src, base, off, width });
+            }
+        }
+        ["fmadd", w] if width_of(w).is_some() => {
+            let width = width_of(w).unwrap();
+            b.push(Inst::FMac {
+                width,
+                fd: p.f()?,
+                fs1: p.f()?,
+                fs2: p.f()?,
+                fs3: p.f()?,
+            });
+        }
+        ["fadd" | "fsub" | "fmul" | "fdiv" | "fmin" | "fmax", w] if width_of(w).is_some() => {
+            let op = match parts[0] {
+                "fadd" => FpOp::Add,
+                "fsub" => FpOp::Sub,
+                "fmul" => FpOp::Mul,
+                "fdiv" => FpOp::Div,
+                "fmin" => FpOp::Min,
+                _ => FpOp::Max,
+            };
+            b.push(Inst::FAlu {
+                op,
+                width: width_of(w).unwrap(),
+                fd: p.f()?,
+                fs1: p.f()?,
+                fs2: p.f()?,
+            });
+        }
+        ["fsqrt" | "fabs" | "fneg" | "fmv", w] if width_of(w).is_some() => {
+            let op = match parts[0] {
+                "fsqrt" => FpUnOp::Sqrt,
+                "fabs" => FpUnOp::Abs,
+                "fneg" => FpUnOp::Neg,
+                _ => FpUnOp::Mv,
+            };
+            b.push(Inst::FUn {
+                op,
+                width: width_of(w).unwrap(),
+                fd: p.f()?,
+                fs: p.f()?,
+            });
+        }
+        ["fmv", "x", "f"] => {
+            let i = Inst::FMvXF {
+                rd: p.x()?,
+                fs: p.f()?,
+            };
+            b.push(i);
+        }
+        ["fmv", "f", "x"] => {
+            let i = Inst::FMvFX {
+                fd: p.f()?,
+                rs: p.x()?,
+            };
+            b.push(i);
+        }
+        ["fcvt", "f", "x", w] if width_of(w).is_some() => {
+            let i = Inst::FCvtFX {
+                width: width_of(w).unwrap(),
+                fd: p.f()?,
+                rs: p.x()?,
+            };
+            b.push(i);
+        }
+        ["fcvt", "x", "f", w] if width_of(w).is_some() => {
+            let i = Inst::FCvtXF {
+                width: width_of(w).unwrap(),
+                rd: p.x()?,
+                fs: p.f()?,
+            };
+            b.push(i);
+        }
+        // ---- stream configuration ----
+        ["ss", d @ ("ld" | "st"), w, rest @ ..] if width_of(w).is_some() => {
+            let done = !matches!(rest, ["sta"]);
+            if !rest.is_empty() && rest != ["sta"] {
+                return Err(unknown());
+            }
+            let dir = if *d == "ld" { Dir::Load } else { Dir::Store };
+            b.push(Inst::SsStart {
+                u: p.v()?,
+                dir,
+                width: width_of(w).unwrap(),
+                base: p.x()?,
+                size: p.x()?,
+                stride: p.x()?,
+                done,
+            });
+        }
+        ["ss", e @ ("app" | "end")] => {
+            b.push(Inst::SsApp {
+                u: p.v()?,
+                offset: p.x()?,
+                size: p.x()?,
+                stride: p.x()?,
+                end: *e == "end",
+            });
+        }
+        ["ss", e @ ("app" | "end"), "mod", t, bh] => {
+            let target = param_from(t).ok_or_else(unknown)?;
+            let behaviour = match *bh {
+                "add" => Behaviour::Add,
+                "sub" => Behaviour::Sub,
+                _ => return Err(unknown()),
+            };
+            b.push(Inst::SsAppMod {
+                u: p.v()?,
+                target,
+                behaviour,
+                disp: p.x()?,
+                count: p.x()?,
+                end: *e == "end",
+            });
+        }
+        ["ss", e @ ("app" | "end"), "ind", t, bh] => {
+            let target = param_from(t).ok_or_else(unknown)?;
+            let behaviour = match *bh {
+                "setadd" => IndirectBehaviour::SetAdd,
+                "setsub" => IndirectBehaviour::SetSub,
+                "setval" => IndirectBehaviour::SetValue,
+                _ => return Err(unknown()),
+            };
+            b.push(Inst::SsAppInd {
+                u: p.v()?,
+                target,
+                behaviour,
+                origin: p.v()?,
+                end: *e == "end",
+            });
+        }
+        ["ss", "suspend" | "resume" | "stop"] => {
+            let op = match parts[1] {
+                "suspend" => StreamCtl::Suspend,
+                "resume" => StreamCtl::Resume,
+                _ => StreamCtl::Stop,
+            };
+            b.push(Inst::SsCtl { op, u: p.v()? });
+        }
+        ["ss", "getvl", w] if width_of(w).is_some() => {
+            b.push(Inst::SsGetVl {
+                rd: p.x()?,
+                width: width_of(w).unwrap(),
+            });
+        }
+        ["ss", "setvl", w] if width_of(w).is_some() => {
+            b.push(Inst::SsSetVl {
+                rd: p.x()?,
+                rs: p.x()?,
+                width: width_of(w).unwrap(),
+            });
+        }
+        ["so", "p", "fromvalid"] => {
+            b.push(Inst::PredFromValid {
+                pd: p.p()?,
+                vs: p.v()?,
+            });
+        }
+        ["ss", "load", w] if width_of(w).is_some() => {
+            b.push(Inst::VLoadPost {
+                vd: p.v()?,
+                base: p.x()?,
+                width: width_of(w).unwrap(),
+                pred: p.p()?,
+            });
+        }
+        ["ss", "store", w] if width_of(w).is_some() => {
+            b.push(Inst::VStorePost {
+                vs: p.v()?,
+                base: p.x()?,
+                width: width_of(w).unwrap(),
+                pred: p.p()?,
+            });
+        }
+        ["so", "cfg", "mem", l] => {
+            let level = match *l {
+                "l1" => MemLevel::L1,
+                "l2" => MemLevel::L2,
+                "dram" => MemLevel::Mem,
+                _ => return Err(unknown()),
+            };
+            b.push(Inst::SsCfgMem { u: p.v()?, level });
+        }
+        // ---- stream / predicate branches ----
+        ["so", "b", "nend" | "end"] => {
+            let cond = if parts[2] == "nend" {
+                StreamCond::NotEnd
+            } else {
+                StreamCond::End
+            };
+            let u = p.v()?;
+            let t = p.target()?;
+            push_branch(b, Inst::SsBranch { cond, u, target: 0 }, t);
+        }
+        ["so", "b", dim, e @ ("nend" | "end")] if dim.starts_with("dim") => {
+            let k: u8 = dim[3..].parse().map_err(|_| unknown())?;
+            let cond = if *e == "nend" {
+                StreamCond::DimNotEnd(k)
+            } else {
+                StreamCond::DimEnd(k)
+            };
+            let u = p.v()?;
+            let t = p.target()?;
+            push_branch(b, Inst::SsBranch { cond, u, target: 0 }, t);
+        }
+        ["so", "b", c @ ("pfirst" | "pany" | "pnone")] => {
+            let cond = match *c {
+                "pfirst" => PredCond::First,
+                "pany" => PredCond::Any,
+                _ => PredCond::None,
+            };
+            let pr = p.p()?;
+            let t = p.target()?;
+            push_branch(
+                b,
+                Inst::BrPred {
+                    cond,
+                    p: pr,
+                    target: 0,
+                },
+                t,
+            );
+        }
+        // ---- vector data processing ----
+        ["so", "v", "dup", w, ty] if width_of(w).is_some() => {
+            let ty = match *ty {
+                "fp" => VType::Fp,
+                "sg" => VType::Int,
+                _ => return Err(unknown()),
+            };
+            b.push(Inst::VDup {
+                vd: p.v()?,
+                src: p.dup_src()?,
+                width: width_of(w).unwrap(),
+                ty,
+            });
+        }
+        ["so", "v", "mv"] => {
+            b.push(Inst::VMv {
+                vd: p.v()?,
+                vs: p.v()?,
+            });
+        }
+        ["so", "v", "extr", "f", w] if width_of(w).is_some() => {
+            let fd = p.f()?;
+            let (vs, lane) = p.v_lane()?;
+            b.push(Inst::VExtractF {
+                fd,
+                vs,
+                lane,
+                width: width_of(w).unwrap(),
+            });
+        }
+        ["so", "v", "extr", "x", w] if width_of(w).is_some() => {
+            let rd = p.x()?;
+            let (vs, lane) = p.v_lane()?;
+            b.push(Inst::VExtractX {
+                rd,
+                vs,
+                lane,
+                width: width_of(w).unwrap(),
+            });
+        }
+        ["so", "a", "mac", "vs", w, ty] if width_of(w).is_some() => {
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VMacVS {
+                ty,
+                width: width_of(w).unwrap(),
+                vd: p.v()?,
+                vs1: p.v()?,
+                scalar: p.dup_src()?,
+                pred: p.p()?,
+            });
+        }
+        ["so", "a", "mac", w, ty] if width_of(w).is_some() => {
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VMac {
+                ty,
+                width: width_of(w).unwrap(),
+                vd: p.v()?,
+                vs1: p.v()?,
+                vs2: p.v()?,
+                pred: p.p()?,
+            });
+        }
+        ["so", "a", h @ ("hadd" | "hmax" | "hmin"), w, ty] if width_of(w).is_some() => {
+            let op = match *h {
+                "hadd" => HorizOp::Add,
+                "hmax" => HorizOp::Max,
+                _ => HorizOp::Min,
+            };
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VRed {
+                op,
+                ty,
+                width: width_of(w).unwrap(),
+                vd: p.v()?,
+                vs: p.v()?,
+                pred: p.p()?,
+            });
+        }
+        ["so", "a", u @ ("abs" | "neg" | "sqrt" | "mvp"), w, ty] if width_of(w).is_some() => {
+            let op = match *u {
+                "abs" => VUnOp::Abs,
+                "neg" => VUnOp::Neg,
+                "sqrt" => VUnOp::Sqrt,
+                _ => VUnOp::Mv,
+            };
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VUn {
+                op,
+                ty,
+                width: width_of(w).unwrap(),
+                vd: p.v()?,
+                vs: p.v()?,
+                pred: p.p()?,
+            });
+        }
+        ["so", "a", op, "vs", w, ty] if vop_from(op).is_some() && width_of(w).is_some() => {
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VArithVS {
+                op: vop_from(op).unwrap(),
+                ty,
+                width: width_of(w).unwrap(),
+                vd: p.v()?,
+                vs1: p.v()?,
+                scalar: p.dup_src()?,
+                pred: p.p()?,
+            });
+        }
+        ["so", "a", op, w, ty] if vop_from(op).is_some() && width_of(w).is_some() => {
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VArith {
+                op: vop_from(op).unwrap(),
+                ty,
+                width: width_of(w).unwrap(),
+                vd: p.v()?,
+                vs1: p.v()?,
+                vs2: p.v()?,
+                pred: p.p()?,
+            });
+        }
+        ["so", "p", "mov" | "not"] => {
+            let op = if parts[2] == "mov" {
+                PredOp::Mov
+            } else {
+                PredOp::Not
+            };
+            let pd = p.p()?;
+            let ps1 = p.p()?;
+            b.push(Inst::PredAlu {
+                op,
+                pd,
+                ps1,
+                ps2: PReg::P0,
+            });
+        }
+        ["so", "p", "and" | "or"] => {
+            let op = if parts[2] == "and" {
+                PredOp::And
+            } else {
+                PredOp::Or
+            };
+            b.push(Inst::PredAlu {
+                op,
+                pd: p.p()?,
+                ps1: p.p()?,
+                ps2: p.p()?,
+            });
+        }
+        ["so", "p", c, w, ty] if width_of(w).is_some() => {
+            let op = match *c {
+                "eq" => VCmpOp::Eq,
+                "ne" => VCmpOp::Ne,
+                "lt" => VCmpOp::Lt,
+                "le" => VCmpOp::Le,
+                "gt" => VCmpOp::Gt,
+                "ge" => VCmpOp::Ge,
+                _ => return Err(unknown()),
+            };
+            let ty = vtype(ty).ok_or_else(unknown)?;
+            b.push(Inst::VCmp {
+                op,
+                ty,
+                width: width_of(w).unwrap(),
+                pd: p.p()?,
+                vs1: p.v()?,
+                vs2: p.v()?,
+            });
+        }
+        // ---- SVE-like ----
+        ["vl1", w] if width_of(w).is_some() => {
+            b.push(Inst::VLoad {
+                vd: p.v()?,
+                base: p.x()?,
+                index: p.x()?,
+                width: width_of(w).unwrap(),
+                pred: p.p()?,
+            });
+        }
+        ["vs1", w] if width_of(w).is_some() => {
+            b.push(Inst::VStore {
+                vs: p.v()?,
+                base: p.x()?,
+                index: p.x()?,
+                width: width_of(w).unwrap(),
+                pred: p.p()?,
+            });
+        }
+        ["vgather", w] if width_of(w).is_some() => {
+            b.push(Inst::VGather {
+                vd: p.v()?,
+                base: p.x()?,
+                idx: p.v()?,
+                width: width_of(w).unwrap(),
+                pred: p.p()?,
+            });
+        }
+        ["vscatter", w] if width_of(w).is_some() => {
+            b.push(Inst::VScatter {
+                vs: p.v()?,
+                base: p.x()?,
+                idx: p.v()?,
+                width: width_of(w).unwrap(),
+                pred: p.p()?,
+            });
+        }
+        ["whilelt", w] if width_of(w).is_some() => {
+            b.push(Inst::WhileLt {
+                pd: p.p()?,
+                rs1: p.x()?,
+                rs2: p.x()?,
+                width: width_of(w).unwrap(),
+            });
+        }
+        ["incvl", w] if width_of(w).is_some() => {
+            b.push(Inst::IncVl {
+                rd: p.x()?,
+                width: width_of(w).unwrap(),
+            });
+        }
+        ["cntvl", w] if width_of(w).is_some() => {
+            b.push(Inst::CntVl {
+                rd: p.x()?,
+                width: width_of(w).unwrap(),
+            });
+        }
+        _ => {
+            // Plain scalar ALU (register or immediate form).
+            if let Some(op) = alu_from(parts[0]) {
+                if parts.len() == 1 {
+                    let rd = p.x()?;
+                    let rs1 = p.x()?;
+                    b.push(Inst::Alu { op, rd, rs1, rs2: p.x()? });
+                    return Ok(());
+                }
+            }
+            if parts.len() == 1 && parts[0].ends_with('i') {
+                if let Some(op) = alu_from(&parts[0][..parts[0].len() - 1]) {
+                    let rd = p.x()?;
+                    let rs1 = p.x()?;
+                    let imm = p.imm()? as i32;
+                    b.push(Inst::AluImm { op, rd, rs1, imm });
+                    return Ok(());
+                }
+            }
+            return Err(unknown());
+        }
+    }
+    Ok(())
+}
+
+fn vtype(s: &str) -> Option<VType> {
+    match s {
+        "fp" => Some(VType::Fp),
+        "sg" => Some(VType::Int),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saxpy_assembles() {
+        // The paper's Fig. 4 saxpy loop.
+        let text = "
+saxpy:
+    ss.ld.w u0, x11, x10, x13
+    ss.ld.w u1, x12, x10, x13
+    ss.st.w u2, x12, x10, x13
+    so.v.dup.w.fp u3, f10
+loop:
+    so.a.mul.w.fp u4, u3, u0, p0
+    so.a.add.w.fp u2, u4, u1, p0
+    so.b.nend u0, loop
+    halt
+";
+        let p = assemble("saxpy", text).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.label("loop"), Some(4));
+        assert_eq!(p.fetch(6).unwrap().branch_target(), Some(4));
+    }
+
+    #[test]
+    fn disassemble_reassemble_roundtrip() {
+        let text = "
+    li x10, 64
+    ss.ld.w.sta u0, x11, x10, x13
+    ss.end u0, x0, x10, x13
+    so.a.mac.w.fp u2, u0, u1, p0
+    so.b.dim0.end u0, 6
+    whilelt.w p1, x10, x11
+    vl1.w u1, x11, x10, p1
+    halt
+";
+        let p1 = assemble("t", text).unwrap();
+        let dis = disassemble_program(&p1);
+        let p2 = assemble("t", &dis).unwrap();
+        assert_eq!(p1.insts(), p2.insts());
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("t", "\n  bogus x0, x1\n").unwrap_err();
+        match err {
+            AsmError::UnknownMnemonic { line, mnemonic } => {
+                assert_eq!(line, 2);
+                assert_eq!(mnemonic, "bogus");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_operand_reports_detail() {
+        let err = assemble("t", "add x1, x2").unwrap_err();
+        assert!(matches!(err, AsmError::BadOperands { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let p = assemble("t", "; comment\n# another\n\n  halt ; trailing\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn memory_ops_parse_address_syntax() {
+        let p = assemble("t", "ld.w x10, 8(x11)\nst.d x10, -16(x2)\nhalt").unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::Ld {
+                rd: XReg::A0,
+                base: XReg::A1,
+                off: 8,
+                width: ElemWidth::Word
+            }
+        );
+        assert_eq!(
+            p.fetch(1).unwrap(),
+            Inst::St {
+                src: XReg::A0,
+                base: XReg::SP,
+                off: -16,
+                width: ElemWidth::Double
+            }
+        );
+    }
+
+    #[test]
+    fn modifier_config_parses() {
+        let p = assemble(
+            "t",
+            "ss.end.mod.size.add u0, x10, x11\nss.end.ind.off.setadd u1, u2\nhalt",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.fetch(0).unwrap(),
+            Inst::SsAppMod {
+                target: Param::Size,
+                behaviour: Behaviour::Add,
+                end: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.fetch(1).unwrap(),
+            Inst::SsAppInd {
+                target: Param::Offset,
+                behaviour: IndirectBehaviour::SetAdd,
+                end: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn extract_lane_syntax() {
+        let p = assemble("t", "so.v.extr.f.w f1, u2[3]\nhalt").unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::VExtractF {
+                fd: FReg::new(1),
+                vs: VReg::new(2),
+                lane: 3,
+                width: ElemWidth::Word
+            }
+        );
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("t", "addi x10, x0, 0x7f\nhalt").unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: 0x7f
+            }
+        );
+    }
+}

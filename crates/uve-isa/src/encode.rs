@@ -1,0 +1,1353 @@
+//! 32-bit binary instruction encoding.
+//!
+//! The paper reserves RISC-V opcode space for UVE but does not publish bit
+//! layouts, so this crate defines its own dense little-endian field packing:
+//! a 6-bit major opcode in the least-significant bits followed by
+//! variant-specific fields. Branch targets are encoded PC-relative
+//! (13 bits for conditional forms, 21 bits for `jal`), predicates in
+//! data-processing instructions are limited to `p0`–`p7` (3 bits), matching
+//! the paper's register-pressure design.
+//!
+//! [`encode`] and [`decode`] round-trip for every encodable instruction;
+//! range violations are reported as typed errors rather than silently
+//! truncated.
+
+use crate::inst::*;
+use crate::reg::{FReg, PReg, VReg, XReg};
+use std::fmt;
+use uve_stream::{Behaviour, ElemWidth, IndirectBehaviour, Param};
+
+/// Error raised by [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate exceeds its field width.
+    ImmOutOfRange {
+        /// Field width in bits (signed).
+        bits: u32,
+        /// Offending value.
+        value: i64,
+    },
+    /// A branch target is out of PC-relative range.
+    TargetOutOfRange {
+        /// Offending displacement in instructions.
+        rel: i64,
+    },
+    /// A data-processing predicate above `p7` cannot be encoded.
+    PredOutOfRange {
+        /// Offending predicate number.
+        pred: u8,
+    },
+    /// A lane index exceeding 63 cannot be encoded.
+    LaneOutOfRange {
+        /// Offending lane.
+        lane: u8,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { bits, value } => {
+                write!(f, "immediate {value} does not fit in {bits} signed bits")
+            }
+            EncodeError::TargetOutOfRange { rel } => {
+                write!(f, "branch displacement {rel} out of range")
+            }
+            EncodeError::PredOutOfRange { pred } => {
+                write!(f, "predicate p{pred} not encodable (data processing uses p0-p7)")
+            }
+            EncodeError::LaneOutOfRange { lane } => write!(f, "lane {lane} not encodable"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error raised by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The major opcode is not assigned.
+    BadOpcode(u32),
+    /// A register/enumeration field holds an invalid value.
+    BadField {
+        /// Major opcode of the word.
+        opcode: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unassigned opcode {op}"),
+            DecodeError::BadField { opcode } => write!(f, "invalid field in opcode {opcode}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct W {
+    word: u32,
+    pos: u32,
+}
+
+impl W {
+    fn new(opcode: u32) -> Self {
+        debug_assert!(opcode < 64);
+        Self {
+            word: opcode,
+            pos: 6,
+        }
+    }
+
+    fn u(&mut self, v: u32, bits: u32) {
+        debug_assert!(v < (1 << bits), "field overflow: {v} in {bits} bits");
+        debug_assert!(self.pos + bits <= 32, "word overflow");
+        self.word |= v << self.pos;
+        self.pos += bits;
+    }
+
+    fn s(&mut self, v: i64, bits: u32) -> Result<(), EncodeError> {
+        let min = -(1i64 << (bits - 1));
+        let max = (1i64 << (bits - 1)) - 1;
+        if v < min || v > max {
+            return Err(EncodeError::ImmOutOfRange { bits, value: v });
+        }
+        self.u((v as u64 & ((1u64 << bits) - 1)) as u32, bits);
+        Ok(())
+    }
+}
+
+struct R {
+    word: u32,
+    pos: u32,
+}
+
+impl R {
+    fn new(word: u32) -> (u32, Self) {
+        (word & 0x3f, Self { word, pos: 6 })
+    }
+
+    fn u(&mut self, bits: u32) -> u32 {
+        let v = (self.word >> self.pos) & ((1u32 << bits) - 1).max(u32::from(bits == 32));
+        let v = if bits == 32 { self.word >> self.pos } else { v };
+        self.pos += bits;
+        v
+    }
+
+    fn s(&mut self, bits: u32) -> i64 {
+        let raw = self.u(bits) as i64;
+        let sign = 1i64 << (bits - 1);
+        (raw ^ sign) - sign
+    }
+}
+
+fn width_bits(w: ElemWidth) -> u32 {
+    match w {
+        ElemWidth::Byte => 0,
+        ElemWidth::Half => 1,
+        ElemWidth::Word => 2,
+        ElemWidth::Double => 3,
+    }
+}
+
+fn width_from(v: u32) -> ElemWidth {
+    match v {
+        0 => ElemWidth::Byte,
+        1 => ElemWidth::Half,
+        2 => ElemWidth::Word,
+        _ => ElemWidth::Double,
+    }
+}
+
+fn rel_target(target: u32, pc: u32, bits: u32) -> Result<i64, EncodeError> {
+    let rel = i64::from(target) - i64::from(pc);
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if rel < min || rel > max {
+        return Err(EncodeError::TargetOutOfRange { rel });
+    }
+    Ok(rel)
+}
+
+fn abs_target(rel: i64, pc: u32) -> u32 {
+    (i64::from(pc) + rel) as u32
+}
+
+fn pred3(p: PReg) -> Result<u32, EncodeError> {
+    if p.num() >= 8 {
+        return Err(EncodeError::PredOutOfRange { pred: p.num() });
+    }
+    Ok(u32::from(p.num()))
+}
+
+// Major opcodes.
+const OP_ALU: u32 = 0;
+const OP_ALUI: u32 = 1;
+const OP_LUI: u32 = 2;
+const OP_LD: u32 = 3;
+const OP_ST: u32 = 4;
+const OP_FLD: u32 = 5;
+const OP_FST: u32 = 6;
+const OP_FALU: u32 = 7;
+const OP_FMAC: u32 = 8;
+const OP_FUN: u32 = 9;
+const OP_FMVXF: u32 = 10;
+const OP_FMVFX: u32 = 11;
+const OP_FCVTFX: u32 = 12;
+const OP_FCVTXF: u32 = 13;
+const OP_BRANCH: u32 = 14;
+const OP_JAL: u32 = 15;
+const OP_HALT: u32 = 16;
+const OP_NOP: u32 = 17;
+const OP_SS_START: u32 = 18;
+const OP_SS_APP: u32 = 19;
+const OP_SS_APP_MOD: u32 = 20;
+const OP_SS_APP_IND: u32 = 21;
+const OP_SS_CTL: u32 = 22;
+const OP_SS_CFG_MEM: u32 = 23;
+const OP_SS_BRANCH: u32 = 24;
+const OP_SS_GETVL: u32 = 25;
+const OP_VDUP: u32 = 26;
+const OP_VMV: u32 = 27;
+const OP_VUN: u32 = 28;
+const OP_VARITH: u32 = 29;
+const OP_VARITH_VS: u32 = 30;
+const OP_VMAC: u32 = 31;
+const OP_VRED: u32 = 32;
+const OP_VCMP: u32 = 33;
+const OP_PRED_ALU: u32 = 34;
+const OP_BR_PRED: u32 = 35;
+const OP_VEXTRACT_F: u32 = 36;
+const OP_VEXTRACT_X: u32 = 37;
+const OP_VLOAD: u32 = 38;
+const OP_VSTORE: u32 = 39;
+const OP_VGATHER: u32 = 40;
+const OP_VSCATTER: u32 = 41;
+const OP_WHILELT: u32 = 42;
+const OP_INCVL: u32 = 43;
+const OP_CNTVL: u32 = 44;
+const OP_VLOAD_POST: u32 = 45;
+const OP_VSTORE_POST: u32 = 46;
+const OP_VMAC_VS: u32 = 47;
+const OP_SS_SETVL: u32 = 48;
+const OP_PRED_FROM_VALID: u32 = 49;
+
+/// Encodes `inst` (located at instruction index `pc`) into a 32-bit word.
+///
+/// # Errors
+///
+/// Returns an error for out-of-range immediates, branch displacements, data
+/// predicates above `p7`, or lanes above 63.
+#[allow(clippy::too_many_lines)]
+pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
+    use Inst::*;
+    let mut w;
+    match *inst {
+        Alu { op, rd, rs1, rs2 } => {
+            w = W::new(OP_ALU);
+            w.u(op as u32, 4);
+            w.u(rd.num().into(), 5);
+            w.u(rs1.num().into(), 5);
+            w.u(rs2.num().into(), 5);
+        }
+        AluImm { op, rd, rs1, imm } => {
+            w = W::new(OP_ALUI);
+            w.u(op as u32, 4);
+            w.u(rd.num().into(), 5);
+            w.u(rs1.num().into(), 5);
+            w.s(imm.into(), 12)?;
+        }
+        Lui { rd, imm } => {
+            w = W::new(OP_LUI);
+            w.u(rd.num().into(), 5);
+            w.s(imm.into(), 20)?;
+        }
+        Ld { rd, base, off, width } => {
+            w = W::new(OP_LD);
+            w.u(rd.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.s(off.into(), 12)?;
+            w.u(width_bits(width), 2);
+        }
+        St { src, base, off, width } => {
+            w = W::new(OP_ST);
+            w.u(src.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.s(off.into(), 12)?;
+            w.u(width_bits(width), 2);
+        }
+        Fld { fd, base, off, width } => {
+            w = W::new(OP_FLD);
+            w.u(fd.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.s(off.into(), 12)?;
+            w.u(width_bits(width), 2);
+        }
+        Fst { src, base, off, width } => {
+            w = W::new(OP_FST);
+            w.u(src.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.s(off.into(), 12)?;
+            w.u(width_bits(width), 2);
+        }
+        FAlu { op, width, fd, fs1, fs2 } => {
+            w = W::new(OP_FALU);
+            w.u(op as u32, 3);
+            w.u(width_bits(width), 2);
+            w.u(fd.num().into(), 5);
+            w.u(fs1.num().into(), 5);
+            w.u(fs2.num().into(), 5);
+        }
+        FMac { width, fd, fs1, fs2, fs3 } => {
+            w = W::new(OP_FMAC);
+            w.u(width_bits(width), 2);
+            w.u(fd.num().into(), 5);
+            w.u(fs1.num().into(), 5);
+            w.u(fs2.num().into(), 5);
+            w.u(fs3.num().into(), 5);
+        }
+        FUn { op, width, fd, fs } => {
+            w = W::new(OP_FUN);
+            w.u(op as u32, 2);
+            w.u(width_bits(width), 2);
+            w.u(fd.num().into(), 5);
+            w.u(fs.num().into(), 5);
+        }
+        FMvXF { rd, fs } => {
+            w = W::new(OP_FMVXF);
+            w.u(rd.num().into(), 5);
+            w.u(fs.num().into(), 5);
+        }
+        FMvFX { fd, rs } => {
+            w = W::new(OP_FMVFX);
+            w.u(fd.num().into(), 5);
+            w.u(rs.num().into(), 5);
+        }
+        FCvtFX { width, fd, rs } => {
+            w = W::new(OP_FCVTFX);
+            w.u(width_bits(width), 2);
+            w.u(fd.num().into(), 5);
+            w.u(rs.num().into(), 5);
+        }
+        FCvtXF { width, rd, fs } => {
+            w = W::new(OP_FCVTXF);
+            w.u(width_bits(width), 2);
+            w.u(rd.num().into(), 5);
+            w.u(fs.num().into(), 5);
+        }
+        Branch { cond, rs1, rs2, target } => {
+            w = W::new(OP_BRANCH);
+            w.u(cond as u32, 3);
+            w.u(rs1.num().into(), 5);
+            w.u(rs2.num().into(), 5);
+            w.s(rel_target(target, pc, 13)?, 13)?;
+        }
+        Jal { rd, target } => {
+            w = W::new(OP_JAL);
+            w.u(rd.num().into(), 5);
+            w.s(rel_target(target, pc, 21)?, 21)?;
+        }
+        Halt => w = W::new(OP_HALT),
+        Nop => w = W::new(OP_NOP),
+        SsStart { u, dir, width, base, size, stride, done } => {
+            w = W::new(OP_SS_START);
+            w.u(u.num().into(), 5);
+            w.u(matches!(dir, Dir::Store).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(base.num().into(), 5);
+            w.u(size.num().into(), 5);
+            w.u(stride.num().into(), 5);
+            w.u(done.into(), 1);
+        }
+        SsApp { u, offset, size, stride, end } => {
+            w = W::new(OP_SS_APP);
+            w.u(u.num().into(), 5);
+            w.u(offset.num().into(), 5);
+            w.u(size.num().into(), 5);
+            w.u(stride.num().into(), 5);
+            w.u(end.into(), 1);
+        }
+        SsAppMod { u, target, behaviour, disp, count, end } => {
+            w = W::new(OP_SS_APP_MOD);
+            w.u(u.num().into(), 5);
+            w.u(target as u32, 2);
+            w.u(matches!(behaviour, Behaviour::Sub).into(), 1);
+            w.u(disp.num().into(), 5);
+            w.u(count.num().into(), 5);
+            w.u(end.into(), 1);
+        }
+        SsAppInd { u, target, behaviour, origin, end } => {
+            w = W::new(OP_SS_APP_IND);
+            w.u(u.num().into(), 5);
+            w.u(target as u32, 2);
+            w.u(behaviour as u32, 2);
+            w.u(origin.num().into(), 5);
+            w.u(end.into(), 1);
+        }
+        SsCtl { op, u } => {
+            w = W::new(OP_SS_CTL);
+            w.u(op as u32, 2);
+            w.u(u.num().into(), 5);
+        }
+        SsCfgMem { u, level } => {
+            w = W::new(OP_SS_CFG_MEM);
+            w.u(u.num().into(), 5);
+            w.u(level as u32, 2);
+        }
+        SsBranch { cond, u, target } => {
+            w = W::new(OP_SS_BRANCH);
+            let (kind, dim) = match cond {
+                StreamCond::NotEnd => (0, 0),
+                StreamCond::End => (1, 0),
+                StreamCond::DimNotEnd(k) => (2, k),
+                StreamCond::DimEnd(k) => (3, k),
+            };
+            w.u(kind, 2);
+            w.u(dim.into(), 3);
+            w.u(u.num().into(), 5);
+            w.s(rel_target(target, pc, 13)?, 13)?;
+        }
+        SsGetVl { rd, width } => {
+            w = W::new(OP_SS_GETVL);
+            w.u(rd.num().into(), 5);
+            w.u(width_bits(width), 2);
+        }
+        SsSetVl { rd, rs, width } => {
+            w = W::new(OP_SS_SETVL);
+            w.u(rd.num().into(), 5);
+            w.u(rs.num().into(), 5);
+            w.u(width_bits(width), 2);
+        }
+        PredFromValid { pd, vs } => {
+            w = W::new(OP_PRED_FROM_VALID);
+            w.u(pd.num().into(), 4);
+            w.u(vs.num().into(), 5);
+        }
+        VDup { vd, src, width, ty } => {
+            w = W::new(OP_VDUP);
+            w.u(vd.num().into(), 5);
+            let (is_f, r) = match src {
+                DupSrc::X(r) => (0, r.num()),
+                DupSrc::F(r) => (1, r.num()),
+            };
+            w.u(is_f, 1);
+            w.u(r.into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+        }
+        VMv { vd, vs } => {
+            w = W::new(OP_VMV);
+            w.u(vd.num().into(), 5);
+            w.u(vs.num().into(), 5);
+        }
+        VUn { op, ty, width, vd, vs, pred } => {
+            w = W::new(OP_VUN);
+            w.u(op as u32, 2);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(vd.num().into(), 5);
+            w.u(vs.num().into(), 5);
+            w.u(pred3(pred)?, 3);
+        }
+        VArith { op, ty, width, vd, vs1, vs2, pred } => {
+            w = W::new(OP_VARITH);
+            w.u(op as u32, 4);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(vd.num().into(), 5);
+            w.u(vs1.num().into(), 5);
+            w.u(vs2.num().into(), 5);
+            w.u(pred3(pred)?, 3);
+        }
+        VArithVS { op, ty, width, vd, vs1, scalar, pred } => {
+            w = W::new(OP_VARITH_VS);
+            w.u(op as u32, 4);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(vd.num().into(), 5);
+            w.u(vs1.num().into(), 5);
+            let (is_f, r) = match scalar {
+                DupSrc::X(r) => (0, r.num()),
+                DupSrc::F(r) => (1, r.num()),
+            };
+            w.u(is_f, 1);
+            w.u(r.into(), 5);
+            w.u(pred3(pred)?, 3);
+        }
+        VMacVS { ty, width, vd, vs1, scalar, pred } => {
+            w = W::new(OP_VMAC_VS);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(vd.num().into(), 5);
+            w.u(vs1.num().into(), 5);
+            let (is_f, r) = match scalar {
+                DupSrc::X(r) => (0, r.num()),
+                DupSrc::F(r) => (1, r.num()),
+            };
+            w.u(is_f, 1);
+            w.u(r.into(), 5);
+            w.u(pred3(pred)?, 3);
+        }
+        VMac { ty, width, vd, vs1, vs2, pred } => {
+            w = W::new(OP_VMAC);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(vd.num().into(), 5);
+            w.u(vs1.num().into(), 5);
+            w.u(vs2.num().into(), 5);
+            w.u(pred3(pred)?, 3);
+        }
+        VRed { op, ty, width, vd, vs, pred } => {
+            w = W::new(OP_VRED);
+            w.u(op as u32, 2);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(vd.num().into(), 5);
+            w.u(vs.num().into(), 5);
+            w.u(pred3(pred)?, 3);
+        }
+        VCmp { op, ty, width, pd, vs1, vs2 } => {
+            w = W::new(OP_VCMP);
+            w.u(op as u32, 3);
+            w.u(matches!(ty, VType::Fp).into(), 1);
+            w.u(width_bits(width), 2);
+            w.u(pd.num().into(), 4);
+            w.u(vs1.num().into(), 5);
+            w.u(vs2.num().into(), 5);
+        }
+        PredAlu { op, pd, ps1, ps2 } => {
+            w = W::new(OP_PRED_ALU);
+            w.u(op as u32, 2);
+            w.u(pd.num().into(), 4);
+            w.u(ps1.num().into(), 4);
+            w.u(ps2.num().into(), 4);
+        }
+        BrPred { cond, p, target } => {
+            w = W::new(OP_BR_PRED);
+            w.u(cond as u32, 2);
+            w.u(p.num().into(), 4);
+            w.s(rel_target(target, pc, 13)?, 13)?;
+        }
+        VExtractF { fd, vs, lane, width } => {
+            if lane >= 64 {
+                return Err(EncodeError::LaneOutOfRange { lane });
+            }
+            w = W::new(OP_VEXTRACT_F);
+            w.u(fd.num().into(), 5);
+            w.u(vs.num().into(), 5);
+            w.u(lane.into(), 6);
+            w.u(width_bits(width), 2);
+        }
+        VExtractX { rd, vs, lane, width } => {
+            if lane >= 64 {
+                return Err(EncodeError::LaneOutOfRange { lane });
+            }
+            w = W::new(OP_VEXTRACT_X);
+            w.u(rd.num().into(), 5);
+            w.u(vs.num().into(), 5);
+            w.u(lane.into(), 6);
+            w.u(width_bits(width), 2);
+        }
+        VLoad { vd, base, index, width, pred } => {
+            w = W::new(OP_VLOAD);
+            w.u(vd.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.u(index.num().into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(pred3(pred)?, 3);
+        }
+        VStore { vs, base, index, width, pred } => {
+            w = W::new(OP_VSTORE);
+            w.u(vs.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.u(index.num().into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(pred3(pred)?, 3);
+        }
+        VGather { vd, base, idx, width, pred } => {
+            w = W::new(OP_VGATHER);
+            w.u(vd.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.u(idx.num().into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(pred3(pred)?, 3);
+        }
+        VScatter { vs, base, idx, width, pred } => {
+            w = W::new(OP_VSCATTER);
+            w.u(vs.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.u(idx.num().into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(pred3(pred)?, 3);
+        }
+        WhileLt { pd, rs1, rs2, width } => {
+            w = W::new(OP_WHILELT);
+            w.u(pd.num().into(), 4);
+            w.u(rs1.num().into(), 5);
+            w.u(rs2.num().into(), 5);
+            w.u(width_bits(width), 2);
+        }
+        IncVl { rd, width } => {
+            w = W::new(OP_INCVL);
+            w.u(rd.num().into(), 5);
+            w.u(width_bits(width), 2);
+        }
+        CntVl { rd, width } => {
+            w = W::new(OP_CNTVL);
+            w.u(rd.num().into(), 5);
+            w.u(width_bits(width), 2);
+        }
+        VLoadPost { vd, base, width, pred } => {
+            w = W::new(OP_VLOAD_POST);
+            w.u(vd.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(pred3(pred)?, 3);
+        }
+        VStorePost { vs, base, width, pred } => {
+            w = W::new(OP_VSTORE_POST);
+            w.u(vs.num().into(), 5);
+            w.u(base.num().into(), 5);
+            w.u(width_bits(width), 2);
+            w.u(pred3(pred)?, 3);
+        }
+    }
+    Ok(w.word)
+}
+
+fn alu_op(v: u32) -> AluOp {
+    use AluOp::*;
+    [
+        Add, Sub, Mul, Mulh, Div, Rem, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Min, Max,
+    ][v as usize]
+}
+
+fn vop(v: u32) -> Option<VOp> {
+    use VOp::*;
+    [Add, Sub, Mul, Div, Min, Max, And, Or, Xor, Shl, Shr]
+        .get(v as usize)
+        .copied()
+}
+
+/// Decodes a 32-bit word located at instruction index `pc`.
+///
+/// # Errors
+///
+/// Returns an error for unassigned opcodes or malformed fields.
+#[allow(clippy::too_many_lines)]
+pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
+    let (opcode, mut r) = R::new(word);
+    let bad = DecodeError::BadField { opcode };
+    let x = |v: u32| XReg::try_new(v as u8).ok_or(bad);
+    let f = |v: u32| FReg::try_new(v as u8).ok_or(bad);
+    let v = |n: u32| VReg::try_new(n as u8).ok_or(bad);
+    let p = |n: u32| PReg::try_new(n as u8).ok_or(bad);
+    Ok(match opcode {
+        OP_ALU => {
+            let op = alu_op(r.u(4));
+            Inst::Alu {
+                op,
+                rd: x(r.u(5))?,
+                rs1: x(r.u(5))?,
+                rs2: x(r.u(5))?,
+            }
+        }
+        OP_ALUI => {
+            let op = alu_op(r.u(4));
+            Inst::AluImm {
+                op,
+                rd: x(r.u(5))?,
+                rs1: x(r.u(5))?,
+                imm: r.s(12) as i32,
+            }
+        }
+        OP_LUI => Inst::Lui {
+            rd: x(r.u(5))?,
+            imm: r.s(20) as i32,
+        },
+        OP_LD => Inst::Ld {
+            rd: x(r.u(5))?,
+            base: x(r.u(5))?,
+            off: r.s(12) as i32,
+            width: width_from(r.u(2)),
+        },
+        OP_ST => Inst::St {
+            src: x(r.u(5))?,
+            base: x(r.u(5))?,
+            off: r.s(12) as i32,
+            width: width_from(r.u(2)),
+        },
+        OP_FLD => Inst::Fld {
+            fd: f(r.u(5))?,
+            base: x(r.u(5))?,
+            off: r.s(12) as i32,
+            width: width_from(r.u(2)),
+        },
+        OP_FST => Inst::Fst {
+            src: f(r.u(5))?,
+            base: x(r.u(5))?,
+            off: r.s(12) as i32,
+            width: width_from(r.u(2)),
+        },
+        OP_FALU => {
+            let op = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max]
+                .get(r.u(3) as usize)
+                .copied()
+                .ok_or(bad)?;
+            Inst::FAlu {
+                op,
+                width: width_from(r.u(2)),
+                fd: f(r.u(5))?,
+                fs1: f(r.u(5))?,
+                fs2: f(r.u(5))?,
+            }
+        }
+        OP_FMAC => Inst::FMac {
+            width: width_from(r.u(2)),
+            fd: f(r.u(5))?,
+            fs1: f(r.u(5))?,
+            fs2: f(r.u(5))?,
+            fs3: f(r.u(5))?,
+        },
+        OP_FUN => {
+            let op = [FpUnOp::Sqrt, FpUnOp::Abs, FpUnOp::Neg, FpUnOp::Mv][r.u(2) as usize];
+            Inst::FUn {
+                op,
+                width: width_from(r.u(2)),
+                fd: f(r.u(5))?,
+                fs: f(r.u(5))?,
+            }
+        }
+        OP_FMVXF => Inst::FMvXF {
+            rd: x(r.u(5))?,
+            fs: f(r.u(5))?,
+        },
+        OP_FMVFX => Inst::FMvFX {
+            fd: f(r.u(5))?,
+            rs: x(r.u(5))?,
+        },
+        OP_FCVTFX => Inst::FCvtFX {
+            width: width_from(r.u(2)),
+            fd: f(r.u(5))?,
+            rs: x(r.u(5))?,
+        },
+        OP_FCVTXF => Inst::FCvtXF {
+            width: width_from(r.u(2)),
+            rd: x(r.u(5))?,
+            fs: f(r.u(5))?,
+        },
+        OP_BRANCH => {
+            let cond = [
+                BrCond::Eq,
+                BrCond::Ne,
+                BrCond::Lt,
+                BrCond::Ge,
+                BrCond::Ltu,
+                BrCond::Geu,
+            ]
+            .get(r.u(3) as usize)
+            .copied()
+            .ok_or(bad)?;
+            Inst::Branch {
+                cond,
+                rs1: x(r.u(5))?,
+                rs2: x(r.u(5))?,
+                target: abs_target(r.s(13), pc),
+            }
+        }
+        OP_JAL => Inst::Jal {
+            rd: x(r.u(5))?,
+            target: abs_target(r.s(21), pc),
+        },
+        OP_HALT => Inst::Halt,
+        OP_NOP => Inst::Nop,
+        OP_SS_START => Inst::SsStart {
+            u: v(r.u(5))?,
+            dir: if r.u(1) == 1 { Dir::Store } else { Dir::Load },
+            width: width_from(r.u(2)),
+            base: x(r.u(5))?,
+            size: x(r.u(5))?,
+            stride: x(r.u(5))?,
+            done: r.u(1) == 1,
+        },
+        OP_SS_APP => Inst::SsApp {
+            u: v(r.u(5))?,
+            offset: x(r.u(5))?,
+            size: x(r.u(5))?,
+            stride: x(r.u(5))?,
+            end: r.u(1) == 1,
+        },
+        OP_SS_APP_MOD => Inst::SsAppMod {
+            u: v(r.u(5))?,
+            target: [Param::Offset, Param::Size, Param::Stride]
+                .get(r.u(2) as usize)
+                .copied()
+                .ok_or(bad)?,
+            behaviour: if r.u(1) == 1 {
+                Behaviour::Sub
+            } else {
+                Behaviour::Add
+            },
+            disp: x(r.u(5))?,
+            count: x(r.u(5))?,
+            end: r.u(1) == 1,
+        },
+        OP_SS_APP_IND => Inst::SsAppInd {
+            u: v(r.u(5))?,
+            target: [Param::Offset, Param::Size, Param::Stride]
+                .get(r.u(2) as usize)
+                .copied()
+                .ok_or(bad)?,
+            behaviour: [
+                IndirectBehaviour::SetAdd,
+                IndirectBehaviour::SetSub,
+                IndirectBehaviour::SetValue,
+            ]
+            .get(r.u(2) as usize)
+            .copied()
+            .ok_or(bad)?,
+            origin: v(r.u(5))?,
+            end: r.u(1) == 1,
+        },
+        OP_SS_CTL => Inst::SsCtl {
+            op: [StreamCtl::Suspend, StreamCtl::Resume, StreamCtl::Stop]
+                .get(r.u(2) as usize)
+                .copied()
+                .ok_or(bad)?,
+            u: v(r.u(5))?,
+        },
+        OP_SS_CFG_MEM => Inst::SsCfgMem {
+            u: v(r.u(5))?,
+            level: [MemLevel::L1, MemLevel::L2, MemLevel::Mem]
+                .get(r.u(2) as usize)
+                .copied()
+                .ok_or(bad)?,
+        },
+        OP_SS_BRANCH => {
+            let kind = r.u(2);
+            let dim = r.u(3) as u8;
+            let cond = match kind {
+                0 => StreamCond::NotEnd,
+                1 => StreamCond::End,
+                2 => StreamCond::DimNotEnd(dim),
+                _ => StreamCond::DimEnd(dim),
+            };
+            Inst::SsBranch {
+                cond,
+                u: v(r.u(5))?,
+                target: abs_target(r.s(13), pc),
+            }
+        }
+        OP_SS_GETVL => Inst::SsGetVl {
+            rd: x(r.u(5))?,
+            width: width_from(r.u(2)),
+        },
+        OP_SS_SETVL => Inst::SsSetVl {
+            rd: x(r.u(5))?,
+            rs: x(r.u(5))?,
+            width: width_from(r.u(2)),
+        },
+        OP_PRED_FROM_VALID => Inst::PredFromValid {
+            pd: p(r.u(4))?,
+            vs: v(r.u(5))?,
+        },
+        OP_VDUP => {
+            let vd = v(r.u(5))?;
+            let is_f = r.u(1) == 1;
+            let reg = r.u(5);
+            let src = if is_f {
+                DupSrc::F(f(reg)?)
+            } else {
+                DupSrc::X(x(reg)?)
+            };
+            Inst::VDup {
+                vd,
+                src,
+                width: width_from(r.u(2)),
+                ty: if r.u(1) == 1 { VType::Fp } else { VType::Int },
+            }
+        }
+        OP_VMV => Inst::VMv {
+            vd: v(r.u(5))?,
+            vs: v(r.u(5))?,
+        },
+        OP_VUN => {
+            let op = [VUnOp::Abs, VUnOp::Neg, VUnOp::Sqrt, VUnOp::Mv][r.u(2) as usize];
+            Inst::VUn {
+                op,
+                ty: if r.u(1) == 1 { VType::Fp } else { VType::Int },
+                width: width_from(r.u(2)),
+                vd: v(r.u(5))?,
+                vs: v(r.u(5))?,
+                pred: p(r.u(3))?,
+            }
+        }
+        OP_VARITH => {
+            let op = vop(r.u(4)).ok_or(bad)?;
+            Inst::VArith {
+                op,
+                ty: if r.u(1) == 1 { VType::Fp } else { VType::Int },
+                width: width_from(r.u(2)),
+                vd: v(r.u(5))?,
+                vs1: v(r.u(5))?,
+                vs2: v(r.u(5))?,
+                pred: p(r.u(3))?,
+            }
+        }
+        OP_VARITH_VS => {
+            let op = vop(r.u(4)).ok_or(bad)?;
+            let ty = if r.u(1) == 1 { VType::Fp } else { VType::Int };
+            let width = width_from(r.u(2));
+            let vd = v(r.u(5))?;
+            let vs1 = v(r.u(5))?;
+            let is_f = r.u(1) == 1;
+            let reg = r.u(5);
+            let scalar = if is_f {
+                DupSrc::F(f(reg)?)
+            } else {
+                DupSrc::X(x(reg)?)
+            };
+            Inst::VArithVS {
+                op,
+                ty,
+                width,
+                vd,
+                vs1,
+                scalar,
+                pred: p(r.u(3))?,
+            }
+        }
+        OP_VMAC => Inst::VMac {
+            ty: if r.u(1) == 1 { VType::Fp } else { VType::Int },
+            width: width_from(r.u(2)),
+            vd: v(r.u(5))?,
+            vs1: v(r.u(5))?,
+            vs2: v(r.u(5))?,
+            pred: p(r.u(3))?,
+        },
+        OP_VRED => {
+            let op = [HorizOp::Add, HorizOp::Max, HorizOp::Min]
+                .get(r.u(2) as usize)
+                .copied()
+                .ok_or(bad)?;
+            Inst::VRed {
+                op,
+                ty: if r.u(1) == 1 { VType::Fp } else { VType::Int },
+                width: width_from(r.u(2)),
+                vd: v(r.u(5))?,
+                vs: v(r.u(5))?,
+                pred: p(r.u(3))?,
+            }
+        }
+        OP_VCMP => {
+            let op = [
+                VCmpOp::Eq,
+                VCmpOp::Ne,
+                VCmpOp::Lt,
+                VCmpOp::Le,
+                VCmpOp::Gt,
+                VCmpOp::Ge,
+            ]
+            .get(r.u(3) as usize)
+            .copied()
+            .ok_or(bad)?;
+            Inst::VCmp {
+                op,
+                ty: if r.u(1) == 1 { VType::Fp } else { VType::Int },
+                width: width_from(r.u(2)),
+                pd: p(r.u(4))?,
+                vs1: v(r.u(5))?,
+                vs2: v(r.u(5))?,
+            }
+        }
+        OP_PRED_ALU => Inst::PredAlu {
+            op: [PredOp::Mov, PredOp::Not, PredOp::And, PredOp::Or][r.u(2) as usize],
+            pd: p(r.u(4))?,
+            ps1: p(r.u(4))?,
+            ps2: p(r.u(4))?,
+        },
+        OP_BR_PRED => {
+            let cond = [PredCond::First, PredCond::Any, PredCond::None]
+                .get(r.u(2) as usize)
+                .copied()
+                .ok_or(bad)?;
+            Inst::BrPred {
+                cond,
+                p: p(r.u(4))?,
+                target: abs_target(r.s(13), pc),
+            }
+        }
+        OP_VEXTRACT_F => Inst::VExtractF {
+            fd: f(r.u(5))?,
+            vs: v(r.u(5))?,
+            lane: r.u(6) as u8,
+            width: width_from(r.u(2)),
+        },
+        OP_VEXTRACT_X => Inst::VExtractX {
+            rd: x(r.u(5))?,
+            vs: v(r.u(5))?,
+            lane: r.u(6) as u8,
+            width: width_from(r.u(2)),
+        },
+        OP_VLOAD => Inst::VLoad {
+            vd: v(r.u(5))?,
+            base: x(r.u(5))?,
+            index: x(r.u(5))?,
+            width: width_from(r.u(2)),
+            pred: p(r.u(3))?,
+        },
+        OP_VSTORE => Inst::VStore {
+            vs: v(r.u(5))?,
+            base: x(r.u(5))?,
+            index: x(r.u(5))?,
+            width: width_from(r.u(2)),
+            pred: p(r.u(3))?,
+        },
+        OP_VGATHER => Inst::VGather {
+            vd: v(r.u(5))?,
+            base: x(r.u(5))?,
+            idx: v(r.u(5))?,
+            width: width_from(r.u(2)),
+            pred: p(r.u(3))?,
+        },
+        OP_VSCATTER => Inst::VScatter {
+            vs: v(r.u(5))?,
+            base: x(r.u(5))?,
+            idx: v(r.u(5))?,
+            width: width_from(r.u(2)),
+            pred: p(r.u(3))?,
+        },
+        OP_WHILELT => Inst::WhileLt {
+            pd: p(r.u(4))?,
+            rs1: x(r.u(5))?,
+            rs2: x(r.u(5))?,
+            width: width_from(r.u(2)),
+        },
+        OP_INCVL => Inst::IncVl {
+            rd: x(r.u(5))?,
+            width: width_from(r.u(2)),
+        },
+        OP_CNTVL => Inst::CntVl {
+            rd: x(r.u(5))?,
+            width: width_from(r.u(2)),
+        },
+        OP_VLOAD_POST => Inst::VLoadPost {
+            vd: v(r.u(5))?,
+            base: x(r.u(5))?,
+            width: width_from(r.u(2)),
+            pred: p(r.u(3))?,
+        },
+        OP_VMAC_VS => {
+            let ty = if r.u(1) == 1 { VType::Fp } else { VType::Int };
+            let width = width_from(r.u(2));
+            let vd = v(r.u(5))?;
+            let vs1 = v(r.u(5))?;
+            let is_f = r.u(1) == 1;
+            let reg = r.u(5);
+            let scalar = if is_f {
+                DupSrc::F(f(reg)?)
+            } else {
+                DupSrc::X(x(reg)?)
+            };
+            Inst::VMacVS {
+                ty,
+                width,
+                vd,
+                vs1,
+                scalar,
+                pred: p(r.u(3))?,
+            }
+        }
+        OP_VSTORE_POST => Inst::VStorePost {
+            vs: v(r.u(5))?,
+            base: x(r.u(5))?,
+            width: width_from(r.u(2)),
+            pred: p(r.u(3))?,
+        },
+        other => return Err(DecodeError::BadOpcode(other)),
+    })
+}
+
+/// Encodes a whole program into 32-bit words.
+///
+/// # Errors
+///
+/// Returns the first [`EncodeError`] with its instruction index.
+pub fn encode_program(p: &crate::Program) -> Result<Vec<u32>, (u32, EncodeError)> {
+    p.insts()
+        .iter()
+        .enumerate()
+        .map(|(pc, i)| encode(i, pc as u32).map_err(|e| (pc as u32, e)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(i: Inst, pc: u32) {
+        let w = encode(&i, pc).unwrap();
+        let back = decode(w, pc).unwrap();
+        assert_eq!(i, back, "word={w:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_scalar() {
+        rt(
+            Inst::Alu {
+                op: AluOp::Max,
+                rd: XReg::A0,
+                rs1: XReg::T6,
+                rs2: XReg::SP,
+            },
+            0,
+        );
+        rt(
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: -2048,
+            },
+            7,
+        );
+        rt(Inst::Lui { rd: XReg::A1, imm: -1 }, 0);
+        rt(
+            Inst::Ld {
+                rd: XReg::A3,
+                base: XReg::SP,
+                off: -4,
+                width: ElemWidth::Half,
+            },
+            3,
+        );
+        rt(Inst::Halt, 9);
+    }
+
+    #[test]
+    fn roundtrip_branches_relative() {
+        rt(
+            Inst::Branch {
+                cond: BrCond::Ltu,
+                rs1: XReg::A0,
+                rs2: XReg::A1,
+                target: 2,
+            },
+            100,
+        );
+        rt(Inst::Jal { rd: XReg::RA, target: 5000 }, 2);
+        rt(
+            Inst::SsBranch {
+                cond: StreamCond::DimEnd(5),
+                u: VReg::new(31),
+                target: 4,
+            },
+            10,
+        );
+        rt(
+            Inst::BrPred {
+                cond: PredCond::None,
+                p: PReg::new(9),
+                target: 0,
+            },
+            1,
+        );
+    }
+
+    #[test]
+    fn roundtrip_streams() {
+        rt(
+            Inst::SsStart {
+                u: VReg::new(17),
+                dir: Dir::Store,
+                width: ElemWidth::Double,
+                base: XReg::A1,
+                size: XReg::A2,
+                stride: XReg::A3,
+                done: false,
+            },
+            0,
+        );
+        rt(
+            Inst::SsAppMod {
+                u: VReg::new(1),
+                target: Param::Stride,
+                behaviour: Behaviour::Sub,
+                disp: XReg::T0,
+                count: XReg::T1,
+                end: true,
+            },
+            0,
+        );
+        rt(
+            Inst::SsAppInd {
+                u: VReg::new(2),
+                target: Param::Offset,
+                behaviour: IndirectBehaviour::SetValue,
+                origin: VReg::new(3),
+                end: false,
+            },
+            0,
+        );
+        rt(
+            Inst::SsCtl {
+                op: StreamCtl::Resume,
+                u: VReg::new(30),
+            },
+            0,
+        );
+        rt(
+            Inst::SsCfgMem {
+                u: VReg::new(4),
+                level: MemLevel::Mem,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn roundtrip_vector() {
+        rt(
+            Inst::VArith {
+                op: VOp::Shr,
+                ty: VType::Int,
+                width: ElemWidth::Byte,
+                vd: VReg::new(31),
+                vs1: VReg::new(30),
+                vs2: VReg::new(29),
+                pred: PReg::new(7),
+            },
+            0,
+        );
+        rt(
+            Inst::VArithVS {
+                op: VOp::Mul,
+                ty: VType::Fp,
+                width: ElemWidth::Word,
+                vd: VReg::new(1),
+                vs1: VReg::new(2),
+                scalar: DupSrc::F(FReg::FA0),
+                pred: PReg::P0,
+            },
+            0,
+        );
+        rt(
+            Inst::VMacVS {
+                ty: VType::Fp,
+                width: ElemWidth::Word,
+                vd: VReg::new(3),
+                vs1: VReg::new(4),
+                scalar: DupSrc::F(FReg::new(11)),
+                pred: PReg::new(1),
+            },
+            0,
+        );
+        rt(
+            Inst::VRed {
+                op: HorizOp::Min,
+                ty: VType::Fp,
+                width: ElemWidth::Double,
+                vd: VReg::new(5),
+                vs: VReg::new(6),
+                pred: PReg::new(2),
+            },
+            0,
+        );
+        rt(
+            Inst::VExtractF {
+                fd: FReg::new(31),
+                vs: VReg::new(15),
+                lane: 63,
+                width: ElemWidth::Byte,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn roundtrip_sve_like() {
+        rt(
+            Inst::VLoad {
+                vd: VReg::new(9),
+                base: XReg::A1,
+                index: XReg::T3,
+                width: ElemWidth::Word,
+                pred: PReg::new(1),
+            },
+            0,
+        );
+        rt(
+            Inst::VGather {
+                vd: VReg::new(9),
+                base: XReg::A1,
+                idx: VReg::new(8),
+                width: ElemWidth::Word,
+                pred: PReg::new(1),
+            },
+            0,
+        );
+        rt(
+            Inst::WhileLt {
+                pd: PReg::new(15),
+                rs1: XReg::T0,
+                rs2: XReg::A0,
+                width: ElemWidth::Word,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn imm_out_of_range_rejected() {
+        let e = encode(
+            &Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::A0,
+                imm: 4096,
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, EncodeError::ImmOutOfRange { bits: 12, .. }));
+    }
+
+    #[test]
+    fn target_out_of_range_rejected() {
+        let e = encode(
+            &Inst::Branch {
+                cond: BrCond::Eq,
+                rs1: XReg::A0,
+                rs2: XReg::A0,
+                target: 100_000,
+            },
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(e, EncodeError::TargetOutOfRange { .. }));
+    }
+
+    #[test]
+    fn high_pred_rejected_in_data_processing() {
+        let e = encode(
+            &Inst::VArith {
+                op: VOp::Add,
+                ty: VType::Fp,
+                width: ElemWidth::Word,
+                vd: VReg::new(0),
+                vs1: VReg::new(1),
+                vs2: VReg::new(2),
+                pred: PReg::new(8),
+            },
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(e, EncodeError::PredOutOfRange { pred: 8 });
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(decode(63, 0), Err(DecodeError::BadOpcode(63))));
+    }
+}

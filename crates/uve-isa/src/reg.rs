@@ -1,0 +1,269 @@
+//! Architectural register files: scalar integer (`x`), scalar floating-point
+//! (`f`), vector/stream (`u`) and predicate (`p`) registers.
+
+use std::fmt;
+
+/// Number of scalar integer registers (RISC-V base).
+pub const NUM_XREGS: usize = 32;
+/// Number of scalar floating-point registers (RISC-V F/D).
+pub const NUM_FREGS: usize = 32;
+/// Number of UVE vector registers `u0`–`u31` (paper Sec. III-A1).
+pub const NUM_VREGS: usize = 32;
+/// Number of UVE predicate registers `p0`–`p15`.
+pub const NUM_PREGS: usize = 16;
+
+macro_rules! reg_newtype {
+    ($(#[$doc:meta])* $name:ident, $count:expr, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Creates register number `n`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `n` is out of range for this register file.
+            pub const fn new(n: u8) -> Self {
+                assert!((n as usize) < $count, "register index out of range");
+                Self(n)
+            }
+
+            /// Creates register number `n`, or `None` if out of range.
+            pub const fn try_new(n: u8) -> Option<Self> {
+                if (n as usize) < $count {
+                    Some(Self(n))
+                } else {
+                    None
+                }
+            }
+
+            /// The register number.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The register number as `u8`.
+            pub const fn num(self) -> u8 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+reg_newtype!(
+    /// A scalar integer register `x0`–`x31` (`x0` is hardwired to zero).
+    XReg,
+    NUM_XREGS,
+    "x"
+);
+reg_newtype!(
+    /// A scalar floating-point register `f0`–`f31`.
+    FReg,
+    NUM_FREGS,
+    "f"
+);
+reg_newtype!(
+    /// A UVE vector register `u0`–`u31`; may be associated with a data
+    /// stream, in which case reads consume and writes produce stream
+    /// elements.
+    VReg,
+    NUM_VREGS,
+    "u"
+);
+reg_newtype!(
+    /// A predicate register `p0`–`p15`; `p0` is hardwired to all-true.
+    PReg,
+    NUM_PREGS,
+    "p"
+);
+
+impl XReg {
+    /// The hardwired zero register.
+    pub const ZERO: XReg = XReg(0);
+    /// Return address (ABI).
+    pub const RA: XReg = XReg(1);
+    /// Stack pointer (ABI).
+    pub const SP: XReg = XReg(2);
+    /// Argument register `a0` = `x10`.
+    pub const A0: XReg = XReg(10);
+    /// Argument register `a1` = `x11`.
+    pub const A1: XReg = XReg(11);
+    /// Argument register `a2` = `x12`.
+    pub const A2: XReg = XReg(12);
+    /// Argument register `a3` = `x13`.
+    pub const A3: XReg = XReg(13);
+    /// Argument register `a4` = `x14`.
+    pub const A4: XReg = XReg(14);
+    /// Argument register `a5` = `x15`.
+    pub const A5: XReg = XReg(15);
+    /// Argument register `a6` = `x16`.
+    pub const A6: XReg = XReg(16);
+    /// Argument register `a7` = `x17`.
+    pub const A7: XReg = XReg(17);
+    /// Temporary `t0` = `x5`.
+    pub const T0: XReg = XReg(5);
+    /// Temporary `t1` = `x6`.
+    pub const T1: XReg = XReg(6);
+    /// Temporary `t2` = `x7`.
+    pub const T2: XReg = XReg(7);
+    /// Temporary `t3` = `x28`.
+    pub const T3: XReg = XReg(28);
+    /// Temporary `t4` = `x29`.
+    pub const T4: XReg = XReg(29);
+    /// Temporary `t5` = `x30`.
+    pub const T5: XReg = XReg(30);
+    /// Temporary `t6` = `x31`.
+    pub const T6: XReg = XReg(31);
+    /// Saved register `s2` = `x18`.
+    pub const S2: XReg = XReg(18);
+    /// Saved register `s3` = `x19`.
+    pub const S3: XReg = XReg(19);
+    /// Saved register `s4` = `x20`.
+    pub const S4: XReg = XReg(20);
+    /// Saved register `s5` = `x21`.
+    pub const S5: XReg = XReg(21);
+    /// Saved register `s6` = `x22`.
+    pub const S6: XReg = XReg(22);
+    /// Saved register `s7` = `x23`.
+    pub const S7: XReg = XReg(23);
+    /// Saved register `s8` = `x24`.
+    pub const S8: XReg = XReg(24);
+    /// Saved register `s9` = `x25`.
+    pub const S9: XReg = XReg(25);
+    /// Saved register `s10` = `x26`.
+    pub const S10: XReg = XReg(26);
+    /// Saved register `s11` = `x27`.
+    pub const S11: XReg = XReg(27);
+}
+
+impl FReg {
+    /// FP argument register `fa0` = `f10`.
+    pub const FA0: FReg = FReg(10);
+    /// FP argument register `fa1` = `f11`.
+    pub const FA1: FReg = FReg(11);
+    /// FP argument register `fa2` = `f12`.
+    pub const FA2: FReg = FReg(12);
+    /// FP argument register `fa3` = `f13`.
+    pub const FA3: FReg = FReg(13);
+    /// FP temporary `ft0` = `f0`.
+    pub const FT0: FReg = FReg(0);
+    /// FP temporary `ft1` = `f1`.
+    pub const FT1: FReg = FReg(1);
+    /// FP temporary `ft2` = `f2`.
+    pub const FT2: FReg = FReg(2);
+    /// FP temporary `ft3` = `f3`.
+    pub const FT3: FReg = FReg(3);
+}
+
+impl PReg {
+    /// The all-true hardwired predicate.
+    pub const P0: PReg = PReg(0);
+}
+
+/// Register file class, used for renaming and dependence tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// Scalar integer.
+    Int,
+    /// Scalar floating-point.
+    Fp,
+    /// Vector.
+    Vec,
+    /// Predicate.
+    Pred,
+}
+
+/// A class-tagged architectural register reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegRef {
+    /// The register file.
+    pub class: RegClass,
+    /// The architectural register number.
+    pub num: u8,
+}
+
+impl RegRef {
+    /// References an integer register.
+    pub const fn x(r: XReg) -> Self {
+        RegRef {
+            class: RegClass::Int,
+            num: r.num(),
+        }
+    }
+
+    /// References a floating-point register.
+    pub const fn f(r: FReg) -> Self {
+        RegRef {
+            class: RegClass::Fp,
+            num: r.num(),
+        }
+    }
+
+    /// References a vector register.
+    pub const fn v(r: VReg) -> Self {
+        RegRef {
+            class: RegClass::Vec,
+            num: r.num(),
+        }
+    }
+
+    /// References a predicate register.
+    pub const fn p(r: PReg) -> Self {
+        RegRef {
+            class: RegClass::Pred,
+            num: r.num(),
+        }
+    }
+}
+
+impl fmt::Display for RegRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.class {
+            RegClass::Int => 'x',
+            RegClass::Fp => 'f',
+            RegClass::Vec => 'u',
+            RegClass::Pred => 'p',
+        };
+        write!(f, "{prefix}{}", self.num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(XReg::A0.to_string(), "x10");
+        assert_eq!(FReg::FA0.to_string(), "f10");
+        assert_eq!(VReg::new(3).to_string(), "u3");
+        assert_eq!(PReg::P0.to_string(), "p0");
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert!(XReg::try_new(31).is_some());
+        assert!(XReg::try_new(32).is_none());
+        assert!(PReg::try_new(15).is_some());
+        assert!(PReg::try_new(16).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn new_panics_out_of_range() {
+        let _ = VReg::new(32);
+    }
+
+    #[test]
+    fn regref_display() {
+        assert_eq!(RegRef::v(VReg::new(7)).to_string(), "u7");
+        assert_eq!(RegRef::p(PReg::new(2)).to_string(), "p2");
+    }
+}

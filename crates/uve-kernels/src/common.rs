@@ -1,0 +1,119 @@
+//! Shared helpers: memory layout, deterministic data generation, assembly
+//! convenience, and tolerant float comparison.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use uve_core::Emulator;
+use uve_isa::{assemble, Program};
+
+/// Base address of array region `i`; regions are 16 MiB apart, far larger
+/// than any evaluation working set.
+pub const fn region(i: usize) -> u64 {
+    0x0010_0000 + (i as u64) * 0x0100_0000
+}
+
+/// Assembles `text`, panicking with a readable message on failure (kernel
+/// programs are compile-time-fixed strings, so assembly errors are bugs).
+pub fn asm(name: &'static str, text: &str) -> Program {
+    match assemble(name, text) {
+        Ok(p) => p,
+        Err(e) => panic!("kernel `{name}` failed to assemble: {e}\n{text}"),
+    }
+}
+
+/// Deterministic `f32` test data in `[-1, 1)`.
+pub fn gen_f32(seed: u64, n: usize) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// Deterministic positive `f32` test data in `[lo, hi)`.
+pub fn gen_f32_range(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Deterministic `i32` index data in `[0, bound)`.
+pub fn gen_indices(seed: u64, n: usize, bound: i32) -> Vec<i32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Compares an `f32` array in simulated memory against a reference,
+/// tolerating reassociation differences from vector reductions.
+///
+/// # Errors
+///
+/// Reports the first element whose relative error exceeds `tol`.
+pub fn check_f32(
+    emu: &Emulator,
+    what: &str,
+    addr: u64,
+    expect: &[f32],
+    tol: f32,
+) -> Result<(), String> {
+    let got = emu.mem.read_f32_slice(addr, expect.len());
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        let scale = e.abs().max(1.0);
+        if (g - e).abs() > tol * scale || g.is_nan() != e.is_nan() {
+            return Err(format!(
+                "{what}[{i}]: got {g}, expected {e} (tol {tol})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Compares an `i32` array in simulated memory against a reference.
+///
+/// # Errors
+///
+/// Reports the first mismatching element.
+pub fn check_i32(emu: &Emulator, what: &str, addr: u64, expect: &[i32]) -> Result<(), String> {
+    let got = emu.mem.read_i32_slice(addr, expect.len());
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        if g != e {
+            return Err(format!("{what}[{i}]: got {g}, expected {e}"));
+        }
+    }
+    Ok(())
+}
+
+/// Default relative tolerance for float checks.
+pub const TOL: f32 = 2e-3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uve_core::EmuConfig;
+    use uve_mem::Memory;
+
+    #[test]
+    fn regions_are_disjoint_and_aligned() {
+        assert!(region(1) - region(0) >= 0x0100_0000);
+        assert_eq!(region(3) % 64, 0);
+    }
+
+    #[test]
+    fn gen_is_deterministic() {
+        assert_eq!(gen_f32(7, 16), gen_f32(7, 16));
+        assert_ne!(gen_f32(7, 16), gen_f32(8, 16));
+        let idx = gen_indices(1, 100, 10);
+        assert!(idx.iter().all(|&i| (0..10).contains(&i)));
+    }
+
+    #[test]
+    fn check_f32_reports_mismatch() {
+        let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+        emu.mem.write_f32_slice(0x1000, &[1.0, 2.0]);
+        assert!(check_f32(&emu, "t", 0x1000, &[1.0, 2.0], 1e-6).is_ok());
+        let err = check_f32(&emu, "t", 0x1000, &[1.0, 3.0], 1e-6).unwrap_err();
+        assert!(err.contains("t[1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed to assemble")]
+    fn asm_panics_on_bad_text() {
+        asm("bad", "not_an_instruction x0");
+    }
+}

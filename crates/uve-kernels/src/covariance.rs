@@ -1,0 +1,287 @@
+//! Benchmark N — **Covariance** (data mining, Polybench): column means,
+//! mean subtraction, then the `m×m` covariance matrix of an `n×m` data
+//! matrix.
+//!
+//! Not vectorized by the paper's ARM compiler (scalar SVE/NEON baselines);
+//! the UVE flavour uses the GEMM-style multi-dimensional descriptors to
+//! vectorize all three phases.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The Covariance kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Covariance {
+    m: usize,
+    n: usize,
+}
+
+impl Covariance {
+    /// `m` variables (columns) over `n` samples (rows); `m` must be a
+    /// multiple of 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `m % 16 == 0` and `n ≥ 2`.
+    pub fn new(m: usize, n: usize) -> Self {
+        assert!(m.is_multiple_of(16), "m must be a multiple of 16");
+        assert!(n >= 2);
+        Self { m, n }
+    }
+
+    fn data(&self) -> u64 {
+        region(0)
+    }
+
+    fn mean(&self) -> u64 {
+        region(1)
+    }
+
+    fn cov(&self) -> u64 {
+        region(2)
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>) {
+        let (m, n) = (self.m, self.n);
+        let mut data = gen_f32(0xA0, n * m);
+        let mut mean = vec![0f32; m];
+        for j in 0..m {
+            for i in 0..n {
+                mean[j] += data[i * m + j];
+            }
+            mean[j] /= n as f32;
+        }
+        for i in 0..n {
+            for j in 0..m {
+                data[i * m + j] -= mean[j];
+            }
+        }
+        let mut cov = vec![0f32; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                let mut acc = 0f32;
+                for k in 0..n {
+                    acc += data[k * m + i] * data[k * m + j];
+                }
+                cov[i * m + j] = acc / (n - 1) as f32;
+            }
+        }
+        (mean, cov)
+    }
+
+    fn uve_text(&self) -> String {
+        let (m, n) = (self.m, self.n);
+        let (data, mean, cov) = (self.data(), self.mean(), self.cov());
+        format!(
+            "
+    li x10, {n}
+    li x11, {m}
+    ss.getvl.w x5
+    div x6, x11, x5            ; mb = m / vl
+    li x13, 1
+    ; ---- phase 1: column means ----
+    ; data: for jb: for i: data[i][jb..jb+vl]  (3-D)
+    li x20, {data}
+    ss.ld.w.sta u0, x20, x5, x13
+    ss.app u0, x0, x10, x11
+    ss.end u0, x0, x6, x5
+    li x20, {mean}
+    ss.st.w u1, x20, x11, x13
+mjb:
+    so.v.dup.w.fp u4, f31
+msum:
+    so.a.add.w.fp u4, u4, u0, p0
+    so.b.dim1.nend u0, msum
+    so.a.mul.vs.w.fp u1, u4, f10, p0   ; × 1/n → mean chunk
+    so.b.nend u0, mjb
+    ; ---- phase 2: subtract means ----
+    mul x7, x10, x11
+    li x20, {data}
+    ss.ld.w u0, x20, x7, x13
+    ss.st.w u2, x20, x7, x13
+    li x20, {mean}
+    ss.ld.w.sta u1, x20, x11, x13
+    ss.end u1, x0, x10, x0
+sub:
+    so.a.sub.w.fp u2, u0, u1, p0
+    so.b.nend u0, sub
+    ; ---- phase 3: covariance ----
+    ; data: for i: for jb: for k: data[k][jb..jb+vl]  (4-D)
+    li x20, {data}
+    ss.ld.w.sta u0, x20, x5, x13
+    ss.app u0, x0, x10, x11
+    ss.app u0, x0, x6, x5
+    ss.end u0, x0, x11, x0
+    mul x7, x11, x11
+    li x20, {cov}
+    ss.st.w u2, x20, x7, x13
+    li x14, 0                  ; i (variable index)
+civ:
+cjb:
+    so.v.dup.w.fp u4, f31
+    ; column pointer &data[0][i]
+    slli x16, x14, 2
+    li x17, {data}
+    add x16, x17, x16
+    slli x18, x11, 2           ; row stride bytes
+ck:
+    fld.w f1, 0(x16)
+    add x16, x16, x18
+    so.a.mac.vs.w.fp u4, u0, f1, p0
+    so.b.dim1.nend u0, ck
+    so.a.mul.vs.w.fp u2, u4, f11, p0   ; × 1/(n-1) → cov row chunk
+    so.b.dim2.nend u0, cjb
+    addi x14, x14, 1
+    so.b.nend u0, civ
+    halt
+"
+        )
+    }
+
+    fn scalar_text(&self) -> String {
+        let (m, n) = (self.m, self.n);
+        let (data, mean, cov) = (self.data(), self.mean(), self.cov());
+        format!(
+            "
+    li x10, {n}
+    li x11, {m}
+    slli x12, x11, 2           ; row stride
+    ; phase 1
+    li x21, {mean}
+    li x15, 0
+mj:
+    fmv.w f2, f31
+    slli x16, x15, 2
+    li x17, {data}
+    add x16, x17, x16
+    li x14, 0
+mi:
+    fld.w f3, 0(x16)
+    fadd.w f2, f2, f3
+    add x16, x16, x12
+    addi x14, x14, 1
+    blt x14, x10, mi
+    fmul.w f2, f2, f10
+    slli x16, x15, 2
+    add x16, x21, x16
+    fst.w f2, 0(x16)
+    addi x15, x15, 1
+    blt x15, x11, mj
+    ; phase 2
+    li x20, {data}
+    li x14, 0
+si:
+    li x21, {mean}
+    li x15, 0
+sj:
+    fld.w f1, 0(x20)
+    fld.w f2, 0(x21)
+    fsub.w f1, f1, f2
+    fst.w f1, 0(x20)
+    addi x20, x20, 4
+    addi x21, x21, 4
+    addi x15, x15, 1
+    blt x15, x11, sj
+    addi x14, x14, 1
+    blt x14, x10, si
+    ; phase 3
+    li x22, {cov}
+    li x14, 0                  ; i
+ci:
+    li x15, 0                  ; j
+cj:
+    fmv.w f2, f31
+    slli x16, x14, 2
+    li x17, {data}
+    add x16, x17, x16          ; &data[0][i]
+    slli x18, x15, 2
+    add x18, x17, x18          ; &data[0][j]
+    li x19, 0
+ck:
+    fld.w f3, 0(x16)
+    fld.w f4, 0(x18)
+    fmadd.w f2, f3, f4, f2
+    add x16, x16, x12
+    add x18, x18, x12
+    addi x19, x19, 1
+    blt x19, x10, ck
+    fmul.w f2, f2, f11
+    mul x16, x14, x11
+    add x16, x16, x15
+    slli x16, x16, 2
+    add x16, x22, x16
+    fst.w f2, 0(x16)
+    addi x15, x15, 1
+    blt x15, x11, cj
+    addi x14, x14, 1
+    blt x14, x11, ci
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for Covariance {
+    fn streams(&self) -> usize {
+        4
+    }
+
+    fn pattern(&self) -> &'static str {
+        "4D"
+    }
+
+    fn name(&self) -> &'static str {
+        "Covariance"
+    }
+
+    fn domain(&self) -> &'static str {
+        "data mining"
+    }
+
+    fn sve_vectorized(&self) -> bool {
+        false
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("covariance-uve", &self.uve_text()),
+            _ => asm("covariance-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, 1.0 / self.n as f64);
+        emu.set_f(FReg::FA1, 1.0 / (self.n - 1) as f64);
+        emu.mem
+            .write_f32_slice(self.data(), &gen_f32(0xA0, self.n * self.m));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (mean, cov) = self.reference();
+        check_f32(emu, "mean", self.mean(), &mean, TOL)?;
+        check_f32(emu, "cov", self.cov(), &cov, 10.0 * TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        let b = Covariance::new(16, 10);
+        for f in Flavor::all() {
+            run_checked(&b, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn wider_matrix() {
+        let b = Covariance::new(32, 9);
+        run_checked(&b, Flavor::Uve).unwrap();
+        run_checked(&b, Flavor::Scalar).unwrap();
+    }
+}

@@ -1,0 +1,192 @@
+//! Benchmark S — **Floyd-Warshall** (dynamic programming, Polybench):
+//! all-pairs shortest paths, `D[i][j] = min(D[i][j], D[i][k] + D[k][j])`.
+//!
+//! Not vectorized by the paper's ARM compiler (scalar baselines). The UVE
+//! flavour reconfigures its streams once per `k` step — the paper's
+//! recommended idiom for deep loop nests — relying on the property that row
+//! and column `k` are fixed points of step `k`, which makes the in-place
+//! stream update safe.
+
+use crate::common::{asm, check_f32, gen_f32_range, region, TOL};
+use crate::{Benchmark, Flavor};
+use std::fmt::Write as _;
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// The Floyd-Warshall kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct FloydWarshall {
+    n: usize,
+}
+
+impl FloydWarshall {
+    /// `n×n` distance matrix (f32 edge weights).
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    fn d(&self) -> u64 {
+        region(0)
+    }
+
+    fn input(&self) -> Vec<f32> {
+        gen_f32_range(0x5F, self.n * self.n, 0.1, 10.0)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut d = self.input();
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = d[i * n + k] + d[k * n + j];
+                    if via < d[i * n + j] {
+                        d[i * n + j] = via;
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    fn uve_text(&self) -> String {
+        let n = self.n;
+        let d = self.d();
+        let mut t = String::new();
+        let _ = writeln!(t, "    li x10, {n}");
+        let _ = writeln!(t, "    li x13, 1");
+        let _ = writeln!(t, "    li x23, {d}");
+        let _ = writeln!(t, "    li x14, 0            ; k");
+        let _ = writeln!(t, "kstep:");
+        // D in/out: full matrix, 2-D.
+        let _ = writeln!(t, "    ss.ld.w.sta u0, x23, x10, x13");
+        let _ = writeln!(t, "    ss.end u0, x0, x10, x10");
+        let _ = writeln!(t, "    ss.st.w.sta u2, x23, x10, x13");
+        let _ = writeln!(t, "    ss.end u2, x0, x10, x10");
+        // Row k, re-read for every i.
+        let _ = writeln!(t, "    mul x16, x14, x10");
+        let _ = writeln!(t, "    slli x16, x16, 2");
+        let _ = writeln!(t, "    add x16, x23, x16    ; &D[k][0]");
+        let _ = writeln!(t, "    ss.ld.w.sta u1, x16, x10, x13");
+        let _ = writeln!(t, "    ss.end u1, x0, x10, x0");
+        // D[i][k] scalar pointer.
+        let _ = writeln!(t, "    slli x17, x14, 2");
+        let _ = writeln!(t, "    add x17, x23, x17    ; &D[0][k]");
+        let _ = writeln!(t, "    slli x18, x10, 2     ; row stride");
+        let _ = writeln!(t, "iloop:");
+        let _ = writeln!(t, "    fld.w f1, 0(x17)");
+        let _ = writeln!(t, "    add x17, x17, x18");
+        let _ = writeln!(t, "jloop:");
+        let _ = writeln!(t, "    so.a.add.vs.w.fp u4, u1, f1, p0");
+        let _ = writeln!(t, "    so.a.min.w.fp u2, u0, u4, p0");
+        let _ = writeln!(t, "    so.b.dim0.nend u0, jloop");
+        let _ = writeln!(t, "    so.b.nend u0, iloop");
+        let _ = writeln!(t, "    addi x14, x14, 1");
+        let _ = writeln!(t, "    blt x14, x10, kstep");
+        let _ = writeln!(t, "    halt");
+        t
+    }
+
+    fn scalar_text(&self) -> String {
+        let n = self.n;
+        let d = self.d();
+        format!(
+            "
+    li x10, {n}
+    li x23, {d}
+    slli x18, x10, 2
+    li x14, 0            ; k
+kstep:
+    slli x17, x14, 2
+    add x17, x23, x17    ; &D[0][k]
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x23, x16    ; &D[k][0]
+    li x15, 0            ; i
+    li x20, {d}          ; &D[i][0]
+iloop:
+    fld.w f1, 0(x17)     ; D[i][k]
+    li x19, 0            ; j
+    add x21, x16, x0     ; &D[k][j]
+    add x22, x20, x0     ; &D[i][j]
+jloop:
+    fld.w f2, 0(x21)
+    fadd.w f2, f2, f1
+    fld.w f3, 0(x22)
+    fmin.w f3, f3, f2
+    fst.w f3, 0(x22)
+    addi x21, x21, 4
+    addi x22, x22, 4
+    addi x19, x19, 1
+    blt x19, x10, jloop
+    add x17, x17, x18
+    add x20, x20, x18
+    addi x15, x15, 1
+    blt x15, x10, iloop
+    addi x14, x14, 1
+    blt x14, x10, kstep
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for FloydWarshall {
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D (per-k reconfig)"
+    }
+
+    fn name(&self) -> &'static str {
+        "Floyd-Warshall"
+    }
+
+    fn domain(&self) -> &'static str {
+        "dynamic programming"
+    }
+
+    fn sve_vectorized(&self) -> bool {
+        false
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("floyd-uve", &self.uve_text()),
+            _ => asm("floyd-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem.write_f32_slice(self.d(), &self.input());
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "D", self.d(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [8usize, 18] {
+            let b = FloydWarshall::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_reconfigures_per_k() {
+        let b = FloydWarshall::new(8);
+        let r = run_checked(&b, Flavor::Uve).unwrap();
+        assert_eq!(r.result.trace.streams.len(), 3 * 8);
+    }
+}

@@ -1,0 +1,414 @@
+//! Benchmark D — **GEMM** (BLAS): `C = α·A·B + β·C` (Polybench).
+//!
+//! The UVE flavour uses a 4-D descriptor for `B` (`for i: for jb: for k:
+//! B[k][jb..jb+vl]`) so the entire `i`/`jb`/`k` loop nest is controlled by
+//! stream dimension flags — only the `A[i][k]` scalar element travels
+//! through a conventional load, multiplied in with `so.a.mac.vs`.
+//!
+//! `NJ` must be a multiple of the 512-bit vector length (16 words); the
+//! other dimensions are unconstrained.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The GEMM kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Gemm {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+}
+
+
+const ALPHA: f32 = 1.5;
+const BETA: f32 = 0.75;
+
+impl Gemm {
+    /// `C (ni×nj) = α · A (ni×nk) · B (nk×nj) + β · C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nj` is a multiple of 16 (the 512-bit word lane
+    /// count), required by the vector-aligned UVE descriptor.
+    pub fn new(ni: usize, nj: usize, nk: usize) -> Self {
+        assert!(nj.is_multiple_of(16), "nj must be a multiple of 16");
+        Self { ni, nj, nk }
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn b(&self) -> u64 {
+        region(1)
+    }
+
+    fn c(&self) -> u64 {
+        region(2)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let (ni, nj, nk) = (self.ni, self.nj, self.nk);
+        let a = gen_f32(0xD0, ni * nk);
+        let b = gen_f32(0xD1, nk * nj);
+        let mut c = gen_f32(0xD2, ni * nj);
+        for i in 0..ni {
+            for j in 0..nj {
+                let mut acc = 0f32;
+                for k in 0..nk {
+                    acc += a[i * nk + k] * b[k * nj + j];
+                }
+                c[i * nj + j] = ALPHA * acc + BETA * c[i * nj + j];
+            }
+        }
+        c
+    }
+
+    fn uve_text(&self) -> String {
+        let (ni, nj, nk) = (self.ni, self.nj, self.nk);
+        let (a, b, c) = (self.a(), self.b(), self.c());
+        format!(
+            "
+    li x10, {ni}
+    li x11, {nk}
+    li x12, {nj}
+    ss.getvl.w x5
+    div x6, x12, x5            ; njb
+    li x20, {a}
+    li x21, {b}
+    li x22, {c}
+    li x13, 1
+    ; B: for i: for jb: for k: B[k][jb..jb+vl]
+    ss.ld.w.sta u0, x21, x5, x13
+    ss.app u0, x0, x11, x12
+    ss.app u0, x0, x6, x5
+    ss.end u0, x0, x10, x0
+    ; C in/out: linear ni*nj
+    mul x7, x10, x12
+    ss.ld.w u1, x22, x7, x13
+    ss.st.w u2, x22, x7, x13
+    li x14, 0                  ; i
+iloop:
+jloop:
+    so.v.dup.w.fp u4, f31      ; acc = 0
+    mul x16, x14, x11
+    slli x16, x16, 2
+    add x16, x20, x16          ; &A[i][0]
+kloop:
+    fld.w f1, 0(x16)
+    addi x16, x16, 4
+    so.a.mac.vs.w.fp u4, u0, f1, p0
+    so.b.dim1.nend u0, kloop
+    so.a.mul.vs.w.fp u5, u4, f10, p0
+    so.a.mul.vs.w.fp u6, u1, f11, p0
+    so.a.add.w.fp u2, u5, u6, p0
+    so.b.dim2.nend u0, jloop
+    addi x14, x14, 1
+    so.b.nend u0, iloop
+    halt
+"
+        )
+    }
+
+    fn sve_text(&self) -> String {
+        let (ni, nj, nk) = (self.ni, self.nj, self.nk);
+        let (a, b, c) = (self.a(), self.b(), self.c());
+        format!(
+            "
+    li x10, {ni}
+    li x11, {nk}
+    li x12, {nj}
+    li x20, {a}
+    li x21, {b}
+    li x22, {c}
+    li x14, 0                  ; i
+iloop:
+    li x15, 0                  ; j
+    whilelt.w p1, x15, x12
+jloop:
+    so.v.dup.w.fp u4, f31      ; acc = 0
+    li x16, 0                  ; k
+    mul x17, x14, x11
+    slli x17, x17, 2
+    add x17, x20, x17          ; &A[i][0]
+kloop:
+    fld.w f1, 0(x17)
+    addi x17, x17, 4
+    mul x18, x16, x12
+    slli x18, x18, 2
+    add x18, x21, x18          ; &B[k][0]
+    vl1.w u1, x18, x15, p1
+    so.a.mac.vs.w.fp u4, u1, f1, p1
+    addi x16, x16, 1
+    blt x16, x11, kloop
+    mul x18, x14, x12
+    slli x18, x18, 2
+    add x18, x22, x18          ; &C[i][0]
+    vl1.w u2, x18, x15, p1
+    so.a.mul.vs.w.fp u5, u4, f10, p1
+    so.a.mul.vs.w.fp u6, u2, f11, p1
+    so.a.add.w.fp u7, u5, u6, p1
+    vs1.w u7, x18, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x12
+    so.b.pfirst p1, jloop
+    addi x14, x14, 1
+    blt x14, x10, iloop
+    halt
+"
+        )
+    }
+
+    fn scalar_text(&self) -> String {
+        let (ni, nj, nk) = (self.ni, self.nj, self.nk);
+        let (a, b, c) = (self.a(), self.b(), self.c());
+        format!(
+            "
+    li x10, {ni}
+    li x11, {nk}
+    li x12, {nj}
+    li x20, {a}
+    li x21, {b}
+    li x22, {c}
+    li x14, 0                  ; i
+iloop:
+    li x15, 0                  ; j
+jloop:
+    fmv.w f2, f31              ; acc = 0
+    li x16, 0                  ; k
+    mul x17, x14, x11
+    slli x17, x17, 2
+    add x17, x20, x17          ; &A[i][k]
+    slli x18, x15, 2
+    add x18, x21, x18          ; &B[k][j]
+    slli x19, x12, 2           ; row stride in bytes
+kloop:
+    fld.w f3, 0(x17)
+    fld.w f4, 0(x18)
+    fmadd.w f2, f3, f4, f2
+    addi x17, x17, 4
+    add x18, x18, x19
+    addi x16, x16, 1
+    blt x16, x11, kloop
+    mul x9, x14, x12
+    add x9, x9, x15
+    slli x9, x9, 2
+    add x9, x22, x9            ; &C[i][j]
+    fld.w f5, 0(x9)
+    fmul.w f2, f2, f10
+    fmul.w f5, f5, f11
+    fadd.w f2, f2, f5
+    fst.w f2, 0(x9)
+    addi x15, x15, 1
+    blt x15, x12, jloop
+    addi x14, x14, 1
+    blt x14, x10, iloop
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for Gemm {
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "4D"
+    }
+
+    fn name(&self) -> &'static str {
+        "GEMM"
+    }
+
+    fn domain(&self) -> &'static str {
+        "BLAS"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("gemm-uve", &self.uve_text()),
+            // NEON-like: same predicated structure at fixed 128-bit VL.
+            Flavor::Sve | Flavor::Neon => asm("gemm-sve", &self.sve_text()),
+            Flavor::Scalar => asm("gemm-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, f64::from(ALPHA));
+        emu.set_f(FReg::FA1, f64::from(BETA));
+        emu.mem
+            .write_f32_slice(self.a(), &gen_f32(0xD0, self.ni * self.nk));
+        emu.mem
+            .write_f32_slice(self.b(), &gen_f32(0xD1, self.nk * self.nj));
+        emu.mem
+            .write_f32_slice(self.c(), &gen_f32(0xD2, self.ni * self.nj));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "C", self.c(), &self.reference(), TOL)
+    }
+}
+
+/// GEMM with the UVE loop nest unrolled over `factor` column blocks
+/// (Fig. 8.E study).
+///
+/// Unrolling over `jb` keeps `factor` independent accumulator chains in
+/// flight per `k` step, hiding the multiply-accumulate latency that a
+/// single chain exposes — the optimization the paper leaves to manual
+/// unrolling. The `B` stream descriptor gains an inner block dimension
+/// (`for i: for jb_outer: for k: for jb_inner: B[k][jb…]`, 5-D).
+#[derive(Debug, Clone, Copy)]
+pub struct GemmUnrolled {
+    base: Gemm,
+    factor: usize,
+}
+
+impl GemmUnrolled {
+    /// Creates an unrolled GEMM with `factor` ∈ {1, 2, 4, 8}; `nj` must
+    /// contain a multiple of `factor` vector blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported factors or when `nj / 16` is not a multiple
+    /// of the factor.
+    pub fn new(ni: usize, nj: usize, nk: usize, factor: usize) -> Self {
+        assert!(matches!(factor, 1 | 2 | 4 | 8), "unsupported unroll factor");
+        assert!(
+            (nj / 16).is_multiple_of(factor),
+            "nj must contain a multiple of `factor` vector blocks"
+        );
+        Self {
+            base: Gemm::new(ni, nj, nk),
+            factor,
+        }
+    }
+
+    fn uve_unrolled_text(&self) -> String {
+        let (ni, nj, nk) = (self.base.ni, self.base.nj, self.base.nk);
+        let (a, b, c) = (self.base.a(), self.base.b(), self.base.c());
+        let f = self.factor;
+        let mut t = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(t, "    li x10, {ni}");
+        let _ = writeln!(t, "    li x11, {nk}");
+        let _ = writeln!(t, "    li x12, {nj}");
+        let _ = writeln!(t, "    ss.getvl.w x5");
+        let _ = writeln!(t, "    div x6, x12, x5        ; njb");
+        let _ = writeln!(t, "    li x7, {f}");
+        let _ = writeln!(t, "    div x8, x6, x7         ; outer block count");
+        let _ = writeln!(t, "    mul x9, x5, x7         ; elements per outer block");
+        let _ = writeln!(t, "    li x20, {a}");
+        let _ = writeln!(t, "    li x21, {b}");
+        let _ = writeln!(t, "    li x22, {c}");
+        let _ = writeln!(t, "    li x13, 1");
+        let _ = writeln!(t, "    ; B: for i: for jbo: for k: for jbi: B[k][jb..]");
+        let _ = writeln!(t, "    ss.ld.w.sta u0, x21, x5, x13");
+        let _ = writeln!(t, "    ss.app u0, x0, x7, x5");
+        let _ = writeln!(t, "    ss.app u0, x0, x11, x12");
+        let _ = writeln!(t, "    ss.app u0, x0, x8, x9");
+        let _ = writeln!(t, "    ss.end u0, x0, x10, x0");
+        let _ = writeln!(t, "    mul x4, x10, x12");
+        let _ = writeln!(t, "    ss.ld.w u1, x22, x4, x13");
+        let _ = writeln!(t, "    ss.st.w u2, x22, x4, x13");
+        let _ = writeln!(t, "    li x14, 0              ; i");
+        let _ = writeln!(t, "iloop:");
+        let _ = writeln!(t, "jloop:");
+        for u in 0..f {
+            let _ = writeln!(t, "    so.v.dup.w.fp u{}, f31", 4 + u);
+        }
+        let _ = writeln!(t, "    mul x16, x14, x11");
+        let _ = writeln!(t, "    slli x16, x16, 2");
+        let _ = writeln!(t, "    add x16, x20, x16      ; &A[i][0]");
+        let _ = writeln!(t, "kloop:");
+        let _ = writeln!(t, "    fld.w f1, 0(x16)");
+        let _ = writeln!(t, "    addi x16, x16, 4");
+        for u in 0..f {
+            let _ = writeln!(t, "    so.a.mac.vs.w.fp u{}, u0, f1, p0", 4 + u);
+        }
+        let _ = writeln!(t, "    so.b.dim2.nend u0, kloop");
+        for u in 0..f {
+            let _ = writeln!(t, "    so.a.mul.vs.w.fp u12, u{}, f10, p0", 4 + u);
+            let _ = writeln!(t, "    so.a.mul.vs.w.fp u13, u1, f11, p0");
+            let _ = writeln!(t, "    so.a.add.w.fp u2, u12, u13, p0");
+        }
+        let _ = writeln!(t, "    so.b.dim3.nend u0, jloop");
+        let _ = writeln!(t, "    addi x14, x14, 1");
+        let _ = writeln!(t, "    so.b.nend u0, iloop");
+        let _ = writeln!(t, "    halt");
+        t
+    }
+}
+
+impl Benchmark for GemmUnrolled {
+    fn name(&self) -> &'static str {
+        "GEMM-unrolled"
+    }
+
+    fn domain(&self) -> &'static str {
+        "BLAS"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        if flavor != Flavor::Uve || self.factor == 1 {
+            return self.base.program(flavor);
+        }
+        asm("gemm-uve-unrolled", &self.uve_unrolled_text())
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        self.base.setup(emu);
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        self.base.check(emu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        let b = Gemm::new(5, 16, 7);
+        for f in Flavor::all() {
+            run_checked(&b, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn wide_matrix_multi_chunk_rows() {
+        let b = Gemm::new(3, 48, 4);
+        for f in Flavor::all() {
+            run_checked(&b, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn unrolled_variants_correct() {
+        for factor in [1, 2, 4, 8] {
+            let b = GemmUnrolled::new(4, 128, 8, factor);
+            run_checked(&b, Flavor::Uve).unwrap();
+        }
+    }
+
+    #[test]
+    fn unrolling_reduces_instructions() {
+        let plain = GemmUnrolled::new(4, 128, 8, 1);
+        let unrolled = GemmUnrolled::new(4, 128, 8, 8);
+        let a = run_checked(&plain, Flavor::Uve).unwrap();
+        let b = run_checked(&unrolled, Flavor::Uve).unwrap();
+        assert!(b.result.committed < a.result.committed);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn rejects_ragged_nj() {
+        let _ = Gemm::new(4, 10, 4);
+    }
+}

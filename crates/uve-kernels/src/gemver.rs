@@ -1,0 +1,490 @@
+//! Benchmark G — **GEMVER** (algebra, Polybench): four loops touching a
+//! dense matrix and several vectors; the paper's highest stream count (17).
+//!
+//! 1. `A[i][j] += u1[i]·v1[j] + u2[i]·v2[j]`
+//! 2. `x[i] += β · Σ_j A[j][i]·y[j]`
+//! 3. `x[i] += z[i]`
+//! 4. `w[i] += α · Σ_j A[i][j]·x[j]`
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The GEMVER kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Gemver {
+    n: usize,
+}
+
+const ALPHA: f32 = 1.25;
+const BETA: f32 = 0.75;
+
+impl Gemver {
+    /// `A` is `n×n`.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn vec(&self, i: usize) -> u64 {
+        // u1, u2, v1, v2, x, y, z, w
+        region(1 + i)
+    }
+
+    #[allow(clippy::many_single_char_names)]
+    fn reference(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let n = self.n;
+        let mut a = gen_f32(0x60, n * n);
+        let u1 = gen_f32(0x61, n);
+        let u2 = gen_f32(0x62, n);
+        let v1 = gen_f32(0x63, n);
+        let v2 = gen_f32(0x64, n);
+        let mut x = gen_f32(0x65, n);
+        let y = gen_f32(0x66, n);
+        let z = gen_f32(0x67, n);
+        let mut w = gen_f32(0x68, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+            }
+        }
+        for i in 0..n {
+            let mut acc = 0f32;
+            for j in 0..n {
+                acc += a[j * n + i] * y[j];
+            }
+            x[i] += BETA * acc;
+        }
+        for i in 0..n {
+            x[i] += z[i];
+        }
+        for i in 0..n {
+            let mut acc = 0f32;
+            for j in 0..n {
+                acc += a[i * n + j] * x[j];
+            }
+            w[i] += ALPHA * acc;
+        }
+        (a, x, w)
+    }
+
+    fn uve_text(&self) -> String {
+        let n = self.n;
+        let a = self.a();
+        let (u1, u2, v1, v2, x, y, z, w) = (
+            self.vec(0),
+            self.vec(1),
+            self.vec(2),
+            self.vec(3),
+            self.vec(4),
+            self.vec(5),
+            self.vec(6),
+            self.vec(7),
+        );
+        format!(
+            "
+    li x10, {n}
+    li x13, 1
+    ; ---- loop 1: rank-2 update of A ----
+    li x20, {v1}
+    ss.ld.w.sta u1, x20, x10, x13
+    ss.end u1, x0, x10, x0
+    li x20, {v2}
+    ss.ld.w.sta u2, x20, x10, x13
+    ss.end u2, x0, x10, x0
+    li x20, {a}
+    ss.ld.w.sta u3, x20, x10, x13
+    ss.end u3, x0, x10, x10
+    ss.st.w.sta u4, x20, x10, x13
+    ss.end u4, x0, x10, x10
+    li x21, {u1}
+    li x22, {u2}
+l1row:
+    fld.w f1, 0(x21)
+    addi x21, x21, 4
+    fld.w f2, 0(x22)
+    addi x22, x22, 4
+l1chunk:
+    so.a.mul.vs.w.fp u5, u1, f1, p0
+    so.a.mac.vs.w.fp u5, u2, f2, p0
+    so.a.add.w.fp u4, u3, u5, p0
+    so.b.dim0.nend u3, l1chunk
+    so.b.nend u3, l1row
+    ; ---- loop 2: x += beta * A^T y ----
+    li x20, {a}
+    ss.ld.w.sta u0, x20, x10, x10
+    ss.end u0, x0, x10, x13
+    li x20, {y}
+    ss.ld.w.sta u1, x20, x10, x13
+    ss.end u1, x0, x10, x0
+    li x6, 1
+    li x20, {x}
+    ss.ld.w.sta u2, x20, x6, x13
+    ss.end u2, x0, x10, x13
+    ss.st.w.sta u3, x20, x6, x13
+    ss.end u3, x0, x10, x13
+l2row:
+    so.v.dup.w.fp u4, f31
+l2dot:
+    so.a.mac.w.fp u4, u0, u1, p0
+    so.b.dim0.nend u0, l2dot
+    so.a.hadd.w.fp u5, u4, p0
+    so.a.mul.vs.w.fp u5, u5, f11, p0
+    so.a.add.w.fp u3, u5, u2, p0
+    so.b.nend u0, l2row
+    ; ---- loop 3: x += z ----
+    li x20, {x}
+    ss.ld.w u0, x20, x10, x13
+    li x21, {z}
+    ss.ld.w u1, x21, x10, x13
+    ss.st.w u2, x20, x10, x13
+l3:
+    so.a.add.w.fp u2, u0, u1, p0
+    so.b.nend u0, l3
+    ; ---- loop 4: w += alpha * A x ----
+    li x20, {a}
+    ss.ld.w.sta u0, x20, x10, x13
+    ss.end u0, x0, x10, x10
+    li x20, {x}
+    ss.ld.w.sta u1, x20, x10, x13
+    ss.end u1, x0, x10, x0
+    li x6, 1
+    li x20, {w}
+    ss.ld.w.sta u2, x20, x6, x13
+    ss.end u2, x0, x10, x13
+    ss.st.w.sta u3, x20, x6, x13
+    ss.end u3, x0, x10, x13
+l4row:
+    so.v.dup.w.fp u4, f31
+l4dot:
+    so.a.mac.w.fp u4, u0, u1, p0
+    so.b.dim0.nend u0, l4dot
+    so.a.hadd.w.fp u5, u4, p0
+    so.a.mul.vs.w.fp u5, u5, f10, p0
+    so.a.add.w.fp u3, u5, u2, p0
+    so.b.nend u0, l4row
+    halt
+"
+        )
+    }
+
+    fn sve_text(&self) -> String {
+        let n = self.n;
+        let a = self.a();
+        let scratch = crate::common::region(9);
+        let (u1, u2, v1, v2, x, y, z, w) = (
+            self.vec(0),
+            self.vec(1),
+            self.vec(2),
+            self.vec(3),
+            self.vec(4),
+            self.vec(5),
+            self.vec(6),
+            self.vec(7),
+        );
+        format!(
+            "
+    li x10, {n}
+    ; ---- loop 1 ----
+    li x20, {a}
+    li x21, {u1}
+    li x22, {u2}
+    li x23, {v1}
+    li x24, {v2}
+    li x14, 0
+l1row:
+    fld.w f1, 0(x21)
+    addi x21, x21, 4
+    fld.w f2, 0(x22)
+    addi x22, x22, 4
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x20, x16
+    li x15, 0
+    whilelt.w p1, x15, x10
+l1vec:
+    vl1.w u1, x23, x15, p1
+    vl1.w u2, x24, x15, p1
+    vl1.w u3, x16, x15, p1
+    so.a.mul.vs.w.fp u5, u1, f1, p1
+    so.a.mac.vs.w.fp u5, u2, f2, p1
+    so.a.add.w.fp u3, u3, u5, p1
+    vs1.w u3, x16, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, l1vec
+    addi x14, x14, 1
+    blt x14, x10, l1row
+    ; ---- loop 2 (gathered column dot products, as auto-vectorized) ----
+    li x20, {scratch}
+    cntvl.w x5
+    li x15, 0
+l2bld:
+    mul x16, x15, x10
+    slli x17, x15, 2
+    add x17, x20, x17
+    st.w x16, 0(x17)
+    addi x15, x15, 1
+    blt x15, x5, l2bld
+    li x15, 0
+    vl1.w u9, x20, x15, p0
+    li x21, {x}
+    li x22, {y}
+    li x14, 0
+l2row:
+    so.v.dup.w.fp u4, f31
+    li x15, 0
+    whilelt.w p1, x15, x10
+l2dot:
+    mul x16, x15, x10
+    add x16, x16, x14
+    slli x16, x16, 2
+    li x17, {a}
+    add x16, x17, x16
+    vgather.w u1, x16, u9, p1
+    vl1.w u2, x22, x15, p1
+    so.a.mac.w.fp u4, u1, u2, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, l2dot
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f1, u5[0]
+    fmul.w f1, f1, f11
+    slli x17, x14, 2
+    add x17, x21, x17
+    fld.w f2, 0(x17)
+    fadd.w f2, f2, f1
+    fst.w f2, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, l2row
+    ; ---- loop 3 ----
+    li x21, {x}
+    li x22, {z}
+    li x15, 0
+    whilelt.w p1, x15, x10
+l3:
+    vl1.w u1, x21, x15, p1
+    vl1.w u2, x22, x15, p1
+    so.a.add.w.fp u1, u1, u2, p1
+    vs1.w u1, x21, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, l3
+    ; ---- loop 4 (row dot) ----
+    li x20, {a}
+    li x21, {x}
+    li x22, {w}
+    li x14, 0
+l4row:
+    so.v.dup.w.fp u4, f31
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x20, x16
+    li x15, 0
+    whilelt.w p1, x15, x10
+l4dot:
+    vl1.w u1, x16, x15, p1
+    vl1.w u2, x21, x15, p1
+    so.a.mac.w.fp u4, u1, u2, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, l4dot
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f1, u5[0]
+    slli x17, x14, 2
+    add x17, x22, x17
+    fld.w f2, 0(x17)
+    fmadd.w f2, f1, f10, f2
+    fst.w f2, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, l4row
+    halt
+"
+        )
+    }
+
+    fn scalar_text(&self) -> String {
+        let n = self.n;
+        let a = self.a();
+        let (u1, u2, v1, v2, x, y, z, w) = (
+            self.vec(0),
+            self.vec(1),
+            self.vec(2),
+            self.vec(3),
+            self.vec(4),
+            self.vec(5),
+            self.vec(6),
+            self.vec(7),
+        );
+        format!(
+            "
+    li x10, {n}
+    ; loop 1
+    li x20, {a}
+    li x21, {u1}
+    li x22, {u2}
+    li x14, 0
+l1row:
+    fld.w f1, 0(x21)
+    addi x21, x21, 4
+    fld.w f2, 0(x22)
+    addi x22, x22, 4
+    li x23, {v1}
+    li x24, {v2}
+    li x15, 0
+l1col:
+    fld.w f3, 0(x23)
+    addi x23, x23, 4
+    fld.w f4, 0(x24)
+    addi x24, x24, 4
+    fld.w f5, 0(x20)
+    fmadd.w f5, f1, f3, f5
+    fmadd.w f5, f2, f4, f5
+    fst.w f5, 0(x20)
+    addi x20, x20, 4
+    addi x15, x15, 1
+    blt x15, x10, l1col
+    addi x14, x14, 1
+    blt x14, x10, l1row
+    ; loop 2
+    li x20, {a}
+    li x21, {x}
+    li x22, {y}
+    li x14, 0
+l2i:
+    fmv.w f2, f31
+    li x15, 0
+    slli x16, x14, 2
+    add x16, x20, x16       ; &A[0][i]
+    li x17, {y}
+l2j:
+    fld.w f3, 0(x16)
+    fld.w f4, 0(x17)
+    fmadd.w f2, f3, f4, f2
+    slli x18, x10, 2
+    add x16, x16, x18
+    addi x17, x17, 4
+    addi x15, x15, 1
+    blt x15, x10, l2j
+    slli x17, x14, 2
+    add x17, x21, x17
+    fld.w f5, 0(x17)
+    fmadd.w f5, f2, f11, f5
+    fst.w f5, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, l2i
+    ; loop 3
+    li x21, {x}
+    li x22, {z}
+    li x14, 0
+l3:
+    fld.w f1, 0(x21)
+    fld.w f2, 0(x22)
+    fadd.w f1, f1, f2
+    fst.w f1, 0(x21)
+    addi x21, x21, 4
+    addi x22, x22, 4
+    addi x14, x14, 1
+    blt x14, x10, l3
+    ; loop 4
+    li x20, {a}
+    li x21, {x}
+    li x22, {w}
+    li x14, 0
+l4i:
+    fmv.w f2, f31
+    li x15, 0
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x20, x16
+    li x17, {x}
+l4j:
+    fld.w f3, 0(x16)
+    fld.w f4, 0(x17)
+    fmadd.w f2, f3, f4, f2
+    addi x16, x16, 4
+    addi x17, x17, 4
+    addi x15, x15, 1
+    blt x15, x10, l4j
+    slli x17, x14, 2
+    add x17, x22, x17
+    fld.w f5, 0(x17)
+    fmadd.w f5, f2, f10, f5
+    fst.w f5, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, l4i
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for Gemver {
+    fn streams(&self) -> usize {
+        4
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D"
+    }
+
+    fn name(&self) -> &'static str {
+        "GEMVER"
+    }
+
+    fn domain(&self) -> &'static str {
+        "algebra"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("gemver-uve", &self.uve_text()),
+            Flavor::Sve | Flavor::Neon => asm("gemver-sve", &self.sve_text()),
+            Flavor::Scalar => asm("gemver-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        let n = self.n;
+        emu.set_f(FReg::FA0, f64::from(ALPHA));
+        emu.set_f(FReg::FA1, f64::from(BETA));
+        emu.mem.write_f32_slice(self.a(), &gen_f32(0x60, n * n));
+        for (i, seed) in (0..8).zip(0x61u64..) {
+            emu.mem.write_f32_slice(self.vec(i), &gen_f32(seed, n));
+        }
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (a, x, w) = self.reference();
+        check_f32(emu, "A", self.a(), &a, TOL)?;
+        check_f32(emu, "x", self.vec(4), &x, TOL)?;
+        check_f32(emu, "w", self.vec(7), &w, 10.0 * TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [32usize, 19] {
+            let b = Gemver::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_stream_count_matches_paper_scale() {
+        let b = Gemver::new(32);
+        let r = run_checked(&b, Flavor::Uve).unwrap();
+        assert_eq!(r.result.trace.streams.len(), 15);
+    }
+}

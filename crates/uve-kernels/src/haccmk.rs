@@ -1,0 +1,342 @@
+//! Benchmark L — **HACCmk** (n-body, CORAL): the short-range force kernel.
+//! For every particle `i`, accumulate over all particles `j`:
+//!
+//! ```text
+//! d = p[j] - p[i];  r2 = |d|² + ε;  f = m[j] / (r2·√r2);  F[i] += d·f
+//! ```
+//!
+//! The UVE flavour streams the coordinate and mass arrays once per `i`
+//! (re-read outer dimension with stride 0) and emits the three force
+//! components through one-element-per-row output streams.
+
+use crate::common::{asm, check_f32, gen_f32, gen_f32_range, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The HACCmk kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Haccmk {
+    n: usize,
+}
+
+const EPS: f32 = 0.01;
+
+impl Haccmk {
+    /// `n` particles (all-pairs interaction).
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    fn coord(&self, c: usize) -> u64 {
+        region(c) // x, y, z
+    }
+
+    fn mass(&self) -> u64 {
+        region(3)
+    }
+
+    fn force(&self, c: usize) -> u64 {
+        region(4 + c) // fx, fy, fz
+    }
+
+    fn inputs(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        (
+            gen_f32(0x50, self.n),
+            gen_f32(0x51, self.n),
+            gen_f32(0x52, self.n),
+            gen_f32_range(0x53, self.n, 0.5, 1.5),
+        )
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let n = self.n;
+        let (x, y, z, m) = self.inputs();
+        let mut fx = vec![0f32; n];
+        let mut fy = vec![0f32; n];
+        let mut fz = vec![0f32; n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = x[j] - x[i];
+                let dy = y[j] - y[i];
+                let dz = z[j] - z[i];
+                let r2 = dx * dx + dy * dy + dz * dz + EPS;
+                let f = m[j] / (r2 * r2.sqrt());
+                fx[i] += dx * f;
+                fy[i] += dy * f;
+                fz[i] += dz * f;
+            }
+        }
+        (fx, fy, fz)
+    }
+
+    fn uve_text(&self) -> String {
+        let n = self.n;
+        let (x, y, z) = (self.coord(0), self.coord(1), self.coord(2));
+        let m = self.mass();
+        let (fx, fy, fz) = (self.force(0), self.force(1), self.force(2));
+        format!(
+            "
+    li x10, {n}
+    li x13, 1
+    li x20, {x}
+    ss.ld.w.sta u0, x20, x10, x13
+    ss.end u0, x0, x10, x0
+    li x20, {y}
+    ss.ld.w.sta u1, x20, x10, x13
+    ss.end u1, x0, x10, x0
+    li x20, {z}
+    ss.ld.w.sta u2, x20, x10, x13
+    ss.end u2, x0, x10, x0
+    li x20, {m}
+    ss.ld.w.sta u3, x20, x10, x13
+    ss.end u3, x0, x10, x0
+    li x6, 1
+    li x20, {fx}
+    ss.st.w.sta u4, x20, x6, x13
+    ss.end u4, x0, x10, x13
+    li x20, {fy}
+    ss.st.w.sta u5, x20, x6, x13
+    ss.end u5, x0, x10, x13
+    li x20, {fz}
+    ss.st.w.sta u6, x20, x6, x13
+    ss.end u6, x0, x10, x13
+    li x21, {x}
+    li x22, {y}
+    li x23, {z}
+iloop:
+    fld.w f1, 0(x21)
+    addi x21, x21, 4
+    fld.w f2, 0(x22)
+    addi x22, x22, 4
+    fld.w f3, 0(x23)
+    addi x23, x23, 4
+    so.v.dup.w.fp u10, f1
+    so.v.dup.w.fp u11, f2
+    so.v.dup.w.fp u12, f3
+    so.v.dup.w.fp u13, f31
+    so.v.dup.w.fp u14, f31
+    so.v.dup.w.fp u15, f31
+jloop:
+    so.a.sub.w.fp u16, u0, u10, p0
+    so.a.sub.w.fp u17, u1, u11, p0
+    so.a.sub.w.fp u18, u2, u12, p0
+    so.a.mul.w.fp u19, u16, u16, p0
+    so.a.mac.w.fp u19, u17, u17, p0
+    so.a.mac.w.fp u19, u18, u18, p0
+    so.a.add.vs.w.fp u19, u19, f4, p0
+    so.a.sqrt.w.fp u20, u19, p0
+    so.a.mul.w.fp u20, u20, u19, p0
+    so.a.div.w.fp u21, u3, u20, p0
+    so.a.mac.w.fp u13, u16, u21, p0
+    so.a.mac.w.fp u14, u17, u21, p0
+    so.a.mac.w.fp u15, u18, u21, p0
+    so.b.dim0.nend u0, jloop
+    so.a.hadd.w.fp u4, u13, p0
+    so.a.hadd.w.fp u5, u14, p0
+    so.a.hadd.w.fp u6, u15, p0
+    so.b.nend u0, iloop
+    halt
+"
+        )
+    }
+
+    fn sve_text(&self) -> String {
+        let n = self.n;
+        let (x, y, z) = (self.coord(0), self.coord(1), self.coord(2));
+        let m = self.mass();
+        let (fx, fy, fz) = (self.force(0), self.force(1), self.force(2));
+        format!(
+            "
+    li x10, {n}
+    li x21, {x}
+    li x22, {y}
+    li x23, {z}
+    li x24, {m}
+    li x14, 0
+iloop:
+    slli x16, x14, 2
+    add x17, x21, x16
+    fld.w f1, 0(x17)
+    add x17, x22, x16
+    fld.w f2, 0(x17)
+    add x17, x23, x16
+    fld.w f3, 0(x17)
+    so.v.dup.w.fp u10, f1
+    so.v.dup.w.fp u11, f2
+    so.v.dup.w.fp u12, f3
+    so.v.dup.w.fp u13, f31
+    so.v.dup.w.fp u14, f31
+    so.v.dup.w.fp u15, f31
+    li x15, 0
+    whilelt.w p1, x15, x10
+jloop:
+    vl1.w u0, x21, x15, p1
+    vl1.w u1, x22, x15, p1
+    vl1.w u2, x23, x15, p1
+    vl1.w u3, x24, x15, p1
+    so.a.sub.w.fp u16, u0, u10, p1
+    so.a.sub.w.fp u17, u1, u11, p1
+    so.a.sub.w.fp u18, u2, u12, p1
+    so.a.mul.w.fp u19, u16, u16, p1
+    so.a.mac.w.fp u19, u17, u17, p1
+    so.a.mac.w.fp u19, u18, u18, p1
+    so.a.add.vs.w.fp u19, u19, f4, p1
+    so.a.sqrt.w.fp u20, u19, p1
+    so.a.mul.w.fp u20, u20, u19, p1
+    so.a.div.w.fp u21, u3, u20, p1
+    so.a.mac.w.fp u13, u16, u21, p1
+    so.a.mac.w.fp u14, u17, u21, p1
+    so.a.mac.w.fp u15, u18, u21, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, jloop
+    so.a.hadd.w.fp u16, u13, p0
+    so.v.extr.f.w f5, u16[0]
+    li x20, {fx}
+    add x20, x20, x16
+    fst.w f5, 0(x20)
+    so.a.hadd.w.fp u16, u14, p0
+    so.v.extr.f.w f5, u16[0]
+    li x20, {fy}
+    add x20, x20, x16
+    fst.w f5, 0(x20)
+    so.a.hadd.w.fp u16, u15, p0
+    so.v.extr.f.w f5, u16[0]
+    li x20, {fz}
+    add x20, x20, x16
+    fst.w f5, 0(x20)
+    addi x14, x14, 1
+    blt x14, x10, iloop
+    halt
+"
+        )
+    }
+
+    fn scalar_text(&self) -> String {
+        let n = self.n;
+        let (x, y, z) = (self.coord(0), self.coord(1), self.coord(2));
+        let m = self.mass();
+        let (fx, fy, fz) = (self.force(0), self.force(1), self.force(2));
+        format!(
+            "
+    li x10, {n}
+    li x21, {x}
+    li x22, {y}
+    li x23, {z}
+    li x24, {m}
+    li x14, 0
+iloop:
+    slli x16, x14, 2
+    add x17, x21, x16
+    fld.w f1, 0(x17)
+    add x17, x22, x16
+    fld.w f2, 0(x17)
+    add x17, x23, x16
+    fld.w f3, 0(x17)
+    fmv.w f20, f31
+    fmv.w f21, f31
+    fmv.w f22, f31
+    li x15, 0
+    li x25, {x}
+    li x26, {y}
+    li x27, {z}
+    li x28, {m}
+jloop:
+    fld.w f5, 0(x25)
+    fsub.w f5, f5, f1
+    fld.w f6, 0(x26)
+    fsub.w f6, f6, f2
+    fld.w f7, 0(x27)
+    fsub.w f7, f7, f3
+    fmul.w f8, f5, f5
+    fmadd.w f8, f6, f6, f8
+    fmadd.w f8, f7, f7, f8
+    fadd.w f8, f8, f4
+    fsqrt.w f9, f8
+    fmul.w f9, f9, f8
+    fld.w f11, 0(x28)
+    fdiv.w f11, f11, f9
+    fmadd.w f20, f5, f11, f20
+    fmadd.w f21, f6, f11, f21
+    fmadd.w f22, f7, f11, f22
+    addi x25, x25, 4
+    addi x26, x26, 4
+    addi x27, x27, 4
+    addi x28, x28, 4
+    addi x15, x15, 1
+    blt x15, x10, jloop
+    li x20, {fx}
+    add x20, x20, x16
+    fst.w f20, 0(x20)
+    li x20, {fy}
+    add x20, x20, x16
+    fst.w f21, 0(x20)
+    li x20, {fz}
+    add x20, x20, x16
+    fst.w f22, 0(x20)
+    addi x14, x14, 1
+    blt x14, x10, iloop
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for Haccmk {
+    fn streams(&self) -> usize {
+        7
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D"
+    }
+
+    fn name(&self) -> &'static str {
+        "HACCmk"
+    }
+
+    fn domain(&self) -> &'static str {
+        "n-body"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("haccmk-uve", &self.uve_text()),
+            Flavor::Sve | Flavor::Neon => asm("haccmk-sve", &self.sve_text()),
+            Flavor::Scalar => asm("haccmk-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::new(4), f64::from(EPS));
+        let (x, y, z, m) = self.inputs();
+        emu.mem.write_f32_slice(self.coord(0), &x);
+        emu.mem.write_f32_slice(self.coord(1), &y);
+        emu.mem.write_f32_slice(self.coord(2), &z);
+        emu.mem.write_f32_slice(self.mass(), &m);
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (fx, fy, fz) = self.reference();
+        check_f32(emu, "fx", self.force(0), &fx, 20.0 * TOL)?;
+        check_f32(emu, "fy", self.force(1), &fy, 20.0 * TOL)?;
+        check_f32(emu, "fz", self.force(2), &fz, 20.0 * TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [32usize, 21] {
+            let b = Haccmk::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+}

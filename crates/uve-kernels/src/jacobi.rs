@@ -1,0 +1,463 @@
+//! Benchmarks I and J — **Jacobi-1D** and **Jacobi-2D** stencils
+//! (Polybench): `t` sweeps of 3-point / 5-point averaging between two
+//! arrays.
+//!
+//! In UVE, each half-sweep is a set of *shifted* input streams over the
+//! same array plus one output stream — the loop body is pure arithmetic
+//! (3–5 additions and one scale), with a single stream branch.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use std::fmt::Write as _;
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The Jacobi-1D kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobi1d {
+    n: usize,
+    tsteps: usize,
+}
+
+impl Jacobi1d {
+    /// `tsteps` sweeps over arrays of `n` elements (n ≥ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize, tsteps: usize) -> Self {
+        assert!(n >= 3);
+        Self { n, tsteps }
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn b(&self) -> u64 {
+        region(1)
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>) {
+        let n = self.n;
+        let mut a = gen_f32(0x10, n);
+        let mut b = gen_f32(0x11, n);
+        for _ in 0..self.tsteps {
+            for i in 1..n - 1 {
+                b[i] = (a[i - 1] + a[i] + a[i + 1]) * (1.0 / 3.0);
+            }
+            for i in 1..n - 1 {
+                a[i] = (b[i - 1] + b[i] + b[i + 1]) * (1.0 / 3.0);
+            }
+        }
+        (a, b)
+    }
+
+    fn half_uve(&self, tag: String, src: u64, dst: u64) -> String {
+        let m = self.n - 2;
+        format!(
+            "
+    li x10, {m}
+    li x13, 1
+    li x20, {src}
+    ss.ld.w u0, x20, x10, x13
+    li x20, {src4}
+    ss.ld.w u1, x20, x10, x13
+    li x20, {src8}
+    ss.ld.w u2, x20, x10, x13
+    li x20, {dst4}
+    ss.st.w u3, x20, x10, x13
+h{tag}:
+    so.a.add.w.fp u4, u0, u1, p0
+    so.a.add.w.fp u4, u4, u2, p0
+    so.a.mul.vs.w.fp u3, u4, f10, p0
+    so.b.nend u0, h{tag}
+",
+            src4 = src + 4,
+            src8 = src + 8,
+            dst4 = dst + 4,
+        )
+    }
+
+    fn half_sve(&self, tag: String, src: u64, dst: u64) -> String {
+        let m = self.n - 2;
+        format!(
+            "
+    li x10, {m}
+    li x20, {src}
+    li x21, {src4}
+    li x22, {src8}
+    li x23, {dst4}
+    li x15, 0
+    whilelt.w p1, x15, x10
+h{tag}:
+    vl1.w u0, x20, x15, p1
+    vl1.w u1, x21, x15, p1
+    vl1.w u2, x22, x15, p1
+    so.a.add.w.fp u4, u0, u1, p1
+    so.a.add.w.fp u4, u4, u2, p1
+    so.a.mul.vs.w.fp u4, u4, f10, p1
+    vs1.w u4, x23, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, h{tag}
+",
+            src4 = src + 4,
+            src8 = src + 8,
+            dst4 = dst + 4,
+        )
+    }
+
+    fn half_scalar(&self, tag: String, src: u64, dst: u64) -> String {
+        let m = self.n - 2;
+        format!(
+            "
+    li x10, {m}
+    li x20, {src}
+    li x23, {dst4}
+    li x15, 0
+h{tag}:
+    fld.w f1, 0(x20)
+    fld.w f2, 4(x20)
+    fld.w f3, 8(x20)
+    fadd.w f1, f1, f2
+    fadd.w f1, f1, f3
+    fmul.w f1, f1, f10
+    fst.w f1, 0(x23)
+    addi x20, x20, 4
+    addi x23, x23, 4
+    addi x15, x15, 1
+    blt x15, x10, h{tag}
+",
+            dst4 = dst + 4,
+        )
+    }
+}
+
+impl Benchmark for Jacobi1d {
+    fn streams(&self) -> usize {
+        4
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D"
+    }
+
+    fn name(&self) -> &'static str {
+        "Jacobi-1D"
+    }
+
+    fn domain(&self) -> &'static str {
+        "stencil"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let mut text = String::new();
+        for t in 0..self.tsteps {
+            for (h, (src, dst)) in [(self.a(), self.b()), (self.b(), self.a())]
+                .into_iter()
+                .enumerate()
+            {
+                let tag = format!("{t}_{h}");
+                text.push_str(&match flavor {
+                    Flavor::Uve => self.half_uve(tag, src, dst),
+                    Flavor::Sve | Flavor::Neon => self.half_sve(tag, src, dst),
+                    Flavor::Scalar => self.half_scalar(tag, src, dst),
+                });
+            }
+        }
+        text.push_str("    halt\n");
+        asm("jacobi1d", &text)
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, 1.0 / 3.0);
+        emu.mem.write_f32_slice(self.a(), &gen_f32(0x10, self.n));
+        emu.mem.write_f32_slice(self.b(), &gen_f32(0x11, self.n));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (a, b) = self.reference();
+        check_f32(emu, "A", self.a(), &a, TOL)?;
+        check_f32(emu, "B", self.b(), &b, TOL)
+    }
+}
+
+/// The Jacobi-2D kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobi2d {
+    n: usize,
+    tsteps: usize,
+}
+
+impl Jacobi2d {
+    /// `tsteps` sweeps over `n×n` grids (n ≥ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize, tsteps: usize) -> Self {
+        assert!(n >= 3);
+        Self { n, tsteps }
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn b(&self) -> u64 {
+        region(1)
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>) {
+        let n = self.n;
+        let mut a = gen_f32(0x20, n * n);
+        let mut b = gen_f32(0x21, n * n);
+        for _ in 0..self.tsteps {
+            for (s, d) in [(0, 1), (1, 0)] {
+                // s/d select which array is source this half-sweep.
+                let (src, dst) = if s == 0 {
+                    (a.clone(), &mut b)
+                } else {
+                    (b.clone(), &mut a)
+                };
+                let _ = d;
+                for i in 1..n - 1 {
+                    for j in 1..n - 1 {
+                        dst[i * n + j] = 0.2
+                            * (src[i * n + j]
+                                + src[i * n + j - 1]
+                                + src[i * n + j + 1]
+                                + src[(i - 1) * n + j]
+                                + src[(i + 1) * n + j]);
+                    }
+                }
+            }
+        }
+        (a, b)
+    }
+
+    /// Offsets (in elements, from the grid origin) of the five-point
+    /// stencil's streams plus the output, for interior origin (1,1).
+    fn stencil_bases(&self, src: u64, dst: u64) -> [u64; 6] {
+        let n = self.n as u64;
+        let at = |i: u64, j: u64| 4 * (i * n + j);
+        [
+            src + at(1, 1), // centre
+            src + at(1, 0), // west
+            src + at(1, 2), // east
+            src + at(0, 1), // north
+            src + at(2, 1), // south
+            dst + at(1, 1), // output
+        ]
+    }
+
+    fn half_uve(&self, tag: String, src: u64, dst: u64) -> String {
+        let m = self.n - 2;
+        let n = self.n;
+        let [c, w, e, no, s, o] = self.stencil_bases(src, dst);
+        let mut t = String::new();
+        let _ = writeln!(t, "    li x10, {m}");
+        let _ = writeln!(t, "    li x11, {n}");
+        let _ = writeln!(t, "    li x13, 1");
+        for (u, base) in [(0u32, c), (1, w), (2, e), (3, no), (4, s)] {
+            let _ = writeln!(t, "    li x20, {base}");
+            let _ = writeln!(t, "    ss.ld.w.sta u{u}, x20, x10, x13");
+            let _ = writeln!(t, "    ss.end u{u}, x0, x10, x11");
+        }
+        let _ = writeln!(t, "    li x20, {o}");
+        let _ = writeln!(t, "    ss.st.w.sta u5, x20, x10, x13");
+        let _ = writeln!(t, "    ss.end u5, x0, x10, x11");
+        let _ = writeln!(t, "h{tag}:");
+        let _ = writeln!(t, "    so.a.add.w.fp u6, u0, u1, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u6, u6, u2, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u6, u6, u3, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u6, u6, u4, p0");
+        let _ = writeln!(t, "    so.a.mul.vs.w.fp u5, u6, f10, p0");
+        let _ = writeln!(t, "    so.b.nend u0, h{tag}");
+        t
+    }
+
+    fn half_sve(&self, tag: String, src: u64, dst: u64) -> String {
+        let m = self.n - 2;
+        let n = self.n;
+        let [c, w, e, no, s, o] = self.stencil_bases(src, dst);
+        format!(
+            "
+    li x10, {m}
+    li x11, {n}
+    li x14, 0              ; row
+r{tag}:
+    mul x16, x14, x11
+    slli x16, x16, 2
+    li x20, {c}
+    add x20, x20, x16
+    li x21, {w}
+    add x21, x21, x16
+    li x22, {e}
+    add x22, x22, x16
+    li x23, {no}
+    add x23, x23, x16
+    li x24, {s}
+    add x24, x24, x16
+    li x25, {o}
+    add x25, x25, x16
+    li x15, 0
+    whilelt.w p1, x15, x10
+h{tag}:
+    vl1.w u0, x20, x15, p1
+    vl1.w u1, x21, x15, p1
+    vl1.w u2, x22, x15, p1
+    vl1.w u3, x23, x15, p1
+    vl1.w u4, x24, x15, p1
+    so.a.add.w.fp u6, u0, u1, p1
+    so.a.add.w.fp u6, u6, u2, p1
+    so.a.add.w.fp u6, u6, u3, p1
+    so.a.add.w.fp u6, u6, u4, p1
+    so.a.mul.vs.w.fp u6, u6, f10, p1
+    vs1.w u6, x25, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, h{tag}
+    addi x14, x14, 1
+    blt x14, x10, r{tag}
+"
+        )
+    }
+
+    fn half_scalar(&self, tag: String, src: u64, dst: u64) -> String {
+        let m = self.n - 2;
+        let n = self.n;
+        let [c, w, e, no, s, o] = self.stencil_bases(src, dst);
+        format!(
+            "
+    li x10, {m}
+    li x11, {n}
+    li x14, 0
+r{tag}:
+    mul x16, x14, x11
+    slli x16, x16, 2
+    li x20, {c}
+    add x20, x20, x16
+    li x21, {w}
+    add x21, x21, x16
+    li x22, {e}
+    add x22, x22, x16
+    li x23, {no}
+    add x23, x23, x16
+    li x24, {s}
+    add x24, x24, x16
+    li x25, {o}
+    add x25, x25, x16
+    li x15, 0
+h{tag}:
+    fld.w f1, 0(x20)
+    fld.w f2, 0(x21)
+    fadd.w f1, f1, f2
+    fld.w f2, 0(x22)
+    fadd.w f1, f1, f2
+    fld.w f2, 0(x23)
+    fadd.w f1, f1, f2
+    fld.w f2, 0(x24)
+    fadd.w f1, f1, f2
+    fmul.w f1, f1, f10
+    fst.w f1, 0(x25)
+    addi x20, x20, 4
+    addi x21, x21, 4
+    addi x22, x22, 4
+    addi x23, x23, 4
+    addi x24, x24, 4
+    addi x25, x25, 4
+    addi x15, x15, 1
+    blt x15, x10, h{tag}
+    addi x14, x14, 1
+    blt x14, x10, r{tag}
+"
+        )
+    }
+}
+
+impl Benchmark for Jacobi2d {
+    fn streams(&self) -> usize {
+        6
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D"
+    }
+
+    fn name(&self) -> &'static str {
+        "Jacobi-2D"
+    }
+
+    fn domain(&self) -> &'static str {
+        "stencil"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let mut text = String::new();
+        for t in 0..self.tsteps {
+            for (h, (src, dst)) in [(self.a(), self.b()), (self.b(), self.a())]
+                .into_iter()
+                .enumerate()
+            {
+                let tag = format!("{t}_{h}");
+                text.push_str(&match flavor {
+                    Flavor::Uve => self.half_uve(tag, src, dst),
+                    Flavor::Sve | Flavor::Neon => self.half_sve(tag, src, dst),
+                    Flavor::Scalar => self.half_scalar(tag, src, dst),
+                });
+            }
+        }
+        text.push_str("    halt\n");
+        asm("jacobi2d", &text)
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, 0.2);
+        emu.mem
+            .write_f32_slice(self.a(), &gen_f32(0x20, self.n * self.n));
+        emu.mem
+            .write_f32_slice(self.b(), &gen_f32(0x21, self.n * self.n));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (a, b) = self.reference();
+        check_f32(emu, "A", self.a(), &a, TOL)?;
+        check_f32(emu, "B", self.b(), &b, TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn jacobi1d_all_flavors() {
+        for n in [67usize, 34] {
+            let b = Jacobi1d::new(n, 2);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi2d_all_flavors() {
+        for n in [10usize, 19] {
+            let b = Jacobi2d::new(n, 2);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi2d_uses_twelve_streams_per_step() {
+        // 6 streams per half-sweep × 2 halves (paper: 12 streams).
+        let b = Jacobi2d::new(8, 1);
+        let r = run_checked(&b, Flavor::Uve).unwrap();
+        assert_eq!(r.result.trace.streams.len(), 12);
+    }
+}

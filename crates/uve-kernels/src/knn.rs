@@ -1,0 +1,270 @@
+//! Benchmark M — **KNN** (data mining): squared Euclidean distances from a
+//! query point to every row of a point matrix, followed by a 1-NN
+//! min-reduction.
+//!
+//! `dist[i] = Σ_d (P[i][d] − q[d])²`, then `best = min_i dist[i]`.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// The KNN kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Knn {
+    npoints: usize,
+    dim: usize,
+}
+
+impl Knn {
+    /// `npoints` points of `dim` f32 coordinates each.
+    pub fn new(npoints: usize, dim: usize) -> Self {
+        Self { npoints, dim }
+    }
+
+    fn points(&self) -> u64 {
+        region(0)
+    }
+
+    fn query(&self) -> u64 {
+        region(1)
+    }
+
+    fn dist(&self) -> u64 {
+        region(2)
+    }
+
+    fn best(&self) -> u64 {
+        region(3)
+    }
+
+    fn reference(&self) -> (Vec<f32>, f32) {
+        let (n, d) = (self.npoints, self.dim);
+        let p = gen_f32(0x90, n * d);
+        let q = gen_f32(0x91, d);
+        let mut dist = vec![0f32; n];
+        for i in 0..n {
+            let mut acc = 0f32;
+            for k in 0..d {
+                let t = p[i * d + k] - q[k];
+                acc += t * t;
+            }
+            dist[i] = acc;
+        }
+        let best = dist.iter().copied().fold(f32::INFINITY, f32::min);
+        (dist, best)
+    }
+
+    fn uve_text(&self) -> String {
+        let (n, d) = (self.npoints, self.dim);
+        let (p, q, dist, best) = (self.points(), self.query(), self.dist(), self.best());
+        format!(
+            "
+    li x10, {n}
+    li x11, {d}
+    li x13, 1
+    li x20, {p}
+    ss.ld.w.sta u0, x20, x11, x13
+    ss.end u0, x0, x10, x11
+    li x20, {q}
+    ss.ld.w.sta u1, x20, x11, x13
+    ss.end u1, x0, x10, x0
+    li x6, 1
+    li x20, {dist}
+    ss.st.w.sta u2, x20, x6, x13
+    ss.end u2, x0, x10, x13
+row:
+    so.v.dup.w.fp u4, f31
+chunk:
+    so.a.sub.w.fp u5, u0, u1, p0
+    so.a.mac.w.fp u4, u5, u5, p0
+    so.b.dim0.nend u0, chunk
+    so.a.hadd.w.fp u2, u4, p0
+    so.b.nend u0, row
+    ; ---- 1-NN min reduction over dist ----
+    ; Per-chunk horizontal min into a one-lane accumulator: safe for
+    ; ragged tails (lane-wise min would drop tail lanes' history).
+    li x20, {dist}
+    ss.ld.w u0, x20, x10, x13
+    li x7, 2000000000
+    fcvt.f.x.w f5, x7
+    so.v.dup.w.fp u6, f5
+minloop:
+    so.a.hmin.w.fp u7, u0, p0
+    so.a.min.w.fp u6, u6, u7, p0
+    so.b.nend u0, minloop
+    so.v.extr.f.w f6, u6[0]
+    li x20, {best}
+    fst.w f6, 0(x20)
+    halt
+"
+        )
+    }
+
+    fn sve_text(&self) -> String {
+        let (n, d) = (self.npoints, self.dim);
+        let (p, q, dist, best) = (self.points(), self.query(), self.dist(), self.best());
+        format!(
+            "
+    li x10, {n}
+    li x11, {d}
+    li x21, {q}
+    li x22, {dist}
+    li x14, 0
+row:
+    so.v.dup.w.fp u4, f31
+    mul x16, x14, x11
+    slli x16, x16, 2
+    li x20, {p}
+    add x16, x20, x16
+    li x15, 0
+    whilelt.w p1, x15, x11
+chunk:
+    vl1.w u1, x16, x15, p1
+    vl1.w u2, x21, x15, p1
+    so.a.sub.w.fp u5, u1, u2, p1
+    so.a.mac.w.fp u4, u5, u5, p1
+    incvl.w x15
+    whilelt.w p1, x15, x11
+    so.b.pfirst p1, chunk
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f1, u5[0]
+    slli x17, x14, 2
+    add x17, x22, x17
+    fst.w f1, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, row
+    ; ---- min reduction: full vectors, then scalar tail ----
+    li x7, 2000000000
+    fcvt.f.x.w f5, x7
+    so.v.dup.w.fp u6, f5
+    cntvl.w x5
+    div x6, x10, x5
+    mul x6, x6, x5
+    li x15, 0
+    beq x6, x0, mintailc
+minloop:
+    vl1.w u1, x22, x15, p0
+    so.a.min.w.fp u6, u6, u1, p0
+    incvl.w x15
+    blt x15, x6, minloop
+mintailc:
+    so.a.hmin.w.fp u7, u6, p0
+    so.v.extr.f.w f5, u7[0]
+    bge x15, x10, minfin
+mintail:
+    slli x17, x15, 2
+    add x17, x22, x17
+    fld.w f1, 0(x17)
+    fmin.w f5, f5, f1
+    addi x15, x15, 1
+    blt x15, x10, mintail
+minfin:
+    li x20, {best}
+    fst.w f5, 0(x20)
+    halt
+"
+        )
+    }
+
+    fn scalar_text(&self) -> String {
+        let (n, d) = (self.npoints, self.dim);
+        let (p, q, dist, best) = (self.points(), self.query(), self.dist(), self.best());
+        format!(
+            "
+    li x10, {n}
+    li x11, {d}
+    li x22, {dist}
+    li x14, 0
+    li x20, {p}
+row:
+    fmv.w f2, f31
+    li x21, {q}
+    li x15, 0
+dloop:
+    fld.w f3, 0(x20)
+    fld.w f4, 0(x21)
+    fsub.w f3, f3, f4
+    fmadd.w f2, f3, f3, f2
+    addi x20, x20, 4
+    addi x21, x21, 4
+    addi x15, x15, 1
+    blt x15, x11, dloop
+    slli x17, x14, 2
+    add x17, x22, x17
+    fst.w f2, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, row
+    ; min reduction
+    li x7, 2000000000
+    fcvt.f.x.w f5, x7
+    li x14, 0
+    li x21, {dist}
+minloop:
+    fld.w f1, 0(x21)
+    fmin.w f5, f5, f1
+    addi x21, x21, 4
+    addi x14, x14, 1
+    blt x14, x10, minloop
+    li x20, {best}
+    fst.w f5, 0(x20)
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for Knn {
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D"
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn domain(&self) -> &'static str {
+        "data mining"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("knn-uve", &self.uve_text()),
+            Flavor::Sve | Flavor::Neon => asm("knn-sve", &self.sve_text()),
+            Flavor::Scalar => asm("knn-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem
+            .write_f32_slice(self.points(), &gen_f32(0x90, self.npoints * self.dim));
+        emu.mem
+            .write_f32_slice(self.query(), &gen_f32(0x91, self.dim));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (dist, best) = self.reference();
+        check_f32(emu, "dist", self.dist(), &dist, TOL)?;
+        check_f32(emu, "best", self.best(), &[best], TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for (n, d) in [(32usize, 16usize), (17, 9)] {
+            let b = Knn::new(n, d);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+}

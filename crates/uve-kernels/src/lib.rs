@@ -1,0 +1,229 @@
+//! The 19 evaluation kernels of the UVE paper (Fig. 8), each in four
+//! flavours:
+//!
+//! - [`Flavor::Uve`]: hand-coded UVE streaming assembly (512-bit vectors),
+//! - [`Flavor::Sve`]: SVE-like predicated vector-length-agnostic assembly
+//!   (512-bit vectors) — or scalar code for the four kernels the paper's
+//!   ARM compiler failed to vectorize,
+//! - [`Flavor::Neon`]: NEON-like fixed-width vectorization (128-bit vectors
+//!   plus scalar loop tails) — or scalar code under the same rule,
+//! - [`Flavor::Scalar`]: plain scalar RISC code.
+//!
+//! Every kernel ships a deterministic workload generator ([`Benchmark::setup`])
+//! and a correctness oracle ([`Benchmark::check`]) comparing simulated memory
+//! against a Rust reference implementation.
+//!
+//! # Example
+//!
+//! ```rust
+//! use uve_kernels::{saxpy::Saxpy, run_checked, Flavor};
+//!
+//! let bench = Saxpy::new(100);
+//! let run = run_checked(&bench, Flavor::Uve).expect("correct");
+//! assert!(run.result.committed > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod covariance;
+pub mod floyd;
+pub mod gemm;
+pub mod gemver;
+pub mod haccmk;
+pub mod irsmk;
+pub mod jacobi;
+pub mod knn;
+pub mod mamr;
+pub mod memcpy;
+pub mod mvt;
+pub mod saxpy;
+pub mod seidel;
+pub mod stream;
+pub mod threemm;
+pub mod trisolv;
+
+use uve_core::{EmuConfig, Emulator, RunResult};
+use uve_isa::Program;
+use uve_mem::Memory;
+
+/// Code flavour of a kernel implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Flavor {
+    /// UVE streaming code (512-bit vectors).
+    Uve,
+    /// SVE-like predicated vector code (512-bit vectors); falls back to
+    /// scalar for kernels the paper's compiler could not vectorize.
+    Sve,
+    /// NEON-like fixed 128-bit vector code with scalar tails; same scalar
+    /// fallback rule.
+    Neon,
+    /// Plain scalar code.
+    Scalar,
+}
+
+impl Flavor {
+    /// Vector length in bytes this flavour runs with.
+    pub fn vlen_bytes(self) -> usize {
+        match self {
+            Flavor::Neon => 16,
+            _ => 64,
+        }
+    }
+
+    /// All four flavours.
+    pub fn all() -> [Flavor; 4] {
+        [Flavor::Uve, Flavor::Sve, Flavor::Neon, Flavor::Scalar]
+    }
+}
+
+impl std::fmt::Display for Flavor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Flavor::Uve => "UVE",
+            Flavor::Sve => "SVE",
+            Flavor::Neon => "NEON",
+            Flavor::Scalar => "scalar",
+        })
+    }
+}
+
+/// One evaluation kernel: programs in all flavours, workload setup, and a
+/// correctness oracle.
+pub trait Benchmark {
+    /// Short kernel name (paper Fig. 8 naming).
+    fn name(&self) -> &'static str;
+
+    /// Application domain label from the paper's table.
+    fn domain(&self) -> &'static str {
+        "misc"
+    }
+
+    /// `false` for the kernels the paper's ARM compiler failed to vectorize
+    /// (Seidel-2D, MAMR variants, Covariance, Floyd-Warshall): their
+    /// SVE/NEON flavours are scalar code.
+    fn sve_vectorized(&self) -> bool {
+        true
+    }
+
+    /// Number of concurrent streams the UVE flavour configures (the paper's
+    /// `#Streams` column; for multi-phase kernels, the per-phase maximum).
+    fn streams(&self) -> usize {
+        0
+    }
+
+    /// Memory-access pattern label (the paper's rightmost column).
+    fn pattern(&self) -> &'static str {
+        "1D"
+    }
+
+    /// The program implementing this kernel in the given flavour.
+    fn program(&self, flavor: Flavor) -> Program;
+
+    /// Writes the input arrays and scalar parameters into the emulator.
+    fn setup(&self, emu: &mut Emulator);
+
+    /// Verifies the results in simulated memory against the reference
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch.
+    fn check(&self, emu: &Emulator) -> Result<(), String>;
+}
+
+/// A completed kernel execution.
+#[derive(Debug)]
+pub struct KernelRun {
+    /// The emulator after the run (memory holds results).
+    pub emulator: Emulator,
+    /// Committed-instruction count and dynamic trace.
+    pub result: RunResult,
+}
+
+/// Runs `bench` in `flavor`, returning the emulator and trace.
+///
+/// # Errors
+///
+/// Propagates emulation failures (stream misuse, runaway loops).
+pub fn run(bench: &dyn Benchmark, flavor: Flavor) -> Result<KernelRun, uve_core::EmuError> {
+    let cfg = EmuConfig {
+        vlen_bytes: flavor.vlen_bytes(),
+        ..EmuConfig::default()
+    };
+    let mut emulator = Emulator::new(cfg, Memory::new());
+    bench.setup(&mut emulator);
+    let program = bench.program(flavor);
+    let result = emulator.run(&program)?;
+    Ok(KernelRun { emulator, result })
+}
+
+/// Runs `bench` in `flavor` and verifies the result.
+///
+/// # Errors
+///
+/// Returns emulation errors or correctness mismatches as strings.
+pub fn run_checked(bench: &dyn Benchmark, flavor: Flavor) -> Result<KernelRun, String> {
+    let run = run(bench, flavor).map_err(|e| format!("{}/{flavor}: {e}", bench.name()))?;
+    bench
+        .check(&run.emulator)
+        .map_err(|e| format!("{}/{flavor}: {e}", bench.name()))?;
+    Ok(run)
+}
+
+/// The paper's benchmark list (Fig. 8, rows A–S) at the default evaluation
+/// sizes.
+pub fn evaluation_suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(memcpy::Memcpy::new(65536)),
+        Box::new(stream::Stream::new(49152)),
+        Box::new(saxpy::Saxpy::new(65536)),
+        Box::new(gemm::Gemm::new(32, 32, 32)),
+        Box::new(threemm::ThreeMm::new(32)),
+        Box::new(mvt::Mvt::new(128)),
+        Box::new(gemver::Gemver::new(128)),
+        Box::new(trisolv::Trisolv::new(128)),
+        Box::new(jacobi::Jacobi1d::new(16384, 4)),
+        Box::new(jacobi::Jacobi2d::new(64, 2)),
+        Box::new(irsmk::Irsmk::new(4096)),
+        Box::new(haccmk::Haccmk::new(128)),
+        Box::new(knn::Knn::new(1024, 16)),
+        Box::new(covariance::Covariance::new(32, 48)),
+        Box::new(mamr::Mamr::full(128)),
+        Box::new(mamr::Mamr::diag(128)),
+        Box::new(mamr::Mamr::indirect(128)),
+        Box::new(seidel::Seidel2d::new(48, 2)),
+        Box::new(floyd::FloydWarshall::new(40)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nineteen_kernels() {
+        let suite = evaluation_suite();
+        assert_eq!(suite.len(), 19);
+        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
+        assert!(names.contains(&"SAXPY"));
+        assert!(names.contains(&"Floyd-Warshall"));
+    }
+
+    #[test]
+    fn every_kernel_declares_its_table_row() {
+        for b in evaluation_suite() {
+            assert!(b.streams() >= 2, "{}", b.name());
+            assert!(!b.pattern().is_empty(), "{}", b.name());
+            assert_ne!(b.domain(), "misc", "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn flavors() {
+        assert_eq!(Flavor::Neon.vlen_bytes(), 16);
+        assert_eq!(Flavor::Uve.vlen_bytes(), 64);
+        assert_eq!(Flavor::Uve.to_string(), "UVE");
+        assert_eq!(Flavor::all().len(), 4);
+    }
+}

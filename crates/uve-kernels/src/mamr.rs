@@ -1,0 +1,329 @@
+//! Benchmarks O/P/Q — **MAMR**: Maximum Across Matrix Rows, the paper's
+//! Fig. 2 example, in its three access-pattern variants:
+//!
+//! - **MAMR** (O): full `n×n` matrix,
+//! - **MAMR-Diag** (P): lower-triangular matrix (static size modifier),
+//! - **MAMR-Ind** (Q): `A[B[i][j]]` with an index matrix `B` (indirect
+//!   modifier).
+//!
+//! The UVE loop body is identical for all variants — only the stream
+//! configuration (and the dimension tested for row boundaries) changes,
+//! demonstrating feature F3. The ARM compiler could not vectorize these
+//! kernels, so the SVE/NEON baselines are scalar.
+
+use crate::common::{asm, check_f32, gen_f32, gen_indices, region, TOL};
+use crate::{Benchmark, Flavor};
+use std::fmt::Write as _;
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Which MAMR variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MamrVariant {
+    /// Full matrix (row `i` has `n` elements).
+    Full,
+    /// Lower triangular (row `i` has `i+1` elements).
+    Diag,
+    /// Indirect: row `i` is `A[B[i][0..n]]`.
+    Indirect,
+}
+
+/// The MAMR kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Mamr {
+    n: usize,
+    variant: MamrVariant,
+}
+
+impl Mamr {
+    /// Full-matrix variant (paper row O).
+    pub fn full(n: usize) -> Self {
+        Self {
+            n,
+            variant: MamrVariant::Full,
+        }
+    }
+
+    /// Lower-triangular variant (row P).
+    pub fn diag(n: usize) -> Self {
+        Self {
+            n,
+            variant: MamrVariant::Diag,
+        }
+    }
+
+    /// Indirect variant (row Q).
+    pub fn indirect(n: usize) -> Self {
+        Self {
+            n,
+            variant: MamrVariant::Indirect,
+        }
+    }
+
+    /// The variant.
+    pub fn variant(&self) -> MamrVariant {
+        self.variant
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn bidx(&self) -> u64 {
+        region(1)
+    }
+
+    fn c(&self) -> u64 {
+        region(2)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let n = self.n;
+        let a = gen_f32(0x80, n * n);
+        match self.variant {
+            MamrVariant::Full => (0..n)
+                .map(|i| a[i * n..(i + 1) * n].iter().copied().fold(f32::MIN, f32::max))
+                .collect(),
+            MamrVariant::Diag => (0..n)
+                .map(|i| a[i * n..i * n + i + 1].iter().copied().fold(f32::MIN, f32::max))
+                .collect(),
+            MamrVariant::Indirect => {
+                let b = gen_indices(0x81, n * n, n as i32 * n as i32);
+                (0..n)
+                    .map(|i| {
+                        (0..n)
+                            .map(|j| a[b[i * n + j] as usize])
+                            .fold(f32::MIN, f32::max)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn uve_text(&self) -> String {
+        let n = self.n;
+        let (a, b, c) = (self.a(), self.bidx(), self.c());
+        let mut t = String::new();
+        let _ = writeln!(t, "    li x10, {n}");
+        let _ = writeln!(t, "    li x13, 1");
+        // Variant-specific input stream configuration on u0; the row
+        // boundary is signalled by `row_dim`.
+        let row_dim = match self.variant {
+            MamrVariant::Full => {
+                let _ = writeln!(t, "    li x20, {a}");
+                let _ = writeln!(t, "    ss.ld.w.sta u0, x20, x10, x13");
+                let _ = writeln!(t, "    ss.end u0, x0, x10, x10");
+                0
+            }
+            MamrVariant::Diag => {
+                let _ = writeln!(t, "    li x20, {a}");
+                let _ = writeln!(t, "    ss.ld.w.sta u0, x20, x0, x13");
+                let _ = writeln!(t, "    ss.app u0, x0, x10, x10");
+                let _ = writeln!(t, "    ss.end.mod.size.add u0, x13, x10");
+                0
+            }
+            MamrVariant::Indirect => {
+                // Origin: the index matrix B, streamed linearly.
+                let _ = writeln!(t, "    mul x7, x10, x10");
+                let _ = writeln!(t, "    li x20, {b}");
+                let _ = writeln!(t, "    ss.ld.w u2, x20, x7, x13");
+                // A[B[i][j]]: one element per origin value, rows of n.
+                let _ = writeln!(t, "    li x6, 1");
+                let _ = writeln!(t, "    li x20, {a}");
+                let _ = writeln!(t, "    ss.ld.w.sta u0, x20, x6, x0");
+                let _ = writeln!(t, "    ss.app u0, x0, x10, x0");
+                let _ = writeln!(t, "    ss.app.ind.off.setadd u0, u2");
+                let _ = writeln!(t, "    ss.end u0, x0, x10, x0");
+                1
+            }
+        };
+        // Output: one element per row.
+        let _ = writeln!(t, "    li x6, 1");
+        let _ = writeln!(t, "    li x20, {c}");
+        let _ = writeln!(t, "    ss.st.w.sta u1, x20, x6, x13");
+        let _ = writeln!(t, "    ss.end u1, x0, x10, x13");
+        // Fig. 2 loop: per-block horizontal max folded into a one-lane
+        // running max (safe for rows that are not multiples of VL).
+        let _ = writeln!(t, "next_line:");
+        let _ = writeln!(t, "    so.a.hmax.w.fp u5, u0, p0");
+        let _ = writeln!(t, "    so.b.dim{row_dim}.end u0, row_done");
+        let _ = writeln!(t, "loop:");
+        let _ = writeln!(t, "    so.a.hmax.w.fp u6, u0, p0");
+        let _ = writeln!(t, "    so.a.max.w.fp u5, u5, u6, p0");
+        let _ = writeln!(t, "    so.b.dim{row_dim}.nend u0, loop");
+        let _ = writeln!(t, "row_done:");
+        let _ = writeln!(t, "    so.v.mv u1, u5");
+        let _ = writeln!(t, "    so.b.nend u0, next_line");
+        let _ = writeln!(t, "    halt");
+        t
+    }
+
+    fn scalar_text(&self) -> String {
+        let n = self.n;
+        let (a, b, c) = (self.a(), self.bidx(), self.c());
+        match self.variant {
+            MamrVariant::Full | MamrVariant::Diag => {
+                let triangular = self.variant == MamrVariant::Diag;
+                let bound = if triangular {
+                    "    addi x9, x14, 1" // row i has i+1 elements
+                } else {
+                    "    add x9, x10, x0"
+                };
+                format!(
+                    "
+    li x10, {n}
+    li x20, {a}
+    li x22, {c}
+    li x14, 0
+row:
+{bound}
+    mul x16, x14, x10
+    slli x16, x16, 2
+    li x17, {a}
+    add x16, x17, x16
+    fld.w f1, 0(x16)
+    addi x16, x16, 4
+    li x15, 1
+    bge x15, x9, done_row
+elem:
+    fld.w f2, 0(x16)
+    fmax.w f1, f1, f2
+    addi x16, x16, 4
+    addi x15, x15, 1
+    blt x15, x9, elem
+done_row:
+    slli x17, x14, 2
+    add x17, x22, x17
+    fst.w f1, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, row
+    halt
+",
+                )
+            }
+            MamrVariant::Indirect => format!(
+                "
+    li x10, {n}
+    li x20, {a}
+    li x21, {b}
+    li x22, {c}
+    li x14, 0
+row:
+    li x7, -2000000000
+    fcvt.f.x.w f1, x7
+    li x15, 0
+elem:
+    ld.w x16, 0(x21)
+    addi x21, x21, 4
+    slli x16, x16, 2
+    add x16, x20, x16
+    fld.w f2, 0(x16)
+    fmax.w f1, f1, f2
+    addi x15, x15, 1
+    blt x15, x10, elem
+    slli x17, x14, 2
+    add x17, x22, x17
+    fst.w f1, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, row
+    halt
+"
+            ),
+        }
+    }
+}
+
+impl Benchmark for Mamr {
+    fn streams(&self) -> usize {
+        match self.variant {
+            MamrVariant::Indirect => 3,
+            _ => 2,
+        }
+    }
+
+    fn pattern(&self) -> &'static str {
+        match self.variant {
+            MamrVariant::Full => "2D",
+            MamrVariant::Diag => "2D + static modifier",
+            MamrVariant::Indirect => "2D + indirect modifier",
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.variant {
+            MamrVariant::Full => "MAMR",
+            MamrVariant::Diag => "MAMR-Diag",
+            MamrVariant::Indirect => "MAMR-Ind",
+        }
+    }
+
+    fn domain(&self) -> &'static str {
+        "data mining"
+    }
+
+    fn sve_vectorized(&self) -> bool {
+        false
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("mamr-uve", &self.uve_text()),
+            // Not vectorized by the paper's compiler: scalar baselines.
+            _ => asm("mamr-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        let n = self.n;
+        emu.mem.write_f32_slice(self.a(), &gen_f32(0x80, n * n));
+        if self.variant == MamrVariant::Indirect {
+            emu.mem
+                .write_i32_slice(self.bidx(), &gen_indices(0x81, n * n, n as i32 * n as i32));
+        }
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "C", self.c(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn full_variant_all_flavors() {
+        for n in [16usize, 21] {
+            let b = Mamr::full(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn diag_variant_all_flavors() {
+        for n in [8usize, 19] {
+            let b = Mamr::diag(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_variant_all_flavors() {
+        for n in [8usize, 13] {
+            let b = Mamr::indirect(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_baseline_flag() {
+        assert!(!Mamr::full(8).sve_vectorized());
+    }
+}

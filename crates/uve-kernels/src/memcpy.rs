@@ -1,0 +1,192 @@
+//! Benchmark A — **Memcpy** (memory domain): `y[i] = x[i]`.
+//!
+//! The simplest streaming pattern: two 1-D streams, a single `so.v.mv` loop
+//! body in UVE.
+
+use crate::common::{asm, check_f32, gen_f32, region};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// The Memcpy kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Memcpy {
+    n: usize,
+}
+
+impl Memcpy {
+    /// Copies `n` 32-bit elements.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    fn src(&self) -> u64 {
+        region(0)
+    }
+
+    fn dst(&self) -> u64 {
+        region(1)
+    }
+}
+
+impl Benchmark for Memcpy {
+    fn streams(&self) -> usize {
+        2
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D"
+    }
+
+    fn name(&self) -> &'static str {
+        "Memcpy"
+    }
+
+    fn domain(&self) -> &'static str {
+        "memory"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let (n, src, dst) = (self.n, self.src(), self.dst());
+        match flavor {
+            Flavor::Uve => asm(
+                "memcpy-uve",
+                &format!(
+                    "
+    li x10, {n}
+    li x11, {src}
+    li x12, {dst}
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    ss.st.w u1, x12, x10, x13
+loop:
+    so.v.mv u1, u0
+    so.b.nend u0, loop
+    halt
+"
+                ),
+            ),
+            Flavor::Sve => asm(
+                "memcpy-sve",
+                &format!(
+                    "
+    li x10, 0
+    li x11, {n}
+    li x12, {src}
+    li x13, {dst}
+    whilelt.w p1, x10, x11
+loop:
+    vl1.w u0, x12, x10, p1
+    vs1.w u0, x13, x10, p1
+    incvl.w x10
+    whilelt.w p1, x10, x11
+    so.b.pfirst p1, loop
+    halt
+"
+                ),
+            ),
+            Flavor::Neon => asm(
+                "memcpy-neon",
+                &format!(
+                    "
+    li x10, 0
+    li x11, {n}
+    cntvl.w x5
+    div x6, x11, x5
+    mul x6, x6, x5
+    li x12, {src}
+    li x13, {dst}
+    beq x6, x0, tail_check
+loop:
+    vl1.w u0, x12, x10, p0
+    vs1.w u0, x13, x10, p0
+    incvl.w x10
+    blt x10, x6, loop
+tail_check:
+    bge x10, x11, done
+tail:
+    slli x7, x10, 2
+    add x8, x12, x7
+    fld.w f1, 0(x8)
+    add x8, x13, x7
+    fst.w f1, 0(x8)
+    addi x10, x10, 1
+    blt x10, x11, tail
+done:
+    halt
+"
+                ),
+            ),
+            Flavor::Scalar => asm(
+                "memcpy-scalar",
+                &format!(
+                    "
+    li x10, {n}
+    li x12, {src}
+    li x13, {dst}
+    beq x10, x0, done
+loop:
+    fld.w f1, 0(x12)
+    fst.w f1, 0(x13)
+    addi x12, x12, 4
+    addi x13, x13, 4
+    addi x10, x10, -1
+    bne x10, x0, loop
+done:
+    halt
+"
+                ),
+            ),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem.write_f32_slice(self.src(), &gen_f32(0xA, self.n));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "y", self.dst(), &gen_f32(0xA, self.n), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct_vector_multiple() {
+        let b = Memcpy::new(64);
+        for f in Flavor::all() {
+            run_checked(&b, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_flavors_correct_ragged_tail() {
+        let b = Memcpy::new(37);
+        for f in Flavor::all() {
+            run_checked(&b, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn uve_commits_far_fewer_instructions() {
+        let b = Memcpy::new(256);
+        let uve = run_checked(&b, Flavor::Uve).unwrap();
+        let sve = run_checked(&b, Flavor::Sve).unwrap();
+        let scalar = run_checked(&b, Flavor::Scalar).unwrap();
+        assert!(uve.result.committed * 2 < sve.result.committed);
+        assert!(uve.result.committed * 10 < scalar.result.committed);
+    }
+
+    #[test]
+    fn stream_trace_shape() {
+        let b = Memcpy::new(64);
+        let uve = run_checked(&b, Flavor::Uve).unwrap();
+        let t = &uve.result.trace;
+        assert_eq!(t.streams.len(), 2);
+        assert_eq!(t.streams[0].elements(), 64);
+        assert_eq!(t.streams[1].elements(), 64);
+    }
+}

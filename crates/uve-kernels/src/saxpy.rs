@@ -1,0 +1,210 @@
+//! Benchmark C — **SAXPY** (BLAS): `y[i] = a*x[i] + y[i]`.
+//!
+//! The paper's running example (Figs. 1 and 4). The UVE flavour is exactly
+//! the Fig. 4 code: three streams (`x` in, `y` in, `y` out), a broadcast of
+//! `a`, and a two-instruction loop body (the fused multiply-add cannot be
+//! used because `u2` is a write-only stream).
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The SAXPY kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Saxpy {
+    n: usize,
+}
+
+/// The scalar coefficient `a`.
+const A: f32 = 2.5;
+
+impl Saxpy {
+    /// Operates on `n` f32 elements.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    fn x(&self) -> u64 {
+        region(0)
+    }
+
+    fn y(&self) -> u64 {
+        region(1)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let x = gen_f32(0xC0, self.n);
+        let y = gen_f32(0xC1, self.n);
+        x.iter().zip(&y).map(|(x, y)| A * x + y).collect()
+    }
+}
+
+impl Benchmark for Saxpy {
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D"
+    }
+
+    fn name(&self) -> &'static str {
+        "SAXPY"
+    }
+
+    fn domain(&self) -> &'static str {
+        "BLAS"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let (n, x, y) = (self.n, self.x(), self.y());
+        match flavor {
+            Flavor::Uve => asm(
+                "saxpy-uve",
+                &format!(
+                    "
+    li x10, {n}
+    li x11, {x}
+    li x12, {y}
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    ss.ld.w u1, x12, x10, x13
+    ss.st.w u2, x12, x10, x13
+    so.v.dup.w.fp u3, f10
+loop:
+    so.a.mul.w.fp u4, u3, u0, p0
+    so.a.add.w.fp u2, u4, u1, p0
+    so.b.nend u0, loop
+    halt
+"
+                ),
+            ),
+            Flavor::Sve => asm(
+                "saxpy-sve",
+                &format!(
+                    "
+    li x10, 0
+    li x11, {n}
+    li x12, {x}
+    li x13, {y}
+    whilelt.w p1, x10, x11
+loop:
+    vl1.w u1, x12, x10, p1
+    vl1.w u2, x13, x10, p1
+    so.a.mac.vs.w.fp u2, u1, f10, p1
+    vs1.w u2, x13, x10, p1
+    incvl.w x10
+    whilelt.w p1, x10, x11
+    so.b.pfirst p1, loop
+    halt
+"
+                ),
+            ),
+            Flavor::Neon => asm(
+                "saxpy-neon",
+                &format!(
+                    "
+    li x10, 0
+    li x11, {n}
+    cntvl.w x5
+    div x6, x11, x5
+    mul x6, x6, x5
+    li x12, {x}
+    li x13, {y}
+    beq x6, x0, tail_check
+loop:
+    vl1.w u1, x12, x10, p0
+    vl1.w u2, x13, x10, p0
+    so.a.mac.vs.w.fp u2, u1, f10, p0
+    vs1.w u2, x13, x10, p0
+    incvl.w x10
+    blt x10, x6, loop
+tail_check:
+    bge x10, x11, done
+tail:
+    slli x7, x10, 2
+    add x8, x12, x7
+    fld.w f1, 0(x8)
+    add x9, x13, x7
+    fld.w f2, 0(x9)
+    fmadd.w f2, f1, f10, f2
+    fst.w f2, 0(x9)
+    addi x10, x10, 1
+    blt x10, x11, tail
+done:
+    halt
+"
+                ),
+            ),
+            Flavor::Scalar => asm(
+                "saxpy-scalar",
+                &format!(
+                    "
+    li x10, {n}
+    li x12, {x}
+    li x13, {y}
+    beq x10, x0, done
+loop:
+    fld.w f1, 0(x12)
+    fld.w f2, 0(x13)
+    fmadd.w f2, f1, f10, f2
+    fst.w f2, 0(x13)
+    addi x12, x12, 4
+    addi x13, x13, 4
+    addi x10, x10, -1
+    bne x10, x0, loop
+done:
+    halt
+"
+                ),
+            ),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, f64::from(A));
+        emu.mem.write_f32_slice(self.x(), &gen_f32(0xC0, self.n));
+        emu.mem.write_f32_slice(self.y(), &gen_f32(0xC1, self.n));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "y", self.y(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [64usize, 53] {
+            let b = Saxpy::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_loop_matches_paper_shape() {
+        // Fig. 1.D: the UVE steady-state loop is 3 instructions (mul, add,
+        // branch) per 16 elements.
+        let b = Saxpy::new(16 * 100);
+        let uve = run_checked(&b, Flavor::Uve).unwrap();
+        let per_iter = (uve.result.committed as f64 - 20.0) / 100.0;
+        assert!((2.8..3.4).contains(&per_iter), "{per_iter}");
+    }
+
+    #[test]
+    fn instruction_reduction_vs_sve() {
+        // Fig. 8.A reports ≈60% fewer committed instructions than SVE.
+        let b = Saxpy::new(16 * 200);
+        let uve = run_checked(&b, Flavor::Uve).unwrap();
+        let sve = run_checked(&b, Flavor::Sve).unwrap();
+        let reduction = 1.0 - uve.result.committed as f64 / sve.result.committed as f64;
+        assert!(reduction > 0.5, "reduction = {reduction}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Benchmark R — **Seidel-2D** (stencil, Polybench): in-place 9-point
+//! Gauss-Seidel sweeps,
+//! `A[i][j] = (ΣA[i-1][j-1..j+1] + ΣA[i][j-1..j+1] + ΣA[i+1][j-1..j+1]) / 9`.
+//!
+//! The `j-1` dependence makes the inner loop serial, so the paper's ARM
+//! compiler could not vectorize it (scalar baselines). The UVE flavour uses
+//! the *scalar streaming* idiom: per row, three one-element-per-chunk input
+//! streams supply the leading-edge neighbours while register pipelines
+//! carry the trailing values — all loads and stores still disappear from
+//! the loop.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use std::fmt::Write as _;
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The Seidel-2D kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Seidel2d {
+    n: usize,
+    tsteps: usize,
+}
+
+impl Seidel2d {
+    /// `tsteps` sweeps over an `n×n` grid (n ≥ 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn new(n: usize, tsteps: usize) -> Self {
+        assert!(n >= 3);
+        Self { n, tsteps }
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut a = gen_f32(0x30, n * n);
+        for _ in 0..self.tsteps {
+            for i in 1..n - 1 {
+                for j in 1..n - 1 {
+                    a[i * n + j] = (a[(i - 1) * n + j - 1]
+                        + a[(i - 1) * n + j]
+                        + a[(i - 1) * n + j + 1]
+                        + a[i * n + j - 1]
+                        + a[i * n + j]
+                        + a[i * n + j + 1]
+                        + a[(i + 1) * n + j - 1]
+                        + a[(i + 1) * n + j]
+                        + a[(i + 1) * n + j + 1])
+                        / 9.0;
+                }
+            }
+        }
+        a
+    }
+
+    /// One UVE row: 1-element chunks feed the leading (j+1) neighbours of
+    /// the three rows; the trailing values are carried in vector registers.
+    fn uve_row(&self, tag: String, row: usize) -> String {
+        let n = self.n as u64;
+        let m = self.n - 2;
+        let a = self.a();
+        let at = |i: u64, j: u64| a + 4 * (i * n + j);
+        let i = row as u64;
+        let mut t = String::new();
+        let _ = writeln!(t, "    li x10, {m}");
+        let _ = writeln!(t, "    li x13, 1");
+        let _ = writeln!(t, "    li x6, 1");
+        // Leading-edge streams: A[i-1][2..n], A[i+1][2..n], A[i][2..n].
+        for (u, base) in [(0u32, at(i - 1, 2)), (1, at(i + 1, 2)), (2, at(i, 2))] {
+            let _ = writeln!(t, "    li x20, {base}");
+            let _ = writeln!(t, "    ss.ld.w.sta u{u}, x20, x6, x13");
+            let _ = writeln!(t, "    ss.end u{u}, x0, x10, x13");
+        }
+        // Output: A[i][1..n-1].
+        let _ = writeln!(t, "    li x20, {}", at(i, 1));
+        let _ = writeln!(t, "    ss.st.w.sta u3, x20, x6, x13");
+        let _ = writeln!(t, "    ss.end u3, x0, x10, x13");
+        // Pipeline preamble (boundary and first-interior values).
+        for (reg, addr) in [
+            (10u32, at(i - 1, 0)), // nw
+            (11, at(i - 1, 1)),    // n
+            (12, at(i + 1, 0)),    // sw
+            (13, at(i + 1, 1)),    // s
+            (15, at(i, 0)),        // w (becomes the freshly-written value)
+            (14, at(i, 1)),        // c (old centre)
+        ] {
+            let _ = writeln!(t, "    li x20, {addr}");
+            let _ = writeln!(t, "    fld.w f1, 0(x20)");
+            let _ = writeln!(t, "    so.v.dup.w.fp u{reg}, f1");
+        }
+        let _ = writeln!(t, "j{tag}:");
+        let _ = writeln!(t, "    so.v.mv u16, u0");
+        let _ = writeln!(t, "    so.v.mv u17, u1");
+        let _ = writeln!(t, "    so.v.mv u18, u2");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u10, u11, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u16, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u12, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u13, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u17, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u15, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u14, p0");
+        let _ = writeln!(t, "    so.a.add.w.fp u19, u19, u18, p0");
+        let _ = writeln!(t, "    so.a.mul.vs.w.fp u20, u19, f10, p0");
+        let _ = writeln!(t, "    so.v.mv u3, u20");
+        let _ = writeln!(t, "    so.v.mv u10, u11");
+        let _ = writeln!(t, "    so.v.mv u11, u16");
+        let _ = writeln!(t, "    so.v.mv u12, u13");
+        let _ = writeln!(t, "    so.v.mv u13, u17");
+        let _ = writeln!(t, "    so.v.mv u15, u20");
+        let _ = writeln!(t, "    so.v.mv u14, u18");
+        let _ = writeln!(t, "    so.b.nend u0, j{tag}");
+        t
+    }
+
+    fn scalar_sweep(&self, tag: usize) -> String {
+        let n = self.n;
+        let a = self.a();
+        format!(
+            "
+    li x10, {n}
+    addi x9, x10, -1
+    li x23, {a}
+    slli x18, x10, 2
+    li x14, 1            ; i
+i{tag}:
+    mul x16, x14, x18
+    add x16, x23, x16    ; &A[i][0]
+    sub x20, x16, x18    ; &A[i-1][0]
+    add x21, x16, x18    ; &A[i+1][0]
+    ; preload trailing columns (j-1 and j)
+    fld.w f1, 0(x20)     ; nw
+    fld.w f2, 4(x20)     ; n
+    fld.w f4, 0(x16)     ; w
+    fld.w f5, 4(x16)     ; c
+    fld.w f7, 0(x21)     ; sw
+    fld.w f8, 4(x21)     ; s
+    li x15, 1            ; j
+j{tag}:
+    slli x17, x15, 2
+    add x19, x20, x17
+    fld.w f3, 4(x19)     ; ne
+    add x19, x16, x17
+    fld.w f6, 4(x19)     ; e
+    add x19, x21, x17
+    fld.w f9, 4(x19)     ; se
+    fadd.w f11, f1, f2
+    fadd.w f11, f11, f3
+    fadd.w f11, f11, f4
+    fadd.w f11, f11, f5
+    fadd.w f11, f11, f6
+    fadd.w f11, f11, f7
+    fadd.w f11, f11, f8
+    fadd.w f11, f11, f9
+    fmul.w f11, f11, f10
+    add x19, x16, x17
+    fst.w f11, 0(x19)
+    fmv.w f1, f2
+    fmv.w f2, f3
+    fmv.w f4, f11
+    fmv.w f5, f6
+    fmv.w f7, f8
+    fmv.w f8, f9
+    addi x15, x15, 1
+    blt x15, x9, j{tag}
+    addi x14, x14, 1
+    blt x14, x9, i{tag}
+"
+        )
+    }
+}
+
+impl Benchmark for Seidel2d {
+    fn streams(&self) -> usize {
+        4
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D (scalar streaming)"
+    }
+
+    fn name(&self) -> &'static str {
+        "Seidel-2D"
+    }
+
+    fn domain(&self) -> &'static str {
+        "stencil"
+    }
+
+    fn sve_vectorized(&self) -> bool {
+        false
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => {
+                let mut text = String::new();
+                for t in 0..self.tsteps {
+                    for i in 1..self.n - 1 {
+                        text.push_str(&self.uve_row(format!("{t}_{i}"), i));
+                    }
+                }
+                text.push_str("    halt\n");
+                asm("seidel-uve", &text)
+            }
+            _ => {
+                let mut text = String::new();
+                for t in 0..self.tsteps {
+                    text.push_str(&self.scalar_sweep(t));
+                }
+                text.push_str("    halt\n");
+                asm("seidel-scalar", &text)
+            }
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, 1.0 / 9.0);
+        emu.mem
+            .write_f32_slice(self.a(), &gen_f32(0x30, self.n * self.n));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "A", self.a(), &self.reference(), 10.0 * TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [6usize, 11] {
+            let b = Seidel2d::new(n, 2);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_streams_per_row() {
+        let b = Seidel2d::new(6, 1);
+        let r = run_checked(&b, Flavor::Uve).unwrap();
+        // 4 streams per interior row.
+        assert_eq!(r.result.trace.streams.len(), 4 * 4);
+    }
+}

@@ -1,0 +1,282 @@
+//! Benchmark B — **STREAM** (memory domain): the four McCalpin kernels
+//! executed back to back, as in the paper's table (4 kernels):
+//!
+//! 1. copy:  `c = a`
+//! 2. scale: `b = s*c`
+//! 3. add:   `c = a + b`
+//! 4. triad: `a = b + s*c`
+//!
+//! Exercises stream-register reuse: each section reconfigures `u0`–`u2`,
+//! which the microarchitecture supports through stream renaming.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use std::fmt::Write as _;
+use uve_core::Emulator;
+use uve_isa::{FReg, Program};
+
+/// The STREAM kernel (copy/scale/add/triad).
+#[derive(Debug, Clone, Copy)]
+pub struct Stream {
+    n: usize,
+}
+
+const S: f32 = 3.0;
+
+#[derive(Clone, Copy)]
+enum Op {
+    Copy,
+    Scale,
+    Add,
+    Triad,
+}
+
+impl Stream {
+    /// Operates on three arrays of `n` f32 elements.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+
+    fn a(&self) -> u64 {
+        region(0)
+    }
+
+    fn b(&self) -> u64 {
+        region(1)
+    }
+
+    fn c(&self) -> u64 {
+        region(2)
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut a = gen_f32(0xB0, self.n);
+        let mut b = gen_f32(0xB1, self.n);
+        let mut c = gen_f32(0xB2, self.n);
+        c[..self.n].copy_from_slice(&a[..self.n]);
+        for i in 0..self.n {
+            b[i] = S * c[i];
+        }
+        for i in 0..self.n {
+            c[i] = a[i] + b[i];
+        }
+        for i in 0..self.n {
+            a[i] = b[i] + S * c[i];
+        }
+        (a, b, c)
+    }
+
+    /// `(in1, in2, out)` addresses per section.
+    fn section(&self, op: Op) -> (u64, u64, u64) {
+        match op {
+            Op::Copy => (self.a(), 0, self.c()),
+            Op::Scale => (self.c(), 0, self.b()),
+            Op::Add => (self.a(), self.b(), self.c()),
+            Op::Triad => (self.c(), self.b(), self.a()),
+        }
+    }
+
+    fn uve_section(&self, op: Op, tag: usize) -> String {
+        let (in1, in2, out) = self.section(op);
+        let n = self.n;
+        let mut t = String::new();
+        let _ = writeln!(t, "    li x10, {n}");
+        let _ = writeln!(t, "    li x11, {in1}");
+        let _ = writeln!(t, "    li x12, {out}");
+        let _ = writeln!(t, "    li x13, 1");
+        let _ = writeln!(t, "    ss.ld.w u0, x11, x10, x13");
+        let body = match op {
+            Op::Copy => {
+                let _ = writeln!(t, "    ss.st.w u1, x12, x10, x13");
+                "    so.v.mv u1, u0"
+            }
+            Op::Scale => {
+                let _ = writeln!(t, "    ss.st.w u1, x12, x10, x13");
+                "    so.a.mul.vs.w.fp u1, u0, f10, p0"
+            }
+            Op::Add => {
+                let _ = writeln!(t, "    li x14, {in2}");
+                let _ = writeln!(t, "    ss.ld.w u1, x14, x10, x13");
+                let _ = writeln!(t, "    ss.st.w u2, x12, x10, x13");
+                "    so.a.add.w.fp u2, u0, u1, p0"
+            }
+            Op::Triad => {
+                let _ = writeln!(t, "    li x14, {in2}");
+                let _ = writeln!(t, "    ss.ld.w u1, x14, x10, x13");
+                let _ = writeln!(t, "    ss.st.w u2, x12, x10, x13");
+                // a = b + s*c : u0 = c, u1 = b
+                "    so.a.mul.vs.w.fp u3, u0, f10, p0\n    so.a.add.w.fp u2, u3, u1, p0"
+            }
+        };
+        let _ = writeln!(t, "loop{tag}:");
+        let _ = writeln!(t, "{body}");
+        let _ = writeln!(t, "    so.b.nend u0, loop{tag}");
+        t
+    }
+
+    fn vec_section(&self, op: Op, tag: usize, neon: bool) -> String {
+        let (in1, in2, out) = self.section(op);
+        let n = self.n;
+        let body = match op {
+            Op::Copy => "    vl1.w u1, x12, x10, {p}\n    vs1.w u1, x13, x10, {p}",
+            Op::Scale => {
+                "    vl1.w u1, x12, x10, {p}\n    so.a.mul.vs.w.fp u2, u1, f10, {p}\n    vs1.w u2, x13, x10, {p}"
+            }
+            Op::Add => {
+                "    vl1.w u1, x12, x10, {p}\n    vl1.w u2, x14, x10, {p}\n    so.a.add.w.fp u3, u1, u2, {p}\n    vs1.w u3, x13, x10, {p}"
+            }
+            Op::Triad => {
+                "    vl1.w u1, x12, x10, {p}\n    vl1.w u2, x14, x10, {p}\n    so.a.mul.vs.w.fp u3, u1, f10, {p}\n    so.a.add.w.fp u4, u3, u2, {p}\n    vs1.w u4, x13, x10, {p}"
+            }
+        };
+        let scalar_tail = match op {
+            Op::Copy => "    fld.w f1, 0(x8)\n    fst.w f1, 0(x9)",
+            Op::Scale => "    fld.w f1, 0(x8)\n    fmul.w f1, f1, f10\n    fst.w f1, 0(x9)",
+            Op::Add => {
+                "    fld.w f1, 0(x8)\n    fld.w f2, 0(x7)\n    fadd.w f1, f1, f2\n    fst.w f1, 0(x9)"
+            }
+            Op::Triad => {
+                "    fld.w f1, 0(x8)\n    fld.w f2, 0(x7)\n    fmadd.w f1, f1, f10, f2\n    fst.w f1, 0(x9)"
+            }
+        };
+        let mut t = String::new();
+        let _ = writeln!(t, "    li x10, 0");
+        let _ = writeln!(t, "    li x11, {n}");
+        let _ = writeln!(t, "    li x12, {in1}");
+        let _ = writeln!(t, "    li x13, {out}");
+        let _ = writeln!(t, "    li x14, {in2}");
+        if neon {
+            let _ = writeln!(t, "    cntvl.w x5");
+            let _ = writeln!(t, "    div x6, x11, x5");
+            let _ = writeln!(t, "    mul x6, x6, x5");
+            let _ = writeln!(t, "    beq x6, x0, tailc{tag}");
+            let _ = writeln!(t, "loop{tag}:");
+            let _ = writeln!(t, "{}", body.replace("{p}", "p0"));
+            let _ = writeln!(t, "    incvl.w x10");
+            let _ = writeln!(t, "    blt x10, x6, loop{tag}");
+            let _ = writeln!(t, "tailc{tag}:");
+            let _ = writeln!(t, "    bge x10, x11, done{tag}");
+            let _ = writeln!(t, "tail{tag}:");
+            let _ = writeln!(t, "    slli x2, x10, 2");
+            let _ = writeln!(t, "    add x8, x12, x2");
+            let _ = writeln!(t, "    add x9, x13, x2");
+            let _ = writeln!(t, "    add x7, x14, x2");
+            let _ = writeln!(t, "{scalar_tail}");
+            let _ = writeln!(t, "    addi x10, x10, 1");
+            let _ = writeln!(t, "    blt x10, x11, tail{tag}");
+            let _ = writeln!(t, "done{tag}:");
+        } else {
+            let _ = writeln!(t, "    whilelt.w p1, x10, x11");
+            let _ = writeln!(t, "loop{tag}:");
+            let _ = writeln!(t, "{}", body.replace("{p}", "p1"));
+            let _ = writeln!(t, "    incvl.w x10");
+            let _ = writeln!(t, "    whilelt.w p1, x10, x11");
+            let _ = writeln!(t, "    so.b.pfirst p1, loop{tag}");
+        }
+        t
+    }
+
+    fn scalar_section(&self, op: Op, tag: usize) -> String {
+        let (in1, in2, out) = self.section(op);
+        let n = self.n;
+        let body = match op {
+            Op::Copy => "    fld.w f1, 0(x12)\n    fst.w f1, 0(x13)",
+            Op::Scale => "    fld.w f1, 0(x12)\n    fmul.w f1, f1, f10\n    fst.w f1, 0(x13)",
+            Op::Add => {
+                "    fld.w f1, 0(x12)\n    fld.w f2, 0(x14)\n    fadd.w f1, f1, f2\n    fst.w f1, 0(x13)"
+            }
+            Op::Triad => {
+                "    fld.w f1, 0(x12)\n    fld.w f2, 0(x14)\n    fmadd.w f1, f1, f10, f2\n    fst.w f1, 0(x13)"
+            }
+        };
+        format!(
+            "
+    li x10, {n}
+    li x12, {in1}
+    li x13, {out}
+    li x14, {in2}
+    beq x10, x0, done{tag}
+loop{tag}:
+{body}
+    addi x12, x12, 4
+    addi x13, x13, 4
+    addi x14, x14, 4
+    addi x10, x10, -1
+    bne x10, x0, loop{tag}
+done{tag}:
+"
+        )
+    }
+}
+
+impl Benchmark for Stream {
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D"
+    }
+
+    fn name(&self) -> &'static str {
+        "STREAM"
+    }
+
+    fn domain(&self) -> &'static str {
+        "memory"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let ops = [Op::Copy, Op::Scale, Op::Add, Op::Triad];
+        let mut text = String::new();
+        for (i, op) in ops.into_iter().enumerate() {
+            let section = match flavor {
+                Flavor::Uve => self.uve_section(op, i),
+                Flavor::Sve => self.vec_section(op, i, false),
+                Flavor::Neon => self.vec_section(op, i, true),
+                Flavor::Scalar => self.scalar_section(op, i),
+            };
+            text.push_str(&section);
+        }
+        text.push_str("    halt\n");
+        asm("stream", &text)
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.set_f(FReg::FA0, f64::from(S));
+        emu.mem.write_f32_slice(self.a(), &gen_f32(0xB0, self.n));
+        emu.mem.write_f32_slice(self.b(), &gen_f32(0xB1, self.n));
+        emu.mem.write_f32_slice(self.c(), &gen_f32(0xB2, self.n));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (a, b, c) = self.reference();
+        check_f32(emu, "a", self.a(), &a, TOL)?;
+        check_f32(emu, "b", self.b(), &b, TOL)?;
+        check_f32(emu, "c", self.c(), &c, TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [64usize, 45] {
+            let b = Stream::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_uses_ten_stream_instances() {
+        // copy 2 + scale 2 + add 3 + triad 3.
+        let b = Stream::new(64);
+        let uve = run_checked(&b, Flavor::Uve).unwrap();
+        assert_eq!(uve.result.trace.streams.len(), 10);
+    }
+}

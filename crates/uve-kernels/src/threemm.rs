@@ -1,0 +1,250 @@
+//! Benchmark E — **3MM** (algebra): `E = A·B; F = C·D; G = E·F`
+//! (Polybench, all matrices `n×n`).
+//!
+//! Three plain matrix multiplications; the UVE flavour reuses the GEMM
+//! 4-D descriptor scheme without the `β·C` term, reconfiguring the stream
+//! registers between sections.
+
+use crate::common::{asm, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// The 3MM kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeMm {
+    n: usize,
+}
+
+impl ThreeMm {
+    /// All five matrices are `n×n`; `n` must be a multiple of 16.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n % 16 == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_multiple_of(16), "n must be a multiple of 16");
+        Self { n }
+    }
+
+    fn mat(&self, i: usize) -> u64 {
+        region(i) // A,B,C,D at 0..3; E,F,G at 4..6
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let n = self.n;
+        let a = gen_f32(0xE0, n * n);
+        let b = gen_f32(0xE1, n * n);
+        let c = gen_f32(0xE2, n * n);
+        let d = gen_f32(0xE3, n * n);
+        let mm = |x: &[f32], y: &[f32]| -> Vec<f32> {
+            let mut g = vec![0f32; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = 0f32;
+                    for k in 0..n {
+                        acc += x[i * n + k] * y[k * n + j];
+                    }
+                    g[i * n + j] = acc;
+                }
+            }
+            g
+        };
+        let e = mm(&a, &b);
+        let f = mm(&c, &d);
+        let g = mm(&e, &f);
+        (e, f, g)
+    }
+
+    fn uve_section(&self, tag: usize, x: u64, y: u64, out: u64) -> String {
+        let n = self.n;
+        format!(
+            "
+    li x10, {n}
+    ss.getvl.w x5
+    div x6, x10, x5
+    li x21, {y}
+    li x22, {out}
+    li x13, 1
+    ss.ld.w.sta u0, x21, x5, x13
+    ss.app u0, x0, x10, x10
+    ss.app u0, x0, x6, x5
+    ss.end u0, x0, x10, x0
+    mul x7, x10, x10
+    ss.st.w u2, x22, x7, x13
+    li x14, 0
+    li x20, {x}
+iloop{tag}:
+jloop{tag}:
+    so.v.dup.w.fp u4, f31
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x20, x16
+kloop{tag}:
+    fld.w f1, 0(x16)
+    addi x16, x16, 4
+    so.a.mac.vs.w.fp u4, u0, f1, p0
+    so.b.dim1.nend u0, kloop{tag}
+    so.v.mv u2, u4
+    so.b.dim2.nend u0, jloop{tag}
+    addi x14, x14, 1
+    so.b.nend u0, iloop{tag}
+"
+        )
+    }
+
+    fn sve_section(&self, tag: usize, x: u64, y: u64, out: u64) -> String {
+        let n = self.n;
+        format!(
+            "
+    li x10, {n}
+    li x20, {x}
+    li x21, {y}
+    li x22, {out}
+    li x14, 0
+iloop{tag}:
+    li x15, 0
+    whilelt.w p1, x15, x10
+jloop{tag}:
+    so.v.dup.w.fp u4, f31
+    li x16, 0
+    mul x17, x14, x10
+    slli x17, x17, 2
+    add x17, x20, x17
+kloop{tag}:
+    fld.w f1, 0(x17)
+    addi x17, x17, 4
+    mul x18, x16, x10
+    slli x18, x18, 2
+    add x18, x21, x18
+    vl1.w u1, x18, x15, p1
+    so.a.mac.vs.w.fp u4, u1, f1, p1
+    addi x16, x16, 1
+    blt x16, x10, kloop{tag}
+    mul x18, x14, x10
+    slli x18, x18, 2
+    add x18, x22, x18
+    vs1.w u4, x18, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, jloop{tag}
+    addi x14, x14, 1
+    blt x14, x10, iloop{tag}
+"
+        )
+    }
+
+    fn scalar_section(&self, tag: usize, x: u64, y: u64, out: u64) -> String {
+        let n = self.n;
+        format!(
+            "
+    li x10, {n}
+    li x20, {x}
+    li x21, {y}
+    li x22, {out}
+    slli x19, x10, 2
+    li x14, 0
+iloop{tag}:
+    li x15, 0
+jloop{tag}:
+    fmv.w f2, f31
+    li x16, 0
+    mul x17, x14, x10
+    slli x17, x17, 2
+    add x17, x20, x17
+    slli x18, x15, 2
+    add x18, x21, x18
+kloop{tag}:
+    fld.w f3, 0(x17)
+    fld.w f4, 0(x18)
+    fmadd.w f2, f3, f4, f2
+    addi x17, x17, 4
+    add x18, x18, x19
+    addi x16, x16, 1
+    blt x16, x10, kloop{tag}
+    mul x9, x14, x10
+    add x9, x9, x15
+    slli x9, x9, 2
+    add x9, x22, x9
+    fst.w f2, 0(x9)
+    addi x15, x15, 1
+    blt x15, x10, jloop{tag}
+    addi x14, x14, 1
+    blt x14, x10, iloop{tag}
+"
+        )
+    }
+}
+
+impl Benchmark for ThreeMm {
+    fn streams(&self) -> usize {
+        2
+    }
+
+    fn pattern(&self) -> &'static str {
+        "4D"
+    }
+
+    fn name(&self) -> &'static str {
+        "3MM"
+    }
+
+    fn domain(&self) -> &'static str {
+        "algebra"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        // Sections: E(4) = A(0)·B(1); F(5) = C(2)·D(3); G(6) = E·F.
+        let sections = [
+            (self.mat(0), self.mat(1), self.mat(4)),
+            (self.mat(2), self.mat(3), self.mat(5)),
+            (self.mat(4), self.mat(5), self.mat(6)),
+        ];
+        let mut text = String::new();
+        for (i, (x, y, out)) in sections.into_iter().enumerate() {
+            text.push_str(&match flavor {
+                Flavor::Uve => self.uve_section(i, x, y, out),
+                Flavor::Sve | Flavor::Neon => self.sve_section(i, x, y, out),
+                Flavor::Scalar => self.scalar_section(i, x, y, out),
+            });
+        }
+        text.push_str("    halt\n");
+        asm("3mm", &text)
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        let n = self.n;
+        for (i, seed) in [(0usize, 0xE0u64), (1, 0xE1), (2, 0xE2), (3, 0xE3)] {
+            emu.mem.write_f32_slice(self.mat(i), &gen_f32(seed, n * n));
+        }
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (e, f, g) = self.reference();
+        check_f32(emu, "E", self.mat(4), &e, TOL)?;
+        check_f32(emu, "F", self.mat(5), &f, TOL)?;
+        // G accumulates products of products: allow a looser tolerance.
+        check_f32(emu, "G", self.mat(6), &g, 10.0 * TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        let b = ThreeMm::new(16);
+        for f in Flavor::all() {
+            run_checked(&b, f).unwrap();
+        }
+    }
+
+    #[test]
+    fn uve_opens_six_streams() {
+        let b = ThreeMm::new(16);
+        let r = run_checked(&b, Flavor::Uve).unwrap();
+        assert_eq!(r.result.trace.streams.len(), 6);
+    }
+}

@@ -1,0 +1,278 @@
+//! Benchmark H — **Trisolv** (algebra, Polybench): forward substitution on
+//! a lower-triangular system, `x[i] = (b[i] − Σ_{j<i} L[i][j]·x[j]) / L[i][i]`.
+//!
+//! The UVE flavour uses *static size modifiers* to grow the `L`-row and
+//! `x`-prefix streams by one element per row — the paper's Fig. 3.B4
+//! triangular pattern — plus a diagonal stream (`stride = n+1`).
+
+use crate::common::{asm, check_f32, gen_f32_range, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// The Trisolv kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Trisolv {
+    n: usize,
+}
+
+impl Trisolv {
+    /// `L` is `n×n` lower-triangular (n ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        Self { n }
+    }
+
+    fn l(&self) -> u64 {
+        region(0)
+    }
+
+    fn b(&self) -> u64 {
+        region(1)
+    }
+
+    fn x(&self) -> u64 {
+        region(2)
+    }
+
+    fn l_data(&self) -> Vec<f32> {
+        let n = self.n;
+        let mut l = gen_f32_range(0x70, n * n, -0.5, 0.5);
+        for i in 0..n {
+            // Dominant diagonal away from zero keeps the solve stable.
+            l[i * n + i] = 2.0 + (i % 5) as f32 * 0.25;
+        }
+        l
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let n = self.n;
+        let l = self.l_data();
+        let b = gen_f32_range(0x71, n, -1.0, 1.0);
+        let mut x = vec![0f32; n];
+        for i in 0..n {
+            let mut acc = 0f32;
+            for j in 0..i {
+                acc += l[i * n + j] * x[j];
+            }
+            x[i] = (b[i] - acc) / l[i * n + i];
+        }
+        x
+    }
+
+    fn uve_text(&self) -> String {
+        let n = self.n;
+        let (l, b, x) = (self.l(), self.b(), self.x());
+        let l1 = l + 4 * n as u64; // &L[1][0]
+        let ldiag = l + 4 * (n as u64 + 1); // &L[1][1]
+        let b1 = b + 4; // &b[1]
+        let x1 = x + 4; // &x[1]
+        format!(
+            "
+    li x10, {n}
+    addi x9, x10, -1       ; n-1 rows in the streamed phase
+    li x13, 1
+    ; x[0] = b[0] / L[0][0]
+    li x20, {b}
+    fld.w f1, 0(x20)
+    li x20, {l}
+    fld.w f2, 0(x20)
+    fdiv.w f3, f1, f2
+    li x20, {x}
+    fst.w f3, 0(x20)
+    ; L rows, growing 1,2,…,n-1 (Fig. 3.B4)
+    li x20, {l1}
+    ss.ld.w.sta u0, x20, x0, x13
+    ss.app u0, x0, x9, x10
+    ss.end.mod.size.add u0, x13, x9
+    ; x prefix, growing in lockstep
+    li x20, {x}
+    ss.ld.w.sta u1, x20, x0, x13
+    ss.app u1, x0, x9, x0
+    ss.end.mod.size.add u1, x13, x9
+    ; b[i], one element per row
+    li x6, 1
+    li x20, {b1}
+    ss.ld.w.sta u2, x20, x6, x13
+    ss.end u2, x0, x9, x13
+    ; diagonal L[i][i]
+    addi x7, x10, 1
+    li x20, {ldiag}
+    ss.ld.w.sta u3, x20, x6, x13
+    ss.end u3, x0, x9, x7
+    ; x[i] out
+    li x20, {x1}
+    ss.st.w.sta u4, x20, x6, x13
+    ss.end u4, x0, x9, x13
+trow:
+    so.v.dup.w.fp u5, f31
+tdot:
+    so.a.mac.w.fp u5, u0, u1, p0
+    so.b.dim0.nend u0, tdot
+    so.a.hadd.w.fp u6, u5, p0
+    so.a.sub.w.fp u6, u2, u6, p0
+    so.a.div.w.fp u4, u6, u3, p0
+    so.b.nend u0, trow
+    halt
+"
+        )
+    }
+
+    fn sve_text(&self) -> String {
+        let n = self.n;
+        let (l, b, x) = (self.l(), self.b(), self.x());
+        format!(
+            "
+    li x10, {n}
+    li x20, {l}
+    li x21, {b}
+    li x22, {x}
+    li x14, 0              ; i
+row:
+    so.v.dup.w.fp u4, f31
+    li x15, 0              ; j
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x20, x16      ; &L[i][0]
+    whilelt.w p1, x15, x14
+    so.b.pnone p1, finish
+dot:
+    vl1.w u1, x16, x15, p1
+    vl1.w u2, x22, x15, p1
+    so.a.mac.w.fp u4, u1, u2, p1
+    incvl.w x15
+    whilelt.w p1, x15, x14
+    so.b.pfirst p1, dot
+finish:
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f1, u5[0]
+    slli x17, x14, 2
+    add x18, x21, x17
+    fld.w f2, 0(x18)       ; b[i]
+    fsub.w f2, f2, f1
+    slli x18, x14, 2
+    mul x19, x14, x10
+    add x19, x19, x14
+    slli x19, x19, 2
+    add x19, x20, x19
+    fld.w f3, 0(x19)       ; L[i][i]
+    fdiv.w f2, f2, f3
+    add x18, x22, x17
+    fst.w f2, 0(x18)
+    addi x14, x14, 1
+    blt x14, x10, row
+    halt
+"
+        )
+    }
+
+    fn scalar_text(&self) -> String {
+        let n = self.n;
+        let (l, b, x) = (self.l(), self.b(), self.x());
+        format!(
+            "
+    li x10, {n}
+    li x20, {l}
+    li x21, {b}
+    li x22, {x}
+    li x14, 0
+row:
+    fmv.w f2, f31
+    li x15, 0
+    mul x16, x14, x10
+    slli x16, x16, 2
+    add x16, x20, x16
+    li x17, {x}
+    beq x15, x14, finish
+dot:
+    fld.w f3, 0(x16)
+    fld.w f4, 0(x17)
+    fmadd.w f2, f3, f4, f2
+    addi x16, x16, 4
+    addi x17, x17, 4
+    addi x15, x15, 1
+    blt x15, x14, dot
+finish:
+    slli x17, x14, 2
+    add x18, x21, x17
+    fld.w f5, 0(x18)
+    fsub.w f5, f5, f2
+    mul x19, x14, x10
+    add x19, x19, x14
+    slli x19, x19, 2
+    add x19, x20, x19
+    fld.w f6, 0(x19)
+    fdiv.w f5, f5, f6
+    add x18, x22, x17
+    fst.w f5, 0(x18)
+    addi x14, x14, 1
+    blt x14, x10, row
+    halt
+"
+        )
+    }
+}
+
+impl Benchmark for Trisolv {
+    fn streams(&self) -> usize {
+        5
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D + static modifier"
+    }
+
+    fn name(&self) -> &'static str {
+        "Trisolv"
+    }
+
+    fn domain(&self) -> &'static str {
+        "algebra"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        match flavor {
+            Flavor::Uve => asm("trisolv-uve", &self.uve_text()),
+            Flavor::Sve | Flavor::Neon => asm("trisolv-sve", &self.sve_text()),
+            Flavor::Scalar => asm("trisolv-scalar", &self.scalar_text()),
+        }
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem.write_f32_slice(self.l(), &self.l_data());
+        emu.mem
+            .write_f32_slice(self.b(), &gen_f32_range(0x71, self.n, -1.0, 1.0));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "x", self.x(), &self.reference(), 10.0 * TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [8usize, 33] {
+            let b = Trisolv::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_uses_five_streams_with_modifiers() {
+        // Matches the paper's table: 5 streams, 2-D + static modifier.
+        let b = Trisolv::new(16);
+        let r = run_checked(&b, Flavor::Uve).unwrap();
+        assert_eq!(r.result.trace.streams.len(), 5);
+    }
+}

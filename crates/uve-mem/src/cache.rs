@@ -1,0 +1,432 @@
+//! Set-associative cache timing model with MOESI line states and LRU
+//! replacement.
+
+/// Cache line size in bytes (fixed at 64 B throughout the model, matching
+/// the 512-bit vector length).
+pub const LINE_BYTES: u64 = 64;
+
+/// MOESI coherence state of a cache line.
+///
+/// The evaluation runs a single core, so `Owned` never arises from sharing,
+/// but the full state machine is modelled so the snooping hooks are
+/// exercised (paper Sec. IV-A, *Memory Coherence*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MoesiState {
+    /// Modified: dirty, exclusive.
+    Modified,
+    /// Owned: dirty, shared.
+    Owned,
+    /// Exclusive: clean, exclusive.
+    Exclusive,
+    /// Shared: clean, shared.
+    Shared,
+    /// Invalid.
+    #[default]
+    Invalid,
+}
+
+impl MoesiState {
+    /// `true` if the line holds data that must be written back on eviction.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Owned)
+    }
+
+    /// `true` if the line holds valid data.
+    pub fn is_valid(self) -> bool {
+        self != MoesiState::Invalid
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    state: MoesiState,
+    /// LRU timestamp (higher = more recent).
+    lru: u64,
+    /// Cycle at which the line's data actually arrives (prefetch
+    /// timeliness): a demand hit before this time waits for it.
+    ready: u64,
+    /// `true` if the line was inserted by a prefetcher and not yet used by
+    /// demand traffic (for accuracy statistics).
+    prefetched: bool,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The line was present; data available at the given cycle.
+    Hit {
+        /// Cycle at which the data can be used (later than the access for
+        /// in-flight prefetches).
+        ready: u64,
+    },
+    /// The line was absent and must be fetched from the next level.
+    Miss,
+}
+
+/// Statistics of one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines inserted by a prefetcher.
+    pub prefetch_fills: u64,
+    /// Prefetched lines that were hit by demand traffic before eviction.
+    pub prefetch_useful: u64,
+    /// Dirty evictions (writebacks to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; zero when no accesses happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative writeback cache with LRU replacement.
+///
+/// The cache tracks tags, MOESI states and per-line data-ready cycles; line
+/// *contents* live in the functional [`Memory`](crate::Memory) (the timing
+/// and functional models are decoupled).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    name: &'static str,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    lru_clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` capacity and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or a size that is
+    /// not a multiple of `ways * 64`).
+    pub fn new(name: &'static str, size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        let lines_total = size_bytes / LINE_BYTES as usize;
+        assert!(
+            lines_total.is_multiple_of(ways) && lines_total > 0,
+            "cache size must be a multiple of ways * {LINE_BYTES}"
+        );
+        let sets = lines_total / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            name,
+            sets,
+            ways,
+            lines: vec![Line::default(); lines_total],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.sets * self.ways * LINE_BYTES as usize
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        (line_addr as usize) & (self.sets - 1)
+    }
+
+    fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        let set = self.set_of(line_addr);
+        self.slot_range(set)
+            .find(|&i| self.lines[i].state.is_valid() && self.lines[i].tag == line_addr)
+    }
+
+    /// Performs a demand access for `line_addr` (an address divided by
+    /// [`LINE_BYTES`]). On a hit the line becomes MRU and, for writes,
+    /// transitions to `Modified`.
+    pub fn access(&mut self, line_addr: u64, is_write: bool, now: u64) -> Access {
+        self.lru_clock += 1;
+        match self.find(line_addr) {
+            Some(i) => {
+                self.stats.hits += 1;
+                let line = &mut self.lines[i];
+                line.lru = self.lru_clock;
+                if line.prefetched {
+                    line.prefetched = false;
+                    self.stats.prefetch_useful += 1;
+                }
+                if is_write {
+                    line.state = MoesiState::Modified;
+                }
+                Access::Hit {
+                    ready: line.ready.max(now),
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                Access::Miss
+            }
+        }
+    }
+
+    /// Checks for presence without updating LRU or statistics.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        self.find(line_addr).is_some()
+    }
+
+    /// Inserts `line_addr` (filling after a miss), evicting the LRU way.
+    /// Returns the evicted line's address if it was dirty (requiring a
+    /// writeback).
+    pub fn fill(&mut self, line_addr: u64, is_write: bool, ready: u64) -> Option<u64> {
+        self.fill_inner(line_addr, is_write, ready, false)
+    }
+
+    /// Inserts a line on behalf of a prefetcher.
+    pub fn fill_prefetch(&mut self, line_addr: u64, ready: u64) -> Option<u64> {
+        self.stats.prefetch_fills += 1;
+        self.fill_inner(line_addr, false, ready, true)
+    }
+
+    fn fill_inner(
+        &mut self,
+        line_addr: u64,
+        is_write: bool,
+        ready: u64,
+        prefetched: bool,
+    ) -> Option<u64> {
+        self.lru_clock += 1;
+        if let Some(i) = self.find(line_addr) {
+            // Already present (e.g. racing prefetch): refresh.
+            let line = &mut self.lines[i];
+            line.lru = self.lru_clock;
+            line.ready = line.ready.min(ready);
+            if is_write {
+                line.state = MoesiState::Modified;
+            }
+            return None;
+        }
+        let set = self.set_of(line_addr);
+        let victim = self
+            .slot_range(set)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.state.is_valid(), l.lru)
+            })
+            .expect("non-empty set");
+        let evicted = {
+            let l = &self.lines[victim];
+            if l.state.is_dirty() {
+                self.stats.writebacks += 1;
+                Some(l.tag)
+            } else {
+                None
+            }
+        };
+        self.lines[victim] = Line {
+            tag: line_addr,
+            state: if is_write {
+                MoesiState::Modified
+            } else {
+                MoesiState::Exclusive
+            },
+            lru: self.lru_clock,
+            ready,
+            prefetched,
+        };
+        evicted
+    }
+
+    /// Snoop invalidation (coherence hook): drops the line, returning `true`
+    /// if it was dirty.
+    pub fn snoop_invalidate(&mut self, line_addr: u64) -> bool {
+        if let Some(i) = self.find(line_addr) {
+            let dirty = self.lines[i].state.is_dirty();
+            self.lines[i].state = MoesiState::Invalid;
+            dirty
+        } else {
+            false
+        }
+    }
+
+    /// Snoop downgrade to shared (another agent reads): `Modified`/`Owned`
+    /// become `Owned`, `Exclusive` becomes `Shared`.
+    pub fn snoop_share(&mut self, line_addr: u64) {
+        if let Some(i) = self.find(line_addr) {
+            let l = &mut self.lines[i];
+            l.state = match l.state {
+                MoesiState::Modified | MoesiState::Owned => MoesiState::Owned,
+                MoesiState::Exclusive | MoesiState::Shared => MoesiState::Shared,
+                MoesiState::Invalid => MoesiState::Invalid,
+            };
+        }
+    }
+
+    /// The MOESI state of a line, if present.
+    pub fn state_of(&self, line_addr: u64) -> MoesiState {
+        self.find(line_addr)
+            .map_or(MoesiState::Invalid, |i| self.lines[i].state)
+    }
+
+    /// Clears access statistics and per-line timing (ready cycles), keeping
+    /// contents — used when re-measuring over a warmed cache.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+        for l in &mut self.lines {
+            l.ready = 0;
+        }
+    }
+
+    /// Invalidates everything (e.g. between benchmark runs).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.state = MoesiState::Invalid;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B
+        Cache::new("t", 512, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.sets(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.size_bytes(), 512);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(5, false, 0), Access::Miss);
+        c.fill(5, false, 10);
+        match c.access(5, false, 20) {
+            Access::Hit { ready } => assert_eq!(ready, 20),
+            Access::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn inflight_fill_delays_hit() {
+        let mut c = small();
+        c.fill(5, false, 100);
+        match c.access(5, false, 20) {
+            Access::Hit { ready } => assert_eq!(ready, 100),
+            Access::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Lines 0, 4, 8 map to set 0 (4 sets); 2-way.
+        c.fill(0, false, 0);
+        c.fill(4, false, 0);
+        c.access(0, false, 0); // make 0 MRU
+        c.fill(8, false, 0); // evicts 4
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.fill(0, true, 0);
+        c.fill(4, false, 0);
+        let evicted = c.fill(8, false, 0); // evicts 0 (LRU), dirty
+        assert_eq!(evicted, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_dirties() {
+        let mut c = small();
+        c.fill(3, false, 0);
+        assert_eq!(c.state_of(3), MoesiState::Exclusive);
+        c.access(3, true, 0);
+        assert_eq!(c.state_of(3), MoesiState::Modified);
+    }
+
+    #[test]
+    fn snoop_transitions() {
+        let mut c = small();
+        c.fill(1, true, 0);
+        c.snoop_share(1);
+        assert_eq!(c.state_of(1), MoesiState::Owned);
+        assert!(c.state_of(1).is_dirty());
+        let dirty = c.snoop_invalidate(1);
+        assert!(dirty);
+        assert_eq!(c.state_of(1), MoesiState::Invalid);
+    }
+
+    #[test]
+    fn prefetch_accuracy_tracking() {
+        let mut c = small();
+        c.fill_prefetch(7, 0);
+        c.fill_prefetch(11, 0);
+        c.access(7, false, 0);
+        assert_eq!(c.stats().prefetch_fills, 2);
+        assert_eq!(c.stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.fill(1, false, 0);
+        c.flush();
+        assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = small();
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.access(0, false, 0);
+        c.fill(0, false, 0);
+        c.access(0, false, 0);
+        assert_eq!(c.stats().hit_rate(), 0.5);
+    }
+}

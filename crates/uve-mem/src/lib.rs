@@ -1,0 +1,40 @@
+//! Memory subsystem for the UVE reproduction: functional memory plus the
+//! timing models of Table I of *"Unlimited Vector Extension with Data
+//! Streaming Support"* (ISCA 2021).
+//!
+//! Components:
+//!
+//! - [`Memory`]: sparse paged byte-addressable functional memory (also a
+//!   [`uve_stream::StreamMemory`], so stream walkers can resolve indirect
+//!   patterns against it);
+//! - [`Cache`]: set-associative LRU cache with MOESI line states and
+//!   prefetch-timeliness tracking;
+//! - [`StridePrefetcher`] / [`AmpmPrefetcher`]: the baseline L1/L2
+//!   prefetchers of Table I;
+//! - [`Dram`]: dual-channel DDR3-1600 latency/bandwidth model, the source of
+//!   the Fig. 8.D bus-utilization metric;
+//! - [`Tlb`]: translation with page-fault injection (streams prefetch across
+//!   page boundaries and flag faults for commit-time handling);
+//! - [`MemSystem`]: the composed hierarchy with the paper's stream request
+//!   paths ([`Path::StreamL1`], [`Path::StreamL2`], [`Path::StreamMem`]).
+//!
+//! The timing style is analytic: accesses mutate cache/DRAM state and return
+//! a data-ready cycle, modelling the contention that matters for the paper's
+//! experiments (DRAM channel occupancy, L2 port serialization) without a
+//! global event queue. This substitution is documented in `DESIGN.md`.
+
+#![warn(missing_docs)]
+
+mod cache;
+mod dram;
+mod hierarchy;
+mod memory;
+mod prefetch;
+mod tlb;
+
+pub use cache::{Access, Cache, CacheStats, MoesiState, LINE_BYTES};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use hierarchy::{MemConfig, MemStats, MemSystem, Path};
+pub use memory::{Memory, PAGE_SIZE};
+pub use prefetch::{AmpmPrefetcher, PrefetchRequest, StridePrefetcher};
+pub use tlb::{Tlb, Translation};

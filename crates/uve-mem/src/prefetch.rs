@@ -1,0 +1,314 @@
+//! Hardware prefetchers: a PC-indexed stride prefetcher (L1-D) and an
+//! Access-Map Pattern-Matching (AMPM) prefetcher (L2), matching the baseline
+//! configuration of Table I.
+
+use std::collections::HashMap;
+
+/// A prefetch suggestion: a line address to bring into the cache.
+pub type PrefetchRequest = u64;
+
+/// Per-PC stride detector driving the L1-D prefetcher.
+///
+/// Classic RPT-style design: each load PC tracks its last address and
+/// stride; after two confirmations, lines up to `depth` strides ahead are
+/// prefetched.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    depth: usize,
+    table: HashMap<u64, StrideEntry>,
+    capacity: usize,
+    issued: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    next_degree: usize,
+}
+
+impl StridePrefetcher {
+    /// Creates a stride prefetcher of the given lookahead `depth` (Table I:
+    /// 16) and table `capacity` entries.
+    pub fn new(depth: usize, capacity: usize) -> Self {
+        Self {
+            depth,
+            table: HashMap::new(),
+            capacity,
+            issued: 0,
+        }
+    }
+
+    /// Number of prefetch requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Observes a demand access from load/store `pc` to byte address `addr`
+    /// and returns the line addresses to prefetch.
+    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        match self.table.get_mut(&pc) {
+            Some(e) => {
+                let stride = addr as i64 - e.last_addr as i64;
+                if stride == e.stride && stride != 0 {
+                    if e.confidence < 1 {
+                        e.confidence += 1;
+                    }
+                    if e.confidence >= 1 {
+                        // Sliding lookahead: ramp the prefetch distance up
+                        // to `depth` strides, issuing at most two new lines
+                        // per access (real prefetchers do not flood their
+                        // whole window on every trigger).
+                        let degree = e.next_degree.min(self.depth);
+                        let base = addr as i64;
+                        let mut last_line = u64::MAX;
+                        for k in [degree.saturating_sub(1).max(1), degree] {
+                            let target = base + stride * k as i64;
+                            if target < 0 {
+                                continue;
+                            }
+                            let line = target as u64 / crate::cache::LINE_BYTES;
+                            if line != last_line {
+                                out.push(line);
+                                last_line = line;
+                            }
+                        }
+                        e.next_degree = (e.next_degree + 2).min(self.depth);
+                    }
+                } else {
+                    e.stride = stride;
+                    e.confidence = 0;
+                    e.next_degree = 2;
+                }
+                e.last_addr = addr;
+            }
+            None => {
+                if self.table.len() >= self.capacity {
+                    // Cheap pseudo-random replacement: drop an arbitrary
+                    // entry (HashMap iteration order).
+                    if let Some(&k) = self.table.keys().next() {
+                        self.table.remove(&k);
+                    }
+                }
+                self.table.insert(
+                    pc,
+                    StrideEntry {
+                        last_addr: addr,
+                        stride: 0,
+                        confidence: 0,
+                        next_degree: 2,
+                    },
+                );
+            }
+        }
+        self.issued += out.len() as u64;
+        out
+    }
+}
+
+/// Access-Map Pattern-Matching prefetcher (Ishii et al., ICS'09), the L2
+/// prefetcher of Table I.
+///
+/// Memory is divided into zones (here 4 KiB); each zone keeps a bitmap of
+/// recently accessed lines. On each access, candidate offsets `±d` are
+/// prefetched when the two preceding accesses at the same spacing
+/// (`addr - d`, `addr - 2d`) are present in the map — the AMPM pattern
+/// match.
+#[derive(Debug, Clone)]
+pub struct AmpmPrefetcher {
+    zone_lines: usize,
+    zones: HashMap<u64, u64>,
+    /// Lines already requested by the prefetcher (the real AMPM's
+    /// per-line *prefetch* state): excluded as candidates so the prefetch
+    /// distance ramps forward instead of re-targeting the same offsets.
+    pf_zones: HashMap<u64, u64>,
+    zone_queue: Vec<u64>,
+    max_zones: usize,
+    degree: usize,
+    issued: u64,
+}
+
+impl AmpmPrefetcher {
+    /// Creates an AMPM prefetcher tracking up to `max_zones` 4 KiB zones and
+    /// issuing at most `degree` prefetches per access (Table I: queue size
+    /// 32).
+    pub fn new(max_zones: usize, degree: usize) -> Self {
+        Self {
+            zone_lines: (4096 / crate::cache::LINE_BYTES) as usize,
+            zones: HashMap::new(),
+            pf_zones: HashMap::new(),
+            zone_queue: Vec::new(),
+            max_zones,
+            degree,
+            issued: 0,
+        }
+    }
+
+    /// Number of prefetch requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    fn bit(&self, line: u64) -> (u64, u32) {
+        let zone = line / self.zone_lines as u64;
+        let bit = (line % self.zone_lines as u64) as u32;
+        (zone, bit)
+    }
+
+    fn is_set(&self, line: i64) -> bool {
+        if line < 0 {
+            return false;
+        }
+        let (zone, bit) = self.bit(line as u64);
+        self.zones.get(&zone).is_some_and(|m| m & (1 << bit) != 0)
+    }
+
+    fn is_prefetched(&self, line: i64) -> bool {
+        if line < 0 {
+            return false;
+        }
+        let (zone, bit) = self.bit(line as u64);
+        self.pf_zones.get(&zone).is_some_and(|m| m & (1 << bit) != 0)
+    }
+
+    fn mark_prefetched(&mut self, line: u64) {
+        let (zone, bit) = self.bit(line);
+        *self.pf_zones.entry(zone).or_insert(0) |= 1 << bit;
+    }
+
+    /// Observes a demand access to `line` (line address) and returns lines
+    /// to prefetch.
+    pub fn observe(&mut self, line: u64) -> Vec<PrefetchRequest> {
+        // Record the access.
+        let (zone, bit) = self.bit(line);
+        if !self.zones.contains_key(&zone) {
+            if self.zones.len() >= self.max_zones {
+                let victim = self.zone_queue.remove(0);
+                self.zones.remove(&victim);
+                self.pf_zones.remove(&victim);
+            }
+            self.zone_queue.push(zone);
+            self.zones.insert(zone, 0);
+        }
+        *self.zones.get_mut(&zone).expect("just inserted") |= 1 << bit;
+
+        // Pattern match: for each candidate spacing d, require line-d and
+        // line-2d set, then prefetch line+d.
+        let mut out = Vec::new();
+        let l = line as i64;
+        for d in 1..=self.zone_lines as i64 / 2 {
+            if out.len() >= self.degree {
+                break;
+            }
+            if self.is_set(l - d)
+                && self.is_set(l - 2 * d)
+                && !self.is_set(l + d)
+                && !self.is_prefetched(l + d)
+            {
+                out.push((l + d) as u64);
+            }
+            if out.len() >= self.degree {
+                break;
+            }
+            if self.is_set(l + d)
+                && self.is_set(l + 2 * d)
+                && !self.is_set(l - d)
+                && !self.is_prefetched(l - d)
+                && l - d >= 0
+            {
+                out.push((l - d) as u64);
+            }
+        }
+        for &line in &out {
+            self.mark_prefetched(line);
+        }
+        self.issued += out.len() as u64;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_detects_after_confirmation() {
+        let mut p = StridePrefetcher::new(16, 64);
+        assert!(p.observe(100, 0x1000).is_empty());
+        assert!(p.observe(100, 0x1040).is_empty()); // stride learned
+        let reqs = p.observe(100, 0x1080); // confirmed → prefetch ahead
+        assert!(!reqs.is_empty());
+        assert_eq!(reqs[0], (0x1080 + 0x40) / 64);
+    }
+
+    #[test]
+    fn stride_resets_on_change() {
+        let mut p = StridePrefetcher::new(16, 64);
+        p.observe(1, 0);
+        p.observe(1, 64);
+        assert!(!p.observe(1, 128).is_empty());
+        assert!(p.observe(1, 1024).is_empty()); // stride broke
+        assert!(p.observe(1, 1024 + 64).is_empty()); // re-learning (stride changed)
+    }
+
+    #[test]
+    fn stride_ramps_lookahead_to_depth() {
+        let mut p = StridePrefetcher::new(8, 64);
+        p.observe(1, 0);
+        for i in 1..20 {
+            p.observe(1, i * 64);
+        }
+        let reqs = p.observe(1, 20 * 64);
+        // At most two requests per access, with the farthest at `depth`
+        // strides of lookahead.
+        assert!(reqs.len() <= 2, "{reqs:?}");
+        assert_eq!(*reqs.last().unwrap(), (20 + 8) * 64 / 64);
+    }
+
+    #[test]
+    fn stride_table_capacity_bounded() {
+        let mut p = StridePrefetcher::new(4, 4);
+        for pc in 0..100 {
+            p.observe(pc, pc * 4096);
+        }
+        assert!(p.table.len() <= 4);
+    }
+
+    #[test]
+    fn ampm_matches_linear_pattern() {
+        let mut p = AmpmPrefetcher::new(8, 4);
+        assert!(p.observe(10).is_empty());
+        assert!(!p.observe(11).is_empty() || !p.observe(12).is_empty());
+        let reqs = p.observe(13);
+        assert!(reqs.contains(&14), "{reqs:?}");
+    }
+
+    #[test]
+    fn ampm_matches_strided_pattern() {
+        let mut p = AmpmPrefetcher::new(8, 4);
+        p.observe(0);
+        p.observe(3);
+        let reqs = p.observe(6);
+        assert!(reqs.contains(&9), "{reqs:?}");
+    }
+
+    #[test]
+    fn ampm_zone_capacity_bounded() {
+        let mut p = AmpmPrefetcher::new(2, 4);
+        p.observe(0);
+        p.observe(64); // zone 1
+        p.observe(128); // zone 2 → evicts zone 0
+        assert!(p.zones.len() <= 2);
+    }
+
+    #[test]
+    fn ampm_respects_degree() {
+        let mut p = AmpmPrefetcher::new(8, 1);
+        for l in 0..6 {
+            p.observe(l);
+        }
+        assert!(p.observe(6).len() <= 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Descriptor-based memory access pattern model for the Unlimited Vector
+//! Extension (UVE).
+//!
+//! This crate implements Section II of *"Unlimited Vector Extension with Data
+//! Streaming Support"* (ISCA 2021): a stream is a predictable n-dimensional
+//! sequence of addresses described by hierarchically cascaded descriptors
+//! `{offset, size, stride}`, optionally refined by *static modifiers*
+//! `{target, behaviour, displacement, size}` and *indirect modifiers*
+//! `{target, behaviour, origin stream}`.
+//!
+//! The central types are:
+//!
+//! - [`Pattern`]: a validated n-dimensional access pattern (built with
+//!   [`PatternBuilder`]),
+//! - [`Walker`]: an iterator over the exact byte addresses of a pattern,
+//!   reporting end-of-dimension boundaries,
+//! - [`VectorWalker`]: groups elements into vector-register-sized chunks that
+//!   never cross an innermost-dimension boundary (the paper's automatic
+//!   padding rule),
+//! - [`StreamMemory`]: the minimal memory interface needed to resolve
+//!   indirect (data-dependent) patterns.
+//!
+//! # Example
+//!
+//! A row scan of a `4×8` row-major `f32` matrix starting at address `0x1000`:
+//!
+//! ```rust
+//! use uve_stream::{ElemWidth, Pattern, Walker, NoMemory};
+//!
+//! # fn main() -> Result<(), uve_stream::PatternError> {
+//! let pattern = Pattern::builder(0x1000, ElemWidth::Word)
+//!     .dim(0, 8, 1)   // innermost: 8 consecutive elements
+//!     .dim(0, 4, 8)   // outermost: 4 rows, stride = row length
+//!     .build()?;
+//! let addrs: Vec<u64> = Walker::new(&pattern)
+//!     .iter(&NoMemory)
+//!     .map(|e| e.addr)
+//!     .collect();
+//! assert_eq!(addrs.len(), 32);
+//! assert_eq!(addrs[0], 0x1000);
+//! assert_eq!(addrs[8], 0x1000 + 8 * 4); // second row
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod pattern;
+mod state;
+mod walker;
+
+pub use pattern::{
+    Behaviour, Dim, ElemWidth, IndirectBehaviour, IndirectMod, Param, Pattern, PatternBuilder,
+    PatternError, StaticMod, MAX_DIMS, MAX_MODIFIERS,
+};
+pub use state::{SavedWalker, StateSizeReport};
+pub use walker::{Elem, EndFlags, VecChunk, VectorWalker, Walker, WalkerIter};
+
+/// Minimal read-only memory interface used to resolve indirect modifiers.
+///
+/// Indirect patterns (`B[A[i]]`) need the *data* of an origin stream to
+/// compute target addresses; implementors provide little-endian loads of the
+/// elementary UVE data types. `uve-mem`'s memory implements this trait.
+pub trait StreamMemory {
+    /// Loads a sign-extended value of `width` bytes from byte address `addr`.
+    fn load(&self, addr: u64, width: ElemWidth) -> i64;
+}
+
+/// A [`StreamMemory`] that holds no data; every load returns zero.
+///
+/// Useful for walking purely affine patterns, which never read memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoMemory;
+
+impl StreamMemory for NoMemory {
+    fn load(&self, _addr: u64, _width: ElemWidth) -> i64 {
+        0
+    }
+}
+
+impl<M: StreamMemory + ?Sized> StreamMemory for &M {
+    fn load(&self, addr: u64, width: ElemWidth) -> i64 {
+        (**self).load(addr, width)
+    }
+}
+
+/// A [`StreamMemory`] backed by a slice of `i64` element indices.
+///
+/// Address `a` maps to `values[a / width]`; convenient for tests and for
+/// building indirect patterns over synthetic index tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SliceMemory {
+    values: Vec<i64>,
+}
+
+impl SliceMemory {
+    /// Creates a memory whose element `i` (at byte address `i * width`) is
+    /// `values[i]`, for any `width` used on loads.
+    pub fn new(values: Vec<i64>) -> Self {
+        Self { values }
+    }
+}
+
+impl StreamMemory for SliceMemory {
+    fn load(&self, addr: u64, width: ElemWidth) -> i64 {
+        let idx = (addr / width.bytes() as u64) as usize;
+        self.values.get(idx).copied().unwrap_or(0)
+    }
+}

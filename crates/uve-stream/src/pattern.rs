@@ -1,0 +1,682 @@
+//! Pattern types: descriptors, modifiers, validation and builders.
+
+use std::fmt;
+
+/// Maximum number of descriptor dimensions supported by the streaming
+/// hardware (paper, Sec. III-A2: "the current implementation supports up to 8
+/// dimensions and 7 modifiers").
+pub const MAX_DIMS: usize = 8;
+
+/// Maximum number of modifiers (static + indirect) per stream.
+pub const MAX_MODIFIERS: usize = 7;
+
+/// Width of one stream element, matching the UVE elementary data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ElemWidth {
+    /// 8-bit byte.
+    Byte,
+    /// 16-bit half-word.
+    Half,
+    /// 32-bit word (the most common width in the evaluation kernels).
+    #[default]
+    Word,
+    /// 64-bit double-word.
+    Double,
+}
+
+impl ElemWidth {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemWidth::Byte => 1,
+            ElemWidth::Half => 2,
+            ElemWidth::Word => 4,
+            ElemWidth::Double => 8,
+        }
+    }
+
+    /// The UVE assembly suffix for this width (`b`/`h`/`w`/`d`).
+    pub fn suffix(self) -> char {
+        match self {
+            ElemWidth::Byte => 'b',
+            ElemWidth::Half => 'h',
+            ElemWidth::Word => 'w',
+            ElemWidth::Double => 'd',
+        }
+    }
+
+    /// Parses a width from its assembly suffix.
+    pub fn from_suffix(c: char) -> Option<Self> {
+        Some(match c {
+            'b' => ElemWidth::Byte,
+            'h' => ElemWidth::Half,
+            'w' => ElemWidth::Word,
+            'd' => ElemWidth::Double,
+            _ => return None,
+        })
+    }
+
+    /// All four widths, narrowest first.
+    pub fn all() -> [ElemWidth; 4] {
+        [
+            ElemWidth::Byte,
+            ElemWidth::Half,
+            ElemWidth::Word,
+            ElemWidth::Double,
+        ]
+    }
+}
+
+impl fmt::Display for ElemWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.suffix())
+    }
+}
+
+/// One descriptor dimension: the `{O, E, S}` tuple of the paper.
+///
+/// `offset` and `stride` are expressed in *elements* (scaled by the pattern's
+/// [`ElemWidth`] during address generation); `size` is the element count of
+/// the dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dim {
+    /// Indexing offset `O`, in elements.
+    pub offset: i64,
+    /// Number of elements `E` in this dimension.
+    pub size: u64,
+    /// Stride `S` between consecutive elements, in elements.
+    pub stride: i64,
+}
+
+impl Dim {
+    /// Creates a dimension descriptor.
+    pub fn new(offset: i64, size: u64, stride: i64) -> Self {
+        Self {
+            offset,
+            size,
+            stride,
+        }
+    }
+}
+
+/// Which parameter of the target descriptor a modifier updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Param {
+    /// The dimension's indexing offset (for dimension 0 this shifts the
+    /// position relative to the stream's base address).
+    Offset,
+    /// The dimension's element count.
+    Size,
+    /// The dimension's stride.
+    Stride,
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Param::Offset => "offset",
+            Param::Size => "size",
+            Param::Stride => "stride",
+        })
+    }
+}
+
+/// Behaviour of a static modifier: the displacement is *accumulated* into the
+/// target parameter on every application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Behaviour {
+    /// Add the displacement to the target parameter.
+    Add,
+    /// Subtract the displacement from the target parameter.
+    Sub,
+}
+
+/// Behaviour of an indirect modifier: the target parameter is *set* from the
+/// origin-stream value on every application (no accumulation, paper
+/// Sec. II-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndirectBehaviour {
+    /// `target = original_static_value + origin_value`.
+    SetAdd,
+    /// `target = original_static_value - origin_value`.
+    SetSub,
+    /// `target = origin_value`.
+    SetValue,
+}
+
+/// A static descriptor modifier: the `{T, B, D, E}` tuple of the paper.
+///
+/// A modifier *bound to* dimension `k + 1` updates a parameter of dimension
+/// `k` each time dimension `k + 1` iterates (i.e. at the start of every run
+/// of dimension `k`, including the first). After `count` applications the
+/// modifier becomes inert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StaticMod {
+    /// Parameter of the affected (next-inner) dimension to modify.
+    pub target: Param,
+    /// Whether the displacement is added or subtracted.
+    pub behaviour: Behaviour,
+    /// Constant displacement `D` applied on each iteration.
+    pub displacement: i64,
+    /// Total number of iterations the modification is applied (`E`).
+    pub count: u64,
+}
+
+impl StaticMod {
+    /// Creates a static modifier.
+    pub fn new(target: Param, behaviour: Behaviour, displacement: i64, count: u64) -> Self {
+        Self {
+            target,
+            behaviour,
+            displacement,
+            count,
+        }
+    }
+}
+
+/// An indirect descriptor modifier: the `{T, B, P}` tuple of the paper.
+///
+/// On each iteration of its binding dimension, one value is consumed from the
+/// origin stream and used to *set* a parameter of the next-inner dimension.
+/// The origin pattern must be affine (indirect chains of depth > 1 are
+/// rejected at build time, mirroring the hardware restriction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndirectMod {
+    /// Parameter of the affected (next-inner) dimension to modify.
+    pub target: Param,
+    /// How the origin value combines with the original static parameter.
+    pub behaviour: IndirectBehaviour,
+    /// The origin stream whose data drives the modification.
+    pub origin: Pattern,
+}
+
+impl IndirectMod {
+    /// Creates an indirect modifier reading displacement values from
+    /// `origin`.
+    pub fn new(target: Param, behaviour: IndirectBehaviour, origin: Pattern) -> Self {
+        Self {
+            target,
+            behaviour,
+            origin,
+        }
+    }
+}
+
+/// Modifiers attached to one dimension (applied to the next-inner dimension).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct DimMods {
+    pub(crate) statics: Vec<StaticMod>,
+    pub(crate) indirects: Vec<IndirectMod>,
+}
+
+impl DimMods {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.statics.is_empty() && self.indirects.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.statics.len() + self.indirects.len()
+    }
+}
+
+/// Error raised when building or validating a [`Pattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern declares no dimensions.
+    NoDims,
+    /// More than [`MAX_DIMS`] dimensions were declared.
+    TooManyDims(usize),
+    /// More than [`MAX_MODIFIERS`] modifiers were declared in total.
+    TooManyModifiers(usize),
+    /// A modifier was attached to dimension 0, which has no inner dimension
+    /// to affect. Modifiers bind to dimension `k + 1` and affect `k`.
+    ModifierOnInnermost,
+    /// A modifier referenced a dimension index that does not exist.
+    BadModifierDim(usize),
+    /// An indirect modifier's origin pattern itself contains indirect
+    /// modifiers (indirection chains are limited to depth 1).
+    NestedIndirection,
+    /// The base address is not aligned to the element width.
+    Misaligned {
+        /// The offending base address.
+        base: u64,
+        /// The required element width.
+        width: ElemWidth,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NoDims => write!(f, "pattern has no dimensions"),
+            PatternError::TooManyDims(n) => {
+                write!(f, "pattern has {n} dimensions, the maximum is {MAX_DIMS}")
+            }
+            PatternError::TooManyModifiers(n) => write!(
+                f,
+                "pattern has {n} modifiers, the maximum is {MAX_MODIFIERS}"
+            ),
+            PatternError::ModifierOnInnermost => {
+                write!(f, "modifiers cannot be attached to dimension 0")
+            }
+            PatternError::BadModifierDim(k) => {
+                write!(f, "modifier attached to nonexistent dimension {k}")
+            }
+            PatternError::NestedIndirection => {
+                write!(f, "indirect origin streams must be affine (depth-1 indirection)")
+            }
+            PatternError::Misaligned { base, width } => write!(
+                f,
+                "base address {base:#x} is not aligned to element width {}",
+                width.bytes()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A validated n-dimensional stream access pattern.
+///
+/// Dimension 0 is the innermost (fastest-varying) dimension. Element `X =
+/// (x_0, …, x_{n-1})` maps to byte address
+///
+/// ```text
+/// base + width * Σ_k (offset_k + x_k * stride_k) ,  x_k ∈ [0, size_k)
+/// ```
+///
+/// which is the affine model of Eq. (1) in the paper with the element scaling
+/// made explicit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    base: u64,
+    width: ElemWidth,
+    dims: Vec<Dim>,
+    /// `mods[k]` holds modifiers bound to dimension `k` (affecting `k - 1`).
+    mods: Vec<DimMods>,
+}
+
+impl Pattern {
+    /// Starts building a pattern with the given byte base address and element
+    /// width.
+    pub fn builder(base: u64, width: ElemWidth) -> PatternBuilder {
+        PatternBuilder::new(base, width)
+    }
+
+    /// Convenience constructor for the ubiquitous 1-D linear pattern
+    /// (`for i in 0..n { a[i] }`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `base` is not aligned to `width`.
+    pub fn linear(base: u64, width: ElemWidth, n: u64) -> Result<Self, PatternError> {
+        Self::builder(base, width).dim(0, n, 1).build()
+    }
+
+    /// Convenience constructor for a strided 1-D pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `base` is not aligned to `width`.
+    pub fn strided(base: u64, width: ElemWidth, n: u64, stride: i64) -> Result<Self, PatternError> {
+        Self::builder(base, width).dim(0, n, stride).build()
+    }
+
+    /// The byte base address of the pattern.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The element width.
+    pub fn width(&self) -> ElemWidth {
+        self.width
+    }
+
+    /// The dimensions, innermost first.
+    pub fn dims(&self) -> &[Dim] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Modifiers bound to dimension `k` (affecting dimension `k - 1`).
+    pub fn static_mods(&self, k: usize) -> &[StaticMod] {
+        &self.mods[k].statics
+    }
+
+    /// Indirect modifiers bound to dimension `k`.
+    pub fn indirect_mods(&self, k: usize) -> &[IndirectMod] {
+        &self.mods[k].indirects
+    }
+
+    /// Total number of modifiers across all dimensions.
+    pub fn modifier_count(&self) -> usize {
+        self.mods.iter().map(DimMods::len).sum()
+    }
+
+    /// `true` if the pattern contains any indirect modifier (its addresses
+    /// depend on memory contents).
+    pub fn is_indirect(&self) -> bool {
+        self.mods.iter().any(|m| !m.indirects.is_empty())
+    }
+
+    /// `true` if the pattern contains any modifier at all.
+    pub fn has_modifiers(&self) -> bool {
+        self.mods.iter().any(|m| !m.is_empty())
+    }
+
+    /// Upper bound on the number of elements, assuming no modifier shrinks a
+    /// dimension below its configured size. For affine patterns without
+    /// size-targeting modifiers this is exact.
+    pub fn nominal_len(&self) -> u64 {
+        self.dims.iter().map(|d| d.size).product()
+    }
+
+    /// Exact element count, walking the pattern (resolving modifiers and
+    /// indirection against `mem`).
+    pub fn count<M: crate::StreamMemory>(&self, mem: &M) -> u64 {
+        let mut walker = crate::Walker::new(self);
+        let mut n = 0;
+        while walker.next_elem(mem).is_some() {
+            n += 1;
+        }
+        n
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Renders the pattern in the paper's Fig. 3 notation: one
+    /// `{offset, size, stride}` tuple per dimension (innermost first) plus
+    /// attached modifiers.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "base {:#x} ({})", self.base, self.width)?;
+        for (k, d) in self.dims.iter().enumerate() {
+            write!(f, " D{k}:{{{}, {}, {}}}", d.offset, d.size, d.stride)?;
+            for m in &self.mods[k].statics {
+                let b = match m.behaviour {
+                    Behaviour::Add => "add",
+                    Behaviour::Sub => "sub",
+                };
+                write!(
+                    f,
+                    " M{k}:{{{}, {b}, {}, {}}}",
+                    m.target, m.displacement, m.count
+                )?;
+            }
+            for m in &self.mods[k].indirects {
+                let b = match m.behaviour {
+                    IndirectBehaviour::SetAdd => "set-add",
+                    IndirectBehaviour::SetSub => "set-sub",
+                    IndirectBehaviour::SetValue => "set-value",
+                };
+                write!(f, " I{k}:{{{}, {b}, <origin>}}", m.target)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Pattern`] (see `C-BUILDER`).
+///
+/// Dimensions are appended innermost-first with [`dim`](Self::dim); modifiers
+/// attach to the *most recently added* dimension and affect the one before it
+/// — mirroring the paper's configuration instruction order
+/// (`ss.ld.sta` … `ss.app.mod` … `ss.end`).
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    base: u64,
+    width: ElemWidth,
+    dims: Vec<Dim>,
+    mods: Vec<DimMods>,
+    pending_outer: DimMods,
+    error: Option<PatternError>,
+}
+
+impl PatternBuilder {
+    fn new(base: u64, width: ElemWidth) -> Self {
+        Self {
+            base,
+            width,
+            dims: Vec::new(),
+            mods: Vec::new(),
+            pending_outer: DimMods::default(),
+            error: None,
+        }
+    }
+
+    /// Appends a dimension `{offset, size, stride}` outside all previously
+    /// added dimensions.
+    pub fn dim(mut self, offset: i64, size: u64, stride: i64) -> Self {
+        self.dims.push(Dim::new(offset, size, stride));
+        self.mods.push(DimMods::default());
+        self
+    }
+
+    /// Attaches a static modifier to the most recently added dimension; it
+    /// updates `target` of the dimension *inside* it on every iteration.
+    pub fn static_mod(
+        mut self,
+        target: Param,
+        behaviour: Behaviour,
+        displacement: i64,
+        count: u64,
+    ) -> Self {
+        match self.mods.last_mut() {
+            Some(m) => m
+                .statics
+                .push(StaticMod::new(target, behaviour, displacement, count)),
+            None => self.error = Some(PatternError::ModifierOnInnermost),
+        }
+        self
+    }
+
+    /// Attaches an indirect modifier to the most recently added dimension.
+    pub fn indirect_mod(
+        mut self,
+        target: Param,
+        behaviour: IndirectBehaviour,
+        origin: Pattern,
+    ) -> Self {
+        match self.mods.last_mut() {
+            Some(m) => m
+                .indirects
+                .push(IndirectMod::new(target, behaviour, origin)),
+            None => self.error = Some(PatternError::ModifierOnInnermost),
+        }
+        self
+    }
+
+    /// Attaches an indirect modifier driven by `origin` using a *virtual
+    /// outer dimension* sized by the origin stream length, reproducing the
+    /// paper's Fig. 3.B5 (`B[A[i]]`) form where the indirect stream declares
+    /// a single descriptor plus an indirection.
+    ///
+    /// This desugars to an explicit outer dimension `{0, origin_len, 0}`
+    /// carrying the modifier.
+    pub fn indirect_outer(
+        mut self,
+        target: Param,
+        behaviour: IndirectBehaviour,
+        origin: Pattern,
+        origin_len: u64,
+    ) -> Self {
+        self.dims.push(Dim::new(0, origin_len, 0));
+        let mut mods = DimMods::default();
+        mods.indirects
+            .push(IndirectMod::new(target, behaviour, origin));
+        self.mods.push(mods);
+        self
+    }
+
+    /// Validates and finalizes the pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first constraint violation: missing dimensions, hardware
+    /// limits ([`MAX_DIMS`], [`MAX_MODIFIERS`]), modifiers without an inner
+    /// dimension to affect, nested indirection, or a misaligned base.
+    pub fn build(self) -> Result<Pattern, PatternError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.dims.is_empty() {
+            return Err(PatternError::NoDims);
+        }
+        if self.dims.len() > MAX_DIMS {
+            return Err(PatternError::TooManyDims(self.dims.len()));
+        }
+        let nmods: usize = self.mods.iter().map(DimMods::len).sum();
+        if nmods + self.pending_outer.len() > MAX_MODIFIERS {
+            return Err(PatternError::TooManyModifiers(nmods));
+        }
+        if !self.mods[0].is_empty() {
+            return Err(PatternError::ModifierOnInnermost);
+        }
+        if !self.base.is_multiple_of(self.width.bytes() as u64) {
+            return Err(PatternError::Misaligned {
+                base: self.base,
+                width: self.width,
+            });
+        }
+        for m in &self.mods {
+            for ind in &m.indirects {
+                if ind.origin.is_indirect() {
+                    return Err(PatternError::NestedIndirection);
+                }
+            }
+        }
+        Ok(Pattern {
+            base: self.base,
+            width: self.width,
+            dims: self.dims,
+            mods: self.mods,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_width_roundtrip() {
+        for w in ElemWidth::all() {
+            assert_eq!(ElemWidth::from_suffix(w.suffix()), Some(w));
+        }
+        assert_eq!(ElemWidth::from_suffix('x'), None);
+    }
+
+    #[test]
+    fn elem_width_bytes() {
+        assert_eq!(ElemWidth::Byte.bytes(), 1);
+        assert_eq!(ElemWidth::Half.bytes(), 2);
+        assert_eq!(ElemWidth::Word.bytes(), 4);
+        assert_eq!(ElemWidth::Double.bytes(), 8);
+    }
+
+    #[test]
+    fn linear_pattern_builds() {
+        let p = Pattern::linear(0x100, ElemWidth::Word, 16).unwrap();
+        assert_eq!(p.ndims(), 1);
+        assert_eq!(p.nominal_len(), 16);
+        assert!(!p.is_indirect());
+        assert!(!p.has_modifiers());
+    }
+
+    #[test]
+    fn rejects_no_dims() {
+        let err = Pattern::builder(0, ElemWidth::Word).build().unwrap_err();
+        assert_eq!(err, PatternError::NoDims);
+    }
+
+    #[test]
+    fn rejects_too_many_dims() {
+        let mut b = Pattern::builder(0, ElemWidth::Word);
+        for _ in 0..MAX_DIMS + 1 {
+            b = b.dim(0, 2, 1);
+        }
+        assert!(matches!(b.build(), Err(PatternError::TooManyDims(9))));
+    }
+
+    #[test]
+    fn rejects_modifier_on_innermost() {
+        let err = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 4, 1)
+            .static_mod(Param::Size, Behaviour::Add, 1, 4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PatternError::ModifierOnInnermost);
+    }
+
+    #[test]
+    fn rejects_too_many_modifiers() {
+        let mut b = Pattern::builder(0, ElemWidth::Word).dim(0, 4, 1).dim(0, 4, 4);
+        for _ in 0..MAX_MODIFIERS + 1 {
+            b = b.static_mod(Param::Offset, Behaviour::Add, 1, 4);
+        }
+        assert!(matches!(b.build(), Err(PatternError::TooManyModifiers(8))));
+    }
+
+    #[test]
+    fn rejects_misaligned_base() {
+        let err = Pattern::linear(0x101, ElemWidth::Word, 4).unwrap_err();
+        assert!(matches!(err, PatternError::Misaligned { .. }));
+    }
+
+    #[test]
+    fn rejects_nested_indirection() {
+        let inner_origin = Pattern::linear(0, ElemWidth::Word, 4).unwrap();
+        let origin = Pattern::builder(0x40, ElemWidth::Word)
+            .dim(0, 1, 0)
+            .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, inner_origin, 4)
+            .build()
+            .unwrap();
+        assert!(origin.is_indirect());
+        let err = Pattern::builder(0x80, ElemWidth::Word)
+            .dim(0, 1, 0)
+            .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, origin, 4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, PatternError::NestedIndirection);
+    }
+
+    #[test]
+    fn modifier_counts() {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 0, 1)
+            .dim(0, 4, 8)
+            .static_mod(Param::Size, Behaviour::Add, 1, 4)
+            .build()
+            .unwrap();
+        assert_eq!(p.modifier_count(), 1);
+        assert!(p.has_modifiers());
+        assert!(!p.is_indirect());
+        assert_eq!(p.static_mods(1).len(), 1);
+        assert_eq!(p.indirect_mods(1).len(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Param::Offset.to_string(), "offset");
+        assert_eq!(ElemWidth::Word.to_string(), "w");
+        let e = PatternError::TooManyDims(12);
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn pattern_display_is_fig3_notation() {
+        let p = Pattern::builder(0x1000, ElemWidth::Word)
+            .dim(0, 0, 1)
+            .dim(0, 4, 8)
+            .static_mod(Param::Size, Behaviour::Add, 1, 4)
+            .build()
+            .unwrap();
+        let s = p.to_string();
+        assert!(s.contains("D0:{0, 0, 1}"), "{s}");
+        assert!(s.contains("D1:{0, 4, 8}"), "{s}");
+        assert!(s.contains("M1:{size, add, 1, 4}"), "{s}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Stream context saving and restoring (paper Sec. IV-A, *Context
+//! Switching*).
+//!
+//! Suspending a stream stores the committed iteration state; resuming
+//! restores it and re-walks origin streams (prefetched data in internal
+//! buffers is lost and re-loaded, exactly as the paper specifies). The size
+//! of the saved state depends on the pattern: 32 bytes for a 1-D pattern up
+//! to ≈400 bytes for the maximum 8-D/7-modifier configuration.
+
+use crate::pattern::Dim;
+use crate::walker::Walker;
+use crate::StreamMemory;
+
+/// Bytes of saved state per descriptor dimension (3 parameters + index, 8 B
+/// each).
+pub const BYTES_PER_DIM: usize = 32;
+
+/// Bytes of saved state per modifier (working parameter + application
+/// counter + metadata).
+pub const BYTES_PER_MODIFIER: usize = 20;
+
+/// A serializable snapshot of a [`Walker`]'s committed iteration state.
+///
+/// Restoring requires the same [`Pattern`](crate::Pattern) the snapshot was
+/// taken from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedWalker {
+    wdims: Vec<Dim>,
+    idx: Vec<u64>,
+    static_counters: Vec<Vec<u64>>,
+    origin_positions: Vec<Vec<u64>>,
+    started: bool,
+    done: bool,
+}
+
+impl SavedWalker {
+    /// Captures the state of `walker`.
+    pub fn capture(walker: &Walker) -> Self {
+        let (wdims, idx, static_counters, origin_positions, started, done) =
+            walker.snapshot_parts();
+        Self {
+            wdims,
+            idx,
+            static_counters,
+            origin_positions,
+            started,
+            done,
+        }
+    }
+
+    /// Restores this snapshot into `walker` (which must have been created
+    /// from the same pattern). Origin streams are re-walked to their saved
+    /// positions using `mem`.
+    pub fn restore<M: StreamMemory + ?Sized>(&self, walker: &mut Walker, mem: &M) {
+        walker.restore_parts(
+            (
+                self.wdims.clone(),
+                self.idx.clone(),
+                self.static_counters.clone(),
+                self.origin_positions.clone(),
+                self.started,
+                self.done,
+            ),
+            mem,
+        );
+    }
+
+    /// The architectural size of this saved state in bytes, matching the
+    /// paper's 32 B (1-D) … ≈400 B (8-D + 7 modifiers) range.
+    pub fn size_bytes(&self) -> usize {
+        let nmods: usize = self.static_counters.iter().map(Vec::len).sum::<usize>()
+            + self.origin_positions.iter().map(Vec::len).sum::<usize>();
+        self.wdims.len() * BYTES_PER_DIM + nmods * BYTES_PER_MODIFIER
+    }
+}
+
+/// Aggregate report of stream-state sizes for a set of patterns, used by the
+/// hardware-overhead analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateSizeReport {
+    /// Smallest saved-state size in bytes.
+    pub min_bytes: usize,
+    /// Largest saved-state size in bytes.
+    pub max_bytes: usize,
+}
+
+impl StateSizeReport {
+    /// Computes the saved-state size range for the hardware limits: 1-D with
+    /// no modifiers up to [`MAX_DIMS`](crate::MAX_DIMS) dimensions with
+    /// [`MAX_MODIFIERS`](crate::MAX_MODIFIERS) modifiers.
+    pub fn architectural() -> Self {
+        Self {
+            min_bytes: BYTES_PER_DIM,
+            max_bytes: crate::MAX_DIMS * BYTES_PER_DIM + crate::MAX_MODIFIERS * BYTES_PER_MODIFIER,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Behaviour, ElemWidth, NoMemory, Param, Pattern};
+
+    #[test]
+    fn save_restore_roundtrip_mid_stream() {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 3, 1)
+            .dim(0, 4, 3)
+            .build()
+            .unwrap();
+        let reference: Vec<u64> = Walker::new(&p).iter(&NoMemory).map(|e| e.addr).collect();
+
+        let mut w = Walker::new(&p);
+        for _ in 0..5 {
+            w.next_elem(&NoMemory);
+        }
+        let saved = SavedWalker::capture(&w);
+
+        let mut w2 = Walker::new(&p);
+        saved.restore(&mut w2, &NoMemory);
+        let rest: Vec<u64> = w2.iter(&NoMemory).map(|e| e.addr).collect();
+        assert_eq!(rest, reference[5..].to_vec());
+    }
+
+    #[test]
+    fn save_restore_with_static_modifier() {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 0, 1)
+            .dim(0, 6, 8)
+            .static_mod(Param::Size, Behaviour::Add, 1, 6)
+            .build()
+            .unwrap();
+        let reference: Vec<u64> = Walker::new(&p).iter(&NoMemory).map(|e| e.addr).collect();
+        for cut in [0usize, 1, 7, 20] {
+            let mut w = Walker::new(&p);
+            for _ in 0..cut {
+                w.next_elem(&NoMemory);
+            }
+            let saved = SavedWalker::capture(&w);
+            let mut w2 = Walker::new(&p);
+            saved.restore(&mut w2, &NoMemory);
+            let rest: Vec<u64> = w2.iter(&NoMemory).map(|e| e.addr).collect();
+            assert_eq!(rest, reference[cut.min(reference.len())..].to_vec(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn state_size_bounds_match_paper() {
+        let r = StateSizeReport::architectural();
+        assert_eq!(r.min_bytes, 32);
+        assert!(r.max_bytes >= 360 && r.max_bytes <= 400, "{}", r.max_bytes);
+    }
+
+    #[test]
+    fn state_size_of_simple_pattern() {
+        let p = Pattern::linear(0, ElemWidth::Word, 8).unwrap();
+        let w = Walker::new(&p);
+        assert_eq!(SavedWalker::capture(&w).size_bytes(), 32);
+    }
+}

@@ -1,0 +1,64 @@
+//! Indirect streaming (`B[A[i]]`, the paper's Fig. 3.B5): builds the
+//! descriptor by hand with `uve-stream`, walks the generated addresses, and
+//! then runs the equivalent UVE program on the emulator.
+//!
+//! ```text
+//! cargo run --release --example indirect_gather
+//! ```
+
+use uve::core::{EmuConfig, Emulator};
+use uve::isa::assemble;
+use uve::mem::Memory;
+use uve::stream::{ElemWidth, IndirectBehaviour, Param, Pattern, Walker};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- descriptor level -------------------------------------------------
+    let mut mem = Memory::new();
+    let idx: Vec<i32> = vec![7, 2, 5, 0, 3, 6, 1, 4];
+    let data: Vec<f32> = (0..8).map(|i| (i * i) as f32).collect();
+    mem.write_i32_slice(0x1000, &idx);
+    mem.write_f32_slice(0x2000, &data);
+
+    let origin = Pattern::linear(0x1000, ElemWidth::Word, idx.len() as u64)?;
+    let gather = Pattern::builder(0x2000, ElemWidth::Word)
+        .dim(0, 1, 0)
+        .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, origin, idx.len() as u64)
+        .build()?;
+
+    print!("walker addresses:");
+    for e in Walker::new(&gather).iter(&mem) {
+        print!(" {:#x}", e.addr);
+    }
+    println!();
+
+    // --- ISA level --------------------------------------------------------
+    let program = assemble(
+        "gather-sum",
+        "
+    li x10, 8
+    li x11, 0x1000
+    li x12, 0x2000
+    li x13, 1
+    li x6, 1
+    ss.ld.w u2, x11, x10, x13          ; origin stream over the index table
+    ss.ld.w.sta u0, x12, x6, x0        ; one element per origin value
+    ss.end.ind.off.setadd u0, u2       ; offset = B[i]
+    so.v.dup.w.fp u5, f31              ; accumulator = 0
+loop:
+    so.a.hadd.w.fp u6, u0, p0          ; one gathered element
+    so.a.add.w.fp u5, u5, u6, p0
+    so.b.nend u0, loop
+    so.v.extr.f.w f1, u5[0]
+    li x20, 0x3000
+    fst.w f1, 0(x20)
+    halt
+",
+    )?;
+    let mut emu = Emulator::new(EmuConfig::default(), mem);
+    emu.run(&program)?;
+    let sum = emu.mem.read_f32(0x3000);
+    let expect: f32 = idx.iter().map(|&i| data[i as usize]).sum();
+    assert_eq!(sum, expect);
+    println!("gathered sum via UVE streams: {sum} (expected {expect})");
+    Ok(())
+}

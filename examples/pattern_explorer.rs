@@ -1,0 +1,58 @@
+//! Pattern explorer: reproduces the five example patterns of the paper's
+//! Fig. 3.B with hierarchical descriptors and prints the exact address
+//! sequences the Streaming Engine would generate.
+//!
+//! ```text
+//! cargo run --release --example pattern_explorer
+//! ```
+
+use uve::stream::{
+    Behaviour, ElemWidth, IndirectBehaviour, NoMemory, Param, Pattern, SliceMemory, Walker,
+};
+
+fn show(name: &str, pattern: &Pattern, mem: &SliceMemory) {
+    let addrs: Vec<u64> = Walker::new(pattern).iter(mem).map(|e| e.addr / 4).collect();
+    println!("{name:<24} {addrs:?}");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let no_data = SliceMemory::new(vec![]);
+    let _ = NoMemory;
+
+    // B1: linear
+    let b1 = Pattern::linear(0, ElemWidth::Word, 8)?;
+    show("B1 linear", &b1, &no_data);
+
+    // B2: rectangular (3×4 row-major matrix)
+    let b2 = Pattern::builder(0, ElemWidth::Word)
+        .dim(0, 4, 1)
+        .dim(0, 3, 4)
+        .build()?;
+    show("B2 rectangular", &b2, &no_data);
+
+    // B3: rectangular scattered (every other row / element)
+    let b3 = Pattern::builder(0, ElemWidth::Word)
+        .dim(0, 2, 2)
+        .dim(0, 2, 8)
+        .build()?;
+    show("B3 scattered", &b3, &no_data);
+
+    // B4: lower triangular (static size modifier)
+    let b4 = Pattern::builder(0, ElemWidth::Word)
+        .dim(0, 0, 1)
+        .dim(0, 4, 4)
+        .static_mod(Param::Size, Behaviour::Add, 1, 4)
+        .build()?;
+    show("B4 lower triangular", &b4, &no_data);
+
+    // B5: indirection B[A[i]] with A = [3, 0, 2, 1]
+    let indices = SliceMemory::new(vec![3, 0, 2, 1]);
+    let origin = Pattern::linear(0, ElemWidth::Word, 4)?;
+    let b5 = Pattern::builder(0, ElemWidth::Word)
+        .dim(0, 1, 0)
+        .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, origin, 4)
+        .build()?;
+    show("B5 indirect", &b5, &indices);
+
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! A 5-point Jacobi stencil in all four code flavours, timed on the
+//! out-of-order model: the workload class the paper's Fig. 8 evaluates
+//! under "stencil".
+//!
+//! ```text
+//! cargo run --release --example stencil
+//! ```
+
+use uve::cpu::CpuConfig;
+use uve::kernels::jacobi::Jacobi2d;
+use uve::kernels::{Benchmark, Flavor};
+
+fn main() {
+    let bench = Jacobi2d::new(64, 2);
+    let cpu = CpuConfig::default();
+    let mut baseline = None;
+    for flavor in [Flavor::Scalar, Flavor::Neon, Flavor::Sve, Flavor::Uve] {
+        let run = uve::kernels::run(&bench, flavor).expect("kernel runs");
+        bench.check(&run.emulator).expect("kernel is correct");
+        let core = uve::cpu::OoOCore::new(cpu.clone());
+        let stats = core.run_warm(&run.result.trace);
+        let cycles = stats.cycles;
+        let speedup = match baseline {
+            None => {
+                baseline = Some(cycles);
+                1.0
+            }
+            Some(b) => b as f64 / cycles as f64,
+        };
+        println!(
+            "{flavor:>6}: {:>9} instructions, {:>9} cycles, {:>5.2}x vs scalar",
+            run.result.committed, cycles, speedup
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! **UVE** — a complete Rust reproduction of *"Unlimited Vector Extension
+//! with Data Streaming Support"* (ISCA 2021).
+//!
+//! This facade crate re-exports the whole system:
+//!
+//! - [`stream`]: descriptor-based memory access patterns (Sec. II),
+//! - [`isa`]: the UVE/SVE-like/scalar instruction sets, assembler and
+//!   binary encoding (Sec. III),
+//! - [`mem`]: the Table I memory hierarchy (caches, prefetchers, DRAM,
+//!   TLB),
+//! - [`core`]: the functional stream unit, emulator, and the cycle-level
+//!   Streaming Engine (Sec. IV),
+//! - [`cpu`]: the out-of-order timing model (Sec. V),
+//! - [`kernels`]: the 19 evaluation benchmarks (Fig. 8).
+//!
+//! The most common types are additionally re-exported at the crate root.
+//!
+//! # Example
+//!
+//! ```rust
+//! use uve::{assemble, CpuConfig, EmuConfig, Emulator, Memory, OoOCore};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = assemble("sum", "
+//!     li x10, 64
+//!     li x11, 0x1000
+//!     li x13, 1
+//!     ss.ld.w u0, x11, x10, x13
+//!     so.v.dup.w.fp u5, f31
+//! loop:
+//!     so.a.hadd.w.fp u6, u0, p0
+//!     so.a.add.w.fp u5, u5, u6, p0
+//!     so.b.nend u0, loop
+//!     halt
+//! ")?;
+//! let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+//! emu.mem.write_f32_slice(0x1000, &vec![0.5; 64]);
+//! let result = emu.run(&program)?;
+//! assert_eq!(emu.v(uve::isa::VReg::new(5)).float(0), 32.0);
+//!
+//! let stats = OoOCore::new(CpuConfig::default()).run(&result.trace);
+//! assert!(stats.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use uve_core as core;
+pub use uve_cpu as cpu;
+pub use uve_isa as isa;
+pub use uve_kernels as kernels;
+pub use uve_mem as mem;
+pub use uve_stream as stream;
+
+pub use uve_core::{EmuConfig, Emulator, Trace};
+pub use uve_cpu::{CpuConfig, OoOCore, TimingStats};
+pub use uve_isa::{assemble, Inst, Program};
+pub use uve_mem::Memory;
+pub use uve_stream::{ElemWidth, Pattern, Walker};

@@ -1,0 +1,172 @@
+//! Property-based tests of the stream descriptor model: address-sequence
+//! equivalence with reference loop nests, chunk partitioning invariants,
+//! and save/restore correctness at arbitrary cut points.
+
+use proptest::prelude::*;
+use uve::stream::{
+    Behaviour, ElemWidth, NoMemory, Param, Pattern, SavedWalker, SliceMemory, VectorWalker,
+    Walker,
+};
+
+fn walk(p: &Pattern) -> Vec<u64> {
+    Walker::new(p).iter(&NoMemory).map(|e| e.addr).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A 2-D descriptor generates exactly the nested-loop address sequence.
+    #[test]
+    fn two_d_matches_nested_loops(
+        n0 in 1u64..20,
+        s0 in 1i64..5,
+        n1 in 1u64..10,
+        s1 in 1i64..64,
+        base in (0u64..1024).prop_map(|b| b * 8),
+    ) {
+        let p = Pattern::builder(base, ElemWidth::Word)
+            .dim(0, n0, s0)
+            .dim(0, n1, s1)
+            .build()
+            .unwrap();
+        let mut expect = Vec::new();
+        for i in 0..n1 {
+            for j in 0..n0 {
+                expect.push(base + 4 * (i * s1 as u64 + j * s0 as u64));
+            }
+        }
+        prop_assert_eq!(walk(&p), expect);
+    }
+
+    /// A 3-D descriptor generates the triple-nested sequence.
+    #[test]
+    fn three_d_matches_nested_loops(
+        n0 in 1u64..8,
+        n1 in 1u64..6,
+        n2 in 1u64..5,
+    ) {
+        let p = Pattern::builder(0, ElemWidth::Double)
+            .dim(0, n0, 1)
+            .dim(0, n1, n0 as i64)
+            .dim(0, n2, (n0 * n1) as i64)
+            .build()
+            .unwrap();
+        let mut expect = Vec::new();
+        for k in 0..n2 {
+            for i in 0..n1 {
+                for j in 0..n0 {
+                    expect.push(8 * (k * n0 * n1 + i * n0 + j));
+                }
+            }
+        }
+        prop_assert_eq!(walk(&p), expect);
+    }
+
+    /// The triangular (size-modifier) pattern matches its loop nest.
+    #[test]
+    fn triangular_matches_loops(rows in 1u64..16, nc in 1u64..20) {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 0, 1)
+            .dim(0, rows, nc as i64)
+            .static_mod(Param::Size, Behaviour::Add, 1, rows)
+            .build()
+            .unwrap();
+        let mut expect = Vec::new();
+        for i in 0..rows {
+            for j in 0..=i {
+                expect.push(4 * (i * nc + j));
+            }
+        }
+        prop_assert_eq!(walk(&p), expect);
+    }
+
+    /// Vector chunking partitions the element sequence exactly, never
+    /// crossing a dimension-0 boundary, for any vector length.
+    #[test]
+    fn chunking_partitions_the_walk(
+        n0 in 1u64..40,
+        n1 in 1u64..6,
+        vl in 1usize..32,
+    ) {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, n0, 1)
+            .dim(0, n1, n0 as i64)
+            .build()
+            .unwrap();
+        let elements = walk(&p);
+        let mut vw = VectorWalker::new(&p, vl);
+        let mut collected = Vec::new();
+        let mut boundary_positions = Vec::new();
+        while let Some(c) = vw.next_chunk(&NoMemory) {
+            prop_assert!(c.valid >= 1 && c.valid <= vl);
+            prop_assert_eq!(c.valid, c.addrs.len());
+            collected.extend_from_slice(&c.addrs);
+            if c.ends.ends_dim(0) {
+                boundary_positions.push(collected.len() as u64);
+            }
+        }
+        prop_assert_eq!(collected, elements);
+        // Dimension-0 boundaries land exactly at multiples of the row size.
+        for b in boundary_positions {
+            prop_assert_eq!(b % n0, 0);
+        }
+    }
+
+    /// Capturing and restoring a walker at any cut yields the same suffix.
+    #[test]
+    fn save_restore_any_cut(
+        n0 in 1u64..12,
+        n1 in 1u64..6,
+        cut in 0usize..80,
+    ) {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 0, 1)
+            .dim(0, n1.max(1), n0 as i64 + 1)
+            .static_mod(Param::Size, Behaviour::Add, n0 as i64, n1)
+            .build()
+            .unwrap();
+        let full = walk(&p);
+        let cut = cut.min(full.len());
+        let mut w = Walker::new(&p);
+        for _ in 0..cut {
+            w.next_elem(&NoMemory);
+        }
+        let saved = SavedWalker::capture(&w);
+        let mut w2 = Walker::new(&p);
+        saved.restore(&mut w2, &NoMemory);
+        let suffix: Vec<u64> = w2.iter(&NoMemory).map(|e| e.addr).collect();
+        prop_assert_eq!(suffix, full[cut..].to_vec());
+    }
+
+    /// Indirect gathers visit exactly the indexed elements, in order.
+    #[test]
+    fn indirect_matches_index_table(indices in prop::collection::vec(0i64..64, 1..40)) {
+        let mem = SliceMemory::new(indices.clone());
+        let origin = Pattern::linear(0, ElemWidth::Word, indices.len() as u64).unwrap();
+        let p = Pattern::builder(0x4000, ElemWidth::Word)
+            .dim(0, 1, 0)
+            .indirect_outer(
+                uve::stream::Param::Offset,
+                uve::stream::IndirectBehaviour::SetAdd,
+                origin,
+                indices.len() as u64,
+            )
+            .build()
+            .unwrap();
+        let got: Vec<u64> = Walker::new(&p).iter(&mem).map(|e| e.addr).collect();
+        let expect: Vec<u64> = indices.iter().map(|&i| 0x4000 + 4 * i as u64).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// `count` always agrees with a full walk.
+    #[test]
+    fn count_agrees_with_walk(n0 in 0u64..20, n1 in 1u64..8, grow in 0i64..3) {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, n0, 1)
+            .dim(0, n1, 32)
+            .static_mod(Param::Size, Behaviour::Add, grow, n1)
+            .build()
+            .unwrap();
+        prop_assert_eq!(p.count(&NoMemory), walk(&p).len() as u64);
+    }
+}
