@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repo CI gate. Runs entirely offline: the workspace has no registry
+# dependencies (see the `proptest`/`bench` marker features in the crate
+# manifests), so every step must pass with the network unplugged.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: build + tests (offline) =="
+cargo build --release --workspace --offline
+cargo test -q --workspace --offline
+
+echo "CI OK"

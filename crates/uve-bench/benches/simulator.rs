@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use uve_bench::measure;
 use uve_core::{EmuConfig, Emulator};
 use uve_cpu::{CpuConfig, OoOCore};
-use uve_isa::{assemble, encode, decode};
+use uve_isa::{assemble, decode, encode};
 use uve_kernels::{saxpy::Saxpy, Benchmark, Flavor};
 use uve_mem::Memory;
 use uve_stream::{ElemWidth, NoMemory, Pattern, Walker};

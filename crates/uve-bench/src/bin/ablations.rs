@@ -7,8 +7,13 @@
 //! - MSHR counts (memory-level parallelism limits),
 //! - DRAM latency,
 //! - branch-predictor-modeled redirect penalties.
+//!
+//! Usage: `ablations [--jobs N | --serial] [--quiet]`. All
+//! `(config, kernel, flavor)` points are sharded through the parallel
+//! runner; the four functional traces are emulated once and replayed
+//! under every configuration.
 
-use uve_bench::{header, measure, row};
+use uve_bench::{header, row, Job, Runner};
 use uve_cpu::CpuConfig;
 use uve_kernels::{gemm::Gemm, saxpy::Saxpy, Benchmark, Flavor};
 use uve_mem::MemConfig;
@@ -18,12 +23,6 @@ fn pair() -> Vec<(Box<dyn Benchmark>, &'static str)> {
         (Box::new(Saxpy::new(65536)), "SAXPY (DRAM-bound)"),
         (Box::new(Gemm::new(32, 32, 32)), "GEMM (L2-bound)"),
     ]
-}
-
-fn speedup(bench: &dyn Benchmark, cpu: &CpuConfig) -> f64 {
-    let uve = measure(bench, Flavor::Uve, cpu);
-    let sve = measure(bench, Flavor::Sve, cpu);
-    sve.cycles() as f64 / uve.cycles() as f64
 }
 
 fn main() {
@@ -100,10 +99,32 @@ fn main() {
         ),
     ];
 
-    for (label, cpu) in configs {
-        let cells: Vec<String> = pair()
-            .iter()
-            .map(|(b, _)| format!("{:.2}x", speedup(b.as_ref(), &cpu)))
+    let runner = Runner::from_args();
+    let benches = pair();
+    // Per config, per kernel: one UVE and one SVE replay of cached traces.
+    let jobs: Vec<Job> = configs
+        .iter()
+        .flat_map(|(_, cpu)| {
+            benches.iter().flat_map(|(b, _)| {
+                [Flavor::Uve, Flavor::Sve].map(|f| Job::new(b.as_ref(), f, cpu.clone()))
+            })
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    assert!(
+        runner.emulations() <= (benches.len() * 2) as u64,
+        "ablations must replay cached traces across configurations"
+    );
+
+    for ((label, _), sweep) in configs.iter().zip(results.chunks_exact(benches.len() * 2)) {
+        let cells: Vec<String> = sweep
+            .chunks_exact(2)
+            .map(|uve_sve| {
+                format!(
+                    "{:.2}x",
+                    uve_sve[1].cycles() as f64 / uve_sve[0].cycles() as f64
+                )
+            })
             .collect();
         row(label, &cells);
     }

@@ -1,4 +1,6 @@
 //! Fig. 10 — Streaming Engine FIFO-depth sensitivity.
+//!
+//! Usage: `fig10 [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::fig10();
+    uve_bench::figures::fig10(&uve_bench::Runner::from_args());
 }

@@ -1,4 +1,6 @@
 //! Fig. 11 — streaming cache-level sensitivity.
+//!
+//! Usage: `fig11 [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::fig11();
+    uve_bench::figures::fig11(&uve_bench::Runner::from_args());
 }

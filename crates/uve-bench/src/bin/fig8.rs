@@ -1,6 +1,7 @@
 //! Fig. 8 — the main evaluation (panels A–E).
 //!
-//! Usage: `fig8 [--panel a|b|c|d|e]` (default: all panels).
+//! Usage: `fig8 [--panel a|b|c|d|e] [--jobs N | --serial] [--quiet]`
+//! (default: all panels, one worker per core).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -9,5 +10,5 @@ fn main() {
         .position(|a| a == "--panel")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    uve_bench::figures::fig8(panel.as_deref());
+    uve_bench::figures::fig8(panel.as_deref(), &uve_bench::Runner::from_args());
 }

@@ -1,4 +1,6 @@
 //! Fig. 9 — physical-vector-register sensitivity.
+//!
+//! Usage: `fig9 [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::fig9();
+    uve_bench::figures::fig9(&uve_bench::Runner::from_args());
 }

@@ -2,10 +2,15 @@
 //! memory access pattern, plus the measured UVE instruction mix (the Fig. 1
 //! argument: baseline loops are dominated by memory/indexing overhead that
 //! streaming removes).
+//!
+//! Usage: `kernels_table [--jobs N | --serial] [--quiet]`. The table needs
+//! functional traces only (no timing replay), so the runner's trace cache
+//! is warmed in parallel and the rows are then formatted serially in
+//! suite order.
 
-use uve_bench::row;
-use uve_isa::ExecClass;
-use uve_kernels::{evaluation_suite, run_checked, Flavor};
+use uve_bench::{row, Runner};
+use uve_isa::{ExecClass, MemLevel};
+use uve_kernels::{evaluation_suite, Benchmark, Flavor};
 
 fn mix(trace: &uve_core::Trace) -> (f64, f64, f64) {
     let mut mem = 0u64;
@@ -47,11 +52,18 @@ fn main() {
             "scalar mem%".into(),
         ],
     );
-    for bench in evaluation_suite() {
-        let uve = run_checked(bench.as_ref(), Flavor::Uve).expect("correct");
-        let scalar = run_checked(bench.as_ref(), Flavor::Scalar).expect("correct");
-        let (umem, ucomp, _) = mix(&uve.result.trace);
-        let (smem, _, _) = mix(&scalar.result.trace);
+    let runner = Runner::from_args();
+    let suite = evaluation_suite();
+    let points: Vec<(&dyn Benchmark, Flavor, MemLevel)> = suite
+        .iter()
+        .flat_map(|b| [Flavor::Uve, Flavor::Scalar].map(|f| (b.as_ref(), f, MemLevel::L2)))
+        .collect();
+    runner.warm_traces(&points);
+    for bench in &suite {
+        let uve = runner.trace(bench.as_ref(), Flavor::Uve, MemLevel::L2);
+        let scalar = runner.trace(bench.as_ref(), Flavor::Scalar, MemLevel::L2);
+        let (umem, ucomp, _) = mix(&uve.trace);
+        let (smem, _, _) = mix(&scalar.trace);
         row(
             bench.name(),
             &[

@@ -1,4 +1,6 @@
 //! Sec. VI-B — Stream Processing Module count sensitivity.
+//!
+//! Usage: `modules [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::modules();
+    uve_bench::figures::modules(&uve_bench::Runner::from_args());
 }

@@ -1,13 +1,23 @@
 //! The figure/table generators, callable from the `fig*` binaries and from
-//! the `figures` bench target (`cargo bench` regenerates every figure).
+//! the `figures` bench target (`cargo bench --bench figures` regenerates
+//! every figure).
+//!
+//! Every generator builds its full job list up front and hands it to the
+//! sharded [`Runner`], which spreads the `(kernel, flavor, config)` points
+//! across cores and reuses one functional trace per
+//! `(kernel, flavor, vlen, stream level)` — the sensitivity sweeps replay
+//! a cached trace under each timing configuration instead of re-emulating.
+//! Output is formatted from the returned vector (submission order), so
+//! serial and parallel runs print bit-identical figures.
 
-use crate::{geomean, header, measure, measure_with, row, Measured};
+use crate::runner::{Job, Runner};
+use crate::{geomean, header, row, Measured};
 use uve_core::engine::EngineConfig;
 use uve_cpu::CpuConfig;
 use uve_isa::MemLevel;
 use uve_kernels::{
-    evaluation_suite, gemm::Gemm, gemm::GemmUnrolled, jacobi::Jacobi2d, mamr::Mamr,
-    stream::Stream, threemm::ThreeMm, Benchmark, Flavor,
+    evaluation_suite, gemm::Gemm, gemm::GemmUnrolled, jacobi::Jacobi2d, mamr::Mamr, stream::Stream,
+    threemm::ThreeMm, Benchmark, Flavor,
 };
 use uve_stream::StateSizeReport;
 
@@ -19,18 +29,25 @@ struct KernelRuns {
     neon: Measured,
 }
 
-fn suite_runs(cpu: &CpuConfig) -> Vec<KernelRuns> {
-    evaluation_suite()
-        .into_iter()
-        .map(|bench| {
-            eprintln!("running {} ...", bench.name());
-            KernelRuns {
-                name: bench.name().to_string(),
-                sve_vectorized: bench.sve_vectorized(),
-                uve: measure(bench.as_ref(), Flavor::Uve, cpu),
-                sve: measure(bench.as_ref(), Flavor::Sve, cpu),
-                neon: measure(bench.as_ref(), Flavor::Neon, cpu),
-            }
+/// The Fig. 8 flavours, in the fixed per-kernel job order.
+const SUITE_FLAVORS: [Flavor; 3] = [Flavor::Uve, Flavor::Sve, Flavor::Neon];
+
+fn suite_runs(runner: &Runner) -> Vec<KernelRuns> {
+    let suite = evaluation_suite();
+    let cpu = CpuConfig::default();
+    let jobs: Vec<Job> = suite
+        .iter()
+        .flat_map(|bench| SUITE_FLAVORS.map(|flavor| Job::new(bench.as_ref(), flavor, cpu.clone())))
+        .collect();
+    let mut results = runner.run(&jobs).into_iter();
+    suite
+        .iter()
+        .map(|bench| KernelRuns {
+            name: bench.name().to_string(),
+            sve_vectorized: bench.sve_vectorized(),
+            uve: results.next().expect("uve run"),
+            sve: results.next().expect("sve run"),
+            neon: results.next().expect("neon run"),
         })
         .collect()
 }
@@ -44,12 +61,29 @@ fn sensitivity_subset() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+/// Asserts the trace-reuse invariant of a sweep: running `jobs` timing
+/// points over `points` distinct functional points must have cost at most
+/// `points` fresh emulations (exactly `points` on a cold runner).
+fn assert_trace_reuse(runner: &Runner, before: u64, points: usize, what: &str) {
+    let fresh = runner.emulations() - before;
+    assert!(
+        fresh <= points as u64,
+        "{what}: {fresh} emulations for {points} functional points — \
+         the sweep re-emulated instead of replaying cached traces"
+    );
+}
+
 /// Fig. 8, panels A–E. `panel` restricts output (`a`..`e`); `None` = all.
-pub fn fig8(panel: Option<&str>) {
+pub fn fig8(panel: Option<&str>, runner: &Runner) {
+    if let Some(p) = panel {
+        assert!(
+            matches!(p, "a" | "b" | "c" | "d" | "e"),
+            "unknown panel {p:?}: expected one of a, b, c, d, e"
+        );
+    }
     let want = |p: &str| panel.is_none_or(|x| x == p);
-    let cpu = CpuConfig::default();
     let runs = if want("a") || want("b") || want("c") || want("d") {
-        suite_runs(&cpu)
+        suite_runs(runner)
     } else {
         Vec::new()
     };
@@ -151,14 +185,24 @@ pub fn fig8(panel: Option<&str>) {
             "Fig. 8.E — GEMM speed-up from UVE loop unrolling (vs no unrolling)",
             &["factor", "speed-up"],
         );
-        let base = measure(&GemmUnrolled::new(32, 128, 32, 1), Flavor::Uve, &cpu);
-        for factor in [2usize, 4, 8] {
-            let m = measure(&GemmUnrolled::new(32, 128, 32, factor), Flavor::Uve, &cpu);
+        let cpu = CpuConfig::default();
+        let factors = [1usize, 2, 4, 8];
+        let unrolled: Vec<GemmUnrolled> = factors
+            .iter()
+            .map(|&f| GemmUnrolled::new(32, 128, 32, f))
+            .collect();
+        let jobs: Vec<Job> = unrolled
+            .iter()
+            .map(|b| Job::new(b, Flavor::Uve, cpu.clone()))
+            .collect();
+        let results = runner.run(&jobs);
+        let base = results[0].cycles();
+        for (factor, m) in factors[1..].iter().zip(&results[1..]) {
             row(
                 "GEMM",
                 &[
                     format!("{factor}"),
-                    format!("{:.2}x", base.cycles() as f64 / m.cycles() as f64),
+                    format!("{:.2}x", base as f64 / m.cycles() as f64),
                 ],
             );
         }
@@ -166,37 +210,54 @@ pub fn fig8(panel: Option<&str>) {
 }
 
 /// Fig. 9 — physical-vector-register sensitivity (UVE flat, SVE gains).
-pub fn fig9() {
+///
+/// Each `(kernel, flavor)` point is emulated once; the three PVR
+/// configurations replay the cached trace.
+pub fn fig9(runner: &Runner) {
     let pvrs = [48usize, 64, 96];
-    for flavor in [Flavor::Uve, Flavor::Sve] {
+    let benches = sensitivity_subset();
+    let flavors = [Flavor::Uve, Flavor::Sve];
+    let before = runner.emulations();
+    let jobs: Vec<Job> = flavors
+        .iter()
+        .flat_map(|&flavor| {
+            benches.iter().flat_map(move |bench| {
+                pvrs.map(|pvr| {
+                    let cpu = CpuConfig {
+                        vec_prf: pvr,
+                        ..CpuConfig::default()
+                    };
+                    Job::new(bench.as_ref(), flavor, cpu)
+                })
+            })
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    assert_trace_reuse(runner, before, flavors.len() * benches.len(), "fig9");
+
+    let mut chunks = results.chunks_exact(pvrs.len());
+    for flavor in flavors {
         header(
             &format!("Fig. 9 — {flavor}: speed-up vs 48 physical vector registers"),
             &["PVR=48", "PVR=64", "PVR=96"],
         );
-        for bench in sensitivity_subset() {
-            let mut cells = vec!["1.00x".to_string()];
-            let base = {
-                let cpu = CpuConfig {
-                    vec_prf: pvrs[0],
-                    ..CpuConfig::default()
-                };
-                measure(bench.as_ref(), flavor, &cpu).cycles()
-            };
-            for &pvr in &pvrs[1..] {
-                let cpu = CpuConfig {
-                    vec_prf: pvr,
-                    ..CpuConfig::default()
-                };
-                let m = measure(bench.as_ref(), flavor, &cpu);
-                cells.push(format!("{:.2}x", base as f64 / m.cycles() as f64));
-            }
+        for bench in &benches {
+            let sweep = chunks.next().expect("one sweep per kernel");
+            let base = sweep[0].cycles();
+            let cells: Vec<String> = sweep
+                .iter()
+                .map(|m| format!("{:.2}x", base as f64 / m.cycles() as f64))
+                .collect();
             row(bench.name(), &cells);
         }
     }
 }
 
 /// Fig. 10 — FIFO-depth sensitivity (≥4 required; MAMR most sensitive).
-pub fn fig10() {
+///
+/// FIFO depth is a timing-only knob: one emulation per kernel, four
+/// replays.
+pub fn fig10(runner: &Runner) {
     let depths = [2usize, 4, 8, 12];
     header(
         "Fig. 10 — UVE speed-up vs FIFO depth 8",
@@ -204,10 +265,11 @@ pub fn fig10() {
     );
     let mut benches = sensitivity_subset();
     benches.insert(1, Box::new(ThreeMm::new(32)));
-    for bench in benches {
-        let cycles: Vec<u64> = depths
-            .iter()
-            .map(|&d| {
+    let before = runner.emulations();
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|bench| {
+            depths.map(|d| {
                 let cpu = CpuConfig {
                     engine: EngineConfig {
                         fifo_depth: d,
@@ -215,55 +277,76 @@ pub fn fig10() {
                     },
                     ..CpuConfig::default()
                 };
-                measure(bench.as_ref(), Flavor::Uve, &cpu).cycles()
+                Job::new(bench.as_ref(), Flavor::Uve, cpu)
             })
-            .collect();
-        let base = cycles[2] as f64;
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    assert_trace_reuse(runner, before, benches.len(), "fig10");
+    for (bench, sweep) in benches.iter().zip(results.chunks_exact(depths.len())) {
+        let base = sweep[2].cycles() as f64;
         row(
             bench.name(),
-            &cycles
+            &sweep
                 .iter()
-                .map(|&c| format!("{:.2}x", base / c as f64))
+                .map(|m| format!("{:.2}x", base / m.cycles() as f64))
                 .collect::<Vec<_>>(),
         );
     }
 }
 
 /// Fig. 11 — streaming cache-level sensitivity (L2 best overall).
-pub fn fig11() {
-    let cpu = CpuConfig::default();
+///
+/// The stream level changes the functional trace, so each
+/// `(kernel, level)` point is one emulation — but still only one, shared
+/// with any later sweep over the same point.
+pub fn fig11(runner: &Runner) {
     let levels = [MemLevel::L1, MemLevel::L2, MemLevel::Mem];
     header(
         "Fig. 11 — UVE speed-up vs streaming level (normalized to L2)",
         &["L1", "L2", "DRAM"],
     );
-    for bench in sensitivity_subset() {
-        let cycles: Vec<u64> = levels
-            .iter()
-            .map(|&l| measure_with(bench.as_ref(), Flavor::Uve, &cpu, l).cycles())
-            .collect();
-        let base = cycles[1] as f64;
+    let benches = sensitivity_subset();
+    let cpu = CpuConfig::default();
+    let before = runner.emulations();
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|bench| {
+            levels.map(|level| Job {
+                bench: bench.as_ref(),
+                flavor: Flavor::Uve,
+                cpu: cpu.clone(),
+                stream_level: level,
+            })
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    assert_trace_reuse(runner, before, benches.len() * levels.len(), "fig11");
+    for (bench, sweep) in benches.iter().zip(results.chunks_exact(levels.len())) {
+        let base = sweep[1].cycles() as f64;
         row(
             bench.name(),
-            &cycles
+            &sweep
                 .iter()
-                .map(|&c| format!("{:.2}x", base / c as f64))
+                .map(|m| format!("{:.2}x", base / m.cycles() as f64))
                 .collect::<Vec<_>>(),
         );
     }
 }
 
 /// Sec. VI-B — Stream Processing Module count sensitivity (<0.1% changes).
-pub fn modules() {
+pub fn modules(runner: &Runner) {
     let counts = [2usize, 4, 8];
     header(
         "Sec. VI-B — UVE speed-up vs 2 Stream Processing Modules",
         &["m=2", "m=4", "m=8"],
     );
-    for bench in sensitivity_subset() {
-        let cycles: Vec<u64> = counts
-            .iter()
-            .map(|&m| {
+    let benches = sensitivity_subset();
+    let before = runner.emulations();
+    let jobs: Vec<Job> = benches
+        .iter()
+        .flat_map(|bench| {
+            counts.map(|m| {
                 let cpu = CpuConfig {
                     engine: EngineConfig {
                         processing_modules: m,
@@ -271,15 +354,19 @@ pub fn modules() {
                     },
                     ..CpuConfig::default()
                 };
-                measure(bench.as_ref(), Flavor::Uve, &cpu).cycles()
+                Job::new(bench.as_ref(), Flavor::Uve, cpu)
             })
-            .collect();
-        let base = cycles[0] as f64;
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    assert_trace_reuse(runner, before, benches.len(), "modules");
+    for (bench, sweep) in benches.iter().zip(results.chunks_exact(counts.len())) {
+        let base = sweep[0].cycles() as f64;
         row(
             bench.name(),
-            &cycles
+            &sweep
                 .iter()
-                .map(|&c| format!("{:.4}x", base / c as f64))
+                .map(|m| format!("{:.4}x", base / m.cycles() as f64))
                 .collect::<Vec<_>>(),
         );
     }

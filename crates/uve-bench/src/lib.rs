@@ -19,12 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod runner;
 
-use uve_core::EmuConfig;
-use uve_cpu::{CpuConfig, OoOCore, TimingStats};
+pub use runner::{Job, RunMode, Runner};
+
+use uve_cpu::{CpuConfig, TimingStats};
 use uve_isa::MemLevel;
 use uve_kernels::{Benchmark, Flavor};
-use uve_mem::Memory;
 
 /// One measured kernel execution.
 #[derive(Debug, Clone)]
@@ -47,7 +48,9 @@ impl Measured {
 }
 
 /// Emulates and times `bench` in `flavor` under `cpu` with streams
-/// defaulting to `level`.
+/// defaulting to `level` — the one-shot (uncached) path, built from the
+/// same [`runner::emulate_trace`]/[`runner::replay`] primitives the
+/// parallel [`Runner`] shards, so both paths report identical numbers.
 ///
 /// # Panics
 ///
@@ -59,27 +62,8 @@ pub fn measure_with(
     cpu: &CpuConfig,
     level: MemLevel,
 ) -> Measured {
-    let emu_cfg = EmuConfig {
-        vlen_bytes: flavor.vlen_bytes(),
-        stream_level: level,
-        ..EmuConfig::default()
-    };
-    let mut emu = uve_core::Emulator::new(emu_cfg, Memory::new());
-    bench.setup(&mut emu);
-    let program = bench.program(flavor);
-    let result = emu
-        .run(&program)
-        .unwrap_or_else(|e| panic!("{}/{flavor}: {e}", bench.name()));
-    bench
-        .check(&emu)
-        .unwrap_or_else(|e| panic!("{}/{flavor}: {e}", bench.name()));
-    let stats = OoOCore::new(cpu.clone()).run_warm(&result.trace);
-    Measured {
-        name: bench.name().to_string(),
-        flavor,
-        committed: result.committed,
-        stats,
-    }
+    let cached = runner::emulate_trace(bench, flavor, level);
+    runner::replay(bench.name(), flavor, &cached, cpu)
 }
 
 /// [`measure_with`] at the default L2 stream level.
@@ -107,7 +91,10 @@ pub fn row(name: &str, cells: &[String]) {
 /// Prints a header row.
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n=== {title} ===");
-    row("kernel", &cols.iter().map(|c| (*c).to_string()).collect::<Vec<_>>());
+    row(
+        "kernel",
+        &cols.iter().map(|c| (*c).to_string()).collect::<Vec<_>>(),
+    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,424 @@
+//! The parallel sharded evaluation runner with functional-trace reuse.
+//!
+//! The evaluation decouples *functional* emulation (which produces a
+//! dynamic [`Trace`]) from *timing* replay (the out-of-order model), the
+//! same access/execute split the architecture itself makes. Only the
+//! timing side depends on the CPU configuration, so the sensitivity sweeps
+//! (Figs. 9–11, Sec. VI-B) need exactly one emulation per
+//! `(kernel, flavor, vlen, stream level)` point, replayed under N timing
+//! configurations — not N re-emulations.
+//!
+//! Two mechanisms deliver that:
+//!
+//! - a [`TraceKey`]-indexed cache of emulated traces, with per-key
+//!   once-initialization so concurrent workers never emulate the same
+//!   point twice (an emulation counter makes this assertable);
+//! - a std-only scoped worker pool ([`std::thread::scope`]) pulling
+//!   [`Job`]s from a shared `Mutex<VecDeque<_>>`, one worker per core by
+//!   default ([`std::thread::available_parallelism`]).
+//!
+//! Determinism: traces are plain data (`Trace: Send + Sync`), emulation is
+//! deterministic, and [`OoOCore::run_warm`] builds all mutable state
+//! (memory hierarchy, predictor, Streaming Engine) per call from `&Trace`
+//! — there are no hidden mutable globals. Results are written back by
+//! submission index, so a parallel run returns the *same* `Vec<Measured>`,
+//! in the same order with bit-identical numbers, as `--serial`.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::Measured;
+use uve_core::{EmuConfig, Trace};
+use uve_cpu::{CpuConfig, OoOCore};
+use uve_isa::MemLevel;
+use uve_kernels::{Benchmark, Flavor};
+use uve_mem::Memory;
+
+/// One unit of evaluation work: emulate (or fetch the cached trace of)
+/// `bench` in `flavor` at `stream_level`, then replay it under `cpu`.
+pub struct Job<'a> {
+    /// The kernel to measure.
+    pub bench: &'a dyn Benchmark,
+    /// Code flavour (fixes the vector length).
+    pub flavor: Flavor,
+    /// Timing-model configuration for the replay.
+    pub cpu: CpuConfig,
+    /// Memory level streams default to (affects the functional trace).
+    pub stream_level: MemLevel,
+}
+
+impl<'a> Job<'a> {
+    /// A job at the paper's default L2 stream level.
+    pub fn new(bench: &'a dyn Benchmark, flavor: Flavor, cpu: CpuConfig) -> Self {
+        Self {
+            bench,
+            flavor,
+            cpu,
+            stream_level: MemLevel::L2,
+        }
+    }
+
+    /// The trace-cache key this job resolves to.
+    pub fn key(&self) -> TraceKey {
+        TraceKey::of(self.bench, self.flavor, self.stream_level)
+    }
+}
+
+/// Cache key of a functional trace: everything emulation depends on.
+///
+/// The program fingerprint covers kernel parameters (sizes, unroll
+/// factors) that `name()` alone does not distinguish — e.g. the Fig. 8.E
+/// `GEMM-unrolled` instances share a name but differ per unroll factor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Code flavour.
+    pub flavor: Flavor,
+    /// Vector length in bytes (implied by the flavour, kept explicit).
+    pub vlen: usize,
+    /// Default stream memory level.
+    pub stream_level: MemLevel,
+    /// Fingerprint of the flavour's program (captures kernel parameters).
+    pub program: u64,
+}
+
+impl TraceKey {
+    fn of(bench: &dyn Benchmark, flavor: Flavor, stream_level: MemLevel) -> Self {
+        let mut h = std::hash::DefaultHasher::new();
+        format!("{:?}", bench.program(flavor).insts()).hash(&mut h);
+        Self {
+            kernel: bench.name(),
+            flavor,
+            vlen: flavor.vlen_bytes(),
+            stream_level,
+            program: h.finish(),
+        }
+    }
+}
+
+/// An emulated, correctness-checked functional trace.
+#[derive(Debug)]
+pub struct CachedTrace {
+    /// The dynamic trace.
+    pub trace: Trace,
+    /// Committed dynamic instructions.
+    pub committed: u64,
+}
+
+/// Emulates `bench`/`flavor` at `stream_level` and verifies the result
+/// against the kernel's oracle.
+///
+/// # Panics
+///
+/// Panics if the kernel mis-executes or fails its correctness check —
+/// measurement of an incorrect run would be meaningless.
+pub fn emulate_trace(bench: &dyn Benchmark, flavor: Flavor, stream_level: MemLevel) -> CachedTrace {
+    let emu_cfg = EmuConfig {
+        vlen_bytes: flavor.vlen_bytes(),
+        stream_level,
+        ..EmuConfig::default()
+    };
+    let mut emu = uve_core::Emulator::new(emu_cfg, Memory::new());
+    bench.setup(&mut emu);
+    let program = bench.program(flavor);
+    let result = emu
+        .run(&program)
+        .unwrap_or_else(|e| panic!("{}/{flavor}: {e}", bench.name()));
+    bench
+        .check(&emu)
+        .unwrap_or_else(|e| panic!("{}/{flavor}: {e}", bench.name()));
+    CachedTrace {
+        trace: result.trace,
+        committed: result.committed,
+    }
+}
+
+/// Replays a cached trace under `cpu` (warm-run methodology) and packages
+/// the result.
+pub fn replay(name: &str, flavor: Flavor, cached: &CachedTrace, cpu: &CpuConfig) -> Measured {
+    let stats = OoOCore::new(cpu.clone()).run_warm(&cached.trace);
+    Measured {
+        name: name.to_string(),
+        flavor,
+        committed: cached.committed,
+        stats,
+    }
+}
+
+#[derive(Default)]
+struct TraceCache {
+    map: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<CachedTrace>>>>>,
+    emulations: AtomicU64,
+}
+
+impl TraceCache {
+    /// Returns the trace for `(bench, flavor, stream_level)`, emulating at
+    /// most once per key even under concurrent lookups (late arrivals
+    /// block on the key's `OnceLock` instead of re-emulating).
+    fn get(
+        &self,
+        bench: &dyn Benchmark,
+        flavor: Flavor,
+        stream_level: MemLevel,
+    ) -> Arc<CachedTrace> {
+        let cell = {
+            let mut map = self.map.lock().expect("trace cache poisoned");
+            Arc::clone(
+                map.entry(TraceKey::of(bench, flavor, stream_level))
+                    .or_default(),
+            )
+        };
+        let trace = cell.get_or_init(|| {
+            self.emulations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(emulate_trace(bench, flavor, stream_level))
+        });
+        Arc::clone(trace)
+    }
+}
+
+/// How many workers the runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// Strictly sequential on the calling thread (`--serial`).
+    Serial,
+    /// A scoped pool of N worker threads (`--jobs N`).
+    Parallel(usize),
+}
+
+/// The sharded evaluation runner.
+pub struct Runner {
+    mode: RunMode,
+    verbose: bool,
+    cache: TraceCache,
+}
+
+impl Runner {
+    /// A strictly serial runner (the determinism baseline).
+    pub fn serial() -> Self {
+        Self {
+            mode: RunMode::Serial,
+            verbose: false,
+            cache: TraceCache::default(),
+        }
+    }
+
+    /// A parallel runner with `jobs` workers (clamped to ≥ 1).
+    pub fn parallel(jobs: usize) -> Self {
+        Self {
+            mode: RunMode::Parallel(jobs.max(1)),
+            verbose: false,
+            cache: TraceCache::default(),
+        }
+    }
+
+    /// A parallel runner with one worker per available core.
+    pub fn auto() -> Self {
+        Self::parallel(default_jobs())
+    }
+
+    /// Builds a runner from process arguments: `--serial` forces the
+    /// sequential baseline, `--jobs N` sets the worker count, `--quiet`
+    /// silences per-job wall-clock reporting (default: one worker per
+    /// core, reporting on). Unrecognized arguments are ignored so the
+    /// figure binaries can keep their own flags.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut runner = if args.iter().any(|a| a == "--serial") {
+            Self::serial()
+        } else {
+            let jobs = args
+                .iter()
+                .position(|a| a == "--jobs")
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or_else(default_jobs);
+            Self::parallel(jobs)
+        };
+        runner.verbose = !args.iter().any(|a| a == "--quiet");
+        runner
+    }
+
+    /// Enables or disables per-job wall-clock reporting on stderr.
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// The runner's mode.
+    pub fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// Number of functional emulations performed so far — the trace-reuse
+    /// observable: a sweep of N timing configurations over K kernel points
+    /// must raise this by at most K.
+    pub fn emulations(&self) -> u64 {
+        self.cache.emulations.load(Ordering::Relaxed)
+    }
+
+    /// The cached trace for an evaluation point, emulating it on first use
+    /// (shared with jobs run later).
+    pub fn trace(
+        &self,
+        bench: &dyn Benchmark,
+        flavor: Flavor,
+        stream_level: MemLevel,
+    ) -> Arc<CachedTrace> {
+        self.cache.get(bench, flavor, stream_level)
+    }
+
+    /// Warms the trace cache for `points` using the worker pool; later
+    /// [`Runner::trace`]/[`Runner::run`] calls on the same points are pure
+    /// cache hits.
+    pub fn warm_traces(&self, points: &[(&dyn Benchmark, Flavor, MemLevel)]) {
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..points.len()).collect());
+        self.pooled(points.len(), &|| {
+            while let Some(i) = pop(&queue) {
+                let (bench, flavor, level) = points[i];
+                self.cache.get(bench, flavor, level);
+            }
+        });
+    }
+
+    /// Runs every job and returns the measurements **in submission order**,
+    /// independent of worker scheduling. Serial and parallel modes produce
+    /// bit-identical results.
+    pub fn run(&self, jobs: &[Job<'_>]) -> Vec<Measured> {
+        let t0 = Instant::now();
+        let results: Vec<Mutex<Option<Measured>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
+        let job_nanos = AtomicU64::new(0);
+
+        let worker = || {
+            while let Some(i) = pop(&queue) {
+                let job = &jobs[i];
+                let jt = Instant::now();
+                let cached = self.cache.get(job.bench, job.flavor, job.stream_level);
+                let m = replay(job.bench.name(), job.flavor, &cached, &job.cpu);
+                let elapsed = jt.elapsed();
+                job_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                if self.verbose {
+                    eprintln!(
+                        "[job {i:>3}] {:<16} {:<6} {:>9.1} ms",
+                        job.bench.name(),
+                        job.flavor.to_string(),
+                        elapsed.as_secs_f64() * 1e3,
+                    );
+                }
+                *results[i].lock().expect("result slot poisoned") = Some(m);
+            }
+        };
+        self.pooled(jobs.len(), &worker);
+
+        let wall = t0.elapsed().as_secs_f64();
+        let agg = job_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+        if self.verbose && !jobs.is_empty() {
+            let workers = match self.mode {
+                RunMode::Serial => 1,
+                RunMode::Parallel(n) => n,
+            };
+            eprintln!(
+                "[runner] {} job(s) on {workers} worker(s): {wall:.2} s wall, \
+                 {agg:.2} s aggregate ({:.2}x), {} emulation(s)",
+                jobs.len(),
+                if wall > 0.0 { agg / wall } else { 1.0 },
+                self.emulations(),
+            );
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker completed every job")
+            })
+            .collect()
+    }
+
+    /// Runs `worker` closures: inline when serial, else on a scoped pool
+    /// of `min(workers, work_items)` threads.
+    fn pooled(&self, work_items: usize, worker: &(dyn Fn() + Sync)) {
+        match self.mode {
+            RunMode::Serial => worker(),
+            RunMode::Parallel(n) => {
+                let threads = n.min(work_items.max(1));
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(worker);
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn pop(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("job queue poisoned").pop_front()
+}
+
+/// One worker per available core (1 if the count is unknown).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uve_kernels::saxpy::Saxpy;
+
+    #[test]
+    fn trace_is_send_sync_plain_data() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trace>();
+        assert_send_sync::<CachedTrace>();
+        assert_send_sync::<Job<'_>>();
+    }
+
+    #[test]
+    fn cache_emulates_once_per_key() {
+        let runner = Runner::parallel(4);
+        let bench = Saxpy::new(256);
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| {
+                let cpu = CpuConfig {
+                    vec_prf: 48 + 16 * (i % 3),
+                    ..CpuConfig::default()
+                };
+                Job::new(&bench, Flavor::Uve, cpu)
+            })
+            .collect();
+        let out = runner.run(&jobs);
+        assert_eq!(out.len(), 6);
+        assert_eq!(runner.emulations(), 1, "one kernel point → one emulation");
+        // Identical CPU configs must give identical cycle counts.
+        assert_eq!(out[0].stats.cycles, out[3].stats.cycles);
+    }
+
+    #[test]
+    fn distinct_program_parameters_get_distinct_keys() {
+        use uve_kernels::gemm::GemmUnrolled;
+        let a = GemmUnrolled::new(8, 32, 8, 1);
+        let b = GemmUnrolled::new(8, 32, 8, 2);
+        let ka = TraceKey::of(&a, Flavor::Uve, MemLevel::L2);
+        let kb = TraceKey::of(&b, Flavor::Uve, MemLevel::L2);
+        assert_eq!(ka.kernel, kb.kernel, "same display name");
+        assert_ne!(ka, kb, "different programs must not share a trace");
+    }
+
+    #[test]
+    fn from_parallel_pool_matches_serial() {
+        let bench = Saxpy::new(512);
+        let cpu = CpuConfig::default();
+        fn jobs<'a>(b: &'a Saxpy, cpu: &CpuConfig) -> Vec<Job<'a>> {
+            vec![Job::new(b, Flavor::Uve, cpu.clone())]
+        }
+        let s = Runner::serial().run(&jobs(&bench, &cpu));
+        let p = Runner::parallel(2).run(&jobs(&bench, &cpu));
+        assert_eq!(s[0].committed, p[0].committed);
+        assert_eq!(s[0].stats.cycles, p[0].stats.cycles);
+    }
+}

@@ -7,8 +7,7 @@ use crate::value::{PredVal, Scalar, VecVal};
 use std::fmt;
 use uve_isa::{
     AluOp, BrCond, Dir, DupSrc, ElemWidth, ExecClass, FpOp, FpUnOp, HorizOp, Inst, PredCond,
-    PredOp, Program, RegClass, StreamCond, StreamCtl, VCmpOp, VOp, VReg, VType, VUnOp,
-    XReg,
+    PredOp, Program, RegClass, StreamCond, StreamCtl, VCmpOp, VOp, VReg, VType, VUnOp, XReg,
 };
 use uve_mem::{Memory, LINE_BYTES};
 
@@ -299,27 +298,52 @@ impl Emulator {
         let vlen = self.cfg.vlen_bytes;
 
         match inst {
-            Inst::Alu { op: o, rd, rs1, rs2 } => {
+            Inst::Alu {
+                op: o,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let a = self.x[rs1.index()];
                 let b = self.x[rs2.index()];
                 self.set_x(rd, scalar_alu(o, a, b));
             }
-            Inst::AluImm { op: o, rd, rs1, imm } => {
+            Inst::AluImm {
+                op: o,
+                rd,
+                rs1,
+                imm,
+            } => {
                 let a = self.x[rs1.index()];
                 self.set_x(rd, scalar_alu(o, a, imm as i64));
             }
             Inst::Lui { rd, imm } => self.set_x(rd, (imm as i64) << 12),
-            Inst::Ld { rd, base, off, width } => {
+            Inst::Ld {
+                rd,
+                base,
+                off,
+                width,
+            } => {
                 let addr = (self.x[base.index()] + off as i64) as u64;
                 self.set_x(rd, self.mem.read_elem(addr, width));
                 record_mem(&mut op, addr, width.bytes() as u64, false);
             }
-            Inst::St { src, base, off, width } => {
+            Inst::St {
+                src,
+                base,
+                off,
+                width,
+            } => {
                 let addr = (self.x[base.index()] + off as i64) as u64;
                 self.mem.write_elem(addr, width, self.x[src.index()]);
                 record_mem(&mut op, addr, width.bytes() as u64, true);
             }
-            Inst::Fld { fd, base, off, width } => {
+            Inst::Fld {
+                fd,
+                base,
+                off,
+                width,
+            } => {
                 let addr = (self.x[base.index()] + off as i64) as u64;
                 let v = match width {
                     ElemWidth::Double => self.mem.read_f64(addr),
@@ -328,7 +352,12 @@ impl Emulator {
                 self.set_f(fd, v);
                 record_mem(&mut op, addr, width.bytes() as u64, false);
             }
-            Inst::Fst { src, base, off, width } => {
+            Inst::Fst {
+                src,
+                base,
+                off,
+                width,
+            } => {
                 let addr = (self.x[base.index()] + off as i64) as u64;
                 match width {
                     ElemWidth::Double => self.mem.write_f64(addr, self.f[src.index()]),
@@ -336,16 +365,33 @@ impl Emulator {
                 }
                 record_mem(&mut op, addr, width.bytes() as u64, true);
             }
-            Inst::FAlu { op: o, width, fd, fs1, fs2 } => {
+            Inst::FAlu {
+                op: o,
+                width,
+                fd,
+                fs1,
+                fs2,
+            } => {
                 let a = self.f[fs1.index()];
                 let b = self.f[fs2.index()];
                 self.set_f(fd, fp_alu(o, a, b, width));
             }
-            Inst::FMac { width, fd, fs1, fs2, fs3 } => {
+            Inst::FMac {
+                width,
+                fd,
+                fs1,
+                fs2,
+                fs3,
+            } => {
                 let r = self.f[fs1.index()] * self.f[fs2.index()] + self.f[fs3.index()];
                 self.set_f(fd, round_fp(r, width));
             }
-            Inst::FUn { op: o, width, fd, fs } => {
+            Inst::FUn {
+                op: o,
+                width,
+                fd,
+                fs,
+            } => {
                 let a = self.f[fs.index()];
                 let r = match o {
                     FpUnOp::Sqrt => a.sqrt(),
@@ -361,7 +407,12 @@ impl Emulator {
                 self.set_f(fd, round_fp(self.x[rs.index()] as f64, width));
             }
             Inst::FCvtXF { width: _, rd, fs } => self.set_x(rd, self.f[fs.index()] as i64),
-            Inst::Branch { cond, rs1, rs2, target } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let a = self.x[rs1.index()];
                 let b = self.x[rs2.index()];
                 let taken = match cond {
@@ -375,7 +426,10 @@ impl Emulator {
                 if taken {
                     next = target;
                 }
-                op.branch = Some(BranchOutcome { taken, next_pc: next });
+                op.branch = Some(BranchOutcome {
+                    taken,
+                    next_pc: next,
+                });
             }
             Inst::Jal { rd, target } => {
                 self.set_x(rd, (pc + 1) as i64);
@@ -386,7 +440,15 @@ impl Emulator {
                 });
             }
             Inst::Halt | Inst::Nop => {}
-            Inst::SsStart { u, dir, width, base, size, stride, done } => {
+            Inst::SsStart {
+                u,
+                dir,
+                width,
+                base,
+                size,
+                stride,
+                done,
+            } => {
                 let inst_id = self
                     .streams
                     .start(
@@ -402,7 +464,13 @@ impl Emulator {
                     .map_err(|err| EmuError::Stream { pc, err })?;
                 op.stream_open = inst_id;
             }
-            Inst::SsApp { u, offset, size, stride, end } => {
+            Inst::SsApp {
+                u,
+                offset,
+                size,
+                stride,
+                end,
+            } => {
                 let inst_id = self
                     .streams
                     .append_dim(
@@ -416,7 +484,14 @@ impl Emulator {
                     .map_err(|err| EmuError::Stream { pc, err })?;
                 op.stream_open = inst_id;
             }
-            Inst::SsAppMod { u, target, behaviour, disp, count, end } => {
+            Inst::SsAppMod {
+                u,
+                target,
+                behaviour,
+                disp,
+                count,
+                end,
+            } => {
                 let inst_id = self
                     .streams
                     .append_static_mod(
@@ -431,7 +506,13 @@ impl Emulator {
                     .map_err(|err| EmuError::Stream { pc, err })?;
                 op.stream_open = inst_id;
             }
-            Inst::SsAppInd { u, target, behaviour, origin, end } => {
+            Inst::SsAppInd {
+                u,
+                target,
+                behaviour,
+                origin,
+                end,
+            } => {
                 let inst_id = self
                     .streams
                     .append_indirect_mod(u, target, behaviour, origin, end, &self.mem, trace)
@@ -448,11 +529,10 @@ impl Emulator {
             }
             Inst::SsCfgMem { u, level } => self.streams.set_level(u, level),
             Inst::SsBranch { cond, u, target } => {
-                let (flags, at_end) =
-                    self.streams.branch_flags(u).ok_or(EmuError::Stream {
-                        pc,
-                        err: StreamError::NotConfigured(u.num()),
-                    })?;
+                let (flags, at_end) = self.streams.branch_flags(u).ok_or(EmuError::Stream {
+                    pc,
+                    err: StreamError::NotConfigured(u.num()),
+                })?;
                 let taken = match cond {
                     StreamCond::NotEnd => !at_end,
                     StreamCond::End => at_end,
@@ -462,7 +542,10 @@ impl Emulator {
                 if taken {
                     next = target;
                 }
-                op.branch = Some(BranchOutcome { taken, next_pc: next });
+                op.branch = Some(BranchOutcome {
+                    taken,
+                    next_pc: next,
+                });
             }
             Inst::SsGetVl { rd, width } => {
                 self.set_x(rd, self.lanes(width) as i64);
@@ -482,7 +565,14 @@ impl Emulator {
                 let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 self.write_v(vd, val, trace, &mut op, pc)?;
             }
-            Inst::VUn { op: o, ty, width, vd, vs, pred } => {
+            Inst::VUn {
+                op: o,
+                ty,
+                width,
+                vd,
+                vs,
+                pred,
+            } => {
                 let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
                 let pm = self.p[pred.index()].clone();
@@ -507,33 +597,70 @@ impl Emulator {
                 }
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VArith { op: o, ty, width, vd, vs1, vs2, pred } => {
+            Inst::VArith {
+                op: o,
+                ty,
+                width,
+                vd,
+                vs1,
+                vs2,
+                pred,
+            } => {
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
                 let out = self.lanewise(o, ty, width, &a, &b, pred);
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VArithVS { op: o, ty, width, vd, vs1, scalar, pred } => {
+            Inst::VArithVS {
+                op: o,
+                ty,
+                width,
+                vd,
+                vs1,
+                scalar,
+                pred,
+            } => {
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.dup_value(scalar, width, ty);
                 let out = self.lanewise(o, ty, width, &a, &b, pred);
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VMacVS { ty, width, vd, vs1, scalar, pred } => {
+            Inst::VMacVS {
+                ty,
+                width,
+                vd,
+                vs1,
+                scalar,
+                pred,
+            } => {
                 let acc = self.read_v(vd, trace, &mut op, &mut consumed, pc)?;
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.dup_value(scalar, width, ty);
                 let out = mac_lanes(self, acc, a, b, ty, width, pred, vlen);
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VMac { ty, width, vd, vs1, vs2, pred } => {
+            Inst::VMac {
+                ty,
+                width,
+                vd,
+                vs1,
+                vs2,
+                pred,
+            } => {
                 let acc = self.read_v(vd, trace, &mut op, &mut consumed, pc)?;
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
                 let out = mac_lanes(self, acc, a, b, ty, width, pred, vlen);
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VRed { op: o, ty, width, vd, vs, pred } => {
+            Inst::VRed {
+                op: o,
+                ty,
+                width,
+                vd,
+                vs,
+                pred,
+            } => {
                 let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
                 let pm = self.p[pred.index()].clone();
@@ -565,7 +692,14 @@ impl Emulator {
                 }
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VCmp { op: o, ty, width, pd, vs1, vs2 } => {
+            Inst::VCmp {
+                op: o,
+                ty,
+                width,
+                pd,
+                vs1,
+                vs2,
+            } => {
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
@@ -582,7 +716,12 @@ impl Emulator {
                 }
                 self.p[pd.index()] = pv;
             }
-            Inst::PredAlu { op: o, pd, ps1, ps2 } => {
+            Inst::PredAlu {
+                op: o,
+                pd,
+                ps1,
+                ps2,
+            } => {
                 let a = self.p[ps1.index()].clone();
                 let b = self.p[ps2.index()].clone();
                 self.p[pd.index()] = match o {
@@ -612,19 +751,38 @@ impl Emulator {
                 if taken {
                     next = target;
                 }
-                op.branch = Some(BranchOutcome { taken, next_pc: next });
+                op.branch = Some(BranchOutcome {
+                    taken,
+                    next_pc: next,
+                });
             }
-            Inst::VExtractF { fd, vs, lane, width } => {
+            Inst::VExtractF {
+                fd,
+                vs,
+                lane,
+                width,
+            } => {
                 let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
                 self.set_f(fd, a.float(lane as usize));
             }
-            Inst::VExtractX { rd, vs, lane, width } => {
+            Inst::VExtractX {
+                rd,
+                vs,
+                lane,
+                width,
+            } => {
                 let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
                 self.set_x(rd, a.int(lane as usize));
             }
-            Inst::VLoad { vd, base, index, width, pred } => {
+            Inst::VLoad {
+                vd,
+                base,
+                index,
+                width,
+                pred,
+            } => {
                 let b = self.x[base.index()] as u64;
                 let idx = self.x[index.index()];
                 let pm = self.p[pred.index()].clone();
@@ -643,7 +801,13 @@ impl Emulator {
                 op.mem_addr = first_addr.unwrap_or(b);
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VStore { vs, base, index, width, pred } => {
+            Inst::VStore {
+                vs,
+                base,
+                index,
+                width,
+                pred,
+            } => {
                 let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let val = align_width(val, width);
                 let b = self.x[base.index()] as u64;
@@ -662,7 +826,13 @@ impl Emulator {
                 }
                 op.mem_addr = first_addr.unwrap_or(b);
             }
-            Inst::VGather { vd, base, idx, width, pred } => {
+            Inst::VGather {
+                vd,
+                base,
+                idx,
+                width,
+                pred,
+            } => {
                 let b = self.x[base.index()] as u64;
                 let iv = self.read_v(idx, trace, &mut op, &mut consumed, pc)?;
                 let iv = align_width(iv, width);
@@ -682,7 +852,13 @@ impl Emulator {
                 op.mem_addr = first_addr.unwrap_or(b);
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
-            Inst::VScatter { vs, base, idx, width, pred } => {
+            Inst::VScatter {
+                vs,
+                base,
+                idx,
+                width,
+                pred,
+            } => {
                 let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let val = align_width(val, width);
                 let b = self.x[base.index()] as u64;
@@ -702,7 +878,12 @@ impl Emulator {
                 }
                 op.mem_addr = first_addr.unwrap_or(b);
             }
-            Inst::WhileLt { pd, rs1, rs2, width } => {
+            Inst::WhileLt {
+                pd,
+                rs1,
+                rs2,
+                width,
+            } => {
                 let a = self.x[rs1.index()];
                 let b = self.x[rs2.index()];
                 let mut pv = PredVal::all_false();
@@ -720,7 +901,12 @@ impl Emulator {
                 let n = self.lanes(width) as i64;
                 self.set_x(rd, n);
             }
-            Inst::VLoadPost { vd, base, width, pred } => {
+            Inst::VLoadPost {
+                vd,
+                base,
+                width,
+                pred,
+            } => {
                 let b = self.x[base.index()] as u64;
                 let pm = self.p[pred.index()].clone();
                 let mut out = VecVal::empty(vlen, width);
@@ -737,7 +923,12 @@ impl Emulator {
                 self.write_v(vd, out, trace, &mut op, pc)?;
                 self.set_x(base, (b + vlen as u64) as i64);
             }
-            Inst::VStorePost { vs, base, width, pred } => {
+            Inst::VStorePost {
+                vs,
+                base,
+                width,
+                pred,
+            } => {
                 let val = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let val = align_width(val, width);
                 let b = self.x[base.index()] as u64;

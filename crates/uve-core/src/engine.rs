@@ -87,8 +87,7 @@ impl EngineConfig {
     /// configuration.
     pub fn storage_report(&self) -> StorageReport {
         StorageReport {
-            stream_table_bytes: self.max_streams
-                * (self.max_dims * 32 + self.max_mods * 20 + 52),
+            stream_table_bytes: self.max_streams * (self.max_dims * 32 + self.max_mods * 20 + 52),
             fifo_bytes: self.max_streams * self.fifo_depth * 66,
             request_queue_bytes: self.request_queue * 10,
         }
@@ -276,7 +275,10 @@ impl EngineSim {
                                     self.stats.page_faults += 1;
                                     now
                                 }
-                                Translation::Ok { paddr, extra_cycles } => {
+                                Translation::Ok {
+                                    paddr,
+                                    extra_cycles,
+                                } => {
                                     self.stats.tlb_walk_cycles += extra_cycles;
                                     let r = mem.read(
                                         paddr,
@@ -302,12 +304,12 @@ impl EngineSim {
             }
             s.line_idx += 1;
             if s.line_idx == chunk.lines.len() {
-                if std::env::var("UVE_ENGINE_TRACE").is_ok()
-                    && (s.next_chunk % 512 < 4)
-                {
+                if std::env::var("UVE_ENGINE_TRACE").is_ok() && (s.next_chunk % 512 < 4) {
                     eprintln!(
                         "engine: inst={inst} chunk={} fetched_at={now} ready={} committed={}",
-                        s.next_chunk, s.inflight_ready.max(now), s.committed
+                        s.next_chunk,
+                        s.inflight_ready.max(now),
+                        s.committed
                     );
                 }
                 finish_chunk(s, now, &mut self.stats);
@@ -443,7 +445,10 @@ mod tests {
 
     #[test]
     fn load_stream_prefetches_ahead() {
-        let streams = vec![mk_stream(Dir::Load, vec![lines(&[1]), lines(&[2]), lines(&[3])])];
+        let streams = vec![mk_stream(
+            Dir::Load,
+            vec![lines(&[1]), lines(&[2]), lines(&[3])],
+        )];
         let mut e = EngineSim::new(EngineConfig::default());
         let mut m = mem();
         e.open(0, &streams[0], 0);

@@ -52,8 +52,8 @@
 
 #![warn(missing_docs)]
 
-pub mod engine;
 mod emulator;
+pub mod engine;
 mod stream_unit;
 mod trace;
 mod value;

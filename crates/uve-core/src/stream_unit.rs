@@ -651,8 +651,17 @@ mod tests {
     fn simple_1d_consume() {
         let (mut su, mut mem, mut tr) = unit();
         setup_array(&mut mem, 0x1000, 20);
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0x1000, 20, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x1000,
+            20,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         let c1 = su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
         assert_eq!(c1.value.valid_count(), 16);
         assert_eq!(c1.value.int(0), 0);
@@ -671,8 +680,17 @@ mod tests {
     fn chunk_lines_recorded() {
         let (mut su, mut mem, mut tr) = unit();
         setup_array(&mut mem, 0x1000, 16);
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0x1000, 16, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x1000,
+            16,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
         assert_eq!(tr.streams[0].chunks[0].lines, vec![0x1000 / 64]);
         assert_eq!(tr.streams[0].chunks[0].valid, 16);
@@ -681,8 +699,17 @@ mod tests {
     #[test]
     fn output_stream_produce() {
         let (mut su, mut mem, mut tr) = unit();
-        su.start(VReg::new(2), Dir::Store, ElemWidth::Word, 0x2000, 8, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(2),
+            Dir::Store,
+            ElemWidth::Word,
+            0x2000,
+            8,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         let v = VecVal::from_ints(64, ElemWidth::Word, &[9, 8, 7, 6, 5]);
         su.produce(VReg::new(2), &mut mem, &v, &mut tr).unwrap();
         assert_eq!(mem.read_u32(0x2000), 9);
@@ -697,10 +724,28 @@ mod tests {
     #[test]
     fn direction_enforced() {
         let (mut su, mut mem, mut tr) = unit();
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 4, 1, true, &mut tr)
-            .unwrap();
-        su.start(VReg::new(1), Dir::Store, ElemWidth::Word, 0, 4, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            4,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
+        su.start(
+            VReg::new(1),
+            Dir::Store,
+            ElemWidth::Word,
+            0,
+            4,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         let v = VecVal::from_ints(64, ElemWidth::Word, &[1]);
         assert!(matches!(
             su.produce(VReg::new(0), &mut mem, &v, &mut tr),
@@ -717,9 +762,19 @@ mod tests {
         let (mut su, mut mem, mut tr) = unit();
         setup_array(&mut mem, 0, 100);
         // 5 rows of 6 elements in a row-major 5×10 matrix.
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 6, 1, false, &mut tr)
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            6,
+            1,
+            false,
+            &mut tr,
+        )
+        .unwrap();
+        su.append_dim(VReg::new(0), 0, 5, 10, true, &mut tr)
             .unwrap();
-        su.append_dim(VReg::new(0), 0, 5, 10, true, &mut tr).unwrap();
         let c = su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
         assert_eq!(c.value.valid_count(), 6); // row boundary < VL
         let s = su.get(VReg::new(0)).unwrap();
@@ -734,9 +789,19 @@ mod tests {
         let (mut su, mut mem, mut tr) = unit();
         setup_array(&mut mem, 0, 100);
         // Lower-triangular over a 4×4 matrix: row i has i+1 elements.
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 0, 1, false, &mut tr)
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            0,
+            1,
+            false,
+            &mut tr,
+        )
+        .unwrap();
+        su.append_dim(VReg::new(0), 0, 4, 4, false, &mut tr)
             .unwrap();
-        su.append_dim(VReg::new(0), 0, 4, 4, false, &mut tr).unwrap();
         su.append_static_mod(
             VReg::new(0),
             Param::Size,
@@ -763,11 +828,29 @@ mod tests {
         // Data B at 0x200: [10, 11, 12, 13].
         mem.write_i32_slice(0x200, &[10, 11, 12, 13]);
         // Origin stream on u1 over A.
-        su.start(VReg::new(1), Dir::Load, ElemWidth::Word, 0x100, 3, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(1),
+            Dir::Load,
+            ElemWidth::Word,
+            0x100,
+            3,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         // Indirect stream on u0: B[A[i]].
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0x200, 1, 0, false, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x200,
+            1,
+            0,
+            false,
+            &mut tr,
+        )
+        .unwrap();
         su.append_indirect_mod(
             VReg::new(0),
             Param::Offset,
@@ -798,8 +881,17 @@ mod tests {
     fn suspend_resume_stop() {
         let (mut su, mut mem, mut tr) = unit();
         setup_array(&mut mem, 0, 8);
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 8, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            8,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         su.suspend(VReg::new(0)).unwrap();
         assert!(matches!(
             su.consume(VReg::new(0), &mem, 64, &mut tr),
@@ -816,10 +908,28 @@ mod tests {
     #[test]
     fn reconfiguration_creates_new_instance() {
         let (mut su, _mem, mut tr) = unit();
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 4, 1, true, &mut tr)
-            .unwrap();
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0x40, 4, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            4,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x40,
+            4,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         assert_eq!(tr.streams.len(), 2);
         assert_eq!(su.get(VReg::new(0)).unwrap().instance, 1);
     }
@@ -828,13 +938,22 @@ mod tests {
     fn context_save_restore() {
         let (mut su, mut mem, mut tr) = unit();
         setup_array(&mut mem, 0, 32);
-        su.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 32, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            32,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
         let saved = su.save_context();
         assert_eq!(saved.len(), 1);
         assert_eq!(saved[0].1.size_bytes(), 32); // 1-D state = 32 B
-        // Consume more, then roll back.
+                                                 // Consume more, then roll back.
         su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
         su.restore_context(&saved, &mem);
         let c = su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
@@ -845,8 +964,17 @@ mod tests {
     fn level_configuration_sticks() {
         let (mut su, _mem, mut tr) = unit();
         su.set_level(VReg::new(3), MemLevel::Mem);
-        su.start(VReg::new(3), Dir::Load, ElemWidth::Word, 0, 4, 1, true, &mut tr)
-            .unwrap();
+        su.start(
+            VReg::new(3),
+            Dir::Load,
+            ElemWidth::Word,
+            0,
+            4,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
         assert_eq!(su.get(VReg::new(3)).unwrap().level, MemLevel::Mem);
         assert_eq!(tr.streams[0].level, MemLevel::Mem);
     }
@@ -862,6 +990,9 @@ mod tests {
             su.append_dim(VReg::new(5), 0, 1, 1, false, &mut tr),
             Err(StreamError::NoPendingConfig(5))
         ));
-        assert!(matches!(su.stop(VReg::new(5)), Err(StreamError::NotConfigured(5))));
+        assert!(matches!(
+            su.stop(VReg::new(5)),
+            Err(StreamError::NotConfigured(5))
+        ));
     }
 }

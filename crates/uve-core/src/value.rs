@@ -253,8 +253,7 @@ impl PredVal {
     /// Builds from a boolean slice (padded with false).
     pub fn from_bools(bools: &[bool]) -> Self {
         let mut lanes = vec![false; MAX_LANES];
-        lanes[..bools.len().min(MAX_LANES)]
-            .copy_from_slice(&bools[..bools.len().min(MAX_LANES)]);
+        lanes[..bools.len().min(MAX_LANES)].copy_from_slice(&bools[..bools.len().min(MAX_LANES)]);
         Self { lanes }
     }
 
@@ -282,7 +281,10 @@ impl PredVal {
 
     /// Count of set lanes among the first `n`.
     pub fn count(&self, n: usize) -> usize {
-        self.lanes[..n.min(MAX_LANES)].iter().filter(|b| **b).count()
+        self.lanes[..n.min(MAX_LANES)]
+            .iter()
+            .filter(|b| **b)
+            .count()
     }
 
     /// Lane-wise NOT over the first `n` lanes.

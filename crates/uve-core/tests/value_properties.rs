@@ -1,6 +1,10 @@
 //! Property tests on the vector-value layer: lane encodings, validity
 //! propagation, and the reinterpretation rules the emulator relies on.
 
+// Compiled only with `--features proptest` (requires the registry-hosted
+// `proptest` dev-dependency; see the workspace Cargo.toml note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uve_core::{PredVal, VecVal};
 use uve_isa::ElemWidth;

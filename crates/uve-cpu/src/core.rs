@@ -15,11 +15,11 @@
 use crate::config::CpuConfig;
 use crate::predictor::Bimodal;
 use crate::stats::{RenameBlockReason, TimingStats};
+use std::collections::{HashMap, VecDeque};
 use uve_core::engine::{ChunkStatus, EngineSim};
 use uve_core::Trace;
 use uve_isa::{ExecClass, RegClass, RegRef};
 use uve_mem::{MemSystem, Path, LINE_BYTES};
-use std::collections::{HashMap, VecDeque};
 
 /// Scheduler cluster indices.
 const CL_INT: usize = 0;
@@ -174,7 +174,9 @@ impl OoOCore {
                         let prev = dbg_issue.get(idx.wrapping_sub(1)).copied().unwrap_or(0);
                         let _ = prev;
                     }
-                    if (3000..3060).contains(&idx) || (dbg_rename[idx] > 0 && now.saturating_sub(dbg_rename[idx]) > 200) {
+                    if (3000..3060).contains(&idx)
+                        || (dbg_rename[idx] > 0 && now.saturating_sub(dbg_rename[idx]) > 200)
+                    {
                         eprintln!(
                             "op{idx} pc={} {:?} rename={} issue={} done={} commit={now} sr={:?} sw={:?}",
                             op.pc, op.exec, dbg_rename[idx], dbg_issue[idx], done[idx],
@@ -300,11 +302,7 @@ impl OoOCore {
                     || (op.exec == ExecClass::Store && sq_used >= cfg.sq_entries)
                 {
                     block = Some(RenameBlockReason::Lsq);
-                } else if op
-                    .dests
-                    .iter()
-                    .any(|d| free_regs[class_idx(d.class)] == 0)
-                {
+                } else if op.dests.iter().any(|d| free_regs[class_idx(d.class)] == 0) {
                     block = Some(RenameBlockReason::Prf);
                 } else if op.stream_writes.iter().any(|&(inst, chunk)| {
                     engine.chunk_status(inst, chunk) == ChunkStatus::NotFetched

@@ -184,14 +184,46 @@ pub fn disassemble(i: &Inst) -> String {
         Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", alu_name(op)),
         AluImm { op, rd, rs1, imm } => format!("{}i {rd}, {rs1}, {imm}", alu_name(op)),
         Lui { rd, imm } => format!("lui {rd}, {imm}"),
-        Ld { rd, base, off, width } => format!("ld.{width} {rd}, {off}({base})"),
-        St { src, base, off, width } => format!("st.{width} {src}, {off}({base})"),
-        Fld { fd, base, off, width } => format!("fld.{width} {fd}, {off}({base})"),
-        Fst { src, base, off, width } => format!("fst.{width} {src}, {off}({base})"),
-        FAlu { op, width, fd, fs1, fs2 } => {
+        Ld {
+            rd,
+            base,
+            off,
+            width,
+        } => format!("ld.{width} {rd}, {off}({base})"),
+        St {
+            src,
+            base,
+            off,
+            width,
+        } => format!("st.{width} {src}, {off}({base})"),
+        Fld {
+            fd,
+            base,
+            off,
+            width,
+        } => format!("fld.{width} {fd}, {off}({base})"),
+        Fst {
+            src,
+            base,
+            off,
+            width,
+        } => format!("fst.{width} {src}, {off}({base})"),
+        FAlu {
+            op,
+            width,
+            fd,
+            fs1,
+            fs2,
+        } => {
             format!("{}.{width} {fd}, {fs1}, {fs2}", fp_name(op))
         }
-        FMac { width, fd, fs1, fs2, fs3 } => format!("fmadd.{width} {fd}, {fs1}, {fs2}, {fs3}"),
+        FMac {
+            width,
+            fd,
+            fs1,
+            fs2,
+            fs3,
+        } => format!("fmadd.{width} {fd}, {fs1}, {fs2}, {fs3}"),
         FUn { op, width, fd, fs } => {
             let n = match op {
                 FpUnOp::Sqrt => "fsqrt",
@@ -205,13 +237,26 @@ pub fn disassemble(i: &Inst) -> String {
         FMvFX { fd, rs } => format!("fmv.f.x {fd}, {rs}"),
         FCvtFX { width, fd, rs } => format!("fcvt.f.x.{width} {fd}, {rs}"),
         FCvtXF { width, rd, fs } => format!("fcvt.x.f.{width} {rd}, {fs}"),
-        Branch { cond, rs1, rs2, target } => {
+        Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             format!("{} {rs1}, {rs2}, {target}", cond_name(cond))
         }
         Jal { rd, target } => format!("jal {rd}, {target}"),
         Halt => "halt".into(),
         Nop => "nop".into(),
-        SsStart { u, dir, width, base, size, stride, done } => {
+        SsStart {
+            u,
+            dir,
+            width,
+            base,
+            size,
+            stride,
+            done,
+        } => {
             let d = match dir {
                 Dir::Load => "ld",
                 Dir::Store => "st",
@@ -219,11 +264,24 @@ pub fn disassemble(i: &Inst) -> String {
             let sta = if done { "" } else { ".sta" };
             format!("ss.{d}.{width}{sta} {u}, {base}, {size}, {stride}")
         }
-        SsApp { u, offset, size, stride, end } => {
+        SsApp {
+            u,
+            offset,
+            size,
+            stride,
+            end,
+        } => {
             let m = if end { "ss.end" } else { "ss.app" };
             format!("{m} {u}, {offset}, {size}, {stride}")
         }
-        SsAppMod { u, target, behaviour, disp, count, end } => {
+        SsAppMod {
+            u,
+            target,
+            behaviour,
+            disp,
+            count,
+            end,
+        } => {
             let m = if end { "ss.end" } else { "ss.app" };
             let b = match behaviour {
                 Behaviour::Add => "add",
@@ -231,7 +289,13 @@ pub fn disassemble(i: &Inst) -> String {
             };
             format!("{m}.mod.{}.{b} {u}, {disp}, {count}", param_name(target))
         }
-        SsAppInd { u, target, behaviour, origin, end } => {
+        SsAppInd {
+            u,
+            target,
+            behaviour,
+            origin,
+            end,
+        } => {
             let m = if end { "ss.end" } else { "ss.app" };
             let b = match behaviour {
                 IndirectBehaviour::SetAdd => "setadd",
@@ -273,7 +337,14 @@ pub fn disassemble(i: &Inst) -> String {
             DupSrc::F(r) => format!("so.v.dup.{width}.{} {vd}, {r}", ty_name(ty)),
         },
         VMv { vd, vs } => format!("so.v.mv {vd}, {vs}"),
-        VUn { op, ty, width, vd, vs, pred } => {
+        VUn {
+            op,
+            ty,
+            width,
+            vd,
+            vs,
+            pred,
+        } => {
             let n = match op {
                 VUnOp::Abs => "abs",
                 VUnOp::Neg => "neg",
@@ -282,12 +353,28 @@ pub fn disassemble(i: &Inst) -> String {
             };
             format!("so.a.{n}.{width}.{} {vd}, {vs}, {pred}", ty_name(ty))
         }
-        VArith { op, ty, width, vd, vs1, vs2, pred } => format!(
+        VArith {
+            op,
+            ty,
+            width,
+            vd,
+            vs1,
+            vs2,
+            pred,
+        } => format!(
             "so.a.{}.{width}.{} {vd}, {vs1}, {vs2}, {pred}",
             vop_name(op),
             ty_name(ty)
         ),
-        VArithVS { op, ty, width, vd, vs1, scalar, pred } => {
+        VArithVS {
+            op,
+            ty,
+            width,
+            vd,
+            vs1,
+            scalar,
+            pred,
+        } => {
             let s = match scalar {
                 DupSrc::X(r) => r.to_string(),
                 DupSrc::F(r) => r.to_string(),
@@ -298,11 +385,25 @@ pub fn disassemble(i: &Inst) -> String {
                 ty_name(ty)
             )
         }
-        VMac { ty, width, vd, vs1, vs2, pred } => format!(
+        VMac {
+            ty,
+            width,
+            vd,
+            vs1,
+            vs2,
+            pred,
+        } => format!(
             "so.a.mac.{width}.{} {vd}, {vs1}, {vs2}, {pred}",
             ty_name(ty)
         ),
-        VMacVS { ty, width, vd, vs1, scalar, pred } => {
+        VMacVS {
+            ty,
+            width,
+            vd,
+            vs1,
+            scalar,
+            pred,
+        } => {
             let s = match scalar {
                 DupSrc::X(r) => r.to_string(),
                 DupSrc::F(r) => r.to_string(),
@@ -312,7 +413,14 @@ pub fn disassemble(i: &Inst) -> String {
                 ty_name(ty)
             )
         }
-        VRed { op, ty, width, vd, vs, pred } => {
+        VRed {
+            op,
+            ty,
+            width,
+            vd,
+            vs,
+            pred,
+        } => {
             let n = match op {
                 HorizOp::Add => "hadd",
                 HorizOp::Max => "hmax",
@@ -320,7 +428,14 @@ pub fn disassemble(i: &Inst) -> String {
             };
             format!("so.a.{n}.{width}.{} {vd}, {vs}, {pred}", ty_name(ty))
         }
-        VCmp { op, ty, width, pd, vs1, vs2 } => {
+        VCmp {
+            op,
+            ty,
+            width,
+            pd,
+            vs1,
+            vs2,
+        } => {
             let n = match op {
                 VCmpOp::Eq => "eq",
                 VCmpOp::Ne => "ne",
@@ -329,10 +444,7 @@ pub fn disassemble(i: &Inst) -> String {
                 VCmpOp::Gt => "gt",
                 VCmpOp::Ge => "ge",
             };
-            format!(
-                "so.p.{n}.{width}.{} {pd}, {vs1}, {vs2}",
-                ty_name(ty)
-            )
+            format!("so.p.{n}.{width}.{} {pd}, {vs1}, {vs2}", ty_name(ty))
         }
         PredAlu { op, pd, ps1, ps2 } => match op {
             PredOp::Mov => format!("so.p.mov {pd}, {ps1}"),
@@ -348,31 +460,80 @@ pub fn disassemble(i: &Inst) -> String {
             };
             format!("{n} {p}, {target}")
         }
-        VExtractF { fd, vs, lane, width } => {
+        VExtractF {
+            fd,
+            vs,
+            lane,
+            width,
+        } => {
             format!("so.v.extr.f.{width} {fd}, {vs}[{lane}]")
         }
-        VExtractX { rd, vs, lane, width } => {
+        VExtractX {
+            rd,
+            vs,
+            lane,
+            width,
+        } => {
             format!("so.v.extr.x.{width} {rd}, {vs}[{lane}]")
         }
-        VLoad { vd, base, index, width, pred } => {
+        VLoad {
+            vd,
+            base,
+            index,
+            width,
+            pred,
+        } => {
             format!("vl1.{width} {vd}, {base}, {index}, {pred}")
         }
-        VStore { vs, base, index, width, pred } => {
+        VStore {
+            vs,
+            base,
+            index,
+            width,
+            pred,
+        } => {
             format!("vs1.{width} {vs}, {base}, {index}, {pred}")
         }
-        VGather { vd, base, idx, width, pred } => {
+        VGather {
+            vd,
+            base,
+            idx,
+            width,
+            pred,
+        } => {
             format!("vgather.{width} {vd}, {base}, {idx}, {pred}")
         }
-        VScatter { vs, base, idx, width, pred } => {
+        VScatter {
+            vs,
+            base,
+            idx,
+            width,
+            pred,
+        } => {
             format!("vscatter.{width} {vs}, {base}, {idx}, {pred}")
         }
-        WhileLt { pd, rs1, rs2, width } => format!("whilelt.{width} {pd}, {rs1}, {rs2}"),
+        WhileLt {
+            pd,
+            rs1,
+            rs2,
+            width,
+        } => format!("whilelt.{width} {pd}, {rs1}, {rs2}"),
         IncVl { rd, width } => format!("incvl.{width} {rd}"),
         CntVl { rd, width } => format!("cntvl.{width} {rd}"),
-        VLoadPost { vd, base, width, pred } => {
+        VLoadPost {
+            vd,
+            base,
+            width,
+            pred,
+        } => {
             format!("ss.load.{width} {vd}, {base}, {pred}")
         }
-        VStorePost { vs, base, width, pred } => {
+        VStorePost {
+            vs,
+            base,
+            width,
+            pred,
+        } => {
             format!("ss.store.{width} {vs}, {base}, {pred}")
         }
     }
@@ -653,11 +814,21 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             if parts[0] == "ld" {
                 let rd = p.x()?;
                 let (off, base) = p.addr()?;
-                b.push(Inst::Ld { rd, base, off, width });
+                b.push(Inst::Ld {
+                    rd,
+                    base,
+                    off,
+                    width,
+                });
             } else {
                 let src = p.x()?;
                 let (off, base) = p.addr()?;
-                b.push(Inst::St { src, base, off, width });
+                b.push(Inst::St {
+                    src,
+                    base,
+                    off,
+                    width,
+                });
             }
         }
         ["fld", w] | ["fst", w] if width_of(w).is_some() => {
@@ -665,11 +836,21 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             if parts[0] == "fld" {
                 let fd = p.f()?;
                 let (off, base) = p.addr()?;
-                b.push(Inst::Fld { fd, base, off, width });
+                b.push(Inst::Fld {
+                    fd,
+                    base,
+                    off,
+                    width,
+                });
             } else {
                 let src = p.f()?;
                 let (off, base) = p.addr()?;
-                b.push(Inst::Fst { src, base, off, width });
+                b.push(Inst::Fst {
+                    src,
+                    base,
+                    off,
+                    width,
+                });
             }
         }
         ["fmadd", w] if width_of(w).is_some() => {
@@ -1123,7 +1304,12 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
                 if parts.len() == 1 {
                     let rd = p.x()?;
                     let rs1 = p.x()?;
-                    b.push(Inst::Alu { op, rd, rs1, rs2: p.x()? });
+                    b.push(Inst::Alu {
+                        op,
+                        rd,
+                        rs1,
+                        rs2: p.x()?,
+                    });
                     return Ok(());
                 }
             }

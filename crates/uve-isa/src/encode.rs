@@ -54,7 +54,10 @@ impl fmt::Display for EncodeError {
                 write!(f, "branch displacement {rel} out of range")
             }
             EncodeError::PredOutOfRange { pred } => {
-                write!(f, "predicate p{pred} not encodable (data processing uses p0-p7)")
+                write!(
+                    f,
+                    "predicate p{pred} not encodable (data processing uses p0-p7)"
+                )
             }
             EncodeError::LaneOutOfRange { lane } => write!(f, "lane {lane} not encodable"),
         }
@@ -263,35 +266,61 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(rd.num().into(), 5);
             w.s(imm.into(), 20)?;
         }
-        Ld { rd, base, off, width } => {
+        Ld {
+            rd,
+            base,
+            off,
+            width,
+        } => {
             w = W::new(OP_LD);
             w.u(rd.num().into(), 5);
             w.u(base.num().into(), 5);
             w.s(off.into(), 12)?;
             w.u(width_bits(width), 2);
         }
-        St { src, base, off, width } => {
+        St {
+            src,
+            base,
+            off,
+            width,
+        } => {
             w = W::new(OP_ST);
             w.u(src.num().into(), 5);
             w.u(base.num().into(), 5);
             w.s(off.into(), 12)?;
             w.u(width_bits(width), 2);
         }
-        Fld { fd, base, off, width } => {
+        Fld {
+            fd,
+            base,
+            off,
+            width,
+        } => {
             w = W::new(OP_FLD);
             w.u(fd.num().into(), 5);
             w.u(base.num().into(), 5);
             w.s(off.into(), 12)?;
             w.u(width_bits(width), 2);
         }
-        Fst { src, base, off, width } => {
+        Fst {
+            src,
+            base,
+            off,
+            width,
+        } => {
             w = W::new(OP_FST);
             w.u(src.num().into(), 5);
             w.u(base.num().into(), 5);
             w.s(off.into(), 12)?;
             w.u(width_bits(width), 2);
         }
-        FAlu { op, width, fd, fs1, fs2 } => {
+        FAlu {
+            op,
+            width,
+            fd,
+            fs1,
+            fs2,
+        } => {
             w = W::new(OP_FALU);
             w.u(op as u32, 3);
             w.u(width_bits(width), 2);
@@ -299,7 +328,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(fs1.num().into(), 5);
             w.u(fs2.num().into(), 5);
         }
-        FMac { width, fd, fs1, fs2, fs3 } => {
+        FMac {
+            width,
+            fd,
+            fs1,
+            fs2,
+            fs3,
+        } => {
             w = W::new(OP_FMAC);
             w.u(width_bits(width), 2);
             w.u(fd.num().into(), 5);
@@ -336,7 +371,12 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(rd.num().into(), 5);
             w.u(fs.num().into(), 5);
         }
-        Branch { cond, rs1, rs2, target } => {
+        Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             w = W::new(OP_BRANCH);
             w.u(cond as u32, 3);
             w.u(rs1.num().into(), 5);
@@ -350,7 +390,15 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
         }
         Halt => w = W::new(OP_HALT),
         Nop => w = W::new(OP_NOP),
-        SsStart { u, dir, width, base, size, stride, done } => {
+        SsStart {
+            u,
+            dir,
+            width,
+            base,
+            size,
+            stride,
+            done,
+        } => {
             w = W::new(OP_SS_START);
             w.u(u.num().into(), 5);
             w.u(matches!(dir, Dir::Store).into(), 1);
@@ -360,7 +408,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(stride.num().into(), 5);
             w.u(done.into(), 1);
         }
-        SsApp { u, offset, size, stride, end } => {
+        SsApp {
+            u,
+            offset,
+            size,
+            stride,
+            end,
+        } => {
             w = W::new(OP_SS_APP);
             w.u(u.num().into(), 5);
             w.u(offset.num().into(), 5);
@@ -368,7 +422,14 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(stride.num().into(), 5);
             w.u(end.into(), 1);
         }
-        SsAppMod { u, target, behaviour, disp, count, end } => {
+        SsAppMod {
+            u,
+            target,
+            behaviour,
+            disp,
+            count,
+            end,
+        } => {
             w = W::new(OP_SS_APP_MOD);
             w.u(u.num().into(), 5);
             w.u(target as u32, 2);
@@ -377,7 +438,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(count.num().into(), 5);
             w.u(end.into(), 1);
         }
-        SsAppInd { u, target, behaviour, origin, end } => {
+        SsAppInd {
+            u,
+            target,
+            behaviour,
+            origin,
+            end,
+        } => {
             w = W::new(OP_SS_APP_IND);
             w.u(u.num().into(), 5);
             w.u(target as u32, 2);
@@ -441,7 +508,14 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(vd.num().into(), 5);
             w.u(vs.num().into(), 5);
         }
-        VUn { op, ty, width, vd, vs, pred } => {
+        VUn {
+            op,
+            ty,
+            width,
+            vd,
+            vs,
+            pred,
+        } => {
             w = W::new(OP_VUN);
             w.u(op as u32, 2);
             w.u(matches!(ty, VType::Fp).into(), 1);
@@ -450,7 +524,15 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(vs.num().into(), 5);
             w.u(pred3(pred)?, 3);
         }
-        VArith { op, ty, width, vd, vs1, vs2, pred } => {
+        VArith {
+            op,
+            ty,
+            width,
+            vd,
+            vs1,
+            vs2,
+            pred,
+        } => {
             w = W::new(OP_VARITH);
             w.u(op as u32, 4);
             w.u(matches!(ty, VType::Fp).into(), 1);
@@ -460,7 +542,15 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(vs2.num().into(), 5);
             w.u(pred3(pred)?, 3);
         }
-        VArithVS { op, ty, width, vd, vs1, scalar, pred } => {
+        VArithVS {
+            op,
+            ty,
+            width,
+            vd,
+            vs1,
+            scalar,
+            pred,
+        } => {
             w = W::new(OP_VARITH_VS);
             w.u(op as u32, 4);
             w.u(matches!(ty, VType::Fp).into(), 1);
@@ -475,7 +565,14 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(r.into(), 5);
             w.u(pred3(pred)?, 3);
         }
-        VMacVS { ty, width, vd, vs1, scalar, pred } => {
+        VMacVS {
+            ty,
+            width,
+            vd,
+            vs1,
+            scalar,
+            pred,
+        } => {
             w = W::new(OP_VMAC_VS);
             w.u(matches!(ty, VType::Fp).into(), 1);
             w.u(width_bits(width), 2);
@@ -489,7 +586,14 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(r.into(), 5);
             w.u(pred3(pred)?, 3);
         }
-        VMac { ty, width, vd, vs1, vs2, pred } => {
+        VMac {
+            ty,
+            width,
+            vd,
+            vs1,
+            vs2,
+            pred,
+        } => {
             w = W::new(OP_VMAC);
             w.u(matches!(ty, VType::Fp).into(), 1);
             w.u(width_bits(width), 2);
@@ -498,7 +602,14 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(vs2.num().into(), 5);
             w.u(pred3(pred)?, 3);
         }
-        VRed { op, ty, width, vd, vs, pred } => {
+        VRed {
+            op,
+            ty,
+            width,
+            vd,
+            vs,
+            pred,
+        } => {
             w = W::new(OP_VRED);
             w.u(op as u32, 2);
             w.u(matches!(ty, VType::Fp).into(), 1);
@@ -507,7 +618,14 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(vs.num().into(), 5);
             w.u(pred3(pred)?, 3);
         }
-        VCmp { op, ty, width, pd, vs1, vs2 } => {
+        VCmp {
+            op,
+            ty,
+            width,
+            pd,
+            vs1,
+            vs2,
+        } => {
             w = W::new(OP_VCMP);
             w.u(op as u32, 3);
             w.u(matches!(ty, VType::Fp).into(), 1);
@@ -529,7 +647,12 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(p.num().into(), 4);
             w.s(rel_target(target, pc, 13)?, 13)?;
         }
-        VExtractF { fd, vs, lane, width } => {
+        VExtractF {
+            fd,
+            vs,
+            lane,
+            width,
+        } => {
             if lane >= 64 {
                 return Err(EncodeError::LaneOutOfRange { lane });
             }
@@ -539,7 +662,12 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(lane.into(), 6);
             w.u(width_bits(width), 2);
         }
-        VExtractX { rd, vs, lane, width } => {
+        VExtractX {
+            rd,
+            vs,
+            lane,
+            width,
+        } => {
             if lane >= 64 {
                 return Err(EncodeError::LaneOutOfRange { lane });
             }
@@ -549,7 +677,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(lane.into(), 6);
             w.u(width_bits(width), 2);
         }
-        VLoad { vd, base, index, width, pred } => {
+        VLoad {
+            vd,
+            base,
+            index,
+            width,
+            pred,
+        } => {
             w = W::new(OP_VLOAD);
             w.u(vd.num().into(), 5);
             w.u(base.num().into(), 5);
@@ -557,7 +691,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(width_bits(width), 2);
             w.u(pred3(pred)?, 3);
         }
-        VStore { vs, base, index, width, pred } => {
+        VStore {
+            vs,
+            base,
+            index,
+            width,
+            pred,
+        } => {
             w = W::new(OP_VSTORE);
             w.u(vs.num().into(), 5);
             w.u(base.num().into(), 5);
@@ -565,7 +705,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(width_bits(width), 2);
             w.u(pred3(pred)?, 3);
         }
-        VGather { vd, base, idx, width, pred } => {
+        VGather {
+            vd,
+            base,
+            idx,
+            width,
+            pred,
+        } => {
             w = W::new(OP_VGATHER);
             w.u(vd.num().into(), 5);
             w.u(base.num().into(), 5);
@@ -573,7 +719,13 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(width_bits(width), 2);
             w.u(pred3(pred)?, 3);
         }
-        VScatter { vs, base, idx, width, pred } => {
+        VScatter {
+            vs,
+            base,
+            idx,
+            width,
+            pred,
+        } => {
             w = W::new(OP_VSCATTER);
             w.u(vs.num().into(), 5);
             w.u(base.num().into(), 5);
@@ -581,7 +733,12 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(width_bits(width), 2);
             w.u(pred3(pred)?, 3);
         }
-        WhileLt { pd, rs1, rs2, width } => {
+        WhileLt {
+            pd,
+            rs1,
+            rs2,
+            width,
+        } => {
             w = W::new(OP_WHILELT);
             w.u(pd.num().into(), 4);
             w.u(rs1.num().into(), 5);
@@ -598,14 +755,24 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
             w.u(rd.num().into(), 5);
             w.u(width_bits(width), 2);
         }
-        VLoadPost { vd, base, width, pred } => {
+        VLoadPost {
+            vd,
+            base,
+            width,
+            pred,
+        } => {
             w = W::new(OP_VLOAD_POST);
             w.u(vd.num().into(), 5);
             w.u(base.num().into(), 5);
             w.u(width_bits(width), 2);
             w.u(pred3(pred)?, 3);
         }
-        VStorePost { vs, base, width, pred } => {
+        VStorePost {
+            vs,
+            base,
+            width,
+            pred,
+        } => {
             w = W::new(OP_VSTORE_POST);
             w.u(vs.num().into(), 5);
             w.u(base.num().into(), 5);
@@ -691,10 +858,17 @@ pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
             width: width_from(r.u(2)),
         },
         OP_FALU => {
-            let op = [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max]
-                .get(r.u(3) as usize)
-                .copied()
-                .ok_or(bad)?;
+            let op = [
+                FpOp::Add,
+                FpOp::Sub,
+                FpOp::Mul,
+                FpOp::Div,
+                FpOp::Min,
+                FpOp::Max,
+            ]
+            .get(r.u(3) as usize)
+            .copied()
+            .ok_or(bad)?;
             Inst::FAlu {
                 op,
                 width: width_from(r.u(2)),
@@ -1112,7 +1286,13 @@ mod tests {
             },
             7,
         );
-        rt(Inst::Lui { rd: XReg::A1, imm: -1 }, 0);
+        rt(
+            Inst::Lui {
+                rd: XReg::A1,
+                imm: -1,
+            },
+            0,
+        );
         rt(
             Inst::Ld {
                 rd: XReg::A3,
@@ -1136,7 +1316,13 @@ mod tests {
             },
             100,
         );
-        rt(Inst::Jal { rd: XReg::RA, target: 5000 }, 2);
+        rt(
+            Inst::Jal {
+                rd: XReg::RA,
+                target: 5000,
+            },
+            2,
+        );
         rt(
             Inst::SsBranch {
                 cond: StreamCond::DimEnd(5),

@@ -242,35 +242,95 @@ pub enum ExecClass {
 pub enum Inst {
     // ---- scalar ----
     /// `rd = rs1 <op> rs2`.
-    Alu { op: AluOp, rd: XReg, rs1: XReg, rs2: XReg },
+    Alu {
+        op: AluOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
     /// `rd = rs1 <op> imm` (12-bit signed immediate for encoding).
-    AluImm { op: AluOp, rd: XReg, rs1: XReg, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: XReg,
+        rs1: XReg,
+        imm: i32,
+    },
     /// `rd = imm << 12` (20-bit immediate).
     Lui { rd: XReg, imm: i32 },
     /// Scalar load: `rd = mem[rs1 + off]`, sign-extended.
-    Ld { rd: XReg, base: XReg, off: i32, width: ElemWidth },
+    Ld {
+        rd: XReg,
+        base: XReg,
+        off: i32,
+        width: ElemWidth,
+    },
     /// Scalar store: `mem[rs1 + off] = rs2`.
-    St { src: XReg, base: XReg, off: i32, width: ElemWidth },
+    St {
+        src: XReg,
+        base: XReg,
+        off: i32,
+        width: ElemWidth,
+    },
     /// Scalar FP load.
-    Fld { fd: FReg, base: XReg, off: i32, width: ElemWidth },
+    Fld {
+        fd: FReg,
+        base: XReg,
+        off: i32,
+        width: ElemWidth,
+    },
     /// Scalar FP store.
-    Fst { src: FReg, base: XReg, off: i32, width: ElemWidth },
+    Fst {
+        src: FReg,
+        base: XReg,
+        off: i32,
+        width: ElemWidth,
+    },
     /// `fd = fs1 <op> fs2`.
-    FAlu { op: FpOp, width: ElemWidth, fd: FReg, fs1: FReg, fs2: FReg },
+    FAlu {
+        op: FpOp,
+        width: ElemWidth,
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+    },
     /// Fused multiply-add: `fd = fs1 * fs2 + fs3`.
-    FMac { width: ElemWidth, fd: FReg, fs1: FReg, fs2: FReg, fs3: FReg },
+    FMac {
+        width: ElemWidth,
+        fd: FReg,
+        fs1: FReg,
+        fs2: FReg,
+        fs3: FReg,
+    },
     /// FP unary: `fd = op(fs)`.
-    FUn { op: FpUnOp, width: ElemWidth, fd: FReg, fs: FReg },
+    FUn {
+        op: FpUnOp,
+        width: ElemWidth,
+        fd: FReg,
+        fs: FReg,
+    },
     /// Move FP bits to integer register.
     FMvXF { rd: XReg, fs: FReg },
     /// Move integer bits to FP register.
     FMvFX { fd: FReg, rs: XReg },
     /// Convert integer to float: `fd = (fp)rs`.
-    FCvtFX { width: ElemWidth, fd: FReg, rs: XReg },
+    FCvtFX {
+        width: ElemWidth,
+        fd: FReg,
+        rs: XReg,
+    },
     /// Convert float to integer (truncating): `rd = (int)fs`.
-    FCvtXF { width: ElemWidth, rd: XReg, fs: FReg },
+    FCvtXF {
+        width: ElemWidth,
+        rd: XReg,
+        fs: FReg,
+    },
     /// Conditional branch comparing `rs1` and `rs2`.
-    Branch { cond: BrCond, rs1: XReg, rs2: XReg, target: u32 },
+    Branch {
+        cond: BrCond,
+        rs1: XReg,
+        rs2: XReg,
+        target: u32,
+    },
     /// Unconditional jump, writing the return address to `rd`.
     Jal { rd: XReg, target: u32 },
     /// Stop the machine.
@@ -282,23 +342,54 @@ pub enum Inst {
     /// Configure dimension 0 of stream `u`: base/size/stride from scalar
     /// registers. `done` marks a complete 1-D configuration (`ss.ld.w`);
     /// otherwise further `SsApp*` instructions follow (`ss.ld.w.sta`).
-    SsStart { u: VReg, dir: Dir, width: ElemWidth, base: XReg, size: XReg, stride: XReg, done: bool },
+    SsStart {
+        u: VReg,
+        dir: Dir,
+        width: ElemWidth,
+        base: XReg,
+        size: XReg,
+        stride: XReg,
+        done: bool,
+    },
     /// Append an outer dimension `{offset, size, stride}` (`ss.app` /
     /// `ss.end`).
-    SsApp { u: VReg, offset: XReg, size: XReg, stride: XReg, end: bool },
+    SsApp {
+        u: VReg,
+        offset: XReg,
+        size: XReg,
+        stride: XReg,
+        end: bool,
+    },
     /// Append a static modifier bound to the last dimension
     /// (`ss.app.mod` / `ss.end.mod`).
-    SsAppMod { u: VReg, target: Param, behaviour: Behaviour, disp: XReg, count: XReg, end: bool },
+    SsAppMod {
+        u: VReg,
+        target: Param,
+        behaviour: Behaviour,
+        disp: XReg,
+        count: XReg,
+        end: bool,
+    },
     /// Append an indirect modifier whose origin is the stream configured on
     /// `origin` (`ss.app.ind` / `ss.end.ind`).
-    SsAppInd { u: VReg, target: Param, behaviour: IndirectBehaviour, origin: VReg, end: bool },
+    SsAppInd {
+        u: VReg,
+        target: Param,
+        behaviour: IndirectBehaviour,
+        origin: VReg,
+        end: bool,
+    },
     /// Stream control: suspend/resume/stop.
     SsCtl { op: StreamCtl, u: VReg },
     /// Direct the stream at a cache level (`so.cfg.memx`). Must precede the
     /// completing configuration instruction's effect; applies to `u`.
     SsCfgMem { u: VReg, level: MemLevel },
     /// Branch on stream state (`so.b.*`).
-    SsBranch { cond: StreamCond, u: VReg, target: u32 },
+    SsBranch {
+        cond: StreamCond,
+        u: VReg,
+        target: u32,
+    },
     /// Read the current vector length in elements of `width` into `rd`
     /// (`ss.getvl`).
     SsGetVl { rd: XReg, width: ElemWidth },
@@ -306,65 +397,183 @@ pub enum Inst {
     /// elements of `width`; the granted count (clamped to the hardware
     /// maximum) is written to `rd`. Enables narrower vector-length
     /// emulation (Sec. III-B, *Advanced control*).
-    SsSetVl { rd: XReg, rs: XReg, width: ElemWidth },
+    SsSetVl {
+        rd: XReg,
+        rs: XReg,
+        width: ElemWidth,
+    },
 
     // ---- vector / stream data processing (so.*) ----
     /// Broadcast a scalar to all lanes (`so.v.dup`).
-    VDup { vd: VReg, src: DupSrc, width: ElemWidth, ty: VType },
+    VDup {
+        vd: VReg,
+        src: DupSrc,
+        width: ElemWidth,
+        ty: VType,
+    },
     /// Vector move / stream read (`so.v.mv`): `vd = vs` (consumes one chunk
     /// if `vs` is a stream, produces if `vd` is a stream).
     VMv { vd: VReg, vs: VReg },
     /// Vector unary operation under predicate.
-    VUn { op: VUnOp, ty: VType, width: ElemWidth, vd: VReg, vs: VReg, pred: PReg },
+    VUn {
+        op: VUnOp,
+        ty: VType,
+        width: ElemWidth,
+        vd: VReg,
+        vs: VReg,
+        pred: PReg,
+    },
     /// Vector binary operation under predicate (`so.a.{add,mul,…}.{fp,sg}`).
-    VArith { op: VOp, ty: VType, width: ElemWidth, vd: VReg, vs1: VReg, vs2: VReg, pred: PReg },
+    VArith {
+        op: VOp,
+        ty: VType,
+        width: ElemWidth,
+        vd: VReg,
+        vs1: VReg,
+        vs2: VReg,
+        pred: PReg,
+    },
     /// Vector ⊗ broadcast-scalar operation.
-    VArithVS { op: VOp, ty: VType, width: ElemWidth, vd: VReg, vs1: VReg, scalar: DupSrc, pred: PReg },
+    VArithVS {
+        op: VOp,
+        ty: VType,
+        width: ElemWidth,
+        vd: VReg,
+        vs1: VReg,
+        scalar: DupSrc,
+        pred: PReg,
+    },
     /// Multiply-accumulate: `vd += vs1 * vs2` (`so.a.mac`).
-    VMac { ty: VType, width: ElemWidth, vd: VReg, vs1: VReg, vs2: VReg, pred: PReg },
+    VMac {
+        ty: VType,
+        width: ElemWidth,
+        vd: VReg,
+        vs1: VReg,
+        vs2: VReg,
+        pred: PReg,
+    },
     /// Vector ⊗ scalar multiply-accumulate: `vd += vs1 * scalar`
     /// (`so.a.mac.vs`).
-    VMacVS { ty: VType, width: ElemWidth, vd: VReg, vs1: VReg, scalar: DupSrc, pred: PReg },
+    VMacVS {
+        ty: VType,
+        width: ElemWidth,
+        vd: VReg,
+        vs1: VReg,
+        scalar: DupSrc,
+        pred: PReg,
+    },
     /// Horizontal reduction of `vs` into lane 0 of `vd` (`so.a.h{add,max,min}`).
     /// When `vd` is an output stream this produces exactly one element.
-    VRed { op: HorizOp, ty: VType, width: ElemWidth, vd: VReg, vs: VReg, pred: PReg },
+    VRed {
+        op: HorizOp,
+        ty: VType,
+        width: ElemWidth,
+        vd: VReg,
+        vs: VReg,
+        pred: PReg,
+    },
     /// Vector compare, writing a predicate (`so.p.cmp.*`).
-    VCmp { op: VCmpOp, ty: VType, width: ElemWidth, pd: PReg, vs1: VReg, vs2: VReg },
+    VCmp {
+        op: VCmpOp,
+        ty: VType,
+        width: ElemWidth,
+        pd: PReg,
+        vs1: VReg,
+        vs2: VReg,
+    },
     /// Predicate logic (`so.p.{mov,not,and,or}`).
-    PredAlu { op: PredOp, pd: PReg, ps1: PReg, ps2: PReg },
+    PredAlu {
+        op: PredOp,
+        pd: PReg,
+        ps1: PReg,
+        ps2: PReg,
+    },
     /// Set a predicate from the valid lanes of a vector register
     /// (`so.p.fromvalid`) — the paper's "configure the predicate based on
     /// the valid elements of a vector register".
     PredFromValid { pd: PReg, vs: VReg },
     /// Branch on predicate state.
-    BrPred { cond: PredCond, p: PReg, target: u32 },
+    BrPred {
+        cond: PredCond,
+        p: PReg,
+        target: u32,
+    },
     /// Extract lane `lane` of `vs` into an FP register.
-    VExtractF { fd: FReg, vs: VReg, lane: u8, width: ElemWidth },
+    VExtractF {
+        fd: FReg,
+        vs: VReg,
+        lane: u8,
+        width: ElemWidth,
+    },
     /// Extract lane `lane` of `vs` into an integer register.
-    VExtractX { rd: XReg, vs: VReg, lane: u8, width: ElemWidth },
+    VExtractX {
+        rd: XReg,
+        vs: VReg,
+        lane: u8,
+        width: ElemWidth,
+    },
 
     // ---- SVE-like baseline memory & loop control ----
     /// Predicated vector load: `vd[l] = mem[base + (index + l) * width]` for
     /// active lanes `l` (`ld1w [x_base, x_index, lsl #w]`).
-    VLoad { vd: VReg, base: XReg, index: XReg, width: ElemWidth, pred: PReg },
+    VLoad {
+        vd: VReg,
+        base: XReg,
+        index: XReg,
+        width: ElemWidth,
+        pred: PReg,
+    },
     /// Predicated vector store.
-    VStore { vs: VReg, base: XReg, index: XReg, width: ElemWidth, pred: PReg },
+    VStore {
+        vs: VReg,
+        base: XReg,
+        index: XReg,
+        width: ElemWidth,
+        pred: PReg,
+    },
     /// Gather load: `vd[l] = mem[base + idx[l] * width]` with lane indices
     /// from vector `idx`.
-    VGather { vd: VReg, base: XReg, idx: VReg, width: ElemWidth, pred: PReg },
+    VGather {
+        vd: VReg,
+        base: XReg,
+        idx: VReg,
+        width: ElemWidth,
+        pred: PReg,
+    },
     /// Scatter store.
-    VScatter { vs: VReg, base: XReg, idx: VReg, width: ElemWidth, pred: PReg },
+    VScatter {
+        vs: VReg,
+        base: XReg,
+        idx: VReg,
+        width: ElemWidth,
+        pred: PReg,
+    },
     /// `pd[l] = (rs1 + l) < rs2` (SVE `whilelt`).
-    WhileLt { pd: PReg, rs1: XReg, rs2: XReg, width: ElemWidth },
+    WhileLt {
+        pd: PReg,
+        rs1: XReg,
+        rs2: XReg,
+        width: ElemWidth,
+    },
     /// `rd += VL / width` elements (SVE `incw`).
     IncVl { rd: XReg, width: ElemWidth },
     /// `rd = VL / width` elements (SVE `cntw`).
     CntVl { rd: XReg, width: ElemWidth },
     /// Legacy UVE vector load with post-increment of the base register
     /// (`ss.load`): `vd = mem[base]`, then `base += VL` bytes.
-    VLoadPost { vd: VReg, base: XReg, width: ElemWidth, pred: PReg },
+    VLoadPost {
+        vd: VReg,
+        base: XReg,
+        width: ElemWidth,
+        pred: PReg,
+    },
     /// Legacy UVE vector store with post-increment.
-    VStorePost { vs: VReg, base: XReg, width: ElemWidth, pred: PReg },
+    VStorePost {
+        vs: VReg,
+        base: XReg,
+        width: ElemWidth,
+        pred: PReg,
+    },
 }
 
 /// Fixed-size operand list (at most 5 sources / 2 destinations).
@@ -375,9 +584,7 @@ impl Inst {
     pub fn dests(&self) -> RegList {
         use Inst::*;
         match *self {
-            Alu { rd, .. } | AluImm { rd, .. } | Lui { rd, .. } | Ld { rd, .. } => {
-                nonzero_x(rd)
-            }
+            Alu { rd, .. } | AluImm { rd, .. } | Lui { rd, .. } | Ld { rd, .. } => nonzero_x(rd),
             Fld { fd, .. }
             | FAlu { fd, .. }
             | FMac { fd, .. }
@@ -398,16 +605,30 @@ impl Inst {
             | VLoad { vd, .. }
             | VGather { vd, .. } => vec![RegRef::v(vd)],
             VMac { vd, .. } | VMacVS { vd, .. } => vec![RegRef::v(vd)],
-            VCmp { pd, .. } | PredAlu { pd, .. } | PredFromValid { pd, .. } | WhileLt { pd, .. } => {
+            VCmp { pd, .. }
+            | PredAlu { pd, .. }
+            | PredFromValid { pd, .. }
+            | WhileLt { pd, .. } => {
                 vec![RegRef::p(pd)]
             }
             VExtractF { fd, .. } => vec![RegRef::f(fd)],
             VExtractX { rd, .. } => nonzero_x(rd),
             VLoadPost { vd, base, .. } => vec![RegRef::v(vd), RegRef::x(base)],
             VStorePost { base, .. } => vec![RegRef::x(base)],
-            St { .. } | Fst { .. } | Branch { .. } | Halt | Nop | SsStart { .. }
-            | SsApp { .. } | SsAppMod { .. } | SsAppInd { .. } | SsCtl { .. }
-            | SsCfgMem { .. } | SsBranch { .. } | BrPred { .. } | VStore { .. }
+            St { .. }
+            | Fst { .. }
+            | Branch { .. }
+            | Halt
+            | Nop
+            | SsStart { .. }
+            | SsApp { .. }
+            | SsAppMod { .. }
+            | SsAppInd { .. }
+            | SsCtl { .. }
+            | SsCfgMem { .. }
+            | SsBranch { .. }
+            | BrPred { .. }
+            | VStore { .. }
             | VScatter { .. } => Vec::new(),
         }
     }
@@ -442,7 +663,10 @@ impl Inst {
                 base, size, stride, ..
             } => vec![RegRef::x(base), RegRef::x(size), RegRef::x(stride)],
             SsApp {
-                offset, size, stride, ..
+                offset,
+                size,
+                stride,
+                ..
             } => vec![RegRef::x(offset), RegRef::x(size), RegRef::x(stride)],
             SsAppMod { disp, count, .. } => vec![RegRef::x(disp), RegRef::x(count)],
             SsAppInd { origin, .. } => vec![RegRef::v(origin)],
@@ -453,9 +677,7 @@ impl Inst {
             VDup { src, .. } => dup_src(src),
             VMv { vs, .. } => vec![RegRef::v(vs)],
             VUn { vs, pred, .. } => with_pred(vec![RegRef::v(vs)], pred),
-            VArith { vs1, vs2, pred, .. } => {
-                with_pred(vec![RegRef::v(vs1), RegRef::v(vs2)], pred)
-            }
+            VArith { vs1, vs2, pred, .. } => with_pred(vec![RegRef::v(vs1), RegRef::v(vs2)], pred),
             VArithVS {
                 vs1, scalar, pred, ..
             } => {
@@ -463,10 +685,16 @@ impl Inst {
                 v.extend(dup_src(scalar));
                 with_pred(v, pred)
             }
-            VMac { vd, vs1, vs2, pred, .. } => {
-                with_pred(vec![RegRef::v(vd), RegRef::v(vs1), RegRef::v(vs2)], pred)
-            }
-            VMacVS { vd, vs1, scalar, pred, .. } => {
+            VMac {
+                vd, vs1, vs2, pred, ..
+            } => with_pred(vec![RegRef::v(vd), RegRef::v(vs1), RegRef::v(vs2)], pred),
+            VMacVS {
+                vd,
+                vs1,
+                scalar,
+                pred,
+                ..
+            } => {
                 let mut v = vec![RegRef::v(vd), RegRef::v(vs1)];
                 v.extend(dup_src(scalar));
                 with_pred(v, pred)
@@ -479,22 +707,26 @@ impl Inst {
             },
             BrPred { p, .. } => vec![RegRef::p(p)],
             VExtractF { vs, .. } | VExtractX { vs, .. } => vec![RegRef::v(vs)],
-            VLoad { base, index, pred, .. } => {
-                with_pred(vec![RegRef::x(base), RegRef::x(index)], pred)
-            }
+            VLoad {
+                base, index, pred, ..
+            } => with_pred(vec![RegRef::x(base), RegRef::x(index)], pred),
             VStore {
-                vs, base, index, pred, ..
-            } => with_pred(
-                vec![RegRef::v(vs), RegRef::x(base), RegRef::x(index)],
+                vs,
+                base,
+                index,
                 pred,
-            ),
-            VGather { base, idx, pred, .. } => {
-                with_pred(vec![RegRef::x(base), RegRef::v(idx)], pred)
-            }
-            VScatter { vs, base, idx, pred, .. } => with_pred(
-                vec![RegRef::v(vs), RegRef::x(base), RegRef::v(idx)],
+                ..
+            } => with_pred(vec![RegRef::v(vs), RegRef::x(base), RegRef::x(index)], pred),
+            VGather {
+                base, idx, pred, ..
+            } => with_pred(vec![RegRef::x(base), RegRef::v(idx)], pred),
+            VScatter {
+                vs,
+                base,
+                idx,
                 pred,
-            ),
+                ..
+            } => with_pred(vec![RegRef::v(vs), RegRef::x(base), RegRef::v(idx)], pred),
             WhileLt { rs1, rs2, .. } => vec![RegRef::x(rs1), RegRef::x(rs2)],
             IncVl { rd, .. } => vec![RegRef::x(rd)],
             CntVl { .. } => Vec::new(),
@@ -530,8 +762,9 @@ impl Inst {
             FMvXF { .. } | FMvFX { .. } | FCvtFX { .. } | FCvtXF { .. } => ExecClass::FpAdd,
             Branch { .. } | Jal { .. } | SsBranch { .. } | BrPred { .. } => ExecClass::Branch,
             Halt | Nop => ExecClass::Simple,
-            SsStart { .. } | SsApp { .. } | SsAppMod { .. } | SsAppInd { .. }
-            | SsCfgMem { .. } => ExecClass::StreamCfg,
+            SsStart { .. } | SsApp { .. } | SsAppMod { .. } | SsAppInd { .. } | SsCfgMem { .. } => {
+                ExecClass::StreamCfg
+            }
             SsCtl { .. } => ExecClass::StreamCtl,
             SsGetVl { .. } | SsSetVl { .. } => ExecClass::IntAlu,
             PredFromValid { .. } => ExecClass::VecInt,

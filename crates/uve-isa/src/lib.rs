@@ -51,11 +51,13 @@ mod reg;
 pub use asm::{assemble, disassemble, disassemble_program, AsmError};
 pub use encode::{decode, encode, encode_program, DecodeError, EncodeError};
 pub use inst::{
-    AluOp, BrCond, Dir, DupSrc, ExecClass, FpOp, FpUnOp, HorizOp, Inst, MemLevel, PredCond,
-    PredOp, RegList, StreamCond, StreamCtl, VCmpOp, VOp, VType, VUnOp,
+    AluOp, BrCond, Dir, DupSrc, ExecClass, FpOp, FpUnOp, HorizOp, Inst, MemLevel, PredCond, PredOp,
+    RegList, StreamCond, StreamCtl, VCmpOp, VOp, VType, VUnOp,
 };
 pub use program::{Program, ProgramBuilder, ProgramError};
-pub use reg::{FReg, PReg, RegClass, RegRef, VReg, XReg, NUM_FREGS, NUM_PREGS, NUM_VREGS, NUM_XREGS};
+pub use reg::{
+    FReg, PReg, RegClass, RegRef, VReg, XReg, NUM_FREGS, NUM_PREGS, NUM_VREGS, NUM_XREGS,
+};
 
 // Re-export the stream-configuration vocabulary used in instruction fields.
 pub use uve_stream::{Behaviour, ElemWidth, IndirectBehaviour, Param};

@@ -180,14 +180,7 @@ impl ProgramBuilder {
         u: crate::reg::VReg,
         label: impl Into<String>,
     ) -> &mut Self {
-        self.push_branch(
-            Inst::SsBranch {
-                cond,
-                u,
-                target: 0,
-            },
-            label,
-        )
+        self.push_branch(Inst::SsBranch { cond, u, target: 0 }, label)
     }
 
     /// Appends a predicate branch to `label`.

@@ -16,22 +16,85 @@ fn one_of_each() -> Vec<Inst> {
     let p = PReg::new(1);
     let w = ElemWidth::Word;
     vec![
-        Inst::Alu { op: AluOp::Add, rd: x, rs1: x2, rs2: x3 },
-        Inst::AluImm { op: AluOp::Xor, rd: x, rs1: x2, imm: -5 },
+        Inst::Alu {
+            op: AluOp::Add,
+            rd: x,
+            rs1: x2,
+            rs2: x3,
+        },
+        Inst::AluImm {
+            op: AluOp::Xor,
+            rd: x,
+            rs1: x2,
+            imm: -5,
+        },
         Inst::Lui { rd: x, imm: 77 },
-        Inst::Ld { rd: x, base: x2, off: 8, width: w },
-        Inst::St { src: x, base: x2, off: -8, width: w },
-        Inst::Fld { fd: f, base: x, off: 4, width: w },
-        Inst::Fst { src: f, base: x, off: 4, width: w },
-        Inst::FAlu { op: FpOp::Mul, width: w, fd: f, fs1: f2, fs2: f3 },
-        Inst::FMac { width: w, fd: f, fs1: f2, fs2: f3, fs3: f },
-        Inst::FUn { op: FpUnOp::Sqrt, width: w, fd: f, fs: f2 },
+        Inst::Ld {
+            rd: x,
+            base: x2,
+            off: 8,
+            width: w,
+        },
+        Inst::St {
+            src: x,
+            base: x2,
+            off: -8,
+            width: w,
+        },
+        Inst::Fld {
+            fd: f,
+            base: x,
+            off: 4,
+            width: w,
+        },
+        Inst::Fst {
+            src: f,
+            base: x,
+            off: 4,
+            width: w,
+        },
+        Inst::FAlu {
+            op: FpOp::Mul,
+            width: w,
+            fd: f,
+            fs1: f2,
+            fs2: f3,
+        },
+        Inst::FMac {
+            width: w,
+            fd: f,
+            fs1: f2,
+            fs2: f3,
+            fs3: f,
+        },
+        Inst::FUn {
+            op: FpUnOp::Sqrt,
+            width: w,
+            fd: f,
+            fs: f2,
+        },
         Inst::FMvXF { rd: x, fs: f },
         Inst::FMvFX { fd: f, rs: x },
-        Inst::FCvtFX { width: w, fd: f, rs: x },
-        Inst::FCvtXF { width: w, rd: x, fs: f },
-        Inst::Branch { cond: BrCond::Ltu, rs1: x, rs2: x2, target: 3 },
-        Inst::Jal { rd: XReg::RA, target: 7 },
+        Inst::FCvtFX {
+            width: w,
+            fd: f,
+            rs: x,
+        },
+        Inst::FCvtXF {
+            width: w,
+            rd: x,
+            fs: f,
+        },
+        Inst::Branch {
+            cond: BrCond::Ltu,
+            rs1: x,
+            rs2: x2,
+            target: 3,
+        },
+        Inst::Jal {
+            rd: XReg::RA,
+            target: 7,
+        },
         Inst::Halt,
         Inst::Nop,
         Inst::SsStart {
@@ -43,7 +106,13 @@ fn one_of_each() -> Vec<Inst> {
             stride: x3,
             done: false,
         },
-        Inst::SsApp { u: v, offset: x, size: x2, stride: x3, end: true },
+        Inst::SsApp {
+            u: v,
+            offset: x,
+            size: x2,
+            stride: x3,
+            end: true,
+        },
         Inst::SsAppMod {
             u: v,
             target: Param::Size,
@@ -59,14 +128,40 @@ fn one_of_each() -> Vec<Inst> {
             origin: v2,
             end: true,
         },
-        Inst::SsCtl { op: StreamCtl::Suspend, u: v },
-        Inst::SsCfgMem { u: v, level: MemLevel::L1 },
-        Inst::SsBranch { cond: StreamCond::DimNotEnd(2), u: v, target: 1 },
+        Inst::SsCtl {
+            op: StreamCtl::Suspend,
+            u: v,
+        },
+        Inst::SsCfgMem {
+            u: v,
+            level: MemLevel::L1,
+        },
+        Inst::SsBranch {
+            cond: StreamCond::DimNotEnd(2),
+            u: v,
+            target: 1,
+        },
         Inst::SsGetVl { rd: x, width: w },
-        Inst::SsSetVl { rd: x, rs: x2, width: w },
-        Inst::VDup { vd: v, src: DupSrc::F(f), width: w, ty: VType::Fp },
+        Inst::SsSetVl {
+            rd: x,
+            rs: x2,
+            width: w,
+        },
+        Inst::VDup {
+            vd: v,
+            src: DupSrc::F(f),
+            width: w,
+            ty: VType::Fp,
+        },
         Inst::VMv { vd: v, vs: v2 },
-        Inst::VUn { op: VUnOp::Neg, ty: VType::Fp, width: w, vd: v, vs: v2, pred: p },
+        Inst::VUn {
+            op: VUnOp::Neg,
+            ty: VType::Fp,
+            width: w,
+            vd: v,
+            vs: v2,
+            pred: p,
+        },
         Inst::VArith {
             op: VOp::Min,
             ty: VType::Int,
@@ -85,7 +180,14 @@ fn one_of_each() -> Vec<Inst> {
             scalar: DupSrc::F(f),
             pred: p,
         },
-        Inst::VMac { ty: VType::Fp, width: w, vd: v, vs1: v2, vs2: v3, pred: p },
+        Inst::VMac {
+            ty: VType::Fp,
+            width: w,
+            vd: v,
+            vs1: v2,
+            vs2: v3,
+            pred: p,
+        },
         Inst::VMacVS {
             ty: VType::Fp,
             width: w,
@@ -94,22 +196,94 @@ fn one_of_each() -> Vec<Inst> {
             scalar: DupSrc::F(f),
             pred: p,
         },
-        Inst::VRed { op: HorizOp::Max, ty: VType::Fp, width: w, vd: v, vs: v2, pred: p },
-        Inst::VCmp { op: VCmpOp::Le, ty: VType::Int, width: w, pd: p, vs1: v, vs2: v2 },
-        Inst::PredAlu { op: PredOp::And, pd: p, ps1: PReg::new(2), ps2: PReg::new(3) },
+        Inst::VRed {
+            op: HorizOp::Max,
+            ty: VType::Fp,
+            width: w,
+            vd: v,
+            vs: v2,
+            pred: p,
+        },
+        Inst::VCmp {
+            op: VCmpOp::Le,
+            ty: VType::Int,
+            width: w,
+            pd: p,
+            vs1: v,
+            vs2: v2,
+        },
+        Inst::PredAlu {
+            op: PredOp::And,
+            pd: p,
+            ps1: PReg::new(2),
+            ps2: PReg::new(3),
+        },
         Inst::PredFromValid { pd: p, vs: v },
-        Inst::BrPred { cond: PredCond::Any, p, target: 2 },
-        Inst::VExtractF { fd: f, vs: v, lane: 7, width: w },
-        Inst::VExtractX { rd: x, vs: v, lane: 0, width: w },
-        Inst::VLoad { vd: v, base: x, index: x2, width: w, pred: p },
-        Inst::VStore { vs: v, base: x, index: x2, width: w, pred: p },
-        Inst::VGather { vd: v, base: x, idx: v2, width: w, pred: p },
-        Inst::VScatter { vs: v, base: x, idx: v2, width: w, pred: p },
-        Inst::WhileLt { pd: p, rs1: x, rs2: x2, width: w },
+        Inst::BrPred {
+            cond: PredCond::Any,
+            p,
+            target: 2,
+        },
+        Inst::VExtractF {
+            fd: f,
+            vs: v,
+            lane: 7,
+            width: w,
+        },
+        Inst::VExtractX {
+            rd: x,
+            vs: v,
+            lane: 0,
+            width: w,
+        },
+        Inst::VLoad {
+            vd: v,
+            base: x,
+            index: x2,
+            width: w,
+            pred: p,
+        },
+        Inst::VStore {
+            vs: v,
+            base: x,
+            index: x2,
+            width: w,
+            pred: p,
+        },
+        Inst::VGather {
+            vd: v,
+            base: x,
+            idx: v2,
+            width: w,
+            pred: p,
+        },
+        Inst::VScatter {
+            vs: v,
+            base: x,
+            idx: v2,
+            width: w,
+            pred: p,
+        },
+        Inst::WhileLt {
+            pd: p,
+            rs1: x,
+            rs2: x2,
+            width: w,
+        },
         Inst::IncVl { rd: x, width: w },
         Inst::CntVl { rd: x, width: w },
-        Inst::VLoadPost { vd: v, base: x, width: w, pred: p },
-        Inst::VStorePost { vs: v, base: x, width: w, pred: p },
+        Inst::VLoadPost {
+            vd: v,
+            base: x,
+            width: w,
+            pred: p,
+        },
+        Inst::VStorePost {
+            vs: v,
+            base: x,
+            width: w,
+            pred: p,
+        },
     ]
 }
 

@@ -1,10 +1,54 @@
 //! Shared helpers: memory layout, deterministic data generation, assembly
 //! convenience, and tolerant float comparison.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use uve_core::Emulator;
 use uve_isa::{assemble, Program};
+
+/// A seeded SplitMix64 PRNG (Steele, Lea & Flood, *Fast Splittable
+/// Pseudorandom Number Generators*, OOPSLA 2014) — the workload generator.
+///
+/// Self-contained so the crate builds with zero registry access; the same
+/// seeds as the previous `rand::SmallRng` generators are kept, but the
+/// generated input *values* differ (the correctness oracles recompute their
+/// references from the same inputs, so every kernel still checks).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)` (24 high bits → exact dyadic rationals).
+    pub fn next_f32(&mut self) -> f32 {
+        const SCALE: f32 = 1.0 / (1u64 << 24) as f32;
+        (self.next_u64() >> 40) as f32 * SCALE
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform `u64` below `bound` (modulo method; the negligible bias is
+    /// irrelevant for test-input generation).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+}
 
 /// Base address of array region `i`; regions are 16 MiB apart, far larger
 /// than any evaluation working set.
@@ -23,20 +67,21 @@ pub fn asm(name: &'static str, text: &str) -> Program {
 
 /// Deterministic `f32` test data in `[-1, 1)`.
 pub fn gen_f32(seed: u64, n: usize) -> Vec<f32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.range_f32(-1.0, 1.0)).collect()
 }
 
 /// Deterministic positive `f32` test data in `[lo, hi)`.
 pub fn gen_f32_range(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.range_f32(lo, hi)).collect()
 }
 
 /// Deterministic `i32` index data in `[0, bound)`.
 pub fn gen_indices(seed: u64, n: usize, bound: i32) -> Vec<i32> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+    assert!(bound > 0, "index bound must be positive");
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.below(bound as u64) as i32).collect()
 }
 
 /// Compares an `f32` array in simulated memory against a reference,
@@ -56,9 +101,7 @@ pub fn check_f32(
     for (i, (g, e)) in got.iter().zip(expect).enumerate() {
         let scale = e.abs().max(1.0);
         if (g - e).abs() > tol * scale || g.is_nan() != e.is_nan() {
-            return Err(format!(
-                "{what}[{i}]: got {g}, expected {e} (tol {tol})"
-            ));
+            return Err(format!("{what}[{i}]: got {g}, expected {e} (tol {tol})"));
         }
     }
     Ok(())
@@ -92,6 +135,26 @@ mod tests {
     fn regions_are_disjoint_and_aligned() {
         assert!(region(1) - region(0) >= 0x0100_0000);
         assert_eq!(region(3) % 64, 0);
+    }
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // Known-answer values from the reference SplitMix64 implementation
+        // (seed 0), as used to seed the xoshiro family.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn splitmix64_ranges_respect_bounds() {
+        let mut r = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let f = r.range_f32(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            assert!(r.below(10) < 10);
+        }
     }
 
     #[test]

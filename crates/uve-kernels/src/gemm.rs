@@ -21,7 +21,6 @@ pub struct Gemm {
     nk: usize,
 }
 
-
 const ALPHA: f32 = 1.5;
 const BETA: f32 = 0.75;
 

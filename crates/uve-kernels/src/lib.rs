@@ -90,7 +90,11 @@ impl std::fmt::Display for Flavor {
 
 /// One evaluation kernel: programs in all flavours, workload setup, and a
 /// correctness oracle.
-pub trait Benchmark {
+///
+/// `Send + Sync` is a supertrait so kernels can be sharded across the
+/// worker threads of the parallel evaluation runner; implementations are
+/// plain parameter structs, so this costs nothing.
+pub trait Benchmark: Send + Sync {
     /// Short kernel name (paper Fig. 8 naming).
     fn name(&self) -> &'static str;
 

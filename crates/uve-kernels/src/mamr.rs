@@ -82,10 +82,20 @@ impl Mamr {
         let a = gen_f32(0x80, n * n);
         match self.variant {
             MamrVariant::Full => (0..n)
-                .map(|i| a[i * n..(i + 1) * n].iter().copied().fold(f32::MIN, f32::max))
+                .map(|i| {
+                    a[i * n..(i + 1) * n]
+                        .iter()
+                        .copied()
+                        .fold(f32::MIN, f32::max)
+                })
                 .collect(),
             MamrVariant::Diag => (0..n)
-                .map(|i| a[i * n..i * n + i + 1].iter().copied().fold(f32::MIN, f32::max))
+                .map(|i| {
+                    a[i * n..i * n + i + 1]
+                        .iter()
+                        .copied()
+                        .fold(f32::MIN, f32::max)
+                })
                 .collect(),
             MamrVariant::Indirect => {
                 let b = gen_indices(0x81, n * n, n as i32 * n as i32);

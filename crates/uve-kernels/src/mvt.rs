@@ -66,7 +66,14 @@ impl Mvt {
     /// One UVE pass: per row/column of `A`, a dot product with `y`
     /// accumulated into one element of `x`. `d0_stride`/`d1_stride` select
     /// row-major (1, n) or column-major (n, 1) traversal.
-    fn uve_pass(&self, tag: usize, a_d0_stride: usize, a_d1_stride: usize, x: u64, y: u64) -> String {
+    fn uve_pass(
+        &self,
+        tag: usize,
+        a_d0_stride: usize,
+        a_d1_stride: usize,
+        x: u64,
+        y: u64,
+    ) -> String {
         let n = self.n;
         let a = self.a();
         format!(

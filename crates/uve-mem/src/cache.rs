@@ -217,7 +217,6 @@ impl Cache {
 
     /// Inserts a line on behalf of a prefetcher.
     pub fn fill_prefetch(&mut self, line_addr: u64, ready: u64) -> Option<u64> {
-        self.stats.prefetch_fills += 1;
         self.fill_inner(line_addr, false, ready, true)
     }
 
@@ -230,14 +229,26 @@ impl Cache {
     ) -> Option<u64> {
         self.lru_clock += 1;
         if let Some(i) = self.find(line_addr) {
-            // Already present (e.g. racing prefetch): refresh.
+            // Already present (e.g. racing prefetch): refresh. Not counted
+            // as a new prefetch fill — a refresh inserts no line, and
+            // inflating `prefetch_fills` here would skew the accuracy
+            // ratio `prefetch_useful / prefetch_fills`.
             let line = &mut self.lines[i];
             line.lru = self.lru_clock;
             line.ready = line.ready.min(ready);
+            if !prefetched {
+                // A demand fill overtaking an in-flight prefetch: the
+                // prefetch did not beat demand, so a later demand hit must
+                // not retroactively count it as useful.
+                line.prefetched = false;
+            }
             if is_write {
                 line.state = MoesiState::Modified;
             }
             return None;
+        }
+        if prefetched {
+            self.stats.prefetch_fills += 1;
         }
         let set = self.set_of(line_addr);
         let victim = self
@@ -400,6 +411,55 @@ mod tests {
         let dirty = c.snoop_invalidate(1);
         assert!(dirty);
         assert_eq!(c.state_of(1), MoesiState::Invalid);
+    }
+
+    #[test]
+    fn prefetch_hit_before_ready_waits_for_future_cycle() {
+        // Prefetch timeliness: a demand hit on a line whose data is still
+        // in flight must report the *future* ready cycle, not the access
+        // cycle, and the prefetch counts as useful exactly once.
+        let mut c = small();
+        c.fill_prefetch(5, 100);
+        match c.access(5, false, 20) {
+            Access::Hit { ready } => assert_eq!(ready, 100, "must wait for in-flight data"),
+            Access::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn prefetch_hit_after_ready_uses_access_cycle_and_counts_once() {
+        let mut c = small();
+        c.fill_prefetch(5, 100);
+        // First demand touch before ready: useful, waits until 100.
+        assert_eq!(c.access(5, false, 20), Access::Hit { ready: 100 });
+        // Second demand touch after ready: data long arrived → access
+        // cycle, and `prefetch_useful` must NOT be double-counted.
+        assert_eq!(c.access(5, false, 150), Access::Hit { ready: 150 });
+        assert_eq!(c.stats().prefetch_useful, 1);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn prefetch_refresh_does_not_inflate_fill_count() {
+        let mut c = small();
+        c.fill_prefetch(7, 50);
+        c.fill_prefetch(7, 80); // refresh of a present line: no new fill
+        assert_eq!(c.stats().prefetch_fills, 1);
+        // The refresh keeps the earlier ready cycle.
+        assert_eq!(c.access(7, false, 0), Access::Hit { ready: 50 });
+        assert_eq!(c.stats().prefetch_useful, 1);
+    }
+
+    #[test]
+    fn demand_fill_overtaking_prefetch_clears_usefulness() {
+        let mut c = small();
+        c.fill_prefetch(9, 200);
+        // A demand fill of the same line (the prefetch lost the race): the
+        // line is no longer attributable to the prefetcher.
+        c.fill(9, false, 60);
+        assert_eq!(c.access(9, false, 10), Access::Hit { ready: 60 });
+        assert_eq!(c.stats().prefetch_useful, 0);
     }
 
     #[test]

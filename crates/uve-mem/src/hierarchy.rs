@@ -214,9 +214,7 @@ impl MemSystem {
         // `l2_ports` accesses per cycle: the free cursor advances by a
         // 1/l2_ports fraction, quantized via a sub-cycle counter.
         let start = (self.l2_port_free / self.cfg.l2_ports as u64).max(now);
-        self.l2_port_free = (start * self.cfg.l2_ports as u64)
-            .max(self.l2_port_free)
-            + 1;
+        self.l2_port_free = (start * self.cfg.l2_ports as u64).max(self.l2_port_free) + 1;
         start
     }
 
@@ -296,7 +294,8 @@ impl MemSystem {
                     for pf in reqs {
                         if !self.l1.probe(pf) {
                             let (slot, start) = self.l1_mshrs.acquire(now);
-                            let pf_ready = self.l2_read(pf, start + self.cfg.l1_latency, true, true);
+                            let pf_ready =
+                                self.l2_read(pf, start + self.cfg.l1_latency, true, true);
                             self.l1_mshrs.release_at(slot, pf_ready);
                             if let Some(victim) = self.l1.fill_prefetch(pf, pf_ready) {
                                 if let Some(v2) = self.l2.fill(victim, true, now) {
@@ -373,19 +372,17 @@ impl MemSystem {
         self.writes += 1;
         let line = addr / LINE_BYTES;
         match path {
-            Path::Normal | Path::StreamL1 => {
-                match self.l1.access(line, true, now) {
-                    Access::Hit { ready } => ready.max(now) + 1,
-                    Access::Miss => {
-                        if let Some(victim) = self.l1.fill(line, true, now) {
-                            if let Some(v2) = self.l2.fill(victim, true, now) {
-                                self.dram.write(v2, now);
-                            }
+            Path::Normal | Path::StreamL1 => match self.l1.access(line, true, now) {
+                Access::Hit { ready } => ready.max(now) + 1,
+                Access::Miss => {
+                    if let Some(victim) = self.l1.fill(line, true, now) {
+                        if let Some(v2) = self.l2.fill(victim, true, now) {
+                            self.dram.write(v2, now);
                         }
-                        now + 1
                     }
+                    now + 1
                 }
-            }
+            },
             Path::StreamL2 => {
                 let start = self.l2_port(now);
                 match self.l2.access(line, true, start) {

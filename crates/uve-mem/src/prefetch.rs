@@ -170,7 +170,9 @@ impl AmpmPrefetcher {
             return false;
         }
         let (zone, bit) = self.bit(line as u64);
-        self.pf_zones.get(&zone).is_some_and(|m| m & (1 << bit) != 0)
+        self.pf_zones
+            .get(&zone)
+            .is_some_and(|m| m & (1 << bit) != 0)
     }
 
     fn mark_prefetched(&mut self, line: u64) {

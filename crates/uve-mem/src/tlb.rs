@@ -146,11 +146,17 @@ mod tests {
         t.translate(2 * PAGE_SIZE); // evicts page 1
         assert!(matches!(
             t.translate(0),
-            Translation::Ok { extra_cycles: 0, .. }
+            Translation::Ok {
+                extra_cycles: 0,
+                ..
+            }
         ));
         assert!(matches!(
             t.translate(PAGE_SIZE),
-            Translation::Ok { extra_cycles: 20, .. }
+            Translation::Ok {
+                extra_cycles: 20,
+                ..
+            }
         ));
     }
 

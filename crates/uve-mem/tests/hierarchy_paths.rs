@@ -126,10 +126,7 @@ fn bus_utilization_counts_reads_and_writes() {
 fn translation_faults_are_page_granular() {
     let mut m = MemSystem::new(quiet());
     m.tlb_mut().mark_faulting(0x30_0000);
-    assert!(matches!(
-        m.translate(0x30_0ff8),
-        Translation::Fault { .. }
-    ));
+    assert!(matches!(m.translate(0x30_0ff8), Translation::Fault { .. }));
     assert!(matches!(m.translate(0x30_1000), Translation::Ok { .. }));
     m.tlb_mut().clear_fault(0x30_0000);
     assert!(matches!(m.translate(0x30_0ff8), Translation::Ok { .. }));

@@ -263,7 +263,10 @@ impl fmt::Display for PatternError {
                 write!(f, "modifier attached to nonexistent dimension {k}")
             }
             PatternError::NestedIndirection => {
-                write!(f, "indirect origin streams must be affine (depth-1 indirection)")
+                write!(
+                    f,
+                    "indirect origin streams must be affine (depth-1 indirection)"
+                )
             }
             PatternError::Misaligned { base, width } => write!(
                 f,
@@ -613,7 +616,9 @@ mod tests {
 
     #[test]
     fn rejects_too_many_modifiers() {
-        let mut b = Pattern::builder(0, ElemWidth::Word).dim(0, 4, 1).dim(0, 4, 4);
+        let mut b = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 4, 1)
+            .dim(0, 4, 4);
         for _ in 0..MAX_MODIFIERS + 1 {
             b = b.static_mod(Param::Offset, Behaviour::Add, 1, 4);
         }

@@ -140,7 +140,11 @@ mod tests {
             let mut w2 = Walker::new(&p);
             saved.restore(&mut w2, &NoMemory);
             let rest: Vec<u64> = w2.iter(&NoMemory).map(|e| e.addr).collect();
-            assert_eq!(rest, reference[cut.min(reference.len())..].to_vec(), "cut={cut}");
+            assert_eq!(
+                rest,
+                reference[cut.min(reference.len())..].to_vec(),
+                "cut={cut}"
+            );
         }
     }
 

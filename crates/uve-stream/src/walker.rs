@@ -512,10 +512,7 @@ mod tests {
     fn linear_pattern_addresses() {
         // Fig. 3.B1: for i in 0..N { A[i] }
         let p = Pattern::linear(0x1000, ElemWidth::Word, 5).unwrap();
-        assert_eq!(
-            addrs_of(&p),
-            vec![0x1000, 0x1004, 0x1008, 0x100c, 0x1010]
-        );
+        assert_eq!(addrs_of(&p), vec![0x1000, 0x1004, 0x1008, 0x100c, 0x1010]);
     }
 
     #[test]
@@ -720,10 +717,7 @@ mod tests {
         let got: Vec<u64> = Walker::new(&p).iter(&mem).map(|e| e.addr).collect();
         // iter 1: stride 1 → 0x1000,0x1004,0x1008; iter 2: stride 2 →
         // 0x1000,0x1008,0x1010
-        assert_eq!(
-            got,
-            vec![0x1000, 0x1004, 0x1008, 0x1000, 0x1008, 0x1010]
-        );
+        assert_eq!(got, vec![0x1000, 0x1004, 0x1008, 0x1000, 0x1008, 0x1010]);
     }
 
     #[test]

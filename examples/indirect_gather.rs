@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let origin = Pattern::linear(0x1000, ElemWidth::Word, idx.len() as u64)?;
     let gather = Pattern::builder(0x2000, ElemWidth::Word)
         .dim(0, 1, 0)
-        .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, origin, idx.len() as u64)
+        .indirect_outer(
+            Param::Offset,
+            IndirectBehaviour::SetAdd,
+            origin,
+            idx.len() as u64,
+        )
         .build()?;
 
     print!("walker addresses:");

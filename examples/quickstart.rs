@@ -54,11 +54,19 @@ loop:
     for i in 0..N {
         assert_eq!(out[i], A * x[i] + y[i], "y[{i}]");
     }
-    println!("functional: OK ({} committed instructions)", result.committed);
+    println!(
+        "functional: OK ({} committed instructions)",
+        result.committed
+    );
     println!(
         "streams: {} instances, {} total elements",
         result.trace.streams.len(),
-        result.trace.streams.iter().map(|s| s.elements()).sum::<u64>()
+        result
+            .trace
+            .streams
+            .iter()
+            .map(|s| s.elements())
+            .sum::<u64>()
     );
 
     // Timing on the Cortex-A76-like model (Table I).

@@ -11,7 +11,9 @@
 //! - [`core`]: the functional stream unit, emulator, and the cycle-level
 //!   Streaming Engine (Sec. IV),
 //! - [`cpu`]: the out-of-order timing model (Sec. V),
-//! - [`kernels`]: the 19 evaluation benchmarks (Fig. 8).
+//! - [`kernels`]: the 19 evaluation benchmarks (Fig. 8),
+//! - [`bench`]: the evaluation harness, including the parallel sharded
+//!   [`bench::runner`] with functional-trace reuse.
 //!
 //! The most common types are additionally re-exported at the crate root.
 //!
@@ -46,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub use uve_bench as bench;
 pub use uve_core as core;
 pub use uve_cpu as cpu;
 pub use uve_isa as isa;

@@ -80,8 +80,17 @@ fn context_state_sizes_respect_paper_bounds() {
     let mem = Memory::new();
     let mut unit = StreamUnit::new();
     let mut trace = Trace::new();
-    unit.start(VReg::new(0), Dir::Load, ElemWidth::Word, 0, 64, 1, true, &mut trace)
-        .unwrap();
+    unit.start(
+        VReg::new(0),
+        Dir::Load,
+        ElemWidth::Word,
+        0,
+        64,
+        1,
+        true,
+        &mut trace,
+    )
+    .unwrap();
     let ctx = unit.save_context();
     assert_eq!(ctx.len(), 1);
     let size = ctx[0].1.size_bytes();

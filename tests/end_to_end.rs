@@ -34,8 +34,7 @@ fn small_suite() -> Vec<Box<dyn Benchmark>> {
 fn every_kernel_correct_in_every_flavor() {
     for bench in small_suite() {
         for flavor in Flavor::all() {
-            run_checked(bench.as_ref(), flavor)
-                .unwrap_or_else(|e| panic!("{e}"));
+            run_checked(bench.as_ref(), flavor).unwrap_or_else(|e| panic!("{e}"));
         }
     }
 }

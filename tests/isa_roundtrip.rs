@@ -2,10 +2,14 @@
 //! assemble/disassemble round trips over every kernel program plus random
 //! instruction fields.
 
+// Compiled only with `--features proptest` (requires the registry-hosted
+// `proptest` dev-dependency; see the workspace Cargo.toml note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uve::isa::{
-    assemble, decode, disassemble_program, encode, AluOp, BrCond, DupSrc, FReg, Inst, PReg,
-    VOp, VReg, VType, XReg,
+    assemble, decode, disassemble_program, encode, AluOp, BrCond, DupSrc, FReg, Inst, PReg, VOp,
+    VReg, VType, XReg,
 };
 use uve::stream::ElemWidth;
 
@@ -50,8 +54,7 @@ fn every_kernel_program_encodes_and_decodes() {
 fn every_kernel_program_disassembles_and_reassembles() {
     for p in all_kernel_programs() {
         let text = disassemble_program(&p);
-        let back = assemble(p.name(), &text)
-            .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+        let back = assemble(p.name(), &text).unwrap_or_else(|e| panic!("{}: {e}", p.name()));
         assert_eq!(p.insts(), back.insts(), "{}", p.name());
     }
 }
@@ -73,11 +76,29 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
     prop_oneof![
         (0usize..16, x.clone(), x.clone(), x.clone()).prop_map(|(op, rd, rs1, rs2)| {
             let ops = [
-                AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Mulh, AluOp::Div, AluOp::Rem,
-                AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Sll, AluOp::Srl, AluOp::Sra,
-                AluOp::Slt, AluOp::Sltu, AluOp::Min, AluOp::Max,
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::Mulh,
+                AluOp::Div,
+                AluOp::Rem,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Sll,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Slt,
+                AluOp::Sltu,
+                AluOp::Min,
+                AluOp::Max,
             ];
-            Inst::Alu { op: ops[op], rd, rs1, rs2 }
+            Inst::Alu {
+                op: ops[op],
+                rd,
+                rs1,
+                rs2,
+            }
         }),
         (x.clone(), x.clone(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Inst::AluImm {
             op: AluOp::Add,
@@ -85,20 +106,52 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             rs1,
             imm
         }),
-        (x.clone(), x.clone(), -2048i32..2048, arb_width()).prop_map(
-            |(rd, base, off, width)| Inst::Ld { rd, base, off, width }
-        ),
+        (x.clone(), x.clone(), -2048i32..2048, arb_width()).prop_map(|(rd, base, off, width)| {
+            Inst::Ld {
+                rd,
+                base,
+                off,
+                width,
+            }
+        }),
         (0usize..6, x.clone(), x.clone(), 0u32..4000).prop_map(|(c, rs1, rs2, target)| {
             let conds = [
-                BrCond::Eq, BrCond::Ne, BrCond::Lt, BrCond::Ge, BrCond::Ltu, BrCond::Geu,
+                BrCond::Eq,
+                BrCond::Ne,
+                BrCond::Lt,
+                BrCond::Ge,
+                BrCond::Ltu,
+                BrCond::Geu,
             ];
-            Inst::Branch { cond: conds[c], rs1, rs2, target }
+            Inst::Branch {
+                cond: conds[c],
+                rs1,
+                rs2,
+                target,
+            }
         }),
-        (0usize..11, v.clone(), v.clone(), v.clone(), p.clone(), arb_width(), any::<bool>())
+        (
+            0usize..11,
+            v.clone(),
+            v.clone(),
+            v.clone(),
+            p.clone(),
+            arb_width(),
+            any::<bool>()
+        )
             .prop_map(|(op, vd, vs1, vs2, pred, width, fp)| {
                 let ops = [
-                    VOp::Add, VOp::Sub, VOp::Mul, VOp::Div, VOp::Min, VOp::Max, VOp::And,
-                    VOp::Or, VOp::Xor, VOp::Shl, VOp::Shr,
+                    VOp::Add,
+                    VOp::Sub,
+                    VOp::Mul,
+                    VOp::Div,
+                    VOp::Min,
+                    VOp::Max,
+                    VOp::And,
+                    VOp::Or,
+                    VOp::Xor,
+                    VOp::Shl,
+                    VOp::Shr,
                 ];
                 Inst::VArith {
                     op: ops[op],
@@ -117,7 +170,13 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
             ty: VType::Fp
         }),
         (v.clone(), x.clone(), x.clone(), arb_width(), p).prop_map(
-            |(vd, base, index, width, pred)| Inst::VLoad { vd, base, index, width, pred }
+            |(vd, base, index, width, pred)| Inst::VLoad {
+                vd,
+                base,
+                index,
+                width,
+                pred
+            }
         ),
     ]
 }

@@ -2,10 +2,13 @@
 //! equivalence with reference loop nests, chunk partitioning invariants,
 //! and save/restore correctness at arbitrary cut points.
 
+// Compiled only with `--features proptest` (requires the registry-hosted
+// `proptest` dev-dependency; see the workspace Cargo.toml note).
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uve::stream::{
-    Behaviour, ElemWidth, NoMemory, Param, Pattern, SavedWalker, SliceMemory, VectorWalker,
-    Walker,
+    Behaviour, ElemWidth, NoMemory, Param, Pattern, SavedWalker, SliceMemory, VectorWalker, Walker,
 };
 
 fn walk(p: &Pattern) -> Vec<u64> {

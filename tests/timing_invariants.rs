@@ -64,7 +64,10 @@ fn uve_timing_insensitive_to_vector_registers() {
     let low = at(48);
     let high = at(96);
     let drift = (low as f64 - high as f64).abs() / low as f64;
-    assert!(drift < 0.02, "UVE should be PVR-insensitive: {low} vs {high}");
+    assert!(
+        drift < 0.02,
+        "UVE should be PVR-insensitive: {low} vs {high}"
+    );
 }
 
 #[test]
