@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Repo CI gate. Runs entirely offline: the workspace has no registry
-# dependencies (see the `proptest`/`bench` marker features in the crate
-# manifests), so every step must pass with the network unplugged.
+# dependencies (see the `bench` marker feature in uve-bench; the randomized
+# suites run on the in-tree uve-conform generator), so every step must pass
+# with the network unplugged.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +15,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== tier-1: build + tests (offline) =="
 cargo build --release --workspace --offline
 cargo test -q --workspace --offline
+
+echo "== conformance: fuzz smoke (fixed seed, offline) =="
+# Bounded differential-fuzz run; deterministic for a given seed, so a
+# failure here is reproducible with the printed (engine, seed, case).
+# The checked-in regression corpus replays as part of `cargo test` above.
+./target/release/uve-conform --engine all --seed 7 --cases 2000 --quiet
 
 echo "CI OK"

@@ -19,9 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod pool;
 pub mod runner;
 
-pub use runner::{Job, RunMode, Runner};
+pub use pool::run_indexed;
+pub use runner::{default_jobs, Job, RunMode, Runner};
 
 use uve_cpu::{CpuConfig, TimingStats};
 use uve_isa::MemLevel;

@@ -1,0 +1,90 @@
+//! A deterministic scoped worker pool, factored out of the evaluation
+//! [`Runner`](crate::Runner) so other harnesses (the `uve-conform`
+//! differential fuzzer) can share it.
+//!
+//! The contract is the one the runner's figure pipeline relies on: work is
+//! identified by its submission index, workers pull indices from a shared
+//! queue, and results are written back *by index* — so a parallel run
+//! returns the same `Vec<T>`, in the same order with bit-identical
+//! contents, as a serial one. Scheduling affects only wall-clock time.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::runner::RunMode;
+
+/// Runs `f(i)` for every `i in 0..n` under `mode` and returns the results
+/// in index order, independent of worker scheduling.
+///
+/// `RunMode::Serial` evaluates inline on the calling thread;
+/// `RunMode::Parallel(w)` uses a scoped pool of `min(w, n)` threads.
+pub fn run_indexed<T, F>(mode: RunMode, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match mode {
+        RunMode::Serial => (0..n).map(f).collect(),
+        RunMode::Parallel(_) => {
+            let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let queue: Mutex<VecDeque<usize>> = Mutex::new((0..n).collect());
+            let worker = || {
+                while let Some(i) = pop(&queue) {
+                    *results[i].lock().expect("result slot poisoned") = Some(f(i));
+                }
+            };
+            pooled(mode, n, &worker);
+            results
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("worker completed every item")
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs `worker` closures: inline when serial, else on a scoped pool of
+/// `min(workers, work_items)` threads. Each worker is expected to drain a
+/// shared queue (see [`pop`]).
+pub fn pooled(mode: RunMode, work_items: usize, worker: &(dyn Fn() + Sync)) {
+    match mode {
+        RunMode::Serial => worker(),
+        RunMode::Parallel(n) => {
+            let threads = n.min(work_items.max(1));
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(worker);
+                }
+            });
+        }
+    }
+}
+
+/// Pops the next work index off a shared queue (the pool's dispatch
+/// primitive).
+pub fn pop(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
+    queue.lock().expect("job queue poisoned").pop_front()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_results_match_serial_in_order() {
+        let f = |i: usize| (i * i) as u64;
+        let serial = run_indexed(RunMode::Serial, 100, f);
+        let parallel = run_indexed(RunMode::Parallel(8), 100, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn zero_items_is_fine() {
+        let out: Vec<u64> = run_indexed(RunMode::Parallel(4), 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+}

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::pool::pop;
 use crate::Measured;
 use uve_core::{EmuConfig, Trace};
 use uve_cpu::{CpuConfig, OoOCore};
@@ -342,22 +343,8 @@ impl Runner {
     /// Runs `worker` closures: inline when serial, else on a scoped pool
     /// of `min(workers, work_items)` threads.
     fn pooled(&self, work_items: usize, worker: &(dyn Fn() + Sync)) {
-        match self.mode {
-            RunMode::Serial => worker(),
-            RunMode::Parallel(n) => {
-                let threads = n.min(work_items.max(1));
-                std::thread::scope(|s| {
-                    for _ in 0..threads {
-                        s.spawn(worker);
-                    }
-                });
-            }
-        }
+        crate::pool::pooled(self.mode, work_items, worker);
     }
-}
-
-fn pop(queue: &Mutex<VecDeque<usize>>) -> Option<usize> {
-    queue.lock().expect("job queue poisoned").pop_front()
 }
 
 /// One worker per available core (1 if the count is unknown).

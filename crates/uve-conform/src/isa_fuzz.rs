@@ -1,0 +1,683 @@
+//! Differential fuzzing of the ISA codec.
+//!
+//! Each case draws one random instruction spanning every [`Inst`] variant
+//! (~450 opcode × sub-op combinations) with fields inside their encodable
+//! ranges, then checks:
+//!
+//! - binary round trip: `encode → decode` reproduces the instruction and
+//!   re-encoding reproduces the word;
+//! - text round trip: `Display → assemble` reproduces the instruction
+//!   (branch targets print as absolute indices, which the assembler
+//!   accepts as numeric targets);
+//! - decode robustness: a batch of random `u32` words must never panic,
+//!   and every word that decodes must re-encode to a decodable fixpoint;
+//! - typed rejection: a deliberately out-of-range construction must
+//!   produce the exact [`EncodeError`] variant, not a panic or silent
+//!   truncation.
+//!
+//! The robustness checks are what originally surfaced the two codec bugs
+//! fixed in this crate's first corpus entries: `ss.branch` dimension
+//! indices ≥ 8 silently corrupted the word, and decoded negative branch
+//! displacements wrapped to huge absolute targets.
+
+use crate::rng::FuzzRng;
+use crate::Engine;
+use uve_isa::{
+    assemble, decode, encode, AluOp, BrCond, DecodeError, Dir, DupSrc, EncodeError, FReg, FpOp,
+    FpUnOp, HorizOp, Inst, MemLevel, PReg, PredCond, PredOp, StreamCond, StreamCtl, VCmpOp, VOp,
+    VReg, VType, VUnOp, XReg,
+};
+use uve_stream::{Behaviour, ElemWidth, IndirectBehaviour, Param};
+
+/// One ISA-fuzzer case.
+#[derive(Debug, Clone)]
+pub struct IsaCase {
+    /// The instruction under test.
+    pub inst: Inst,
+    /// PC at which it is encoded (branch targets are PC-relative).
+    pub pc: u32,
+    /// Random words for the decode-robustness sweep.
+    pub raw_words: Vec<u32>,
+    /// Deliberately out-of-range construction to check typed rejection.
+    pub invalid: Option<InvalidEncode>,
+}
+
+/// A construction that must produce a specific [`EncodeError`].
+#[derive(Debug, Clone, Copy)]
+pub enum InvalidEncode {
+    /// `ss.branch` on a dimension index ≥ 8 (3-bit field).
+    DimTooLarge(u8),
+    /// Lane index ≥ 64 on a vector extract.
+    LaneTooLarge(u8),
+    /// Data-processing predicate above `p7`.
+    PredTooLarge(u8),
+    /// Immediate outside the signed 12-bit ALU field.
+    ImmTooLarge(i32),
+    /// Conditional-branch target beyond the 13-bit displacement.
+    TargetTooFar(u32),
+}
+
+fn xreg(rng: &mut FuzzRng) -> XReg {
+    XReg::new(rng.below(32) as u8)
+}
+fn freg(rng: &mut FuzzRng) -> FReg {
+    FReg::new(rng.below(32) as u8)
+}
+fn vreg(rng: &mut FuzzRng) -> VReg {
+    VReg::new(rng.below(32) as u8)
+}
+/// Data-processing predicate (3-bit field everywhere it appears).
+fn pred(rng: &mut FuzzRng) -> PReg {
+    PReg::new(rng.below(8) as u8)
+}
+fn width(rng: &mut FuzzRng) -> ElemWidth {
+    *rng.pick(&ElemWidth::all())
+}
+fn vtype(rng: &mut FuzzRng) -> VType {
+    *rng.pick(&[VType::Int, VType::Fp])
+}
+fn dup_src(rng: &mut FuzzRng) -> DupSrc {
+    if rng.bool() {
+        DupSrc::X(xreg(rng))
+    } else {
+        DupSrc::F(freg(rng))
+    }
+}
+fn imm12(rng: &mut FuzzRng) -> i32 {
+    rng.range_i64(-2048, 2047) as i32
+}
+/// A conditional-branch target within the signed 13-bit window around `pc`.
+fn near_target(rng: &mut FuzzRng, pc: u32, reach: i64) -> u32 {
+    let lo = (i64::from(pc) - reach).max(0);
+    let hi = i64::from(pc) + reach - 1;
+    rng.range_i64(lo, hi) as u32
+}
+
+const ALU_OPS: [AluOp; 16] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Min,
+    AluOp::Max,
+];
+const BR_CONDS: [BrCond; 6] = [
+    BrCond::Eq,
+    BrCond::Ne,
+    BrCond::Lt,
+    BrCond::Ge,
+    BrCond::Ltu,
+    BrCond::Geu,
+];
+const V_OPS: [VOp; 11] = [
+    VOp::Add,
+    VOp::Sub,
+    VOp::Mul,
+    VOp::Div,
+    VOp::Min,
+    VOp::Max,
+    VOp::And,
+    VOp::Or,
+    VOp::Xor,
+    VOp::Shl,
+    VOp::Shr,
+];
+
+#[allow(clippy::too_many_lines)]
+fn gen_inst(rng: &mut FuzzRng, pc: u32) -> Inst {
+    let param = *rng.pick(&[Param::Offset, Param::Size, Param::Stride]);
+    match rng.below(50) {
+        0 => Inst::Alu {
+            op: *rng.pick(&ALU_OPS),
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+        },
+        1 => Inst::AluImm {
+            op: *rng.pick(&ALU_OPS),
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            imm: imm12(rng),
+        },
+        2 => Inst::Lui {
+            rd: xreg(rng),
+            imm: rng.range_i64(-(1 << 19), (1 << 19) - 1) as i32,
+        },
+        3 => Inst::Ld {
+            rd: xreg(rng),
+            base: xreg(rng),
+            off: imm12(rng),
+            width: width(rng),
+        },
+        4 => Inst::St {
+            src: xreg(rng),
+            base: xreg(rng),
+            off: imm12(rng),
+            width: width(rng),
+        },
+        5 => Inst::Fld {
+            fd: freg(rng),
+            base: xreg(rng),
+            off: imm12(rng),
+            width: width(rng),
+        },
+        6 => Inst::Fst {
+            src: freg(rng),
+            base: xreg(rng),
+            off: imm12(rng),
+            width: width(rng),
+        },
+        7 => Inst::FAlu {
+            op: *rng.pick(&[
+                FpOp::Add,
+                FpOp::Sub,
+                FpOp::Mul,
+                FpOp::Div,
+                FpOp::Min,
+                FpOp::Max,
+            ]),
+            width: width(rng),
+            fd: freg(rng),
+            fs1: freg(rng),
+            fs2: freg(rng),
+        },
+        8 => Inst::FMac {
+            width: width(rng),
+            fd: freg(rng),
+            fs1: freg(rng),
+            fs2: freg(rng),
+            fs3: freg(rng),
+        },
+        9 => Inst::FUn {
+            op: *rng.pick(&[FpUnOp::Sqrt, FpUnOp::Abs, FpUnOp::Neg, FpUnOp::Mv]),
+            width: width(rng),
+            fd: freg(rng),
+            fs: freg(rng),
+        },
+        10 => Inst::FMvXF {
+            rd: xreg(rng),
+            fs: freg(rng),
+        },
+        11 => Inst::FMvFX {
+            fd: freg(rng),
+            rs: xreg(rng),
+        },
+        12 => Inst::FCvtFX {
+            width: width(rng),
+            fd: freg(rng),
+            rs: xreg(rng),
+        },
+        13 => Inst::FCvtXF {
+            width: width(rng),
+            rd: xreg(rng),
+            fs: freg(rng),
+        },
+        14 => Inst::Branch {
+            cond: *rng.pick(&BR_CONDS),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+            target: near_target(rng, pc, 1 << 12),
+        },
+        15 => Inst::Jal {
+            rd: xreg(rng),
+            target: near_target(rng, pc, 1 << 20),
+        },
+        16 => Inst::Halt,
+        17 => Inst::Nop,
+        18 => Inst::SsStart {
+            u: vreg(rng),
+            dir: *rng.pick(&[Dir::Load, Dir::Store]),
+            width: width(rng),
+            base: xreg(rng),
+            size: xreg(rng),
+            stride: xreg(rng),
+            done: rng.bool(),
+        },
+        19 => Inst::SsApp {
+            u: vreg(rng),
+            offset: xreg(rng),
+            size: xreg(rng),
+            stride: xreg(rng),
+            end: rng.bool(),
+        },
+        20 => Inst::SsAppMod {
+            u: vreg(rng),
+            target: param,
+            behaviour: *rng.pick(&[Behaviour::Add, Behaviour::Sub]),
+            disp: xreg(rng),
+            count: xreg(rng),
+            end: rng.bool(),
+        },
+        21 => Inst::SsAppInd {
+            u: vreg(rng),
+            target: param,
+            behaviour: *rng.pick(&[
+                IndirectBehaviour::SetAdd,
+                IndirectBehaviour::SetSub,
+                IndirectBehaviour::SetValue,
+            ]),
+            origin: vreg(rng),
+            end: rng.bool(),
+        },
+        22 => Inst::SsCtl {
+            op: *rng.pick(&[StreamCtl::Suspend, StreamCtl::Resume, StreamCtl::Stop]),
+            u: vreg(rng),
+        },
+        23 => Inst::SsCfgMem {
+            u: vreg(rng),
+            level: *rng.pick(&[MemLevel::L1, MemLevel::L2, MemLevel::Mem]),
+        },
+        24 => Inst::SsBranch {
+            cond: match rng.below(4) {
+                0 => StreamCond::NotEnd,
+                1 => StreamCond::End,
+                2 => StreamCond::DimNotEnd(rng.below(8) as u8),
+                _ => StreamCond::DimEnd(rng.below(8) as u8),
+            },
+            u: vreg(rng),
+            target: near_target(rng, pc, 1 << 12),
+        },
+        25 => Inst::SsGetVl {
+            rd: xreg(rng),
+            width: width(rng),
+        },
+        26 => Inst::SsSetVl {
+            rd: xreg(rng),
+            rs: xreg(rng),
+            width: width(rng),
+        },
+        27 => Inst::VDup {
+            vd: vreg(rng),
+            src: dup_src(rng),
+            width: width(rng),
+            ty: vtype(rng),
+        },
+        28 => Inst::VMv {
+            vd: vreg(rng),
+            vs: vreg(rng),
+        },
+        29 => Inst::VUn {
+            op: *rng.pick(&[VUnOp::Abs, VUnOp::Neg, VUnOp::Sqrt, VUnOp::Mv]),
+            ty: vtype(rng),
+            width: width(rng),
+            vd: vreg(rng),
+            vs: vreg(rng),
+            pred: pred(rng),
+        },
+        30 => Inst::VArith {
+            op: *rng.pick(&V_OPS),
+            ty: vtype(rng),
+            width: width(rng),
+            vd: vreg(rng),
+            vs1: vreg(rng),
+            vs2: vreg(rng),
+            pred: pred(rng),
+        },
+        31 => Inst::VArithVS {
+            op: *rng.pick(&V_OPS),
+            ty: vtype(rng),
+            width: width(rng),
+            vd: vreg(rng),
+            vs1: vreg(rng),
+            scalar: dup_src(rng),
+            pred: pred(rng),
+        },
+        32 => Inst::VMac {
+            ty: vtype(rng),
+            width: width(rng),
+            vd: vreg(rng),
+            vs1: vreg(rng),
+            vs2: vreg(rng),
+            pred: pred(rng),
+        },
+        33 => Inst::VMacVS {
+            ty: vtype(rng),
+            width: width(rng),
+            vd: vreg(rng),
+            vs1: vreg(rng),
+            scalar: dup_src(rng),
+            pred: pred(rng),
+        },
+        34 => Inst::VRed {
+            op: *rng.pick(&[HorizOp::Add, HorizOp::Max, HorizOp::Min]),
+            ty: vtype(rng),
+            width: width(rng),
+            vd: vreg(rng),
+            vs: vreg(rng),
+            pred: pred(rng),
+        },
+        35 => Inst::VCmp {
+            op: *rng.pick(&[
+                VCmpOp::Eq,
+                VCmpOp::Ne,
+                VCmpOp::Lt,
+                VCmpOp::Le,
+                VCmpOp::Gt,
+                VCmpOp::Ge,
+            ]),
+            ty: vtype(rng),
+            width: width(rng),
+            pd: pred(rng),
+            vs1: vreg(rng),
+            vs2: vreg(rng),
+        },
+        36 => {
+            let op = *rng.pick(&[PredOp::And, PredOp::Or, PredOp::Mov, PredOp::Not]);
+            // The unary forms print without ps2; the assembler reads it
+            // back as p0, so only that form round-trips through text.
+            let ps2 = if matches!(op, PredOp::Mov | PredOp::Not) {
+                PReg::P0
+            } else {
+                pred(rng)
+            };
+            Inst::PredAlu {
+                op,
+                pd: pred(rng),
+                ps1: pred(rng),
+                ps2,
+            }
+        }
+        37 => Inst::PredFromValid {
+            pd: pred(rng),
+            vs: vreg(rng),
+        },
+        38 => Inst::BrPred {
+            cond: *rng.pick(&[PredCond::First, PredCond::Any, PredCond::None]),
+            p: pred(rng),
+            target: near_target(rng, pc, 1 << 12),
+        },
+        39 => Inst::VExtractF {
+            fd: freg(rng),
+            vs: vreg(rng),
+            lane: rng.below(64) as u8,
+            width: width(rng),
+        },
+        40 => Inst::VExtractX {
+            rd: xreg(rng),
+            vs: vreg(rng),
+            lane: rng.below(64) as u8,
+            width: width(rng),
+        },
+        41 => Inst::VLoad {
+            vd: vreg(rng),
+            base: xreg(rng),
+            index: xreg(rng),
+            width: width(rng),
+            pred: pred(rng),
+        },
+        42 => Inst::VStore {
+            vs: vreg(rng),
+            base: xreg(rng),
+            index: xreg(rng),
+            width: width(rng),
+            pred: pred(rng),
+        },
+        43 => Inst::VGather {
+            vd: vreg(rng),
+            base: xreg(rng),
+            idx: vreg(rng),
+            width: width(rng),
+            pred: pred(rng),
+        },
+        44 => Inst::VScatter {
+            vs: vreg(rng),
+            base: xreg(rng),
+            idx: vreg(rng),
+            width: width(rng),
+            pred: pred(rng),
+        },
+        45 => Inst::WhileLt {
+            pd: pred(rng),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+            width: width(rng),
+        },
+        46 => Inst::IncVl {
+            rd: xreg(rng),
+            width: width(rng),
+        },
+        47 => Inst::CntVl {
+            rd: xreg(rng),
+            width: width(rng),
+        },
+        48 => Inst::VLoadPost {
+            vd: vreg(rng),
+            base: xreg(rng),
+            width: width(rng),
+            pred: pred(rng),
+        },
+        _ => Inst::VStorePost {
+            vs: vreg(rng),
+            base: xreg(rng),
+            width: width(rng),
+            pred: pred(rng),
+        },
+    }
+}
+
+fn check_invalid(kind: InvalidEncode) -> Result<(), String> {
+    let (got, want): (Result<u32, EncodeError>, &str) = match kind {
+        InvalidEncode::DimTooLarge(k) => (
+            encode(
+                &Inst::SsBranch {
+                    cond: StreamCond::DimEnd(k),
+                    u: VReg::new(0),
+                    target: 0,
+                },
+                0,
+            ),
+            "DimOutOfRange",
+        ),
+        InvalidEncode::LaneTooLarge(lane) => (
+            encode(
+                &Inst::VExtractX {
+                    rd: XReg::ZERO,
+                    vs: VReg::new(0),
+                    lane,
+                    width: ElemWidth::Word,
+                },
+                0,
+            ),
+            "LaneOutOfRange",
+        ),
+        InvalidEncode::PredTooLarge(p) => (
+            encode(
+                &Inst::VArith {
+                    op: VOp::Add,
+                    ty: VType::Fp,
+                    width: ElemWidth::Word,
+                    vd: VReg::new(0),
+                    vs1: VReg::new(0),
+                    vs2: VReg::new(0),
+                    pred: PReg::new(p),
+                },
+                0,
+            ),
+            "PredOutOfRange",
+        ),
+        InvalidEncode::ImmTooLarge(imm) => (
+            encode(
+                &Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: XReg::ZERO,
+                    rs1: XReg::ZERO,
+                    imm,
+                },
+                0,
+            ),
+            "ImmOutOfRange",
+        ),
+        InvalidEncode::TargetTooFar(target) => (
+            encode(
+                &Inst::Branch {
+                    cond: BrCond::Eq,
+                    rs1: XReg::ZERO,
+                    rs2: XReg::ZERO,
+                    target,
+                },
+                0,
+            ),
+            "TargetOutOfRange",
+        ),
+    };
+    let matches_want = matches!(
+        (&got, kind),
+        (
+            Err(EncodeError::DimOutOfRange { .. }),
+            InvalidEncode::DimTooLarge(_)
+        ) | (
+            Err(EncodeError::LaneOutOfRange { .. }),
+            InvalidEncode::LaneTooLarge(_)
+        ) | (
+            Err(EncodeError::PredOutOfRange { .. }),
+            InvalidEncode::PredTooLarge(_)
+        ) | (
+            Err(EncodeError::ImmOutOfRange { .. }),
+            InvalidEncode::ImmTooLarge(_)
+        ) | (
+            Err(EncodeError::TargetOutOfRange { .. }),
+            InvalidEncode::TargetTooFar(_)
+        )
+    );
+    if matches_want {
+        Ok(())
+    } else {
+        Err(format!("{kind:?}: expected Err({want}), got {got:?}"))
+    }
+}
+
+/// The ISA-codec fuzzer engine.
+pub struct IsaEngine;
+
+impl Engine for IsaEngine {
+    type Case = IsaCase;
+
+    fn name() -> &'static str {
+        "isa"
+    }
+
+    fn generate(rng: &mut FuzzRng) -> IsaCase {
+        let pc = rng.below(1024) as u32;
+        let inst = gen_inst(rng, pc);
+        let raw_words: Vec<u32> = (0..8).map(|_| rng.u64() as u32).collect();
+        let invalid = rng.chance(1, 4).then(|| match rng.below(5) {
+            0 => InvalidEncode::DimTooLarge(rng.range_u64(8, 31) as u8),
+            1 => InvalidEncode::LaneTooLarge(rng.range_u64(64, 255) as u8),
+            2 => InvalidEncode::PredTooLarge(rng.range_u64(8, 15) as u8),
+            3 => InvalidEncode::ImmTooLarge(if rng.bool() {
+                rng.range_i64(2048, 1 << 20) as i32
+            } else {
+                rng.range_i64(-(1 << 20), -2049) as i32
+            }),
+            _ => InvalidEncode::TargetTooFar(rng.range_u64(1 << 13, 1 << 20) as u32),
+        });
+        IsaCase {
+            inst,
+            pc,
+            raw_words,
+            invalid,
+        }
+    }
+
+    fn check(case: &IsaCase) -> Result<(), String> {
+        // 1. Binary round trip at `pc`.
+        let word = encode(&case.inst, case.pc)
+            .map_err(|e| format!("encode({}) failed: {e}", case.inst))?;
+        let back = decode(word, case.pc)
+            .map_err(|e| format!("decode({word:#010x}) of {} failed: {e}", case.inst))?;
+        if back != case.inst {
+            return Err(format!("binary roundtrip: {} decoded as {back}", case.inst));
+        }
+        let word2 = encode(&back, case.pc).map_err(|e| format!("re-encode failed: {e}"))?;
+        if word2 != word {
+            return Err(format!(
+                "re-encode of {} gave {word2:#010x}, expected {word:#010x}",
+                case.inst
+            ));
+        }
+
+        // 2. Text round trip: Display → assemble one-line program.
+        let text = format!("{}\n", case.inst);
+        let prog = assemble("fuzz", &text)
+            .map_err(|e| format!("assemble of {:?} failed: {e}", text.trim()))?;
+        if prog.insts().len() != 1 || prog.insts()[0] != case.inst {
+            return Err(format!(
+                "text roundtrip: {:?} assembled as {:?}",
+                text.trim(),
+                prog.insts()
+            ));
+        }
+
+        // 3. Decode robustness over random words: never panic; every
+        //    decodable word must re-encode to a decodable fixpoint (unused
+        //    high bits may differ, the semantics must not).
+        for &raw in &case.raw_words {
+            match decode(raw, case.pc) {
+                Ok(inst) => {
+                    let re = encode(&inst, case.pc).map_err(|e| {
+                        format!("{raw:#010x} decoded to {inst} which fails to re-encode: {e}")
+                    })?;
+                    let again = decode(re, case.pc).map_err(|e| {
+                        format!("re-encoded {re:#010x} of {inst} fails to decode: {e}")
+                    })?;
+                    if again != inst {
+                        return Err(format!(
+                            "decode fixpoint violation: {raw:#010x} → {inst} → {re:#010x} → \
+                             {again}"
+                        ));
+                    }
+                }
+                Err(DecodeError::BadOpcode(_) | DecodeError::BadField { .. }) => {}
+            }
+        }
+
+        // 4. Typed rejection of out-of-range constructions.
+        if let Some(kind) = case.invalid {
+            check_invalid(kind)?;
+        }
+        Ok(())
+    }
+
+    fn shrink(case: &IsaCase) -> Vec<IsaCase> {
+        let mut out = Vec::new();
+        if case.invalid.is_some() {
+            let mut c = case.clone();
+            c.invalid = None;
+            out.push(c);
+        }
+        if !case.raw_words.is_empty() {
+            // Try dropping the raw sweep entirely, then halving it.
+            let mut c = case.clone();
+            c.raw_words.clear();
+            out.push(c);
+            for i in 0..case.raw_words.len() {
+                let mut c = case.clone();
+                c.raw_words.remove(i);
+                out.push(c);
+            }
+        }
+        if case.pc != 0 {
+            let mut c = case.clone();
+            c.pc = 0;
+            // Branch targets are PC-relative: moving the instruction to
+            // pc 0 keeps a forward target encodable.
+            out.push(c);
+        }
+        if case.inst != Inst::Nop {
+            let mut c = case.clone();
+            c.inst = Inst::Nop;
+            out.push(c);
+        }
+        out
+    }
+}

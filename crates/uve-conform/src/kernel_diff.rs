@@ -1,0 +1,296 @@
+//! Differential fuzzing of the kernel suite across flavors and vector
+//! lengths.
+//!
+//! Each case picks one of the paper's kernels (Fig. 8, rows A–S) at a
+//! random valid problem size and:
+//!
+//! 1. runs it in all four [`Flavor`]s, checking committed memory against
+//!    the kernel's Rust reference (`Benchmark::check`);
+//! 2. validates stream-trace invariants of the UVE run: chunk validity in
+//!    `1..=lanes`, and a nonzero element count for every stream;
+//! 3. re-runs the UVE program at 16- and 32-byte vector lengths and diffs
+//!    the per-stream element totals against the 64-byte run — the stream
+//!    descriptor semantics are vector-length-invariant, so the totals (and
+//!    the memory result) must not change.
+//!
+//! Kernel sizes are drawn small enough that a few thousand cases finish in
+//! seconds, yet cover the boundary cases fixed problem sizes never hit
+//! (non-multiple-of-VLEN lengths, single-row matrices, minimum stencils).
+
+use crate::rng::FuzzRng;
+use crate::Engine;
+use uve_core::{EmuConfig, Emulator, StreamTrace};
+use uve_kernels::{
+    covariance::Covariance, floyd::FloydWarshall, gemm::Gemm, gemver::Gemver, haccmk::Haccmk,
+    irsmk::Irsmk, jacobi::Jacobi1d, jacobi::Jacobi2d, knn::Knn, mamr::Mamr, memcpy::Memcpy,
+    mvt::Mvt, saxpy::Saxpy, seidel::Seidel2d, stream::Stream, threemm::ThreeMm, trisolv::Trisolv,
+    Benchmark, Flavor,
+};
+use uve_mem::Memory;
+
+/// Which kernel a case instantiates, with its randomized size parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelCase {
+    /// `memcpy(n)`.
+    Memcpy(usize),
+    /// STREAM triad family at `n` elements.
+    Stream(usize),
+    /// `y = a*x + y` over `n` elements.
+    Saxpy(usize),
+    /// Dense `ni × nk × nj` matrix multiply (`nj` multiple of 16).
+    Gemm(usize, usize, usize),
+    /// Three chained multiplies at `n × n` (`n` multiple of 16).
+    ThreeMm(usize),
+    /// `x1 += A y1; x2 += Aᵀ y2` at `n`.
+    Mvt(usize),
+    /// BLAS gemver at `n`.
+    Gemver(usize),
+    /// Triangular solve at `n ≥ 2`.
+    Trisolv(usize),
+    /// 1-D Jacobi, `n ≥ 3` points, `t` steps.
+    Jacobi1d(usize, usize),
+    /// 2-D Jacobi, `n ≥ 3`, `t` steps.
+    Jacobi2d(usize, usize),
+    /// 3-D 27-point stencil, `n ≥ 548`.
+    Irsmk(usize),
+    /// HACC force kernel at `n` particles.
+    Haccmk(usize),
+    /// k-nearest distances, `n` points × `dim` coordinates.
+    Knn(usize, usize),
+    /// Covariance of an `n × m` sample matrix (`m` multiple of 16).
+    Covariance(usize, usize),
+    /// MAMR full-matrix mode at `n`.
+    MamrFull(usize),
+    /// MAMR diagonal mode at `n`.
+    MamrDiag(usize),
+    /// MAMR indirect (CSR-like) mode at `n`.
+    MamrIndirect(usize),
+    /// Gauss–Seidel 2-D, `n ≥ 3`, `t` steps.
+    Seidel2d(usize, usize),
+    /// All-pairs shortest paths at `n` vertices.
+    Floyd(usize),
+}
+
+impl KernelCase {
+    /// Instantiates the benchmark.
+    pub fn bench(&self) -> Box<dyn Benchmark> {
+        match *self {
+            KernelCase::Memcpy(n) => Box::new(Memcpy::new(n)),
+            KernelCase::Stream(n) => Box::new(Stream::new(n)),
+            KernelCase::Saxpy(n) => Box::new(Saxpy::new(n)),
+            KernelCase::Gemm(ni, nj, nk) => Box::new(Gemm::new(ni, nj, nk)),
+            KernelCase::ThreeMm(n) => Box::new(ThreeMm::new(n)),
+            KernelCase::Mvt(n) => Box::new(Mvt::new(n)),
+            KernelCase::Gemver(n) => Box::new(Gemver::new(n)),
+            KernelCase::Trisolv(n) => Box::new(Trisolv::new(n)),
+            KernelCase::Jacobi1d(n, t) => Box::new(Jacobi1d::new(n, t)),
+            KernelCase::Jacobi2d(n, t) => Box::new(Jacobi2d::new(n, t)),
+            KernelCase::Irsmk(n) => Box::new(Irsmk::new(n)),
+            KernelCase::Haccmk(n) => Box::new(Haccmk::new(n)),
+            KernelCase::Knn(n, d) => Box::new(Knn::new(n, d)),
+            KernelCase::Covariance(m, n) => Box::new(Covariance::new(m, n)),
+            KernelCase::MamrFull(n) => Box::new(Mamr::full(n)),
+            KernelCase::MamrDiag(n) => Box::new(Mamr::diag(n)),
+            KernelCase::MamrIndirect(n) => Box::new(Mamr::indirect(n)),
+            KernelCase::Seidel2d(n, t) => Box::new(Seidel2d::new(n, t)),
+            KernelCase::Floyd(n) => Box::new(FloydWarshall::new(n)),
+        }
+    }
+
+    /// Shrunk-size candidates (smaller instances of the same kernel).
+    fn smaller(&self) -> Vec<KernelCase> {
+        use KernelCase::*;
+        fn half(n: usize, min: usize) -> Option<usize> {
+            (n > min).then(|| (n / 2).max(min))
+        }
+        match *self {
+            Memcpy(n) => half(n, 1).map(Memcpy).into_iter().collect(),
+            Stream(n) => half(n, 1).map(Stream).into_iter().collect(),
+            Saxpy(n) => half(n, 1).map(Saxpy).into_iter().collect(),
+            Gemm(ni, nj, nk) => {
+                let mut v = Vec::new();
+                if let Some(m) = half(ni, 1) {
+                    v.push(Gemm(m, nj, nk));
+                }
+                if nj > 16 {
+                    v.push(Gemm(ni, 16, nk));
+                }
+                if let Some(m) = half(nk, 1) {
+                    v.push(Gemm(ni, nj, m));
+                }
+                v
+            }
+            ThreeMm(n) => (n > 16).then_some(ThreeMm(16)).into_iter().collect(),
+            Mvt(n) => half(n, 1).map(Mvt).into_iter().collect(),
+            Gemver(n) => half(n, 1).map(Gemver).into_iter().collect(),
+            Trisolv(n) => half(n, 2).map(Trisolv).into_iter().collect(),
+            Jacobi1d(n, t) => {
+                let mut v: Vec<_> = half(n, 3).map(|m| Jacobi1d(m, t)).into_iter().collect();
+                if t > 1 {
+                    v.push(Jacobi1d(n, 1));
+                }
+                v
+            }
+            Jacobi2d(n, t) => {
+                let mut v: Vec<_> = half(n, 3).map(|m| Jacobi2d(m, t)).into_iter().collect();
+                if t > 1 {
+                    v.push(Jacobi2d(n, 1));
+                }
+                v
+            }
+            Irsmk(n) => half(n, 548).map(Irsmk).into_iter().collect(),
+            Haccmk(n) => half(n, 1).map(Haccmk).into_iter().collect(),
+            Knn(n, d) => {
+                let mut v: Vec<_> = half(n, 1).map(|m| Knn(m, d)).into_iter().collect();
+                if let Some(m) = half(d, 1) {
+                    v.push(Knn(n, m));
+                }
+                v
+            }
+            Covariance(m, n) => {
+                let mut v = Vec::new();
+                if m > 16 {
+                    v.push(Covariance(16, n));
+                }
+                if let Some(k) = half(n, 2) {
+                    v.push(Covariance(m, k));
+                }
+                v
+            }
+            MamrFull(n) => half(n, 1).map(MamrFull).into_iter().collect(),
+            MamrDiag(n) => half(n, 1).map(MamrDiag).into_iter().collect(),
+            MamrIndirect(n) => half(n, 1).map(MamrIndirect).into_iter().collect(),
+            Seidel2d(n, t) => {
+                let mut v: Vec<_> = half(n, 3).map(|m| Seidel2d(m, t)).into_iter().collect();
+                if t > 1 {
+                    v.push(Seidel2d(n, 1));
+                }
+                v
+            }
+            Floyd(n) => half(n, 1).map(Floyd).into_iter().collect(),
+        }
+    }
+}
+
+fn gen_case(rng: &mut FuzzRng) -> KernelCase {
+    match rng.below(19) {
+        0 => KernelCase::Memcpy(rng.range_usize(1, 256)),
+        1 => KernelCase::Stream(rng.range_usize(1, 256)),
+        2 => KernelCase::Saxpy(rng.range_usize(1, 256)),
+        3 => KernelCase::Gemm(
+            rng.range_usize(1, 6),
+            16 * rng.range_usize(1, 2),
+            rng.range_usize(1, 6),
+        ),
+        4 => KernelCase::ThreeMm(16 * rng.range_usize(1, 2)),
+        5 => KernelCase::Mvt(rng.range_usize(1, 48)),
+        6 => KernelCase::Gemver(rng.range_usize(1, 48)),
+        7 => KernelCase::Trisolv(rng.range_usize(2, 48)),
+        8 => KernelCase::Jacobi1d(rng.range_usize(3, 256), rng.range_usize(1, 3)),
+        9 => KernelCase::Jacobi2d(rng.range_usize(3, 20), rng.range_usize(1, 2)),
+        10 => KernelCase::Irsmk(rng.range_usize(548, 640)),
+        11 => KernelCase::Haccmk(rng.range_usize(1, 48)),
+        12 => KernelCase::Knn(rng.range_usize(1, 96), rng.range_usize(1, 8)),
+        13 => KernelCase::Covariance(16 * rng.range_usize(1, 2), rng.range_usize(2, 20)),
+        14 => KernelCase::MamrFull(rng.range_usize(1, 40)),
+        15 => KernelCase::MamrDiag(rng.range_usize(1, 40)),
+        16 => KernelCase::MamrIndirect(rng.range_usize(1, 40)),
+        17 => KernelCase::Seidel2d(rng.range_usize(3, 20), rng.range_usize(1, 2)),
+        _ => KernelCase::Floyd(rng.range_usize(1, 20)),
+    }
+}
+
+/// Runs `bench`'s UVE program at an explicit vector length, checks the
+/// memory result, and returns the stream traces.
+fn run_uve_at(bench: &dyn Benchmark, vlen_bytes: usize) -> Result<Vec<StreamTrace>, String> {
+    let cfg = EmuConfig {
+        vlen_bytes,
+        ..EmuConfig::default()
+    };
+    let mut emu = Emulator::new(cfg, Memory::new());
+    bench.setup(&mut emu);
+    let program = bench.program(Flavor::Uve);
+    let result = emu
+        .run(&program)
+        .map_err(|e| format!("{}/uve@vl{vlen_bytes}: {e}", bench.name()))?;
+    bench
+        .check(&emu)
+        .map_err(|e| format!("{}/uve@vl{vlen_bytes}: {e}", bench.name()))?;
+    Ok(result.trace.streams)
+}
+
+/// Per-stream summary used for the cross-vector-length diff.
+fn summarize(streams: &[StreamTrace]) -> Vec<(u8, uve_isa::Dir, uve_isa::MemLevel, u64)> {
+    streams
+        .iter()
+        .map(|s| (s.u, s.dir, s.level, s.elements()))
+        .collect()
+}
+
+/// The kernel-differ engine.
+pub struct KernelEngine;
+
+impl Engine for KernelEngine {
+    type Case = KernelCase;
+
+    fn name() -> &'static str {
+        "kernel"
+    }
+
+    fn generate(rng: &mut FuzzRng) -> KernelCase {
+        gen_case(rng)
+    }
+
+    fn check(case: &KernelCase) -> Result<(), String> {
+        let bench = case.bench();
+
+        // 1. Every flavor against the Rust reference.
+        for flavor in Flavor::all() {
+            uve_kernels::run_checked(bench.as_ref(), flavor).map_err(|e| e.to_string())?;
+        }
+
+        // 2 + 3. UVE stream-trace invariants and vector-length invariance.
+        let base = run_uve_at(bench.as_ref(), Flavor::Uve.vlen_bytes())?;
+        for s in &base {
+            let lanes = Flavor::Uve.vlen_bytes() / s.width.bytes();
+            for (i, c) in s.chunks.iter().enumerate() {
+                if c.valid < 1 || c.valid as usize > lanes {
+                    return Err(format!(
+                        "{}: stream u{} chunk {i} has valid {} outside 1..={lanes}",
+                        bench.name(),
+                        s.u,
+                        c.valid
+                    ));
+                }
+            }
+            // Indirection-origin streams legitimately transfer zero
+            // elements: their pattern is absorbed into the indirect
+            // stream's modifier at configuration time and their lines are
+            // billed to the consuming stream. Output streams, by contrast,
+            // must always commit data.
+            if s.dir == uve_isa::Dir::Store && s.elements() == 0 {
+                return Err(format!(
+                    "{}: store stream u{} moved no elements",
+                    bench.name(),
+                    s.u
+                ));
+            }
+        }
+        let want = summarize(&base);
+        for vlen in [16usize, 32] {
+            let got = summarize(&run_uve_at(bench.as_ref(), vlen)?);
+            if got != want {
+                return Err(format!(
+                    "{}: stream summary at vl{vlen} differs from vl64:\n  vl{vlen}: {got:?}\n  \
+                     vl64:  {want:?}",
+                    bench.name()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn shrink(case: &KernelCase) -> Vec<KernelCase> {
+        case.smaller()
+    }
+}

@@ -1,0 +1,720 @@
+//! Differential fuzzing of the stream descriptor walker.
+//!
+//! Each case generates a random valid [`Pattern`] spec (1–8 dims, up to 7
+//! static/indirect modifiers, every element width) and checks the
+//! production iterative [`Walker`] against [`oracle`], a deliberately
+//! naive recursive interpretation of the descriptor semantics (Sec. II of
+//! the paper): nested loops innermost-first, modifiers applied once per
+//! iteration of their binding dimension, indirect values read from the
+//! origin stream and combined with the *original* static parameter.
+//!
+//! On top of the element sequence the case also cross-checks:
+//! - end-flag chains (`EndFlags`) per element, including the stream bit;
+//! - `Pattern::count` against the oracle length;
+//! - `VectorWalker` chunk partitioning (valid bounds, no dimension-0
+//!   crossing, chunk flags);
+//! - `SavedWalker` capture/restore at a random element cut — mid-vector in
+//!   general — resuming to an identical suffix;
+//! - builder rejection of deliberately invalid descriptors
+//!   ([`PatternError`] boundary cases).
+
+use crate::rng::FuzzRng;
+use crate::Engine;
+use uve_stream::{
+    Behaviour, ElemWidth, IndirectBehaviour, Param, Pattern, PatternError, SavedWalker,
+    SliceMemory, StreamMemory, VectorWalker, Walker, MAX_DIMS, MAX_MODIFIERS,
+};
+
+/// Oracle element cap: patterns can legally describe streams far larger
+/// than anything worth diffing exhaustively. Beyond the cap only the
+/// prefix is compared and the length-dependent checks are skipped.
+const CAP: usize = 1 << 13;
+
+/// A static-modifier spec.
+#[derive(Debug, Clone)]
+pub struct StaticSpec {
+    /// Parameter of the next-inner dimension it updates.
+    pub target: Param,
+    /// Add or subtract.
+    pub behaviour: Behaviour,
+    /// Displacement per application.
+    pub disp: i64,
+    /// Application budget.
+    pub count: u64,
+}
+
+/// An indirect-modifier spec; the origin is a plain (modifier-free)
+/// pattern spec, as nested indirection is architecturally forbidden.
+#[derive(Debug, Clone)]
+pub struct IndirectSpec {
+    /// Parameter of the next-inner dimension it sets.
+    pub target: Param,
+    /// Combination rule with the original static value.
+    pub behaviour: IndirectBehaviour,
+    /// Origin stream (no modifiers).
+    pub origin: PatternSpec,
+}
+
+/// One dimension plus the modifiers bound to it.
+#[derive(Debug, Clone)]
+pub struct DimSpec {
+    /// Initial offset (elements).
+    pub offset: i64,
+    /// Initial size (iterations).
+    pub size: u64,
+    /// Initial stride (elements).
+    pub stride: i64,
+    /// Static modifiers, in declaration order.
+    pub statics: Vec<StaticSpec>,
+    /// Indirect modifiers, in declaration order.
+    pub indirects: Vec<IndirectSpec>,
+}
+
+impl DimSpec {
+    fn plain(offset: i64, size: u64, stride: i64) -> Self {
+        Self {
+            offset,
+            size,
+            stride,
+            statics: Vec::new(),
+            indirects: Vec::new(),
+        }
+    }
+}
+
+/// A buildable pattern description, index 0 innermost.
+#[derive(Debug, Clone)]
+pub struct PatternSpec {
+    /// Base byte address.
+    pub base: u64,
+    /// Element width.
+    pub width: ElemWidth,
+    /// Dimensions, innermost first.
+    pub dims: Vec<DimSpec>,
+}
+
+impl PatternSpec {
+    /// Builds the production [`Pattern`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PatternError`] from the builder.
+    pub fn build(&self) -> Result<Pattern, PatternError> {
+        let mut b = Pattern::builder(self.base, self.width);
+        for d in &self.dims {
+            b = b.dim(d.offset, d.size, d.stride);
+            for s in &d.statics {
+                b = b.static_mod(s.target, s.behaviour, s.disp, s.count);
+            }
+            for i in &d.indirects {
+                b = b.indirect_mod(i.target, i.behaviour, i.origin.build()?);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Deliberately invalid construction, checked to produce the exact
+/// [`PatternError`] boundary variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidBuild {
+    /// `n > MAX_DIMS` dimensions.
+    TooManyDims(usize),
+    /// `n > MAX_MODIFIERS` static modifiers.
+    TooManyModifiers(usize),
+    /// A modifier on the single (innermost) dimension.
+    ModifierOnInnermost,
+    /// A base not aligned to the element width.
+    Misaligned,
+    /// No dimensions at all.
+    NoDims,
+    /// An indirect origin that is itself indirect.
+    NestedIndirection,
+}
+
+/// One pattern-fuzzer case.
+#[derive(Debug, Clone)]
+pub struct PatternCase {
+    /// The descriptor under test.
+    pub spec: PatternSpec,
+    /// Vector length in elements for the chunking checks.
+    pub vl: usize,
+    /// Raw selector for the save/restore cut (reduced mod stream length).
+    pub cut_sel: u64,
+    /// Backing values for indirect origins.
+    pub mem: Vec<i64>,
+    /// Optional invalid-build side check.
+    pub invalid: Option<InvalidBuild>,
+}
+
+/// Oracle output: `(address, end-flag bits)` per element.
+pub struct OracleOut {
+    /// Elements in stream order.
+    pub elems: Vec<(u64, u16)>,
+    /// Whether generation stopped at [`CAP`].
+    pub truncated: bool,
+}
+
+/// The naive recursive reference interpretation of a descriptor.
+///
+/// Works directly on the spec (not the built `Pattern`) with explicit
+/// nested loops; shares nothing with the iterative walker except the
+/// `StreamMemory` trait used to read indirection origins.
+pub fn oracle<M: StreamMemory>(spec: &PatternSpec, mem: &M) -> OracleOut {
+    struct St<'a> {
+        spec: &'a PatternSpec,
+        /// Working `(offset, size, stride)` per dim, updated by modifiers.
+        wd: Vec<(i64, u64, i64)>,
+        /// Remaining application budget per static modifier.
+        budget: Vec<Vec<u64>>,
+        /// Pre-walked origin values and a consumption cursor per indirect.
+        origins: Vec<Vec<(Vec<i64>, usize)>>,
+        idx: Vec<u64>,
+        /// `(j, captured size)` of each open loop, indexed by dim.
+        frames: Vec<(u64, u64)>,
+        out: Vec<(u64, u16)>,
+        truncated: bool,
+    }
+
+    impl St<'_> {
+        fn apply_mods(&mut self, k: usize) {
+            let d = &self.spec.dims[k];
+            for (i, s) in d.statics.iter().enumerate() {
+                if self.budget[k][i] == 0 {
+                    continue;
+                }
+                self.budget[k][i] -= 1;
+                let delta = match s.behaviour {
+                    Behaviour::Add => s.disp,
+                    Behaviour::Sub => -s.disp,
+                };
+                let t = &mut self.wd[k - 1];
+                match s.target {
+                    Param::Offset => t.0 = t.0.wrapping_add(delta),
+                    Param::Size => t.1 = (t.1 as i64).wrapping_add(delta).max(0) as u64,
+                    Param::Stride => t.2 = t.2.wrapping_add(delta),
+                }
+            }
+            for (i, ind) in d.indirects.iter().enumerate() {
+                let (values, pos) = &mut self.origins[k][i];
+                let value = values.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                let orig = &self.spec.dims[k - 1];
+                let original = match ind.target {
+                    Param::Offset => orig.offset,
+                    Param::Size => orig.size as i64,
+                    Param::Stride => orig.stride,
+                };
+                let new = match ind.behaviour {
+                    IndirectBehaviour::SetAdd => original.wrapping_add(value),
+                    IndirectBehaviour::SetSub => original.wrapping_sub(value),
+                    IndirectBehaviour::SetValue => value,
+                };
+                let t = &mut self.wd[k - 1];
+                match ind.target {
+                    Param::Offset => t.0 = new,
+                    Param::Size => t.1 = new.max(0) as u64,
+                    Param::Stride => t.2 = new,
+                }
+            }
+        }
+
+        fn addr(&self) -> u64 {
+            let mut sum: i64 = 0;
+            for (k, &(off, _, stride)) in self.wd.iter().enumerate() {
+                sum = sum.wrapping_add(off.wrapping_add((self.idx[k] as i64).wrapping_mul(stride)));
+            }
+            self.spec
+                .base
+                .wrapping_add((sum as u64).wrapping_mul(self.spec.width.bytes() as u64))
+        }
+
+        /// Flag bits for the element just emitted: the consecutive chain
+        /// of loops this element completes.
+        fn flags(&self) -> u16 {
+            let mut bits = 0u16;
+            for (k, &(j, size)) in self.frames.iter().enumerate() {
+                if j + 1 == size {
+                    bits |= 1 << k;
+                } else {
+                    break;
+                }
+            }
+            bits
+        }
+
+        fn run(&mut self, k: usize) {
+            let size = self.wd[k].1; // captured: fixed for this run
+            for j in 0..size {
+                if self.truncated {
+                    return;
+                }
+                self.idx[k] = j;
+                self.frames[k] = (j, size);
+                if k == 0 {
+                    if self.out.len() == CAP {
+                        self.truncated = true;
+                        return;
+                    }
+                    self.out.push((self.addr(), self.flags()));
+                } else {
+                    self.apply_mods(k);
+                    self.run(k - 1);
+                }
+            }
+        }
+    }
+
+    // Origin streams carry no modifiers, so their value sequence can be
+    // fully precomputed with plain loops.
+    fn origin_values<M: StreamMemory>(o: &PatternSpec, mem: &M) -> Vec<i64> {
+        let mut addrs: Vec<u64> = vec![];
+        let mut idx = vec![0u64; o.dims.len()];
+        'all: loop {
+            let mut sum: i64 = 0;
+            for (k, d) in o.dims.iter().enumerate() {
+                if d.size == 0 {
+                    break 'all;
+                }
+                sum = sum.wrapping_add(
+                    d.offset
+                        .wrapping_add((idx[k] as i64).wrapping_mul(d.stride)),
+                );
+            }
+            addrs.push(
+                o.base
+                    .wrapping_add((sum as u64).wrapping_mul(o.width.bytes() as u64)),
+            );
+            if addrs.len() >= CAP {
+                break;
+            }
+            let mut k = 0;
+            loop {
+                if k == o.dims.len() {
+                    break 'all;
+                }
+                idx[k] += 1;
+                if idx[k] < o.dims[k].size {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+        addrs.into_iter().map(|a| mem.load(a, o.width)).collect()
+    }
+
+    let n = spec.dims.len();
+    let mut st = St {
+        spec,
+        wd: spec
+            .dims
+            .iter()
+            .map(|d| (d.offset, d.size, d.stride))
+            .collect(),
+        budget: spec
+            .dims
+            .iter()
+            .map(|d| d.statics.iter().map(|s| s.count).collect())
+            .collect(),
+        origins: spec
+            .dims
+            .iter()
+            .map(|d| {
+                d.indirects
+                    .iter()
+                    .map(|i| (origin_values(&i.origin, mem), 0))
+                    .collect()
+            })
+            .collect(),
+        idx: vec![0; n],
+        frames: vec![(0, 0); n],
+        out: Vec::new(),
+        truncated: false,
+    };
+    st.run(n - 1);
+    let mut out = OracleOut {
+        elems: st.out,
+        truncated: st.truncated,
+    };
+    if !out.truncated {
+        if let Some(last) = out.elems.last_mut() {
+            last.1 |= 1 << 15; // stream-end bit on the final element
+        }
+    }
+    out
+}
+
+fn gen_origin(rng: &mut FuzzRng) -> PatternSpec {
+    let width = *rng.pick(&ElemWidth::all());
+    let ndims = rng.range_usize(1, 2);
+    let mut dims = Vec::new();
+    for _ in 0..ndims {
+        dims.push(DimSpec::plain(
+            rng.range_i64(0, 4),
+            rng.range_u64(0, 8),
+            rng.range_i64(0, 3),
+        ));
+    }
+    PatternSpec {
+        // Small aligned base so origin reads land inside the value table.
+        base: rng.below(8) * 8,
+        width,
+        dims,
+    }
+}
+
+fn gen_spec(rng: &mut FuzzRng) -> PatternSpec {
+    let width = *rng.pick(&ElemWidth::all());
+    // Weight dimension count toward small, cover up to MAX_DIMS.
+    let ndims = match rng.below(10) {
+        0..=3 => rng.range_usize(1, 2),
+        4..=7 => rng.range_usize(3, 4),
+        _ => rng.range_usize(5, MAX_DIMS),
+    };
+    // Deep nests get small extents so most cases stay under the cap.
+    let max_size = if ndims <= 3 { 6 } else { 3 };
+    let mut dims: Vec<DimSpec> = (0..ndims)
+        .map(|_| {
+            DimSpec::plain(
+                rng.range_i64(-8, 8),
+                rng.range_u64(0, max_size),
+                rng.range_i64(-8, 8),
+            )
+        })
+        .collect();
+    // The whole stream is empty unless the outermost size is nonzero most
+    // of the time.
+    if dims[ndims - 1].size == 0 && rng.chance(7, 8) {
+        dims[ndims - 1].size = rng.range_u64(1, max_size);
+    }
+    // 0..=MAX_MODIFIERS modifiers spread over non-innermost dims.
+    if ndims > 1 {
+        let nmods = rng.below(MAX_MODIFIERS as u64 + 1);
+        for _ in 0..nmods {
+            let k = rng.range_usize(1, ndims - 1);
+            let target = *rng.pick(&[Param::Offset, Param::Size, Param::Stride]);
+            if rng.chance(2, 3) {
+                dims[k].statics.push(StaticSpec {
+                    target,
+                    behaviour: *rng.pick(&[Behaviour::Add, Behaviour::Sub]),
+                    disp: rng.range_i64(0, 3),
+                    count: rng.range_u64(0, 6),
+                });
+            } else {
+                dims[k].indirects.push(IndirectSpec {
+                    target,
+                    behaviour: *rng.pick(&[
+                        IndirectBehaviour::SetAdd,
+                        IndirectBehaviour::SetSub,
+                        IndirectBehaviour::SetValue,
+                    ]),
+                    origin: gen_origin(rng),
+                });
+            }
+        }
+    }
+    PatternSpec {
+        base: rng.below(512) * 8,
+        width,
+        dims,
+    }
+}
+
+fn gen_invalid(rng: &mut FuzzRng) -> InvalidBuild {
+    match rng.below(6) {
+        0 => InvalidBuild::TooManyDims(rng.range_usize(MAX_DIMS + 1, MAX_DIMS + 4)),
+        1 => InvalidBuild::TooManyModifiers(rng.range_usize(MAX_MODIFIERS + 1, MAX_MODIFIERS + 3)),
+        2 => InvalidBuild::ModifierOnInnermost,
+        3 => InvalidBuild::Misaligned,
+        4 => InvalidBuild::NoDims,
+        _ => InvalidBuild::NestedIndirection,
+    }
+}
+
+fn check_invalid(kind: InvalidBuild) -> Result<(), String> {
+    let got = match kind {
+        InvalidBuild::TooManyDims(n) => {
+            let mut b = Pattern::builder(0, ElemWidth::Word);
+            for _ in 0..n {
+                b = b.dim(0, 1, 1);
+            }
+            b.build().err()
+        }
+        InvalidBuild::TooManyModifiers(n) => {
+            let mut b = Pattern::builder(0, ElemWidth::Word)
+                .dim(0, 1, 1)
+                .dim(0, 1, 1);
+            for _ in 0..n {
+                b = b.static_mod(Param::Offset, Behaviour::Add, 1, 1);
+            }
+            b.build().err()
+        }
+        InvalidBuild::ModifierOnInnermost => Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 1, 1)
+            .static_mod(Param::Offset, Behaviour::Add, 1, 1)
+            .build()
+            .err(),
+        InvalidBuild::Misaligned => Pattern::builder(2, ElemWidth::Word)
+            .dim(0, 1, 1)
+            .build()
+            .err(),
+        InvalidBuild::NoDims => Pattern::builder(0, ElemWidth::Word).build().err(),
+        InvalidBuild::NestedIndirection => {
+            let inner = Pattern::linear(0, ElemWidth::Word, 4).unwrap();
+            let origin = Pattern::builder(0, ElemWidth::Word)
+                .dim(0, 1, 0)
+                .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, inner, 4)
+                .build()
+                .unwrap();
+            Pattern::builder(0, ElemWidth::Word)
+                .dim(0, 1, 0)
+                .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, origin, 4)
+                .build()
+                .err()
+        }
+    };
+    let ok = matches!(
+        (kind, &got),
+        (InvalidBuild::TooManyDims(n), Some(PatternError::TooManyDims(m))) if n == *m
+    ) || matches!(
+        (kind, &got),
+        (InvalidBuild::TooManyModifiers(n), Some(PatternError::TooManyModifiers(m))) if n == *m
+    ) || matches!(
+        (kind, &got),
+        (
+            InvalidBuild::ModifierOnInnermost,
+            Some(PatternError::ModifierOnInnermost)
+        ) | (
+            InvalidBuild::Misaligned,
+            Some(PatternError::Misaligned { .. })
+        ) | (InvalidBuild::NoDims, Some(PatternError::NoDims))
+            | (
+                InvalidBuild::NestedIndirection,
+                Some(PatternError::NestedIndirection)
+            )
+    );
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("invalid build {kind:?} produced {got:?}"))
+    }
+}
+
+/// The pattern-fuzzer engine.
+pub struct PatternEngine;
+
+impl Engine for PatternEngine {
+    type Case = PatternCase;
+
+    fn name() -> &'static str {
+        "pattern"
+    }
+
+    fn generate(rng: &mut FuzzRng) -> PatternCase {
+        let spec = gen_spec(rng);
+        let mem: Vec<i64> = (0..64).map(|_| rng.range_i64(-8, 8)).collect();
+        PatternCase {
+            spec,
+            vl: rng.range_usize(1, 16),
+            cut_sel: rng.u64(),
+            mem,
+            invalid: rng.chance(1, 4).then(|| gen_invalid(rng)),
+        }
+    }
+
+    fn check(case: &PatternCase) -> Result<(), String> {
+        if let Some(kind) = case.invalid {
+            check_invalid(kind)?;
+        }
+        let mem = SliceMemory::new(case.mem.clone());
+        let pat = case
+            .spec
+            .build()
+            .map_err(|e| format!("valid spec rejected: {e}"))?;
+        let expect = oracle(&case.spec, &mem);
+
+        // 1. Element sequence + end flags, walker vs oracle.
+        let mut w = Walker::new(&pat);
+        for (i, &(addr, bits)) in expect.elems.iter().enumerate() {
+            let e = w
+                .next_elem(&mem)
+                .ok_or_else(|| format!("walker exhausted at element {i}, oracle has more"))?;
+            if e.addr != addr || e.ends.bits() != bits {
+                return Err(format!(
+                    "element {i}: walker (addr {:#x}, ends {:#06x}) vs oracle (addr {addr:#x}, \
+                     ends {bits:#06x})",
+                    e.addr,
+                    e.ends.bits()
+                ));
+            }
+        }
+        if !expect.truncated {
+            if let Some(e) = w.next_elem(&mem) {
+                return Err(format!(
+                    "walker continues past oracle end with addr {:#x}",
+                    e.addr
+                ));
+            }
+            // 2. `count` agrees with the full walk.
+            let n = pat.count(&mem);
+            if n != expect.elems.len() as u64 {
+                return Err(format!(
+                    "count() = {n}, oracle length = {}",
+                    expect.elems.len()
+                ));
+            }
+        }
+
+        // 3. Vector chunk partitioning.
+        let mut vw = VectorWalker::new(&pat, case.vl);
+        let mut pos = 0usize;
+        while let Some(c) = vw.next_chunk(&mem) {
+            if c.valid < 1 || c.valid > case.vl || c.addrs.len() != c.valid {
+                return Err(format!(
+                    "chunk at {pos}: valid {} outside 1..={} (addrs {})",
+                    c.valid,
+                    case.vl,
+                    c.addrs.len()
+                ));
+            }
+            if pos + c.valid > expect.elems.len() {
+                if expect.truncated {
+                    pos += c.valid;
+                    break; // compared the capped prefix
+                }
+                return Err(format!(
+                    "chunks overrun the walk: {} > {}",
+                    pos + c.valid,
+                    expect.elems.len()
+                ));
+            }
+            for (off, &a) in c.addrs.iter().enumerate() {
+                let (want, bits) = expect.elems[pos + off];
+                if a != want {
+                    return Err(format!(
+                        "chunk element {}: addr {a:#x} vs oracle {want:#x}",
+                        pos + off
+                    ));
+                }
+                if off + 1 < c.valid && bits & 1 != 0 {
+                    return Err(format!(
+                        "chunk crosses a dimension-0 boundary at element {}",
+                        pos + off
+                    ));
+                }
+            }
+            let last_bits = expect.elems[pos + c.valid - 1].1;
+            if c.ends.bits() != last_bits {
+                return Err(format!(
+                    "chunk ends {:#06x} vs oracle flags {last_bits:#06x} at element {}",
+                    c.ends.bits(),
+                    pos + c.valid - 1
+                ));
+            }
+            pos += c.valid;
+        }
+        if !expect.truncated && pos != expect.elems.len() {
+            return Err(format!(
+                "chunks cover {pos} of {} elements",
+                expect.elems.len()
+            ));
+        }
+
+        // 4. Save/restore at a random (generally mid-vector) cut.
+        let limit = expect.elems.len().min(CAP);
+        let cut = (case.cut_sel % (limit as u64 + 1)) as usize;
+        let mut w1 = Walker::new(&pat);
+        for _ in 0..cut {
+            w1.next_elem(&mem);
+        }
+        let saved = SavedWalker::capture(&w1);
+        let mut w2 = Walker::new(&pat);
+        saved.restore(&mut w2, &mem);
+        for (i, &(addr, bits)) in expect.elems[cut..].iter().enumerate() {
+            let e = w2.next_elem(&mem).ok_or_else(|| {
+                format!("restored walker exhausted at suffix element {i} (cut {cut})")
+            })?;
+            if e.addr != addr || e.ends.bits() != bits {
+                return Err(format!(
+                    "restored suffix element {i} (cut {cut}): (addr {:#x}, ends {:#06x}) vs \
+                     (addr {addr:#x}, ends {bits:#06x})",
+                    e.addr,
+                    e.ends.bits()
+                ));
+            }
+        }
+        if !expect.truncated && w2.next_elem(&mem).is_some() {
+            return Err(format!("restored walker continues past end (cut {cut})"));
+        }
+        Ok(())
+    }
+
+    fn shrink(case: &PatternCase) -> Vec<PatternCase> {
+        let mut out = Vec::new();
+        // Drop the invalid side check first: most failures are in the
+        // differential part.
+        if case.invalid.is_some() {
+            let mut c = case.clone();
+            c.invalid = None;
+            out.push(c);
+        }
+        let s = &case.spec;
+        // Drop whole dimensions (with their modifiers).
+        for k in (0..s.dims.len()).rev() {
+            if s.dims.len() > 1 {
+                let mut c = case.clone();
+                c.spec.dims.remove(k);
+                out.push(c);
+            }
+        }
+        // Drop individual modifiers.
+        for k in 0..s.dims.len() {
+            for i in 0..s.dims[k].statics.len() {
+                let mut c = case.clone();
+                c.spec.dims[k].statics.remove(i);
+                out.push(c);
+            }
+            for i in 0..s.dims[k].indirects.len() {
+                let mut c = case.clone();
+                c.spec.dims[k].indirects.remove(i);
+                out.push(c);
+            }
+        }
+        // Shrink magnitudes toward 0/1.
+        for k in 0..s.dims.len() {
+            let d = &s.dims[k];
+            if d.size > 1 {
+                let mut c = case.clone();
+                c.spec.dims[k].size = d.size / 2;
+                out.push(c);
+            }
+            if d.offset != 0 {
+                let mut c = case.clone();
+                c.spec.dims[k].offset = d.offset / 2;
+                out.push(c);
+            }
+            if d.stride != 0 && d.stride != 1 {
+                let mut c = case.clone();
+                c.spec.dims[k].stride = if d.stride.abs() == 1 { 1 } else { d.stride / 2 };
+                out.push(c);
+            }
+        }
+        if case.spec.base != 0 {
+            let mut c = case.clone();
+            c.spec.base = 0;
+            out.push(c);
+        }
+        if case.vl > 1 {
+            let mut c = case.clone();
+            c.vl = case.vl / 2;
+            out.push(c);
+        }
+        if case.cut_sel != 0 {
+            let mut c = case.clone();
+            c.cut_sel = case.cut_sel / 2;
+            out.push(c);
+        }
+        out
+    }
+}

@@ -1,0 +1,23 @@
+//! Replays the checked-in regression corpus (tier-1).
+//!
+//! Every `(engine, seed, case)` triple in `corpus/regressions.txt` is a
+//! fuzz case that once failed (or pins a fixed bug's code path); replaying
+//! regenerates it deterministically and re-runs the full differential
+//! check.
+
+#[test]
+fn corpus_replays_clean() {
+    let entries = uve_conform::parse_corpus(uve_conform::CORPUS).expect("corpus syntax");
+    let mut failures = Vec::new();
+    for (engine, seed, case) in &entries {
+        if let Err(e) = uve_conform::replay_one(engine, *seed, *case) {
+            failures.push(format!("{engine} {seed} {case}: {e}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus regression(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

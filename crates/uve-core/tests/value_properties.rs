@@ -1,87 +1,119 @@
-//! Property tests on the vector-value layer: lane encodings, validity
+//! Randomized tests on the vector-value layer: lane encodings, validity
 //! propagation, and the reinterpretation rules the emulator relies on.
+//!
+//! Parameters come from the `uve-conform` offline RNG (reproducible from
+//! `(seed, case)`, no registry dependency).
 
-// Compiled only with `--features proptest` (requires the registry-hosted
-// `proptest` dev-dependency; see the workspace Cargo.toml note).
-#![cfg(feature = "proptest")]
-
-use proptest::prelude::*;
+use uve_conform::FuzzRng;
 use uve_core::{PredVal, VecVal};
 use uve_isa::ElemWidth;
 
-fn widths() -> impl Strategy<Value = ElemWidth> {
-    prop_oneof![
-        Just(ElemWidth::Byte),
-        Just(ElemWidth::Half),
-        Just(ElemWidth::Word),
-        Just(ElemWidth::Double),
-    ]
-}
+const SEED: u64 = 0xa1_0e5;
+const CASES: u64 = 256;
 
-proptest! {
-    /// Integer lanes round-trip after truncation to the lane width.
-    #[test]
-    fn int_lane_roundtrip(w in widths(), lane in 0usize..8, v in any::<i64>()) {
+const WIDTHS: [ElemWidth; 4] = [
+    ElemWidth::Byte,
+    ElemWidth::Half,
+    ElemWidth::Word,
+    ElemWidth::Double,
+];
+
+/// Integer lanes round-trip after truncation to the lane width.
+#[test]
+fn int_lane_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "int", case);
+        let w = *rng.pick(&WIDTHS);
+        let lane = rng.range_usize(0, 7);
+        let v = rng.u64() as i64;
         let mut val = VecVal::empty(64, w);
         val.set_int(lane, v);
         let bits = w.bytes() * 8;
         let expect = (v << (64 - bits)) >> (64 - bits); // sign-truncate
-        prop_assert_eq!(val.int(lane), expect);
+        assert_eq!(val.int(lane), expect, "case {case}");
     }
+}
 
-    /// Float lanes round-trip exactly at f64, through f32 rounding at Word.
-    #[test]
-    fn float_lane_roundtrip(lane in 0usize..8, v in -1e30f64..1e30) {
+/// Float lanes round-trip exactly at f64, through f32 rounding at Word.
+#[test]
+fn float_lane_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "float", case);
+        let lane = rng.range_usize(0, 7);
+        // Full-precision mantissa in [-1, 1] scaled over a wide exponent
+        // range: exercises values no f32 can represent exactly.
+        let m = (rng.u64() as i64 as f64) / (1u64 << 63) as f64;
+        let e = rng.range_i64(-60, 60) as i32;
+        let v = m * f64::powi(2.0, e);
         let mut d = VecVal::empty(64, ElemWidth::Double);
         d.set_float(lane, v);
-        prop_assert_eq!(d.float(lane), v);
+        assert_eq!(d.float(lane), v, "case {case}");
         let mut s = VecVal::empty(64, ElemWidth::Word);
         s.set_float(lane, v);
-        prop_assert_eq!(s.float(lane), f64::from(v as f32));
+        assert_eq!(s.float(lane), f64::from(v as f32), "case {case}");
     }
+}
 
-    /// `from_ints` marks exactly the provided lanes valid, in order.
-    #[test]
-    fn from_ints_valid_prefix(vals in prop::collection::vec(-100i64..100, 0..16)) {
+/// `from_ints` marks exactly the provided lanes valid, in order.
+#[test]
+fn from_ints_valid_prefix() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "prefix", case);
+        let len = rng.range_usize(0, 15);
+        let vals: Vec<i64> = (0..len).map(|_| rng.range_i64(-100, 99)).collect();
         let v = VecVal::from_ints(64, ElemWidth::Word, &vals);
-        prop_assert_eq!(v.valid_count(), vals.len());
-        prop_assert_eq!(v.valid_prefix(), vals.len());
+        assert_eq!(v.valid_count(), vals.len(), "case {case}");
+        assert_eq!(v.valid_prefix(), vals.len(), "case {case}");
         for (i, x) in vals.iter().enumerate() {
-            prop_assert_eq!(v.int(i), *x);
+            assert_eq!(v.int(i), *x, "case {case}");
         }
     }
+}
 
-    /// Reinterpreting preserves raw bytes: Word→Byte→Word is the identity
-    /// on the valid prefix.
-    #[test]
-    fn reinterpret_preserves_bytes(vals in prop::collection::vec(any::<i32>(), 1..16)) {
+/// Reinterpreting preserves raw bytes: Word→Byte→Word is the identity
+/// on the valid prefix.
+#[test]
+fn reinterpret_preserves_bytes() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "reinterpret", case);
+        let len = rng.range_usize(1, 15);
+        let vals: Vec<i32> = (0..len).map(|_| rng.u64() as i32).collect();
         let as_i64: Vec<i64> = vals.iter().map(|&x| i64::from(x)).collect();
         let w = VecVal::from_ints(64, ElemWidth::Word, &as_i64);
         let b = w.reinterpret(ElemWidth::Byte);
         let back = b.reinterpret(ElemWidth::Word);
-        prop_assert_eq!(back.valid_prefix(), vals.len());
+        assert_eq!(back.valid_prefix(), vals.len(), "case {case}");
         for (i, x) in vals.iter().enumerate() {
-            prop_assert_eq!(back.int(i) as i32, *x);
+            assert_eq!(back.int(i) as i32, *x, "case {case}");
         }
     }
+}
 
-    /// De Morgan over predicate lanes.
-    #[test]
-    fn pred_de_morgan(a in prop::collection::vec(any::<bool>(), 16),
-                      b in prop::collection::vec(any::<bool>(), 16)) {
+/// De Morgan over predicate lanes.
+#[test]
+fn pred_de_morgan() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "demorgan", case);
+        let a: Vec<bool> = (0..16).map(|_| rng.bool()).collect();
+        let b: Vec<bool> = (0..16).map(|_| rng.bool()).collect();
         let pa = PredVal::from_bools(&a);
         let pb = PredVal::from_bools(&b);
         let lhs = pa.and(&pb).not(16);
         let rhs = pa.not(16).or(&pb.not(16));
         for i in 0..16 {
-            prop_assert_eq!(lhs.get(i), rhs.get(i));
+            assert_eq!(lhs.get(i), rhs.get(i), "case {case}");
         }
     }
+}
 
-    /// Predicate counting is consistent with `any`.
-    #[test]
-    fn pred_count_vs_any(a in prop::collection::vec(any::<bool>(), 1..32)) {
+/// Predicate counting is consistent with `any`.
+#[test]
+fn pred_count_vs_any() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "count", case);
+        let len = rng.range_usize(1, 31);
+        let a: Vec<bool> = (0..len).map(|_| rng.bool()).collect();
         let p = PredVal::from_bools(&a);
-        prop_assert_eq!(p.any(a.len()), p.count(a.len()) > 0);
+        assert_eq!(p.any(a.len()), p.count(a.len()) > 0, "case {case}");
     }
 }

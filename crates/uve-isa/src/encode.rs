@@ -42,6 +42,12 @@ pub enum EncodeError {
         /// Offending lane.
         lane: u8,
     },
+    /// A stream-branch dimension index exceeding 7 cannot be encoded
+    /// (3-bit field; patterns have at most 8 dimensions).
+    DimOutOfRange {
+        /// Offending dimension index.
+        dim: u8,
+    },
 }
 
 impl fmt::Display for EncodeError {
@@ -60,6 +66,9 @@ impl fmt::Display for EncodeError {
                 )
             }
             EncodeError::LaneOutOfRange { lane } => write!(f, "lane {lane} not encodable"),
+            EncodeError::DimOutOfRange { dim } => {
+                write!(f, "stream-branch dimension {dim} not encodable (dim0-dim7)")
+            }
         }
     }
 }
@@ -173,8 +182,11 @@ fn rel_target(target: u32, pc: u32, bits: u32) -> Result<i64, EncodeError> {
     Ok(rel)
 }
 
-fn abs_target(rel: i64, pc: u32) -> u32 {
-    (i64::from(pc) + rel) as u32
+/// Resolves a decoded PC-relative displacement to an absolute target.
+/// `None` when the displacement points before instruction 0 (a reserved
+/// encoding: such words are rejected rather than wrapped to huge targets).
+fn abs_target(rel: i64, pc: u32) -> Option<u32> {
+    u32::try_from(i64::from(pc) + rel).ok()
 }
 
 fn pred3(p: PReg) -> Result<u32, EncodeError> {
@@ -470,6 +482,9 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, EncodeError> {
                 StreamCond::DimNotEnd(k) => (2, k),
                 StreamCond::DimEnd(k) => (3, k),
             };
+            if dim >= 8 {
+                return Err(EncodeError::DimOutOfRange { dim });
+            }
             w.u(kind, 2);
             w.u(dim.into(), 3);
             w.u(u.num().into(), 5);
@@ -927,12 +942,12 @@ pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
                 cond,
                 rs1: x(r.u(5))?,
                 rs2: x(r.u(5))?,
-                target: abs_target(r.s(13), pc),
+                target: abs_target(r.s(13), pc).ok_or(bad)?,
             }
         }
         OP_JAL => Inst::Jal {
             rd: x(r.u(5))?,
-            target: abs_target(r.s(21), pc),
+            target: abs_target(r.s(21), pc).ok_or(bad)?,
         },
         OP_HALT => Inst::Halt,
         OP_NOP => Inst::Nop,
@@ -1010,7 +1025,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
             Inst::SsBranch {
                 cond,
                 u: v(r.u(5))?,
-                target: abs_target(r.s(13), pc),
+                target: abs_target(r.s(13), pc).ok_or(bad)?,
             }
         }
         OP_SS_GETVL => Inst::SsGetVl {
@@ -1149,7 +1164,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
             Inst::BrPred {
                 cond,
                 p: p(r.u(4))?,
-                target: abs_target(r.s(13), pc),
+                target: abs_target(r.s(13), pc).ok_or(bad)?,
             }
         }
         OP_VEXTRACT_F => Inst::VExtractF {
@@ -1535,5 +1550,53 @@ mod tests {
     #[test]
     fn bad_opcode_rejected() {
         assert!(matches!(decode(63, 0), Err(DecodeError::BadOpcode(63))));
+    }
+
+    // Regression (uve-conform corpus `isa 7 ...`): a stream-branch
+    // dimension index ≥ 8 used to overflow the 3-bit field — a
+    // debug_assert in debug builds, silent word corruption in release.
+    #[test]
+    fn stream_branch_dim_out_of_range_is_typed() {
+        let e = encode(
+            &Inst::SsBranch {
+                cond: StreamCond::DimEnd(8),
+                u: VReg::new(0),
+                target: 0,
+            },
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(e, EncodeError::DimOutOfRange { dim: 8 });
+        // The boundary value still encodes.
+        rt(
+            Inst::SsBranch {
+                cond: StreamCond::DimNotEnd(7),
+                u: VReg::new(3),
+                target: 5,
+            },
+            2,
+        );
+    }
+
+    // Regression (uve-conform corpus `isa 7 ...`): a decoded negative
+    // displacement larger than the PC wrapped to a huge absolute target,
+    // so decode(word) produced an instruction that failed to re-encode.
+    #[test]
+    fn negative_displacement_before_zero_is_rejected() {
+        // beq x0, x0, -16 encoded at pc 16 decodes fine at pc 16...
+        let w = encode(
+            &Inst::Branch {
+                cond: BrCond::Eq,
+                rs1: XReg::ZERO,
+                rs2: XReg::ZERO,
+                target: 0,
+            },
+            16,
+        )
+        .unwrap();
+        assert!(decode(w, 16).is_ok());
+        // ...but the same word at pc 4 would target instruction -12:
+        // a reserved encoding, now a typed decode error.
+        assert!(matches!(decode(w, 4), Err(DecodeError::BadField { .. })));
     }
 }

@@ -434,7 +434,6 @@ pub struct PatternBuilder {
     width: ElemWidth,
     dims: Vec<Dim>,
     mods: Vec<DimMods>,
-    pending_outer: DimMods,
     error: Option<PatternError>,
 }
 
@@ -445,7 +444,6 @@ impl PatternBuilder {
             width,
             dims: Vec::new(),
             mods: Vec::new(),
-            pending_outer: DimMods::default(),
             error: None,
         }
     }
@@ -532,7 +530,7 @@ impl PatternBuilder {
             return Err(PatternError::TooManyDims(self.dims.len()));
         }
         let nmods: usize = self.mods.iter().map(DimMods::len).sum();
-        if nmods + self.pending_outer.len() > MAX_MODIFIERS {
+        if nmods > MAX_MODIFIERS {
             return Err(PatternError::TooManyModifiers(nmods));
         }
         if !self.mods[0].is_empty() {

@@ -99,6 +99,79 @@ fn context_state_sizes_respect_paper_bounds() {
 }
 
 #[test]
+fn save_restore_under_indirect_modifiers() {
+    // A context switch can land between any two elements of an indirect
+    // gather; the restored walker must resume the origin stream at the
+    // right cursor, not replay it. Cuts at every position of a 13-element
+    // gather (prime length, so no alignment masks the bug).
+    use uve::stream::{ElemWidth, IndirectBehaviour, Param, Pattern, SliceMemory, Walker};
+    let indices: Vec<i64> = vec![3, 0, 7, 7, 1, 12, 4, 9, 2, 11, 5, 10, 6];
+    let mem = SliceMemory::new(indices.clone());
+    let origin = Pattern::linear(0, ElemWidth::Word, indices.len() as u64).unwrap();
+    let p = Pattern::builder(0x4000, ElemWidth::Word)
+        .dim(0, 1, 0)
+        .indirect_outer(
+            Param::Offset,
+            IndirectBehaviour::SetAdd,
+            origin,
+            indices.len() as u64,
+        )
+        .build()
+        .unwrap();
+    let full: Vec<u64> = Walker::new(&p).iter(&mem).map(|e| e.addr).collect();
+    assert_eq!(full.len(), indices.len());
+    for cut in 0..=full.len() {
+        let mut w = Walker::new(&p);
+        for _ in 0..cut {
+            w.next_elem(&mem);
+        }
+        let saved = SavedWalker::capture(&w);
+        let mut w2 = Walker::new(&p);
+        saved.restore(&mut w2, &mem);
+        let suffix: Vec<u64> = w2.iter(&mem).map(|e| e.addr).collect();
+        assert_eq!(suffix, full[cut..].to_vec(), "cut {cut}");
+    }
+}
+
+#[test]
+fn save_restore_at_non_vlen_multiple_cuts() {
+    // Stream lengths and suspension points that are not multiples of the
+    // vector length: a 16-lane machine suspending mid-chunk. The restored
+    // walker must also re-chunk the tail correctly.
+    use uve::stream::{ElemWidth, NoMemory, Pattern, VectorWalker, Walker};
+    const VL: usize = 16; // 512-bit vectors of 32-bit words
+    let p = Pattern::builder(0, ElemWidth::Word)
+        .dim(0, 10, 1) // rows of 10: every chunk boundary is off-VLEN
+        .dim(0, 5, 10)
+        .build()
+        .unwrap();
+    let full: Vec<u64> = Walker::new(&p).iter(&NoMemory).map(|e| e.addr).collect();
+    assert_eq!(full.len(), 50);
+    for cut in [1usize, 9, 10, 19, 25, 33, 49] {
+        assert_ne!(cut % VL, 0);
+        let mut w = Walker::new(&p);
+        for _ in 0..cut {
+            w.next_elem(&NoMemory);
+        }
+        let saved = SavedWalker::capture(&w);
+        let mut w2 = Walker::new(&p);
+        saved.restore(&mut w2, &NoMemory);
+        let suffix: Vec<u64> = w2.iter(&NoMemory).map(|e| e.addr).collect();
+        assert_eq!(suffix, full[cut..].to_vec(), "cut {cut}");
+        // The resumed stream re-chunks: valid counts stay in 1..=VL and
+        // concatenate to exactly the remaining elements.
+        let mut vw = VectorWalker::new(&p, VL);
+        saved.restore(vw.walker_mut(), &NoMemory);
+        let mut rechunked = Vec::new();
+        while let Some(c) = vw.next_chunk(&NoMemory) {
+            assert!(c.valid >= 1 && c.valid <= VL, "cut {cut}");
+            rechunked.extend_from_slice(&c.addrs);
+        }
+        assert_eq!(rechunked, full[cut..].to_vec(), "cut {cut}");
+    }
+}
+
+#[test]
 fn saved_walker_is_cloneable_and_comparable() {
     use uve::stream::{ElemWidth, NoMemory, Pattern, Walker};
     let p = Pattern::linear(0, ElemWidth::Word, 64).unwrap();

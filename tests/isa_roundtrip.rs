@@ -1,17 +1,16 @@
-//! Property tests on the ISA layer: binary encode/decode and textual
+//! Randomized tests on the ISA layer: binary encode/decode and textual
 //! assemble/disassemble round trips over every kernel program plus random
 //! instruction fields.
+//!
+//! Random cases are drawn from the `uve-conform` generator (the same one
+//! the differential fuzzer uses), so the suite is fully offline and every
+//! failure is reproducible from its `(seed, case)` pair.
 
-// Compiled only with `--features proptest` (requires the registry-hosted
-// `proptest` dev-dependency; see the workspace Cargo.toml note).
-#![cfg(feature = "proptest")]
+use uve::isa::{assemble, decode, disassemble_program, encode};
+use uve_conform::{isa_fuzz::IsaEngine, Engine, FuzzRng};
 
-use proptest::prelude::*;
-use uve::isa::{
-    assemble, decode, disassemble_program, encode, AluOp, BrCond, DupSrc, FReg, Inst, PReg, VOp,
-    VReg, VType, XReg,
-};
-use uve::stream::ElemWidth;
+const SEED: u64 = 0x1541_0151;
+const CASES: u64 = 512;
 
 fn all_kernel_programs() -> Vec<uve::isa::Program> {
     use uve::kernels::*;
@@ -59,144 +58,35 @@ fn every_kernel_program_disassembles_and_reassembles() {
     }
 }
 
-fn arb_width() -> impl Strategy<Value = ElemWidth> {
-    prop_oneof![
-        Just(ElemWidth::Byte),
-        Just(ElemWidth::Half),
-        Just(ElemWidth::Word),
-        Just(ElemWidth::Double),
-    ]
-}
-
-fn arb_inst() -> impl Strategy<Value = Inst> {
-    let x = (0u8..32).prop_map(XReg::new);
-    let f = (0u8..32).prop_map(FReg::new);
-    let v = (0u8..32).prop_map(VReg::new);
-    let p = (0u8..8).prop_map(PReg::new);
-    prop_oneof![
-        (0usize..16, x.clone(), x.clone(), x.clone()).prop_map(|(op, rd, rs1, rs2)| {
-            let ops = [
-                AluOp::Add,
-                AluOp::Sub,
-                AluOp::Mul,
-                AluOp::Mulh,
-                AluOp::Div,
-                AluOp::Rem,
-                AluOp::And,
-                AluOp::Or,
-                AluOp::Xor,
-                AluOp::Sll,
-                AluOp::Srl,
-                AluOp::Sra,
-                AluOp::Slt,
-                AluOp::Sltu,
-                AluOp::Min,
-                AluOp::Max,
-            ];
-            Inst::Alu {
-                op: ops[op],
-                rd,
-                rs1,
-                rs2,
-            }
-        }),
-        (x.clone(), x.clone(), -2048i32..2048).prop_map(|(rd, rs1, imm)| Inst::AluImm {
-            op: AluOp::Add,
-            rd,
-            rs1,
-            imm
-        }),
-        (x.clone(), x.clone(), -2048i32..2048, arb_width()).prop_map(|(rd, base, off, width)| {
-            Inst::Ld {
-                rd,
-                base,
-                off,
-                width,
-            }
-        }),
-        (0usize..6, x.clone(), x.clone(), 0u32..4000).prop_map(|(c, rs1, rs2, target)| {
-            let conds = [
-                BrCond::Eq,
-                BrCond::Ne,
-                BrCond::Lt,
-                BrCond::Ge,
-                BrCond::Ltu,
-                BrCond::Geu,
-            ];
-            Inst::Branch {
-                cond: conds[c],
-                rs1,
-                rs2,
-                target,
-            }
-        }),
-        (
-            0usize..11,
-            v.clone(),
-            v.clone(),
-            v.clone(),
-            p.clone(),
-            arb_width(),
-            any::<bool>()
-        )
-            .prop_map(|(op, vd, vs1, vs2, pred, width, fp)| {
-                let ops = [
-                    VOp::Add,
-                    VOp::Sub,
-                    VOp::Mul,
-                    VOp::Div,
-                    VOp::Min,
-                    VOp::Max,
-                    VOp::And,
-                    VOp::Or,
-                    VOp::Xor,
-                    VOp::Shl,
-                    VOp::Shr,
-                ];
-                Inst::VArith {
-                    op: ops[op],
-                    ty: if fp { VType::Fp } else { VType::Int },
-                    width,
-                    vd,
-                    vs1,
-                    vs2,
-                    pred,
-                }
-            }),
-        (v.clone(), f.clone(), arb_width()).prop_map(|(vd, fr, width)| Inst::VDup {
-            vd,
-            src: DupSrc::F(fr),
-            width,
-            ty: VType::Fp
-        }),
-        (v.clone(), x.clone(), x.clone(), arb_width(), p).prop_map(
-            |(vd, base, index, width, pred)| Inst::VLoad {
-                vd,
-                base,
-                index,
-                width,
-                pred
-            }
-        ),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn random_instructions_roundtrip_binary(inst in arb_inst(), pc in 0u32..2048) {
-        let w = encode(&inst, pc).unwrap();
-        prop_assert_eq!(decode(w, pc).unwrap(), inst);
+#[test]
+fn random_instructions_roundtrip_binary() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "isa-binary", case);
+        let c = IsaEngine::generate(&mut rng);
+        let w = encode(&c.inst, c.pc).unwrap_or_else(|e| panic!("case {case}: {e} ({})", c.inst));
+        assert_eq!(decode(w, c.pc).unwrap(), c.inst, "case {case}");
     }
+}
 
-    #[test]
-    fn random_instructions_roundtrip_text(inst in arb_inst()) {
+#[test]
+fn random_instructions_roundtrip_text() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "isa-text", case);
+        let c = IsaEngine::generate(&mut rng);
         // Branch targets print as absolute indices; reassembling a single
         // instruction at index 0 only works for self-contained ones, so
         // wrap in a program context.
-        let text = format!("{inst}\n");
-        let p = assemble("t", &text).unwrap();
-        prop_assert_eq!(p.insts()[0], inst);
+        let text = format!("{}\n", c.inst);
+        let p = assemble("t", &text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(p.insts()[0], c.inst, "case {case}");
+    }
+}
+
+#[test]
+fn full_conformance_engine_is_clean() {
+    for case in 0..CASES {
+        if let Err(e) = uve_conform::replay_one("isa", SEED, case) {
+            panic!("isa {SEED} {case}: {e}");
+        }
     }
 }

@@ -1,32 +1,35 @@
-//! Property-based tests of the stream descriptor model: address-sequence
+//! Randomized tests of the stream descriptor model: address-sequence
 //! equivalence with reference loop nests, chunk partitioning invariants,
 //! and save/restore correctness at arbitrary cut points.
+//!
+//! Parameters are drawn from the `uve-conform` offline RNG, so the suite
+//! needs no registry dependency and every failure is reproducible from its
+//! `(seed, case)` pair. The reference loop nests here are written inline
+//! and independently of the conform crate's recursive oracle, giving a
+//! third interpretation of the descriptor semantics.
 
-// Compiled only with `--features proptest` (requires the registry-hosted
-// `proptest` dev-dependency; see the workspace Cargo.toml note).
-#![cfg(feature = "proptest")]
-
-use proptest::prelude::*;
 use uve::stream::{
     Behaviour, ElemWidth, NoMemory, Param, Pattern, SavedWalker, SliceMemory, VectorWalker, Walker,
 };
+use uve_conform::FuzzRng;
+
+const SEED: u64 = 0x0571_2ea0;
+const CASES: u64 = 256;
 
 fn walk(p: &Pattern) -> Vec<u64> {
     Walker::new(p).iter(&NoMemory).map(|e| e.addr).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// A 2-D descriptor generates exactly the nested-loop address sequence.
-    #[test]
-    fn two_d_matches_nested_loops(
-        n0 in 1u64..20,
-        s0 in 1i64..5,
-        n1 in 1u64..10,
-        s1 in 1i64..64,
-        base in (0u64..1024).prop_map(|b| b * 8),
-    ) {
+/// A 2-D descriptor generates exactly the nested-loop address sequence.
+#[test]
+fn two_d_matches_nested_loops() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "2d", case);
+        let n0 = rng.range_u64(1, 19);
+        let s0 = rng.range_i64(1, 4);
+        let n1 = rng.range_u64(1, 9);
+        let s1 = rng.range_i64(1, 63);
+        let base = rng.below(1024) * 8;
         let p = Pattern::builder(base, ElemWidth::Word)
             .dim(0, n0, s0)
             .dim(0, n1, s1)
@@ -38,16 +41,18 @@ proptest! {
                 expect.push(base + 4 * (i * s1 as u64 + j * s0 as u64));
             }
         }
-        prop_assert_eq!(walk(&p), expect);
+        assert_eq!(walk(&p), expect, "case {case}");
     }
+}
 
-    /// A 3-D descriptor generates the triple-nested sequence.
-    #[test]
-    fn three_d_matches_nested_loops(
-        n0 in 1u64..8,
-        n1 in 1u64..6,
-        n2 in 1u64..5,
-    ) {
+/// A 3-D descriptor generates the triple-nested sequence.
+#[test]
+fn three_d_matches_nested_loops() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "3d", case);
+        let n0 = rng.range_u64(1, 7);
+        let n1 = rng.range_u64(1, 5);
+        let n2 = rng.range_u64(1, 4);
         let p = Pattern::builder(0, ElemWidth::Double)
             .dim(0, n0, 1)
             .dim(0, n1, n0 as i64)
@@ -62,12 +67,17 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(walk(&p), expect);
+        assert_eq!(walk(&p), expect, "case {case}");
     }
+}
 
-    /// The triangular (size-modifier) pattern matches its loop nest.
-    #[test]
-    fn triangular_matches_loops(rows in 1u64..16, nc in 1u64..20) {
+/// The triangular (size-modifier) pattern matches its loop nest.
+#[test]
+fn triangular_matches_loops() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "tri", case);
+        let rows = rng.range_u64(1, 15);
+        let nc = rng.range_u64(1, 19);
         let p = Pattern::builder(0, ElemWidth::Word)
             .dim(0, 0, 1)
             .dim(0, rows, nc as i64)
@@ -80,17 +90,19 @@ proptest! {
                 expect.push(4 * (i * nc + j));
             }
         }
-        prop_assert_eq!(walk(&p), expect);
+        assert_eq!(walk(&p), expect, "case {case}");
     }
+}
 
-    /// Vector chunking partitions the element sequence exactly, never
-    /// crossing a dimension-0 boundary, for any vector length.
-    #[test]
-    fn chunking_partitions_the_walk(
-        n0 in 1u64..40,
-        n1 in 1u64..6,
-        vl in 1usize..32,
-    ) {
+/// Vector chunking partitions the element sequence exactly, never
+/// crossing a dimension-0 boundary, for any vector length.
+#[test]
+fn chunking_partitions_the_walk() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "chunk", case);
+        let n0 = rng.range_u64(1, 39);
+        let n1 = rng.range_u64(1, 5);
+        let vl = rng.range_usize(1, 31);
         let p = Pattern::builder(0, ElemWidth::Word)
             .dim(0, n0, 1)
             .dim(0, n1, n0 as i64)
@@ -101,27 +113,29 @@ proptest! {
         let mut collected = Vec::new();
         let mut boundary_positions = Vec::new();
         while let Some(c) = vw.next_chunk(&NoMemory) {
-            prop_assert!(c.valid >= 1 && c.valid <= vl);
-            prop_assert_eq!(c.valid, c.addrs.len());
+            assert!(c.valid >= 1 && c.valid <= vl, "case {case}");
+            assert_eq!(c.valid, c.addrs.len(), "case {case}");
             collected.extend_from_slice(&c.addrs);
             if c.ends.ends_dim(0) {
                 boundary_positions.push(collected.len() as u64);
             }
         }
-        prop_assert_eq!(collected, elements);
+        assert_eq!(collected, elements, "case {case}");
         // Dimension-0 boundaries land exactly at multiples of the row size.
         for b in boundary_positions {
-            prop_assert_eq!(b % n0, 0);
+            assert_eq!(b % n0, 0, "case {case}");
         }
     }
+}
 
-    /// Capturing and restoring a walker at any cut yields the same suffix.
-    #[test]
-    fn save_restore_any_cut(
-        n0 in 1u64..12,
-        n1 in 1u64..6,
-        cut in 0usize..80,
-    ) {
+/// Capturing and restoring a walker at any cut yields the same suffix.
+#[test]
+fn save_restore_any_cut() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "cut", case);
+        let n0 = rng.range_u64(1, 11);
+        let n1 = rng.range_u64(1, 5);
+        let cut = rng.range_usize(0, 79);
         let p = Pattern::builder(0, ElemWidth::Word)
             .dim(0, 0, 1)
             .dim(0, n1.max(1), n0 as i64 + 1)
@@ -138,12 +152,17 @@ proptest! {
         let mut w2 = Walker::new(&p);
         saved.restore(&mut w2, &NoMemory);
         let suffix: Vec<u64> = w2.iter(&NoMemory).map(|e| e.addr).collect();
-        prop_assert_eq!(suffix, full[cut..].to_vec());
+        assert_eq!(suffix, full[cut..].to_vec(), "case {case}");
     }
+}
 
-    /// Indirect gathers visit exactly the indexed elements, in order.
-    #[test]
-    fn indirect_matches_index_table(indices in prop::collection::vec(0i64..64, 1..40)) {
+/// Indirect gathers visit exactly the indexed elements, in order.
+#[test]
+fn indirect_matches_index_table() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "ind", case);
+        let len = rng.range_usize(1, 39);
+        let indices: Vec<i64> = (0..len).map(|_| rng.range_i64(0, 63)).collect();
         let mem = SliceMemory::new(indices.clone());
         let origin = Pattern::linear(0, ElemWidth::Word, indices.len() as u64).unwrap();
         let p = Pattern::builder(0x4000, ElemWidth::Word)
@@ -158,18 +177,24 @@ proptest! {
             .unwrap();
         let got: Vec<u64> = Walker::new(&p).iter(&mem).map(|e| e.addr).collect();
         let expect: Vec<u64> = indices.iter().map(|&i| 0x4000 + 4 * i as u64).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    /// `count` always agrees with a full walk.
-    #[test]
-    fn count_agrees_with_walk(n0 in 0u64..20, n1 in 1u64..8, grow in 0i64..3) {
+/// `count` always agrees with a full walk.
+#[test]
+fn count_agrees_with_walk() {
+    for case in 0..CASES {
+        let mut rng = FuzzRng::for_case(SEED, "count", case);
+        let n0 = rng.range_u64(0, 19);
+        let n1 = rng.range_u64(1, 7);
+        let grow = rng.range_i64(0, 2);
         let p = Pattern::builder(0, ElemWidth::Word)
             .dim(0, n0, 1)
             .dim(0, n1, 32)
             .static_mod(Param::Size, Behaviour::Add, grow, n1)
             .build()
             .unwrap();
-        prop_assert_eq!(p.count(&NoMemory), walk(&p).len() as u64);
+        assert_eq!(p.count(&NoMemory), walk(&p).len() as u64, "case {case}");
     }
 }
