@@ -22,4 +22,14 @@ echo "== conformance: fuzz smoke (fixed seed, offline) =="
 # The checked-in regression corpus replays as part of `cargo test` above.
 ./target/release/uve-conform --engine all --seed 7 --cases 2000 --quiet
 
+echo "== observability: --explain smoke + golden trace (offline) =="
+# One figure run with stall attribution: maybe_explain() panics unless the
+# cycle-accounting conservation laws hold for every kernel in the table.
+./target/release/fig8 --panel e --explain --quiet > /dev/null
+# The Chrome trace exporter must reproduce the checked-in golden snapshot
+# byte-for-byte (regenerate with the same command if the model changes).
+./target/release/trace --tiny-saxpy --out target/tiny_saxpy_trace.json
+diff -u crates/uve-bench/tests/golden/saxpy_tiny_trace.json \
+    target/tiny_saxpy_trace.json
+
 echo "CI OK"

@@ -1,0 +1,86 @@
+//! Chrome trace-event export of one kernel run.
+//!
+//! ```text
+//! cargo run --release --bin trace -- <kernel> [flavor] [--out FILE]
+//! cargo run --release --bin trace -- --tiny-saxpy [--out FILE]
+//! ```
+//!
+//! `<kernel>` matches an evaluation-suite kernel name case-insensitively
+//! (e.g. `saxpy`, `mamr-ind`); `[flavor]` is `uve` (default), `sve`,
+//! `neon`, or `scalar`. The JSON goes to `--out FILE` or stdout, and loads
+//! in `chrome://tracing` or <https://ui.perfetto.dev>. `--tiny-saxpy` is
+//! the golden-snapshot subject of `tests/golden_trace.rs`.
+
+use uve_bench::{tiny_saxpy_trace, trace_kernel};
+use uve_kernels::{evaluation_suite, Flavor};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let free: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if *a == "--out" {
+                    skip = true;
+                    return false;
+                }
+                !a.starts_with("--") || *a == "--tiny-saxpy"
+            })
+            .collect()
+    };
+
+    let json = if free.iter().any(|a| *a == "--tiny-saxpy") {
+        tiny_saxpy_trace()
+    } else {
+        let Some(kernel) = free.first() else {
+            eprintln!(
+                "usage: trace <kernel> [uve|sve|neon|scalar] [--out FILE] | trace --tiny-saxpy"
+            );
+            eprintln!("kernels:");
+            for b in evaluation_suite() {
+                eprintln!("  {}", b.name());
+            }
+            std::process::exit(2);
+        };
+        let flavor = match free.get(1).map(|s| s.to_lowercase()) {
+            None => Flavor::Uve,
+            Some(f) => match f.as_str() {
+                "uve" => Flavor::Uve,
+                "sve" => Flavor::Sve,
+                "neon" => Flavor::Neon,
+                "scalar" => Flavor::Scalar,
+                other => {
+                    eprintln!("unknown flavor {other:?}: expected uve, sve, neon, or scalar");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let suite = evaluation_suite();
+        let Some(bench) = suite.iter().find(|b| b.name().eq_ignore_ascii_case(kernel)) else {
+            eprintln!("unknown kernel {kernel:?}; kernels:");
+            for b in &suite {
+                eprintln!("  {}", b.name());
+            }
+            std::process::exit(2);
+        };
+        eprintln!("[trace] {} / {flavor}: tracing one cold run…", bench.name());
+        trace_kernel(bench.as_ref(), flavor)
+    };
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[trace] wrote {} bytes to {path}", json.len());
+        }
+        None => print!("{json}"),
+    }
+}

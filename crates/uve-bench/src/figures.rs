@@ -39,7 +39,9 @@ fn suite_runs(runner: &Runner) -> Vec<KernelRuns> {
         .iter()
         .flat_map(|bench| SUITE_FLAVORS.map(|flavor| Job::new(bench.as_ref(), flavor, cpu.clone())))
         .collect();
-    let mut results = runner.run(&jobs).into_iter();
+    let results = runner.run(&jobs);
+    runner.maybe_explain(&results);
+    let mut results = results.into_iter();
     suite
         .iter()
         .map(|bench| KernelRuns {
@@ -196,6 +198,7 @@ pub fn fig8(panel: Option<&str>, runner: &Runner) {
             .map(|b| Job::new(b, Flavor::Uve, cpu.clone()))
             .collect();
         let results = runner.run(&jobs);
+        runner.maybe_explain(&results);
         let base = results[0].cycles();
         for (factor, m) in factors[1..].iter().zip(&results[1..]) {
             row(
@@ -233,6 +236,7 @@ pub fn fig9(runner: &Runner) {
         })
         .collect();
     let results = runner.run(&jobs);
+    runner.maybe_explain(&results);
     assert_trace_reuse(runner, before, flavors.len() * benches.len(), "fig9");
 
     let mut chunks = results.chunks_exact(pvrs.len());
@@ -282,6 +286,7 @@ pub fn fig10(runner: &Runner) {
         })
         .collect();
     let results = runner.run(&jobs);
+    runner.maybe_explain(&results);
     assert_trace_reuse(runner, before, benches.len(), "fig10");
     for (bench, sweep) in benches.iter().zip(results.chunks_exact(depths.len())) {
         let base = sweep[2].cycles() as f64;
@@ -321,6 +326,7 @@ pub fn fig11(runner: &Runner) {
         })
         .collect();
     let results = runner.run(&jobs);
+    runner.maybe_explain(&results);
     assert_trace_reuse(runner, before, benches.len() * levels.len(), "fig11");
     for (bench, sweep) in benches.iter().zip(results.chunks_exact(levels.len())) {
         let base = sweep[1].cycles() as f64;
@@ -359,6 +365,7 @@ pub fn modules(runner: &Runner) {
         })
         .collect();
     let results = runner.run(&jobs);
+    runner.maybe_explain(&results);
     assert_trace_reuse(runner, before, benches.len(), "modules");
     for (bench, sweep) in benches.iter().zip(results.chunks_exact(counts.len())) {
         let base = sweep[0].cycles() as f64;

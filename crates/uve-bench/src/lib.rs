@@ -18,11 +18,15 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod figures;
 pub mod pool;
+pub mod report;
 pub mod runner;
 
+pub use chrome::{chrome_trace_json, tiny_saxpy_trace, trace_kernel};
 pub use pool::run_indexed;
+pub use report::{ReportRow, StatsReport};
 pub use runner::{default_jobs, Job, RunMode, Runner};
 
 use uve_cpu::{CpuConfig, TimingStats};

@@ -1,0 +1,231 @@
+//! Aggregated "where the cycles go" reporting over a set of measured runs.
+//!
+//! [`StatsReport`] collects the per-run [`TimingStats`] (already gathered
+//! deterministically by the [`Runner`](crate::Runner)) and renders the
+//! top-down cycle-attribution table printed by `--explain`, together with
+//! per-stream FIFO occupancy summaries and per-class memory read latency
+//! means. Everything in [`StatsReport::render`] is derived from integer
+//! counters, so serial and parallel runs print bit-identical reports.
+
+use crate::Measured;
+use uve_cpu::{CycleAccount, TimingStats};
+use uve_kernels::Flavor;
+use uve_mem::{ReqClass, ServedBy};
+
+/// One run's worth of observability data.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Kernel name.
+    pub name: String,
+    /// Code flavour.
+    pub flavor: Flavor,
+    /// Full timing statistics of the run.
+    pub stats: TimingStats,
+}
+
+/// The aggregated report over a job list, in submission order.
+#[derive(Debug, Clone, Default)]
+pub struct StatsReport {
+    /// One row per measured run.
+    pub rows: Vec<ReportRow>,
+}
+
+/// Permille of `part` in `total`, rounded half-up — integer arithmetic so
+/// the rendered percentages are bit-identical everywhere.
+fn permille(part: u64, total: u64) -> u64 {
+    (part * 1000 + total / 2).checked_div(total).unwrap_or(0)
+}
+
+/// Formats a permille value as a percentage with one decimal ("42.3").
+fn pct(part: u64, total: u64) -> String {
+    let pm = permille(part, total);
+    format!("{}.{}", pm / 10, pm % 10)
+}
+
+impl StatsReport {
+    /// Builds a report from measured runs, preserving their order.
+    pub fn of(results: &[Measured]) -> Self {
+        Self {
+            rows: results
+                .iter()
+                .map(|m| ReportRow {
+                    name: m.name.clone(),
+                    flavor: m.flavor,
+                    stats: m.stats.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Verifies every conservation law on every row: the stall categories
+    /// partition the cycles, the FIFO occupancy samples account for every
+    /// open stream-cycle, and the memory latency profile accounts for
+    /// every demand read and every DRAM read transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated law, naming the run.
+    pub fn check(&self) -> Result<(), String> {
+        for r in &self.rows {
+            let tag = format!("{}/{}", r.name, r.flavor);
+            let s = &r.stats;
+            s.account
+                .check(s.cycles)
+                .map_err(|e| format!("{tag}: {e}"))?;
+            let fifo = &s.engine.fifo;
+            if fifo.total() != fifo.samples {
+                return Err(format!(
+                    "{tag}: FIFO histogram holds {} samples but {} were taken",
+                    fifo.total(),
+                    fifo.samples
+                ));
+            }
+            let prof = &s.mem.profile;
+            let demand = prof.class_count(ReqClass::Demand) + prof.class_count(ReqClass::Stream);
+            if demand != s.mem.reads {
+                return Err(format!(
+                    "{tag}: latency profile saw {demand} demand+stream reads, \
+                     the hierarchy served {}",
+                    s.mem.reads
+                ));
+            }
+            if prof.served_count(ServedBy::Dram) != s.mem.dram.reads {
+                return Err(format!(
+                    "{tag}: latency profile saw {} DRAM-served reads, \
+                     DRAM performed {} read transactions",
+                    prof.served_count(ServedBy::Dram),
+                    s.mem.dram.reads
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the cycle-attribution table plus FIFO-occupancy and memory
+    /// latency summaries as a deterministic string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("\n=== where the cycles go — top-down cycle attribution (% of cycles) ===\n");
+        out.push_str(&format!(
+            "{:<16} {:<7} {:>10}",
+            "kernel", "flavor", "cycles"
+        ));
+        for c in CycleAccount::CATEGORIES {
+            out.push_str(&format!(" {c:>6}"));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            let s = &r.stats;
+            out.push_str(&format!(
+                "{:<16} {:<7} {:>10}",
+                r.name,
+                r.flavor.to_string(),
+                s.cycles
+            ));
+            for v in s.account.values() {
+                out.push_str(&format!(" {:>6}", pct(v, s.cycles)));
+            }
+            out.push('\n');
+        }
+
+        let streamed: Vec<&ReportRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.stats.engine.fifo.samples > 0)
+            .collect();
+        if !streamed.is_empty() {
+            out.push_str(
+                "\n=== stream FIFO occupancy (mean/max chunks; empty = head-stall cycles) ===\n",
+            );
+            for r in streamed {
+                let s = &r.stats;
+                let fifo = &s.engine.fifo;
+                out.push_str(&format!("{:<16} {:<7}", r.name, r.flavor.to_string()));
+                for u in fifo.used_registers() {
+                    out.push_str(&format!(
+                        " u{u}:{:.1}/{}", // mean occupancy / max occupancy
+                        fifo.mean_occupancy(u),
+                        fifo.max_occupancy(u)
+                    ));
+                    let empty = s.account.fifo_empty_by_u[u.min(31)];
+                    if empty > 0 {
+                        out.push_str(&format!("(empty {empty})"));
+                    }
+                }
+                out.push('\n');
+            }
+        }
+
+        out.push_str("\n=== memory read latency (class→level: mean cycles × requests) ===\n");
+        for r in &self.rows {
+            let prof = &r.stats.mem.profile;
+            if prof.total_count() == 0 {
+                continue;
+            }
+            out.push_str(&format!("{:<16} {:<7}", r.name, r.flavor.to_string()));
+            for class in ReqClass::ALL {
+                for served in ServedBy::ALL {
+                    let h = prof.get(class, served);
+                    if h.count > 0 {
+                        out.push_str(&format!(
+                            " {}→{}:{:.1}×{}",
+                            class.name(),
+                            served.name(),
+                            h.mean(),
+                            h.count
+                        ));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use uve_cpu::CpuConfig;
+    use uve_kernels::saxpy::Saxpy;
+
+    #[test]
+    fn report_checks_and_renders_a_real_run() {
+        let cpu = CpuConfig::default();
+        let results = [
+            measure(&Saxpy::new(512), Flavor::Uve, &cpu),
+            measure(&Saxpy::new(512), Flavor::Neon, &cpu),
+        ];
+        let report = StatsReport::of(&results);
+        report.check().expect("conservation laws hold");
+        let text = report.render();
+        assert!(text.contains("where the cycles go"));
+        assert!(text.contains("SAXPY"), "table names the kernel: {text}");
+        // The UVE run streams, so the FIFO block must list its registers.
+        assert!(text.contains("u0:"), "FIFO summary present: {text}");
+        // Percentages partition the run: retiring column is present and
+        // the header lists every category.
+        for c in CycleAccount::CATEGORIES {
+            assert!(text.contains(c), "missing category {c}");
+        }
+    }
+
+    #[test]
+    fn check_catches_a_leak() {
+        let cpu = CpuConfig::default();
+        let mut m = measure(&Saxpy::new(256), Flavor::Uve, &cpu);
+        m.stats.account.retiring += 1;
+        let report = StatsReport::of(&[m]);
+        let err = report.check().expect_err("tampered account must fail");
+        assert!(err.contains("leak"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn percentages_are_integer_derived() {
+        assert_eq!(pct(1, 3), "33.3");
+        assert_eq!(pct(2, 3), "66.7");
+        assert_eq!(pct(0, 0), "0.0");
+        assert_eq!(pct(7, 7), "100.0");
+    }
+}

@@ -194,6 +194,7 @@ pub enum RunMode {
 pub struct Runner {
     mode: RunMode,
     verbose: bool,
+    explain: bool,
     cache: TraceCache,
 }
 
@@ -203,6 +204,7 @@ impl Runner {
         Self {
             mode: RunMode::Serial,
             verbose: false,
+            explain: false,
             cache: TraceCache::default(),
         }
     }
@@ -212,6 +214,7 @@ impl Runner {
         Self {
             mode: RunMode::Parallel(jobs.max(1)),
             verbose: false,
+            explain: false,
             cache: TraceCache::default(),
         }
     }
@@ -223,9 +226,10 @@ impl Runner {
 
     /// Builds a runner from process arguments: `--serial` forces the
     /// sequential baseline, `--jobs N` sets the worker count, `--quiet`
-    /// silences per-job wall-clock reporting (default: one worker per
-    /// core, reporting on). Unrecognized arguments are ignored so the
-    /// figure binaries can keep their own flags.
+    /// silences per-job wall-clock reporting, `--explain` appends the
+    /// cycle-attribution report to every figure (default: one worker per
+    /// core, reporting on, no explain). Unrecognized arguments are ignored
+    /// so the figure binaries can keep their own flags.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut runner = if args.iter().any(|a| a == "--serial") {
@@ -240,6 +244,7 @@ impl Runner {
             Self::parallel(jobs)
         };
         runner.verbose = !args.iter().any(|a| a == "--quiet");
+        runner.explain = args.iter().any(|a| a == "--explain");
         runner
     }
 
@@ -247,6 +252,31 @@ impl Runner {
     pub fn verbose(mut self, verbose: bool) -> Self {
         self.verbose = verbose;
         self
+    }
+
+    /// Enables or disables the `--explain` cycle-attribution report.
+    pub fn explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
+        self
+    }
+
+    /// When `--explain` is on, validates the conservation laws of every
+    /// measurement and prints the "where the cycles go" report; a no-op
+    /// otherwise. Figure generators call this right after
+    /// [`Runner::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any conservation law is violated — an unexplained cycle
+    /// means the attribution (or the model) is wrong, and the report would
+    /// be misleading.
+    pub fn maybe_explain(&self, results: &[Measured]) {
+        if !self.explain {
+            return;
+        }
+        let report = crate::StatsReport::of(results);
+        report.check().expect("cycle-accounting conservation");
+        print!("{}", report.render());
     }
 
     /// The runner's mode.

@@ -1,0 +1,40 @@
+//! Golden-snapshot test of the Chrome trace exporter.
+//!
+//! The committed `tests/golden/saxpy_tiny_trace.json` is the exact export
+//! of one cold 64-element SAXPY/UVE run. Any change to the emulator, the
+//! timing model, the event capture, or the JSON rendering that alters the
+//! trace shows up here as a diff; regenerate deliberately with
+//!
+//! ```text
+//! cargo run --release --bin trace -- --tiny-saxpy \
+//!     --out crates/uve-bench/tests/golden/saxpy_tiny_trace.json
+//! ```
+
+use uve_bench::tiny_saxpy_trace;
+
+const GOLDEN: &str = include_str!("golden/saxpy_tiny_trace.json");
+
+#[test]
+fn tiny_saxpy_trace_matches_golden_snapshot() {
+    let fresh = tiny_saxpy_trace();
+    if fresh == GOLDEN {
+        return;
+    }
+    // Point at the first diverging line instead of dumping 5 KB twice.
+    for (i, (f, g)) in fresh.lines().zip(GOLDEN.lines()).enumerate() {
+        assert_eq!(
+            f,
+            g,
+            "trace diverges from golden snapshot at line {} — if intended, \
+             regenerate with `cargo run --bin trace -- --tiny-saxpy --out \
+             crates/uve-bench/tests/golden/saxpy_tiny_trace.json`",
+            i + 1
+        );
+    }
+    panic!(
+        "trace length changed: fresh {} lines vs golden {} lines — \
+         regenerate the snapshot if intended",
+        fresh.lines().count(),
+        GOLDEN.lines().count()
+    );
+}

@@ -98,7 +98,7 @@ impl KernelCase {
     }
 
     /// Shrunk-size candidates (smaller instances of the same kernel).
-    fn smaller(&self) -> Vec<KernelCase> {
+    pub(crate) fn smaller(&self) -> Vec<KernelCase> {
         use KernelCase::*;
         fn half(n: usize, min: usize) -> Option<usize> {
             (n > min).then(|| (n / 2).max(min))

@@ -13,7 +13,11 @@
 //!   decode-of-random-`u32` robustness;
 //! - [`kernel_diff`] — randomly sized instances of the paper's kernels run
 //!   across all four [`uve_kernels::Flavor`]s and cross-checked against
-//!   the Rust reference and across vector lengths.
+//!   the Rust reference and across vector lengths;
+//! - [`stats_diff`] — the cycle-accounting observability layer: random
+//!   small timing runs checked for conservation (stall categories
+//!   partition the cycles) and for bit-identical statistics between the
+//!   serial and parallel evaluation runners.
 //!
 //! Everything is registry-free and deterministic: cases derive from
 //! `(seed, engine, case index)` via the workspace's SplitMix64
@@ -25,6 +29,7 @@ pub mod isa_fuzz;
 pub mod kernel_diff;
 pub mod pattern_fuzz;
 pub mod rng;
+pub mod stats_diff;
 
 pub use rng::FuzzRng;
 use uve_bench::{pool, RunMode};
@@ -36,7 +41,7 @@ pub trait Engine {
     type Case: Clone + std::fmt::Debug + Send;
 
     /// Engine name as used by the CLI and the corpus (`pattern`, `isa`,
-    /// `kernel`).
+    /// `kernel`, `stats`).
     fn name() -> &'static str;
 
     /// Generates the case owned by `rng` (must consume randomness only
@@ -212,6 +217,7 @@ pub fn replay_one(engine: &str, seed: u64, case: u64) -> Result<(), String> {
         "pattern" => one::<pattern_fuzz::PatternEngine>(seed, case),
         "isa" => one::<isa_fuzz::IsaEngine>(seed, case),
         "kernel" => one::<kernel_diff::KernelEngine>(seed, case),
+        "stats" => one::<stats_diff::StatsEngine>(seed, case),
         other => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -253,7 +259,10 @@ mod tests {
     fn corpus_parses() {
         let entries = parse_corpus(CORPUS).unwrap();
         for (engine, _, _) in &entries {
-            assert!(matches!(engine.as_str(), "pattern" | "isa" | "kernel"));
+            assert!(matches!(
+                engine.as_str(),
+                "pattern" | "isa" | "kernel" | "stats"
+            ));
         }
     }
 

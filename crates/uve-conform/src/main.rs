@@ -1,7 +1,7 @@
 //! `uve-conform` — offline differential fuzzer for the UVE reproduction.
 //!
 //! ```text
-//! uve-conform [--engine pattern|isa|kernel|all] [--seed N] [--cases N]
+//! uve-conform [--engine pattern|isa|kernel|stats|all] [--seed N] [--cases N]
 //!             [--jobs N | --serial] [--quiet]
 //! ```
 //!
@@ -14,9 +14,12 @@
 
 use std::process::ExitCode;
 use uve_bench::{default_jobs, RunMode};
-use uve_conform::{isa_fuzz::IsaEngine, kernel_diff::KernelEngine, pattern_fuzz::PatternEngine};
+use uve_conform::{
+    isa_fuzz::IsaEngine, kernel_diff::KernelEngine, pattern_fuzz::PatternEngine,
+    stats_diff::StatsEngine,
+};
 
-const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|all] [--seed N] \
+const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|all] [--seed N] \
                      [--cases N] [--jobs N | --serial] [--quiet]";
 
 struct Opts {
@@ -73,7 +76,7 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     match opts.engine.as_str() {
-        "pattern" | "isa" | "kernel" | "all" => Ok(opts),
+        "pattern" | "isa" | "kernel" | "stats" | "all" => Ok(opts),
         other => Err(format!("unknown engine {other:?}\n{USAGE}")),
     }
 }
@@ -90,6 +93,7 @@ fn main() -> ExitCode {
     let run_pattern = matches!(opts.engine.as_str(), "pattern" | "all");
     let run_isa = matches!(opts.engine.as_str(), "isa" | "all");
     let run_kernel = matches!(opts.engine.as_str(), "kernel" | "all");
+    let run_stats = matches!(opts.engine.as_str(), "stats" | "all");
 
     let mut failed_engines = 0u8;
     let mut report = |r: uve_conform::EngineReport| {
@@ -114,6 +118,19 @@ fn main() -> ExitCode {
     if run_kernel {
         report(uve_conform::run_engine::<KernelEngine>(
             opts.seed, opts.cases, opts.mode,
+        ));
+    }
+    if run_stats {
+        // Each stats case runs the timing model four times (two passes ×
+        // two runner modes), so under `all` it gets a tenth of the case
+        // budget; an explicit `--engine stats` runs the full count.
+        let cases = if opts.engine == "all" {
+            (opts.cases / 10).max(1)
+        } else {
+            opts.cases
+        };
+        report(uve_conform::run_engine::<StatsEngine>(
+            opts.seed, cases, opts.mode,
         ));
     }
 

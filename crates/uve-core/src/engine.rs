@@ -104,8 +104,81 @@ pub enum ChunkStatus {
     Ready(u64),
 }
 
+/// Per-stream-register FIFO occupancy histogram, sampled once per open
+/// stream per engine cycle.
+///
+/// `hist[u][occ]` counts the cycles stream register `u` held exactly `occ`
+/// chunks in its FIFO; rows and columns grow lazily, so the shape is
+/// independent of the configured depth. Conservation law (checked by
+/// `tests/cycle_accounting.rs`): the grand total of all cells equals
+/// [`FifoProfile::samples`], which is the number of (open stream, cycle)
+/// pairs the engine observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FifoProfile {
+    /// `hist[u][occ]` = cycles stream register `u` sat at occupancy `occ`.
+    pub hist: Vec<Vec<u64>>,
+    /// Total samples recorded (one per open stream per cycle).
+    pub samples: u64,
+}
+
+impl FifoProfile {
+    /// Records one occupancy sample for stream register `u`.
+    pub fn record(&mut self, u: u8, occ: usize) {
+        let u = usize::from(u);
+        if self.hist.len() <= u {
+            self.hist.resize(u + 1, Vec::new());
+        }
+        let row = &mut self.hist[u];
+        if row.len() <= occ {
+            row.resize(occ + 1, 0);
+        }
+        row[occ] += 1;
+        self.samples += 1;
+    }
+
+    /// Cycles stream register `u` was open (its row sum).
+    pub fn open_cycles(&self, u: usize) -> u64 {
+        self.hist.get(u).map_or(0, |row| row.iter().sum())
+    }
+
+    /// Mean FIFO occupancy of stream register `u` while open (0.0 if never
+    /// open).
+    pub fn mean_occupancy(&self, u: usize) -> f64 {
+        let open = self.open_cycles(u);
+        if open == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self.hist[u]
+            .iter()
+            .enumerate()
+            .map(|(occ, &n)| occ as u64 * n)
+            .sum();
+        weighted as f64 / open as f64
+    }
+
+    /// Highest occupancy ever sampled for stream register `u`.
+    pub fn max_occupancy(&self, u: usize) -> usize {
+        self.hist
+            .get(u)
+            .and_then(|row| row.iter().rposition(|&n| n > 0))
+            .unwrap_or(0)
+    }
+
+    /// Stream registers that were open at least one cycle.
+    pub fn used_registers(&self) -> Vec<usize> {
+        (0..self.hist.len())
+            .filter(|&u| self.open_cycles(u) > 0)
+            .collect()
+    }
+
+    /// Grand total of all histogram cells — always equals `samples`.
+    pub fn total(&self) -> u64 {
+        (0..self.hist.len()).map(|u| self.open_cycles(u)).sum()
+    }
+}
+
 /// Engine activity counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Cache-line requests issued by address generators.
     pub line_requests: u64,
@@ -124,6 +197,8 @@ pub struct EngineStats {
     pub page_faults: u64,
     /// Extra cycles spent on TLB walks.
     pub tlb_walk_cycles: u64,
+    /// Per-stream-register FIFO occupancy histogram.
+    pub fifo: FifoProfile,
 }
 
 #[derive(Debug)]
@@ -185,7 +260,7 @@ impl EngineSim {
 
     /// Activity statistics.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// Registers a stream instance when its completing configuration
@@ -223,6 +298,14 @@ impl EngineSim {
     /// `processing_modules` streams (lowest FIFO occupancy first) and each
     /// processes one address-generator step against the memory hierarchy.
     pub fn tick(&mut self, now: u64, streams: &[StreamTrace], mem: &mut MemSystem) {
+        // Observability: sample every open stream's FIFO occupancy. The
+        // iteration order over the HashMap is arbitrary, but the samples are
+        // commutative counter increments, so the result is deterministic.
+        for (inst, s) in self.streams.iter() {
+            self.stats
+                .fifo
+                .record(streams[*inst as usize].u, s.occupancy());
+        }
         // Scheduler: select eligible streams by ascending occupancy.
         let mut eligible: Vec<(usize, StreamInstance)> = self
             .streams
@@ -367,6 +450,18 @@ impl EngineSim {
     /// Number of currently open streams.
     pub fn open_streams(&self) -> usize {
         self.streams.len()
+    }
+
+    /// Current `(instance, FIFO occupancy)` of every open stream, sorted by
+    /// instance — the event-log poll for occupancy timelines.
+    pub fn occupancies(&self) -> Vec<(StreamInstance, usize)> {
+        let mut v: Vec<(StreamInstance, usize)> = self
+            .streams
+            .iter()
+            .map(|(inst, s)| (*inst, s.occupancy()))
+            .collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -604,6 +699,49 @@ mod tests {
         assert_eq!(e.stats().page_faults, 0);
         assert!(e.stats().tlb_walk_cycles > 0);
         assert!(matches!(e.chunk_status(0, 5), ChunkStatus::Ready(_)));
+    }
+
+    #[test]
+    fn fifo_profile_conserves_samples() {
+        let chunks: Vec<ChunkMeta> = (0..8).map(|i| lines(&[i])).collect();
+        let streams = vec![mk_stream(Dir::Load, chunks)];
+        let mut e = EngineSim::new(EngineConfig::default());
+        let mut m = mem();
+        e.open(0, &streams[0], 0);
+        for now in 0..50 {
+            e.tick(now, &streams, &mut m);
+        }
+        let fifo = e.stats().fifo;
+        // One open stream sampled once per cycle.
+        assert_eq!(fifo.samples, 50);
+        assert_eq!(fifo.total(), 50);
+        assert_eq!(fifo.open_cycles(0), 50);
+        assert_eq!(fifo.used_registers(), vec![0]);
+        // Runahead fills the FIFO: with no commits, occupancy reaches the
+        // full configured depth and never exceeds it.
+        assert_eq!(fifo.max_occupancy(0), EngineConfig::default().fifo_depth);
+        assert!(fifo.mean_occupancy(0) > 0.0);
+    }
+
+    #[test]
+    fn occupancies_reports_open_streams_sorted() {
+        let streams = vec![
+            mk_stream(Dir::Load, (0..4).map(|i| lines(&[i])).collect()),
+            mk_stream(Dir::Load, (100..104).map(|i| lines(&[i])).collect()),
+        ];
+        let mut e = EngineSim::new(EngineConfig::default());
+        let mut m = mem();
+        e.open(1, &streams[1], 0);
+        e.open(0, &streams[0], 0);
+        for now in 0..20 {
+            e.tick(now, &streams, &mut m);
+        }
+        let occ = e.occupancies();
+        assert_eq!(occ.len(), 2);
+        assert_eq!((occ[0].0, occ[1].0), (0, 1));
+        assert!(occ
+            .iter()
+            .all(|&(_, o)| o <= EngineConfig::default().fifo_depth));
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //! substitution documented in `DESIGN.md`.
 
 use crate::config::CpuConfig;
+use crate::events::{ChunkSpan, EventLog, FifoPoint, OpSpan};
 use crate::predictor::Bimodal;
 use crate::stats::{RenameBlockReason, TimingStats};
 use std::collections::{HashMap, VecDeque};
 use uve_core::engine::{ChunkStatus, EngineSim};
 use uve_core::Trace;
-use uve_isa::{ExecClass, RegClass, RegRef};
+use uve_isa::{Dir, ExecClass, RegClass, RegRef};
 use uve_mem::{MemSystem, Path, LINE_BYTES};
 
 /// Scheduler cluster indices.
@@ -89,6 +90,18 @@ impl OoOCore {
         self.run_with(trace, &mut mem)
     }
 
+    /// Simulates the trace once over a fresh (cold) hierarchy while
+    /// capturing per-instruction pipeline spans, stream chunk load-to-use
+    /// spans and FIFO occupancy timelines — the single-run visualization
+    /// hook behind `uve-bench --bin trace`.
+    pub fn run_traced(&self, trace: &Trace) -> (TimingStats, EventLog) {
+        let mut mem = MemSystem::new(self.cfg.mem.clone());
+        let mut log = EventLog::default();
+        let stats = self.run_inner(trace, &mut mem, Some(&mut log));
+        log.cycles = stats.cycles;
+        (stats, log)
+    }
+
     /// Simulates the trace to completion against an existing memory system
     /// and returns timing statistics.
     ///
@@ -96,8 +109,17 @@ impl OoOCore {
     ///
     /// Panics if the simulation exceeds `max_cycles` (a model bug, not a
     /// user error).
-    #[allow(clippy::too_many_lines)]
     pub fn run_with(&self, trace: &Trace, mem: &mut MemSystem) -> TimingStats {
+        self.run_inner(trace, mem, None)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_inner(
+        &self,
+        trace: &Trace,
+        mem: &mut MemSystem,
+        mut events: Option<&mut EventLog>,
+    ) -> TimingStats {
         let cfg = &self.cfg;
         let n = trace.ops.len();
         let mut engine = EngineSim::new(cfg.engine);
@@ -130,6 +152,18 @@ impl OoOCore {
         let mut dbg_rename: Vec<u64> = if dbg { vec![0; n] } else { Vec::new() };
         let mut dbg_issue: Vec<u64> = if dbg { vec![0; n] } else { Vec::new() };
 
+        // Per-load issue outcome for stall attribution, in a ring indexed by
+        // op index modulo the ROB size: at most `rob_entries` ops are in
+        // flight, so slots are never reused before the head retires.
+        let ring = cfg.rob_entries.max(1);
+        let mut load_info: Vec<(u64, u64, bool)> = vec![(0, 0, false); ring];
+
+        // Event capture (only when a log was requested).
+        let track = events.is_some();
+        let mut rename_at: Vec<u64> = if track { vec![0; n] } else { Vec::new() };
+        let mut issue_at: Vec<u64> = if track { vec![0; n] } else { Vec::new() };
+        let mut fifo_last = [0u32; 32];
+
         while commit_ptr < n {
             assert!(
                 now < cfg.max_cycles,
@@ -151,9 +185,31 @@ impl OoOCore {
                     }
                 }
                 for &(inst, chunk) in &op.stream_reads {
+                    if let Some(log) = events.as_deref_mut() {
+                        if let ChunkStatus::Ready(ready) = engine.chunk_status(inst, chunk) {
+                            log.chunks.push(ChunkSpan {
+                                u: trace.streams[inst as usize].u,
+                                chunk,
+                                dir: Dir::Load,
+                                ready,
+                                commit: now,
+                            });
+                        }
+                    }
                     engine.commit_read(inst, chunk);
                 }
                 for &(inst, chunk) in &op.stream_writes {
+                    if let Some(log) = events.as_deref_mut() {
+                        if let ChunkStatus::Ready(ready) = engine.chunk_status(inst, chunk) {
+                            log.chunks.push(ChunkSpan {
+                                u: trace.streams[inst as usize].u,
+                                chunk,
+                                dir: Dir::Store,
+                                ready,
+                                commit: now,
+                            });
+                        }
+                    }
                     engine.commit_write(inst, chunk, now, &trace.streams, mem);
                 }
                 if let Some(inst) = op.stream_close {
@@ -183,6 +239,17 @@ impl OoOCore {
                             op.stream_reads, op.stream_writes
                         );
                     }
+                }
+                if let Some(log) = events.as_deref_mut() {
+                    log.ops.push(OpSpan {
+                        idx: idx as u32,
+                        pc: op.pc,
+                        exec: op.exec,
+                        rename: rename_at[idx],
+                        issue: issue_at[idx],
+                        done: done[idx],
+                        commit: now,
+                    });
                 }
                 commit_ptr += 1;
                 committed += 1;
@@ -246,15 +313,20 @@ impl OoOCore {
                                 now + 1
                             } else {
                                 let mut ready = now;
+                                let mut mshr_wait = 0;
+                                let mut from_dram = false;
                                 for &line in &op.mem_lines {
-                                    let r = mem.read(
+                                    let r = mem.read_explained(
                                         line * LINE_BYTES,
                                         u64::from(op.pc),
                                         now,
                                         Path::Normal,
                                     );
-                                    ready = ready.max(r);
+                                    ready = ready.max(r.ready);
+                                    mshr_wait += r.mshr_wait;
+                                    from_dram |= r.from_dram;
                                 }
+                                load_info[idx % ring] = (now, mshr_wait, from_dram);
                                 ready
                             }
                         }
@@ -262,6 +334,9 @@ impl OoOCore {
                         class => now + cfg.latency(class),
                     };
                     done[idx] = completion;
+                    if track {
+                        issue_at[idx] = now;
+                    }
                     if dbg {
                         dbg_issue[idx] = now;
                     }
@@ -287,6 +362,10 @@ impl OoOCore {
 
             // ---- rename / dispatch (in order, fetch_width per cycle) ----
             let mut renamed = 0;
+            // The reason rename made zero progress this cycle, if any (and,
+            // for store-FIFO back-pressure, the stream register to blame).
+            let mut cycle_block: Option<RenameBlockReason> = None;
+            let mut cycle_block_u: u8 = 0;
             while renamed < cfg.fetch_width {
                 let Some(&idx) = decode_q.front() else { break };
                 let op = &trace.ops[idx];
@@ -314,6 +393,16 @@ impl OoOCore {
                     if renamed == 0 {
                         stats.rename_blocked_cycles += 1;
                         stats.rename_block_reasons.bump(reason);
+                        cycle_block = Some(reason);
+                        if reason == RenameBlockReason::StoreFifo {
+                            cycle_block_u = op
+                                .stream_writes
+                                .iter()
+                                .find(|&&(inst, chunk)| {
+                                    engine.chunk_status(inst, chunk) == ChunkStatus::NotFetched
+                                })
+                                .map_or(0, |&(inst, _)| trace.streams[inst as usize].u);
+                        }
                     }
                     break;
                 }
@@ -340,6 +429,9 @@ impl OoOCore {
                     .collect();
                 for d in &op.dests {
                     last_writer.insert(*d, idx);
+                }
+                if track {
+                    rename_at[idx] = now;
                 }
                 if dbg {
                     dbg_rename[idx] = now;
@@ -383,6 +475,88 @@ impl OoOCore {
 
             // ---- streaming engine ----
             engine.tick(now, &trace.streams, mem);
+
+            // ---- FIFO occupancy timeline (change-compressed) ----
+            if let Some(log) = events.as_deref_mut() {
+                let mut cur = [0u32; 32];
+                for (inst, occ) in engine.occupancies() {
+                    cur[usize::from(trace.streams[inst as usize].u) & 31] = occ as u32;
+                }
+                for (u, (&c, last)) in cur.iter().zip(fifo_last.iter_mut()).enumerate() {
+                    if c != *last {
+                        log.fifo.push(FifoPoint {
+                            cycle: now,
+                            u: u as u8,
+                            occupancy: c,
+                        });
+                        *last = c;
+                    }
+                }
+            }
+
+            // ---- top-down cycle attribution ----
+            // Exactly one category per cycle; see `CycleAccount` for the
+            // cascade. `committed == 0` implies `commit_ptr` did not move,
+            // so when the ROB is non-empty `trace.ops[commit_ptr]` is its
+            // oldest (head) entry.
+            let acct = &mut stats.account;
+            if committed > 0 {
+                acct.retiring += 1;
+            } else {
+                let head = commit_ptr;
+                let head_op = &trace.ops[head];
+                let head_issued = rob_used > 0 && done[head] != NOT_DONE;
+                let head_waiting_mem = head_issued
+                    && done[head] > now
+                    && head_op.exec == ExecClass::Load
+                    && !head_op.mem_lines.is_empty();
+                let head_stream_stall: Option<u8> = if rob_used > 0 && done[head] == NOT_DONE {
+                    head_op
+                        .stream_reads
+                        .iter()
+                        .find(|&&(inst, chunk)| {
+                            !matches!(engine.chunk_status(inst, chunk),
+                                      ChunkStatus::Ready(r) if r <= now)
+                        })
+                        .map(|&(inst, _)| trace.streams[inst as usize].u)
+                } else {
+                    None
+                };
+                if head_waiting_mem {
+                    let (issue, mshr_wait, from_dram) = load_info[head % ring];
+                    if now < issue + mshr_wait {
+                        acct.mshr_wait += 1;
+                    } else if from_dram {
+                        acct.dram_wait += 1;
+                    } else {
+                        acct.cache_wait += 1;
+                    }
+                } else if let Some(u) = head_stream_stall {
+                    acct.fifo_empty += 1;
+                    acct.fifo_empty_by_u[usize::from(u) & 31] += 1;
+                } else if let Some(reason) = cycle_block {
+                    match reason {
+                        RenameBlockReason::Rob => acct.rob_full += 1,
+                        RenameBlockReason::Iq => acct.iq_full += 1,
+                        RenameBlockReason::Lsq => acct.lsq_full += 1,
+                        RenameBlockReason::Prf => acct.prf_starved += 1,
+                        RenameBlockReason::StoreFifo => {
+                            acct.fifo_full += 1;
+                            acct.fifo_full_by_u[usize::from(cycle_block_u) & 31] += 1;
+                        }
+                    }
+                } else if rob_used > 0 {
+                    if head_issued {
+                        acct.execute += 1;
+                    } else {
+                        acct.depend += 1;
+                    }
+                } else if fetch_stalled_on.is_some() {
+                    acct.branch_redirect += 1;
+                } else {
+                    acct.frontend += 1;
+                }
+            }
 
             now += 1;
         }
@@ -487,6 +661,56 @@ skip:
         // Each mispredict costs at least the redirect penalty in fetch
         // bubbles; the run must be visibly slower than 2 IPC.
         assert!(s.cycles > s.committed / 2);
+    }
+
+    #[test]
+    fn cycle_account_partitions_every_run() {
+        // Cold, warm, and a mispredict-heavy trace must all account for
+        // exactly `cycles` cycles.
+        let mut text = String::from("li x1, 0x100000\n");
+        for _ in 0..16 {
+            text.push_str("ld.d x1, 0(x1)\n");
+        }
+        text.push_str("halt\n");
+        let chase = trace_of(&text, |emu| {
+            let mut addr = 0x100000u64;
+            for i in 1..20u64 {
+                let next = 0x100000 + i * 4096;
+                emu.mem.write_u64(addr, next);
+                addr = next;
+            }
+        });
+        let core = OoOCore::new(CpuConfig::default());
+        for s in [core.run(&chase), core.run_warm(&chase)] {
+            s.account.check(s.cycles).unwrap();
+            // Dependent uncached loads: memory waits must dominate.
+            assert!(
+                s.account.dram_wait + s.account.cache_wait + s.account.mshr_wait > s.cycles / 4,
+                "{:?}",
+                s.account
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_captures_spans_and_matches_cold_run() {
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("addi x{}, x0, 1\n", 1 + (i % 8)));
+        }
+        text.push_str("halt\n");
+        let t = trace_of(&text, |_| {});
+        let core = OoOCore::new(CpuConfig::default());
+        let (stats, log) = core.run_traced(&t);
+        assert_eq!(stats, core.run(&t), "event capture must not perturb timing");
+        assert_eq!(log.cycles, stats.cycles);
+        assert_eq!(log.ops.len() as u64, stats.committed);
+        for w in log.ops.windows(2) {
+            assert!(w[0].commit <= w[1].commit, "commit order");
+        }
+        for op in &log.ops {
+            assert!(op.rename <= op.issue && op.issue <= op.done && op.done <= op.commit);
+        }
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Per-cycle event capture for single-run visualization.
+//!
+//! [`OoOCore::run_traced`](crate::OoOCore::run_traced) records, on top of
+//! the aggregate statistics, the pipeline span of every committed
+//! instruction, the load-to-use span of every stream chunk, and a
+//! change-compressed timeline of per-stream FIFO occupancy. `uve-bench`
+//! renders an [`EventLog`] as Chrome trace-event JSON (`--bin trace`).
+
+use uve_isa::{Dir, ExecClass};
+
+/// Pipeline span of one committed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpSpan {
+    /// Index in the trace's committed-op order.
+    pub idx: u32,
+    /// Static instruction address.
+    pub pc: u32,
+    /// Execution class (selects the scheduler cluster).
+    pub exec: ExecClass,
+    /// Cycle the op was renamed into the backend.
+    pub rename: u64,
+    /// Cycle the op issued to its functional unit.
+    pub issue: u64,
+    /// Cycle the op's result became available.
+    pub done: u64,
+    /// Cycle the op committed.
+    pub commit: u64,
+}
+
+/// One change-point in a stream register's FIFO occupancy timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoPoint {
+    /// Cycle of the change.
+    pub cycle: u64,
+    /// Architectural stream register.
+    pub u: u8,
+    /// New occupancy in chunks (0 when the stream closes).
+    pub occupancy: u32,
+}
+
+/// Lifetime of one stream chunk at the FIFO interface: from the cycle its
+/// data (loads) or slot (stores) was ready to the cycle the consuming /
+/// producing instruction committed — the load-to-use window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// Architectural stream register.
+    pub u: u8,
+    /// Chunk index within the stream.
+    pub chunk: u32,
+    /// Load (data arrived) or store (slot reserved).
+    pub dir: Dir,
+    /// Cycle the chunk became ready in the FIFO.
+    pub ready: u64,
+    /// Cycle the chunk was committed (FIFO entry freed).
+    pub commit: u64,
+}
+
+/// Everything [`run_traced`](crate::OoOCore::run_traced) captured from one
+/// run.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// One span per committed instruction, in commit order.
+    pub ops: Vec<OpSpan>,
+    /// FIFO occupancy change-points, in cycle order.
+    pub fifo: Vec<FifoPoint>,
+    /// Stream chunk load-to-use spans, in commit order.
+    pub chunks: Vec<ChunkSpan>,
+}

@@ -34,10 +34,12 @@
 
 mod config;
 mod core;
+mod events;
 mod predictor;
 mod stats;
 
 pub use config::CpuConfig;
 pub use core::OoOCore;
+pub use events::{ChunkSpan, EventLog, FifoPoint, OpSpan};
 pub use predictor::Bimodal;
-pub use stats::{RenameBlockReason, RenameBlockReasons, TimingStats};
+pub use stats::{CycleAccount, RenameBlockReason, RenameBlockReasons, TimingStats};

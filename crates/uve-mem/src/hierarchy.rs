@@ -5,6 +5,7 @@
 use crate::cache::{Access, Cache, CacheStats, LINE_BYTES};
 use crate::dram::{Dram, DramConfig, DramStats};
 use crate::prefetch::{AmpmPrefetcher, StridePrefetcher};
+use crate::profile::{ReadProfile, ReqClass, ServedBy};
 use crate::tlb::{Tlb, Translation};
 
 /// Configuration of the memory hierarchy (Table I defaults).
@@ -117,7 +118,7 @@ impl MshrBank {
 }
 
 /// Aggregated statistics of a hierarchy instance.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1-D statistics.
     pub l1: CacheStats,
@@ -133,6 +134,22 @@ pub struct MemStats {
     pub tlb_hits: u64,
     /// TLB misses.
     pub tlb_misses: u64,
+    /// Per-(requester, serving level) read latency distributions.
+    pub profile: ReadProfile,
+}
+
+/// What happened to one demand read: when the data is usable, how long the
+/// request waited for a free MSHR slot, and whether DRAM served it. The
+/// core uses this to attribute a stalled load to MSHR pressure vs. DRAM
+/// queueing vs. plain cache latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Cycle the data is usable (what [`MemSystem::read`] returns).
+    pub ready: u64,
+    /// Cycles spent waiting for a free L1/L2 MSHR slot.
+    pub mshr_wait: u64,
+    /// `true` if the line came from DRAM.
+    pub from_dram: bool,
 }
 
 /// The timing model of the memory hierarchy.
@@ -156,6 +173,7 @@ pub struct MemSystem {
     l2_mshrs: MshrBank,
     reads: u64,
     writes: u64,
+    profile: ReadProfile,
 }
 
 impl MemSystem {
@@ -173,6 +191,7 @@ impl MemSystem {
             l2_mshrs: MshrBank::new(cfg.l2_mshrs),
             reads: 0,
             writes: 0,
+            profile: ReadProfile::default(),
             cfg,
         }
     }
@@ -202,6 +221,7 @@ impl MemSystem {
             writes: self.writes,
             tlb_hits: self.tlb.hits(),
             tlb_misses: self.tlb.misses(),
+            profile: self.profile,
         }
     }
 
@@ -224,15 +244,19 @@ impl MemSystem {
     /// requests carry exact pattern knowledge, and prefetching on top of
     /// them creates in-flight interception chains that only slow the stream
     /// down.
-    fn l2_read(&mut self, line: u64, now: u64, allocate: bool, train: bool) -> u64 {
+    fn l2_read(&mut self, line: u64, now: u64, allocate: bool, train: bool) -> ReadOutcome {
         let dbg = std::env::var("UVE_MEM_TRACE").is_ok();
         let start = self.l2_port(now);
-        let ready = match self.l2.access(line, false, start) {
+        let out = match self.l2.access(line, false, start) {
             Access::Hit { ready } => {
                 if dbg {
                     eprintln!("l2_read now={now} start={start} HIT line_ready={ready}");
                 }
-                ready.max(start) + self.cfg.l2_latency
+                ReadOutcome {
+                    ready: ready.max(start) + self.cfg.l2_latency,
+                    mshr_wait: 0,
+                    from_dram: false,
+                }
             }
             Access::Miss => {
                 let (slot, miss_start) = self.l2_mshrs.acquire(start);
@@ -250,43 +274,72 @@ impl MemSystem {
                         self.dram.write(victim, start);
                     }
                 }
-                ready
+                ReadOutcome {
+                    ready,
+                    mshr_wait: miss_start - start,
+                    from_dram: true,
+                }
             }
         };
         if self.cfg.l2_prefetcher && train {
             for pf in self.ampm.observe(line) {
                 if !self.l2.probe(pf) {
                     let pf_ready = self.dram.read(pf, start + self.cfg.l2_latency);
+                    self.profile
+                        .record(ReqClass::Prefetch, ServedBy::Dram, pf_ready - start);
                     if let Some(victim) = self.l2.fill_prefetch(pf, pf_ready) {
                         self.dram.write(victim, pf_ready);
                     }
                 }
             }
         }
-        ready
+        out
     }
 
-    /// A demand read of the line containing byte address `addr`, issued by
-    /// instruction `pc` at cycle `now` along `path`. Returns the cycle the
-    /// data is usable.
-    pub fn read(&mut self, addr: u64, pc: u64, now: u64, path: Path) -> u64 {
+    /// A demand read of the line containing byte address `addr`; like
+    /// [`MemSystem::read`] but additionally reports MSHR waiting time and
+    /// whether DRAM served the request, for stall attribution.
+    pub fn read_explained(&mut self, addr: u64, pc: u64, now: u64, path: Path) -> ReadOutcome {
         self.reads += 1;
         let line = addr / LINE_BYTES;
+        let class = if path == Path::Normal {
+            ReqClass::Demand
+        } else {
+            ReqClass::Stream
+        };
         match path {
             Path::Normal | Path::StreamL1 => {
-                let ready = match self.l1.access(line, false, now) {
-                    Access::Hit { ready } => ready.max(now) + self.cfg.l1_latency,
+                let out = match self.l1.access(line, false, now) {
+                    Access::Hit { ready } => {
+                        let out = ReadOutcome {
+                            ready: ready.max(now) + self.cfg.l1_latency,
+                            mshr_wait: 0,
+                            from_dram: false,
+                        };
+                        self.profile.record(class, ServedBy::L1, out.ready - now);
+                        out
+                    }
                     Access::Miss => {
                         let (slot, start) = self.l1_mshrs.acquire(now);
-                        let ready = self.l2_read(line, start + self.cfg.l1_latency, true, true);
-                        self.l1_mshrs.release_at(slot, ready);
-                        if let Some(victim) = self.l1.fill(line, false, ready) {
+                        let inner = self.l2_read(line, start + self.cfg.l1_latency, true, true);
+                        self.l1_mshrs.release_at(slot, inner.ready);
+                        if let Some(victim) = self.l1.fill(line, false, inner.ready) {
                             // Dirty L1 eviction: write back into L2.
                             if let Some(v2) = self.l2.fill(victim, true, now) {
                                 self.dram.write(v2, now);
                             }
                         }
-                        ready
+                        let served = if inner.from_dram {
+                            ServedBy::Dram
+                        } else {
+                            ServedBy::L2
+                        };
+                        self.profile.record(class, served, inner.ready - now);
+                        ReadOutcome {
+                            ready: inner.ready,
+                            mshr_wait: (start - now) + inner.mshr_wait,
+                            from_dram: inner.from_dram,
+                        }
                     }
                 };
                 if self.cfg.l1_prefetcher && path == Path::Normal {
@@ -294,10 +347,16 @@ impl MemSystem {
                     for pf in reqs {
                         if !self.l1.probe(pf) {
                             let (slot, start) = self.l1_mshrs.acquire(now);
-                            let pf_ready =
-                                self.l2_read(pf, start + self.cfg.l1_latency, true, true);
-                            self.l1_mshrs.release_at(slot, pf_ready);
-                            if let Some(victim) = self.l1.fill_prefetch(pf, pf_ready) {
+                            let inner = self.l2_read(pf, start + self.cfg.l1_latency, true, true);
+                            self.l1_mshrs.release_at(slot, inner.ready);
+                            let served = if inner.from_dram {
+                                ServedBy::Dram
+                            } else {
+                                ServedBy::L2
+                            };
+                            self.profile
+                                .record(ReqClass::Prefetch, served, inner.ready - now);
+                            if let Some(victim) = self.l1.fill_prefetch(pf, inner.ready) {
                                 if let Some(v2) = self.l2.fill(victim, true, now) {
                                     self.dram.write(v2, now);
                                 }
@@ -305,19 +364,39 @@ impl MemSystem {
                         }
                     }
                 }
-                ready
+                out
             }
             Path::StreamL2 => {
                 // Non-cacheable at L1: straight to the L2, treated there as
                 // a normal (cacheable) load; does not train the prefetcher.
-                self.l2_read(line, now, true, false)
+                let out = self.l2_read(line, now, true, false);
+                let served = if out.from_dram {
+                    ServedBy::Dram
+                } else {
+                    ServedBy::L2
+                };
+                self.profile.record(class, served, out.ready - now);
+                out
             }
             Path::StreamMem => {
                 // Non-cacheable at all levels: direct DRAM read, no fills,
                 // no pollution.
-                self.dram.read(line, now)
+                let ready = self.dram.read(line, now);
+                self.profile.record(class, ServedBy::Dram, ready - now);
+                ReadOutcome {
+                    ready,
+                    mshr_wait: 0,
+                    from_dram: true,
+                }
             }
         }
+    }
+
+    /// A demand read of the line containing byte address `addr`, issued by
+    /// instruction `pc` at cycle `now` along `path`. Returns the cycle the
+    /// data is usable.
+    pub fn read(&mut self, addr: u64, pc: u64, now: u64, path: Path) -> u64 {
+        self.read_explained(addr, pc, now, path).ready
     }
 
     /// A demand write of the line containing `addr` (write-allocate at L1
@@ -333,14 +412,21 @@ impl MemSystem {
                     Access::Miss => {
                         // Write-allocate: fetch the line, then dirty it.
                         let (slot, start) = self.l1_mshrs.acquire(now);
-                        let ready = self.l2_read(line, start + self.cfg.l1_latency, true, true);
-                        self.l1_mshrs.release_at(slot, ready);
-                        if let Some(victim) = self.l1.fill(line, true, ready) {
+                        let inner = self.l2_read(line, start + self.cfg.l1_latency, true, true);
+                        self.l1_mshrs.release_at(slot, inner.ready);
+                        let served = if inner.from_dram {
+                            ServedBy::Dram
+                        } else {
+                            ServedBy::L2
+                        };
+                        self.profile
+                            .record(ReqClass::WriteAlloc, served, inner.ready - now);
+                        if let Some(victim) = self.l1.fill(line, true, inner.ready) {
                             if let Some(v2) = self.l2.fill(victim, true, now) {
                                 self.dram.write(v2, now);
                             }
                         }
-                        ready
+                        inner.ready
                     }
                 }
             }
@@ -351,6 +437,8 @@ impl MemSystem {
                     Access::Miss => {
                         let (slot, miss_start) = self.l2_mshrs.acquire(start);
                         let ready = self.dram.read(line, miss_start + self.cfg.l2_latency);
+                        self.profile
+                            .record(ReqClass::WriteAlloc, ServedBy::Dram, ready - now);
                         self.l2_mshrs.release_at(slot, ready);
                         if let Some(victim) = self.l2.fill(line, true, ready) {
                             self.dram.write(victim, start);
@@ -415,11 +503,13 @@ impl MemSystem {
         self.dram.reset();
         self.l1.reset_stats();
         self.l2.reset_stats();
+        self.tlb.reset_stats();
         self.l2_port_free = 0;
         self.l1_mshrs = MshrBank::new(self.cfg.l1_mshrs);
         self.l2_mshrs = MshrBank::new(self.cfg.l2_mshrs);
         self.reads = 0;
         self.writes = 0;
+        self.profile = ReadProfile::default();
     }
 
     /// Peak DRAM bandwidth in bytes/cycle.
@@ -523,6 +613,76 @@ mod tests {
             now = m.write(i * 64, 1, now, Path::StreamL2);
         }
         assert!(m.stats().dram.writes > 0);
+    }
+
+    /// Every DRAM read must be attributed to exactly one `(class, Dram)`
+    /// histogram, and every demand/stream read records exactly one sample.
+    fn assert_profile_conserved(m: &MemSystem) {
+        let s = m.stats();
+        assert_eq!(s.profile.served_count(ServedBy::Dram), s.dram.reads);
+        assert_eq!(
+            s.profile.class_count(ReqClass::Demand) + s.profile.class_count(ReqClass::Stream),
+            s.reads
+        );
+        for class in ReqClass::ALL {
+            for served in ServedBy::ALL {
+                let h = s.profile.get(class, served);
+                assert_eq!(h.bucket_total(), h.count);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_accounts_every_dram_read() {
+        let mut m = MemSystem::new(MemConfig::default()); // prefetchers on
+        let mut now = 0;
+        for i in 0..64u64 {
+            now = m.read(0x10_0000 + i * 64, 42, now, Path::Normal);
+            now = m.write(0x20_0000 + i * 64, 43, now, Path::Normal);
+            m.read(0x30_0000 + i * 64, 44, now, Path::StreamL2);
+            m.read(0x40_0000 + i * 64, 45, now, Path::StreamMem);
+            m.write(0x50_0000 + i * 64, 46, now, Path::StreamL2);
+        }
+        assert_profile_conserved(&m);
+        let s = m.stats();
+        assert!(s.profile.get(ReqClass::Prefetch, ServedBy::Dram).count > 0);
+        assert!(s.profile.class_count(ReqClass::WriteAlloc) > 0);
+        assert!(s.profile.get(ReqClass::Stream, ServedBy::Dram).count >= 64);
+    }
+
+    #[test]
+    fn read_explained_matches_read() {
+        let mut a = MemSystem::new(no_pf_cfg());
+        let mut b = MemSystem::new(no_pf_cfg());
+        for (i, path) in [Path::Normal, Path::StreamL2, Path::StreamMem, Path::Normal]
+            .into_iter()
+            .enumerate()
+        {
+            let addr = 0x8000 + i as u64 * 64;
+            assert_eq!(
+                a.read(addr, 1, 0, path),
+                b.read_explained(addr, 1, 0, path).ready
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn reset_stats_zeroes_tlb_and_profile() {
+        let mut m = MemSystem::new(no_pf_cfg());
+        m.translate(0x1000);
+        m.translate(0x1000);
+        m.read(0x1000, 1, 0, Path::Normal);
+        let s = m.stats();
+        assert_eq!((s.tlb_hits, s.tlb_misses), (1, 1));
+        assert!(s.profile.total_count() > 0);
+        m.reset_stats();
+        let s = m.stats();
+        assert_eq!((s.tlb_hits, s.tlb_misses), (0, 0));
+        assert_eq!(s.profile.total_count(), 0);
+        // Warm state survives: the translation is still cached.
+        m.translate(0x1000);
+        assert_eq!((m.stats().tlb_hits, m.stats().tlb_misses), (1, 0));
     }
 
     #[test]

@@ -30,11 +30,13 @@ mod dram;
 mod hierarchy;
 mod memory;
 mod prefetch;
+mod profile;
 mod tlb;
 
 pub use cache::{Access, Cache, CacheStats, MoesiState, LINE_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use hierarchy::{MemConfig, MemStats, MemSystem, Path};
+pub use hierarchy::{MemConfig, MemStats, MemSystem, Path, ReadOutcome};
 pub use memory::{Memory, PAGE_SIZE};
 pub use prefetch::{AmpmPrefetcher, PrefetchRequest, StridePrefetcher};
+pub use profile::{LatencyHist, ReadProfile, ReqClass, ServedBy, LATENCY_BUCKETS};
 pub use tlb::{Tlb, Translation};

@@ -1,0 +1,216 @@
+//! Per-request latency profiling: who asked (demand load, stream,
+//! prefetcher, write-allocate), who answered (L1, L2, DRAM), and how long
+//! it took, as power-of-two latency histograms.
+//!
+//! The profile is part of [`MemStats`](crate::MemStats) and obeys two
+//! conservation laws checked by `tests/cycle_accounting.rs`:
+//!
+//! - every DRAM read appears in exactly one `(class, Dram)` histogram, so
+//!   the per-class DRAM counts sum to `DramStats::reads`;
+//! - every demand/stream `read()` records exactly one sample, so the
+//!   `Demand` + `Stream` sample counts sum to `MemStats::reads`.
+
+/// Who issued a profiled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqClass {
+    /// Conventional demand load from the core ([`Path::Normal`]).
+    ///
+    /// [`Path::Normal`]: crate::Path::Normal
+    Demand,
+    /// Streaming Engine request (any stream path).
+    Stream,
+    /// Hardware prefetch (L1 stride or L2 AMPM).
+    Prefetch,
+    /// Line fetch triggered by a write-allocate miss.
+    WriteAlloc,
+}
+
+impl ReqClass {
+    /// All classes, in display order.
+    pub const ALL: [ReqClass; 4] = [
+        ReqClass::Demand,
+        ReqClass::Stream,
+        ReqClass::Prefetch,
+        ReqClass::WriteAlloc,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqClass::Demand => "demand",
+            ReqClass::Stream => "stream",
+            ReqClass::Prefetch => "prefetch",
+            ReqClass::WriteAlloc => "write-alloc",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ReqClass::Demand => 0,
+            ReqClass::Stream => 1,
+            ReqClass::Prefetch => 2,
+            ReqClass::WriteAlloc => 3,
+        }
+    }
+}
+
+/// Which level of the hierarchy served a profiled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Data came out of the L1-D.
+    L1,
+    /// Data came out of the unified L2.
+    L2,
+    /// Data came from DRAM.
+    Dram,
+}
+
+impl ServedBy {
+    /// All levels, in hierarchy order.
+    pub const ALL: [ServedBy; 3] = [ServedBy::L1, ServedBy::L2, ServedBy::Dram];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServedBy::L1 => "L1",
+            ServedBy::L2 => "L2",
+            ServedBy::Dram => "DRAM",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ServedBy::L1 => 0,
+            ServedBy::L2 => 1,
+            ServedBy::Dram => 2,
+        }
+    }
+}
+
+/// Number of power-of-two latency buckets; bucket `i` covers
+/// `[2^i, 2^(i+1))` cycles (bucket 0 covers `[0, 2)`), the last bucket is
+/// open-ended.
+pub const LATENCY_BUCKETS: usize = 12;
+
+/// A latency distribution: integer-only (deterministic across job counts)
+/// count/total/max plus power-of-two buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all sampled latencies, in cycles.
+    pub total_cycles: u64,
+    /// Largest sampled latency.
+    pub max_cycles: u64,
+    /// Power-of-two buckets; see [`LATENCY_BUCKETS`].
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl LatencyHist {
+    /// Records one sample of `latency` cycles.
+    pub fn record(&mut self, latency: u64) {
+        self.count += 1;
+        self.total_cycles += latency;
+        self.max_cycles = self.max_cycles.max(latency);
+        self.buckets[Self::bucket_of(latency)] += 1;
+    }
+
+    /// Bucket index holding `latency` (saturating into the last bucket).
+    pub fn bucket_of(latency: u64) -> usize {
+        ((64 - latency.leading_zeros() as usize).saturating_sub(1)).min(LATENCY_BUCKETS - 1)
+    }
+
+    /// Mean latency (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.count as f64
+        }
+    }
+
+    /// Sum of bucket counts — always equals `count` (conservation law).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
+/// Latency histograms for every `(requester class, serving level)` pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadProfile {
+    hists: [[LatencyHist; 3]; 4],
+}
+
+impl ReadProfile {
+    /// Records one served read.
+    pub fn record(&mut self, class: ReqClass, served: ServedBy, latency: u64) {
+        self.hists[class.index()][served.index()].record(latency);
+    }
+
+    /// The histogram for one `(class, level)` pair.
+    pub fn get(&self, class: ReqClass, served: ServedBy) -> &LatencyHist {
+        &self.hists[class.index()][served.index()]
+    }
+
+    /// Total samples for a class across all serving levels.
+    pub fn class_count(&self, class: ReqClass) -> u64 {
+        ServedBy::ALL
+            .iter()
+            .map(|&s| self.get(class, s).count)
+            .sum()
+    }
+
+    /// Total samples served by one level across all classes.
+    pub fn served_count(&self, served: ServedBy) -> u64 {
+        ReqClass::ALL
+            .iter()
+            .map(|&c| self.get(c, served).count)
+            .sum()
+    }
+
+    /// All samples.
+    pub fn total_count(&self) -> u64 {
+        ServedBy::ALL.iter().map(|&s| self.served_count(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(LatencyHist::bucket_of(0), 0);
+        assert_eq!(LatencyHist::bucket_of(1), 0);
+        assert_eq!(LatencyHist::bucket_of(2), 1);
+        assert_eq!(LatencyHist::bucket_of(3), 1);
+        assert_eq!(LatencyHist::bucket_of(4), 2);
+        assert_eq!(LatencyHist::bucket_of(1023), 9);
+        assert_eq!(LatencyHist::bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn hist_conserves_samples() {
+        let mut h = LatencyHist::default();
+        for lat in [0, 1, 4, 13, 70, 700, 1 << 40] {
+            h.record(lat);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.bucket_total(), 7);
+        assert_eq!(h.max_cycles, 1 << 40);
+        assert_eq!(h.total_cycles, 1 + 4 + 13 + 70 + 700 + (1u64 << 40));
+    }
+
+    #[test]
+    fn profile_marginals_add_up() {
+        let mut p = ReadProfile::default();
+        p.record(ReqClass::Demand, ServedBy::L1, 4);
+        p.record(ReqClass::Demand, ServedBy::Dram, 90);
+        p.record(ReqClass::Stream, ServedBy::L2, 13);
+        p.record(ReqClass::Prefetch, ServedBy::Dram, 80);
+        assert_eq!(p.class_count(ReqClass::Demand), 2);
+        assert_eq!(p.served_count(ServedBy::Dram), 2);
+        assert_eq!(p.total_count(), 4);
+        assert_eq!(p.get(ReqClass::Stream, ServedBy::L2).count, 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Conservation laws of the cycle-accounting observability layer, checked
+//! over the full 19-kernel evaluation suite.
+//!
+//! For every kernel × flavor (UVE, SVE, NEON) — and additionally for UVE
+//! at 16- and 32-byte vector lengths — one timing run must satisfy:
+//!
+//! - **cycle conservation**: the top-down stall categories sum exactly to
+//!   the run's cycles, and the per-stream-register breakdowns sum to
+//!   their totals ([`CycleAccount::check`]);
+//! - **FIFO-sample conservation**: the occupancy histogram holds exactly
+//!   one sample per open stream per engine cycle;
+//! - **memory-profile conservation**: the latency profile records exactly
+//!   one sample per demand/stream read, per-histogram bucket counts sum
+//!   to the sample counts, and the DRAM-served samples equal the DRAM
+//!   read transactions.
+//!
+//! A leak in any law means a cycle (or request) was attributed twice or
+//! not at all — the `--explain` tables would silently lie.
+
+use uve::bench::{default_jobs, run_indexed, RunMode};
+use uve::core::{EmuConfig, Emulator, Trace};
+use uve::cpu::{CpuConfig, OoOCore, TimingStats};
+use uve::kernels::{evaluation_suite, Benchmark, Flavor};
+use uve::mem::{Memory, ReqClass, ServedBy};
+
+/// Emulates `bench`/`flavor` at an explicit vector length and returns the
+/// checked trace.
+fn trace_at(bench: &dyn Benchmark, flavor: Flavor, vlen_bytes: usize) -> Trace {
+    let cfg = EmuConfig {
+        vlen_bytes,
+        ..EmuConfig::default()
+    };
+    let mut emu = Emulator::new(cfg, Memory::new());
+    bench.setup(&mut emu);
+    let result = emu
+        .run(&bench.program(flavor))
+        .unwrap_or_else(|e| panic!("{}/{flavor}@vl{vlen_bytes}: {e}", bench.name()));
+    bench
+        .check(&emu)
+        .unwrap_or_else(|e| panic!("{}/{flavor}@vl{vlen_bytes}: {e}", bench.name()));
+    result.trace
+}
+
+/// Asserts every conservation law on one run's statistics.
+fn assert_conserved(tag: &str, s: &TimingStats) {
+    // 1. Cycle conservation.
+    s.account
+        .check(s.cycles)
+        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+
+    // 2. FIFO-sample conservation: the histogram is exactly the multiset
+    // of per-cycle occupancy samples.
+    let fifo = &s.engine.fifo;
+    assert_eq!(
+        fifo.total(),
+        fifo.samples,
+        "{tag}: FIFO histogram lost samples"
+    );
+
+    // 3. Memory-profile conservation.
+    let prof = &s.mem.profile;
+    assert_eq!(
+        prof.class_count(ReqClass::Demand) + prof.class_count(ReqClass::Stream),
+        s.mem.reads,
+        "{tag}: one latency sample per demand/stream read"
+    );
+    assert_eq!(
+        prof.served_count(ServedBy::Dram),
+        s.mem.dram.reads,
+        "{tag}: one DRAM-served sample per DRAM read transaction"
+    );
+    for class in ReqClass::ALL {
+        for served in ServedBy::ALL {
+            let h = prof.get(class, served);
+            assert_eq!(
+                h.bucket_total(),
+                h.count,
+                "{tag}: {}→{} histogram buckets lost samples",
+                class.name(),
+                served.name()
+            );
+        }
+    }
+}
+
+/// Small instances of the full 19-kernel suite — conservation is a
+/// per-cycle structural property, so small sizes prove it as well as the
+/// figure-generation sizes while keeping tier-1 fast (the full-size UVE
+/// sweep below spot-checks the big traces).
+fn small_suite() -> Vec<Box<dyn Benchmark>> {
+    use uve::kernels::*;
+    vec![
+        Box::new(memcpy::Memcpy::new(300)),
+        Box::new(stream::Stream::new(200)),
+        Box::new(saxpy::Saxpy::new(300)),
+        Box::new(gemm::Gemm::new(6, 16, 6)),
+        Box::new(threemm::ThreeMm::new(16)),
+        Box::new(mvt::Mvt::new(24)),
+        Box::new(gemver::Gemver::new(24)),
+        Box::new(trisolv::Trisolv::new(24)),
+        Box::new(jacobi::Jacobi1d::new(80, 2)),
+        Box::new(jacobi::Jacobi2d::new(12, 2)),
+        Box::new(irsmk::Irsmk::new(600)),
+        Box::new(haccmk::Haccmk::new(24)),
+        Box::new(knn::Knn::new(32, 8)),
+        Box::new(covariance::Covariance::new(16, 12)),
+        Box::new(mamr::Mamr::full(24)),
+        Box::new(mamr::Mamr::diag(24)),
+        Box::new(mamr::Mamr::indirect(16)),
+        Box::new(seidel::Seidel2d::new(10, 2)),
+        Box::new(floyd::FloydWarshall::new(12)),
+    ]
+}
+
+#[test]
+fn every_cycle_attributed_across_suite_flavors_and_vlens() {
+    let suite = small_suite();
+    // (kernel index, flavor, vector length in bytes).
+    let mut points: Vec<(usize, Flavor, usize)> = Vec::new();
+    for i in 0..suite.len() {
+        for flavor in [Flavor::Uve, Flavor::Sve, Flavor::Neon] {
+            points.push((i, flavor, flavor.vlen_bytes()));
+        }
+        // The UVE stream semantics are vector-length-invariant; the
+        // accounting must stay conserved when the lane count changes.
+        for vlen in [16usize, 32] {
+            points.push((i, Flavor::Uve, vlen));
+        }
+    }
+
+    let cpu = CpuConfig::default();
+    let checked = run_indexed(
+        RunMode::Parallel(default_jobs()),
+        points.len(),
+        |p| -> String {
+            let (i, flavor, vlen) = points[p];
+            let bench = &suite[i];
+            let trace = trace_at(bench.as_ref(), flavor, vlen);
+            let stats = OoOCore::new(cpu.clone()).run(&trace);
+            let tag = format!("{}/{flavor}@vl{vlen}", bench.name());
+            assert!(stats.cycles > 0, "{tag}: empty run");
+            assert_conserved(&tag, &stats);
+            // Streaming flavors must actually exercise the FIFO sampler.
+            if flavor == Flavor::Uve {
+                assert!(stats.engine.fifo.samples > 0, "{tag}: no FIFO samples");
+            }
+            tag
+        },
+    );
+    assert_eq!(checked.len(), suite.len() * 5);
+}
+
+#[test]
+fn full_size_uve_suite_stays_conserved() {
+    // The figure-generation problem sizes, UVE flavor: the traces the
+    // paper's tables are actually built from.
+    let suite = evaluation_suite();
+    let cpu = CpuConfig::default();
+    run_indexed(RunMode::Parallel(default_jobs()), suite.len(), |i| {
+        let bench = &suite[i];
+        let trace = trace_at(bench.as_ref(), Flavor::Uve, Flavor::Uve.vlen_bytes());
+        let stats = OoOCore::new(cpu.clone()).run(&trace);
+        assert_conserved(&format!("{}/UVE full-size", bench.name()), &stats);
+    });
+}
+
+#[test]
+fn warm_replay_stays_conserved() {
+    // The warm-run methodology (Runner/figures path) must obey the same
+    // laws: reset_stats between passes has to zero every counter the
+    // accounting reads, or the second pass double-counts.
+    let bench = uve::kernels::saxpy::Saxpy::new(4096);
+    let trace = trace_at(&bench, Flavor::Uve, Flavor::Uve.vlen_bytes());
+    let core = OoOCore::new(CpuConfig::default());
+    let warm = core.run_warm(&trace);
+    assert_conserved("SAXPY/UVE warm", &warm);
+
+    // Regression for the stats-reset bug: the TLB's hit/miss counters are
+    // now cleared between passes while its entries stay warm, so the
+    // reported (second) pass must see a fully warm TLB: hits, no misses.
+    assert_eq!(
+        warm.mem.tlb_misses, 0,
+        "second pass must start from zeroed counters with warm TLB entries"
+    );
+    assert!(
+        warm.mem.tlb_hits > 0,
+        "stream requests translate via the TLB"
+    );
+
+    // And the cold run of the same trace *does* miss, proving the warm
+    // number above comes from state reuse, not from a dead counter.
+    let cold = core.run(&trace);
+    assert!(cold.mem.tlb_misses > 0, "cold first pass misses the TLB");
+    assert_conserved("SAXPY/UVE cold", &cold);
+}
