@@ -22,6 +22,20 @@ echo "== conformance: fuzz smoke (fixed seed, offline) =="
 # The checked-in regression corpus replays as part of `cargo test` above.
 ./target/release/uve-conform --engine all --seed 7 --cases 2000 --quiet
 
+echo "== fault subsystem: conform smoke + watchdog + poisoned-job isolation =="
+# 2000 dedicated fault-engine cases: never panic, recover bit-identically,
+# keep the cycle accounting conserved under injection (the `all` run above
+# only gives the fault engine a tenth of the budget).
+./target/release/uve-conform --engine fault --seed 7 --cases 2000 --quiet
+# The no-retire watchdog must turn a deadlocked timing run into a
+# catchable diagnostic dump rather than a hang.
+cargo test -q -p uve-cpu --offline watchdog_dumps_accounting_on_deadlock
+# One poisoned job must not take down a sweep: pool-level catch_unwind
+# isolation and the runner's repro-line reporting.
+cargo test -q -p uve-bench --offline panicking_item_is_isolated
+cargo test -q -p uve-bench --offline poisoned_job_is_isolated_and_reported
+cargo test -q --offline --test fault_recovery
+
 echo "== observability: --explain smoke + golden trace (offline) =="
 # One figure run with stall attribution: maybe_explain() panics unless the
 # cycle-accounting conservation laws hold for every kernel in the table.

@@ -134,4 +134,5 @@ fn main() {
          matches Fig. 8.B. Memory-system knobs move the DRAM-bound kernel\n\
          only; the L2-bound kernel responds to front-end knobs instead.)"
     );
+    std::process::exit(runner.finish());
 }

@@ -2,5 +2,7 @@
 //!
 //! Usage: `fig10 [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::fig10(&uve_bench::Runner::from_args());
+    let runner = uve_bench::Runner::from_args();
+    uve_bench::figures::fig10(&runner);
+    std::process::exit(runner.finish());
 }

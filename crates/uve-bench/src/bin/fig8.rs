@@ -10,5 +10,7 @@ fn main() {
         .position(|a| a == "--panel")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    uve_bench::figures::fig8(panel.as_deref(), &uve_bench::Runner::from_args());
+    let runner = uve_bench::Runner::from_args();
+    uve_bench::figures::fig8(panel.as_deref(), &runner);
+    std::process::exit(runner.finish());
 }

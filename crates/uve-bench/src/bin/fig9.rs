@@ -2,5 +2,7 @@
 //!
 //! Usage: `fig9 [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::fig9(&uve_bench::Runner::from_args());
+    let runner = uve_bench::Runner::from_args();
+    uve_bench::figures::fig9(&runner);
+    std::process::exit(runner.finish());
 }

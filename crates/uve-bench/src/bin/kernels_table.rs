@@ -59,6 +59,12 @@ fn main() {
         .flat_map(|b| [Flavor::Uve, Flavor::Scalar].map(|f| (b.as_ref(), f, MemLevel::L2)))
         .collect();
     runner.warm_traces(&points);
+    let code = runner.finish();
+    if code != 0 {
+        // A failed emulation leaves its cache slot poisoned; the rows
+        // below would panic on it, so stop at the repro report instead.
+        std::process::exit(code);
+    }
     for bench in &suite {
         let uve = runner.trace(bench.as_ref(), Flavor::Uve, MemLevel::L2);
         let scalar = runner.trace(bench.as_ref(), Flavor::Scalar, MemLevel::L2);

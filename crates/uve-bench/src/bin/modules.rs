@@ -2,5 +2,7 @@
 //!
 //! Usage: `modules [--jobs N | --serial] [--quiet]`.
 fn main() {
-    uve_bench::figures::modules(&uve_bench::Runner::from_args());
+    let runner = uve_bench::Runner::from_args();
+    uve_bench::figures::modules(&runner);
+    std::process::exit(runner.finish());
 }

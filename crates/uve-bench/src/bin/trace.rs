@@ -78,7 +78,10 @@ fn main() {
 
     match out_path {
         Some(path) => {
-            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("error: writing trace to {path}: {e}");
+                std::process::exit(1);
+            }
             eprintln!("[trace] wrote {} bytes to {path}", json.len());
         }
         None => print!("{json}"),

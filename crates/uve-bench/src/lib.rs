@@ -25,9 +25,9 @@ pub mod report;
 pub mod runner;
 
 pub use chrome::{chrome_trace_json, tiny_saxpy_trace, trace_kernel};
-pub use pool::run_indexed;
+pub use pool::{panic_message, run_indexed, run_isolated};
 pub use report::{ReportRow, StatsReport};
-pub use runner::{default_jobs, Job, RunMode, Runner};
+pub use runner::{default_jobs, Job, JobFailure, RunMode, Runner};
 
 use uve_cpu::{CpuConfig, TimingStats};
 use uve_isa::MemLevel;

@@ -46,6 +46,31 @@ where
     }
 }
 
+/// Like [`run_indexed`], but each item runs under `catch_unwind`: a
+/// panicking item yields `Err(message)` in its slot while every other item
+/// still completes. This is the crash-isolation primitive the sweep harness
+/// builds on — one poisoned job must not take down the whole figure.
+pub fn run_isolated<T, F>(mode: RunMode, n: usize, f: F) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_indexed(mode, n, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).map_err(panic_message)
+    })
+}
+
+/// Renders a caught panic payload as a human-readable message.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with a non-string payload".to_string()
+    }
+}
+
 /// Runs `worker` closures: inline when serial, else on a scoped pool of
 /// `min(workers, work_items)` threads. Each worker is expected to drain a
 /// shared queue (see [`pop`]).
@@ -80,6 +105,24 @@ mod tests {
         let parallel = run_indexed(RunMode::Parallel(8), 100, f);
         assert_eq!(serial, parallel);
         assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn panicking_item_is_isolated() {
+        for mode in [RunMode::Serial, RunMode::Parallel(4)] {
+            let out = run_isolated(mode, 8, |i| {
+                assert!(i != 3, "boom on {i}");
+                i * 10
+            });
+            for (i, slot) in out.iter().enumerate() {
+                if i == 3 {
+                    let msg = slot.as_ref().unwrap_err();
+                    assert!(msg.contains("boom on 3"), "{msg}");
+                } else {
+                    assert_eq!(*slot, Ok(i * 10));
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,9 +28,9 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::pool::pop;
+use crate::pool::{panic_message, pop};
 use crate::Measured;
 use uve_core::{EmuConfig, Trace};
 use uve_cpu::{CpuConfig, OoOCore};
@@ -181,6 +181,42 @@ impl TraceCache {
     }
 }
 
+/// One job that panicked or hit its wall-clock timeout during a sweep.
+///
+/// Captures everything needed to reproduce the failure in isolation.
+#[derive(Debug, Clone)]
+pub struct JobFailure {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// Kernel name.
+    pub kernel: String,
+    /// Code flavour.
+    pub flavor: Flavor,
+    /// Vector length in bytes.
+    pub vlen: usize,
+    /// Default stream memory level.
+    pub stream_level: MemLevel,
+    /// The panic message (or timeout marker) that killed the job.
+    pub reason: String,
+}
+
+impl JobFailure {
+    /// A one-line reproduction recipe for this failure.
+    #[must_use]
+    pub fn repro(&self) -> String {
+        format!(
+            "repro: kernel={} flavor={} vlen={} level={:?} :: {}",
+            self.kernel, self.flavor, self.vlen, self.stream_level, self.reason
+        )
+    }
+
+    /// Whether the job died by wall-clock timeout (vs a model panic).
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        self.reason.contains(uve_core::deadline::TIMEOUT_MARKER)
+    }
+}
+
 /// How many workers the runner uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunMode {
@@ -190,11 +226,17 @@ pub enum RunMode {
     Parallel(usize),
 }
 
+/// Per-job wall-clock budget before the cooperative deadline fires
+/// (see [`uve_core::deadline`]).
+pub const DEFAULT_JOB_TIMEOUT: Duration = Duration::from_secs(600);
+
 /// The sharded evaluation runner.
 pub struct Runner {
     mode: RunMode,
     verbose: bool,
     explain: bool,
+    timeout: Option<Duration>,
+    failures: Mutex<Vec<JobFailure>>,
     cache: TraceCache,
 }
 
@@ -205,6 +247,8 @@ impl Runner {
             mode: RunMode::Serial,
             verbose: false,
             explain: false,
+            timeout: Some(DEFAULT_JOB_TIMEOUT),
+            failures: Mutex::new(Vec::new()),
             cache: TraceCache::default(),
         }
     }
@@ -213,9 +257,7 @@ impl Runner {
     pub fn parallel(jobs: usize) -> Self {
         Self {
             mode: RunMode::Parallel(jobs.max(1)),
-            verbose: false,
-            explain: false,
-            cache: TraceCache::default(),
+            ..Self::serial()
         }
     }
 
@@ -227,9 +269,11 @@ impl Runner {
     /// Builds a runner from process arguments: `--serial` forces the
     /// sequential baseline, `--jobs N` sets the worker count, `--quiet`
     /// silences per-job wall-clock reporting, `--explain` appends the
-    /// cycle-attribution report to every figure (default: one worker per
-    /// core, reporting on, no explain). Unrecognized arguments are ignored
-    /// so the figure binaries can keep their own flags.
+    /// cycle-attribution report to every figure, `--timeout SECS` sets the
+    /// per-job wall-clock budget (0 disables it; default 600 s). Default:
+    /// one worker per core, reporting on, no explain. Unrecognized
+    /// arguments are ignored so the figure binaries can keep their own
+    /// flags.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut runner = if args.iter().any(|a| a == "--serial") {
@@ -245,6 +289,14 @@ impl Runner {
         };
         runner.verbose = !args.iter().any(|a| a == "--quiet");
         runner.explain = args.iter().any(|a| a == "--explain");
+        if let Some(secs) = args
+            .iter()
+            .position(|a| a == "--timeout")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            runner.timeout = (secs > 0).then(|| Duration::from_secs(secs));
+        }
         runner
     }
 
@@ -257,6 +309,12 @@ impl Runner {
     /// Enables or disables the `--explain` cycle-attribution report.
     pub fn explain(mut self, explain: bool) -> Self {
         self.explain = explain;
+        self
+    }
+
+    /// Sets the per-job wall-clock budget (`None` disables timeouts).
+    pub fn timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
         self
     }
 
@@ -305,12 +363,37 @@ impl Runner {
     /// Warms the trace cache for `points` using the worker pool; later
     /// [`Runner::trace`]/[`Runner::run`] calls on the same points are pure
     /// cache hits.
+    ///
+    /// Each emulation runs under the same panic isolation and deadline as
+    /// a sweep job: a point that fails to emulate is recorded in
+    /// [`Runner::failures`] instead of taking the warm-up down. Callers
+    /// that go on to use [`Runner::trace`] directly should bail out first
+    /// if [`Runner::finish`] reports failures.
     pub fn warm_traces(&self, points: &[(&dyn Benchmark, Flavor, MemLevel)]) {
         let queue: Mutex<VecDeque<usize>> = Mutex::new((0..points.len()).collect());
         self.pooled(points.len(), &|| {
             while let Some(i) = pop(&queue) {
                 let (bench, flavor, level) = points[i];
-                self.cache.get(bench, flavor, level);
+                uve_core::deadline::arm(self.timeout);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.cache.get(bench, flavor, level);
+                }));
+                uve_core::deadline::disarm();
+                if let Err(payload) = outcome {
+                    let failure = JobFailure {
+                        index: i,
+                        kernel: bench.name().to_string(),
+                        flavor,
+                        vlen: flavor.vlen_bytes(),
+                        stream_level: level,
+                        reason: panic_message(payload),
+                    };
+                    eprintln!("[warm {i:>3}] FAILED: {}", failure.repro());
+                    self.failures
+                        .lock()
+                        .expect("failure log poisoned")
+                        .push(failure);
+                }
             }
         });
     }
@@ -328,8 +411,7 @@ impl Runner {
             while let Some(i) = pop(&queue) {
                 let job = &jobs[i];
                 let jt = Instant::now();
-                let cached = self.cache.get(job.bench, job.flavor, job.stream_level);
-                let m = replay(job.bench.name(), job.flavor, &cached, &job.cpu);
+                let m = self.run_one(i, job);
                 let elapsed = jt.elapsed();
                 job_nanos.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
                 if self.verbose {
@@ -368,6 +450,66 @@ impl Runner {
                     .expect("worker completed every job")
             })
             .collect()
+    }
+
+    /// Evaluates one job under panic isolation and a cooperative deadline.
+    ///
+    /// A panicking or timed-out job yields a placeholder measurement
+    /// (`"<kernel> [FAILED]"` with zeroed stats, which trivially satisfies
+    /// the conservation laws) and is recorded in [`Runner::failures`] —
+    /// the rest of the sweep keeps running and the figure still renders.
+    fn run_one(&self, index: usize, job: &Job<'_>) -> Measured {
+        uve_core::deadline::arm(self.timeout);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let cached = self.cache.get(job.bench, job.flavor, job.stream_level);
+            replay(job.bench.name(), job.flavor, &cached, &job.cpu)
+        }));
+        uve_core::deadline::disarm();
+        match outcome {
+            Ok(m) => m,
+            Err(payload) => {
+                let failure = JobFailure {
+                    index,
+                    kernel: job.bench.name().to_string(),
+                    flavor: job.flavor,
+                    vlen: job.flavor.vlen_bytes(),
+                    stream_level: job.stream_level,
+                    reason: panic_message(payload),
+                };
+                eprintln!("[job {index:>3}] FAILED: {}", failure.repro());
+                self.failures
+                    .lock()
+                    .expect("failure log poisoned")
+                    .push(failure);
+                Measured {
+                    name: format!("{} [FAILED]", job.bench.name()),
+                    flavor: job.flavor,
+                    committed: 0,
+                    stats: uve_cpu::TimingStats::default(),
+                }
+            }
+        }
+    }
+
+    /// The failures collected so far, in the order they were detected.
+    pub fn failures(&self) -> Vec<JobFailure> {
+        self.failures.lock().expect("failure log poisoned").clone()
+    }
+
+    /// Final harness verdict: prints one repro line per failed job to
+    /// stderr and returns the process exit code (0 if every job
+    /// succeeded, 1 otherwise). Figure binaries end with
+    /// `std::process::exit(runner.finish())`.
+    pub fn finish(&self) -> i32 {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return 0;
+        }
+        eprintln!("[runner] {} job(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  {}", f.repro());
+        }
+        1
     }
 
     /// Runs `worker` closures: inline when serial, else on a scoped pool
@@ -424,6 +566,77 @@ mod tests {
         let kb = TraceKey::of(&b, Flavor::Uve, MemLevel::L2);
         assert_eq!(ka.kernel, kb.kernel, "same display name");
         assert_ne!(ka, kb, "different programs must not share a trace");
+    }
+
+    /// A benchmark whose correctness check always fails, so
+    /// [`emulate_trace`] panics — the vehicle for poisoned-job tests.
+    struct PoisonedBench(Saxpy);
+
+    impl Benchmark for PoisonedBench {
+        fn name(&self) -> &'static str {
+            "poisoned"
+        }
+        fn setup(&self, emu: &mut uve_core::Emulator) {
+            self.0.setup(emu);
+        }
+        fn program(&self, flavor: Flavor) -> uve_isa::Program {
+            self.0.program(flavor)
+        }
+        fn check(&self, _emu: &uve_core::Emulator) -> Result<(), String> {
+            Err("deliberately poisoned job".to_string())
+        }
+    }
+
+    #[test]
+    fn poisoned_job_is_isolated_and_reported() {
+        let good = Saxpy::new(256);
+        let bad = PoisonedBench(Saxpy::new(256));
+        let cpu = CpuConfig::default();
+        let sweep = vec![
+            Job::new(&good, Flavor::Uve, cpu.clone()),
+            Job::new(&bad, Flavor::Uve, cpu.clone()),
+            Job::new(&good, Flavor::Scalar, cpu.clone()),
+        ];
+
+        let clean = Runner::serial().verbose(false);
+        let reference = clean.run(&[
+            Job::new(&good, Flavor::Uve, cpu.clone()),
+            Job::new(&good, Flavor::Scalar, cpu.clone()),
+        ]);
+        assert_eq!(clean.finish(), 0, "clean sweep exits zero");
+
+        let runner = Runner::parallel(8).verbose(false);
+        let out = runner.run(&sweep);
+        assert_eq!(out.len(), 3, "every slot is filled");
+        // The healthy jobs are bit-identical to the clean serial sweep.
+        assert_eq!(out[0].stats, reference[0].stats);
+        assert_eq!(out[2].stats, reference[1].stats);
+        // The poisoned slot is a marked placeholder…
+        assert_eq!(out[1].name, "poisoned [FAILED]");
+        assert_eq!(out[1].committed, 0);
+        // …with a repro line and a nonzero exit.
+        let failures = runner.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 1);
+        let repro = failures[0].repro();
+        assert!(repro.contains("kernel=poisoned"), "{repro}");
+        assert!(repro.contains("deliberately poisoned job"), "{repro}");
+        assert!(!failures[0].is_timeout());
+        assert_eq!(runner.finish(), 1);
+    }
+
+    #[test]
+    fn timed_out_job_is_classified_as_timeout() {
+        let bench = Saxpy::new(4096);
+        let runner = Runner::serial()
+            .verbose(false)
+            .timeout(Some(Duration::from_nanos(1)));
+        let out = runner.run(&[Job::new(&bench, Flavor::Uve, CpuConfig::default())]);
+        assert!(out[0].name.ends_with("[FAILED]"));
+        let failures = runner.failures();
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].is_timeout(), "{}", failures[0].reason);
+        assert_eq!(runner.finish(), 1);
     }
 
     #[test]

@@ -172,7 +172,7 @@ impl KernelCase {
     }
 }
 
-fn gen_case(rng: &mut FuzzRng) -> KernelCase {
+pub(crate) fn gen_case(rng: &mut FuzzRng) -> KernelCase {
     match rng.below(19) {
         0 => KernelCase::Memcpy(rng.range_usize(1, 256)),
         1 => KernelCase::Stream(rng.range_usize(1, 256)),

@@ -17,7 +17,11 @@
 //! - [`stats_diff`] — the cycle-accounting observability layer: random
 //!   small timing runs checked for conservation (stall categories
 //!   partition the cycles) and for bit-identical statistics between the
-//!   serial and parallel evaluation runners.
+//!   serial and parallel evaluation runners;
+//! - [`fault_fuzz`] — the fault subsystem: random kernels run under
+//!   injected stream faults and hostile memory-hierarchy schedules,
+//!   checked to never panic, to recover bit-identically (memory and
+//!   architectural state) and to keep the cycle accounting conserved.
 //!
 //! Everything is registry-free and deterministic: cases derive from
 //! `(seed, engine, case index)` via the workspace's SplitMix64
@@ -25,6 +29,7 @@
 //! reproduction, and the checked-in corpus (`corpus/regressions.txt`)
 //! replays formerly failing cases as a tier-1 test.
 
+pub mod fault_fuzz;
 pub mod isa_fuzz;
 pub mod kernel_diff;
 pub mod pattern_fuzz;
@@ -41,7 +46,7 @@ pub trait Engine {
     type Case: Clone + std::fmt::Debug + Send;
 
     /// Engine name as used by the CLI and the corpus (`pattern`, `isa`,
-    /// `kernel`, `stats`).
+    /// `kernel`, `stats`, `fault`).
     fn name() -> &'static str;
 
     /// Generates the case owned by `rng` (must consume randomness only
@@ -218,6 +223,7 @@ pub fn replay_one(engine: &str, seed: u64, case: u64) -> Result<(), String> {
         "isa" => one::<isa_fuzz::IsaEngine>(seed, case),
         "kernel" => one::<kernel_diff::KernelEngine>(seed, case),
         "stats" => one::<stats_diff::StatsEngine>(seed, case),
+        "fault" => one::<fault_fuzz::FaultEngine>(seed, case),
         other => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -261,7 +267,7 @@ mod tests {
         for (engine, _, _) in &entries {
             assert!(matches!(
                 engine.as_str(),
-                "pattern" | "isa" | "kernel" | "stats"
+                "pattern" | "isa" | "kernel" | "stats" | "fault"
             ));
         }
     }

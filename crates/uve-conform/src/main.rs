@@ -1,7 +1,7 @@
 //! `uve-conform` — offline differential fuzzer for the UVE reproduction.
 //!
 //! ```text
-//! uve-conform [--engine pattern|isa|kernel|stats|all] [--seed N] [--cases N]
+//! uve-conform [--engine pattern|isa|kernel|stats|fault|all] [--seed N] [--cases N]
 //!             [--jobs N | --serial] [--quiet]
 //! ```
 //!
@@ -15,12 +15,12 @@
 use std::process::ExitCode;
 use uve_bench::{default_jobs, RunMode};
 use uve_conform::{
-    isa_fuzz::IsaEngine, kernel_diff::KernelEngine, pattern_fuzz::PatternEngine,
-    stats_diff::StatsEngine,
+    fault_fuzz::FaultEngine, isa_fuzz::IsaEngine, kernel_diff::KernelEngine,
+    pattern_fuzz::PatternEngine, stats_diff::StatsEngine,
 };
 
-const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|all] [--seed N] \
-                     [--cases N] [--jobs N | --serial] [--quiet]";
+const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|all] \
+                     [--seed N] [--cases N] [--jobs N | --serial] [--quiet]";
 
 struct Opts {
     engine: String,
@@ -76,7 +76,7 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     match opts.engine.as_str() {
-        "pattern" | "isa" | "kernel" | "stats" | "all" => Ok(opts),
+        "pattern" | "isa" | "kernel" | "stats" | "fault" | "all" => Ok(opts),
         other => Err(format!("unknown engine {other:?}\n{USAGE}")),
     }
 }
@@ -94,6 +94,7 @@ fn main() -> ExitCode {
     let run_isa = matches!(opts.engine.as_str(), "isa" | "all");
     let run_kernel = matches!(opts.engine.as_str(), "kernel" | "all");
     let run_stats = matches!(opts.engine.as_str(), "stats" | "all");
+    let run_fault = matches!(opts.engine.as_str(), "fault" | "all");
 
     let mut failed_engines = 0u8;
     let mut report = |r: uve_conform::EngineReport| {
@@ -130,6 +131,19 @@ fn main() -> ExitCode {
             opts.cases
         };
         report(uve_conform::run_engine::<StatsEngine>(
+            opts.seed, cases, opts.mode,
+        ));
+    }
+    if run_fault {
+        // Each fault case emulates the kernel at least twice and replays
+        // the faulted trace once, so it gets the same reduced budget as
+        // the stats engine under `all`.
+        let cases = if opts.engine == "all" {
+            (opts.cases / 10).max(1)
+        } else {
+            opts.cases
+        };
+        report(uve_conform::run_engine::<FaultEngine>(
             opts.seed, cases, opts.mode,
         ));
     }

@@ -1,0 +1,65 @@
+//! Cooperative per-thread wall-clock deadlines for long model runs.
+//!
+//! Scoped worker threads cannot be killed, so runaway jobs (a model bug, a
+//! pathological configuration) are bounded cooperatively: the harness arms
+//! a deadline on the worker thread, and the emulator and timing model poll
+//! it at a coarse stride. An expired deadline panics with a recognisable
+//! message, which the harness catches with `catch_unwind` and reports as a
+//! per-job timeout instead of hanging the whole sweep.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Message prefix of deadline panics — harnesses match on it to classify a
+/// caught unwind as a timeout rather than a model failure.
+pub const TIMEOUT_MARKER: &str = "wall-clock deadline exceeded";
+
+/// Arms a deadline `budget` from now on this thread (`None` disarms).
+pub fn arm(budget: Option<Duration>) {
+    DEADLINE.with(|d| d.set(budget.map(|b| Instant::now() + b)));
+}
+
+/// Disarms this thread's deadline.
+pub fn disarm() {
+    DEADLINE.with(|d| d.set(None));
+}
+
+/// `true` once an armed deadline has passed.
+#[must_use]
+pub fn expired() -> bool {
+    DEADLINE.with(|d| d.get().is_some_and(|t| Instant::now() > t))
+}
+
+/// Panics (unwind-catchable, starting with [`TIMEOUT_MARKER`]) if this
+/// thread's deadline has passed; `site` names the polling loop.
+pub fn check(site: &str) {
+    assert!(!expired(), "{TIMEOUT_MARKER} ({site})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_never_expires() {
+        disarm();
+        assert!(!expired());
+        check("test");
+    }
+
+    #[test]
+    fn armed_deadline_expires_and_panics() {
+        arm(Some(Duration::from_nanos(1)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(expired());
+        let err = std::panic::catch_unwind(|| check("test")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.starts_with(TIMEOUT_MARKER), "{msg}");
+        disarm();
+        assert!(!expired());
+    }
+}

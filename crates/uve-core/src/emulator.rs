@@ -4,6 +4,7 @@
 use crate::stream_unit::{StreamError, StreamUnit};
 use crate::trace::{BranchOutcome, Trace, TraceOp};
 use crate::value::{PredVal, Scalar, VecVal};
+use std::collections::HashSet;
 use std::fmt;
 use uve_isa::{
     AluOp, BrCond, Dir, DupSrc, ElemWidth, ExecClass, FpOp, FpUnOp, HorizOp, Inst, PredCond,
@@ -52,6 +53,31 @@ pub enum EmuError {
     /// The dynamic instruction budget was exhausted (likely an infinite
     /// loop).
     OutOfFuel(u64),
+    /// An instruction combined operands in a way the ISA leaves undefined
+    /// (e.g. a bitwise vector op with an FP type tag).
+    Unsupported {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// What was attempted.
+        what: String,
+    },
+    /// A lane extraction addressed beyond the active vector length.
+    LaneOutOfRange {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// Requested lane.
+        lane: u8,
+        /// Active lanes at the instruction's width.
+        lanes: usize,
+    },
+    /// An internal invariant failed — a model bug, reported as an error
+    /// instead of a panic so sweeps and fuzzers can isolate the input.
+    Internal {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -60,11 +86,72 @@ impl fmt::Display for EmuError {
             EmuError::Stream { pc, err } => write!(f, "stream error at pc {pc}: {err}"),
             EmuError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range (missing halt?)"),
             EmuError::OutOfFuel(n) => write!(f, "exceeded instruction budget of {n}"),
+            EmuError::Unsupported { pc, what } => write!(f, "unsupported at pc {pc}: {what}"),
+            EmuError::LaneOutOfRange { pc, lane, lanes } => {
+                write!(
+                    f,
+                    "pc {pc}: lane {lane} out of range ({lanes} active lanes)"
+                )
+            }
+            EmuError::Internal { pc, what } => {
+                write!(f, "internal model invariant violated at pc {pc}: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for EmuError {}
+
+/// Deterministic first-touch page-fault plan for precise stream-fault
+/// testing (paper Sec. II-C/V).
+///
+/// Whether a page faults is a pure hash of `(seed, page)`, independent of
+/// traversal order, and each page faults at most once: the first probe
+/// marks it resident (the "handler" maps it), so the instruction-level
+/// retry is guaranteed to make progress. Recovered runs are therefore
+/// reproducible from the seed alone and end bit-identical to fault-free
+/// runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamFaultPlan {
+    seed: u64,
+    rate: u64,
+    handled: HashSet<u64>,
+}
+
+impl StreamFaultPlan {
+    /// A plan faulting roughly one in `rate` first-touched pages
+    /// (`rate == 0` disables injection).
+    pub fn new(seed: u64, rate: u64) -> Self {
+        Self {
+            seed,
+            rate,
+            handled: HashSet::new(),
+        }
+    }
+
+    /// Pages touched (and therefore mapped) so far.
+    pub fn touched_pages(&self) -> usize {
+        self.handled.len()
+    }
+
+    /// Decides the fate of `page`; only the very first touch can fault.
+    fn faults_on(&mut self, page: u64) -> bool {
+        if self.rate == 0 || !self.handled.insert(page) {
+            return false;
+        }
+        splitmix(self.seed ^ page.wrapping_mul(0x9e37_79b9_7f4a_7c15)).is_multiple_of(self.rate)
+    }
+}
+
+/// SplitMix64 finalizer — the same order-independent decision hash the
+/// timing-layer injector uses.
+fn splitmix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
 
 /// Result of a completed emulation.
 #[derive(Debug)]
@@ -90,6 +177,10 @@ pub struct Emulator {
     /// Active vector length in bytes (`ss.setvl` can narrow it below the
     /// hardware maximum `cfg.vlen_bytes`).
     vl_bytes: usize,
+    /// Optional page-fault injection plan (precise stream faults).
+    fault_plan: Option<StreamFaultPlan>,
+    /// Precise stream-fault traps taken and recovered so far.
+    faults_taken: u64,
 }
 
 impl Emulator {
@@ -109,12 +200,60 @@ impl Emulator {
             p,
             streams: StreamUnit::with_default_level(cfg.stream_level),
             vl_bytes: cfg.vlen_bytes,
+            fault_plan: None,
+            faults_taken: 0,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> EmuConfig {
         self.cfg
+    }
+
+    /// Installs (or clears) a page-fault injection plan. Faulting stream
+    /// elements then trap precisely at the consuming instruction, run the
+    /// plan's implicit handler, and re-execute.
+    pub fn set_fault_plan(&mut self, plan: Option<StreamFaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Precise stream-fault traps taken (and recovered) so far.
+    pub fn faults_taken(&self) -> u64 {
+        self.faults_taken
+    }
+
+    /// FNV-1a digest of the architectural register state (integer, FP,
+    /// vector and predicate registers plus the active vector length);
+    /// combined with [`Memory::content_hash`] it summarises a run's final
+    /// state for bit-identity comparisons.
+    pub fn arch_digest(&self) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let put = |h: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        for &x in &self.x {
+            put(&mut h, x as u64);
+        }
+        for &f in &self.f {
+            put(&mut h, f.to_bits());
+        }
+        for v in &self.v {
+            put(&mut h, v.width().bytes() as u64);
+            for i in 0..v.lanes() {
+                put(&mut h, v.int(i) as u64);
+                put(&mut h, u64::from(v.lane_valid(i)));
+            }
+        }
+        for p in &self.p {
+            for i in 0..crate::value::MAX_LANES {
+                put(&mut h, u64::from(p.get(i)));
+            }
+        }
+        put(&mut h, self.vl_bytes as u64);
+        h
     }
 
     /// Reads a scalar integer register.
@@ -182,11 +321,26 @@ impl Emulator {
             return Ok(val.clone());
         }
         if self.is_input_stream(r) {
+            let mut probe;
+            let fault: Option<&mut dyn FnMut(u64) -> bool> = if self.fault_plan.is_some() {
+                let plan = &mut self.fault_plan;
+                probe = move |page: u64| plan.as_mut().is_some_and(|p| p.faults_on(page));
+                Some(&mut probe)
+            } else {
+                None
+            };
             let c = self
                 .streams
-                .consume(r, &self.mem, self.vl_bytes, trace)
+                .consume_with(r, &self.mem, self.vl_bytes, trace, fault)
                 .map_err(|err| EmuError::Stream { pc, err })?;
-            let inst = self.streams.get(r).expect("stream present").instance;
+            let inst = self
+                .streams
+                .get(r)
+                .ok_or(EmuError::Internal {
+                    pc,
+                    what: "stream vanished during consume",
+                })?
+                .instance;
             op.stream_reads.push((inst, c.chunk));
             if self.streams.get(r).is_some_and(|s| s.at_end()) {
                 // Pattern complete: the stream terminates and the register
@@ -220,11 +374,26 @@ impl Emulator {
         pc: u32,
     ) -> Result<(), EmuError> {
         if self.is_output_stream(r) {
+            let mut probe;
+            let fault: Option<&mut dyn FnMut(u64) -> bool> = if self.fault_plan.is_some() {
+                let plan = &mut self.fault_plan;
+                probe = move |page: u64| plan.as_mut().is_some_and(|p| p.faults_on(page));
+                Some(&mut probe)
+            } else {
+                None
+            };
             let chunk = self
                 .streams
-                .produce(r, &mut self.mem, &val, trace)
+                .produce_with(r, &mut self.mem, &val, trace, fault)
                 .map_err(|err| EmuError::Stream { pc, err })?;
-            let inst = self.streams.get(r).expect("stream present").instance;
+            let inst = self
+                .streams
+                .get(r)
+                .ok_or(EmuError::Internal {
+                    pc,
+                    what: "stream vanished during produce",
+                })?
+                .instance;
             op.stream_writes.push((inst, chunk));
             if self.streams.get(r).is_some_and(|s| s.at_end()) {
                 op.stream_close = Some(inst);
@@ -269,6 +438,9 @@ impl Emulator {
             if steps >= self.cfg.max_steps {
                 return Err(EmuError::OutOfFuel(self.cfg.max_steps));
             }
+            if steps & 0xF_FFFF == 0 {
+                crate::deadline::check("emulator");
+            }
             let Some(inst) = program.fetch(pc) else {
                 return Err(EmuError::PcOutOfRange(pc));
             };
@@ -279,7 +451,11 @@ impl Emulator {
                 }
                 break;
             }
-            let next = self.step(inst, pc, &mut trace)?;
+            let next = if self.fault_plan.is_some() {
+                self.step_with_recovery(inst, pc, &mut trace)?
+            } else {
+                self.step(inst, pc, &mut trace)?
+            };
             steps += 1;
             pc = next;
         }
@@ -287,6 +463,73 @@ impl Emulator {
             committed: steps,
             trace,
         })
+    }
+
+    /// Executes one instruction with precise stream-fault recovery: the
+    /// architectural state (registers, stream unit, trace tail) is
+    /// snapshotted, and a [`StreamError::PageFault`] rolls everything back
+    /// to the snapshot — as a trap before the instruction would — runs the
+    /// plan's implicit handler (the faulting page becomes resident), and
+    /// re-executes. Partial stream stores need no undo: replay rewrites the
+    /// same values to the same addresses. The recovered instruction's trace
+    /// op records how many traps it took so the timing model can charge
+    /// them.
+    fn step_with_recovery(
+        &mut self,
+        inst: Inst,
+        pc: u32,
+        trace: &mut Trace,
+    ) -> Result<u32, EmuError> {
+        let snap_x = self.x;
+        let snap_f = self.f;
+        let snap_v = self.v.clone();
+        let snap_p = self.p.clone();
+        let snap_vl = self.vl_bytes;
+        let snap_streams = self.streams.clone();
+        let ops_len = trace.ops.len();
+        let streams_len = trace.streams.len();
+        let chunk_lens: Vec<usize> = trace.streams.iter().map(|s| s.chunks.len()).collect();
+        let mut faults: u32 = 0;
+        loop {
+            match self.step(inst, pc, trace) {
+                Ok(next) => {
+                    if faults > 0 {
+                        if let Some(op) = trace.ops.last_mut() {
+                            op.stream_faults = faults;
+                        }
+                    }
+                    return Ok(next);
+                }
+                Err(EmuError::Stream {
+                    err: StreamError::PageFault { .. },
+                    ..
+                }) => {
+                    // Each page faults at most once (the probe marks it
+                    // resident), so the retry loop is bounded by the pages
+                    // one instruction touches.
+                    faults += 1;
+                    if faults > 4096 {
+                        return Err(EmuError::Internal {
+                            pc,
+                            what: "stream-fault retry did not converge",
+                        });
+                    }
+                    self.x = snap_x;
+                    self.f = snap_f;
+                    self.v.clone_from(&snap_v);
+                    self.p.clone_from(&snap_p);
+                    self.vl_bytes = snap_vl;
+                    self.streams.clone_from(&snap_streams);
+                    trace.ops.truncate(ops_len);
+                    trace.streams.truncate(streams_len);
+                    for (s, &len) in trace.streams.iter_mut().zip(&chunk_lens) {
+                        s.chunks.truncate(len);
+                    }
+                    self.faults_taken += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Executes one instruction at `pc`, returning the next PC.
@@ -608,7 +851,7 @@ impl Emulator {
             } => {
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.read_v(vs2, trace, &mut op, &mut consumed, pc)?;
-                let out = self.lanewise(o, ty, width, &a, &b, pred);
+                let out = self.lanewise(o, ty, width, &a, &b, pred, pc)?;
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
             Inst::VArithVS {
@@ -622,7 +865,7 @@ impl Emulator {
             } => {
                 let a = self.read_v(vs1, trace, &mut op, &mut consumed, pc)?;
                 let b = self.dup_value(scalar, width, ty);
-                let out = self.lanewise(o, ty, width, &a, &b, pred);
+                let out = self.lanewise(o, ty, width, &a, &b, pred, pc)?;
                 self.write_v(vd, out, trace, &mut op, pc)?;
             }
             Inst::VMacVS {
@@ -683,7 +926,12 @@ impl Emulator {
                             HorizOp::Max => v.max(x.as_int()),
                             HorizOp::Min => v.min(x.as_int()),
                         }),
-                        _ => unreachable!("type confusion in reduction"),
+                        _ => {
+                            return Err(EmuError::Internal {
+                                pc,
+                                what: "reduction accumulator type confusion",
+                            })
+                        }
                     });
                 }
                 if let Some(s) = acc {
@@ -762,6 +1010,10 @@ impl Emulator {
                 lane,
                 width,
             } => {
+                let lanes = self.lanes(width);
+                if usize::from(lane) >= lanes {
+                    return Err(EmuError::LaneOutOfRange { pc, lane, lanes });
+                }
                 let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
                 self.set_f(fd, a.float(lane as usize));
@@ -772,6 +1024,10 @@ impl Emulator {
                 lane,
                 width,
             } => {
+                let lanes = self.lanes(width);
+                if usize::from(lane) >= lanes {
+                    return Err(EmuError::LaneOutOfRange { pc, lane, lanes });
+                }
                 let a = self.read_v(vs, trace, &mut op, &mut consumed, pc)?;
                 let a = align_width(a, width);
                 self.set_x(rd, a.int(lane as usize));
@@ -977,6 +1233,7 @@ impl Emulator {
         Ok(next)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn lanewise(
         &self,
         o: VOp,
@@ -985,7 +1242,8 @@ impl Emulator {
         a: &VecVal,
         b: &VecVal,
         pred: uve_isa::PReg,
-    ) -> VecVal {
+        pc: u32,
+    ) -> Result<VecVal, EmuError> {
         let a = align_width(a.clone(), width);
         let b = align_width(b.clone(), width);
         let pm = &self.p[pred.index()];
@@ -994,14 +1252,20 @@ impl Emulator {
             if a.lane_valid(i) && b.lane_valid(i) && pm.get(i) {
                 match ty {
                     VType::Fp => {
-                        out.set_float(i, round_fp(fp_vop(o, a.float(i), b.float(i)), width));
+                        let r = fp_vop(o, a.float(i), b.float(i)).ok_or_else(|| {
+                            EmuError::Unsupported {
+                                pc,
+                                what: format!("bitwise vector op {o:?} with an FP type tag"),
+                            }
+                        })?;
+                        out.set_float(i, round_fp(r, width));
                     }
                     VType::Int => out.set_int(i, int_vop(o, a.int(i), b.int(i))),
                 }
                 out.set_lane_valid(i, true);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -1136,18 +1400,18 @@ fn fp_alu(op: FpOp, a: f64, b: f64, width: ElemWidth) -> f64 {
     round_fp(r, width)
 }
 
-fn fp_vop(o: VOp, a: f64, b: f64) -> f64 {
-    match o {
+fn fp_vop(o: VOp, a: f64, b: f64) -> Option<f64> {
+    Some(match o {
         VOp::Add => a + b,
         VOp::Sub => a - b,
         VOp::Mul => a * b,
         VOp::Div => a / b,
         VOp::Min => a.min(b),
         VOp::Max => a.max(b),
-        VOp::And | VOp::Or | VOp::Xor | VOp::Shl | VOp::Shr => {
-            panic!("bitwise vector op has no FP interpretation")
-        }
-    }
+        // Bitwise ops have no FP interpretation — reported as a typed
+        // error by the caller, not a panic.
+        VOp::And | VOp::Or | VOp::Xor | VOp::Shl | VOp::Shr => return None,
+    })
 }
 
 fn int_vop(o: VOp, a: i64, b: i64) -> i64 {
@@ -1443,6 +1707,116 @@ hmax:
         assert_eq!(emu.f(uve_isa::FReg::new(3)), 12.0);
         assert_eq!(emu.f(uve_isa::FReg::new(4)), 19.0);
         assert!((emu.f(uve_isa::FReg::new(5)) - 12f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fault_recovery_is_bit_identical_on_saxpy() {
+        let n = 4096usize;
+        let text = "
+    li x10, 4096
+    li x11, 0x10000
+    li x12, 0x20000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    ss.ld.w u1, x12, x10, x13
+    ss.st.w u2, x12, x10, x13
+    so.v.dup.w.fp u3, f10
+loop:
+    so.a.mul.w.fp u4, u3, u0, p0
+    so.a.add.w.fp u2, u4, u1, p0
+    so.b.nend u0, loop
+    halt
+";
+        let setup = |emu: &mut Emulator| {
+            emu.set_f(uve_isa::FReg::FA0, 2.0);
+            let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i * 3) as f32).collect();
+            emu.mem.write_f32_slice(0x10000, &x);
+            emu.mem.write_f32_slice(0x20000, &y);
+        };
+        let prog = assemble("t", text).unwrap();
+        let mut clean = Emulator::new(EmuConfig::default(), Memory::new());
+        setup(&mut clean);
+        let clean_run = clean.run(&prog).unwrap();
+
+        let mut faulty = Emulator::new(EmuConfig::default(), Memory::new());
+        setup(&mut faulty);
+        // Fault every first-touched page: 4096 f32 over two arrays = 8
+        // pages, so every stream takes several precise traps.
+        faulty.set_fault_plan(Some(StreamFaultPlan::new(7, 1)));
+        let faulty_run = faulty.run(&prog).unwrap();
+
+        assert!(faulty.faults_taken() > 0, "plan must fire");
+        assert_eq!(
+            clean.mem.content_hash(),
+            faulty.mem.content_hash(),
+            "recovered memory must be bit-identical"
+        );
+        assert_eq!(
+            clean.arch_digest(),
+            faulty.arch_digest(),
+            "recovered registers must be bit-identical"
+        );
+        assert_eq!(clean_run.committed, faulty_run.committed);
+        // The recovered trace matches except for the fault stamps.
+        assert_eq!(clean_run.trace.ops.len(), faulty_run.trace.ops.len());
+        let stamped: u64 = faulty_run
+            .trace
+            .ops
+            .iter()
+            .map(|o| u64::from(o.stream_faults))
+            .sum();
+        assert_eq!(stamped, faulty.faults_taken(), "every trap is stamped");
+        let mut scrubbed = faulty_run.trace.ops.clone();
+        for o in &mut scrubbed {
+            o.stream_faults = 0;
+        }
+        assert_eq!(clean_run.trace.ops, scrubbed);
+        assert_eq!(clean_run.trace.streams, faulty_run.trace.streams);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_across_runs() {
+        let text = "
+    li x10, 512
+    li x11, 0x10000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+loop:
+    so.a.add.w.fp u5, u0, u0, p0
+    so.b.nend u0, loop
+    halt
+";
+        let prog = assemble("t", text).unwrap();
+        let mut counts = Vec::new();
+        for _ in 0..2 {
+            let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+            let x: Vec<f32> = (0..512).map(|i| i as f32).collect();
+            emu.mem.write_f32_slice(0x10000, &x);
+            emu.set_fault_plan(Some(StreamFaultPlan::new(42, 1)));
+            emu.run(&prog).unwrap();
+            counts.push((emu.faults_taken(), emu.arch_digest()));
+        }
+        assert_eq!(counts[0], counts[1]);
+        assert!(counts[0].0 > 0);
+    }
+
+    #[test]
+    fn bitwise_fp_vop_is_a_typed_error() {
+        let prog = assemble(
+            "t",
+            "
+    so.v.dup.w.fp u1, f0
+    so.a.and.w.fp u2, u1, u1, p0
+    halt
+",
+        )
+        .unwrap();
+        let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
+        match emu.run(&prog) {
+            Err(EmuError::Unsupported { .. }) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 
     #[test]

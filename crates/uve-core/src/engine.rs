@@ -197,6 +197,12 @@ pub struct EngineStats {
     pub page_faults: u64,
     /// Extra cycles spent on TLB walks.
     pub tlb_walk_cycles: u64,
+    /// Line requests that transiently failed pre-issue and were retried
+    /// after a backoff (fault injection).
+    pub transient_retries: u64,
+    /// Responses that arrived poisoned and were refetched (fault
+    /// injection).
+    pub poisoned_replays: u64,
     /// Per-stream-register FIFO occupancy histogram.
     pub fifo: FifoProfile,
 }
@@ -225,6 +231,10 @@ struct EngStream {
     last_line: Option<(u64, u64)>,
     /// Chunks freed by commit (FIFO occupancy = fetched − committed).
     committed: usize,
+    /// Retry attempt for the current line (0 outside fault replay).
+    attempts: u32,
+    /// The stream is ineligible until this cycle (fault backoff).
+    retry_at: u64,
 }
 
 impl EngStream {
@@ -284,6 +294,8 @@ impl EngineSim {
                 ready: Vec::new(),
                 last_line: None,
                 committed: 0,
+                attempts: 0,
+                retry_at: 0,
             },
         );
         self.stats.peak_streams = self.stats.peak_streams.max(self.streams.len());
@@ -312,6 +324,7 @@ impl EngineSim {
             .iter()
             .filter(|(inst, s)| {
                 s.start_cycle <= now
+                    && s.retry_at <= now
                     && s.next_chunk < streams[**inst as usize].chunks.len()
                     && s.occupancy() < self.cfg.fifo_depth
             })
@@ -362,15 +375,35 @@ impl EngineSim {
                                     paddr,
                                     extra_cycles,
                                 } => {
+                                    // An injected transient fault kills
+                                    // the request before issue; the stream
+                                    // backs off and retries (bounded).
+                                    if mem.fault_transient(line, s.attempts) {
+                                        s.attempts += 1;
+                                        s.retry_at = now + mem.fault_backoff(s.attempts);
+                                        self.stats.transient_retries += 1;
+                                        continue;
+                                    }
                                     self.stats.tlb_walk_cycles += extra_cycles;
-                                    let r = mem.read(
+                                    let out = mem.read_explained(
                                         paddr,
                                         u64::from(inst),
                                         now + extra_cycles,
                                         s.path,
                                     );
                                     self.stats.line_requests += 1;
-                                    r
+                                    // A poisoned response is discarded on
+                                    // arrival and refetched after a
+                                    // backoff.
+                                    if mem.fault_poisoned(line, s.attempts, out.from_dram, s.path) {
+                                        s.attempts += 1;
+                                        s.retry_at =
+                                            out.ready.max(now) + mem.fault_backoff(s.attempts);
+                                        self.stats.poisoned_replays += 1;
+                                        continue;
+                                    }
+                                    s.attempts = 0;
+                                    out.ready
                                 }
                             }
                         }
@@ -380,7 +413,15 @@ impl EngineSim {
                 }
                 Dir::Store => {
                     // Store address generation only; the write is issued at
-                    // commit (commit_write).
+                    // commit (commit_write). Transient faults hit the
+                    // address-generation slot the same way.
+                    if mem.fault_transient(line, s.attempts) {
+                        s.attempts += 1;
+                        s.retry_at = now + mem.fault_backoff(s.attempts);
+                        self.stats.transient_retries += 1;
+                        continue;
+                    }
+                    s.attempts = 0;
                     s.inflight_ready = s.inflight_ready.max(now);
                     self.stats.line_requests += 1;
                 }
@@ -450,6 +491,15 @@ impl EngineSim {
     /// Number of currently open streams.
     pub fn open_streams(&self) -> usize {
         self.streams.len()
+    }
+
+    /// True while `instance` is retrying an injected fault (backing off or
+    /// mid-retry) — the core attributes head-of-ROB stalls on such a
+    /// stream to the `fault-replay` cycle category.
+    pub fn in_fault_replay(&self, instance: StreamInstance, now: u64) -> bool {
+        self.streams
+            .get(&instance)
+            .is_some_and(|s| s.attempts > 0 || s.retry_at > now)
     }
 
     /// Current `(instance, FIFO occupancy)` of every open stream, sorted by
@@ -742,6 +792,65 @@ mod tests {
         assert!(occ
             .iter()
             .all(|&(_, o)| o <= EngineConfig::default().fifo_depth));
+    }
+
+    #[test]
+    fn injected_faults_delay_but_never_starve_a_stream() {
+        use uve_mem::FaultConfig;
+        let chunks: Vec<ChunkMeta> = (0..32).map(|i| lines(&[i * 64])).collect();
+        let streams = vec![mk_stream(Dir::Load, chunks)];
+        let mut e = EngineSim::new(EngineConfig::default());
+        let mut m = MemSystem::new(MemConfig {
+            l1_prefetcher: false,
+            l2_prefetcher: false,
+            fault: Some(FaultConfig {
+                transient_rate: 4,
+                poison_dram_rate: 4,
+                poison_l2_rate: 4,
+                tlb_fault_rate: 0,
+                ..FaultConfig::hostile(3)
+            }),
+            ..MemConfig::default()
+        });
+        e.open(0, &streams[0], 0);
+        let mut saw_replay = false;
+        let mut now = 0;
+        while !matches!(e.chunk_status(0, 31), ChunkStatus::Ready(_)) {
+            e.tick(now, &streams, &mut m);
+            saw_replay |= e.in_fault_replay(0, now);
+            e.commit_read(0, 0); // keep the FIFO drained
+            if let ChunkStatus::Ready(_) = e.chunk_status(0, 0) {
+                for c in 0..32 {
+                    if matches!(e.chunk_status(0, c), ChunkStatus::Ready(_)) {
+                        e.commit_read(0, c);
+                    }
+                }
+            }
+            now += 1;
+            assert!(now < 1_000_000, "injected faults must not livelock");
+        }
+        let st = e.stats();
+        assert!(
+            st.transient_retries + st.poisoned_replays > 0,
+            "rates of 1-in-4 over 32 lines must fire"
+        );
+        assert!(saw_replay, "fault replay must be observable");
+    }
+
+    #[test]
+    fn fault_free_engine_is_unchanged_by_fault_plumbing() {
+        let chunks: Vec<ChunkMeta> = (0..8).map(|i| lines(&[i])).collect();
+        let streams = vec![mk_stream(Dir::Load, chunks)];
+        let mut e = EngineSim::new(EngineConfig::default());
+        let mut m = mem();
+        e.open(0, &streams[0], 0);
+        for now in 0..50 {
+            e.tick(now, &streams, &mut m);
+            assert!(!e.in_fault_replay(0, now));
+        }
+        let st = e.stats();
+        assert_eq!(st.transient_retries, 0);
+        assert_eq!(st.poisoned_replays, 0);
     }
 
     #[test]

@@ -52,13 +52,14 @@
 
 #![warn(missing_docs)]
 
+pub mod deadline;
 mod emulator;
 pub mod engine;
 mod stream_unit;
 mod trace;
 mod value;
 
-pub use emulator::{EmuConfig, EmuError, Emulator, RunResult};
+pub use emulator::{EmuConfig, EmuError, Emulator, RunResult, StreamFaultPlan};
 pub use stream_unit::{ActiveStream, Consumed, StreamError, StreamUnit};
 pub use trace::{BranchOutcome, ChunkMeta, StreamInstance, StreamTrace, Trace, TraceOp};
 pub use value::{PredVal, Scalar, VecVal, MAX_LANES};

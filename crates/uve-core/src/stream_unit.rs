@@ -9,7 +9,7 @@ use crate::value::VecVal;
 use std::cell::RefCell;
 use std::fmt;
 use uve_isa::{Dir, ElemWidth, MemLevel, VReg};
-use uve_mem::{Memory, LINE_BYTES};
+use uve_mem::{Memory, LINE_BYTES, PAGE_SIZE};
 use uve_stream::{
     Behaviour, EndFlags, IndirectBehaviour, Param, Pattern, PatternError, SavedWalker,
     StreamMemory, Walker, MAX_DIMS, MAX_MODIFIERS,
@@ -36,6 +36,16 @@ pub enum StreamError {
     NoOrigin(u8),
     /// The assembled pattern violated a hardware limit.
     Pattern(PatternError),
+    /// A stream element touched a faulting page (Sec. II-C/V: the fault is
+    /// precise — the walker has been rolled back to the chunk boundary and
+    /// no chunk was emitted, so the consuming instruction can trap, run a
+    /// handler, and re-execute).
+    PageFault {
+        /// Stream register.
+        u: u8,
+        /// Faulting virtual page number.
+        page: u64,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -50,6 +60,9 @@ impl fmt::Display for StreamError {
             StreamError::Suspended(u) => write!(f, "u{u}: stream suspended"),
             StreamError::NoOrigin(u) => write!(f, "u{u}: indirect origin not configured"),
             StreamError::Pattern(e) => write!(f, "invalid stream pattern: {e}"),
+            StreamError::PageFault { u, page } => {
+                write!(f, "u{u}: stream element faulted on page {page:#x}")
+            }
         }
     }
 }
@@ -422,6 +435,31 @@ impl StreamUnit {
         vlen_bytes: usize,
         trace: &mut Trace,
     ) -> Result<Consumed, StreamError> {
+        self.consume_with(u, mem, vlen_bytes, trace, None)
+    }
+
+    /// [`consume`](Self::consume) with an optional page-fault probe.
+    ///
+    /// The probe is asked about every virtual page a stream element spans;
+    /// answering `true` makes the consumption trap *precisely*: the walker
+    /// is rolled back (via [`SavedWalker`]) to where this call found it, no
+    /// chunk is emitted, no architectural state changes, and
+    /// [`StreamError::PageFault`] reports the page so a handler can map it
+    /// and the instruction can re-execute. Indirection-origin loads
+    /// translate through the engine's origin FIFO and are modelled as
+    /// non-faulting.
+    ///
+    /// # Errors
+    ///
+    /// As [`consume`](Self::consume), plus [`StreamError::PageFault`].
+    pub fn consume_with(
+        &mut self,
+        u: VReg,
+        mem: &Memory,
+        vlen_bytes: usize,
+        trace: &mut Trace,
+        mut fault: Option<&mut dyn FnMut(u64) -> bool>,
+    ) -> Result<Consumed, StreamError> {
         let s = self.slots[u.index()]
             .as_mut()
             .ok_or(StreamError::NotConfigured(u.num()))?;
@@ -431,6 +469,10 @@ impl StreamUnit {
         if s.suspended {
             return Err(StreamError::Suspended(u.num()));
         }
+        // Precise-fault rollback point: committed iteration state at entry.
+        let entry = fault
+            .as_ref()
+            .map(|_| (SavedWalker::capture(&s.walker), s.flags));
         let vl = vlen_bytes / s.width.bytes();
         let rec = RecordingMem {
             mem,
@@ -448,6 +490,14 @@ impl StreamUnit {
                 }
                 break;
             };
+            if let Some(probe) = fault.as_mut() {
+                if let Some(page) = faulting_page(probe, e.addr, wbytes) {
+                    let (saved, flags) = entry.as_ref().expect("entry captured with probe");
+                    saved.restore(&mut s.walker, mem);
+                    s.flags = *flags;
+                    return Err(StreamError::PageFault { u: u.num(), page });
+                }
+            }
             value.set_int(n, mem.read_elem(e.addr, s.width));
             value.set_lane_valid(n, true);
             let first = e.addr / LINE_BYTES;
@@ -494,6 +544,29 @@ impl StreamUnit {
         value: &VecVal,
         trace: &mut Trace,
     ) -> Result<u32, StreamError> {
+        self.produce_with(u, mem, value, trace, None)
+    }
+
+    /// [`produce`](Self::produce) with an optional page-fault probe (see
+    /// [`consume_with`](Self::consume_with)).
+    ///
+    /// A faulting element traps *before* being written; elements already
+    /// stored by this call stay in memory, which is safe because the
+    /// rolled-back walker makes re-execution rewrite the same values to the
+    /// same addresses (store replay is idempotent), so recovered runs end
+    /// bit-identical to fault-free ones.
+    ///
+    /// # Errors
+    ///
+    /// As [`produce`](Self::produce), plus [`StreamError::PageFault`].
+    pub fn produce_with(
+        &mut self,
+        u: VReg,
+        mem: &mut Memory,
+        value: &VecVal,
+        trace: &mut Trace,
+        mut fault: Option<&mut dyn FnMut(u64) -> bool>,
+    ) -> Result<u32, StreamError> {
         let s = self.slots[u.index()]
             .as_mut()
             .ok_or(StreamError::NotConfigured(u.num()))?;
@@ -503,6 +576,9 @@ impl StreamUnit {
         if s.suspended {
             return Err(StreamError::Suspended(u.num()));
         }
+        let entry = fault
+            .as_ref()
+            .map(|_| (SavedWalker::capture(&s.walker), s.flags));
         let value = if value.width() == s.width {
             value.clone()
         } else {
@@ -522,6 +598,14 @@ impl StreamUnit {
             let Some(e) = s.walker.next_elem(&rec) else {
                 break; // out-of-bounds lanes disabled (padding)
             };
+            if let Some(probe) = fault.as_mut() {
+                if let Some(page) = faulting_page(probe, e.addr, wbytes) {
+                    let (saved, flags) = entry.as_ref().expect("entry captured with probe");
+                    saved.restore(&mut s.walker, mem);
+                    s.flags = *flags;
+                    return Err(StreamError::PageFault { u: u.num(), page });
+                }
+            }
             lines.extend(rec.touched.into_inner());
             mem.write_elem(e.addr, s.width, value.int(i));
             let first = e.addr / LINE_BYTES;
@@ -631,6 +715,17 @@ impl StreamUnit {
             }
         }
     }
+}
+
+/// Asks the fault probe about every virtual page spanned by a `wbytes`-wide
+/// element at `addr`; returns the first page it reports as faulting.
+fn faulting_page<F>(probe: &mut F, addr: u64, wbytes: u64) -> Option<u64>
+where
+    F: FnMut(u64) -> bool + ?Sized,
+{
+    let first = addr / PAGE_SIZE;
+    let last = (addr + wbytes - 1) / PAGE_SIZE;
+    (first..=last).find(|&p| probe(p))
 }
 
 #[cfg(test)]
@@ -977,6 +1072,71 @@ mod tests {
         .unwrap();
         assert_eq!(su.get(VReg::new(3)).unwrap().level, MemLevel::Mem);
         assert_eq!(tr.streams[0].level, MemLevel::Mem);
+    }
+
+    #[test]
+    fn consume_fault_is_precise_and_retryable() {
+        let (mut su, mut mem, mut tr) = unit();
+        setup_array(&mut mem, 0x1000, 32);
+        su.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x1000,
+            32,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
+        let c0 = su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
+        assert_eq!(c0.value.int(0), 0);
+        let flags_before = su.branch_flags(VReg::new(0)).unwrap();
+        // The second chunk traps: no chunk emitted, walker rolled back.
+        let mut probe = |_p: u64| true;
+        let err = su
+            .consume_with(VReg::new(0), &mem, 64, &mut tr, Some(&mut probe))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::PageFault { u: 0, page: 1 }));
+        assert_eq!(tr.streams[0].chunks.len(), 1, "no chunk on fault");
+        assert_eq!(su.branch_flags(VReg::new(0)).unwrap(), flags_before);
+        // After the handler maps the page, the retry resumes precisely.
+        let c1 = su.consume(VReg::new(0), &mem, 64, &mut tr).unwrap();
+        assert_eq!(c1.value.int(0), 16);
+        assert_eq!(c1.chunk, 1);
+    }
+
+    #[test]
+    fn produce_fault_rolls_back_walker_and_replay_is_idempotent() {
+        let (mut su, mut mem, mut tr) = unit();
+        // 8 words starting 8 bytes before a page boundary: elements 0–1 on
+        // page 1, elements 2–7 on page 2.
+        su.start(
+            VReg::new(2),
+            Dir::Store,
+            ElemWidth::Word,
+            0x1ff8,
+            8,
+            1,
+            true,
+            &mut tr,
+        )
+        .unwrap();
+        let v = VecVal::from_ints(64, ElemWidth::Word, &[10, 11, 12, 13, 14, 15, 16, 17]);
+        let mut probe = |p: u64| p == 2;
+        let err = su
+            .produce_with(VReg::new(2), &mut mem, &v, &mut tr, Some(&mut probe))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::PageFault { u: 2, page: 2 }));
+        assert_eq!(tr.streams[0].chunks.len(), 0, "no chunk on fault");
+        assert_eq!(mem.read_u32(0x1ff8), 10, "pre-fault stores persist");
+        // Replay after handling rewrites the prefix (idempotent) and
+        // finishes the chunk — bit-identical to a fault-free run.
+        su.produce(VReg::new(2), &mut mem, &v, &mut tr).unwrap();
+        assert_eq!(mem.read_u32(0x1ff8), 10);
+        assert_eq!(mem.read_u32(0x2000), 12);
+        assert_eq!(mem.read_u32(0x2014), 17);
+        assert!(su.get(VReg::new(2)).unwrap().at_end());
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct TraceOp {
     /// Stream instance terminated by this instruction (explicit stop or
     /// completion-signalling consumption).
     pub stream_close: Option<StreamInstance>,
+    /// Precise stream faults this instruction trapped on before finally
+    /// executing (each one cost a handler round trip; the timing model
+    /// charges `fault_trap_penalty` per fault).
+    pub stream_faults: u32,
 }
 
 impl TraceOp {
@@ -117,6 +121,7 @@ impl TraceOp {
             stream_writes: Vec::new(),
             stream_open: None,
             stream_close: None,
+            stream_faults: 0,
         }
     }
 }

@@ -52,6 +52,13 @@ pub struct CpuConfig {
     pub mem: MemConfig,
     /// Hard cycle cap (runaway guard).
     pub max_cycles: u64,
+    /// No-retire watchdog: if this many consecutive cycles pass without a
+    /// commit, the model aborts with a diagnostic dump of the
+    /// cycle-accounting tables instead of spinning to `max_cycles`.
+    pub watchdog_cycles: u64,
+    /// Commit-stage cost of one precise stream-fault trap (pipeline flush
+    /// + handler + context restore), charged per recovered fault.
+    pub fault_trap_penalty: u64,
 }
 
 impl Default for CpuConfig {
@@ -79,6 +86,8 @@ impl Default for CpuConfig {
             engine: EngineConfig::default(),
             mem: MemConfig::default(),
             max_cycles: 2_000_000_000,
+            watchdog_cycles: 1_000_000,
+            fault_trap_penalty: 400,
         }
     }
 }

@@ -15,10 +15,10 @@
 use crate::config::CpuConfig;
 use crate::events::{ChunkSpan, EventLog, FifoPoint, OpSpan};
 use crate::predictor::Bimodal;
-use crate::stats::{RenameBlockReason, TimingStats};
+use crate::stats::{CycleAccount, RenameBlockReason, TimingStats};
 use std::collections::{HashMap, VecDeque};
 use uve_core::engine::{ChunkStatus, EngineSim};
-use uve_core::Trace;
+use uve_core::{Trace, TraceOp};
 use uve_isa::{Dir, ExecClass, RegClass, RegRef};
 use uve_mem::{MemSystem, Path, LINE_BYTES};
 
@@ -49,6 +49,53 @@ fn class_idx(c: RegClass) -> usize {
 }
 
 const NOT_DONE: u64 = u64::MAX;
+
+/// Renders the no-retire watchdog diagnostic: instead of spinning silently
+/// to `max_cycles`, a deadlocked model dumps where commit is stuck and the
+/// full cycle-accounting table so the stall is attributable post mortem.
+#[allow(clippy::too_many_arguments)]
+fn watchdog_report(
+    watchdog_cycles: u64,
+    now: u64,
+    commit_ptr: usize,
+    n: usize,
+    rob_used: usize,
+    account: &CycleAccount,
+    head_op: &TraceOp,
+    head_done: u64,
+    engine: &EngineSim,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        format!("no-retire watchdog: {watchdog_cycles} cycles without a commit at cycle {now}\n");
+    let _ = writeln!(
+        out,
+        "  commit_ptr {commit_ptr}/{n}, rob_used {rob_used}, head pc={} exec={:?} done={}",
+        head_op.pc,
+        head_op.exec,
+        if head_done == NOT_DONE {
+            "never-issued".to_string()
+        } else {
+            head_done.to_string()
+        },
+    );
+    if !head_op.stream_reads.is_empty() {
+        let _ = writeln!(out, "  head stream_reads: {:?}", head_op.stream_reads);
+    }
+    let _ = writeln!(
+        out,
+        "  engine: {} open stream(s), occupancies {:?}",
+        engine.open_streams(),
+        engine.occupancies(),
+    );
+    let _ = writeln!(out, "  cycle accounting so far:");
+    for (name, value) in CycleAccount::CATEGORIES.iter().zip(account.values()) {
+        if value > 0 {
+            let _ = writeln!(out, "    {name:<12} {value}");
+        }
+    }
+    out
+}
 
 #[derive(Debug)]
 struct IqEntry {
@@ -164,12 +211,34 @@ impl OoOCore {
         let mut issue_at: Vec<u64> = if track { vec![0; n] } else { Vec::new() };
         let mut fifo_last = [0u32; 32];
 
+        // No-retire watchdog: cycle of the most recent commit (or start).
+        let mut last_commit_cycle: u64 = 0;
+
         while commit_ptr < n {
             assert!(
                 now < cfg.max_cycles,
                 "timing model exceeded {} cycles (commit_ptr={commit_ptr}/{n})",
                 cfg.max_cycles
             );
+            if now & 0xFFFF == 0 {
+                uve_core::deadline::check("timing model");
+            }
+            if now.saturating_sub(last_commit_cycle) > cfg.watchdog_cycles {
+                panic!(
+                    "{}",
+                    watchdog_report(
+                        cfg.watchdog_cycles,
+                        now,
+                        commit_ptr,
+                        n,
+                        rob_used,
+                        &stats.account,
+                        &trace.ops[commit_ptr],
+                        done[commit_ptr],
+                        &engine,
+                    )
+                );
+            }
 
             // ---- commit (in order, commit_width per cycle) ----
             let mut committed = 0;
@@ -255,6 +324,9 @@ impl OoOCore {
                 committed += 1;
                 stats.committed += 1;
             }
+            if committed > 0 {
+                last_commit_cycle = now;
+            }
 
             // ---- issue (dataflow, bounded by ports and issue width) ----
             let mut issued_total = 0;
@@ -307,7 +379,7 @@ impl OoOCore {
                         continue;
                     }
                     // Issue it.
-                    let completion = match op.exec {
+                    let mut completion = match op.exec {
                         ExecClass::Load => {
                             if op.mem_lines.is_empty() {
                                 now + 1
@@ -333,6 +405,12 @@ impl OoOCore {
                         ExecClass::Store => now + 1,
                         class => now + cfg.latency(class),
                     };
+                    // A precise stream-fault trap (recorded by the
+                    // functional emulator) costs a flush + handler +
+                    // restore round trip per fault.
+                    if op.stream_faults > 0 {
+                        completion += cfg.fault_trap_penalty * u64::from(op.stream_faults);
+                    }
                     done[idx] = completion;
                     if track {
                         issue_at[idx] = now;
@@ -510,7 +588,7 @@ impl OoOCore {
                     && done[head] > now
                     && head_op.exec == ExecClass::Load
                     && !head_op.mem_lines.is_empty();
-                let head_stream_stall: Option<u8> = if rob_used > 0 && done[head] == NOT_DONE {
+                let head_stream_stall = if rob_used > 0 && done[head] == NOT_DONE {
                     head_op
                         .stream_reads
                         .iter()
@@ -518,7 +596,7 @@ impl OoOCore {
                             !matches!(engine.chunk_status(inst, chunk),
                                       ChunkStatus::Ready(r) if r <= now)
                         })
-                        .map(|&(inst, _)| trace.streams[inst as usize].u)
+                        .map(|&(inst, _)| (inst, trace.streams[inst as usize].u))
                 } else {
                     None
                 };
@@ -531,9 +609,16 @@ impl OoOCore {
                     } else {
                         acct.cache_wait += 1;
                     }
-                } else if let Some(u) = head_stream_stall {
-                    acct.fifo_empty += 1;
-                    acct.fifo_empty_by_u[usize::from(u) & 31] += 1;
+                } else if let Some((inst, u)) = head_stream_stall {
+                    if engine.in_fault_replay(inst, now) {
+                        // The chunk is late because its stream is retrying
+                        // an injected fault, not because the engine fell
+                        // behind the consumer.
+                        acct.fault_replay += 1;
+                    } else {
+                        acct.fifo_empty += 1;
+                        acct.fifo_empty_by_u[usize::from(u) & 31] += 1;
+                    }
                 } else if let Some(reason) = cycle_block {
                     match reason {
                         RenameBlockReason::Rob => acct.rob_full += 1,
@@ -547,7 +632,15 @@ impl OoOCore {
                     }
                 } else if rob_used > 0 {
                     if head_issued {
-                        acct.execute += 1;
+                        if head_op.stream_faults > 0 {
+                            // The head's latency includes the precise
+                            // stream-fault trap round trips it took in the
+                            // functional run; attribute the wait to fault
+                            // handling rather than plain execution.
+                            acct.fault_replay += 1;
+                        } else {
+                            acct.execute += 1;
+                        }
                     } else {
                         acct.depend += 1;
                     }
@@ -711,6 +804,125 @@ skip:
         for op in &log.ops {
             assert!(op.rename <= op.issue && op.issue <= op.done && op.done <= op.commit);
         }
+    }
+
+    #[test]
+    fn watchdog_dumps_accounting_on_deadlock() {
+        use uve_core::{ChunkMeta, StreamTrace};
+        use uve_isa::{ElemWidth, MemLevel};
+        // One op consuming a chunk of a stream that is never opened: the
+        // chunk stays NotFetched forever, so commit deadlocks and the
+        // watchdog must fire with a diagnostic instead of spinning to
+        // `max_cycles`.
+        let mut t = Trace::new();
+        let mut op = TraceOp::new(0, ExecClass::VecInt);
+        op.stream_reads.push((0, 0));
+        t.ops.push(op);
+        t.streams.push(StreamTrace {
+            u: 3,
+            dir: Dir::Load,
+            level: MemLevel::L2,
+            width: ElemWidth::Word,
+            chunks: vec![ChunkMeta {
+                lines: vec![0x1000],
+                dim_switches: 0,
+                valid: 16,
+            }],
+            cfg_insts: 1,
+        });
+        let cfg = CpuConfig {
+            watchdog_cycles: 500,
+            ..CpuConfig::default()
+        };
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| OoOCore::new(cfg).run(&t)))
+                .expect_err("deadlocked model must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("watchdog panics with a String report");
+        assert!(msg.contains("no-retire watchdog"), "{msg}");
+        assert!(msg.contains("commit_ptr 0/1"), "{msg}");
+        assert!(
+            msg.contains("fifo-empty"),
+            "report lists stall table: {msg}"
+        );
+    }
+
+    #[test]
+    fn injected_faults_slow_the_run_but_conserve_cycles() {
+        use uve_mem::FaultConfig;
+        let n = 16384usize;
+        let setup = |emu: &mut Emulator| {
+            let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            emu.mem.write_f32_slice(0x100000, &x);
+            emu.mem.write_f32_slice(0x200000, &x);
+            emu.set_f(uve_isa::FReg::FA0, 2.0);
+        };
+        let t = trace_of(
+            "
+    li x10, 16384
+    li x11, 0x100000
+    li x12, 0x200000
+    li x13, 1
+    ss.ld.w u0, x11, x10, x13
+    ss.ld.w u1, x12, x10, x13
+    ss.st.w u2, x12, x10, x13
+    so.v.dup.w.fp u3, f10
+loop:
+    so.a.mul.w.fp u4, u3, u0, p0
+    so.a.add.w.fp u2, u4, u1, p0
+    so.b.nend u0, loop
+    halt
+",
+            setup,
+        );
+        let clean = OoOCore::new(CpuConfig::default()).run(&t);
+        let mut cfg = CpuConfig::default();
+        cfg.mem.fault = Some(FaultConfig::hostile(7));
+        let faulty = OoOCore::new(cfg).run(&t);
+        faulty.account.check(faulty.cycles).unwrap();
+        assert_eq!(faulty.committed, clean.committed);
+        let replays = faulty.engine.transient_retries + faulty.engine.poisoned_replays;
+        assert!(replays > 0, "hostile rates must trigger retries");
+        assert!(
+            faulty.cycles > clean.cycles,
+            "retry backoff must cost cycles: {} vs {}",
+            faulty.cycles,
+            clean.cycles
+        );
+        // And a second run with the same seed is bit-identical.
+        let mut cfg2 = CpuConfig::default();
+        cfg2.mem.fault = Some(FaultConfig::hostile(7));
+        assert_eq!(OoOCore::new(cfg2).run(&t), faulty);
+    }
+
+    #[test]
+    fn stream_fault_traps_charge_penalty_as_fault_replay() {
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("addi x{}, x0, 1\n", 1 + (i % 8)));
+        }
+        text.push_str("halt\n");
+        let t = trace_of(&text, |_| {});
+        let clean = OoOCore::new(CpuConfig::default()).run(&t);
+        let mut faulted = t.clone();
+        faulted.ops[20].stream_faults = 2;
+        let s = OoOCore::new(CpuConfig::default()).run(&faulted);
+        s.account.check(s.cycles).unwrap();
+        // Out-of-order overlap can hide a few cycles of the serial sum, so
+        // bound from below with a small slack.
+        let penalty = 2 * CpuConfig::default().fault_trap_penalty;
+        assert!(
+            s.cycles + 32 >= clean.cycles + penalty,
+            "two traps must cost about {penalty}: {} vs {}",
+            s.cycles,
+            clean.cycles
+        );
+        assert!(
+            s.account.fault_replay + 64 >= penalty,
+            "trap service time lands in fault-replay: {:?}",
+            s.account
+        );
     }
 
     #[test]

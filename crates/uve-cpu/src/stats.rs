@@ -57,10 +57,12 @@ impl RenameBlockReasons {
 ///    `mshr_wait` / `dram_wait` / `cache_wait` (from the load's recorded
 ///    [`ReadOutcome`](uve_mem::ReadOutcome));
 /// 3. the ROB head cannot issue because a stream chunk is not in its FIFO
-///    → `fifo_empty` (also attributed per stream register);
+///    → `fault_replay` if that stream is retrying an injected fault,
+///    `fifo_empty` otherwise (also attributed per stream register);
 /// 4. rename produced nothing because a resource is full → `rob_full` /
 ///    `iq_full` / `lsq_full` / `prf_starved` / `fifo_full`;
 /// 5. the ROB head is otherwise executing or waiting on registers →
+///    `fault_replay` if it is serving a precise stream-fault trap, else
 ///    `execute` / `depend`;
 /// 6. the ROB is empty → `branch_redirect` while refetching after a
 ///    mispredict, `frontend` otherwise.
@@ -76,6 +78,9 @@ pub struct CycleAccount {
     pub cache_wait: u64,
     /// ROB head waiting for a stream chunk that is not yet in its FIFO.
     pub fifo_empty: u64,
+    /// ROB head waiting on a stream that is retrying an injected fault
+    /// (transient/poison backoff), or serving a precise stream-fault trap.
+    pub fault_replay: u64,
     /// Rename blocked: reorder buffer full.
     pub rob_full: u64,
     /// Rename blocked: issue queues full.
@@ -102,12 +107,13 @@ pub struct CycleAccount {
 
 impl CycleAccount {
     /// Category names, in [`CycleAccount::values`] order.
-    pub const CATEGORIES: [&'static str; 14] = [
+    pub const CATEGORIES: [&'static str; 15] = [
         "retiring",
         "mshr",
         "dram",
         "cache",
         "fifo-empty",
+        "fault-replay",
         "rob-full",
         "iq-full",
         "lsq-full",
@@ -120,13 +126,14 @@ impl CycleAccount {
     ];
 
     /// Category counters, in [`CycleAccount::CATEGORIES`] order.
-    pub fn values(&self) -> [u64; 14] {
+    pub fn values(&self) -> [u64; 15] {
         [
             self.retiring,
             self.mshr_wait,
             self.dram_wait,
             self.cache_wait,
             self.fifo_empty,
+            self.fault_replay,
             self.rob_full,
             self.iq_full,
             self.lsq_full,

@@ -4,6 +4,8 @@
 
 use crate::cache::{Access, Cache, CacheStats, LINE_BYTES};
 use crate::dram::{Dram, DramConfig, DramStats};
+use crate::fault::{FaultConfig, FaultInjector, FaultLevel, FaultStats};
+use crate::memory::PAGE_SIZE;
 use crate::prefetch::{AmpmPrefetcher, StridePrefetcher};
 use crate::profile::{ReadProfile, ReqClass, ServedBy};
 use crate::tlb::{Tlb, Translation};
@@ -46,6 +48,9 @@ pub struct MemConfig {
     /// L2 requests accepted per cycle (the Streaming Engine brings its own
     /// load + store ports per Table I, so the default is 2).
     pub l2_ports: usize,
+    /// Deterministic fault injection; `None` (the default) disables it and
+    /// costs nothing on the hot path.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for MemConfig {
@@ -67,6 +72,7 @@ impl Default for MemConfig {
             l1_mshrs: 8,
             l2_mshrs: 32,
             l2_ports: 2,
+            fault: None,
         }
     }
 }
@@ -174,6 +180,7 @@ pub struct MemSystem {
     reads: u64,
     writes: u64,
     profile: ReadProfile,
+    injector: Option<FaultInjector>,
 }
 
 impl MemSystem {
@@ -192,6 +199,7 @@ impl MemSystem {
             reads: 0,
             writes: 0,
             profile: ReadProfile::default(),
+            injector: cfg.fault.clone().map(FaultInjector::new),
             cfg,
         }
     }
@@ -206,9 +214,55 @@ impl MemSystem {
         &mut self.tlb
     }
 
-    /// Translates a virtual address (streams and LSQ both use this).
+    /// Translates a virtual address (streams and LSQ both use this). With
+    /// fault injection enabled, a page's first touch may raise an injected
+    /// translation fault (once per page — the handler maps it).
     pub fn translate(&mut self, vaddr: u64) -> Translation {
+        if let Some(inj) = &mut self.injector {
+            let page = vaddr / PAGE_SIZE;
+            if inj.page_fault_on_first_touch(page) {
+                return Translation::Fault { page };
+            }
+        }
         self.tlb.translate(vaddr)
+    }
+
+    /// Does the request for `line` transiently fail at retry `attempt`?
+    /// Always `false` without an injector.
+    pub fn fault_transient(&mut self, line: u64, attempt: u32) -> bool {
+        match &mut self.injector {
+            Some(inj) => inj.transient(line, attempt),
+            None => false,
+        }
+    }
+
+    /// Is a response for `line` poisoned at retry `attempt`? The serving
+    /// level is derived from the request path and whether DRAM served it.
+    pub fn fault_poisoned(&mut self, line: u64, attempt: u32, from_dram: bool, path: Path) -> bool {
+        let Some(inj) = &mut self.injector else {
+            return false;
+        };
+        let level = if from_dram {
+            FaultLevel::Dram
+        } else {
+            match path {
+                Path::Normal | Path::StreamL1 => FaultLevel::L1,
+                Path::StreamL2 | Path::StreamMem => FaultLevel::L2,
+            }
+        };
+        inj.poisoned(line, attempt, level)
+    }
+
+    /// Backoff in cycles before retry `attempt` (0 without an injector).
+    pub fn fault_backoff(&self, attempt: u32) -> u64 {
+        self.injector.as_ref().map_or(0, |inj| inj.backoff(attempt))
+    }
+
+    /// Injected-fault counters (zeroes if injection is disabled).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map_or_else(FaultStats::default, |inj| inj.stats())
     }
 
     /// Aggregated statistics.
@@ -510,6 +564,11 @@ impl MemSystem {
         self.reads = 0;
         self.writes = 0;
         self.profile = ReadProfile::default();
+        if let Some(inj) = &mut self.injector {
+            // Counters reset; the handled-page set survives — a page
+            // mapped in the priming pass stays mapped in the warm pass.
+            inj.reset_stats();
+        }
     }
 
     /// Peak DRAM bandwidth in bytes/cycle.
@@ -683,6 +742,48 @@ mod tests {
         // Warm state survives: the translation is still cached.
         m.translate(0x1000);
         assert_eq!((m.stats().tlb_hits, m.stats().tlb_misses), (1, 0));
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_and_once_per_page() {
+        let cfg = MemConfig {
+            fault: Some(crate::FaultConfig {
+                tlb_fault_rate: 2,
+                ..crate::FaultConfig::hostile(11)
+            }),
+            ..no_pf_cfg()
+        };
+        let mut a = MemSystem::new(cfg.clone());
+        let mut b = MemSystem::new(cfg);
+        let pages: Vec<u64> = (0..64).collect();
+        let fa: Vec<bool> = pages
+            .iter()
+            .map(|p| matches!(a.translate(p * 4096), Translation::Fault { .. }))
+            .collect();
+        let fb: Vec<bool> = pages
+            .iter()
+            .rev()
+            .map(|p| matches!(b.translate(p * 4096), Translation::Fault { .. }))
+            .collect();
+        assert_eq!(fa, fb.into_iter().rev().collect::<Vec<_>>());
+        assert!(fa.iter().any(|&x| x), "rate 2 over 64 pages must fire");
+        // Second touch of every page succeeds — the fault was handled.
+        for p in &pages {
+            assert!(matches!(a.translate(p * 4096), Translation::Ok { .. }));
+        }
+        assert_eq!(
+            a.fault_stats().injected_page_faults,
+            fa.iter().filter(|&&x| x).count() as u64
+        );
+    }
+
+    #[test]
+    fn no_injector_means_no_faults() {
+        let mut m = MemSystem::new(no_pf_cfg());
+        assert!(!m.fault_transient(1, 0));
+        assert!(!m.fault_poisoned(1, 0, true, Path::StreamL2));
+        assert_eq!(m.fault_backoff(3), 0);
+        assert_eq!(m.fault_stats(), crate::FaultStats::default());
     }
 
     #[test]

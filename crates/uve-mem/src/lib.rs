@@ -15,6 +15,9 @@
 //!   the Fig. 8.D bus-utilization metric;
 //! - [`Tlb`]: translation with page-fault injection (streams prefetch across
 //!   page boundaries and flag faults for commit-time handling);
+//! - [`FaultInjector`]: deterministic seeded fault injection (first-touch
+//!   translation faults, transient request faults, poisoned responses with
+//!   per-level odds and bounded retry), enabled via [`MemConfig::fault`];
 //! - [`MemSystem`]: the composed hierarchy with the paper's stream request
 //!   paths ([`Path::StreamL1`], [`Path::StreamL2`], [`Path::StreamMem`]).
 //!
@@ -27,6 +30,7 @@
 
 mod cache;
 mod dram;
+mod fault;
 mod hierarchy;
 mod memory;
 mod prefetch;
@@ -35,6 +39,7 @@ mod tlb;
 
 pub use cache::{Access, Cache, CacheStats, MoesiState, LINE_BYTES};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use fault::{FaultConfig, FaultInjector, FaultLevel, FaultStats};
 pub use hierarchy::{MemConfig, MemStats, MemSystem, Path, ReadOutcome};
 pub use memory::{Memory, PAGE_SIZE};
 pub use prefetch::{AmpmPrefetcher, PrefetchRequest, StridePrefetcher};

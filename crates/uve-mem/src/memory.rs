@@ -200,6 +200,28 @@ impl Memory {
             .map(|i| self.read_u32(addr + 4 * i as u64) as i32)
             .collect()
     }
+
+    /// A deterministic digest of the full memory contents (pages visited
+    /// in sorted order, so the hash is independent of touch order). Two
+    /// memories with identical byte contents hash equal; an all-zero page
+    /// hashes like an untouched one, so allocation noise doesn't matter.
+    pub fn content_hash(&self) -> u64 {
+        let mut pages: Vec<(&u64, &Box<[u8; PAGE_SIZE as usize]>)> = self.pages.iter().collect();
+        pages.sort_by_key(|(n, _)| **n);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for (num, data) in pages {
+            if data.iter().all(|&b| b == 0) {
+                continue;
+            }
+            h ^= *num;
+            h = h.wrapping_mul(0x100_0000_01b3);
+            for &b in data.iter() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 impl StreamMemory for Memory {
@@ -279,6 +301,24 @@ mod tests {
         let ints = vec![-1i32, 7, 42];
         m.write_i32_slice(0x200, &ints);
         assert_eq!(m.read_i32_slice(0x200, 3), ints);
+    }
+
+    #[test]
+    fn content_hash_reflects_bytes_not_touch_order() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.write_u32(0x1000, 7);
+        a.write_u32(0x9000, 9);
+        b.write_u32(0x9000, 9);
+        b.write_u32(0x1000, 7);
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.write_u8(0x1000, 8);
+        assert_ne!(a.content_hash(), b.content_hash());
+        // Touching a page with zeroes doesn't change the digest.
+        let empty = Memory::new().content_hash();
+        let mut c = Memory::new();
+        c.write_u8(0x5000, 0);
+        assert_eq!(c.content_hash(), empty);
     }
 
     #[test]

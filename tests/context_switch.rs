@@ -184,3 +184,197 @@ fn saved_walker_is_cloneable_and_comparable() {
     let s3 = SavedWalker::capture(&w);
     assert_ne!(s1, s3);
 }
+
+#[test]
+fn stream_fault_inside_indirect_gather_recovers_bit_identically() {
+    // PR 4 (fault model): a stream element can fault at any position of an
+    // indirect gather. The fault must be precise — walker rolled back, no
+    // chunk emitted — and the post-handler resume must reproduce the
+    // fault-free chunk sequence bit for bit. Faults are forced at every
+    // element position of a 13-element gather (prime length: cuts land at
+    // non-VLEN-multiple positions inside the indirect-modifier region).
+    use uve::core::{StreamError, Trace};
+    use uve::isa::VReg;
+    use uve::stream::{ElemWidth, IndirectBehaviour, Param};
+
+    let indices: [u32; 13] = [3, 0, 7, 7, 1, 12, 4, 9, 2, 11, 5, 10, 6];
+    let mut mem = Memory::new();
+    for (i, &idx) in indices.iter().enumerate() {
+        mem.write_u32(0x4000 + 4 * i as u64, idx);
+    }
+    for i in 0..16u64 {
+        mem.write_f32(0x8000 + 4 * i, (100 + i) as f32);
+    }
+
+    let build = |mem: &Memory, trace: &mut Trace| {
+        let mut unit = StreamUnit::new();
+        unit.start(
+            VReg::new(1),
+            Dir::Load,
+            ElemWidth::Word,
+            0x4000,
+            indices.len() as u64,
+            1,
+            true,
+            trace,
+        )
+        .unwrap();
+        unit.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x8000,
+            1,
+            0,
+            false,
+            trace,
+        )
+        .unwrap();
+        unit.append_indirect_mod(
+            VReg::new(0),
+            Param::Offset,
+            IndirectBehaviour::SetAdd,
+            VReg::new(1),
+            true,
+            mem,
+            trace,
+        )
+        .unwrap();
+        unit
+    };
+
+    // Fault-free reference chunk sequence.
+    let mut trace = Trace::new();
+    let mut unit = build(&mem, &mut trace);
+    let mut want = Vec::new();
+    loop {
+        want.push(unit.consume(VReg::new(0), &mem, 64, &mut trace).unwrap());
+        if unit.get(VReg::new(0)).unwrap().at_end() {
+            break;
+        }
+    }
+
+    for cut in 0..indices.len() {
+        let mut trace = Trace::new();
+        let mut unit = build(&mem, &mut trace);
+        let mut got = Vec::new();
+        // The probe faults exactly once, on the `cut`-th element probe.
+        let mut probes = 0usize;
+        let mut faulted = false;
+        loop {
+            let mut probe = |_page: u64| {
+                let fire = !faulted && probes == cut;
+                probes += 1;
+                fire
+            };
+            match unit.consume_with(VReg::new(0), &mem, 64, &mut trace, Some(&mut probe)) {
+                Ok(c) => got.push(c),
+                Err(StreamError::PageFault { u: 0, .. }) => {
+                    assert!(!faulted, "cut {cut}: a single fault may fire once");
+                    faulted = true;
+                    // Precise: nothing was emitted for the faulting chunk.
+                    let emitted: usize = trace.streams[1]
+                        .chunks
+                        .iter()
+                        .map(|c| c.valid as usize)
+                        .sum();
+                    assert_eq!(
+                        emitted,
+                        got.iter().map(|c| c.value.valid_count()).sum::<usize>()
+                    );
+                }
+                Err(e) => panic!("cut {cut}: {e}"),
+            }
+            if unit.get(VReg::new(0)).unwrap().at_end() {
+                break;
+            }
+        }
+        assert!(faulted, "cut {cut} must trap");
+        assert_eq!(got.len(), want.len(), "cut {cut}: chunk count diverged");
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.value, w.value, "cut {cut}: recovered run diverged");
+        }
+    }
+}
+
+#[test]
+fn saved_walker_restores_across_fault_at_non_vlen_multiple_cuts() {
+    // PR 4 (fault model): after a precise stream fault, the OS may context
+    // switch before re-executing. Capture the stream context at the fault
+    // boundary, restore it into a fresh unit, and finish there: the
+    // concatenation of pre-fault and post-restore chunks must equal the
+    // fault-free run. Rows of 10 words make every chunk boundary (and
+    // therefore every fault) land off any VLEN multiple.
+    use uve::core::{StreamError, Trace};
+    use uve::isa::VReg;
+    use uve::stream::ElemWidth;
+
+    let mut mem = Memory::new();
+    let data: Vec<f32> = (0..50).map(|i| i as f32).collect();
+    mem.write_f32_slice(0x1000, &data);
+
+    let build = |trace: &mut Trace| {
+        let mut unit = StreamUnit::new();
+        unit.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x1000,
+            10,
+            1,
+            false,
+            trace,
+        )
+        .unwrap();
+        unit.append_dim(VReg::new(0), 0, 5, 10, true, trace)
+            .unwrap();
+        unit
+    };
+
+    let collect = |unit: &mut StreamUnit, trace: &mut Trace| {
+        let mut vals = Vec::new();
+        loop {
+            let c = unit.consume(VReg::new(0), &mem, 64, trace).unwrap();
+            assert!(c.value.valid_count() <= 10, "rows re-chunk at 10");
+            vals.push(c.value);
+            if unit.get(VReg::new(0)).unwrap().at_end() {
+                break;
+            }
+        }
+        vals
+    };
+    let mut trace = Trace::new();
+    let want = collect(&mut build(&mut trace), &mut trace);
+
+    for chunks_before_fault in [0usize, 1, 3] {
+        let mut trace = Trace::new();
+        let mut unit = build(&mut trace);
+        let mut got = Vec::new();
+        for _ in 0..chunks_before_fault {
+            got.push(
+                unit.consume(VReg::new(0), &mem, 64, &mut trace)
+                    .unwrap()
+                    .value,
+            );
+        }
+        // Fault mid-chunk: the probe fires on the 7th element of the row.
+        let mut probes = 0usize;
+        let mut probe = |_page: u64| {
+            probes += 1;
+            probes == 7
+        };
+        let err = unit
+            .consume_with(VReg::new(0), &mem, 64, &mut trace, Some(&mut probe))
+            .unwrap_err();
+        assert!(matches!(err, StreamError::PageFault { u: 0, .. }), "{err}");
+
+        // Context switch at the fault boundary: capture, restore into a
+        // fresh unit (same configuration), resume there.
+        let ctx = unit.save_context();
+        let mut trace2 = Trace::new();
+        let mut resumed = build(&mut trace2);
+        resumed.restore_context(&ctx, &mem);
+        got.extend(collect(&mut resumed, &mut trace2));
+        assert_eq!(got, want, "after {chunks_before_fault} clean chunk(s)");
+    }
+}
