@@ -36,6 +36,21 @@ cargo test -q -p uve-bench --offline panicking_item_is_isolated
 cargo test -q -p uve-bench --offline poisoned_job_is_isolated_and_reported
 cargo test -q --offline --test fault_recovery
 
+echo "== multicore: coherence smoke + scheduling determinism =="
+# 2-core sharded run over three kernels: nonzero cross-core snoop traffic,
+# single-writer MOESI invariant verified on every event plus a periodic
+# full scan, per-core/per-program cycle conservation — all asserted inside
+# the binary. Serial and 8-worker sweeps must print bit-identical tables.
+./target/release/smp --small --kernels memcpy,saxpy,stream --cores 1,2 \
+    --check-every 64 --quiet --serial > target/smp_serial.txt
+./target/release/smp --small --kernels memcpy,saxpy,stream --cores 1,2 \
+    --check-every 64 --quiet --jobs 8 > target/smp_jobs8.txt
+diff -u target/smp_serial.txt target/smp_jobs8.txt
+# 200 dedicated smp-engine cases: coherence, conservation, liveness,
+# determinism, and architecturally invisible context switching (the `all`
+# run above only gives the smp engine a twentieth of the budget).
+./target/release/uve-conform --engine smp --seed 7 --cases 200 --quiet
+
 echo "== observability: --explain smoke + golden trace (offline) =="
 # One figure run with stall attribution: maybe_explain() panics unless the
 # cycle-accounting conservation laws hold for every kernel in the table.

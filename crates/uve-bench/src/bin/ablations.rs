@@ -13,7 +13,7 @@
 //! runner; the four functional traces are emulated once and replayed
 //! under every configuration.
 
-use uve_bench::{header, row, Job, Runner};
+use uve_bench::{header, row, Cli, Job, Runner};
 use uve_cpu::CpuConfig;
 use uve_kernels::{gemm::Gemm, saxpy::Saxpy, Benchmark, Flavor};
 use uve_mem::MemConfig;
@@ -99,7 +99,7 @@ fn main() {
         ),
     ];
 
-    let runner = Runner::from_args();
+    let runner = Runner::from_cli(&Cli::parse());
     let benches = pair();
     // Per config, per kernel: one UVE and one SVE replay of cached traces.
     let jobs: Vec<Job> = configs

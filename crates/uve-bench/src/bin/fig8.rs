@@ -3,14 +3,12 @@
 //! Usage: `fig8 [--panel a|b|c|d|e] [--jobs N | --serial] [--quiet]`
 //! (default: all panels, one worker per core).
 
+use uve_bench::{Cli, Runner};
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let panel = args
-        .iter()
-        .position(|a| a == "--panel")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let runner = uve_bench::Runner::from_args();
+    let cli = Cli::parse();
+    let panel = cli.value("--panel").map(str::to_string);
+    let runner = Runner::from_cli(&cli);
     uve_bench::figures::fig8(panel.as_deref(), &runner);
     std::process::exit(runner.finish());
 }

@@ -2,7 +2,7 @@
 //!
 //! Usage: `fig9 [--jobs N | --serial] [--quiet]`.
 fn main() {
-    let runner = uve_bench::Runner::from_args();
+    let runner = uve_bench::Runner::from_cli(&uve_bench::Cli::parse());
     uve_bench::figures::fig9(&runner);
     std::process::exit(runner.finish());
 }

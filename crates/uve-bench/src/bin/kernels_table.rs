@@ -8,7 +8,7 @@
 //! is warmed in parallel and the rows are then formatted serially in
 //! suite order.
 
-use uve_bench::{row, Runner};
+use uve_bench::{row, Cli, Runner};
 use uve_isa::{ExecClass, MemLevel};
 use uve_kernels::{evaluation_suite, Benchmark, Flavor};
 
@@ -52,7 +52,7 @@ fn main() {
             "scalar mem%".into(),
         ],
     );
-    let runner = Runner::from_args();
+    let runner = Runner::from_cli(&Cli::parse());
     let suite = evaluation_suite();
     let points: Vec<(&dyn Benchmark, Flavor, MemLevel)> = suite
         .iter()

@@ -11,34 +11,15 @@
 //! in `chrome://tracing` or <https://ui.perfetto.dev>. `--tiny-saxpy` is
 //! the golden-snapshot subject of `tests/golden_trace.rs`.
 
-use uve_bench::{tiny_saxpy_trace, trace_kernel};
+use uve_bench::{tiny_saxpy_trace, trace_kernel, Cli};
 use uve_kernels::{evaluation_suite, Flavor};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let free: Vec<&String> = {
-        let mut skip = false;
-        args.iter()
-            .filter(|a| {
-                if skip {
-                    skip = false;
-                    return false;
-                }
-                if *a == "--out" {
-                    skip = true;
-                    return false;
-                }
-                !a.starts_with("--") || *a == "--tiny-saxpy"
-            })
-            .collect()
-    };
+    let cli = Cli::parse();
+    let out_path = cli.value("--out").map(str::to_string);
+    let free = cli.free(&["--out"]);
 
-    let json = if free.iter().any(|a| *a == "--tiny-saxpy") {
+    let json = if cli.has("--tiny-saxpy") {
         tiny_saxpy_trace()
     } else {
         let Some(kernel) = free.first() else {

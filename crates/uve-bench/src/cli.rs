@@ -1,0 +1,116 @@
+//! Shared command-line parsing for the figure binaries.
+//!
+//! Every binary under `src/bin` accepts the same core flags (`--jobs N`,
+//! `--serial`, `--quiet`, `--explain`, `--timeout SECS`) plus a few
+//! binary-specific ones; this module centralises the `--flag value`
+//! scanning they previously each reimplemented. Unrecognized flags are
+//! ignored, so binaries can layer their own on top of the
+//! [`Runner`](crate::Runner) set.
+
+/// Parsed command line: the raw argument list plus `--flag [value]`
+/// accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Cli {
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Parses the process arguments (without the program name).
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Builds a `Cli` from an explicit argument list (tests).
+    pub fn from_vec(args: Vec<String>) -> Self {
+        Self { args }
+    }
+
+    /// `true` if the boolean flag (e.g. `--quiet`) is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The argument following `flag` (e.g. `--out FILE`), if both exist.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// [`Cli::value`] parsed into `T`; `None` if the flag is absent or the
+    /// value does not parse.
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Option<T> {
+        self.value(flag).and_then(|v| v.parse().ok())
+    }
+
+    /// Positional (non-flag) arguments, skipping the values of the listed
+    /// value-taking flags.
+    pub fn free(&self, value_flags: &[&str]) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in &self.args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if value_flags.iter().any(|f| f == a) {
+                skip = true;
+                continue;
+            }
+            if !a.starts_with("--") {
+                out.push(a.as_str());
+            }
+        }
+        out
+    }
+
+    /// A comma-separated list value (`--kernels a,b,c`), empty when the
+    /// flag is absent.
+    pub fn list(&self, flag: &str) -> Vec<String> {
+        self.value(flag)
+            .map(|v| {
+                v.split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_vec(args.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn flags_and_values() {
+        let c = cli(&["--jobs", "4", "--quiet", "saxpy", "--out", "x.json"]);
+        assert!(c.has("--quiet"));
+        assert!(!c.has("--serial"));
+        assert_eq!(c.value("--out"), Some("x.json"));
+        assert_eq!(c.parsed::<usize>("--jobs"), Some(4));
+        assert_eq!(c.parsed::<usize>("--timeout"), None);
+        assert_eq!(c.free(&["--jobs", "--out"]), vec!["saxpy"]);
+    }
+
+    #[test]
+    fn lists_split_on_commas() {
+        let c = cli(&["--kernels", "a,b,c", "--cores", "1,2,4"]);
+        assert_eq!(c.list("--kernels"), vec!["a", "b", "c"]);
+        assert_eq!(c.list("--cores"), vec!["1", "2", "4"]);
+        assert!(c.list("--modes").is_empty());
+    }
+
+    #[test]
+    fn missing_value_is_none() {
+        let c = cli(&["--out"]);
+        assert_eq!(c.value("--out"), None);
+        assert!(c.free(&["--out"]).is_empty());
+    }
+}

@@ -19,12 +19,14 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod cli;
 pub mod figures;
 pub mod pool;
 pub mod report;
 pub mod runner;
 
 pub use chrome::{chrome_trace_json, tiny_saxpy_trace, trace_kernel};
+pub use cli::Cli;
 pub use pool::{panic_message, run_indexed, run_isolated};
 pub use report::{ReportRow, StatsReport};
 pub use runner::{default_jobs, Job, JobFailure, RunMode, Runner};

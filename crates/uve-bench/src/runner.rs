@@ -275,26 +275,20 @@ impl Runner {
     /// arguments are ignored so the figure binaries can keep their own
     /// flags.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut runner = if args.iter().any(|a| a == "--serial") {
+        Self::from_cli(&crate::Cli::parse())
+    }
+
+    /// [`Runner::from_args`] over an already-parsed [`Cli`](crate::Cli) —
+    /// for binaries that also read their own flags from the same parse.
+    pub fn from_cli(cli: &crate::Cli) -> Self {
+        let mut runner = if cli.has("--serial") {
             Self::serial()
         } else {
-            let jobs = args
-                .iter()
-                .position(|a| a == "--jobs")
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or_else(default_jobs);
-            Self::parallel(jobs)
+            Self::parallel(cli.parsed("--jobs").unwrap_or_else(default_jobs))
         };
-        runner.verbose = !args.iter().any(|a| a == "--quiet");
-        runner.explain = args.iter().any(|a| a == "--explain");
-        if let Some(secs) = args
-            .iter()
-            .position(|a| a == "--timeout")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u64>().ok())
-        {
+        runner.verbose = !cli.has("--quiet");
+        runner.explain = cli.has("--explain");
+        if let Some(secs) = cli.parsed::<u64>("--timeout") {
             runner.timeout = (secs > 0).then(|| Duration::from_secs(secs));
         }
         runner

@@ -21,7 +21,12 @@
 //! - [`fault_fuzz`] — the fault subsystem: random kernels run under
 //!   injected stream faults and hostile memory-hierarchy schedules,
 //!   checked to never panic, to recover bit-identically (memory and
-//!   architectural state) and to keep the cycle accounting conserved.
+//!   architectural state) and to keep the cycle accounting conserved;
+//! - [`smp_fuzz`] — the multicore subsystem: random kernels sharded over
+//!   MOESI-coherent cores and time-sliced by the preemptive scheduler,
+//!   checked for the single-writer invariant, per-core/per-program cycle
+//!   conservation, scheduler liveness, run-twice determinism, and
+//!   architecturally invisible context switching.
 //!
 //! Everything is registry-free and deterministic: cases derive from
 //! `(seed, engine, case index)` via the workspace's SplitMix64
@@ -34,6 +39,7 @@ pub mod isa_fuzz;
 pub mod kernel_diff;
 pub mod pattern_fuzz;
 pub mod rng;
+pub mod smp_fuzz;
 pub mod stats_diff;
 
 pub use rng::FuzzRng;
@@ -46,7 +52,7 @@ pub trait Engine {
     type Case: Clone + std::fmt::Debug + Send;
 
     /// Engine name as used by the CLI and the corpus (`pattern`, `isa`,
-    /// `kernel`, `stats`, `fault`).
+    /// `kernel`, `stats`, `fault`, `smp`).
     fn name() -> &'static str;
 
     /// Generates the case owned by `rng` (must consume randomness only
@@ -224,6 +230,7 @@ pub fn replay_one(engine: &str, seed: u64, case: u64) -> Result<(), String> {
         "kernel" => one::<kernel_diff::KernelEngine>(seed, case),
         "stats" => one::<stats_diff::StatsEngine>(seed, case),
         "fault" => one::<fault_fuzz::FaultEngine>(seed, case),
+        "smp" => one::<smp_fuzz::SmpEngine>(seed, case),
         other => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -267,7 +274,7 @@ mod tests {
         for (engine, _, _) in &entries {
             assert!(matches!(
                 engine.as_str(),
-                "pattern" | "isa" | "kernel" | "stats" | "fault"
+                "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp"
             ));
         }
     }

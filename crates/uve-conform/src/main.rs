@@ -1,7 +1,7 @@
 //! `uve-conform` — offline differential fuzzer for the UVE reproduction.
 //!
 //! ```text
-//! uve-conform [--engine pattern|isa|kernel|stats|fault|all] [--seed N] [--cases N]
+//! uve-conform [--engine pattern|isa|kernel|stats|fault|smp|all] [--seed N] [--cases N]
 //!             [--jobs N | --serial] [--quiet]
 //! ```
 //!
@@ -16,10 +16,10 @@ use std::process::ExitCode;
 use uve_bench::{default_jobs, RunMode};
 use uve_conform::{
     fault_fuzz::FaultEngine, isa_fuzz::IsaEngine, kernel_diff::KernelEngine,
-    pattern_fuzz::PatternEngine, stats_diff::StatsEngine,
+    pattern_fuzz::PatternEngine, smp_fuzz::SmpEngine, stats_diff::StatsEngine,
 };
 
-const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|all] \
+const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|smp|all] \
                      [--seed N] [--cases N] [--jobs N | --serial] [--quiet]";
 
 struct Opts {
@@ -76,7 +76,7 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     match opts.engine.as_str() {
-        "pattern" | "isa" | "kernel" | "stats" | "fault" | "all" => Ok(opts),
+        "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "all" => Ok(opts),
         other => Err(format!("unknown engine {other:?}\n{USAGE}")),
     }
 }
@@ -95,6 +95,7 @@ fn main() -> ExitCode {
     let run_kernel = matches!(opts.engine.as_str(), "kernel" | "all");
     let run_stats = matches!(opts.engine.as_str(), "stats" | "all");
     let run_fault = matches!(opts.engine.as_str(), "fault" | "all");
+    let run_smp = matches!(opts.engine.as_str(), "smp" | "all");
 
     let mut failed_engines = 0u8;
     let mut report = |r: uve_conform::EngineReport| {
@@ -144,6 +145,19 @@ fn main() -> ExitCode {
             opts.cases
         };
         report(uve_conform::run_engine::<FaultEngine>(
+            opts.seed, cases, opts.mode,
+        ));
+    }
+    if run_smp {
+        // Each smp case runs the timing model 2·cores + 2 times plus the
+        // functional scheduler, so it gets a twentieth of the case budget
+        // under `all`; an explicit `--engine smp` runs the full count.
+        let cases = if opts.engine == "all" {
+            (opts.cases / 20).max(1)
+        } else {
+            opts.cases
+        };
+        report(uve_conform::run_engine::<SmpEngine>(
             opts.seed, cases, opts.mode,
         ));
     }

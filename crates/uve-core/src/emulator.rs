@@ -162,6 +162,55 @@ pub struct RunResult {
     pub trace: Trace,
 }
 
+/// Resumable execution position of a program on an [`Emulator`] — the
+/// functional half of a context switch. A scheduler runs a program in
+/// budgeted slices via [`Emulator::resume`]; between slices the cursor
+/// holds the PC, the fuel spent so far and the trace accumulated so far,
+/// while the architectural state (registers, memory, stream unit) lives in
+/// the emulator itself.
+#[derive(Debug, Default)]
+pub struct RunCursor {
+    pc: u32,
+    steps: u64,
+    halted: bool,
+    trace: Trace,
+}
+
+impl RunCursor {
+    /// A cursor at the program entry point with no fuel spent.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Dynamic instructions committed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// True once the program reached `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The trace accumulated so far (complete once [`halted`](Self::halted)).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the cursor into a [`RunResult`] (normally after halt).
+    pub fn into_result(self) -> RunResult {
+        RunResult {
+            committed: self.steps,
+            trace: self.trace,
+        }
+    }
+}
+
 /// The functional machine: scalar/vector/predicate registers, memory, and
 /// the stream unit.
 #[derive(Debug)]
@@ -431,38 +480,81 @@ impl Emulator {
     /// Returns the first execution error (stream misuse, runaway loop, PC
     /// escape).
     pub fn run(&mut self, program: &Program) -> Result<RunResult, EmuError> {
-        let mut trace = Trace::new();
-        let mut pc: u32 = 0;
-        let mut steps: u64 = 0;
+        let mut cursor = RunCursor::new();
+        self.resume(program, &mut cursor, None)?;
+        Ok(cursor.into_result())
+    }
+
+    /// Runs `program` from `cursor` for at most `budget` dynamic
+    /// instructions (to halt when `None`), advancing the cursor in place —
+    /// the preemption primitive a multiprogramming scheduler time-slices
+    /// with. Returns `true` once the program halted. The slice boundary
+    /// falls between instructions, so it can land mid-stream (including
+    /// inside an indirect-modifier region at a non-VLEN-multiple element);
+    /// [`save_stream_context`](Self::save_stream_context) /
+    /// [`restore_stream_context`](Self::restore_stream_context) carry the
+    /// stream state across the switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first execution error; the global `max_steps` fuel bound
+    /// applies to the cursor's cumulative step count.
+    pub fn resume(
+        &mut self,
+        program: &Program,
+        cursor: &mut RunCursor,
+        budget: Option<u64>,
+    ) -> Result<bool, EmuError> {
+        if cursor.halted {
+            return Ok(true);
+        }
+        let slice_end = budget.map(|b| cursor.steps.saturating_add(b));
         loop {
-            if steps >= self.cfg.max_steps {
+            if cursor.steps >= self.cfg.max_steps {
                 return Err(EmuError::OutOfFuel(self.cfg.max_steps));
             }
-            if steps & 0xF_FFFF == 0 {
+            if slice_end.is_some_and(|end| cursor.steps >= end) {
+                return Ok(false);
+            }
+            if cursor.steps & 0xF_FFFF == 0 {
                 crate::deadline::check("emulator");
             }
-            let Some(inst) = program.fetch(pc) else {
-                return Err(EmuError::PcOutOfRange(pc));
+            let Some(inst) = program.fetch(cursor.pc) else {
+                return Err(EmuError::PcOutOfRange(cursor.pc));
             };
             if inst == Inst::Halt {
-                steps += 1;
+                cursor.steps += 1;
                 if self.cfg.record_trace {
-                    trace.ops.push(TraceOp::new(pc, ExecClass::Simple));
+                    cursor
+                        .trace
+                        .ops
+                        .push(TraceOp::new(cursor.pc, ExecClass::Simple));
                 }
-                break;
+                cursor.halted = true;
+                return Ok(true);
             }
             let next = if self.fault_plan.is_some() {
-                self.step_with_recovery(inst, pc, &mut trace)?
+                self.step_with_recovery(inst, cursor.pc, &mut cursor.trace)?
             } else {
-                self.step(inst, pc, &mut trace)?
+                self.step(inst, cursor.pc, &mut cursor.trace)?
             };
-            steps += 1;
-            pc = next;
+            cursor.steps += 1;
+            cursor.pc = next;
         }
-        Ok(RunResult {
-            committed: steps,
-            trace,
-        })
+    }
+
+    /// Saves the committed iteration state of every active stream — the
+    /// architectural context a context switch must preserve (Sec. IV-A).
+    pub fn save_stream_context(&self) -> Vec<(u8, uve_stream::SavedWalker)> {
+        self.streams.save_context()
+    }
+
+    /// Restores stream contexts saved by
+    /// [`save_stream_context`](Self::save_stream_context). Pre-fetched
+    /// buffer data is discarded and re-loaded from memory, as the paper
+    /// specifies for the restore path.
+    pub fn restore_stream_context(&mut self, saved: &[(u8, uve_stream::SavedWalker)]) {
+        self.streams.restore_context(saved, &self.mem);
     }
 
     /// Executes one instruction with precise stream-fault recovery: the

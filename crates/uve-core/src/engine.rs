@@ -27,7 +27,7 @@
 use crate::trace::{ChunkMeta, StreamInstance, StreamTrace};
 use std::collections::HashMap;
 use uve_isa::{Dir, MemLevel};
-use uve_mem::{MemSystem, Path, Translation, LINE_BYTES};
+use uve_mem::{MemPort, Path, Translation, LINE_BYTES};
 
 /// Streaming Engine configuration (Table I and Sec. VI-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,7 +309,11 @@ impl EngineSim {
     /// Advances the engine by one cycle: the scheduler picks up to
     /// `processing_modules` streams (lowest FIFO occupancy first) and each
     /// processes one address-generator step against the memory hierarchy.
-    pub fn tick(&mut self, now: u64, streams: &[StreamTrace], mem: &mut MemSystem) {
+    ///
+    /// Generic over [`MemPort`] so the same engine runs against the
+    /// single-core hierarchy or one core's port into the shared multicore
+    /// hierarchy.
+    pub fn tick<M: MemPort>(&mut self, now: u64, streams: &[StreamTrace], mem: &mut M) {
         // Observability: sample every open stream's FIFO occupancy. The
         // iteration order over the HashMap is arbitrary, but the samples are
         // commutative counter increments, so the result is deterministic.
@@ -461,13 +465,13 @@ impl EngineSim {
 
     /// Commits a produced store chunk: the buffered data is written to the
     /// memory hierarchy and the FIFO entry freed.
-    pub fn commit_write(
+    pub fn commit_write<M: MemPort>(
         &mut self,
         instance: StreamInstance,
         chunk: u32,
         now: u64,
         streams: &[StreamTrace],
-        mem: &mut MemSystem,
+        mem: &mut M,
     ) {
         if let Some(s) = self.streams.get_mut(&instance) {
             s.committed = s.committed.max(chunk as usize + 1);
@@ -540,7 +544,7 @@ fn level_path(level: MemLevel) -> Path {
 mod tests {
     use super::*;
     use uve_isa::ElemWidth;
-    use uve_mem::MemConfig;
+    use uve_mem::{MemConfig, MemSystem};
 
     fn mk_stream(dir: Dir, chunks: Vec<ChunkMeta>) -> StreamTrace {
         StreamTrace {

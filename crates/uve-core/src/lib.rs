@@ -59,7 +59,7 @@ mod stream_unit;
 mod trace;
 mod value;
 
-pub use emulator::{EmuConfig, EmuError, Emulator, RunResult, StreamFaultPlan};
+pub use emulator::{EmuConfig, EmuError, Emulator, RunCursor, RunResult, StreamFaultPlan};
 pub use stream_unit::{ActiveStream, Consumed, StreamError, StreamUnit};
 pub use trace::{BranchOutcome, ChunkMeta, StreamInstance, StreamTrace, Trace, TraceOp};
 pub use value::{PredVal, Scalar, VecVal, MAX_LANES};

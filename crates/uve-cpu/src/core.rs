@@ -20,7 +20,7 @@ use std::collections::{HashMap, VecDeque};
 use uve_core::engine::{ChunkStatus, EngineSim};
 use uve_core::{Trace, TraceOp};
 use uve_isa::{Dir, ExecClass, RegClass, RegRef};
-use uve_mem::{MemSystem, Path, LINE_BYTES};
+use uve_mem::{MemPort, MemSystem, Path, LINE_BYTES};
 
 /// Scheduler cluster indices.
 const CL_INT: usize = 0;
@@ -160,503 +160,639 @@ impl OoOCore {
         self.run_inner(trace, mem, None)
     }
 
-    #[allow(clippy::too_many_lines)]
     fn run_inner(
         &self,
         trace: &Trace,
         mem: &mut MemSystem,
         mut events: Option<&mut EventLog>,
     ) -> TimingStats {
-        let cfg = &self.cfg;
-        let n = trace.ops.len();
-        let mut engine = EngineSim::new(cfg.engine);
-        let mut predictor = Bimodal::new(cfg.predictor_entries);
-
-        if n == 0 {
+        if trace.ops.is_empty() {
             return TimingStats::empty();
         }
+        let mut pipe = CorePipeline::new(self.cfg.clone(), trace, 0, events.is_some());
+        while !pipe.finished() {
+            pipe.step(trace, mem, events.as_deref_mut());
+        }
+        pipe.finish(mem)
+    }
+}
 
-        let mut done: Vec<u64> = vec![NOT_DONE; n];
+/// One core's pipeline state, steppable cycle by cycle.
+///
+/// [`OoOCore`] drives a single pipeline to completion over a
+/// [`MemSystem`]; the multicore model steps N pipelines in lockstep, each
+/// against its own port into the shared hierarchy. The per-cycle logic is
+/// identical in both cases, so single-core runs are bit-identical to the
+/// pre-refactor model.
+#[derive(Debug)]
+pub struct CorePipeline {
+    cfg: CpuConfig,
+    core_id: usize,
+    n: usize,
+    engine: EngineSim,
+    predictor: Bimodal,
+    done: Vec<u64>,
+    // Front end.
+    fetch_ptr: usize,
+    decode_q: VecDeque<usize>,
+    /// Fetch stalls until `done[idx] + penalty` after a mispredict.
+    fetch_stalled_on: Option<usize>,
+    /// Preemption support: a frozen front end fetches nothing, letting the
+    /// in-flight window drain for a context switch.
+    fetch_frozen: bool,
+    // Rename / backend occupancy.
+    commit_ptr: usize,
+    rob_used: usize,
+    lq_used: usize,
+    sq_used: usize,
+    free_regs: [usize; 4],
+    iq: [Vec<IqEntry>; 3],
+    last_writer: HashMap<RegRef, usize>,
+    stats: TimingStats,
+    now: u64,
+    dbg: bool,
+    dbg_rename: Vec<u64>,
+    dbg_issue: Vec<u64>,
+    /// Per-load issue outcome for stall attribution, in a ring indexed by
+    /// op index modulo the ROB size: at most `rob_entries` ops are in
+    /// flight, so slots are never reused before the head retires.
+    /// `(issue cycle, MSHR wait, from DRAM, from a remote L1 over the bus)`.
+    ring: usize,
+    load_info: Vec<(u64, u64, bool, bool)>,
+    // Event capture (only when a log was requested).
+    track: bool,
+    rename_at: Vec<u64>,
+    issue_at: Vec<u64>,
+    fifo_last: [u32; 32],
+    /// No-retire watchdog: cycle of the most recent commit (or start).
+    last_commit_cycle: u64,
+}
 
-        // Front end.
-        let mut fetch_ptr: usize = 0;
-        let mut decode_q: VecDeque<usize> = VecDeque::new();
-        // Fetch stalls until `done[idx] + penalty` after a mispredict.
-        let mut fetch_stalled_on: Option<usize> = None;
-
-        // Rename / backend occupancy.
-        let mut commit_ptr: usize = 0;
-        let mut rob_used: usize = 0;
-        let mut lq_used: usize = 0;
-        let mut sq_used: usize = 0;
-        let mut free_regs = cfg.free_regs();
-        let mut iq: [Vec<IqEntry>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        let mut last_writer: HashMap<RegRef, usize> = HashMap::new();
-
-        let mut stats = TimingStats::empty();
-        let mut now: u64 = 0;
+impl CorePipeline {
+    /// Creates a pipeline for `trace` on core `core_id`. `track` enables
+    /// per-op span capture (pass the matching `events` log to every
+    /// [`step`](Self::step)).
+    pub fn new(cfg: CpuConfig, trace: &Trace, core_id: usize, track: bool) -> Self {
+        let n = trace.ops.len();
+        let engine = EngineSim::new(cfg.engine);
+        let predictor = Bimodal::new(cfg.predictor_entries);
         let dbg = std::env::var("UVE_CPU_TRACE").is_ok();
-        let mut dbg_rename: Vec<u64> = if dbg { vec![0; n] } else { Vec::new() };
-        let mut dbg_issue: Vec<u64> = if dbg { vec![0; n] } else { Vec::new() };
-
-        // Per-load issue outcome for stall attribution, in a ring indexed by
-        // op index modulo the ROB size: at most `rob_entries` ops are in
-        // flight, so slots are never reused before the head retires.
         let ring = cfg.rob_entries.max(1);
-        let mut load_info: Vec<(u64, u64, bool)> = vec![(0, 0, false); ring];
+        let free_regs = cfg.free_regs();
+        Self {
+            cfg,
+            core_id,
+            n,
+            engine,
+            predictor,
+            done: vec![NOT_DONE; n],
+            fetch_ptr: 0,
+            decode_q: VecDeque::new(),
+            fetch_stalled_on: None,
+            fetch_frozen: false,
+            commit_ptr: 0,
+            rob_used: 0,
+            lq_used: 0,
+            sq_used: 0,
+            free_regs,
+            iq: [Vec::new(), Vec::new(), Vec::new()],
+            last_writer: HashMap::new(),
+            stats: TimingStats::empty(),
+            now: 0,
+            dbg,
+            dbg_rename: if dbg { vec![0; n] } else { Vec::new() },
+            dbg_issue: if dbg { vec![0; n] } else { Vec::new() },
+            ring,
+            load_info: vec![(0, 0, false, false); ring],
+            track,
+            rename_at: if track { vec![0; n] } else { Vec::new() },
+            issue_at: if track { vec![0; n] } else { Vec::new() },
+            fifo_last: [0u32; 32],
+            last_commit_cycle: 0,
+        }
+    }
 
-        // Event capture (only when a log was requested).
-        let track = events.is_some();
-        let mut rename_at: Vec<u64> = if track { vec![0; n] } else { Vec::new() };
-        let mut issue_at: Vec<u64> = if track { vec![0; n] } else { Vec::new() };
-        let mut fifo_last = [0u32; 32];
+    /// The core id this pipeline runs on.
+    pub fn core_id(&self) -> usize {
+        self.core_id
+    }
 
-        // No-retire watchdog: cycle of the most recent commit (or start).
-        let mut last_commit_cycle: u64 = 0;
+    /// The current cycle (cycles stepped so far).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
 
-        while commit_ptr < n {
-            assert!(
-                now < cfg.max_cycles,
-                "timing model exceeded {} cycles (commit_ptr={commit_ptr}/{n})",
-                cfg.max_cycles
+    /// True once every trace op has committed.
+    pub fn finished(&self) -> bool {
+        self.commit_ptr >= self.n
+    }
+
+    /// Instructions committed so far.
+    pub fn committed(&self) -> u64 {
+        self.stats.committed
+    }
+
+    /// The statistics accumulated so far (`cycles` is only stamped by
+    /// [`finish`](Self::finish)).
+    pub fn stats(&self) -> &TimingStats {
+        &self.stats
+    }
+
+    /// Freezes or thaws the front end. A preempting scheduler freezes
+    /// fetch, steps until [`drained`](Self::drained), and swaps pipelines.
+    pub fn set_fetch_frozen(&mut self, frozen: bool) {
+        self.fetch_frozen = frozen;
+    }
+
+    /// True when no instruction is in flight (ROB and decode queue empty) —
+    /// the point where a context switch can take the core.
+    pub fn drained(&self) -> bool {
+        self.rob_used == 0 && self.decode_q.is_empty()
+    }
+
+    /// Charges `penalty` idle cycles for a context-switch restore (stream
+    /// contexts reloaded, caches re-warmed by later misses). Attributed to
+    /// the `frontend` category — the pipeline refills from scratch — so
+    /// cycle-accounting conservation holds across preemptions.
+    pub fn charge_restore_penalty(&mut self, penalty: u64) {
+        self.now += penalty;
+        self.stats.account.frontend += penalty;
+    }
+
+    /// Finishes the run: stamps the cycle count and pulls final statistics
+    /// from the memory port.
+    pub fn finish<M: MemPort>(mut self, mem: &M) -> TimingStats {
+        self.stats.cycles = self.now;
+        self.stats.finalize(mem, &self.engine, &self.predictor);
+        self.stats
+    }
+
+    /// Advances the pipeline by one cycle against `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds `max_cycles` or the no-retire watchdog
+    /// fires (model bugs, not user errors).
+    #[allow(clippy::too_many_lines)]
+    pub fn step<M: MemPort>(
+        &mut self,
+        trace: &Trace,
+        mem: &mut M,
+        mut events: Option<&mut EventLog>,
+    ) {
+        let now = self.now;
+        assert!(
+            now < self.cfg.max_cycles,
+            "timing model exceeded {} cycles (commit_ptr={}/{})",
+            self.cfg.max_cycles,
+            self.commit_ptr,
+            self.n
+        );
+        if now & 0xFFFF == 0 {
+            uve_core::deadline::check("timing model");
+        }
+        if now.saturating_sub(self.last_commit_cycle) > self.cfg.watchdog_cycles {
+            panic!(
+                "{}",
+                watchdog_report(
+                    self.cfg.watchdog_cycles,
+                    now,
+                    self.commit_ptr,
+                    self.n,
+                    self.rob_used,
+                    &self.stats.account,
+                    &trace.ops[self.commit_ptr],
+                    self.done[self.commit_ptr],
+                    &self.engine,
+                )
             );
-            if now & 0xFFFF == 0 {
-                uve_core::deadline::check("timing model");
+        }
+
+        // ---- commit (in order, commit_width per cycle) ----
+        let mut committed = 0;
+        while committed < self.cfg.commit_width && self.commit_ptr < self.n {
+            let idx = self.commit_ptr;
+            if self.done[idx] == NOT_DONE || self.done[idx] > now {
+                break;
             }
-            if now.saturating_sub(last_commit_cycle) > cfg.watchdog_cycles {
-                panic!(
-                    "{}",
-                    watchdog_report(
-                        cfg.watchdog_cycles,
-                        now,
-                        commit_ptr,
-                        n,
-                        rob_used,
-                        &stats.account,
-                        &trace.ops[commit_ptr],
-                        done[commit_ptr],
-                        &engine,
-                    )
+            let op = &trace.ops[idx];
+            if op.is_store {
+                for &line in &op.mem_lines {
+                    mem.write(line * LINE_BYTES, u64::from(op.pc), now, Path::Normal);
+                }
+            }
+            for &(inst, chunk) in &op.stream_reads {
+                if let Some(log) = events.as_deref_mut() {
+                    if let ChunkStatus::Ready(ready) = self.engine.chunk_status(inst, chunk) {
+                        log.chunks.push(ChunkSpan {
+                            u: trace.streams[inst as usize].u,
+                            chunk,
+                            dir: Dir::Load,
+                            ready,
+                            commit: now,
+                        });
+                    }
+                }
+                self.engine.commit_read(inst, chunk);
+            }
+            for &(inst, chunk) in &op.stream_writes {
+                if let Some(log) = events.as_deref_mut() {
+                    if let ChunkStatus::Ready(ready) = self.engine.chunk_status(inst, chunk) {
+                        log.chunks.push(ChunkSpan {
+                            u: trace.streams[inst as usize].u,
+                            chunk,
+                            dir: Dir::Store,
+                            ready,
+                            commit: now,
+                        });
+                    }
+                }
+                self.engine
+                    .commit_write(inst, chunk, now, &trace.streams, mem);
+            }
+            if let Some(inst) = op.stream_close {
+                self.engine.close(inst);
+            }
+            for d in &op.dests {
+                self.free_regs[class_idx(d.class)] += 1;
+            }
+            match op.exec {
+                ExecClass::Load => self.lq_used -= 1,
+                ExecClass::Store => self.sq_used -= 1,
+                _ => {}
+            }
+            self.rob_used -= 1;
+            if self.dbg
+                && ((3000..3060).contains(&idx)
+                    || (self.dbg_rename[idx] > 0 && now.saturating_sub(self.dbg_rename[idx]) > 200))
+            {
+                eprintln!(
+                    "op{idx} pc={} {:?} rename={} issue={} done={} commit={now} sr={:?} sw={:?}",
+                    op.pc,
+                    op.exec,
+                    self.dbg_rename[idx],
+                    self.dbg_issue[idx],
+                    self.done[idx],
+                    op.stream_reads,
+                    op.stream_writes
                 );
             }
+            if let Some(log) = events.as_deref_mut() {
+                log.ops.push(OpSpan {
+                    idx: idx as u32,
+                    pc: op.pc,
+                    exec: op.exec,
+                    rename: self.rename_at[idx],
+                    issue: self.issue_at[idx],
+                    done: self.done[idx],
+                    commit: now,
+                });
+            }
+            self.commit_ptr += 1;
+            committed += 1;
+            self.stats.committed += 1;
+        }
+        if committed > 0 {
+            self.last_commit_cycle = now;
+        }
 
-            // ---- commit (in order, commit_width per cycle) ----
-            let mut committed = 0;
-            while committed < cfg.commit_width && commit_ptr < n {
-                let idx = commit_ptr;
-                if done[idx] == NOT_DONE || done[idx] > now {
+        // ---- issue (dataflow, bounded by ports and issue width) ----
+        let mut issued_total = 0;
+        let mut int_issued = 0;
+        let mut fpvec_issued = 0;
+        let mut loads_issued = 0;
+        let mut stores_issued = 0;
+        #[allow(clippy::needless_range_loop)] // `cl` selects ports too
+        for cl in 0..3 {
+            let mut i = 0;
+            while i < self.iq[cl].len() {
+                if issued_total >= self.cfg.issue_width {
                     break;
                 }
+                let ports_ok = match cl {
+                    CL_INT => int_issued < self.cfg.int_units,
+                    CL_FPVEC => fpvec_issued < self.cfg.fpvec_units,
+                    _ => true,
+                };
+                if !ports_ok {
+                    break;
+                }
+                let entry = &self.iq[cl][i];
+                let idx = entry.idx;
                 let op = &trace.ops[idx];
-                if op.is_store {
-                    for &line in &op.mem_lines {
-                        mem.write(line * LINE_BYTES, u64::from(op.pc), now, Path::Normal);
-                    }
-                }
-                for &(inst, chunk) in &op.stream_reads {
-                    if let Some(log) = events.as_deref_mut() {
-                        if let ChunkStatus::Ready(ready) = engine.chunk_status(inst, chunk) {
-                            log.chunks.push(ChunkSpan {
-                                u: trace.streams[inst as usize].u,
-                                chunk,
-                                dir: Dir::Load,
-                                ready,
-                                commit: now,
-                            });
-                        }
-                    }
-                    engine.commit_read(inst, chunk);
-                }
-                for &(inst, chunk) in &op.stream_writes {
-                    if let Some(log) = events.as_deref_mut() {
-                        if let ChunkStatus::Ready(ready) = engine.chunk_status(inst, chunk) {
-                            log.chunks.push(ChunkSpan {
-                                u: trace.streams[inst as usize].u,
-                                chunk,
-                                dir: Dir::Store,
-                                ready,
-                                commit: now,
-                            });
-                        }
-                    }
-                    engine.commit_write(inst, chunk, now, &trace.streams, mem);
-                }
-                if let Some(inst) = op.stream_close {
-                    engine.close(inst);
-                }
-                for d in &op.dests {
-                    free_regs[class_idx(d.class)] += 1;
-                }
-                match op.exec {
-                    ExecClass::Load => lq_used -= 1,
-                    ExecClass::Store => sq_used -= 1,
-                    _ => {}
-                }
-                rob_used -= 1;
-                if dbg {
-                    // Report commit gaps > 40 cycles (steady-state hiccups).
-                    if idx > 0 && dbg_rename.len() > idx {
-                        let prev = dbg_issue.get(idx.wrapping_sub(1)).copied().unwrap_or(0);
-                        let _ = prev;
-                    }
-                    if (3000..3060).contains(&idx)
-                        || (dbg_rename[idx] > 0 && now.saturating_sub(dbg_rename[idx]) > 200)
-                    {
-                        eprintln!(
-                            "op{idx} pc={} {:?} rename={} issue={} done={} commit={now} sr={:?} sw={:?}",
-                            op.pc, op.exec, dbg_rename[idx], dbg_issue[idx], done[idx],
-                            op.stream_reads, op.stream_writes
-                        );
-                    }
-                }
-                if let Some(log) = events.as_deref_mut() {
-                    log.ops.push(OpSpan {
-                        idx: idx as u32,
-                        pc: op.pc,
-                        exec: op.exec,
-                        rename: rename_at[idx],
-                        issue: issue_at[idx],
-                        done: done[idx],
-                        commit: now,
-                    });
-                }
-                commit_ptr += 1;
-                committed += 1;
-                stats.committed += 1;
-            }
-            if committed > 0 {
-                last_commit_cycle = now;
-            }
-
-            // ---- issue (dataflow, bounded by ports and issue width) ----
-            let mut issued_total = 0;
-            let mut int_issued = 0;
-            let mut fpvec_issued = 0;
-            let mut loads_issued = 0;
-            let mut stores_issued = 0;
-            #[allow(clippy::needless_range_loop)] // `cl` selects ports too
-            for cl in 0..3 {
-                let mut i = 0;
-                while i < iq[cl].len() {
-                    if issued_total >= cfg.issue_width {
-                        break;
-                    }
-                    let ports_ok = match cl {
-                        CL_INT => int_issued < cfg.int_units,
-                        CL_FPVEC => fpvec_issued < cfg.fpvec_units,
-                        _ => true,
-                    };
-                    if !ports_ok {
-                        break;
-                    }
-                    let entry = &iq[cl][i];
-                    let idx = entry.idx;
-                    let op = &trace.ops[idx];
-                    // Per-port limits within the memory cluster.
-                    if cl == CL_MEM {
-                        let is_store = op.exec == ExecClass::Store;
-                        if is_store && stores_issued >= cfg.store_ports {
-                            i += 1;
-                            continue;
-                        }
-                        if !is_store && loads_issued >= cfg.load_ports {
-                            i += 1;
-                            continue;
-                        }
-                    }
-                    // Register dependencies.
-                    let deps_ready = entry
-                        .deps
-                        .iter()
-                        .all(|&d| done[d] != NOT_DONE && done[d] <= now);
-                    // Stream chunk dependencies (input FIFO readiness).
-                    let streams_ready = op.stream_reads.iter().all(|&(inst, chunk)| {
-                        matches!(engine.chunk_status(inst, chunk),
-                                 ChunkStatus::Ready(r) if r <= now)
-                    });
-                    if !(deps_ready && streams_ready) {
+                // Per-port limits within the memory cluster.
+                if cl == CL_MEM {
+                    let is_store = op.exec == ExecClass::Store;
+                    if is_store && stores_issued >= self.cfg.store_ports {
                         i += 1;
                         continue;
                     }
-                    // Issue it.
-                    let mut completion = match op.exec {
-                        ExecClass::Load => {
-                            if op.mem_lines.is_empty() {
-                                now + 1
-                            } else {
-                                let mut ready = now;
-                                let mut mshr_wait = 0;
-                                let mut from_dram = false;
-                                for &line in &op.mem_lines {
-                                    let r = mem.read_explained(
-                                        line * LINE_BYTES,
-                                        u64::from(op.pc),
-                                        now,
-                                        Path::Normal,
-                                    );
-                                    ready = ready.max(r.ready);
-                                    mshr_wait += r.mshr_wait;
-                                    from_dram |= r.from_dram;
-                                }
-                                load_info[idx % ring] = (now, mshr_wait, from_dram);
-                                ready
-                            }
-                        }
-                        ExecClass::Store => now + 1,
-                        class => now + cfg.latency(class),
-                    };
-                    // A precise stream-fault trap (recorded by the
-                    // functional emulator) costs a flush + handler +
-                    // restore round trip per fault.
-                    if op.stream_faults > 0 {
-                        completion += cfg.fault_trap_penalty * u64::from(op.stream_faults);
+                    if !is_store && loads_issued >= self.cfg.load_ports {
+                        i += 1;
+                        continue;
                     }
-                    done[idx] = completion;
-                    if track {
-                        issue_at[idx] = now;
-                    }
-                    if dbg {
-                        dbg_issue[idx] = now;
-                    }
-                    match cl {
-                        CL_INT => int_issued += 1,
-                        CL_FPVEC => fpvec_issued += 1,
-                        _ => {
-                            if op.exec == ExecClass::Store {
-                                stores_issued += 1;
-                            } else {
-                                loads_issued += 1;
-                            }
-                        }
-                    }
-                    issued_total += 1;
-                    iq[cl].swap_remove(i);
-                    // Keep age order reasonably intact after swap_remove by
-                    // not advancing i (the swapped-in entry gets a chance).
                 }
-                // Restore age order for the next cycle.
-                iq[cl].sort_unstable_by_key(|e| e.idx);
-            }
-
-            // ---- rename / dispatch (in order, fetch_width per cycle) ----
-            let mut renamed = 0;
-            // The reason rename made zero progress this cycle, if any (and,
-            // for store-FIFO back-pressure, the stream register to blame).
-            let mut cycle_block: Option<RenameBlockReason> = None;
-            let mut cycle_block_u: u8 = 0;
-            while renamed < cfg.fetch_width {
-                let Some(&idx) = decode_q.front() else { break };
-                let op = &trace.ops[idx];
-                // Resource checks.
-                let mut block = None;
-                if rob_used >= cfg.rob_entries {
-                    block = Some(RenameBlockReason::Rob);
-                } else if iq.iter().map(Vec::len).sum::<usize>() >= cfg.iq_entries
-                    || iq[cluster_of(op.exec)].len() >= cfg.cluster_entries
-                {
-                    block = Some(RenameBlockReason::Iq);
-                } else if (op.exec == ExecClass::Load && lq_used >= cfg.lq_entries)
-                    || (op.exec == ExecClass::Store && sq_used >= cfg.sq_entries)
-                {
-                    block = Some(RenameBlockReason::Lsq);
-                } else if op.dests.iter().any(|d| free_regs[class_idx(d.class)] == 0) {
-                    block = Some(RenameBlockReason::Prf);
-                } else if op.stream_writes.iter().any(|&(inst, chunk)| {
-                    engine.chunk_status(inst, chunk) == ChunkStatus::NotFetched
-                }) {
-                    // Store FIFO slot not yet reserved by the engine.
-                    block = Some(RenameBlockReason::StoreFifo);
-                }
-                if let Some(reason) = block {
-                    if renamed == 0 {
-                        stats.rename_blocked_cycles += 1;
-                        stats.rename_block_reasons.bump(reason);
-                        cycle_block = Some(reason);
-                        if reason == RenameBlockReason::StoreFifo {
-                            cycle_block_u = op
-                                .stream_writes
-                                .iter()
-                                .find(|&&(inst, chunk)| {
-                                    engine.chunk_status(inst, chunk) == ChunkStatus::NotFetched
-                                })
-                                .map_or(0, |&(inst, _)| trace.streams[inst as usize].u);
-                        }
-                    }
-                    break;
-                }
-                decode_q.pop_front();
-                rob_used += 1;
-                match op.exec {
-                    ExecClass::Load => lq_used += 1,
-                    ExecClass::Store => sq_used += 1,
-                    _ => {}
-                }
-                for d in &op.dests {
-                    free_regs[class_idx(d.class)] -= 1;
-                }
-                // Stream configuration completes here (speculative config).
-                if let Some(inst) = op.stream_open {
-                    engine.open(inst, &trace.streams[inst as usize], now);
-                }
-                // Dependencies on in-flight producers only.
-                let deps: Vec<usize> = op
-                    .srcs
+                // Register dependencies.
+                let deps_ready = entry
+                    .deps
                     .iter()
-                    .filter_map(|s| last_writer.get(s).copied())
-                    .filter(|&d| done[d] == NOT_DONE || done[d] > now)
-                    .collect();
-                for d in &op.dests {
-                    last_writer.insert(*d, idx);
+                    .all(|&d| self.done[d] != NOT_DONE && self.done[d] <= now);
+                // Stream chunk dependencies (input FIFO readiness).
+                let streams_ready = op.stream_reads.iter().all(|&(inst, chunk)| {
+                    matches!(self.engine.chunk_status(inst, chunk),
+                             ChunkStatus::Ready(r) if r <= now)
+                });
+                if !(deps_ready && streams_ready) {
+                    i += 1;
+                    continue;
                 }
-                if track {
-                    rename_at[idx] = now;
-                }
-                if dbg {
-                    dbg_rename[idx] = now;
-                }
-                iq[cluster_of(op.exec)].push(IqEntry { idx, deps });
-                renamed += 1;
-            }
-
-            // ---- fetch (in order, fetch_width per cycle) ----
-            if let Some(b) = fetch_stalled_on {
-                if done[b] != NOT_DONE && now >= done[b] + cfg.mispredict_penalty {
-                    fetch_stalled_on = None;
-                }
-            }
-            if fetch_stalled_on.is_none() {
-                let mut fetched = 0;
-                while fetched < cfg.fetch_width
-                    && decode_q.len() < cfg.decode_queue
-                    && fetch_ptr < n
-                {
-                    let idx = fetch_ptr;
-                    let op = &trace.ops[idx];
-                    decode_q.push_back(idx);
-                    fetch_ptr += 1;
-                    fetched += 1;
-                    if let Some(b) = op.branch {
-                        stats.branches += 1;
-                        let correct = predictor.predict_and_train(op.pc, b.taken);
-                        if !correct {
-                            stats.branch_mispredicts += 1;
-                            fetch_stalled_on = Some(idx);
-                            break;
-                        }
-                        if b.taken {
-                            // Taken-branch fetch bubble.
-                            break;
-                        }
-                    }
-                }
-            }
-
-            // ---- streaming engine ----
-            engine.tick(now, &trace.streams, mem);
-
-            // ---- FIFO occupancy timeline (change-compressed) ----
-            if let Some(log) = events.as_deref_mut() {
-                let mut cur = [0u32; 32];
-                for (inst, occ) in engine.occupancies() {
-                    cur[usize::from(trace.streams[inst as usize].u) & 31] = occ as u32;
-                }
-                for (u, (&c, last)) in cur.iter().zip(fifo_last.iter_mut()).enumerate() {
-                    if c != *last {
-                        log.fifo.push(FifoPoint {
-                            cycle: now,
-                            u: u as u8,
-                            occupancy: c,
-                        });
-                        *last = c;
-                    }
-                }
-            }
-
-            // ---- top-down cycle attribution ----
-            // Exactly one category per cycle; see `CycleAccount` for the
-            // cascade. `committed == 0` implies `commit_ptr` did not move,
-            // so when the ROB is non-empty `trace.ops[commit_ptr]` is its
-            // oldest (head) entry.
-            let acct = &mut stats.account;
-            if committed > 0 {
-                acct.retiring += 1;
-            } else {
-                let head = commit_ptr;
-                let head_op = &trace.ops[head];
-                let head_issued = rob_used > 0 && done[head] != NOT_DONE;
-                let head_waiting_mem = head_issued
-                    && done[head] > now
-                    && head_op.exec == ExecClass::Load
-                    && !head_op.mem_lines.is_empty();
-                let head_stream_stall = if rob_used > 0 && done[head] == NOT_DONE {
-                    head_op
-                        .stream_reads
-                        .iter()
-                        .find(|&&(inst, chunk)| {
-                            !matches!(engine.chunk_status(inst, chunk),
-                                      ChunkStatus::Ready(r) if r <= now)
-                        })
-                        .map(|&(inst, _)| (inst, trace.streams[inst as usize].u))
-                } else {
-                    None
-                };
-                if head_waiting_mem {
-                    let (issue, mshr_wait, from_dram) = load_info[head % ring];
-                    if now < issue + mshr_wait {
-                        acct.mshr_wait += 1;
-                    } else if from_dram {
-                        acct.dram_wait += 1;
-                    } else {
-                        acct.cache_wait += 1;
-                    }
-                } else if let Some((inst, u)) = head_stream_stall {
-                    if engine.in_fault_replay(inst, now) {
-                        // The chunk is late because its stream is retrying
-                        // an injected fault, not because the engine fell
-                        // behind the consumer.
-                        acct.fault_replay += 1;
-                    } else {
-                        acct.fifo_empty += 1;
-                        acct.fifo_empty_by_u[usize::from(u) & 31] += 1;
-                    }
-                } else if let Some(reason) = cycle_block {
-                    match reason {
-                        RenameBlockReason::Rob => acct.rob_full += 1,
-                        RenameBlockReason::Iq => acct.iq_full += 1,
-                        RenameBlockReason::Lsq => acct.lsq_full += 1,
-                        RenameBlockReason::Prf => acct.prf_starved += 1,
-                        RenameBlockReason::StoreFifo => {
-                            acct.fifo_full += 1;
-                            acct.fifo_full_by_u[usize::from(cycle_block_u) & 31] += 1;
-                        }
-                    }
-                } else if rob_used > 0 {
-                    if head_issued {
-                        if head_op.stream_faults > 0 {
-                            // The head's latency includes the precise
-                            // stream-fault trap round trips it took in the
-                            // functional run; attribute the wait to fault
-                            // handling rather than plain execution.
-                            acct.fault_replay += 1;
+                // Issue it.
+                let mut completion = match op.exec {
+                    ExecClass::Load => {
+                        if op.mem_lines.is_empty() {
+                            now + 1
                         } else {
-                            acct.execute += 1;
+                            let mut ready = now;
+                            let mut mshr_wait = 0;
+                            let mut from_dram = false;
+                            let mut from_snoop = false;
+                            for &line in &op.mem_lines {
+                                let r = mem.read_explained(
+                                    line * LINE_BYTES,
+                                    u64::from(op.pc),
+                                    now,
+                                    Path::Normal,
+                                );
+                                ready = ready.max(r.ready);
+                                mshr_wait += r.mshr_wait;
+                                from_dram |= r.from_dram;
+                                from_snoop |= r.from_snoop;
+                            }
+                            self.load_info[idx % self.ring] =
+                                (now, mshr_wait, from_dram, from_snoop);
+                            ready
                         }
-                    } else {
-                        acct.depend += 1;
                     }
-                } else if fetch_stalled_on.is_some() {
-                    acct.branch_redirect += 1;
-                } else {
-                    acct.frontend += 1;
+                    ExecClass::Store => now + 1,
+                    class => now + self.cfg.latency(class),
+                };
+                // A precise stream-fault trap (recorded by the
+                // functional emulator) costs a flush + handler +
+                // restore round trip per fault.
+                if op.stream_faults > 0 {
+                    completion += self.cfg.fault_trap_penalty * u64::from(op.stream_faults);
                 }
+                self.done[idx] = completion;
+                if self.track {
+                    self.issue_at[idx] = now;
+                }
+                if self.dbg {
+                    self.dbg_issue[idx] = now;
+                }
+                match cl {
+                    CL_INT => int_issued += 1,
+                    CL_FPVEC => fpvec_issued += 1,
+                    _ => {
+                        if op.exec == ExecClass::Store {
+                            stores_issued += 1;
+                        } else {
+                            loads_issued += 1;
+                        }
+                    }
+                }
+                issued_total += 1;
+                self.iq[cl].swap_remove(i);
+                // Keep age order reasonably intact after swap_remove by
+                // not advancing i (the swapped-in entry gets a chance).
             }
-
-            now += 1;
+            // Restore age order for the next cycle.
+            self.iq[cl].sort_unstable_by_key(|e| e.idx);
         }
 
-        stats.cycles = now;
-        stats.finalize(mem, &engine, &predictor);
-        stats
+        // ---- rename / dispatch (in order, fetch_width per cycle) ----
+        let mut renamed = 0;
+        // The reason rename made zero progress this cycle, if any (and,
+        // for store-FIFO back-pressure, the stream register to blame).
+        let mut cycle_block: Option<RenameBlockReason> = None;
+        let mut cycle_block_u: u8 = 0;
+        while renamed < self.cfg.fetch_width {
+            let Some(&idx) = self.decode_q.front() else {
+                break;
+            };
+            let op = &trace.ops[idx];
+            // Resource checks.
+            let mut block = None;
+            if self.rob_used >= self.cfg.rob_entries {
+                block = Some(RenameBlockReason::Rob);
+            } else if self.iq.iter().map(Vec::len).sum::<usize>() >= self.cfg.iq_entries
+                || self.iq[cluster_of(op.exec)].len() >= self.cfg.cluster_entries
+            {
+                block = Some(RenameBlockReason::Iq);
+            } else if (op.exec == ExecClass::Load && self.lq_used >= self.cfg.lq_entries)
+                || (op.exec == ExecClass::Store && self.sq_used >= self.cfg.sq_entries)
+            {
+                block = Some(RenameBlockReason::Lsq);
+            } else if op
+                .dests
+                .iter()
+                .any(|d| self.free_regs[class_idx(d.class)] == 0)
+            {
+                block = Some(RenameBlockReason::Prf);
+            } else if op.stream_writes.iter().any(|&(inst, chunk)| {
+                self.engine.chunk_status(inst, chunk) == ChunkStatus::NotFetched
+            }) {
+                // Store FIFO slot not yet reserved by the engine.
+                block = Some(RenameBlockReason::StoreFifo);
+            }
+            if let Some(reason) = block {
+                if renamed == 0 {
+                    self.stats.rename_blocked_cycles += 1;
+                    self.stats.rename_block_reasons.bump(reason);
+                    cycle_block = Some(reason);
+                    if reason == RenameBlockReason::StoreFifo {
+                        cycle_block_u = op
+                            .stream_writes
+                            .iter()
+                            .find(|&&(inst, chunk)| {
+                                self.engine.chunk_status(inst, chunk) == ChunkStatus::NotFetched
+                            })
+                            .map_or(0, |&(inst, _)| trace.streams[inst as usize].u);
+                    }
+                }
+                break;
+            }
+            self.decode_q.pop_front();
+            self.rob_used += 1;
+            match op.exec {
+                ExecClass::Load => self.lq_used += 1,
+                ExecClass::Store => self.sq_used += 1,
+                _ => {}
+            }
+            for d in &op.dests {
+                self.free_regs[class_idx(d.class)] -= 1;
+            }
+            // Stream configuration completes here (speculative config).
+            if let Some(inst) = op.stream_open {
+                self.engine.open(inst, &trace.streams[inst as usize], now);
+            }
+            // Dependencies on in-flight producers only.
+            let deps: Vec<usize> = op
+                .srcs
+                .iter()
+                .filter_map(|s| self.last_writer.get(s).copied())
+                .filter(|&d| self.done[d] == NOT_DONE || self.done[d] > now)
+                .collect();
+            for d in &op.dests {
+                self.last_writer.insert(*d, idx);
+            }
+            if self.track {
+                self.rename_at[idx] = now;
+            }
+            if self.dbg {
+                self.dbg_rename[idx] = now;
+            }
+            self.iq[cluster_of(op.exec)].push(IqEntry { idx, deps });
+            renamed += 1;
+        }
+
+        // ---- fetch (in order, fetch_width per cycle) ----
+        if let Some(b) = self.fetch_stalled_on {
+            if self.done[b] != NOT_DONE && now >= self.done[b] + self.cfg.mispredict_penalty {
+                self.fetch_stalled_on = None;
+            }
+        }
+        if self.fetch_stalled_on.is_none() && !self.fetch_frozen {
+            let mut fetched = 0;
+            while fetched < self.cfg.fetch_width
+                && self.decode_q.len() < self.cfg.decode_queue
+                && self.fetch_ptr < self.n
+            {
+                let idx = self.fetch_ptr;
+                let op = &trace.ops[idx];
+                self.decode_q.push_back(idx);
+                self.fetch_ptr += 1;
+                fetched += 1;
+                if let Some(b) = op.branch {
+                    self.stats.branches += 1;
+                    let correct = self.predictor.predict_and_train(op.pc, b.taken);
+                    if !correct {
+                        self.stats.branch_mispredicts += 1;
+                        self.fetch_stalled_on = Some(idx);
+                        break;
+                    }
+                    if b.taken {
+                        // Taken-branch fetch bubble.
+                        break;
+                    }
+                }
+            }
+        }
+
+        // ---- streaming engine ----
+        self.engine.tick(now, &trace.streams, mem);
+
+        // ---- FIFO occupancy timeline (change-compressed) ----
+        if let Some(log) = events {
+            let mut cur = [0u32; 32];
+            for (inst, occ) in self.engine.occupancies() {
+                cur[usize::from(trace.streams[inst as usize].u) & 31] = occ as u32;
+            }
+            for (u, (&c, last)) in cur.iter().zip(self.fifo_last.iter_mut()).enumerate() {
+                if c != *last {
+                    log.fifo.push(FifoPoint {
+                        cycle: now,
+                        u: u as u8,
+                        occupancy: c,
+                    });
+                    *last = c;
+                }
+            }
+        }
+
+        // ---- top-down cycle attribution ----
+        // Exactly one category per cycle; see `CycleAccount` for the
+        // cascade. `committed == 0` implies `commit_ptr` did not move,
+        // so when the ROB is non-empty `trace.ops[commit_ptr]` is its
+        // oldest (head) entry.
+        let acct = &mut self.stats.account;
+        if committed > 0 {
+            acct.retiring += 1;
+        } else {
+            let head = self.commit_ptr;
+            let head_op = &trace.ops[head];
+            let head_issued = self.rob_used > 0 && self.done[head] != NOT_DONE;
+            let head_waiting_mem = head_issued
+                && self.done[head] > now
+                && head_op.exec == ExecClass::Load
+                && !head_op.mem_lines.is_empty();
+            let head_stream_stall = if self.rob_used > 0 && self.done[head] == NOT_DONE {
+                head_op
+                    .stream_reads
+                    .iter()
+                    .find(|&&(inst, chunk)| {
+                        !matches!(self.engine.chunk_status(inst, chunk),
+                                  ChunkStatus::Ready(r) if r <= now)
+                    })
+                    .map(|&(inst, _)| (inst, trace.streams[inst as usize].u))
+            } else {
+                None
+            };
+            if head_waiting_mem {
+                let (issue, mshr_wait, from_dram, from_snoop) = self.load_info[head % self.ring];
+                if now < issue + mshr_wait {
+                    acct.mshr_wait += 1;
+                } else if from_snoop {
+                    // Served cache-to-cache by a remote core over the snoop
+                    // bus: a coherence stall, not a plain cache hit.
+                    acct.snoop_wait += 1;
+                } else if from_dram {
+                    acct.dram_wait += 1;
+                } else {
+                    acct.cache_wait += 1;
+                }
+            } else if let Some((inst, u)) = head_stream_stall {
+                if self.engine.in_fault_replay(inst, now) {
+                    // The chunk is late because its stream is retrying
+                    // an injected fault, not because the engine fell
+                    // behind the consumer.
+                    acct.fault_replay += 1;
+                } else {
+                    acct.fifo_empty += 1;
+                    acct.fifo_empty_by_u[usize::from(u) & 31] += 1;
+                }
+            } else if let Some(reason) = cycle_block {
+                match reason {
+                    RenameBlockReason::Rob => acct.rob_full += 1,
+                    RenameBlockReason::Iq => acct.iq_full += 1,
+                    RenameBlockReason::Lsq => acct.lsq_full += 1,
+                    RenameBlockReason::Prf => acct.prf_starved += 1,
+                    RenameBlockReason::StoreFifo => {
+                        acct.fifo_full += 1;
+                        acct.fifo_full_by_u[usize::from(cycle_block_u) & 31] += 1;
+                    }
+                }
+            } else if self.rob_used > 0 {
+                if head_issued {
+                    if head_op.stream_faults > 0 {
+                        // The head's latency includes the precise
+                        // stream-fault trap round trips it took in the
+                        // functional run; attribute the wait to fault
+                        // handling rather than plain execution.
+                        acct.fault_replay += 1;
+                    } else {
+                        acct.execute += 1;
+                    }
+                } else {
+                    acct.depend += 1;
+                }
+            } else if self.fetch_stalled_on.is_some() {
+                acct.branch_redirect += 1;
+            } else {
+                acct.frontend += 1;
+            }
+        }
+
+        self.now += 1;
     }
 }
 
@@ -668,10 +804,10 @@ mod tests {
     use uve_mem::Memory;
 
     fn trace_of(text: &str, setup: impl FnOnce(&mut Emulator)) -> Trace {
-        let prog = assemble("t", text).unwrap();
+        let prog = assemble("t", text).expect("test program must assemble");
         let mut emu = Emulator::new(EmuConfig::default(), Memory::new());
         setup(&mut emu);
-        emu.run(&prog).unwrap().trace
+        emu.run(&prog).expect("test program must run to halt").trace
     }
 
     #[test]
@@ -775,7 +911,9 @@ skip:
         });
         let core = OoOCore::new(CpuConfig::default());
         for s in [core.run(&chase), core.run_warm(&chase)] {
-            s.account.check(s.cycles).unwrap();
+            s.account
+                .check(s.cycles)
+                .expect("cycle accounting must conserve");
             // Dependent uncached loads: memory waits must dominate.
             assert!(
                 s.account.dram_wait + s.account.cache_wait + s.account.mshr_wait > s.cycles / 4,
@@ -880,7 +1018,10 @@ loop:
         let mut cfg = CpuConfig::default();
         cfg.mem.fault = Some(FaultConfig::hostile(7));
         let faulty = OoOCore::new(cfg).run(&t);
-        faulty.account.check(faulty.cycles).unwrap();
+        faulty
+            .account
+            .check(faulty.cycles)
+            .expect("cycle accounting must conserve");
         assert_eq!(faulty.committed, clean.committed);
         let replays = faulty.engine.transient_retries + faulty.engine.poisoned_replays;
         assert!(replays > 0, "hostile rates must trigger retries");
@@ -908,7 +1049,9 @@ loop:
         let mut faulted = t.clone();
         faulted.ops[20].stream_faults = 2;
         let s = OoOCore::new(CpuConfig::default()).run(&faulted);
-        s.account.check(s.cycles).unwrap();
+        s.account
+            .check(s.cycles)
+            .expect("cycle accounting must conserve");
         // Out-of-order overlap can hide a few cycles of the serial sum, so
         // bound from below with a small slack.
         let penalty = 2 * CpuConfig::default().fault_trap_penalty;

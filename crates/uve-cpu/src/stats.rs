@@ -3,7 +3,7 @@
 
 use crate::predictor::Bimodal;
 use uve_core::engine::{EngineSim, EngineStats};
-use uve_mem::{MemStats, MemSystem};
+use uve_mem::{MemPort, MemStats};
 
 /// Why rename stalled in a given cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +54,8 @@ impl RenameBlockReasons {
 /// The attribution cascade runs once per cycle, oldest-first:
 /// 1. any instruction committed → `retiring`;
 /// 2. the ROB head is an issued load still waiting on memory →
-///    `mshr_wait` / `dram_wait` / `cache_wait` (from the load's recorded
-///    [`ReadOutcome`](uve_mem::ReadOutcome));
+///    `mshr_wait` / `snoop_wait` / `dram_wait` / `cache_wait` (from the
+///    load's recorded [`ReadOutcome`](uve_mem::ReadOutcome));
 /// 3. the ROB head cannot issue because a stream chunk is not in its FIFO
 ///    → `fault_replay` if that stream is retrying an injected fault,
 ///    `fifo_empty` otherwise (also attributed per stream register);
@@ -76,6 +76,10 @@ pub struct CycleAccount {
     pub dram_wait: u64,
     /// ROB head waiting on a cache-serviced load (L1/L2 latency).
     pub cache_wait: u64,
+    /// ROB head waiting on a load served by a remote core's cache over the
+    /// snoop bus (owner forwarding / coherence traffic). Always zero on a
+    /// single-core run.
+    pub snoop_wait: u64,
     /// ROB head waiting for a stream chunk that is not yet in its FIFO.
     pub fifo_empty: u64,
     /// ROB head waiting on a stream that is retrying an injected fault
@@ -107,11 +111,12 @@ pub struct CycleAccount {
 
 impl CycleAccount {
     /// Category names, in [`CycleAccount::values`] order.
-    pub const CATEGORIES: [&'static str; 15] = [
+    pub const CATEGORIES: [&'static str; 16] = [
         "retiring",
         "mshr",
         "dram",
         "cache",
+        "snoop",
         "fifo-empty",
         "fault-replay",
         "rob-full",
@@ -126,12 +131,13 @@ impl CycleAccount {
     ];
 
     /// Category counters, in [`CycleAccount::CATEGORIES`] order.
-    pub fn values(&self) -> [u64; 15] {
+    pub fn values(&self) -> [u64; 16] {
         [
             self.retiring,
             self.mshr_wait,
             self.dram_wait,
             self.cache_wait,
+            self.snoop_wait,
             self.fifo_empty,
             self.fault_replay,
             self.rob_full,
@@ -211,7 +217,7 @@ impl TimingStats {
         Self::default()
     }
 
-    pub(crate) fn finalize(&mut self, mem: &MemSystem, engine: &EngineSim, _pred: &Bimodal) {
+    pub(crate) fn finalize<M: MemPort>(&mut self, mem: &M, engine: &EngineSim, _pred: &Bimodal) {
         self.mem = mem.stats();
         self.engine = engine.stats();
         self.bus_utilization = mem.bus_utilization(self.cycles);

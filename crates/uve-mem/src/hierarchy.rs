@@ -8,6 +8,7 @@ use crate::fault::{FaultConfig, FaultInjector, FaultLevel, FaultStats};
 use crate::memory::PAGE_SIZE;
 use crate::prefetch::{AmpmPrefetcher, StridePrefetcher};
 use crate::profile::{ReadProfile, ReqClass, ServedBy};
+use crate::smp::SnoopStats;
 use crate::tlb::{Tlb, Translation};
 
 /// Configuration of the memory hierarchy (Table I defaults).
@@ -96,29 +97,31 @@ pub enum Path {
 /// earliest-free slot, serializing behind it when all slots are busy. This
 /// is what bounds memory-level parallelism on each level's miss path.
 #[derive(Debug, Clone)]
-struct MshrBank {
+pub(crate) struct MshrBank {
     busy_until: Vec<u64>,
 }
 
 impl MshrBank {
-    fn new(slots: usize) -> Self {
+    pub(crate) fn new(slots: usize) -> Self {
         Self {
             busy_until: vec![0; slots.max(1)],
         }
     }
 
-    /// Reserves a slot at `now`; returns `(slot, start_cycle)`.
-    fn acquire(&mut self, now: u64) -> (usize, u64) {
+    /// Reserves a slot at `now`; returns `(slot, start_cycle)`. The bank
+    /// always holds at least one slot (see `new`), so the empty case falls
+    /// back to slot 0 instead of panicking.
+    pub(crate) fn acquire(&mut self, now: u64) -> (usize, u64) {
         let (slot, &t) = self
             .busy_until
             .iter()
             .enumerate()
             .min_by_key(|(_, &t)| t)
-            .expect("at least one slot");
+            .unwrap_or((0, &0));
         (slot, now.max(t))
     }
 
-    fn release_at(&mut self, slot: usize, when: u64) {
+    pub(crate) fn release_at(&mut self, slot: usize, when: u64) {
         self.busy_until[slot] = when;
     }
 }
@@ -142,6 +145,10 @@ pub struct MemStats {
     pub tlb_misses: u64,
     /// Per-(requester, serving level) read latency distributions.
     pub profile: ReadProfile,
+    /// Snoop-bus coherence traffic. Always zero for a single-core
+    /// [`MemSystem`]; the multicore hierarchy ([`SmpMem`](crate::SmpMem))
+    /// reports per-core counters here.
+    pub snoop: SnoopStats,
 }
 
 /// What happened to one demand read: when the data is usable, how long the
@@ -156,6 +163,10 @@ pub struct ReadOutcome {
     pub mshr_wait: u64,
     /// `true` if the line came from DRAM.
     pub from_dram: bool,
+    /// `true` if the line was forwarded cache-to-cache from a remote L1
+    /// that held it dirty (MOESI owner forwarding). Never set by the
+    /// single-core [`MemSystem`].
+    pub from_snoop: bool,
 }
 
 /// The timing model of the memory hierarchy.
@@ -276,6 +287,7 @@ impl MemSystem {
             tlb_hits: self.tlb.hits(),
             tlb_misses: self.tlb.misses(),
             profile: self.profile,
+            snoop: SnoopStats::default(),
         }
     }
 
@@ -310,6 +322,7 @@ impl MemSystem {
                     ready: ready.max(start) + self.cfg.l2_latency,
                     mshr_wait: 0,
                     from_dram: false,
+                    from_snoop: false,
                 }
             }
             Access::Miss => {
@@ -332,6 +345,7 @@ impl MemSystem {
                     ready,
                     mshr_wait: miss_start - start,
                     from_dram: true,
+                    from_snoop: false,
                 }
             }
         };
@@ -369,6 +383,7 @@ impl MemSystem {
                             ready: ready.max(now) + self.cfg.l1_latency,
                             mshr_wait: 0,
                             from_dram: false,
+                            from_snoop: false,
                         };
                         self.profile.record(class, ServedBy::L1, out.ready - now);
                         out
@@ -393,6 +408,7 @@ impl MemSystem {
                             ready: inner.ready,
                             mshr_wait: (start - now) + inner.mshr_wait,
                             from_dram: inner.from_dram,
+                            from_snoop: false,
                         }
                     }
                 };
@@ -441,6 +457,7 @@ impl MemSystem {
                     ready,
                     mshr_wait: 0,
                     from_dram: true,
+                    from_snoop: false,
                 }
             }
         }

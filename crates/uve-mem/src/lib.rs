@@ -19,7 +19,14 @@
 //!   translation faults, transient request faults, poisoned responses with
 //!   per-level odds and bounded retry), enabled via [`MemConfig::fault`];
 //! - [`MemSystem`]: the composed hierarchy with the paper's stream request
-//!   paths ([`Path::StreamL1`], [`Path::StreamL2`], [`Path::StreamMem`]).
+//!   paths ([`Path::StreamL1`], [`Path::StreamL2`], [`Path::StreamMem`]);
+//! - [`MemPort`]: the access interface shared by the single-core hierarchy
+//!   and one core's view of the multicore hierarchy — the timing core and
+//!   Streaming Engine are generic over it;
+//! - [`SmpMem`]: N private L1-D + TLB + prefetcher slices over one shared
+//!   L2/DRAM, connected by a [`SnoopBus`] that drives the MOESI
+//!   `snoop_share`/`snoop_invalidate` hooks (cross-core invalidations,
+//!   M/O owner forwarding, bus arbitration, per-core [`SnoopStats`]).
 //!
 //! The timing style is analytic: accesses mutate cache/DRAM state and return
 //! a data-ready cycle, modelling the contention that matters for the paper's
@@ -33,8 +40,10 @@ mod dram;
 mod fault;
 mod hierarchy;
 mod memory;
+mod port;
 mod prefetch;
 mod profile;
+mod smp;
 mod tlb;
 
 pub use cache::{Access, Cache, CacheStats, MoesiState, LINE_BYTES};
@@ -42,6 +51,8 @@ pub use dram::{Dram, DramConfig, DramStats};
 pub use fault::{FaultConfig, FaultInjector, FaultLevel, FaultStats};
 pub use hierarchy::{MemConfig, MemStats, MemSystem, Path, ReadOutcome};
 pub use memory::{Memory, PAGE_SIZE};
+pub use port::MemPort;
 pub use prefetch::{AmpmPrefetcher, PrefetchRequest, StridePrefetcher};
 pub use profile::{LatencyHist, ReadProfile, ReqClass, ServedBy, LATENCY_BUCKETS};
+pub use smp::{CoherenceViolation, SmpMem, SmpPort, SnoopBus, SnoopStats};
 pub use tlb::{Tlb, Translation};

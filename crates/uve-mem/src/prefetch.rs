@@ -185,16 +185,16 @@ impl AmpmPrefetcher {
     pub fn observe(&mut self, line: u64) -> Vec<PrefetchRequest> {
         // Record the access.
         let (zone, bit) = self.bit(line);
-        if !self.zones.contains_key(&zone) {
-            if self.zones.len() >= self.max_zones {
-                let victim = self.zone_queue.remove(0);
-                self.zones.remove(&victim);
-                self.pf_zones.remove(&victim);
-            }
-            self.zone_queue.push(zone);
-            self.zones.insert(zone, 0);
+        if self.zones.len() >= self.max_zones && !self.zones.contains_key(&zone) {
+            let victim = self.zone_queue.remove(0);
+            self.zones.remove(&victim);
+            self.pf_zones.remove(&victim);
         }
-        *self.zones.get_mut(&zone).expect("just inserted") |= 1 << bit;
+        let entry = self.zones.entry(zone).or_insert_with(|| {
+            self.zone_queue.push(zone);
+            0
+        });
+        *entry |= 1 << bit;
 
         // Pattern match: for each candidate spacing d, require line-d and
         // line-2d set, then prefetch line+d.
@@ -266,7 +266,10 @@ mod tests {
         // At most two requests per access, with the farthest at `depth`
         // strides of lookahead.
         assert!(reqs.len() <= 2, "{reqs:?}");
-        assert_eq!(*reqs.last().unwrap(), (20 + 8) * 64 / 64);
+        assert_eq!(
+            *reqs.last().expect("prefetcher must have issued requests"),
+            (20 + 8) * 64 / 64
+        );
     }
 
     #[test]

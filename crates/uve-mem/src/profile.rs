@@ -63,11 +63,16 @@ pub enum ServedBy {
     L2,
     /// Data came from DRAM.
     Dram,
+    /// Data was forwarded cache-to-cache from another core's L1 holding the
+    /// line dirty (MOESI owner forwarding over the snoop bus). Only the
+    /// multicore hierarchy ([`SmpMem`](crate::SmpMem)) records this level;
+    /// single-core counts stay zero.
+    Remote,
 }
 
 impl ServedBy {
     /// All levels, in hierarchy order.
-    pub const ALL: [ServedBy; 3] = [ServedBy::L1, ServedBy::L2, ServedBy::Dram];
+    pub const ALL: [ServedBy; 4] = [ServedBy::L1, ServedBy::Remote, ServedBy::L2, ServedBy::Dram];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -75,6 +80,7 @@ impl ServedBy {
             ServedBy::L1 => "L1",
             ServedBy::L2 => "L2",
             ServedBy::Dram => "DRAM",
+            ServedBy::Remote => "rem-L1",
         }
     }
 
@@ -83,6 +89,7 @@ impl ServedBy {
             ServedBy::L1 => 0,
             ServedBy::L2 => 1,
             ServedBy::Dram => 2,
+            ServedBy::Remote => 3,
         }
     }
 }
@@ -138,7 +145,7 @@ impl LatencyHist {
 /// Latency histograms for every `(requester class, serving level)` pair.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadProfile {
-    hists: [[LatencyHist; 3]; 4],
+    hists: [[LatencyHist; 4]; 4],
 }
 
 impl ReadProfile {
@@ -212,5 +219,18 @@ mod tests {
         assert_eq!(p.served_count(ServedBy::Dram), 2);
         assert_eq!(p.total_count(), 4);
         assert_eq!(p.get(ReqClass::Stream, ServedBy::L2).count, 1);
+    }
+
+    #[test]
+    fn remote_level_counts_into_marginals() {
+        let mut p = ReadProfile::default();
+        p.record(ReqClass::Demand, ServedBy::Remote, 17);
+        p.record(ReqClass::Stream, ServedBy::Remote, 17);
+        assert_eq!(p.served_count(ServedBy::Remote), 2);
+        assert_eq!(p.class_count(ReqClass::Demand), 1);
+        assert_eq!(p.total_count(), 2);
+        // Owner forwarding never touches DRAM: the DRAM conservation law is
+        // unaffected by remote-served reads.
+        assert_eq!(p.served_count(ServedBy::Dram), 0);
     }
 }

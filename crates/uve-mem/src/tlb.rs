@@ -103,13 +103,14 @@ impl Tlb {
         }
         self.misses += 1;
         if self.entries.len() >= self.capacity {
+            // `entries` is non-empty here (`len >= capacity >= 1`); fall
+            // back to evicting slot 0 rather than panicking.
             let victim = self
                 .entries
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, (_, lru))| *lru)
-                .map(|(i, _)| i)
-                .expect("non-empty");
+                .map_or(0, |(i, _)| i);
             self.entries.swap_remove(victim);
         }
         self.entries.push((page, self.lru_clock));

@@ -13,7 +13,10 @@
 //! - [`cpu`]: the out-of-order timing model (Sec. V),
 //! - [`kernels`]: the 19 evaluation benchmarks (Fig. 8),
 //! - [`bench`]: the evaluation harness, including the parallel sharded
-//!   [`bench::runner`] with functional-trace reuse.
+//!   [`bench::runner`] with functional-trace reuse,
+//! - [`smp`]: the multicore timing model — lockstep cores over the
+//!   MOESI-snooped shared hierarchy, data-parallel trace sharding, and
+//!   preemptive multiprogramming with stream-context save/restore.
 //!
 //! The most common types are additionally re-exported at the crate root.
 //!
@@ -54,6 +57,7 @@ pub use uve_cpu as cpu;
 pub use uve_isa as isa;
 pub use uve_kernels as kernels;
 pub use uve_mem as mem;
+pub use uve_smp as smp;
 pub use uve_stream as stream;
 
 pub use uve_core::{EmuConfig, Emulator, Trace};

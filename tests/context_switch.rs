@@ -172,6 +172,107 @@ fn save_restore_at_non_vlen_multiple_cuts() {
 }
 
 #[test]
+fn scheduler_preemption_in_indirect_modifier_region_is_invisible() {
+    // PR 5 (multicore): the preemptive round-robin scheduler slices
+    // programs at instruction granularity, so with a small quantum the
+    // context switch lands mid-chunk inside the indirect-modifier region
+    // of the MAMR gather kernel. Every switch runs the full protocol —
+    // save the stream walkers, discard prefetched FIFO data, restore from
+    // the saved state — and the final registers and memory must be
+    // bit-identical to uninterrupted solo runs.
+    use uve::kernels::{mamr::Mamr, memcpy::Memcpy, Benchmark, Flavor};
+    use uve::smp::{run_round_robin, Job};
+
+    let benches: [&dyn Benchmark; 2] = [&Mamr::indirect(24), &Memcpy::new(300)];
+    let flavor = Flavor::Uve;
+    let mut jobs = Vec::new();
+    let mut solo = Vec::new();
+    for bench in benches {
+        let run = uve::kernels::run(bench, flavor).unwrap();
+        solo.push((run.emulator.arch_digest(), run.emulator.mem.content_hash()));
+        let cfg = EmuConfig {
+            vlen_bytes: flavor.vlen_bytes(),
+            ..EmuConfig::default()
+        };
+        let mut emu = Emulator::new(cfg, Memory::new());
+        bench.setup(&mut emu);
+        jobs.push(Job {
+            name: bench.name().to_string(),
+            program: bench.program(flavor),
+            emu,
+        });
+    }
+    // Quantum 3: cuts land inside the gather's indirect chunk production,
+    // not only at chunk boundaries.
+    let outcomes = run_round_robin(jobs, 2, 3).unwrap();
+    for (out, (digest, hash)) in outcomes.iter().zip(&solo) {
+        assert!(
+            out.preemptions >= 2,
+            "{}: {} preemptions",
+            out.name,
+            out.preemptions
+        );
+        assert_eq!(
+            out.arch_digest, *digest,
+            "{}: register state differs",
+            out.name
+        );
+        assert_eq!(out.mem_hash, *hash, "{}: memory image differs", out.name);
+    }
+}
+
+#[test]
+fn resume_budget_cuts_at_non_vlen_multiples_are_invisible() {
+    // PR 5 (multicore): drive `Emulator::resume` directly with prime
+    // instruction budgets over a kernel whose streams re-chunk off any
+    // VLEN multiple (Jacobi-1d at 53 points: 51 interior elements chunk as
+    // 16+16+16+3), doing a full stream-context save/restore round trip at
+    // every pause. The interrupted runs must converge to the solo state.
+    use uve::core::RunCursor;
+    use uve::kernels::{jacobi::Jacobi1d, Benchmark, Flavor};
+
+    let bench = Jacobi1d::new(53, 2);
+    let flavor = Flavor::Uve;
+    let solo = uve::kernels::run(&bench, flavor).unwrap();
+    let want = (
+        solo.emulator.arch_digest(),
+        solo.emulator.mem.content_hash(),
+    );
+
+    for budget in [1u64, 5, 7, 13] {
+        let cfg = EmuConfig {
+            vlen_bytes: flavor.vlen_bytes(),
+            ..EmuConfig::default()
+        };
+        let mut emu = Emulator::new(cfg, Memory::new());
+        bench.setup(&mut emu);
+        let program = bench.program(flavor);
+        let mut cursor = RunCursor::new();
+        let mut pauses = 0u64;
+        loop {
+            let halted = emu.resume(&program, &mut cursor, Some(budget)).unwrap();
+            if halted {
+                break;
+            }
+            pauses += 1;
+            let saved = emu.save_stream_context();
+            emu.restore_stream_context(&saved);
+        }
+        assert!(pauses >= 2, "budget {budget}: only {pauses} pauses");
+        assert_eq!(
+            emu.arch_digest(),
+            want.0,
+            "budget {budget}: register state differs"
+        );
+        assert_eq!(
+            emu.mem.content_hash(),
+            want.1,
+            "budget {budget}: memory image differs"
+        );
+    }
+}
+
+#[test]
 fn saved_walker_is_cloneable_and_comparable() {
     use uve::stream::{ElemWidth, NoMemory, Pattern, Walker};
     let p = Pattern::linear(0, ElemWidth::Word, 64).unwrap();
