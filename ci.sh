@@ -51,6 +51,21 @@ diff -u target/smp_serial.txt target/smp_jobs8.txt
 # run above only gives the smp engine a twentieth of the budget).
 ./target/release/uve-conform --engine smp --seed 7 --cases 200 --quiet
 
+echo "== indirect packing: both-mode conform smoke + MAMR-Ind assertion =="
+# The pattern and kernel engines diff packed AND unpacked chunking against
+# the same oracle on every case (the `all` run above splits its budget);
+# give each a dedicated slice so both packing modes get real coverage.
+./target/release/uve-conform --engine pattern --seed 7 --cases 4000 --quiet
+./target/release/uve-conform --engine kernel --seed 7 --cases 200 --quiet
+# Packed/unpacked A/B over the full suite: asserts every kernel without an
+# indirect modifier is bit-identical across modes.
+./target/release/packing --quiet > /dev/null
+# Headline JSON: asserts the packed MAMR-Ind speedup vs scalar stays >= 1.0x
+# (the paper-deviation fix this gate exists to protect) and refreshes the
+# checked-in perf-trajectory artifact; fail if the numbers drifted.
+./target/release/fig8 --panel b --quiet --json BENCH_fig8.json > /dev/null
+git diff --exit-code -- BENCH_fig8.json
+
 echo "== observability: --explain smoke + golden trace (offline) =="
 # One figure run with stall attribution: maybe_explain() panics unless the
 # cycle-accounting conservation laws hold for every kernel in the table.

@@ -13,6 +13,7 @@
 use crate::runner::{Job, Runner};
 use crate::{geomean, header, row, Measured};
 use uve_core::engine::EngineConfig;
+use uve_core::IndirectPacking;
 use uve_cpu::CpuConfig;
 use uve_isa::MemLevel;
 use uve_kernels::{
@@ -212,6 +213,82 @@ pub fn fig8(panel: Option<&str>, runner: &Runner) {
     }
 }
 
+/// Writes the Fig. 8 headline numbers to `path` as JSON: the panel-B
+/// speed-up geomeans under packed (default) and unpacked indirect
+/// chunking, plus the MAMR-Ind observables of the packing fix.
+///
+/// # Panics
+///
+/// Panics if MAMR-Ind's packed UVE run is *slower* than its scalar
+/// baseline (speedup < 1.0×) — the paper reports a clear UVE win there,
+/// and losing it means the packed chunking regressed.
+pub fn fig8_json(path: &str, runner: &Runner) {
+    let runs = suite_runs(runner);
+    let cpu = CpuConfig::default();
+    // The same UVE points with packing off; SVE/NEON baselines have no
+    // indirect streams and are reused as-is.
+    let suite = evaluation_suite();
+    let unpacked_jobs: Vec<Job> = suite
+        .iter()
+        .map(|bench| Job {
+            packing: IndirectPacking::Unpacked,
+            ..Job::new(bench.as_ref(), Flavor::Uve, cpu.clone())
+        })
+        .collect();
+    let unpacked = runner.run(&unpacked_jobs);
+
+    let speedups = |uve: &dyn Fn(usize) -> u64| -> (f64, f64) {
+        let mut vs_sve = Vec::new();
+        let mut vs_neon = Vec::new();
+        for (i, r) in runs.iter().enumerate() {
+            if r.sve_vectorized {
+                vs_sve.push(r.sve.cycles() as f64 / uve(i) as f64);
+            }
+            vs_neon.push(r.neon.cycles() as f64 / uve(i) as f64);
+        }
+        (geomean(&vs_sve), geomean(&vs_neon))
+    };
+    let (packed_sve, packed_neon) = speedups(&|i| runs[i].uve.cycles());
+    let (unpacked_sve, unpacked_neon) = speedups(&|i| unpacked[i].cycles());
+
+    let mi = runs
+        .iter()
+        .position(|r| r.name == "MAMR-Ind")
+        .expect("MAMR-Ind in the evaluation suite");
+    // MAMR kernels are not compiler-vectorized: the NEON-flavor run is
+    // the scalar baseline of the EXPERIMENTS.md attribution.
+    let scalar = runs[mi].neon.cycles();
+    let mamr_packed = runs[mi].uve.cycles();
+    let mamr_unpacked = unpacked[mi].cycles();
+    let packed_speedup = scalar as f64 / mamr_packed as f64;
+    let unpacked_speedup = scalar as f64 / mamr_unpacked as f64;
+    assert!(
+        packed_speedup >= 1.0,
+        "MAMR-Ind packed UVE speedup {packed_speedup:.3}x < 1.0x vs scalar \
+         ({mamr_packed} vs {scalar} cycles) — the indirect-packing fix regressed"
+    );
+
+    let json = format!(
+        "{{\n  \"figure\": \"fig8\",\n  \"packed\": {{\n    \
+         \"geomean_speedup_vs_sve\": {packed_sve:.4},\n    \
+         \"geomean_speedup_vs_neon\": {packed_neon:.4}\n  }},\n  \
+         \"unpacked\": {{\n    \
+         \"geomean_speedup_vs_sve\": {unpacked_sve:.4},\n    \
+         \"geomean_speedup_vs_neon\": {unpacked_neon:.4}\n  }},\n  \
+         \"mamr_ind\": {{\n    \
+         \"uve_packed_cycles\": {mamr_packed},\n    \
+         \"uve_unpacked_cycles\": {mamr_unpacked},\n    \
+         \"scalar_cycles\": {scalar},\n    \
+         \"speedup_packed\": {packed_speedup:.4},\n    \
+         \"speedup_unpacked\": {unpacked_speedup:.4}\n  }}\n}}\n"
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "fig8 json -> {path} (MAMR-Ind packed {packed_speedup:.2}x, \
+         unpacked {unpacked_speedup:.2}x vs scalar)"
+    );
+}
+
 /// Fig. 9 — physical-vector-register sensitivity (UVE flat, SVE gains).
 ///
 /// Each `(kernel, flavor)` point is emulated once; the three PVR
@@ -318,10 +395,8 @@ pub fn fig11(runner: &Runner) {
         .iter()
         .flat_map(|bench| {
             levels.map(|level| Job {
-                bench: bench.as_ref(),
-                flavor: Flavor::Uve,
-                cpu: cpu.clone(),
                 stream_level: level,
+                ..Job::new(bench.as_ref(), Flavor::Uve, cpu.clone())
             })
         })
         .collect();

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use crate::pool::{panic_message, pop};
 use crate::Measured;
-use uve_core::{EmuConfig, Trace};
+use uve_core::{EmuConfig, IndirectPacking, Trace};
 use uve_cpu::{CpuConfig, OoOCore};
 use uve_isa::MemLevel;
 use uve_kernels::{Benchmark, Flavor};
@@ -49,22 +49,26 @@ pub struct Job<'a> {
     pub cpu: CpuConfig,
     /// Memory level streams default to (affects the functional trace).
     pub stream_level: MemLevel,
+    /// Indirect-stream chunking mode (affects the functional trace).
+    pub packing: IndirectPacking,
 }
 
 impl<'a> Job<'a> {
-    /// A job at the paper's default L2 stream level.
+    /// A job at the paper's default L2 stream level and packed indirect
+    /// chunking.
     pub fn new(bench: &'a dyn Benchmark, flavor: Flavor, cpu: CpuConfig) -> Self {
         Self {
             bench,
             flavor,
             cpu,
             stream_level: MemLevel::L2,
+            packing: IndirectPacking::default(),
         }
     }
 
     /// The trace-cache key this job resolves to.
     pub fn key(&self) -> TraceKey {
-        TraceKey::of(self.bench, self.flavor, self.stream_level)
+        TraceKey::of(self.bench, self.flavor, self.stream_level, self.packing)
     }
 }
 
@@ -83,12 +87,19 @@ pub struct TraceKey {
     pub vlen: usize,
     /// Default stream memory level.
     pub stream_level: MemLevel,
+    /// Indirect-stream chunking mode.
+    pub packing: IndirectPacking,
     /// Fingerprint of the flavour's program (captures kernel parameters).
     pub program: u64,
 }
 
 impl TraceKey {
-    fn of(bench: &dyn Benchmark, flavor: Flavor, stream_level: MemLevel) -> Self {
+    fn of(
+        bench: &dyn Benchmark,
+        flavor: Flavor,
+        stream_level: MemLevel,
+        packing: IndirectPacking,
+    ) -> Self {
         let mut h = std::hash::DefaultHasher::new();
         format!("{:?}", bench.program(flavor).insts()).hash(&mut h);
         Self {
@@ -96,6 +107,7 @@ impl TraceKey {
             flavor,
             vlen: flavor.vlen_bytes(),
             stream_level,
+            packing,
             program: h.finish(),
         }
     }
@@ -118,9 +130,25 @@ pub struct CachedTrace {
 /// Panics if the kernel mis-executes or fails its correctness check —
 /// measurement of an incorrect run would be meaningless.
 pub fn emulate_trace(bench: &dyn Benchmark, flavor: Flavor, stream_level: MemLevel) -> CachedTrace {
+    emulate_trace_with(bench, flavor, stream_level, IndirectPacking::default())
+}
+
+/// [`emulate_trace`] with an explicit [`IndirectPacking`] mode for the
+/// packed-vs-unpacked ablation.
+///
+/// # Panics
+///
+/// As [`emulate_trace`].
+pub fn emulate_trace_with(
+    bench: &dyn Benchmark,
+    flavor: Flavor,
+    stream_level: MemLevel,
+    packing: IndirectPacking,
+) -> CachedTrace {
     let emu_cfg = EmuConfig {
         vlen_bytes: flavor.vlen_bytes(),
         stream_level,
+        packing,
         ..EmuConfig::default()
     };
     let mut emu = uve_core::Emulator::new(emu_cfg, Memory::new());
@@ -165,17 +193,18 @@ impl TraceCache {
         bench: &dyn Benchmark,
         flavor: Flavor,
         stream_level: MemLevel,
+        packing: IndirectPacking,
     ) -> Arc<CachedTrace> {
         let cell = {
             let mut map = self.map.lock().expect("trace cache poisoned");
             Arc::clone(
-                map.entry(TraceKey::of(bench, flavor, stream_level))
+                map.entry(TraceKey::of(bench, flavor, stream_level, packing))
                     .or_default(),
             )
         };
         let trace = cell.get_or_init(|| {
             self.emulations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(emulate_trace(bench, flavor, stream_level))
+            Arc::new(emulate_trace_with(bench, flavor, stream_level, packing))
         });
         Arc::clone(trace)
     }
@@ -351,7 +380,20 @@ impl Runner {
         flavor: Flavor,
         stream_level: MemLevel,
     ) -> Arc<CachedTrace> {
-        self.cache.get(bench, flavor, stream_level)
+        self.cache
+            .get(bench, flavor, stream_level, IndirectPacking::default())
+    }
+
+    /// [`Runner::trace`] with an explicit [`IndirectPacking`] mode, for
+    /// the packed-vs-unpacked ablation.
+    pub fn trace_with(
+        &self,
+        bench: &dyn Benchmark,
+        flavor: Flavor,
+        stream_level: MemLevel,
+        packing: IndirectPacking,
+    ) -> Arc<CachedTrace> {
+        self.cache.get(bench, flavor, stream_level, packing)
     }
 
     /// Warms the trace cache for `points` using the worker pool; later
@@ -370,7 +412,8 @@ impl Runner {
                 let (bench, flavor, level) = points[i];
                 uve_core::deadline::arm(self.timeout);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.cache.get(bench, flavor, level);
+                    self.cache
+                        .get(bench, flavor, level, IndirectPacking::default());
                 }));
                 uve_core::deadline::disarm();
                 if let Err(payload) = outcome {
@@ -455,7 +498,9 @@ impl Runner {
     fn run_one(&self, index: usize, job: &Job<'_>) -> Measured {
         uve_core::deadline::arm(self.timeout);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let cached = self.cache.get(job.bench, job.flavor, job.stream_level);
+            let cached = self
+                .cache
+                .get(job.bench, job.flavor, job.stream_level, job.packing);
             replay(job.bench.name(), job.flavor, &cached, &job.cpu)
         }));
         uve_core::deadline::disarm();
@@ -556,8 +601,8 @@ mod tests {
         use uve_kernels::gemm::GemmUnrolled;
         let a = GemmUnrolled::new(8, 32, 8, 1);
         let b = GemmUnrolled::new(8, 32, 8, 2);
-        let ka = TraceKey::of(&a, Flavor::Uve, MemLevel::L2);
-        let kb = TraceKey::of(&b, Flavor::Uve, MemLevel::L2);
+        let ka = TraceKey::of(&a, Flavor::Uve, MemLevel::L2, IndirectPacking::Packed);
+        let kb = TraceKey::of(&b, Flavor::Uve, MemLevel::L2, IndirectPacking::Packed);
         assert_eq!(ka.kernel, kb.kernel, "same display name");
         assert_ne!(ka, kb, "different programs must not share a trace");
     }

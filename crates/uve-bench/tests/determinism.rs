@@ -121,10 +121,8 @@ fn stream_level_is_part_of_the_trace_identity() {
     let jobs: Vec<Job> = levels
         .iter()
         .map(|&level| Job {
-            bench: &bench,
-            flavor: Flavor::Uve,
-            cpu: cpu.clone(),
             stream_level: level,
+            ..Job::new(&bench, Flavor::Uve, cpu.clone())
         })
         .collect();
     let out = runner.run(&jobs);

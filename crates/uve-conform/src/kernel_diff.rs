@@ -19,7 +19,7 @@
 
 use crate::rng::FuzzRng;
 use crate::Engine;
-use uve_core::{EmuConfig, Emulator, StreamTrace};
+use uve_core::{EmuConfig, Emulator, IndirectPacking, StreamTrace};
 use uve_kernels::{
     covariance::Covariance, floyd::FloydWarshall, gemm::Gemm, gemver::Gemver, haccmk::Haccmk,
     irsmk::Irsmk, jacobi::Jacobi1d, jacobi::Jacobi2d, knn::Knn, mamr::Mamr, memcpy::Memcpy,
@@ -200,11 +200,17 @@ pub(crate) fn gen_case(rng: &mut FuzzRng) -> KernelCase {
     }
 }
 
-/// Runs `bench`'s UVE program at an explicit vector length, checks the
-/// memory result, and returns the stream traces.
-fn run_uve_at(bench: &dyn Benchmark, vlen_bytes: usize) -> Result<Vec<StreamTrace>, String> {
+/// Runs `bench`'s UVE program at an explicit vector length and
+/// indirect-chunking mode, checks the memory result, and returns the
+/// stream traces.
+fn run_uve_at(
+    bench: &dyn Benchmark,
+    vlen_bytes: usize,
+    packing: IndirectPacking,
+) -> Result<Vec<StreamTrace>, String> {
     let cfg = EmuConfig {
         vlen_bytes,
+        packing,
         ..EmuConfig::default()
     };
     let mut emu = Emulator::new(cfg, Memory::new());
@@ -212,10 +218,10 @@ fn run_uve_at(bench: &dyn Benchmark, vlen_bytes: usize) -> Result<Vec<StreamTrac
     let program = bench.program(Flavor::Uve);
     let result = emu
         .run(&program)
-        .map_err(|e| format!("{}/uve@vl{vlen_bytes}: {e}", bench.name()))?;
+        .map_err(|e| format!("{}/uve@vl{vlen_bytes}/{packing:?}: {e}", bench.name()))?;
     bench
         .check(&emu)
-        .map_err(|e| format!("{}/uve@vl{vlen_bytes}: {e}", bench.name()))?;
+        .map_err(|e| format!("{}/uve@vl{vlen_bytes}/{packing:?}: {e}", bench.name()))?;
     Ok(result.trace.streams)
 }
 
@@ -250,7 +256,11 @@ impl Engine for KernelEngine {
         }
 
         // 2 + 3. UVE stream-trace invariants and vector-length invariance.
-        let base = run_uve_at(bench.as_ref(), Flavor::Uve.vlen_bytes())?;
+        let base = run_uve_at(
+            bench.as_ref(),
+            Flavor::Uve.vlen_bytes(),
+            IndirectPacking::Packed,
+        )?;
         for s in &base {
             let lanes = Flavor::Uve.vlen_bytes() / s.width.bytes();
             for (i, c) in s.chunks.iter().enumerate() {
@@ -278,7 +288,7 @@ impl Engine for KernelEngine {
         }
         let want = summarize(&base);
         for vlen in [16usize, 32] {
-            let got = summarize(&run_uve_at(bench.as_ref(), vlen)?);
+            let got = summarize(&run_uve_at(bench.as_ref(), vlen, IndirectPacking::Packed)?);
             if got != want {
                 return Err(format!(
                     "{}: stream summary at vl{vlen} differs from vl64:\n  vl{vlen}: {got:?}\n  \
@@ -286,6 +296,23 @@ impl Engine for KernelEngine {
                     bench.name()
                 ));
             }
+        }
+
+        // 4. Packed-vs-unpacked differential: the unpacked re-run must pass
+        // the same memory check (done inside `run_uve_at`) and move the same
+        // per-stream element totals — packing only re-draws the chunk
+        // boundaries of indirect streams, it never changes what flows.
+        let unpacked = summarize(&run_uve_at(
+            bench.as_ref(),
+            Flavor::Uve.vlen_bytes(),
+            IndirectPacking::Unpacked,
+        )?);
+        if unpacked != want {
+            return Err(format!(
+                "{}: unpacked stream summary differs from packed:\n  unpacked: {unpacked:?}\n  \
+                 packed:   {want:?}",
+                bench.name()
+            ));
         }
         Ok(())
     }

@@ -21,8 +21,8 @@
 use crate::rng::FuzzRng;
 use crate::Engine;
 use uve_stream::{
-    Behaviour, ElemWidth, IndirectBehaviour, Param, Pattern, PatternError, SavedWalker,
-    SliceMemory, StreamMemory, VectorWalker, Walker, MAX_DIMS, MAX_MODIFIERS,
+    Behaviour, ElemWidth, IndirectBehaviour, IndirectPacking, Param, Pattern, PatternError,
+    SavedWalker, SliceMemory, StreamMemory, VectorWalker, Walker, MAX_DIMS, MAX_MODIFIERS,
 };
 
 /// Oracle element cap: patterns can legally describe streams far larger
@@ -566,58 +566,83 @@ impl Engine for PatternEngine {
             }
         }
 
-        // 3. Vector chunk partitioning.
-        let mut vw = VectorWalker::new(&pat, case.vl);
-        let mut pos = 0usize;
-        while let Some(c) = vw.next_chunk(&mem) {
-            if c.valid < 1 || c.valid > case.vl || c.addrs.len() != c.valid {
-                return Err(format!(
-                    "chunk at {pos}: valid {} outside 1..={} (addrs {})",
-                    c.valid,
-                    case.vl,
-                    c.addrs.len()
-                ));
-            }
-            if pos + c.valid > expect.elems.len() {
-                if expect.truncated {
-                    pos += c.valid;
-                    break; // compared the capped prefix
+        // 3. Vector chunk partitioning, in both indirect-chunking modes.
+        // Diffing each mode's flattened chunks element-by-element against
+        // the *same* oracle also proves the cross-mode invariant: packing
+        // neither reorders, drops, nor duplicates elements — it only
+        // re-draws the chunk boundaries.
+        let mut covered = [0usize; 2];
+        for (mode_idx, packing) in [IndirectPacking::Packed, IndirectPacking::Unpacked]
+            .into_iter()
+            .enumerate()
+        {
+            let mut vw = VectorWalker::with_packing(&pat, case.vl, packing);
+            let packs = vw.packs();
+            let mut pos = 0usize;
+            while let Some(c) = vw.next_chunk(&mem) {
+                if c.valid < 1 || c.valid > case.vl || c.addrs.len() != c.valid {
+                    return Err(format!(
+                        "[{packing:?}] chunk at {pos}: valid {} outside 1..={} (addrs {})",
+                        c.valid,
+                        case.vl,
+                        c.addrs.len()
+                    ));
                 }
+                if pos + c.valid > expect.elems.len() {
+                    if expect.truncated {
+                        pos += c.valid;
+                        break; // compared the capped prefix
+                    }
+                    return Err(format!(
+                        "[{packing:?}] chunks overrun the walk: {} > {}",
+                        pos + c.valid,
+                        expect.elems.len()
+                    ));
+                }
+                for (off, &a) in c.addrs.iter().enumerate() {
+                    let (want, bits) = expect.elems[pos + off];
+                    if a != want {
+                        return Err(format!(
+                            "[{packing:?}] chunk element {}: addr {a:#x} vs oracle {want:#x}",
+                            pos + off
+                        ));
+                    }
+                    // A chunk may only keep filling past an element whose
+                    // boundary state does not close it: any dimension-0 end
+                    // under the strict rule, outer-dimension/stream ends
+                    // when this stream packs.
+                    let closing = if packs { bits & !1 != 0 } else { bits & 1 != 0 };
+                    if off + 1 < c.valid && closing {
+                        return Err(format!(
+                            "[{packing:?}] chunk crosses a closing boundary at element {} \
+                             (ends {bits:#06x})",
+                            pos + off
+                        ));
+                    }
+                }
+                let last_bits = expect.elems[pos + c.valid - 1].1;
+                if c.ends.bits() != last_bits {
+                    return Err(format!(
+                        "[{packing:?}] chunk ends {:#06x} vs oracle flags {last_bits:#06x} \
+                         at element {}",
+                        c.ends.bits(),
+                        pos + c.valid - 1
+                    ));
+                }
+                pos += c.valid;
+            }
+            if !expect.truncated && pos != expect.elems.len() {
                 return Err(format!(
-                    "chunks overrun the walk: {} > {}",
-                    pos + c.valid,
+                    "[{packing:?}] chunks cover {pos} of {} elements",
                     expect.elems.len()
                 ));
             }
-            for (off, &a) in c.addrs.iter().enumerate() {
-                let (want, bits) = expect.elems[pos + off];
-                if a != want {
-                    return Err(format!(
-                        "chunk element {}: addr {a:#x} vs oracle {want:#x}",
-                        pos + off
-                    ));
-                }
-                if off + 1 < c.valid && bits & 1 != 0 {
-                    return Err(format!(
-                        "chunk crosses a dimension-0 boundary at element {}",
-                        pos + off
-                    ));
-                }
-            }
-            let last_bits = expect.elems[pos + c.valid - 1].1;
-            if c.ends.bits() != last_bits {
-                return Err(format!(
-                    "chunk ends {:#06x} vs oracle flags {last_bits:#06x} at element {}",
-                    c.ends.bits(),
-                    pos + c.valid - 1
-                ));
-            }
-            pos += c.valid;
+            covered[mode_idx] = pos;
         }
-        if !expect.truncated && pos != expect.elems.len() {
+        if !expect.truncated && covered[0] != covered[1] {
             return Err(format!(
-                "chunks cover {pos} of {} elements",
-                expect.elems.len()
+                "packing modes cover different element totals: packed {} vs unpacked {}",
+                covered[0], covered[1]
             ));
         }
 

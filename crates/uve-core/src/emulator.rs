@@ -25,6 +25,9 @@ pub struct EmuConfig {
     /// Default memory level for streams (Fig. 11 knob; `so.cfg.mem`
     /// overrides per register).
     pub stream_level: uve_isa::MemLevel,
+    /// Chunking mode for indirectly modified streams: packed to full vector
+    /// width (default) or closed at every dimension-0 boundary.
+    pub packing: uve_stream::IndirectPacking,
 }
 
 impl Default for EmuConfig {
@@ -34,6 +37,7 @@ impl Default for EmuConfig {
             max_steps: 200_000_000,
             record_trace: true,
             stream_level: uve_isa::MemLevel::L2,
+            packing: uve_stream::IndirectPacking::default(),
         }
     }
 }
@@ -247,7 +251,7 @@ impl Emulator {
             f: [0.0; 32],
             v,
             p,
-            streams: StreamUnit::with_default_level(cfg.stream_level),
+            streams: StreamUnit::with_config(cfg.stream_level, cfg.packing),
             vl_bytes: cfg.vlen_bytes,
             fault_plan: None,
             faults_taken: 0,

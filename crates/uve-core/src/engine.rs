@@ -340,7 +340,12 @@ impl EngineSim {
             self.stats.active_cycles += 1;
         }
         for (_, inst) in eligible {
-            let s = self.streams.get_mut(&inst).expect("selected stream exists");
+            // `eligible` was drawn from `self.streams` above; a missing
+            // entry would be a scheduler bug, degraded to a skipped slot
+            // rather than a panic.
+            let Some(s) = self.streams.get_mut(&inst) else {
+                continue;
+            };
             let chunks: &[ChunkMeta] = &streams[inst as usize].chunks;
             let chunk = &chunks[s.next_chunk];
             if s.line_idx == 0 && !s.penalty_charged && chunk.dim_switches > 0 {
@@ -432,7 +437,9 @@ impl EngineSim {
             }
             s.line_idx += 1;
             if s.line_idx == chunk.lines.len() {
-                if std::env::var("UVE_ENGINE_TRACE").is_ok() && (s.next_chunk % 512 < 4) {
+                static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+                let trace_on = *TRACE.get_or_init(|| std::env::var("UVE_ENGINE_TRACE").is_ok());
+                if trace_on && (s.next_chunk % 512 < 4) {
                     eprintln!(
                         "engine: inst={inst} chunk={} fetched_at={now} ready={} committed={}",
                         s.next_chunk,

@@ -63,3 +63,5 @@ pub use emulator::{EmuConfig, EmuError, Emulator, RunCursor, RunResult, StreamFa
 pub use stream_unit::{ActiveStream, Consumed, StreamError, StreamUnit};
 pub use trace::{BranchOutcome, ChunkMeta, StreamInstance, StreamTrace, Trace, TraceOp};
 pub use value::{PredVal, Scalar, VecVal, MAX_LANES};
+
+pub use uve_stream::IndirectPacking;

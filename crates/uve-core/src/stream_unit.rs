@@ -11,8 +11,8 @@ use std::fmt;
 use uve_isa::{Dir, ElemWidth, MemLevel, VReg};
 use uve_mem::{Memory, LINE_BYTES, PAGE_SIZE};
 use uve_stream::{
-    Behaviour, EndFlags, IndirectBehaviour, Param, Pattern, PatternError, SavedWalker,
-    StreamMemory, Walker, MAX_DIMS, MAX_MODIFIERS,
+    Behaviour, EndFlags, IndirectBehaviour, IndirectPacking, Param, Pattern, PatternError,
+    SavedWalker, StreamMemory, Walker, MAX_DIMS, MAX_MODIFIERS,
 };
 
 /// Errors raised by stream operations.
@@ -34,6 +34,10 @@ pub enum StreamError {
     /// An indirect configuration referenced a register without a configured
     /// origin stream.
     NoOrigin(u8),
+    /// An internal invariant of the stream unit failed — a model bug,
+    /// reported as an error instead of a panic so sweeps and fuzzers can
+    /// isolate the offending input.
+    Internal(&'static str),
     /// The assembled pattern violated a hardware limit.
     Pattern(PatternError),
     /// A stream element touched a faulting page (Sec. II-C/V: the fault is
@@ -59,6 +63,9 @@ impl fmt::Display for StreamError {
             StreamError::Exhausted(u) => write!(f, "u{u}: stream exhausted"),
             StreamError::Suspended(u) => write!(f, "u{u}: stream suspended"),
             StreamError::NoOrigin(u) => write!(f, "u{u}: indirect origin not configured"),
+            StreamError::Internal(what) => {
+                write!(f, "internal stream-unit invariant violated: {what}")
+            }
             StreamError::Pattern(e) => write!(f, "invalid stream pattern: {e}"),
             StreamError::PageFault { u, page } => {
                 write!(f, "u{u}: stream element faulted on page {page:#x}")
@@ -173,6 +180,8 @@ pub struct StreamUnit {
     last_done: Vec<bool>,
     /// Whether a stream was ever configured on the register.
     seen: Vec<bool>,
+    /// Chunking mode for indirectly modified streams (packed by default).
+    packing: IndirectPacking,
 }
 
 impl StreamUnit {
@@ -185,6 +194,12 @@ impl StreamUnit {
     /// level (the Fig. 11 sensitivity knob; `so.cfg.mem` still overrides
     /// per register).
     pub fn with_default_level(level: MemLevel) -> Self {
+        Self::with_config(level, IndirectPacking::default())
+    }
+
+    /// Creates an empty unit with an explicit default memory level and
+    /// [`IndirectPacking`] mode for indirectly modified streams.
+    pub fn with_config(level: MemLevel, packing: IndirectPacking) -> Self {
         Self {
             slots: vec![None; 32],
             pending: (0..32).map(|_| None).collect(),
@@ -192,7 +207,13 @@ impl StreamUnit {
             last_flags: vec![EndFlags::NONE; 32],
             last_done: vec![false; 32],
             seen: vec![false; 32],
+            packing,
         }
+    }
+
+    /// The configured chunking mode for indirect streams.
+    pub fn packing(&self) -> IndirectPacking {
+        self.packing
     }
 
     /// The active stream on `u`, if any.
@@ -308,7 +329,7 @@ impl StreamUnit {
             .ok_or(StreamError::NoPendingConfig(u.num()))?;
         cfg.dims
             .last_mut()
-            .expect("pending config always has a dim")
+            .ok_or(StreamError::Internal("pending config has no dimensions"))?
             .statics
             .push((target, behaviour, disp, count));
         cfg.cfg_insts += 1;
@@ -364,7 +385,7 @@ impl StreamUnit {
             // Attach to the most recently configured dimension.
             cfg.dims
                 .last_mut()
-                .expect("pending config always has a dim")
+                .ok_or(StreamError::Internal("pending config has no dimensions"))?
                 .indirects
                 .push((target, behaviour, origin_pattern));
         }
@@ -422,8 +443,11 @@ impl StreamUnit {
         Ok(instance)
     }
 
-    /// Consumes one chunk (≤ `vlen_bytes / width` elements, never crossing a
-    /// dimension-0 boundary) from the input stream on `u`.
+    /// Consumes one chunk (≤ `vlen_bytes / width` elements) from the input
+    /// stream on `u`. Affine chunks never cross a dimension-0 boundary;
+    /// indirectly modified streams pack across dimension-0 boundaries when
+    /// the unit is configured [`IndirectPacking::Packed`] (the default),
+    /// closing only at outer-dimension or stream boundaries.
     ///
     /// # Errors
     ///
@@ -460,6 +484,7 @@ impl StreamUnit {
         trace: &mut Trace,
         mut fault: Option<&mut dyn FnMut(u64) -> bool>,
     ) -> Result<Consumed, StreamError> {
+        let packing = self.packing;
         let s = self.slots[u.index()]
             .as_mut()
             .ok_or(StreamError::NotConfigured(u.num()))?;
@@ -469,6 +494,7 @@ impl StreamUnit {
         if s.suspended {
             return Err(StreamError::Suspended(u.num()));
         }
+        let pack = packing == IndirectPacking::Packed && s.pattern.is_indirect();
         // Precise-fault rollback point: committed iteration state at entry.
         let entry = fault
             .as_ref()
@@ -492,7 +518,9 @@ impl StreamUnit {
             };
             if let Some(probe) = fault.as_mut() {
                 if let Some(page) = faulting_page(probe, e.addr, wbytes) {
-                    let (saved, flags) = entry.as_ref().expect("entry captured with probe");
+                    let Some((saved, flags)) = entry.as_ref() else {
+                        return Err(StreamError::Internal("fault probe without entry snapshot"));
+                    };
                     saved.restore(&mut s.walker, mem);
                     s.flags = *flags;
                     return Err(StreamError::PageFault { u: u.num(), page });
@@ -510,7 +538,12 @@ impl StreamUnit {
             switches += e.ends.carry_depth();
             s.flags = e.ends;
             n += 1;
-            if e.ends.ends_dim(0) || e.ends.ends_stream() {
+            let close = if pack {
+                e.ends.ends_outer()
+            } else {
+                e.ends.ends_dim(0) || e.ends.ends_stream()
+            };
+            if close {
                 break;
             }
         }
@@ -600,7 +633,9 @@ impl StreamUnit {
             };
             if let Some(probe) = fault.as_mut() {
                 if let Some(page) = faulting_page(probe, e.addr, wbytes) {
-                    let (saved, flags) = entry.as_ref().expect("entry captured with probe");
+                    let Some((saved, flags)) = entry.as_ref() else {
+                        return Err(StreamError::Internal("fault probe without entry snapshot"));
+                    };
                     saved.restore(&mut s.walker, mem);
                     s.flags = *flags;
                     return Err(StreamError::PageFault { u: u.num(), page });

@@ -236,7 +236,8 @@ impl CorePipeline {
         let n = trace.ops.len();
         let engine = EngineSim::new(cfg.engine);
         let predictor = Bimodal::new(cfg.predictor_entries);
-        let dbg = std::env::var("UVE_CPU_TRACE").is_ok();
+        static DBG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let dbg = *DBG.get_or_init(|| std::env::var("UVE_CPU_TRACE").is_ok());
         let ring = cfg.rob_entries.max(1);
         let free_regs = cfg.free_regs();
         Self {

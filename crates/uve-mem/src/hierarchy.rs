@@ -311,7 +311,8 @@ impl MemSystem {
     /// them creates in-flight interception chains that only slow the stream
     /// down.
     fn l2_read(&mut self, line: u64, now: u64, allocate: bool, train: bool) -> ReadOutcome {
-        let dbg = std::env::var("UVE_MEM_TRACE").is_ok();
+        static DBG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let dbg = *DBG.get_or_init(|| std::env::var("UVE_MEM_TRACE").is_ok());
         let start = self.l2_port(now);
         let out = match self.l2.access(line, false, start) {
             Access::Hit { ready } => {

@@ -14,9 +14,11 @@
 //!   [`PatternBuilder`]),
 //! - [`Walker`]: an iterator over the exact byte addresses of a pattern,
 //!   reporting end-of-dimension boundaries,
-//! - [`VectorWalker`]: groups elements into vector-register-sized chunks that
-//!   never cross an innermost-dimension boundary (the paper's automatic
-//!   padding rule),
+//! - [`VectorWalker`]: groups elements into vector-register-sized chunks.
+//!   Affine chunks never cross an innermost-dimension boundary (the paper's
+//!   automatic padding rule); indirectly modified streams pack gathered
+//!   elements to full vector width by default, tunable via
+//!   [`IndirectPacking`],
 //! - [`StreamMemory`]: the minimal memory interface needed to resolve
 //!   indirect (data-dependent) patterns.
 //!
@@ -54,7 +56,7 @@ pub use pattern::{
     PatternError, StaticMod, MAX_DIMS, MAX_MODIFIERS,
 };
 pub use state::{SavedWalker, StateSizeReport};
-pub use walker::{Elem, EndFlags, VecChunk, VectorWalker, Walker, WalkerIter};
+pub use walker::{Elem, EndFlags, IndirectPacking, VecChunk, VectorWalker, Walker, WalkerIter};
 
 /// Minimal read-only memory interface used to resolve indirect modifiers.
 ///

@@ -53,6 +53,39 @@ impl EndFlags {
     pub fn carry_depth(self) -> u32 {
         (self.0 & !Self::STREAM).count_ones()
     }
+
+    /// `true` if the element ends a run of any dimension *above* the
+    /// innermost, or the whole stream — the boundaries at which a *packed*
+    /// indirect chunk must still close (see [`IndirectPacking`]).
+    pub fn ends_outer(self) -> bool {
+        self.0 & !1 != 0
+    }
+}
+
+/// How gathered elements of an *indirectly modified* stream are grouped
+/// into vector chunks.
+///
+/// An indirect modifier fires once per iteration of its binding dimension,
+/// so the innermost dimension of a gather is typically size-1: under the
+/// strict dimension-0 padding rule every chunk would carry a single valid
+/// lane, serializing the consuming core to one element per instruction
+/// chain. The paper's Streaming Engine evidently packs gathered elements
+/// densely, so `Packed` is the default; `Unpacked` keeps the strict rule
+/// for A/B comparison.
+///
+/// Packing only relaxes *dimension-0* boundaries: a packed chunk still
+/// closes at the end of any outer dimension (so the `so.b.dimN.end`
+/// branches, N ≥ 1, observe the same boundaries) and at the end of the
+/// stream. Affine (non-indirect) streams chunk identically in both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum IndirectPacking {
+    /// Pack gathered elements to full vector width across
+    /// innermost-dimension boundaries (paper-faithful dense gather).
+    #[default]
+    Packed,
+    /// Close every chunk at a dimension-0 boundary, even for indirect
+    /// streams (the pre-packing strict padding rule).
+    Unpacked,
 }
 
 /// One generated stream element: a byte address plus boundary flags.
@@ -394,9 +427,13 @@ impl<M: StreamMemory> Iterator for WalkerIter<'_, M> {
 
 /// A vector-register-sized group of stream elements.
 ///
-/// Chunks never cross an innermost-dimension boundary: when a dimension-0 run
-/// ends before the vector fills, the remaining lanes are invalid (the paper's
-/// automatic padding, feature F5). `valid` is therefore in `1..=vl`.
+/// For affine streams (and indirect streams under
+/// [`IndirectPacking::Unpacked`]) chunks never cross an innermost-dimension
+/// boundary: when a dimension-0 run ends before the vector fills, the
+/// remaining lanes are invalid (the paper's automatic padding, feature F5).
+/// Under [`IndirectPacking::Packed`] an indirect stream packs across
+/// dimension-0 boundaries and only closes a chunk at an outer-dimension or
+/// stream boundary. `valid` is in `1..=vl` either way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VecChunk {
     /// Byte addresses of the valid elements, in lane order.
@@ -418,12 +455,16 @@ impl VecChunk {
     /// to the same line are merged, mirroring the Streaming Engine's request
     /// coalescing.
     pub fn lines(&self, width_bytes: u64, line_bytes: u64) -> Vec<u64> {
+        // Chunks are at most a few dozen lanes, but packed gathers can
+        // scatter every lane to a distinct line; a seen-set keeps the dedup
+        // linear while preserving first-access order.
+        let mut seen = std::collections::HashSet::new();
         let mut lines: Vec<u64> = Vec::new();
         for &a in &self.addrs {
             let first = a / line_bytes;
             let last = (a + width_bytes - 1) / line_bytes;
             for l in first..=last {
-                if !lines.contains(&l) {
+                if seen.insert(l) {
                     lines.push(l);
                 }
             }
@@ -438,25 +479,45 @@ impl VecChunk {
 pub struct VectorWalker {
     walker: Walker,
     vl: usize,
+    /// `true` when this stream packs across dimension-0 boundaries
+    /// (packed mode requested *and* the pattern is indirect).
+    pack: bool,
 }
 
 impl VectorWalker {
-    /// Creates a vector walker producing chunks of at most `vl` elements.
+    /// Creates a vector walker producing chunks of at most `vl` elements,
+    /// at the default (packed) indirect chunking.
     ///
     /// # Panics
     ///
     /// Panics if `vl == 0`.
     pub fn new(pattern: &Pattern, vl: usize) -> Self {
+        Self::with_packing(pattern, vl, IndirectPacking::default())
+    }
+
+    /// Creates a vector walker with an explicit [`IndirectPacking`] mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl == 0`.
+    pub fn with_packing(pattern: &Pattern, vl: usize, packing: IndirectPacking) -> Self {
         assert!(vl > 0, "vector length must be positive");
         Self {
             walker: Walker::new(pattern),
             vl,
+            pack: packing == IndirectPacking::Packed && pattern.is_indirect(),
         }
     }
 
     /// The maximum lanes per chunk.
     pub fn vl(&self) -> usize {
         self.vl
+    }
+
+    /// `true` when chunks of this stream pack across dimension-0
+    /// boundaries (packed mode on an indirect pattern).
+    pub fn packs(&self) -> bool {
+        self.pack
     }
 
     /// `true` once the pattern is exhausted.
@@ -484,7 +545,12 @@ impl VectorWalker {
             addrs.push(e.addr);
             ends = e.ends;
             dim_switches += e.ends.carry_depth();
-            if e.ends.ends_dim(0) || e.ends.ends_stream() {
+            let close = if self.pack {
+                e.ends.ends_outer()
+            } else {
+                e.ends.ends_dim(0) || e.ends.ends_stream()
+            };
+            if close {
                 break;
             }
         }
@@ -655,6 +721,100 @@ mod tests {
         assert_eq!(c4.valid, 1);
         assert!(c4.ends.ends_stream());
         assert!(vw.next_chunk(&NoMemory).is_none());
+    }
+
+    /// A 2-level MAMR-Ind-shaped gather: rows of `n` single-element
+    /// indirect accesses (dim0 size 1, indirect on dim1, dim2 rows).
+    fn row_gather(n: u64) -> (Pattern, SliceMemory) {
+        let indices: Vec<i64> = (0..n * n).map(|i| ((i * 7) % (n * n)) as i64).collect();
+        let mem = SliceMemory::new(indices);
+        let origin = Pattern::linear(0, ElemWidth::Word, n * n).unwrap();
+        let p = Pattern::builder(0x1_0000, ElemWidth::Word)
+            .dim(0, 1, 0)
+            .dim(0, n, 0)
+            .indirect_mod(Param::Offset, IndirectBehaviour::SetAdd, origin)
+            .dim(0, n, 0)
+            .build()
+            .unwrap();
+        (p, mem)
+    }
+
+    #[test]
+    fn packed_gather_fills_vectors_within_rows() {
+        let (p, mem) = row_gather(40); // rows of 40 single-lane accesses
+        let unpacked: Vec<VecChunk> = {
+            let mut vw = VectorWalker::with_packing(&p, 16, IndirectPacking::Unpacked);
+            std::iter::from_fn(|| vw.next_chunk(&mem)).collect()
+        };
+        let packed: Vec<VecChunk> = {
+            let mut vw = VectorWalker::with_packing(&p, 16, IndirectPacking::Packed);
+            std::iter::from_fn(|| vw.next_chunk(&mem)).collect()
+        };
+        // Strict rule: one lane per chunk. Packed: rows of 40 → 16+16+8.
+        assert_eq!(unpacked.len(), 40 * 40);
+        assert!(unpacked.iter().all(|c| c.valid == 1));
+        assert_eq!(packed.len(), 3 * 40);
+        let valids: Vec<usize> = packed.iter().take(3).map(|c| c.valid).collect();
+        assert_eq!(valids, vec![16, 16, 8]);
+        // Same element sequence in the same order.
+        let flat_u: Vec<u64> = unpacked.iter().flat_map(|c| c.addrs.clone()).collect();
+        let flat_p: Vec<u64> = packed.iter().flat_map(|c| c.addrs.clone()).collect();
+        assert_eq!(flat_u, flat_p);
+        // Dim-switch cycles are conserved across modes (per-element carry
+        // accumulation is mode-independent).
+        let sw_u: u32 = unpacked.iter().map(|c| c.dim_switches).sum();
+        let sw_p: u32 = packed.iter().map(|c| c.dim_switches).sum();
+        assert_eq!(sw_u, sw_p);
+        // Packed chunks still close at row (dim-1) boundaries, so the
+        // `so.b.dim1.end` branch observes them: every third chunk ends a
+        // row, no mid-row chunk does.
+        for (i, c) in packed.iter().enumerate() {
+            assert_eq!(c.ends.ends_dim(1), i % 3 == 2, "chunk {i}");
+        }
+        assert!(packed.last().unwrap().ends.ends_stream());
+    }
+
+    #[test]
+    fn packed_single_descriptor_gather_packs_whole_stream() {
+        // Fig. 3.B5 form: the virtual outer dimension is the gather length,
+        // so intermediate elements only set bit 0 and the whole gather
+        // packs to ⌈n/vl⌉ chunks.
+        let a = SliceMemory::new((0..10).map(|i| (9 - i) as i64).collect());
+        let origin = Pattern::linear(0, ElemWidth::Word, 10).unwrap();
+        let p = Pattern::builder(0x100, ElemWidth::Word)
+            .dim(0, 1, 0)
+            .indirect_outer(Param::Offset, IndirectBehaviour::SetAdd, origin, 10)
+            .build()
+            .unwrap();
+        let mut vw = VectorWalker::new(&p, 4); // packed is the default
+        assert!(vw.packs());
+        let c1 = vw.next_chunk(&a).unwrap();
+        assert_eq!(c1.valid, 4);
+        assert!(!c1.ends.ends_stream());
+        let c2 = vw.next_chunk(&a).unwrap();
+        let c3 = vw.next_chunk(&a).unwrap();
+        assert_eq!((c2.valid, c3.valid), (4, 2));
+        assert!(c3.ends.ends_stream());
+        assert!(vw.next_chunk(&a).is_none());
+    }
+
+    #[test]
+    fn packing_mode_is_inert_for_affine_patterns() {
+        let p = Pattern::builder(0, ElemWidth::Word)
+            .dim(0, 5, 1)
+            .dim(0, 2, 5)
+            .build()
+            .unwrap();
+        let mut a = VectorWalker::with_packing(&p, 4, IndirectPacking::Packed);
+        let mut b = VectorWalker::with_packing(&p, 4, IndirectPacking::Unpacked);
+        assert!(!a.packs());
+        loop {
+            let (ca, cb) = (a.next_chunk(&NoMemory), b.next_chunk(&NoMemory));
+            assert_eq!(ca, cb);
+            if ca.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

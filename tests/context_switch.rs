@@ -399,6 +399,164 @@ fn stream_fault_inside_indirect_gather_recovers_bit_identically() {
 }
 
 #[test]
+fn save_restore_at_mid_packed_chunk_cuts() {
+    // Packed indirect chunking: chunks of an indirectly modified stream
+    // span dimension-0 boundaries, so a context switch can land inside a
+    // packed chunk that no strict (unpacked) walk would ever have open.
+    // Cut a 3-row x 40-element gather inside, at, and across packed-chunk
+    // and row boundaries; the restored walker must re-chunk the tail
+    // packed and bit-identical to the uncut walk.
+    use uve::stream::{
+        ElemWidth, IndirectBehaviour, IndirectPacking, Param, Pattern, SliceMemory, VectorWalker,
+        Walker,
+    };
+    const VL: usize = 16;
+    let total = 120u64; // 3 rows of 40 gathered elements
+    let indices: Vec<i64> = (0..total).map(|i| ((i * 7) % total) as i64).collect();
+    let mem = SliceMemory::new(indices);
+    let origin = Pattern::linear(0, ElemWidth::Word, total).unwrap();
+    let p = Pattern::builder(0x1_0000, ElemWidth::Word)
+        .dim(0, 1, 0)
+        .dim(0, 40, 0)
+        .indirect_mod(Param::Offset, IndirectBehaviour::SetAdd, origin)
+        .dim(0, 3, 0)
+        .build()
+        .unwrap();
+    let full: Vec<u64> = Walker::new(&p).iter(&mem).map(|e| e.addr).collect();
+    assert_eq!(full.len(), total as usize);
+    // Rows of 40 pack as 16+16+8: cuts 5/17/23/53/113 land mid-packed-
+    // chunk, 16 on a packed-chunk boundary mid-row, 40 on a row boundary.
+    for cut in [5usize, 16, 17, 23, 39, 40, 53, 113] {
+        let mut w = Walker::new(&p);
+        for _ in 0..cut {
+            w.next_elem(&mem);
+        }
+        let saved = SavedWalker::capture(&w);
+        let mut vw = VectorWalker::with_packing(&p, VL, IndirectPacking::Packed);
+        assert!(vw.packs());
+        saved.restore(vw.walker_mut(), &mem);
+        let mut rechunked = Vec::new();
+        let mut widths = Vec::new();
+        while let Some(c) = vw.next_chunk(&mem) {
+            widths.push(c.valid);
+            rechunked.extend_from_slice(&c.addrs);
+        }
+        assert_eq!(rechunked, full[cut..].to_vec(), "cut {cut}");
+        // The resumed walk still packs: the first chunk fills to VL unless
+        // the current row runs out first.
+        let to_row_end = 40 - cut % 40;
+        assert_eq!(widths[0], to_row_end.min(VL), "cut {cut}");
+    }
+}
+
+#[test]
+fn stream_fault_recovery_is_packing_invariant() {
+    // The precise-fault protocol must not depend on the chunking mode:
+    // fault at every element position of an indirect gather under both
+    // packing modes and compare the recovered element sequences. Packed
+    // mode lands every fault mid-packed-chunk (the 13 elements form one
+    // packed chunk); unpacked mode replays the same walk one element per
+    // chunk. Both must recover the identical value sequence.
+    use uve::core::{IndirectPacking, StreamError, Trace};
+    use uve::stream::{ElemWidth, IndirectBehaviour, Param};
+
+    let indices: [u32; 13] = [3, 0, 7, 7, 1, 12, 4, 9, 2, 11, 5, 10, 6];
+    let mut mem = Memory::new();
+    for (i, &idx) in indices.iter().enumerate() {
+        mem.write_u32(0x4000 + 4 * i as u64, idx);
+    }
+    for i in 0..16u64 {
+        mem.write_f32(0x8000 + 4 * i, (100 + i) as f32);
+    }
+
+    let build = |packing: IndirectPacking, mem: &Memory, trace: &mut Trace| {
+        let mut unit = StreamUnit::with_config(Default::default(), packing);
+        unit.start(
+            VReg::new(1),
+            Dir::Load,
+            ElemWidth::Word,
+            0x4000,
+            indices.len() as u64,
+            1,
+            true,
+            trace,
+        )
+        .unwrap();
+        unit.start(
+            VReg::new(0),
+            Dir::Load,
+            ElemWidth::Word,
+            0x8000,
+            1,
+            0,
+            false,
+            trace,
+        )
+        .unwrap();
+        unit.append_indirect_mod(
+            VReg::new(0),
+            Param::Offset,
+            IndirectBehaviour::SetAdd,
+            VReg::new(1),
+            true,
+            mem,
+            trace,
+        )
+        .unwrap();
+        unit
+    };
+
+    // Runs the gather to completion, optionally forcing one precise fault
+    // on the `fault_at`-th element probe; returns the flattened values and
+    // the chunk count.
+    let run = |packing: IndirectPacking, fault_at: Option<usize>| -> (Vec<f64>, usize) {
+        let mut trace = Trace::new();
+        let mut unit = build(packing, &mem, &mut trace);
+        let mut vals = Vec::new();
+        let mut chunks = 0usize;
+        let mut probes = 0usize;
+        let mut faulted = false;
+        loop {
+            let mut probe = |_page: u64| {
+                let fire = !faulted && Some(probes) == fault_at;
+                probes += 1;
+                fire
+            };
+            match unit.consume_with(VReg::new(0), &mem, 64, &mut trace, Some(&mut probe)) {
+                Ok(c) => {
+                    chunks += 1;
+                    for l in 0..c.value.valid_count() {
+                        vals.push(c.value.float(l));
+                    }
+                }
+                Err(StreamError::PageFault { u: 0, .. }) => {
+                    assert!(!faulted, "{packing:?}: a single fault may fire once");
+                    faulted = true;
+                }
+                Err(e) => panic!("{packing:?} fault_at {fault_at:?}: {e}"),
+            }
+            if unit.get(VReg::new(0)).unwrap().at_end() {
+                break;
+            }
+        }
+        assert_eq!(faulted, fault_at.is_some(), "{packing:?} {fault_at:?}");
+        (vals, chunks)
+    };
+
+    let (want, packed_chunks) = run(IndirectPacking::Packed, None);
+    let (unpacked, unpacked_chunks) = run(IndirectPacking::Unpacked, None);
+    assert_eq!(want, unpacked, "modes must gather identical values");
+    assert_eq!(packed_chunks, 1, "13 elements pack into one chunk");
+    assert_eq!(unpacked_chunks, 13, "strict mode closes at every dim-0 end");
+    for packing in [IndirectPacking::Packed, IndirectPacking::Unpacked] {
+        for cut in 0..indices.len() {
+            let (vals, _) = run(packing, Some(cut));
+            assert_eq!(vals, want, "{packing:?} cut {cut}");
+        }
+    }
+}
+
+#[test]
 fn saved_walker_restores_across_fault_at_non_vlen_multiple_cuts() {
     // PR 4 (fault model): after a precise stream fault, the OS may context
     // switch before re-executing. Capture the stream context at the fault
