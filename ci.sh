@@ -66,6 +66,22 @@ echo "== indirect packing: both-mode conform smoke + MAMR-Ind assertion =="
 ./target/release/fig8 --panel b --quiet --json BENCH_fig8.json > /dev/null
 git diff --exit-code -- BENCH_fig8.json
 
+echo "== translated execution: throughput gate + interpreter-differential smoke =="
+# Emulated-instruction throughput over the 19-kernel suite × 4 flavors in
+# both execution modes. In-binary asserts: every point bit-identical across
+# modes, serial == --jobs, and the dispatch-bound scalar flavor >= 5x. The
+# JSON artifact's deterministic suite section (point count, committed
+# instructions, state digest) is drift-gated like BENCH_fig8.json; the
+# Minst/s numbers are machine-local reference only and do not churn the
+# file.
+./target/release/emu --quiet --json BENCH_emu.json > /dev/null
+git diff --exit-code -- BENCH_emu.json
+# 2000 dedicated exec-engine cases: random kernels/flavors/vector lengths
+# diffed between interpreter and translated mode — full traces, digests,
+# memory, sliced resume and fault rollback (the `all` run above only gives
+# the exec engine a tenth of the budget).
+./target/release/uve-conform --engine exec --seed 7 --cases 2000 --quiet
+
 echo "== observability: --explain smoke + golden trace (offline) =="
 # One figure run with stall attribution: maybe_explain() panics unless the
 # cycle-accounting conservation laws hold for every kernel in the table.

@@ -26,7 +26,12 @@
 //!   MOESI-coherent cores and time-sliced by the preemptive scheduler,
 //!   checked for the single-writer invariant, per-core/per-program cycle
 //!   conservation, scheduler liveness, run-twice determinism, and
-//!   architecturally invisible context switching.
+//!   architecturally invisible context switching;
+//! - [`exec_diff`] — the translated execution mode: random kernel
+//!   instances, flavors and vector lengths run under both
+//!   [`uve_core::ExecMode`]s and diffed for bit-identical traces,
+//!   architectural digests, memory and per-stream element totals,
+//!   including budgeted-resume slicing and fault-plan recovery.
 //!
 //! Everything is registry-free and deterministic: cases derive from
 //! `(seed, engine, case index)` via the workspace's SplitMix64
@@ -34,6 +39,7 @@
 //! reproduction, and the checked-in corpus (`corpus/regressions.txt`)
 //! replays formerly failing cases as a tier-1 test.
 
+pub mod exec_diff;
 pub mod fault_fuzz;
 pub mod isa_fuzz;
 pub mod kernel_diff;
@@ -52,7 +58,7 @@ pub trait Engine {
     type Case: Clone + std::fmt::Debug + Send;
 
     /// Engine name as used by the CLI and the corpus (`pattern`, `isa`,
-    /// `kernel`, `stats`, `fault`, `smp`).
+    /// `kernel`, `stats`, `fault`, `smp`, `exec`).
     fn name() -> &'static str;
 
     /// Generates the case owned by `rng` (must consume randomness only
@@ -231,6 +237,7 @@ pub fn replay_one(engine: &str, seed: u64, case: u64) -> Result<(), String> {
         "stats" => one::<stats_diff::StatsEngine>(seed, case),
         "fault" => one::<fault_fuzz::FaultEngine>(seed, case),
         "smp" => one::<smp_fuzz::SmpEngine>(seed, case),
+        "exec" => one::<exec_diff::ExecEngine>(seed, case),
         other => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -274,7 +281,7 @@ mod tests {
         for (engine, _, _) in &entries {
             assert!(matches!(
                 engine.as_str(),
-                "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp"
+                "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec"
             ));
         }
     }

@@ -1,7 +1,7 @@
 //! `uve-conform` — offline differential fuzzer for the UVE reproduction.
 //!
 //! ```text
-//! uve-conform [--engine pattern|isa|kernel|stats|fault|smp|all] [--seed N] [--cases N]
+//! uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|all] [--seed N] [--cases N]
 //!             [--jobs N | --serial] [--quiet]
 //! ```
 //!
@@ -15,11 +15,11 @@
 use std::process::ExitCode;
 use uve_bench::{default_jobs, RunMode};
 use uve_conform::{
-    fault_fuzz::FaultEngine, isa_fuzz::IsaEngine, kernel_diff::KernelEngine,
+    exec_diff::ExecEngine, fault_fuzz::FaultEngine, isa_fuzz::IsaEngine, kernel_diff::KernelEngine,
     pattern_fuzz::PatternEngine, smp_fuzz::SmpEngine, stats_diff::StatsEngine,
 };
 
-const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|smp|all] \
+const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|all] \
                      [--seed N] [--cases N] [--jobs N | --serial] [--quiet]";
 
 struct Opts {
@@ -76,7 +76,7 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     match opts.engine.as_str() {
-        "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "all" => Ok(opts),
+        "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec" | "all" => Ok(opts),
         other => Err(format!("unknown engine {other:?}\n{USAGE}")),
     }
 }
@@ -96,6 +96,7 @@ fn main() -> ExitCode {
     let run_stats = matches!(opts.engine.as_str(), "stats" | "all");
     let run_fault = matches!(opts.engine.as_str(), "fault" | "all");
     let run_smp = matches!(opts.engine.as_str(), "smp" | "all");
+    let run_exec = matches!(opts.engine.as_str(), "exec" | "all");
 
     let mut failed_engines = 0u8;
     let mut report = |r: uve_conform::EngineReport| {
@@ -158,6 +159,19 @@ fn main() -> ExitCode {
             opts.cases
         };
         report(uve_conform::run_engine::<SmpEngine>(
+            opts.seed, cases, opts.mode,
+        ));
+    }
+    if run_exec {
+        // Each exec case emulates the kernel four to six times (traced and
+        // untraced in both modes, plus sliced and faulted re-runs), so it
+        // gets the same reduced budget as the stats engine under `all`.
+        let cases = if opts.engine == "all" {
+            (opts.cases / 10).max(1)
+        } else {
+            opts.cases
+        };
+        report(uve_conform::run_engine::<ExecEngine>(
             opts.seed, cases, opts.mode,
         ));
     }

@@ -57,11 +57,13 @@ mod emulator;
 pub mod engine;
 mod stream_unit;
 mod trace;
+pub mod translate;
 mod value;
 
 pub use emulator::{EmuConfig, EmuError, Emulator, RunCursor, RunResult, StreamFaultPlan};
 pub use stream_unit::{ActiveStream, Consumed, StreamError, StreamUnit};
 pub use trace::{BranchOutcome, ChunkMeta, StreamInstance, StreamTrace, Trace, TraceOp};
+pub use translate::ExecMode;
 pub use value::{PredVal, Scalar, VecVal, MAX_LANES};
 
 pub use uve_stream::IndirectPacking;

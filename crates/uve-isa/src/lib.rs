@@ -44,12 +44,14 @@
 
 mod asm;
 mod encode;
+pub mod flat;
 mod inst;
 mod program;
 mod reg;
 
 pub use asm::{assemble, disassemble, disassemble_program, AsmError};
 pub use encode::{decode, encode, encode_program, DecodeError, EncodeError};
+pub use flat::{lower, FlatOp};
 pub use inst::{
     AluOp, BrCond, Dir, DupSrc, ExecClass, FpOp, FpUnOp, HorizOp, Inst, MemLevel, PredCond, PredOp,
     RegList, StreamCond, StreamCtl, VCmpOp, VOp, VType, VUnOp,

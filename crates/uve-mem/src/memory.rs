@@ -1,10 +1,48 @@
 //! Sparse paged functional memory.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use uve_stream::{ElemWidth, StreamMemory};
 
 /// Page size of the simulated virtual memory, in bytes.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Multiplicative hasher for page numbers. Page lookups sit on the hottest
+/// path of the emulator (every load/store and every stream element goes
+/// through one), where SipHash costs more than the access itself; page
+/// numbers are small dense integers, so a single odd-constant multiply
+/// (Fibonacci hashing) spreads them perfectly well. Deterministic, so map
+/// behaviour never varies between runs (iteration order is never observed:
+/// [`Memory::content_hash`] sorts pages first).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // 2^64 / phi, the classic Fibonacci-hashing constant.
+        self.0 = (self.0 ^ n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+type PageMap = HashMap<u64, Page, BuildHasherDefault<PageHasher>>;
+
+/// Page numbers below this go through the direct (vector-indexed) table;
+/// higher ones through the hash map. 1 GiB of address space — everything
+/// the bump allocator ([`Memory::alloc`]) ever hands out — resolves with a
+/// single predictable index instead of a hash probe. The direct table grows
+/// lazily to the highest page touched, so small memories stay small.
+const DIRECT_PAGES: u64 = (1 << 30) / PAGE_SIZE;
 
 /// Byte-addressable sparse memory backed by 4 KiB pages.
 ///
@@ -22,7 +60,10 @@ pub const PAGE_SIZE: u64 = 4096;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Pages below [`DIRECT_PAGES`], indexed by page number.
+    direct: Vec<Option<Page>>,
+    /// Pages at or above [`DIRECT_PAGES`].
+    far: PageMap,
     alloc_cursor: u64,
 }
 
@@ -33,14 +74,41 @@ impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
         Self {
-            pages: HashMap::new(),
+            direct: Vec::new(),
+            far: PageMap::default(),
             alloc_cursor: ALLOC_BASE,
+        }
+    }
+
+    /// The page holding `num`, if touched.
+    #[inline]
+    fn page(&self, num: u64) -> Option<&Page> {
+        if num < DIRECT_PAGES {
+            self.direct.get(num as usize)?.as_ref()
+        } else {
+            self.far.get(&num)
+        }
+    }
+
+    /// The page holding `num`, allocated on first touch.
+    #[inline]
+    fn page_mut(&mut self, num: u64) -> &mut Page {
+        if num < DIRECT_PAGES {
+            let i = num as usize;
+            if i >= self.direct.len() {
+                self.direct.resize_with(i + 1, || None);
+            }
+            self.direct[i].get_or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
+        } else {
+            self.far
+                .entry(num)
+                .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]))
         }
     }
 
     /// Number of pages touched so far.
     pub fn touched_pages(&self) -> usize {
-        self.pages.len()
+        self.direct.iter().filter(|p| p.is_some()).count() + self.far.len()
     }
 
     /// Bump-allocates `bytes` bytes aligned to `align` (a power of two) and
@@ -57,37 +125,55 @@ impl Memory {
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr / PAGE_SIZE)) {
+        match self.page(addr / PAGE_SIZE) {
             Some(p) => p[(addr % PAGE_SIZE) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) {
-        let page = self
-            .pages
-            .entry(addr / PAGE_SIZE)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
-        page[(addr % PAGE_SIZE) as usize] = v;
+        self.page_mut(addr / PAGE_SIZE)[(addr % PAGE_SIZE) as usize] = v;
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
+    #[inline]
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + buf.len() <= PAGE_SIZE as usize {
+            // Single-page access: one page lookup for the whole value. This
+            // is the overwhelmingly common case and the hot path of every
+            // emulated load.
+            match self.page(addr / PAGE_SIZE) {
+                Some(p) => buf.copy_from_slice(&p[off..off + buf.len()]),
+                None => buf.fill(0),
+            }
+            return;
+        }
         for (i, b) in buf.iter_mut().enumerate() {
             *b = self.read_u8(addr + i as u64);
         }
     }
 
     /// Writes `buf` starting at `addr`.
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + buf.len() <= PAGE_SIZE as usize {
+            let page = self.page_mut(addr / PAGE_SIZE);
+            page[off..off + buf.len()].copy_from_slice(buf);
+            return;
+        }
         for (i, b) in buf.iter().enumerate() {
             self.write_u8(addr + i as u64, *b);
         }
     }
 
     /// Reads a little-endian `u16`.
+    #[inline]
     pub fn read_u16(&self, addr: u64) -> u16 {
         let mut b = [0; 2];
         self.read_bytes(addr, &mut b);
@@ -95,6 +181,7 @@ impl Memory {
     }
 
     /// Reads a little-endian `u32`.
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> u32 {
         let mut b = [0; 4];
         self.read_bytes(addr, &mut b);
@@ -102,6 +189,7 @@ impl Memory {
     }
 
     /// Reads a little-endian `u64`.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let mut b = [0; 8];
         self.read_bytes(addr, &mut b);
@@ -109,41 +197,49 @@ impl Memory {
     }
 
     /// Writes a little-endian `u16`.
+    #[inline]
     pub fn write_u16(&mut self, addr: u64, v: u16) {
         self.write_bytes(addr, &v.to_le_bytes());
     }
 
     /// Writes a little-endian `u32`.
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, v: u32) {
         self.write_bytes(addr, &v.to_le_bytes());
     }
 
     /// Writes a little-endian `u64`.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) {
         self.write_bytes(addr, &v.to_le_bytes());
     }
 
     /// Reads an `f32`.
+    #[inline]
     pub fn read_f32(&self, addr: u64) -> f32 {
         f32::from_bits(self.read_u32(addr))
     }
 
     /// Writes an `f32`.
+    #[inline]
     pub fn write_f32(&mut self, addr: u64, v: f32) {
         self.write_u32(addr, v.to_bits());
     }
 
     /// Reads an `f64`.
+    #[inline]
     pub fn read_f64(&self, addr: u64) -> f64 {
         f64::from_bits(self.read_u64(addr))
     }
 
     /// Writes an `f64`.
+    #[inline]
     pub fn write_f64(&mut self, addr: u64, v: f64) {
         self.write_u64(addr, v.to_bits());
     }
 
     /// Reads a sign-extended value of the given element width.
+    #[inline]
     pub fn read_elem(&self, addr: u64, width: ElemWidth) -> i64 {
         match width {
             ElemWidth::Byte => self.read_u8(addr) as i8 as i64,
@@ -154,6 +250,7 @@ impl Memory {
     }
 
     /// Writes the low `width` bytes of `v`.
+    #[inline]
     pub fn write_elem(&mut self, addr: u64, width: ElemWidth, v: i64) {
         match width {
             ElemWidth::Byte => self.write_u8(addr, v as u8),
@@ -206,14 +303,22 @@ impl Memory {
     /// memories with identical byte contents hash equal; an all-zero page
     /// hashes like an untouched one, so allocation noise doesn't matter.
     pub fn content_hash(&self) -> u64 {
-        let mut pages: Vec<(&u64, &Box<[u8; PAGE_SIZE as usize]>)> = self.pages.iter().collect();
-        pages.sort_by_key(|(n, _)| **n);
+        // Direct pages are stored in page-number order already; far pages
+        // (all numerically above them) are sorted before hashing, keeping
+        // the walk globally ordered.
+        let direct = self
+            .direct
+            .iter()
+            .enumerate()
+            .filter_map(|(n, p)| Some((n as u64, p.as_ref()?)));
+        let mut far: Vec<(u64, &Page)> = self.far.iter().map(|(n, p)| (*n, p)).collect();
+        far.sort_by_key(|(n, _)| *n);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
-        for (num, data) in pages {
+        for (num, data) in direct.chain(far) {
             if data.iter().all(|&b| b == 0) {
                 continue;
             }
-            h ^= *num;
+            h ^= num;
             h = h.wrapping_mul(0x100_0000_01b3);
             for &b in data.iter() {
                 h ^= u64::from(b);
