@@ -82,6 +82,42 @@ git diff --exit-code -- BENCH_emu.json
 # the exec engine a tenth of the budget).
 ./target/release/uve-conform --engine exec --seed 7 --cases 2000 --quiet
 
+echo "== distributed sweeps: coordinator + 2 workers vs serial, warm cache =="
+# A real coordinator process and two real worker processes over loopback
+# TCP, sweeping a small grid twice. Pass 1 must be byte-identical to the
+# in-process serial baseline; pass 2 must be served entirely from the
+# content-addressed result cache (--expect-cached exits nonzero if any
+# point was re-executed). Zero re-emulation is further asserted by
+# counters in tests/sweep_service.rs.
+./target/release/uve-sweep serve --bind 127.0.0.1:0 > target/sweep_listen.txt &
+SWEEP_PIDS=($!)
+trap 'kill "${SWEEP_PIDS[@]}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q '^LISTEN ' target/sweep_listen.txt 2>/dev/null && break
+    sleep 0.1
+done
+SWEEP_ADDR=$(awk '/^LISTEN /{print $2; exit}' target/sweep_listen.txt)
+./target/release/uve-sweep worker --connect "$SWEEP_ADDR" --name ci-w0 &
+SWEEP_PIDS+=($!)
+./target/release/uve-sweep worker --connect "$SWEEP_ADDR" --name ci-w1 &
+SWEEP_PIDS+=($!)
+SWEEP_GRID=(--small --kernels memcpy,saxpy,gemm --flavors uve,scalar)
+./target/release/uve-sweep serial "${SWEEP_GRID[@]}" > target/sweep_serial.txt
+./target/release/uve-sweep run --connect "$SWEEP_ADDR" --quiet \
+    "${SWEEP_GRID[@]}" > target/sweep_dist.txt
+diff -u target/sweep_serial.txt target/sweep_dist.txt
+./target/release/uve-sweep run --connect "$SWEEP_ADDR" --quiet --expect-cached \
+    "${SWEEP_GRID[@]}" > target/sweep_warm.txt
+diff -u target/sweep_serial.txt target/sweep_warm.txt
+./target/release/uve-sweep shutdown --connect "$SWEEP_ADDR"
+wait "${SWEEP_PIDS[@]}"
+trap - EXIT
+# 500 dedicated sweep-engine cases: wire-codec fixpoint round trips,
+# hostile decodes (truncation, bit flips, garbage) never panic, and
+# shuffled-completion-order merges stay bit-identical (the `all` run
+# above only gives the sweep engine a sliver of the budget).
+./target/release/uve-conform --engine sweep --seed 7 --cases 500 --quiet
+
 echo "== observability: --explain smoke + golden trace (offline) =="
 # One figure run with stall attribution: maybe_explain() panics unless the
 # cycle-accounting conservation laws hold for every kernel in the table.

@@ -38,7 +38,11 @@ fn suite_runs(runner: &Runner) -> Vec<KernelRuns> {
     let cpu = CpuConfig::default();
     let jobs: Vec<Job> = suite
         .iter()
-        .flat_map(|bench| SUITE_FLAVORS.map(|flavor| Job::new(bench.as_ref(), flavor, cpu.clone())))
+        .flat_map(|bench| {
+            SUITE_FLAVORS.map(|flavor| {
+                Job::new(bench.as_ref(), flavor, cpu.clone()).exec(runner.exec_mode())
+            })
+        })
         .collect();
     let results = runner.run(&jobs);
     runner.maybe_explain(&results);
@@ -196,7 +200,7 @@ pub fn fig8(panel: Option<&str>, runner: &Runner) {
             .collect();
         let jobs: Vec<Job> = unrolled
             .iter()
-            .map(|b| Job::new(b, Flavor::Uve, cpu.clone()))
+            .map(|b| Job::new(b, Flavor::Uve, cpu.clone()).exec(runner.exec_mode()))
             .collect();
         let results = runner.run(&jobs);
         runner.maybe_explain(&results);
@@ -232,7 +236,7 @@ pub fn fig8_json(path: &str, runner: &Runner) {
         .iter()
         .map(|bench| Job {
             packing: IndirectPacking::Unpacked,
-            ..Job::new(bench.as_ref(), Flavor::Uve, cpu.clone())
+            ..Job::new(bench.as_ref(), Flavor::Uve, cpu.clone()).exec(runner.exec_mode())
         })
         .collect();
     let unpacked = runner.run(&unpacked_jobs);
@@ -307,7 +311,7 @@ pub fn fig9(runner: &Runner) {
                         vec_prf: pvr,
                         ..CpuConfig::default()
                     };
-                    Job::new(bench.as_ref(), flavor, cpu)
+                    Job::new(bench.as_ref(), flavor, cpu).exec(runner.exec_mode())
                 })
             })
         })
@@ -358,7 +362,7 @@ pub fn fig10(runner: &Runner) {
                     },
                     ..CpuConfig::default()
                 };
-                Job::new(bench.as_ref(), Flavor::Uve, cpu)
+                Job::new(bench.as_ref(), Flavor::Uve, cpu).exec(runner.exec_mode())
             })
         })
         .collect();
@@ -396,7 +400,7 @@ pub fn fig11(runner: &Runner) {
         .flat_map(|bench| {
             levels.map(|level| Job {
                 stream_level: level,
-                ..Job::new(bench.as_ref(), Flavor::Uve, cpu.clone())
+                ..Job::new(bench.as_ref(), Flavor::Uve, cpu.clone()).exec(runner.exec_mode())
             })
         })
         .collect();
@@ -435,7 +439,7 @@ pub fn modules(runner: &Runner) {
                     },
                     ..CpuConfig::default()
                 };
-                Job::new(bench.as_ref(), Flavor::Uve, cpu)
+                Job::new(bench.as_ref(), Flavor::Uve, cpu).exec(runner.exec_mode())
             })
         })
         .collect();

@@ -29,7 +29,10 @@ pub use chrome::{chrome_trace_json, tiny_saxpy_trace, trace_kernel};
 pub use cli::Cli;
 pub use pool::{panic_message, run_indexed, run_isolated};
 pub use report::{ReportRow, StatsReport};
-pub use runner::{default_jobs, Job, JobFailure, RunMode, Runner};
+pub use runner::{
+    default_jobs, emulate_trace_full, parse_exec_mode, replay, CachedTrace, Job, JobFailure,
+    RunMode, Runner, TraceKey, SWEEP_FAULT_RATE,
+};
 
 use uve_cpu::{CpuConfig, TimingStats};
 use uve_isa::MemLevel;

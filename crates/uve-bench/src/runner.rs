@@ -32,11 +32,16 @@ use std::time::{Duration, Instant};
 
 use crate::pool::{panic_message, pop};
 use crate::Measured;
-use uve_core::{EmuConfig, IndirectPacking, Trace};
+use uve_core::{EmuConfig, ExecMode, IndirectPacking, StreamFaultPlan, Trace};
 use uve_cpu::{CpuConfig, OoOCore};
 use uve_isa::MemLevel;
 use uve_kernels::{Benchmark, Flavor};
 use uve_mem::Memory;
+
+/// Page-fault injection rate used when a job carries a nonzero
+/// `fault_seed`: roughly one in this many first-touched stream pages
+/// faults (see [`StreamFaultPlan`]).
+pub const SWEEP_FAULT_RATE: u64 = 3;
 
 /// One unit of evaluation work: emulate (or fetch the cached trace of)
 /// `bench` in `flavor` at `stream_level`, then replay it under `cpu`.
@@ -51,11 +56,18 @@ pub struct Job<'a> {
     pub stream_level: MemLevel,
     /// Indirect-stream chunking mode (affects the functional trace).
     pub packing: IndirectPacking,
+    /// Execution strategy for the functional emulation (bit-identical
+    /// traces either way; part of the cache key regardless).
+    pub exec: ExecMode,
+    /// Stream page-fault plan seed (0 disables injection; a nonzero seed
+    /// faults ~1/[`SWEEP_FAULT_RATE`] first-touched pages and recovers
+    /// precisely, so the final state stays bit-identical).
+    pub fault_seed: u64,
 }
 
 impl<'a> Job<'a> {
-    /// A job at the paper's default L2 stream level and packed indirect
-    /// chunking.
+    /// A job at the paper's default L2 stream level, packed indirect
+    /// chunking, interpreted execution, and no fault injection.
     pub fn new(bench: &'a dyn Benchmark, flavor: Flavor, cpu: CpuConfig) -> Self {
         Self {
             bench,
@@ -63,12 +75,28 @@ impl<'a> Job<'a> {
             cpu,
             stream_level: MemLevel::L2,
             packing: IndirectPacking::default(),
+            exec: ExecMode::default(),
+            fault_seed: 0,
         }
+    }
+
+    /// The same job under the given execution mode (builder style).
+    #[must_use]
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// The trace-cache key this job resolves to.
     pub fn key(&self) -> TraceKey {
-        TraceKey::of(self.bench, self.flavor, self.stream_level, self.packing)
+        TraceKey::of_full(
+            self.bench,
+            self.flavor,
+            self.stream_level,
+            self.packing,
+            self.exec,
+            self.fault_seed,
+        )
     }
 }
 
@@ -89,16 +117,36 @@ pub struct TraceKey {
     pub stream_level: MemLevel,
     /// Indirect-stream chunking mode.
     pub packing: IndirectPacking,
+    /// Execution strategy the trace was produced under.
+    pub exec: ExecMode,
+    /// Stream fault-plan seed the trace was emulated under (0 = clean).
+    pub fault_seed: u64,
     /// Fingerprint of the flavour's program (captures kernel parameters).
     pub program: u64,
 }
 
 impl TraceKey {
-    fn of(
+    /// The key of `(bench, flavor, stream_level, packing)` under
+    /// interpreted, fault-free emulation.
+    pub fn of(
         bench: &dyn Benchmark,
         flavor: Flavor,
         stream_level: MemLevel,
         packing: IndirectPacking,
+    ) -> Self {
+        Self::of_full(bench, flavor, stream_level, packing, ExecMode::default(), 0)
+    }
+
+    /// The fully qualified key: everything the functional emulation of a
+    /// job depends on. This is the trace half of the content address the
+    /// distributed sweep cache (`uve-sweep`) keys results by.
+    pub fn of_full(
+        bench: &dyn Benchmark,
+        flavor: Flavor,
+        stream_level: MemLevel,
+        packing: IndirectPacking,
+        exec: ExecMode,
+        fault_seed: u64,
     ) -> Self {
         let mut h = std::hash::DefaultHasher::new();
         format!("{:?}", bench.program(flavor).insts()).hash(&mut h);
@@ -108,6 +156,8 @@ impl TraceKey {
             vlen: flavor.vlen_bytes(),
             stream_level,
             packing,
+            exec,
+            fault_seed,
             program: h.finish(),
         }
     }
@@ -145,13 +195,37 @@ pub fn emulate_trace_with(
     stream_level: MemLevel,
     packing: IndirectPacking,
 ) -> CachedTrace {
+    emulate_trace_full(bench, flavor, stream_level, packing, ExecMode::default(), 0)
+}
+
+/// [`emulate_trace`] with every functional knob explicit: chunking mode,
+/// execution strategy, and an optional stream fault-plan seed (0 = clean;
+/// nonzero seeds fault ~1/[`SWEEP_FAULT_RATE`] first-touched pages and
+/// recover precisely). This is the single emulation entry point of the
+/// distributed sweep worker.
+///
+/// # Panics
+///
+/// As [`emulate_trace`].
+pub fn emulate_trace_full(
+    bench: &dyn Benchmark,
+    flavor: Flavor,
+    stream_level: MemLevel,
+    packing: IndirectPacking,
+    exec: ExecMode,
+    fault_seed: u64,
+) -> CachedTrace {
     let emu_cfg = EmuConfig {
         vlen_bytes: flavor.vlen_bytes(),
         stream_level,
         packing,
+        exec,
         ..EmuConfig::default()
     };
     let mut emu = uve_core::Emulator::new(emu_cfg, Memory::new());
+    if fault_seed != 0 {
+        emu.set_fault_plan(Some(StreamFaultPlan::new(fault_seed, SWEEP_FAULT_RATE)));
+    }
     bench.setup(&mut emu);
     let program = bench.program(flavor);
     let result = emu
@@ -194,17 +268,33 @@ impl TraceCache {
         flavor: Flavor,
         stream_level: MemLevel,
         packing: IndirectPacking,
+        exec: ExecMode,
+        fault_seed: u64,
     ) -> Arc<CachedTrace> {
         let cell = {
             let mut map = self.map.lock().expect("trace cache poisoned");
             Arc::clone(
-                map.entry(TraceKey::of(bench, flavor, stream_level, packing))
-                    .or_default(),
+                map.entry(TraceKey::of_full(
+                    bench,
+                    flavor,
+                    stream_level,
+                    packing,
+                    exec,
+                    fault_seed,
+                ))
+                .or_default(),
             )
         };
         let trace = cell.get_or_init(|| {
             self.emulations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(emulate_trace_with(bench, flavor, stream_level, packing))
+            Arc::new(emulate_trace_full(
+                bench,
+                flavor,
+                stream_level,
+                packing,
+                exec,
+                fault_seed,
+            ))
         });
         Arc::clone(trace)
     }
@@ -264,6 +354,7 @@ pub struct Runner {
     mode: RunMode,
     verbose: bool,
     explain: bool,
+    exec: ExecMode,
     timeout: Option<Duration>,
     failures: Mutex<Vec<JobFailure>>,
     cache: TraceCache,
@@ -276,6 +367,7 @@ impl Runner {
             mode: RunMode::Serial,
             verbose: false,
             explain: false,
+            exec: ExecMode::default(),
             timeout: Some(DEFAULT_JOB_TIMEOUT),
             failures: Mutex::new(Vec::new()),
             cache: TraceCache::default(),
@@ -299,10 +391,12 @@ impl Runner {
     /// sequential baseline, `--jobs N` sets the worker count, `--quiet`
     /// silences per-job wall-clock reporting, `--explain` appends the
     /// cycle-attribution report to every figure, `--timeout SECS` sets the
-    /// per-job wall-clock budget (0 disables it; default 600 s). Default:
-    /// one worker per core, reporting on, no explain. Unrecognized
-    /// arguments are ignored so the figure binaries can keep their own
-    /// flags.
+    /// per-job wall-clock budget (0 disables it; default 600 s),
+    /// `--exec-mode interpret|translated` picks the functional execution
+    /// strategy (bit-identical results; translated is faster). Default:
+    /// one worker per core, reporting on, no explain, interpreted.
+    /// Unrecognized arguments are ignored so the figure binaries can keep
+    /// their own flags.
     pub fn from_args() -> Self {
         Self::from_cli(&crate::Cli::parse())
     }
@@ -317,6 +411,11 @@ impl Runner {
         };
         runner.verbose = !cli.has("--quiet");
         runner.explain = cli.has("--explain");
+        if let Some(mode) = cli.value("--exec-mode") {
+            runner.exec = parse_exec_mode(mode).unwrap_or_else(|| {
+                panic!("bad --exec-mode {mode:?}: expected interpret or translated")
+            });
+        }
         if let Some(secs) = cli.parsed::<u64>("--timeout") {
             runner.timeout = (secs > 0).then(|| Duration::from_secs(secs));
         }
@@ -333,6 +432,20 @@ impl Runner {
     pub fn explain(mut self, explain: bool) -> Self {
         self.explain = explain;
         self
+    }
+
+    /// Sets the functional execution strategy used by
+    /// [`Runner::trace`]/[`Runner::trace_with`] (builder style).
+    #[must_use]
+    pub fn exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The execution strategy this runner emulates traces under
+    /// (`--exec-mode`; figure generators stamp it onto their jobs).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Sets the per-job wall-clock budget (`None` disables timeouts).
@@ -380,8 +493,14 @@ impl Runner {
         flavor: Flavor,
         stream_level: MemLevel,
     ) -> Arc<CachedTrace> {
-        self.cache
-            .get(bench, flavor, stream_level, IndirectPacking::default())
+        self.cache.get(
+            bench,
+            flavor,
+            stream_level,
+            IndirectPacking::default(),
+            self.exec,
+            0,
+        )
     }
 
     /// [`Runner::trace`] with an explicit [`IndirectPacking`] mode, for
@@ -393,7 +512,23 @@ impl Runner {
         stream_level: MemLevel,
         packing: IndirectPacking,
     ) -> Arc<CachedTrace> {
-        self.cache.get(bench, flavor, stream_level, packing)
+        self.cache
+            .get(bench, flavor, stream_level, packing, self.exec, 0)
+    }
+
+    /// [`Runner::trace`] with every functional knob explicit — the
+    /// distributed sweep worker's cache entry point.
+    pub fn trace_full(
+        &self,
+        bench: &dyn Benchmark,
+        flavor: Flavor,
+        stream_level: MemLevel,
+        packing: IndirectPacking,
+        exec: ExecMode,
+        fault_seed: u64,
+    ) -> Arc<CachedTrace> {
+        self.cache
+            .get(bench, flavor, stream_level, packing, exec, fault_seed)
     }
 
     /// Warms the trace cache for `points` using the worker pool; later
@@ -412,8 +547,14 @@ impl Runner {
                 let (bench, flavor, level) = points[i];
                 uve_core::deadline::arm(self.timeout);
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.cache
-                        .get(bench, flavor, level, IndirectPacking::default());
+                    self.cache.get(
+                        bench,
+                        flavor,
+                        level,
+                        IndirectPacking::default(),
+                        self.exec,
+                        0,
+                    );
                 }));
                 uve_core::deadline::disarm();
                 if let Err(payload) = outcome {
@@ -498,9 +639,14 @@ impl Runner {
     fn run_one(&self, index: usize, job: &Job<'_>) -> Measured {
         uve_core::deadline::arm(self.timeout);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let cached = self
-                .cache
-                .get(job.bench, job.flavor, job.stream_level, job.packing);
+            let cached = self.cache.get(
+                job.bench,
+                job.flavor,
+                job.stream_level,
+                job.packing,
+                job.exec,
+                job.fault_seed,
+            );
             replay(job.bench.name(), job.flavor, &cached, &job.cpu)
         }));
         uve_core::deadline::disarm();
@@ -561,6 +707,15 @@ impl Runner {
 /// One worker per available core (1 if the count is unknown).
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses an `--exec-mode` value (`interpret` or `translated`).
+pub fn parse_exec_mode(s: &str) -> Option<ExecMode> {
+    match s.to_ascii_lowercase().as_str() {
+        "interpret" | "interpreter" => Some(ExecMode::Interpret),
+        "translated" | "translate" => Some(ExecMode::Translated),
+        _ => None,
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,12 @@
 //!   checked for the single-writer invariant, per-core/per-program cycle
 //!   conservation, scheduler liveness, run-twice determinism, and
 //!   architecturally invisible context switching;
+//! - [`sweep_fuzz`] — the distributed sweep service's pure core: random
+//!   protocol messages round-tripped through the hand-rolled wire codec
+//!   (encode→decode→re-encode fixpoint), truncated and corrupted frames
+//!   checked to decode gracefully, and randomized grids merged through
+//!   the coordinator's assembly in shuffled completion orders, checked
+//!   bit-identical to the in-order merge;
 //! - [`exec_diff`] — the translated execution mode: random kernel
 //!   instances, flavors and vector lengths run under both
 //!   [`uve_core::ExecMode`]s and diffed for bit-identical traces,
@@ -47,6 +53,7 @@ pub mod pattern_fuzz;
 pub mod rng;
 pub mod smp_fuzz;
 pub mod stats_diff;
+pub mod sweep_fuzz;
 
 pub use rng::FuzzRng;
 use uve_bench::{pool, RunMode};
@@ -58,7 +65,7 @@ pub trait Engine {
     type Case: Clone + std::fmt::Debug + Send;
 
     /// Engine name as used by the CLI and the corpus (`pattern`, `isa`,
-    /// `kernel`, `stats`, `fault`, `smp`, `exec`).
+    /// `kernel`, `stats`, `fault`, `smp`, `exec`, `sweep`).
     fn name() -> &'static str;
 
     /// Generates the case owned by `rng` (must consume randomness only
@@ -238,6 +245,7 @@ pub fn replay_one(engine: &str, seed: u64, case: u64) -> Result<(), String> {
         "fault" => one::<fault_fuzz::FaultEngine>(seed, case),
         "smp" => one::<smp_fuzz::SmpEngine>(seed, case),
         "exec" => one::<exec_diff::ExecEngine>(seed, case),
+        "sweep" => one::<sweep_fuzz::SweepEngine>(seed, case),
         other => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -281,7 +289,7 @@ mod tests {
         for (engine, _, _) in &entries {
             assert!(matches!(
                 engine.as_str(),
-                "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec"
+                "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec" | "sweep"
             ));
         }
     }

@@ -1,7 +1,7 @@
 //! `uve-conform` — offline differential fuzzer for the UVE reproduction.
 //!
 //! ```text
-//! uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|all] [--seed N] [--cases N]
+//! uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|sweep|all] [--seed N] [--cases N]
 //!             [--jobs N | --serial] [--quiet]
 //! ```
 //!
@@ -17,9 +17,11 @@ use uve_bench::{default_jobs, RunMode};
 use uve_conform::{
     exec_diff::ExecEngine, fault_fuzz::FaultEngine, isa_fuzz::IsaEngine, kernel_diff::KernelEngine,
     pattern_fuzz::PatternEngine, smp_fuzz::SmpEngine, stats_diff::StatsEngine,
+    sweep_fuzz::SweepEngine,
 };
 
-const USAGE: &str = "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|all] \
+const USAGE: &str =
+    "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|sweep|all] \
                      [--seed N] [--cases N] [--jobs N | --serial] [--quiet]";
 
 struct Opts {
@@ -76,7 +78,9 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     match opts.engine.as_str() {
-        "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec" | "all" => Ok(opts),
+        "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec" | "sweep" | "all" => {
+            Ok(opts)
+        }
         other => Err(format!("unknown engine {other:?}\n{USAGE}")),
     }
 }
@@ -97,6 +101,7 @@ fn main() -> ExitCode {
     let run_fault = matches!(opts.engine.as_str(), "fault" | "all");
     let run_smp = matches!(opts.engine.as_str(), "smp" | "all");
     let run_exec = matches!(opts.engine.as_str(), "exec" | "all");
+    let run_sweep = matches!(opts.engine.as_str(), "sweep" | "all");
 
     let mut failed_engines = 0u8;
     let mut report = |r: uve_conform::EngineReport| {
@@ -173,6 +178,13 @@ fn main() -> ExitCode {
         };
         report(uve_conform::run_engine::<ExecEngine>(
             opts.seed, cases, opts.mode,
+        ));
+    }
+    if run_sweep {
+        // Sweep cases are pure codec and merge work (no emulation), so
+        // they run at the full case budget even under `all`.
+        report(uve_conform::run_engine::<SweepEngine>(
+            opts.seed, opts.cases, opts.mode,
         ));
     }
 

@@ -21,7 +21,7 @@ use std::hash::{Hash, Hasher};
 use uve_isa::{flat, FlatOp, Inst, Program};
 
 /// Execution strategy for the emulator ([`EmuConfig::exec`](crate::EmuConfig)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecMode {
     /// Decode-dispatch interpretation of one instruction at a time — the
     /// reference semantics (and the oracle the `exec` conformance engine

@@ -1,0 +1,102 @@
+//! The coordinator's content-addressed result cache.
+//!
+//! Keyed by [`job_key`](crate::spec::job_key) — the digest of everything a
+//! job's result depends on — so a hit can be replayed into any sweep that
+//! asks for the same point, across clients and across time. The cache is
+//! in-memory by design: job keys fold in `DefaultHasher` program
+//! fingerprints, which are stable within one build of the service but not
+//! across builds, and the coordinator plus its workers are always one
+//! build.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::spec::PointRow;
+
+/// Content-addressed map from job key to finished row, with hit/miss
+/// counters (surfaced in `SweepStats` and the `uve-sweep serve` log).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    rows: Mutex<HashMap<u64, PointRow>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `key`, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<PointRow> {
+        let got = self.rows.lock().unwrap().get(&key).cloned();
+        match got {
+            Some(row) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(row)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a finished row under `key`. First write wins: a re-executed
+    /// job (requeued after a worker death whose original result later
+    /// trickled in) must not flap the cached value.
+    pub fn put(&self, key: u64, row: &PointRow) {
+        self.rows
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| row.clone());
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.rows.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{run_point, SweepSpec};
+    use uve_bench::Runner;
+
+    #[test]
+    fn first_write_wins_and_counters_track() {
+        let cache = ResultCache::new();
+        let spec = SweepSpec::small_default();
+        let runner = Runner::serial().verbose(false);
+        let points = spec.points().unwrap();
+        let row = run_point(&runner, &points[0]).unwrap();
+        assert!(cache.get(1).is_none());
+        cache.put(1, &row);
+        let mut tampered = row.clone();
+        tampered.cycles += 1;
+        cache.put(1, &tampered);
+        assert_eq!(cache.get(1).unwrap(), row, "first write wins");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

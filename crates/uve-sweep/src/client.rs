@@ -1,0 +1,87 @@
+//! Client helpers: run a sweep against a coordinator and collect the
+//! merged rows, or poke the service (ping, remote shutdown).
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::messages::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
+use crate::spec::{PointRow, SweepSpec, SweepStats};
+
+/// A completed sweep as seen by a client: merged rows in canonical order
+/// plus the coordinator's operational counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Merged rows, canonical grid order — bit-identical to
+    /// [`run_serial`](crate::spec::run_serial) on the same spec.
+    pub rows: Vec<PointRow>,
+    /// Operational counters (cache hits, joins, retries, emulations).
+    pub stats: SweepStats,
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+/// Submits `spec` to the coordinator at `addr`, invoking `progress(done,
+/// total, cached)` for every progress frame, and returns the merged
+/// result.
+///
+/// # Errors
+///
+/// Returns connection, protocol, and coordinator-reported failures.
+pub fn request_sweep(
+    addr: &str,
+    spec: &SweepSpec,
+    mut progress: impl FnMut(u32, u32, u32),
+) -> Result<SweepOutcome, String> {
+    let mut stream = connect(addr)?;
+    write_msg(
+        &mut stream,
+        &Msg::ClientHello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(|e| format!("hello: {e}"))?;
+    write_msg(&mut stream, &Msg::SweepRequest { spec: spec.clone() })
+        .map_err(|e| format!("request: {e}"))?;
+    loop {
+        match read_msg(&mut stream).map_err(|e| format!("read: {e}"))? {
+            Some(Msg::Progress {
+                done,
+                total,
+                cached,
+            }) => progress(done, total, cached),
+            Some(Msg::SweepDone { rows, stats }) => return Ok(SweepOutcome { rows, stats }),
+            Some(Msg::Error { message }) => return Err(format!("coordinator: {message}")),
+            Some(other) => return Err(format!("unexpected message: {other:?}")),
+            None => return Err("coordinator hung up mid-sweep".to_string()),
+        }
+    }
+}
+
+/// Pings the coordinator at `addr`.
+///
+/// # Errors
+///
+/// Returns connection and protocol failures.
+pub fn ping(addr: &str) -> Result<(), String> {
+    let mut stream = connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    write_msg(&mut stream, &Msg::Ping).map_err(|e| format!("ping: {e}"))?;
+    match read_msg(&mut stream).map_err(|e| format!("read: {e}"))? {
+        Some(Msg::Pong) => Ok(()),
+        other => Err(format!("expected Pong, got {other:?}")),
+    }
+}
+
+/// Asks the coordinator at `addr` to shut down.
+///
+/// # Errors
+///
+/// Returns connection failures.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let mut stream = connect(addr)?;
+    write_msg(&mut stream, &Msg::Shutdown).map_err(|e| format!("shutdown: {e}"))
+}

@@ -1,0 +1,633 @@
+//! The sweep coordinator: accepts client sweeps and worker connections,
+//! shards grid points across workers, merges results in canonical order,
+//! and memoizes finished rows in the content-addressed [`ResultCache`].
+//!
+//! Scheduling model: one job in flight per worker connection. Each worker
+//! is served by its own thread, which pulls job keys off a shared queue
+//! (preferring jobs that have not already failed on that worker), writes
+//! [`Msg::RunJob`], and blocks for the reply under a read timeout. A clean
+//! [`Msg::JobOk`] caches the row and wakes waiting sweeps; a
+//! [`Msg::JobErr`], a dropped connection, or a read timeout requeues the
+//! job with bounded retries ([`CoordinatorOptions::max_attempts`]) — a job
+//! only fails a sweep once its retry budget is exhausted.
+//!
+//! Sweeps are merged through [`Assembly`], which fills canonical slots as
+//! jobs complete, in whatever order they complete — this is what makes the
+//! merged output bit-identical to [`run_serial`](crate::spec::run_serial)
+//! no matter how many workers raced, died, or joined mid-sweep.
+//! Overlapping sweeps share work three ways: rows already cached are
+//! filled at request time, jobs already in flight are joined (never
+//! re-enqueued), and only genuinely new points are queued.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::messages::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
+use crate::spec::{Assembly, PointRow, PointSpec, SweepSpec, SweepStats};
+
+/// Coordinator tuning knobs.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// Dispatch budget per job: a job that has been handed to workers this
+    /// many times and never completed fails its sweeps.
+    pub max_attempts: u32,
+    /// How long the coordinator waits for a worker's reply before
+    /// declaring the worker dead and requeueing its job. Workers arm
+    /// their own (shorter) cooperative deadline, so this only fires for
+    /// truly wedged or killed workers.
+    pub job_timeout: Duration,
+    /// Suppress per-event logging to stderr.
+    pub quiet: bool,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            job_timeout: Duration::from_secs(630),
+            quiet: true,
+        }
+    }
+}
+
+/// Where one job currently stands.
+#[derive(Debug)]
+enum JobPhase {
+    /// Waiting in the queue.
+    Queued,
+    /// Dispatched to a worker.
+    Running,
+    /// Finished; the row is also in the cache.
+    Done(PointRow),
+    /// Retry budget exhausted.
+    Failed(String),
+}
+
+/// Scheduler state for one job key.
+#[derive(Debug)]
+struct JobState {
+    point: PointSpec,
+    phase: JobPhase,
+    /// Times the job has been dispatched.
+    attempts: u32,
+    /// Workers the job already failed on (death or error); the scheduler
+    /// steers retries elsewhere while other workers exist.
+    failed_on: HashSet<u64>,
+    /// Until this instant, workers in `failed_on` may not re-take the
+    /// job. Workers it has never failed on ignore the cooldown, so a
+    /// healthy worker picks a poisoned job up immediately while the
+    /// worker that just failed it can't spin through its retry budget.
+    cooldown_until: Instant,
+}
+
+/// The shared scheduler: job table plus ready queue.
+#[derive(Debug, Default)]
+struct Sched {
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, JobState>,
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    opts: CoordinatorOptions,
+    cache: ResultCache,
+    sched: Mutex<Sched>,
+    /// Wakes workers when jobs are queued.
+    job_cv: Condvar,
+    /// Wakes sweeps when jobs finish (or fail).
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+    retries: AtomicU32,
+    worker_deaths: AtomicU32,
+    /// Workers currently connected (serving threads alive).
+    workers_connected: AtomicU32,
+    /// Sum of worker-reported fresh emulation counts.
+    emulations: AtomicU64,
+    next_worker_id: AtomicU64,
+}
+
+impl Shared {
+    fn log(&self, msg: &str) {
+        if !self.opts.quiet {
+            eprintln!("[coordinator] {msg}");
+        }
+    }
+
+    /// Requeues (or permanently fails) a job that did not complete on
+    /// `worker`, bumping the retry counter when it goes back on the queue.
+    fn bounce(&self, key: u64, worker: u64, why: &str) {
+        let mut sched = self.sched.lock().unwrap();
+        let Some(js) = sched.jobs.get_mut(&key) else {
+            return;
+        };
+        if matches!(js.phase, JobPhase::Done(_)) {
+            return;
+        }
+        js.failed_on.insert(worker);
+        if js.attempts >= self.opts.max_attempts {
+            js.phase = JobPhase::Failed(format!(
+                "{why} (after {} attempts): {}",
+                js.attempts,
+                js.point.label()
+            ));
+            self.done_cv.notify_all();
+        } else {
+            js.phase = JobPhase::Queued;
+            js.cooldown_until = Instant::now() + Duration::from_millis(250);
+            sched.queue.push_back(key);
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            self.job_cv.notify_all();
+        }
+        self.log(&format!("requeue {key:016x} ({why})"));
+    }
+}
+
+/// A running coordinator: a listener plus its accept thread. Dropping it
+/// (or calling [`Coordinator::shutdown`]) stops the service.
+pub struct Coordinator {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// accepting clients and workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, opts: CoordinatorOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            opts,
+            cache: ResultCache::new(),
+            sched: Mutex::new(Sched::default()),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            retries: AtomicU32::new(0),
+            worker_deaths: AtomicU32::new(0),
+            workers_connected: AtomicU32::new(0),
+            emulations: AtomicU64::new(0),
+            next_worker_id: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (for `127.0.0.1:0` binds, the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The content-addressed result cache (counters are live).
+    pub fn cache(&self) -> &ResultCache {
+        &self.shared.cache
+    }
+
+    /// Job requeues so far.
+    pub fn retries(&self) -> u32 {
+        self.shared.retries.load(Ordering::Relaxed)
+    }
+
+    /// Worker connections lost mid-job so far.
+    pub fn worker_deaths(&self) -> u32 {
+        self.shared.worker_deaths.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently connected.
+    pub fn workers_connected(&self) -> u32 {
+        self.shared.workers_connected.load(Ordering::Relaxed)
+    }
+
+    /// Fresh functional emulations reported by workers so far.
+    pub fn emulations(&self) -> u64 {
+        self.shared.emulations.load(Ordering::Relaxed)
+    }
+
+    /// True once shutdown has been requested, locally or by a remote
+    /// [`Msg::Shutdown`].
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops the service: wakes every parked thread, tells idle workers to
+    /// shut down, and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.job_cv.notify_all();
+        self.shared.done_cv.notify_all();
+        // Unblock the accept loop with a throwaway connection.
+        drop(TcpStream::connect(self.addr));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accepts connections and hands each to a dispatch thread; exits when the
+/// shutdown flag is set.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) => {
+                shared.log(&format!("accept: {e}"));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_shared = Arc::clone(shared);
+        std::thread::spawn(move || dispatch(stream, &conn_shared));
+    }
+}
+
+/// Reads a connection's hello and routes it to the client or worker
+/// handler.
+fn dispatch(mut stream: TcpStream, shared: &Arc<Shared>) {
+    stream.set_nodelay(true).ok();
+    // Hellos must arrive promptly; handlers retune the timeout after.
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    loop {
+        match read_msg(&mut stream) {
+            Ok(Some(Msg::ClientHello { version })) => {
+                if version != PROTOCOL_VERSION {
+                    let msg = format!(
+                        "protocol version mismatch: client {version}, coordinator {PROTOCOL_VERSION}"
+                    );
+                    let _ = write_msg(&mut stream, &Msg::Error { message: msg });
+                    return;
+                }
+                handle_client(stream, shared);
+                return;
+            }
+            Ok(Some(Msg::WorkerHello { version, name })) => {
+                if version != PROTOCOL_VERSION {
+                    shared.log(&format!("worker {name}: version mismatch ({version})"));
+                    let _ = write_msg(&mut stream, &Msg::Shutdown);
+                    return;
+                }
+                handle_worker(stream, &name, shared);
+                return;
+            }
+            Ok(Some(Msg::Ping)) => {
+                if write_msg(&mut stream, &Msg::Pong).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Msg::Shutdown)) => {
+                // Remote shutdown: flip the flag and poke the accept loop.
+                if !shared.shutdown.swap(true, Ordering::SeqCst) {
+                    shared.job_cv.notify_all();
+                    shared.done_cv.notify_all();
+                }
+                return;
+            }
+            Ok(Some(other)) => {
+                let _ = write_msg(
+                    &mut stream,
+                    &Msg::Error {
+                        message: format!("expected a hello, got {other:?}"),
+                    },
+                );
+                return;
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+// --- client side -------------------------------------------------------
+
+/// Serves one client connection: any number of sweep requests in
+/// sequence.
+fn handle_client(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Clients may idle between sweeps; keep a long but bounded timeout so
+    // the thread dies eventually after shutdown.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(3600)))
+        .ok();
+    loop {
+        match read_msg(&mut stream) {
+            Ok(Some(Msg::SweepRequest { spec })) => {
+                if serve_sweep(&mut stream, &spec, shared).is_err() {
+                    return; // client hung up mid-sweep
+                }
+            }
+            Ok(Some(Msg::Ping)) => {
+                if write_msg(&mut stream, &Msg::Pong).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(other)) => {
+                let _ = write_msg(
+                    &mut stream,
+                    &Msg::Error {
+                        message: format!("expected a sweep request, got {other:?}"),
+                    },
+                );
+                return;
+            }
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// Plans, schedules, and merges one sweep, streaming progress and ending
+/// with [`Msg::SweepDone`] or [`Msg::Error`].
+fn serve_sweep(stream: &mut TcpStream, spec: &SweepSpec, shared: &Arc<Shared>) -> io::Result<()> {
+    let mut assembly = match Assembly::new(spec) {
+        Ok(a) => a,
+        Err(e) => return write_msg(stream, &Msg::Error { message: e }),
+    };
+    let mut stats = SweepStats {
+        total: assembly.total() as u32,
+        ..SweepStats::default()
+    };
+    // Slot multiplicity per job key (axes can collapse onto one job).
+    let mut slots_of: HashMap<u64, u32> = HashMap::new();
+    for &k in assembly.keys() {
+        *slots_of.entry(k).or_insert(0) += 1;
+    }
+    shared.log(&format!(
+        "sweep: {} points, {} distinct jobs",
+        assembly.total(),
+        slots_of.len()
+    ));
+
+    // Request-time pass: fill from cache, join in-flight jobs, enqueue
+    // the rest. One sched critical section so two overlapping sweeps
+    // can't both enqueue the same job.
+    let mut pending: HashSet<u64> = HashSet::new();
+    {
+        let keys: Vec<u64> = assembly.keys().to_vec();
+        let mut seen = HashSet::new();
+        let mut sched = shared.sched.lock().unwrap();
+        for (i, key) in keys.into_iter().enumerate() {
+            if !seen.insert(key) {
+                continue;
+            }
+            if let Some(row) = shared.cache.get(key) {
+                stats.cached += assembly.offer(key, &row) as u32;
+                continue;
+            }
+            let point = assembly.points()[i].clone();
+            match sched.jobs.get_mut(&key) {
+                Some(js) => match &js.phase {
+                    JobPhase::Done(row) => {
+                        // Raced with completion between the cache probe
+                        // and here; treat as a cache fill.
+                        let row = row.clone();
+                        stats.cached += assembly.offer(key, &row) as u32;
+                    }
+                    JobPhase::Queued | JobPhase::Running => {
+                        stats.joined += slots_of[&key];
+                        pending.insert(key);
+                    }
+                    JobPhase::Failed(_) => {
+                        // A past sweep exhausted this job's retries; give
+                        // it a fresh budget for this sweep.
+                        js.phase = JobPhase::Queued;
+                        js.attempts = 0;
+                        js.failed_on.clear();
+                        js.cooldown_until = Instant::now();
+                        sched.queue.push_back(key);
+                        stats.executed += slots_of[&key];
+                        pending.insert(key);
+                        shared.job_cv.notify_all();
+                    }
+                },
+                None => {
+                    sched.jobs.insert(
+                        key,
+                        JobState {
+                            point,
+                            phase: JobPhase::Queued,
+                            attempts: 0,
+                            failed_on: HashSet::new(),
+                            cooldown_until: Instant::now(),
+                        },
+                    );
+                    sched.queue.push_back(key);
+                    stats.executed += slots_of[&key];
+                    pending.insert(key);
+                    shared.job_cv.notify_all();
+                }
+            }
+        }
+    }
+
+    let progress = |stream: &mut TcpStream, a: &Assembly, stats: &SweepStats| {
+        write_msg(
+            stream,
+            &Msg::Progress {
+                done: a.filled() as u32,
+                total: a.total() as u32,
+                cached: stats.cached,
+            },
+        )
+    };
+    progress(stream, &assembly, &stats)?;
+
+    // Merge loop: fill slots as jobs finish, in completion order.
+    while !assembly.is_complete() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return write_msg(
+                stream,
+                &Msg::Error {
+                    message: "coordinator shutting down".to_string(),
+                },
+            );
+        }
+        let mut done: Vec<(u64, PointRow)> = Vec::new();
+        let mut failed: Option<String> = None;
+        {
+            let mut sched = shared.sched.lock().unwrap();
+            harvest(&sched, &mut pending, &mut done, &mut failed);
+            if done.is_empty() && failed.is_none() {
+                sched = shared
+                    .done_cv
+                    .wait_timeout(sched, Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+                harvest(&sched, &mut pending, &mut done, &mut failed);
+            }
+        }
+        if let Some(msg) = failed {
+            return write_msg(stream, &Msg::Error { message: msg });
+        }
+        if done.is_empty() {
+            continue;
+        }
+        for (key, row) in &done {
+            assembly.offer(*key, row);
+        }
+        progress(stream, &assembly, &stats)?;
+    }
+
+    stats.retries = shared.retries.load(Ordering::Relaxed);
+    stats.worker_deaths = shared.worker_deaths.load(Ordering::Relaxed);
+    stats.emulations = shared.emulations.load(Ordering::Relaxed);
+    match assembly.finish() {
+        Ok(rows) => write_msg(stream, &Msg::SweepDone { rows, stats }),
+        Err(i) => write_msg(
+            stream,
+            &Msg::Error {
+                message: format!("internal: slot {i} unfilled in a complete assembly"),
+            },
+        ),
+    }
+}
+
+/// Moves every pending key whose job is now done or failed out of
+/// `pending` and into `done`/`failed`.
+fn harvest(
+    sched: &Sched,
+    pending: &mut HashSet<u64>,
+    done: &mut Vec<(u64, PointRow)>,
+    failed: &mut Option<String>,
+) {
+    pending.retain(|key| match sched.jobs.get(key) {
+        Some(js) => match &js.phase {
+            JobPhase::Done(row) => {
+                done.push((*key, row.clone()));
+                false
+            }
+            JobPhase::Failed(msg) => {
+                *failed = Some(msg.clone());
+                false
+            }
+            _ => true,
+        },
+        None => true,
+    });
+}
+
+// --- worker side -------------------------------------------------------
+
+/// Serves one worker connection: one job in flight at a time, with death
+/// and timeout detection.
+fn handle_worker(mut stream: TcpStream, name: &str, shared: &Arc<Shared>) {
+    let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    shared.log(&format!("worker {name} connected (id {worker_id})"));
+    stream.set_read_timeout(Some(shared.opts.job_timeout)).ok();
+    shared.workers_connected.fetch_add(1, Ordering::Relaxed);
+    // Decrement on every exit path, including panics.
+    struct Connected<'a>(&'a AtomicU32);
+    impl Drop for Connected<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let _connected = Connected(&shared.workers_connected);
+    loop {
+        // Pull the next job, preferring ones this worker hasn't failed.
+        let (key, point) = {
+            let mut sched = shared.sched.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    let _ = write_msg(&mut stream, &Msg::Shutdown);
+                    return;
+                }
+                let now = Instant::now();
+                let pick = sched.queue.iter().position(|k| {
+                    sched.jobs.get(k).is_none_or(|js| {
+                        !js.failed_on.contains(&worker_id) || now >= js.cooldown_until
+                    })
+                });
+                if let Some(pos) = pick {
+                    let key = sched.queue.remove(pos).expect("picked index exists");
+                    let Some(js) = sched.jobs.get_mut(&key) else {
+                        continue;
+                    };
+                    js.phase = JobPhase::Running;
+                    js.attempts += 1;
+                    break (key, js.point.clone());
+                }
+                sched = shared
+                    .job_cv
+                    .wait_timeout(sched, Duration::from_millis(100))
+                    .unwrap()
+                    .0;
+            }
+        };
+        if write_msg(
+            &mut stream,
+            &Msg::RunJob {
+                job: key,
+                point: point.clone(),
+            },
+        )
+        .is_err()
+        {
+            shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+            shared.bounce(key, worker_id, "worker write failed");
+            return;
+        }
+        match read_msg(&mut stream) {
+            Ok(Some(Msg::JobOk {
+                job,
+                row,
+                emulations,
+            })) if job == key => {
+                shared
+                    .emulations
+                    .fetch_add(u64::from(emulations), Ordering::Relaxed);
+                shared.cache.put(key, &row);
+                let mut sched = shared.sched.lock().unwrap();
+                if let Some(js) = sched.jobs.get_mut(&key) {
+                    js.phase = JobPhase::Done(row);
+                }
+                shared.done_cv.notify_all();
+            }
+            Ok(Some(Msg::JobErr { job, message })) if job == key => {
+                shared.bounce(key, worker_id, &format!("job error: {message}"));
+            }
+            Ok(Some(other)) => {
+                shared.log(&format!("worker {name}: protocol error: {other:?}"));
+                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                shared.bounce(key, worker_id, "worker protocol error");
+                return;
+            }
+            Ok(None) => {
+                shared.log(&format!("worker {name} died mid-job"));
+                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                shared.bounce(key, worker_id, "worker died");
+                return;
+            }
+            Err(e) => {
+                shared.log(&format!("worker {name} timed out or errored: {e}"));
+                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                shared.bounce(key, worker_id, "worker timeout");
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Distributed sweep service for the UVE evaluation.
+//!
+//! A persistent **coordinator** accepts sweep requests — kernel × flavor ×
+//! vector-length × cores × fault-seed grids over the same `Runner`/`Job`
+//! machinery the figure binaries use — shards the grid across **worker**
+//! processes over a length-prefixed TCP protocol ([`messages`]), streams
+//! progress back to clients, and memoizes finished rows in a
+//! content-addressed [`ResultCache`] keyed by the full job identity
+//! ([`spec::job_key`]): functional knobs, timing configuration,
+//! [`ExecMode`](uve_core::ExecMode) and
+//! [`IndirectPacking`](uve_core::IndirectPacking).
+//!
+//! The headline invariant, enforced end-to-end by the `sweep_service`
+//! integration tests and the `sweep` conformance engine: **a sweep's merged
+//! output is bit-identical to a serial in-process run**
+//! ([`spec::run_serial`]) regardless of worker count, request interleaving,
+//! cache hits, or workers dying mid-sweep. Workers run jobs under the same
+//! isolation the PR-4 pool uses (`catch_unwind` plus cooperative
+//! deadlines), the coordinator requeues jobs lost to worker death or
+//! timeout with bounded retries, and a repeated identical sweep performs
+//! **zero** new functional emulations — observable through the
+//! `emulations` counter carried in
+//! [`SweepStats`](spec::SweepStats).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod coordinator;
+pub mod messages;
+pub mod spec;
+pub mod worker;
+
+pub use cache::ResultCache;
+pub use client::{ping, request_sweep, shutdown, SweepOutcome};
+pub use coordinator::{Coordinator, CoordinatorOptions};
+pub use messages::{read_msg, write_msg, Msg, WireError, PROTOCOL_VERSION};
+pub use spec::{
+    catalog, job_key, render_rows, resolve, rows_digest, run_point, run_serial, run_serial_on,
+    Assembly, PointRow, PointSpec, SweepSpec, SweepStats,
+};
+pub use worker::{run_worker, WorkerOptions};

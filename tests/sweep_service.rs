@@ -1,0 +1,338 @@
+//! End-to-end tests of the distributed sweep service (`uve-sweep`).
+//!
+//! Everything here runs in-process — a real [`Coordinator`] on a loopback
+//! ephemeral port, real worker threads speaking the real wire protocol —
+//! and everything is held to the service's headline invariant: the merged
+//! output of any sweep is **bit-identical** to a serial in-process run of
+//! the same grid, regardless of worker count, request interleaving,
+//! content-cache hits, or workers dying mid-sweep.
+
+use std::thread;
+use std::time::Duration;
+
+use uve_core::ExecMode;
+use uve_kernels::Flavor;
+use uve_sweep::{
+    request_sweep, run_serial, Coordinator, CoordinatorOptions, SweepOutcome, SweepSpec,
+    WorkerOptions,
+};
+
+/// Spawns `n` healthy in-process workers against `addr`.
+fn spawn_workers(addr: &str, n: usize) -> Vec<thread::JoinHandle<()>> {
+    (0..n)
+        .map(|i| {
+            let addr = addr.to_string();
+            let opts = WorkerOptions {
+                name: format!("w{i}"),
+                ..WorkerOptions::default()
+            };
+            thread::spawn(move || {
+                uve_sweep::run_worker(&addr, &opts).expect("worker exits cleanly");
+            })
+        })
+        .collect()
+}
+
+fn small_grid(kernels: &[&str]) -> SweepSpec {
+    SweepSpec {
+        small: true,
+        kernels: kernels.iter().map(|k| (*k).to_string()).collect(),
+        flavors: vec![Flavor::Uve, Flavor::Scalar],
+        ..SweepSpec::default()
+    }
+}
+
+fn sweep(addr: &str, spec: &SweepSpec) -> SweepOutcome {
+    request_sweep(addr, spec, |_, _, _| {}).expect("sweep completes")
+}
+
+/// Polls `cond` until it holds, failing the test after 60 s.
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while !cond() {
+        assert!(std::time::Instant::now() < deadline, "timed out: {what}");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Per-sweep accounting must partition the grid: every point is either
+/// cache-filled, joined onto an in-flight job, or newly executed.
+fn assert_partition(o: &SweepOutcome) {
+    assert_eq!(
+        o.stats.cached + o.stats.joined + o.stats.executed,
+        o.stats.total,
+        "cached/joined/executed must partition the grid: {:?}",
+        o.stats
+    );
+}
+
+#[test]
+fn overlapping_concurrent_sweeps_match_serial_and_repeat_is_free() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorOptions::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 3);
+
+    // Two overlapping grids (both contain SAXPY and Memcpy in both
+    // flavors) raced from two client threads.
+    let spec_a = small_grid(&["saxpy", "memcpy", "gemm"]);
+    let spec_b = small_grid(&["memcpy", "saxpy", "mvt"]);
+    let (out_a, out_b) = thread::scope(|s| {
+        let a = s.spawn(|| sweep(&addr, &spec_a));
+        let b = s.spawn(|| sweep(&addr, &spec_b));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    let (serial_a, _) = run_serial(&spec_a).unwrap();
+    let (serial_b, _) = run_serial(&spec_b).unwrap();
+    assert_eq!(out_a.rows, serial_a, "sweep A bit-identical to serial");
+    assert_eq!(out_b.rows, serial_b, "sweep B bit-identical to serial");
+    assert_partition(&out_a);
+    assert_partition(&out_b);
+
+    // The overlap must not have been emulated twice: the union of both
+    // grids is 4 distinct kernels x 2 flavors = 8 jobs, and the
+    // service-wide fresh-emulation counter says exactly that — the 4
+    // shared points were cached or joined, never re-run.
+    let after_first = coordinator.emulations();
+    assert_eq!(after_first, 8, "shared points emulated exactly once");
+
+    // A repeated identical sweep is served entirely from the result
+    // cache: all points cached, nothing executed, zero new emulations.
+    let out_a2 = sweep(&addr, &spec_a);
+    assert_eq!(out_a2.rows, serial_a, "warm replay bit-identical");
+    assert_eq!(out_a2.stats.cached, out_a2.stats.total, "fully cached");
+    assert_eq!(out_a2.stats.executed, 0);
+    assert_eq!(
+        out_a2.stats.emulations, after_first,
+        "second identical sweep re-emulates nothing"
+    );
+    assert_eq!(coordinator.emulations(), after_first);
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn worker_death_and_poisoned_job_recover_bit_identically() {
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        CoordinatorOptions {
+            max_attempts: 5,
+            ..CoordinatorOptions::default()
+        },
+    )
+    .unwrap();
+    let addr = coordinator.local_addr().to_string();
+
+    // Worker "dier" drops its connection on its second job without
+    // replying (a kill mid-sweep); worker "poisoned" panics on every
+    // SAXPY job. They are the only fleet when the sweep starts, which
+    // guarantees the dier actually receives jobs; "healthy" joins after
+    // the kill is observed and picks up all the pieces.
+    let hostile_worker = |opts: WorkerOptions| {
+        let addr = addr.to_string();
+        // Hostile workers may exit with an error (their connection dies
+        // by design); that must never affect the sweep.
+        thread::spawn(move || {
+            let _ = uve_sweep::run_worker(&addr, &opts);
+        })
+    };
+    let mut workers = vec![
+        hostile_worker(WorkerOptions {
+            name: "dier".to_string(),
+            die_after: Some(2),
+            ..WorkerOptions::default()
+        }),
+        hostile_worker(WorkerOptions {
+            name: "poisoned".to_string(),
+            panic_on: Some("saxpy".to_string()),
+            ..WorkerOptions::default()
+        }),
+    ];
+    wait_until("hostile fleet connects", || {
+        coordinator.workers_connected() >= 2
+    });
+
+    let spec = small_grid(&["saxpy", "memcpy", "gemm", "mvt"]);
+    let out = thread::scope(|s| {
+        let sweeper = s.spawn(|| sweep(&addr, &spec));
+        // 8 jobs over a 2-worker fleet: the dier's serving loop must hand
+        // it a second job, which it drops the connection on.
+        wait_until("worker death detected", || coordinator.worker_deaths() >= 1);
+        workers.push(hostile_worker(WorkerOptions {
+            name: "healthy".to_string(),
+            ..WorkerOptions::default()
+        }));
+        sweeper.join().unwrap()
+    });
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_eq!(
+        out.rows, serial,
+        "sweep over dying and panicking workers is bit-identical to serial"
+    );
+    assert_partition(&out);
+
+    // The dier really died: the coordinator saw it and requeued; the
+    // poisoned worker's panics were reported as job errors and retried.
+    assert!(
+        out.stats.worker_deaths >= 1,
+        "worker death must be detected: {:?}",
+        out.stats
+    );
+    assert!(
+        out.stats.retries >= 1,
+        "lost/poisoned jobs must be requeued: {:?}",
+        out.stats
+    );
+    assert_eq!(coordinator.worker_deaths(), out.stats.worker_deaths);
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn exec_modes_produce_identical_timing_rows() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorOptions::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 2);
+
+    let base = small_grid(&["saxpy", "memcpy"]);
+    let interp = SweepSpec {
+        execs: vec![ExecMode::Interpret],
+        ..base.clone()
+    };
+    let translated = SweepSpec {
+        execs: vec![ExecMode::Translated],
+        ..base
+    };
+    let out_i = sweep(&addr, &interp);
+    let out_t = sweep(&addr, &translated);
+
+    // The exec axis is part of the job key (the grids are disjoint in
+    // cache terms), but the PR-7 contract makes the *results* identical:
+    // same trace, same replay, same digest — only the point's exec label
+    // differs.
+    assert_eq!(out_i.rows.len(), out_t.rows.len());
+    for (a, b) in out_i.rows.iter().zip(&out_t.rows) {
+        assert_eq!(a.point.kernel, b.point.kernel);
+        assert_eq!(a.point.exec, ExecMode::Interpret);
+        assert_eq!(b.point.exec, ExecMode::Translated);
+        assert_eq!(
+            (
+                a.cycles,
+                a.committed,
+                a.rename_blocked,
+                a.bus_util_bits,
+                a.digest
+            ),
+            (
+                b.cycles,
+                b.committed,
+                b.rename_blocked,
+                b.bus_util_bits,
+                b.digest
+            ),
+            "translated execution changes nothing but the label: {}",
+            a.point.kernel
+        );
+    }
+    // Both directions also hold against the serial baseline.
+    let (serial_t, _) = run_serial(&translated).unwrap();
+    assert_eq!(out_t.rows, serial_t);
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn multicore_and_faulted_points_sweep_bit_identically() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorOptions::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 3);
+
+    // Exercise the cores and fault-seed axes through the service.
+    let spec = SweepSpec {
+        small: true,
+        kernels: vec!["memcpy".to_string(), "saxpy".to_string()],
+        cores: vec![1, 2],
+        fault_seeds: vec![0, 7],
+        ..SweepSpec::default()
+    };
+    let out = sweep(&addr, &spec);
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_eq!(out.rows, serial, "cores x fault-seed grid matches serial");
+    assert_eq!(out.rows.len(), 8);
+    // Every (kernel, cores, fault_seed) cell is present exactly once in
+    // canonical order — faulted and multicore points are first-class grid
+    // axes, not separate code paths.
+    for clean in out.rows.iter().filter(|r| r.point.fault_seed == 0) {
+        assert_eq!(
+            out.rows
+                .iter()
+                .filter(|r| {
+                    r.point.fault_seed == 7
+                        && r.point.kernel == clean.point.kernel
+                        && r.point.cores == clean.point.cores
+                })
+                .count(),
+            1,
+            "matching faulted row for {} x{}",
+            clean.point.kernel,
+            clean.point.cores
+        );
+    }
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn sweep_of_unknown_kernel_is_a_clean_error() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorOptions::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let err = request_sweep(
+        &addr,
+        &SweepSpec {
+            kernels: vec!["definitely-not-a-kernel".to_string()],
+            ..SweepSpec::default()
+        },
+        |_, _, _| {},
+    )
+    .unwrap_err();
+    assert!(err.contains("unknown kernel"), "{err}");
+    coordinator.shutdown();
+}
+
+#[test]
+fn progress_is_streamed_and_monotonic() {
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorOptions::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 2);
+
+    let spec = small_grid(&["saxpy", "memcpy"]);
+    let mut frames = Vec::new();
+    let out = request_sweep(&addr, &spec, |done, total, _| frames.push((done, total)))
+        .expect("sweep completes");
+    assert!(!frames.is_empty(), "at least one progress frame");
+    assert!(
+        frames.windows(2).all(|w| w[0].0 <= w[1].0),
+        "progress is monotonic: {frames:?}"
+    );
+    assert_eq!(frames.last().unwrap().1 as usize, out.rows.len());
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Give detached coordinator connection threads a beat to drain before
+    // the next test binds a fresh port (not required for correctness).
+    thread::sleep(Duration::from_millis(10));
+}
