@@ -89,7 +89,7 @@ echo "== distributed sweeps: coordinator + 2 workers vs serial, warm cache =="
 # content-addressed result cache (--expect-cached exits nonzero if any
 # point was re-executed). Zero re-emulation is further asserted by
 # counters in tests/sweep_service.rs.
-./target/release/uve-sweep serve --bind 127.0.0.1:0 > target/sweep_listen.txt &
+./target/release/uve-sweep serve --bind 127.0.0.1:0 --no-persist > target/sweep_listen.txt &
 SWEEP_PIDS=($!)
 trap 'kill "${SWEEP_PIDS[@]}" 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do
@@ -113,10 +113,59 @@ diff -u target/sweep_serial.txt target/sweep_warm.txt
 wait "${SWEEP_PIDS[@]}"
 trap - EXIT
 # 500 dedicated sweep-engine cases: wire-codec fixpoint round trips,
-# hostile decodes (truncation, bit flips, garbage) never panic, and
-# shuffled-completion-order merges stay bit-identical (the `all` run
-# above only gives the sweep engine a sliver of the budget).
+# hostile decodes (truncation, bit flips, garbage) never panic,
+# shuffled-completion-order merges stay bit-identical, and durable-cache
+# WAL/snapshot images survive truncation/bit-flip/garbage without panics
+# (the `all` run above only gives the sweep engine a sliver of the budget).
 ./target/release/uve-conform --engine sweep --seed 7 --cases 500 --quiet
+
+echo "== crash safety: kill -9 + torn WAL recovery, snapshot replay, stable fingerprints =="
+# The durable cache is only durable if job keys are stable across builds;
+# the golden-fingerprint pins are what hold that contract (also covered by
+# tier-1, repeated here so this gate is self-contained).
+cargo test -q --offline --test fingerprint_golden
+rm -rf target/sweep-cache
+CRASH_GRID=(--small --kernels memcpy,saxpy --flavors uve,scalar)
+./target/release/uve-sweep serial "${CRASH_GRID[@]}" > target/sweep_crash_serial.txt
+start_crash_serve() {
+    : > target/sweep_crash_listen.txt
+    ./target/release/uve-sweep serve --bind 127.0.0.1:0 --workers 2 \
+        --cache-dir target/sweep-cache > target/sweep_crash_listen.txt 2> target/sweep_crash_err.txt &
+    CRASH_PID=$!
+    for _ in $(seq 1 100); do
+        grep -q '^LISTEN ' target/sweep_crash_listen.txt 2>/dev/null && break
+        sleep 0.1
+    done
+    CRASH_ADDR=$(awk '/^LISTEN /{print $2; exit}' target/sweep_crash_listen.txt)
+}
+trap 'kill -9 "$CRASH_PID" 2>/dev/null || true' EXIT
+# Pass 1 populates the WAL; SIGKILL denies the coordinator any chance to
+# checkpoint or flush, then the WAL tail is torn like an interrupted append.
+start_crash_serve
+./target/release/uve-sweep run --connect "$CRASH_ADDR" --quiet "${CRASH_GRID[@]}" > /dev/null
+kill -9 "$CRASH_PID"; wait "$CRASH_PID" 2>/dev/null || true
+truncate -s -5 target/sweep-cache/wal.bin
+# Pass 2 restarts from the torn cache: the torn row re-executes (so no
+# --expect-cached yet), and the merged table must still match serial
+# byte-for-byte. The replay immediately after must then be fully cached.
+start_crash_serve
+./target/release/uve-sweep run --connect "$CRASH_ADDR" --quiet \
+    "${CRASH_GRID[@]}" > target/sweep_crash_recovered.txt
+diff -u target/sweep_crash_serial.txt target/sweep_crash_recovered.txt
+./target/release/uve-sweep run --connect "$CRASH_ADDR" --quiet --expect-cached \
+    "${CRASH_GRID[@]}" > target/sweep_crash_warm.txt
+diff -u target/sweep_crash_serial.txt target/sweep_crash_warm.txt
+# Graceful shutdown checkpoints the WAL into a snapshot; a third
+# incarnation must be fully cached from disk alone.
+./target/release/uve-sweep shutdown --connect "$CRASH_ADDR"
+wait "$CRASH_PID" 2>/dev/null || true
+start_crash_serve
+./target/release/uve-sweep run --connect "$CRASH_ADDR" --quiet --expect-cached \
+    "${CRASH_GRID[@]}" > target/sweep_crash_snap.txt
+diff -u target/sweep_crash_serial.txt target/sweep_crash_snap.txt
+./target/release/uve-sweep shutdown --connect "$CRASH_ADDR"
+wait "$CRASH_PID" 2>/dev/null || true
+trap - EXIT
 
 echo "== observability: --explain smoke + golden trace (offline) =="
 # One figure run with stall attribution: maybe_explain() panics unless the

@@ -25,7 +25,6 @@
 //! in the same order with bit-identical numbers, as `--serial`.
 
 use std::collections::{HashMap, VecDeque};
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -140,6 +139,13 @@ impl TraceKey {
     /// The fully qualified key: everything the functional emulation of a
     /// job depends on. This is the trace half of the content address the
     /// distributed sweep cache (`uve-sweep`) keys results by.
+    ///
+    /// The program fingerprint is [`uve_core::program_fingerprint`] —
+    /// FNV-1a over the canonical instruction-word encoding — so it is
+    /// stable across builds and machines, which is what lets the sweep
+    /// service persist its result cache to disk and reload it after a
+    /// restart (or a rebuild). Golden values are pinned in
+    /// `tests/fingerprint_golden.rs`.
     pub fn of_full(
         bench: &dyn Benchmark,
         flavor: Flavor,
@@ -148,8 +154,6 @@ impl TraceKey {
         exec: ExecMode,
         fault_seed: u64,
     ) -> Self {
-        let mut h = std::hash::DefaultHasher::new();
-        format!("{:?}", bench.program(flavor).insts()).hash(&mut h);
         Self {
             kernel: bench.name(),
             flavor,
@@ -158,7 +162,7 @@ impl TraceKey {
             packing,
             exec,
             fault_seed,
-            program: h.finish(),
+            program: uve_core::program_fingerprint(&bench.program(flavor)),
         }
     }
 }

@@ -19,6 +19,12 @@
 //!    and once in a seed-shuffled order, and the merged outputs (and
 //!    their [`rows_digest`]) must be identical, with every
 //!    duplicate-key slot filled by the single shared job.
+//! 4. **Cache-file totality** — random row sets must round-trip through
+//!    the durable cache's WAL/snapshot image codec
+//!    ([`uve_sweep::wal`]) bit-identically, and hostile images —
+//!    truncations, bit flips, random garbage — must load partially or
+//!    report a typed error, never panic and never invent rows that were
+//!    not written.
 
 use crate::rng::FuzzRng;
 use crate::Engine;
@@ -26,11 +32,12 @@ use uve_core::{ExecMode, IndirectPacking};
 use uve_isa::MemLevel;
 use uve_kernels::Flavor;
 use uve_sweep::messages::Reader;
+use uve_sweep::wal::{decode_image, encode_image, SNAP_MAGIC, WAL_MAGIC};
 use uve_sweep::{catalog, rows_digest, Assembly, Msg, PointRow, PointSpec, SweepSpec, SweepStats};
 
 /// One fuzz case: a message seed (the message is re-derived in `check` so
-/// the case stays tiny and shrinkable), a corruption-probe budget, and an
-/// optional merge-determinism grid.
+/// the case stays tiny and shrinkable), a corruption-probe budget, an
+/// optional merge-determinism grid, and an optional cache-image sub-case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepCase {
     /// Seed deriving the random message under test.
@@ -39,6 +46,19 @@ pub struct SweepCase {
     pub probes: u32,
     /// Merge-determinism sub-case (`None` skips it).
     pub merge: Option<MergeCase>,
+    /// Cache-image round-trip/corruption sub-case (`None` skips it).
+    pub cache: Option<CacheCase>,
+}
+
+/// A random cache image: row count, hostile probes, derivation seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCase {
+    /// Rows in the image (0..=4).
+    pub rows: u8,
+    /// Truncation/bit-flip/garbage probes per magic.
+    pub probes: u8,
+    /// Seed deriving rows, cut points, and flip positions.
+    pub seed: u64,
 }
 
 /// A small random grid plus the shuffle seed for the out-of-order merge.
@@ -166,7 +186,7 @@ fn rand_stats(rng: &mut FuzzRng) -> SweepStats {
 
 /// A random protocol message covering every variant.
 pub fn random_msg(rng: &mut FuzzRng) -> Msg {
-    match rng.below(12) {
+    match rng.below(14) {
         0 => Msg::ClientHello {
             version: rng.u64() as u32,
         },
@@ -207,7 +227,11 @@ pub fn random_msg(rng: &mut FuzzRng) -> Msg {
         },
         9 => Msg::Ping,
         10 => Msg::Pong,
-        _ => Msg::Shutdown,
+        11 => Msg::Shutdown,
+        12 => Msg::Unavailable {
+            message: rand_string(rng),
+        },
+        _ => Msg::Heartbeat { job: rng.u64() },
     }
 }
 
@@ -339,6 +363,66 @@ fn check_merge(mc: &MergeCase) -> Result<(), String> {
     Ok(())
 }
 
+fn check_cache(cc: &CacheCase) -> Result<(), String> {
+    let mut rng = FuzzRng::new(cc.seed);
+    let rows: Vec<(u64, PointRow)> = (0..cc.rows.min(4))
+        .map(|_| (rng.u64(), rand_row(&mut rng)))
+        .collect();
+    for magic in [WAL_MAGIC, SNAP_MAGIC] {
+        let image = encode_image(&rows, magic);
+        let (back, report) = decode_image(&image, magic);
+        if back != rows {
+            return Err(format!(
+                "cache image round trip changed rows ({} in, {} out)",
+                rows.len(),
+                back.len()
+            ));
+        }
+        if !report.is_clean() {
+            return Err(format!("clean image loaded dirty: {report:?}"));
+        }
+        if encode_image(&back, magic) != image {
+            return Err("cache image re-encode is not a fixpoint".to_string());
+        }
+        for _ in 0..cc.probes {
+            // Truncation: the load must be a clean prefix of what was
+            // written, and valid_len must not overrun the cut.
+            let cut = rng.below(image.len() as u64 + 1) as usize;
+            let (part, rep) = decode_image(&image[..cut], magic);
+            if part.len() > rows.len() || part != rows[..part.len()] {
+                return Err(format!("truncation at {cut} is not a prefix load"));
+            }
+            if rep.valid_len > cut {
+                return Err(format!(
+                    "valid_len {} overruns the {cut}-byte image",
+                    rep.valid_len
+                ));
+            }
+            // Bit flip: must load without panicking, and every surviving
+            // row must be one that was actually written (the checksum is
+            // what makes this hold).
+            let mut bad = image.clone();
+            let at = rng.below(bad.len() as u64) as usize;
+            bad[at] ^= 1 << rng.below(8);
+            let (got, _) = decode_image(&bad, magic);
+            for pair in &got {
+                if !rows.contains(pair) {
+                    return Err(format!(
+                        "bit flip at byte {at} invented row for key {:016x}",
+                        pair.0
+                    ));
+                }
+            }
+            // Random garbage: totality only.
+            let garbage: Vec<u8> = (0..rng.range_usize(0, 96))
+                .map(|_| rng.u64() as u8)
+                .collect();
+            let _ = decode_image(&garbage, magic);
+        }
+    }
+    Ok(())
+}
+
 /// The sweep-protocol conformance engine.
 pub struct SweepEngine;
 
@@ -360,6 +444,11 @@ impl Engine for SweepEngine {
                 fault_seeds: rng.range_u64(1, 2) as u8,
                 shuffle_seed: rng.u64(),
             }),
+            cache: rng.chance(1, 2).then(|| CacheCase {
+                rows: rng.range_u64(0, 4) as u8,
+                probes: rng.range_u64(1, 8) as u8,
+                seed: rng.u64(),
+            }),
         }
     }
 
@@ -370,6 +459,9 @@ impl Engine for SweepEngine {
         check_hostile_decodes(&bytes, case.probes, &mut rng)?;
         if let Some(mc) = &case.merge {
             check_merge(mc)?;
+        }
+        if let Some(cc) = &case.cache {
+            check_cache(cc)?;
         }
         Ok(())
     }
@@ -398,6 +490,31 @@ impl Engine for SweepEngine {
                 if smaller != mc {
                     out.push(SweepCase {
                         merge: Some(smaller),
+                        ..*case
+                    });
+                }
+            }
+        }
+        if case.cache.is_some() {
+            out.push(SweepCase {
+                cache: None,
+                ..*case
+            });
+        }
+        if let Some(cc) = case.cache {
+            for smaller in [
+                CacheCase {
+                    rows: cc.rows.saturating_sub(1),
+                    ..cc
+                },
+                CacheCase {
+                    probes: (cc.probes / 2).max(1),
+                    ..cc
+                },
+            ] {
+                if smaller != cc {
+                    out.push(SweepCase {
+                        cache: Some(smaller),
                         ..*case
                     });
                 }
@@ -436,6 +553,11 @@ mod tests {
                 fault_seeds: 2,
                 shuffle_seed: 5,
             }),
+            cache: Some(CacheCase {
+                rows: 3,
+                probes: 4,
+                seed: 11,
+            }),
         };
         let cands = SweepEngine::shrink(&case);
         assert!(cands[0].merge.is_none());
@@ -443,6 +565,20 @@ mod tests {
         assert!(cands
             .iter()
             .any(|c| c.merge.is_some_and(|m| m.kernels == 1)));
+        assert!(cands.iter().any(|c| c.cache.is_none()));
+        assert!(cands.iter().any(|c| c.cache.is_some_and(|cc| cc.rows == 2)));
+    }
+
+    #[test]
+    fn cache_check_passes_for_a_seed_spread() {
+        for seed in 0..16 {
+            check_cache(&CacheCase {
+                rows: (seed % 5) as u8,
+                probes: 6,
+                seed,
+            })
+            .unwrap();
+        }
     }
 
     #[test]

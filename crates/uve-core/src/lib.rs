@@ -55,12 +55,14 @@
 pub mod deadline;
 mod emulator;
 pub mod engine;
+pub mod fingerprint;
 mod stream_unit;
 mod trace;
 pub mod translate;
 mod value;
 
 pub use emulator::{EmuConfig, EmuError, Emulator, RunCursor, RunResult, StreamFaultPlan};
+pub use fingerprint::{canonical_program_bytes, program_fingerprint};
 pub use stream_unit::{ActiveStream, Consumed, StreamError, StreamUnit};
 pub use trace::{BranchOutcome, ChunkMeta, StreamInstance, StreamTrace, Trace, TraceOp};
 pub use translate::ExecMode;

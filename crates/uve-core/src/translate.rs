@@ -17,7 +17,6 @@
 //! [`TranslationCache::ensure_program`] detects by fingerprinting the
 //! program's name and instruction words and clearing the cache on mismatch.
 
-use std::hash::{Hash, Hasher};
 use uve_isa::{flat, FlatOp, Inst, Program};
 
 /// Execution strategy for the emulator ([`EmuConfig::exec`](crate::EmuConfig)).
@@ -115,15 +114,21 @@ impl TranslationCache {
     }
 }
 
-/// Fingerprint of a program's identity: its name and full instruction
-/// sequence. Collisions would need two different programs hashing equal
-/// under SipHash — ignored, as the cache is a per-emulator private detail
-/// and programs in one process come from the same builder.
+/// Fingerprint of a program's identity: its name folded into the
+/// canonical instruction-word fingerprint
+/// ([`crate::fingerprint::program_fingerprint`]). The cache is a
+/// per-emulator private detail, but sharing the service's build-stable
+/// fingerprint means there is exactly one notion of program identity in
+/// the tree. Collisions would need two different programs colliding under
+/// FNV-1a — ignored, as programs in one process come from the same
+/// builder.
 fn fingerprint(program: &Program) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    program.name().hash(&mut h);
-    program.insts().hash(&mut h);
-    h.finish()
+    let mut h = crate::fingerprint::program_fingerprint(program);
+    for &b in program.name().as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 /// Translates the straight-line block starting at `pc`: instructions are

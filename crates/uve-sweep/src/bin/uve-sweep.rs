@@ -3,15 +3,19 @@
 //! Subcommands:
 //!
 //! - `serve [--bind ADDR] [--workers N] [--max-attempts N] [--job-timeout S]
-//!   [--verbose]` — run a coordinator (prints `LISTEN <addr>` once bound;
-//!   `--workers` spawns in-process worker threads so one command is a
-//!   whole fleet);
+//!   [--cache-dir DIR | --no-persist] [--verbose]` — run a coordinator
+//!   (prints `LISTEN <addr>` once bound; `--workers` spawns in-process
+//!   worker threads so one command is a whole fleet). The result cache is
+//!   durable by default (WAL + snapshots under `uve-sweep-cache/`, or
+//!   `--cache-dir DIR`); `--no-persist` keeps it purely in memory;
 //! - `worker --connect ADDR [--name S] [--exec-mode interpret|translated]
 //!   [--die-after N] [--panic-on KERNEL] [--job-timeout S] [--verbose]` —
 //!   run one worker against a coordinator;
 //! - `run --connect ADDR <grid flags> [--expect-cached]` — submit a sweep
 //!   and print the merged rows (stdout carries only the table, so it can
-//!   be diffed against `serial`);
+//!   be diffed against `serial`). Submission rides the reconnecting
+//!   client: dropped connections and coordinator restarts back off and
+//!   resubmit idempotently;
 //! - `serial <grid flags>` — the in-process serial baseline, printing the
 //!   byte-identical table any coordinator run must match;
 //! - `fig8 --connect ADDR [--small]` — render the Fig. 8 speed-up panel
@@ -32,8 +36,8 @@ use uve_core::IndirectPacking;
 use uve_isa::MemLevel;
 use uve_kernels::Flavor;
 use uve_sweep::{
-    ping, render_rows, request_sweep, run_serial, run_worker, shutdown, Coordinator,
-    CoordinatorOptions, SweepSpec, WorkerOptions,
+    ping, render_rows, request_sweep, request_sweep_resilient, run_serial, run_worker, shutdown,
+    Coordinator, CoordinatorOptions, ReconnectPolicy, SweepSpec, WorkerOptions,
 };
 
 fn fail(msg: &str) -> ExitCode {
@@ -166,8 +170,42 @@ fn cmd_serve(mut args: Vec<String>) -> Result<(), String> {
     if let Some(t) = secs(take_opt(&mut args, "--job-timeout"), "--job-timeout")? {
         opts.job_timeout = t;
     }
+    let cache_dir = take_opt(&mut args, "--cache-dir");
+    let no_persist = take_flag(&mut args, "--no-persist");
+    if cache_dir.is_some() && no_persist {
+        return Err("--cache-dir and --no-persist are mutually exclusive".to_string());
+    }
+    // Durable by default: crash-safety should not require remembering a
+    // flag. `--no-persist` restores the purely in-memory cache.
+    opts.cache_dir = if no_persist {
+        None
+    } else {
+        Some(
+            cache_dir
+                .unwrap_or_else(|| "uve-sweep-cache".to_string())
+                .into(),
+        )
+    };
     reject_leftovers(&args)?;
     let coordinator = Coordinator::bind(&bind, opts).map_err(|e| format!("bind {bind}: {e}"))?;
+    if let Some(report) = coordinator.recovery() {
+        eprintln!(
+            "uve-sweep: recovered {} cached rows ({} from snapshot, {} from WAL){}{}",
+            report.rows(),
+            report.snapshot_rows,
+            report.wal_rows,
+            if report.corrupt_records > 0 {
+                format!("; skipped {} corrupt records", report.corrupt_records)
+            } else {
+                String::new()
+            },
+            if report.truncated_tail {
+                "; dropped a torn WAL tail"
+            } else {
+                ""
+            },
+        );
+    }
     let addr = coordinator.local_addr();
     // The smoke scripts and tests parse this line for the ephemeral port.
     println!("LISTEN {addr}");
@@ -227,11 +265,17 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     let quiet = take_flag(&mut args, "--quiet");
     let spec = grid_spec(&mut args)?;
     reject_leftovers(&args)?;
-    let outcome = request_sweep(&addr, &spec, |done, total, cached| {
-        if !quiet {
-            eprintln!("progress: {done}/{total} ({cached} cached)");
-        }
-    })?;
+    let outcome = request_sweep_resilient(
+        || addr.clone(),
+        &spec,
+        &ReconnectPolicy::default(),
+        |done, total, cached| {
+            if !quiet {
+                eprintln!("progress: {done}/{total} ({cached} cached)");
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
     // Stdout carries only the table, byte-identical to `serial`.
     print!("{}", render_rows(&outcome.rows));
     eprintln!(

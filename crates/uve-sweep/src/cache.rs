@@ -1,37 +1,232 @@
-//! The coordinator's content-addressed result cache.
+//! The coordinator's content-addressed result cache, with an optional
+//! durable backend.
 //!
 //! Keyed by [`job_key`](crate::spec::job_key) — the digest of everything a
 //! job's result depends on — so a hit can be replayed into any sweep that
-//! asks for the same point, across clients and across time. The cache is
-//! in-memory by design: job keys fold in `DefaultHasher` program
-//! fingerprints, which are stable within one build of the service but not
-//! across builds, and the coordinator plus its workers are always one
-//! build.
+//! asks for the same point, across clients and across time. Job keys fold
+//! in the **build-stable** program fingerprint
+//! ([`uve_core::program_fingerprint`], FNV-1a over the canonical
+//! instruction-word encoding), so a key minted by one build of the service
+//! means the same thing to the next build — which is what makes persisting
+//! the cache sound.
+//!
+//! Durability ([`ResultCache::open`]) is an append-only write-ahead log
+//! plus checkpoint snapshots in one directory (format in [`crate::wal`]):
+//! every fresh row is appended (and flushed) to `wal.bin` as it arrives,
+//! so rows survive a `kill -9` of the coordinator; [`ResultCache::checkpoint`]
+//! — called on graceful shutdown and automatically once the WAL grows past
+//! [`WAL_COMPACT_RECORDS`] — atomically rewrites `snapshot.bin`
+//! (temp-file + rename) and truncates the WAL. Recovery loads snapshot
+//! then WAL (first write wins, so the crash window between rename and
+//! truncate only costs harmless duplicates), tolerates a torn tail, skips
+//! corrupt records with a typed [`RecordError`](crate::wal::RecordError)
+//! and a counter, and never panics on hostile bytes. The durability bar is
+//! process death, not power loss: appends reach the OS, checkpoints are
+//! synced.
+//!
+//! A persistence failure at runtime (disk full, directory deleted)
+//! degrades the cache to in-memory with a loud warning rather than taking
+//! the service down.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::spec::PointRow;
+use crate::sync::lock;
+use crate::wal::{self, LoadReport};
+
+/// Checkpoint the WAL into a snapshot once it holds this many records.
+pub const WAL_COMPACT_RECORDS: u64 = 4096;
+
+/// A cache-directory I/O failure (the only way [`ResultCache::open`]
+/// fails — corrupt *content* is recovered from, not errored on).
+#[derive(Debug)]
+pub struct PersistError {
+    path: PathBuf,
+    source: io::Error,
+}
+
+impl PersistError {
+    fn new(path: &Path, source: io::Error) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// What [`ResultCache::open`] found on disk.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Rows recovered from the snapshot.
+    pub snapshot_rows: usize,
+    /// Rows recovered from the WAL (before dedup against the snapshot).
+    pub wal_rows: usize,
+    /// Corrupt records skipped across both files.
+    pub corrupt_records: usize,
+    /// A torn tail (interrupted append) was dropped from the WAL.
+    pub truncated_tail: bool,
+    /// Files whose header was unusable (wrong magic/version); the WAL is
+    /// reset in place, a snapshot is left to be overwritten.
+    pub rejected_files: usize,
+}
+
+impl RecoveryReport {
+    /// Distinct rows the cache starts with.
+    pub fn rows(&self) -> usize {
+        self.snapshot_rows + self.wal_rows
+    }
+}
+
+/// The live durable backend.
+struct Persist {
+    dir: PathBuf,
+    wal: File,
+    /// Records appended to the WAL since the last checkpoint.
+    wal_records: u64,
+}
 
 /// Content-addressed map from job key to finished row, with hit/miss
-/// counters (surfaced in `SweepStats` and the `uve-sweep serve` log).
-#[derive(Debug, Default)]
+/// counters (surfaced in `SweepStats` and the `uve-sweep serve` log) and
+/// an optional write-ahead-logged disk backend.
+#[derive(Default)]
 pub struct ResultCache {
     rows: Mutex<HashMap<u64, PointRow>>,
+    persist: Mutex<Option<Persist>>,
+    recovery: Option<RecoveryReport>,
     hits: AtomicU64,
     misses: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("len", &self.len())
+            .field("durable", &lock(&self.persist).is_some())
+            .field("recovery", &self.recovery)
+            .finish()
+    }
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, in-memory cache (no durability).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Opens (or creates) a durable cache rooted at `dir`: loads
+    /// `snapshot.bin` then `wal.bin`, repairs what a crash left behind
+    /// (torn tail truncated, corrupt records skipped and counted, files
+    /// with unusable headers reset), and arms the WAL for appends.
+    ///
+    /// # Errors
+    ///
+    /// Only on genuine I/O failures (unreadable directory, permission
+    /// errors). Corrupt or hostile *content* never fails the open; see
+    /// [`ResultCache::recovery`] for what was dropped.
+    pub fn open(dir: &Path) -> Result<Self, PersistError> {
+        fs::create_dir_all(dir).map_err(|e| PersistError::new(dir, e))?;
+        let snap_path = dir.join("snapshot.bin");
+        let wal_path = dir.join("wal.bin");
+        let mut report = RecoveryReport::default();
+        let mut rows: HashMap<u64, PointRow> = HashMap::new();
+
+        if let Some(bytes) = read_optional(&snap_path)? {
+            let (pairs, load) = wal::decode_image(&bytes, wal::SNAP_MAGIC);
+            report.snapshot_rows = pairs.len();
+            absorb_load(&mut report, &load);
+            rows.extend(pairs);
+        }
+
+        let mut wal_reset = false;
+        let mut wal_valid_len = 0u64;
+        if let Some(bytes) = read_optional(&wal_path)? {
+            let (pairs, load) = wal::decode_image(&bytes, wal::WAL_MAGIC);
+            absorb_load(&mut report, &load);
+            for (key, row) in pairs {
+                // First write wins: a row present in both files (the
+                // checkpoint crash window) keeps the snapshot copy.
+                if let Entry::Vacant(v) = rows.entry(key) {
+                    v.insert(row);
+                    report.wal_rows += 1;
+                }
+            }
+            if load.rejected.is_some() {
+                wal_reset = true;
+            } else {
+                wal_valid_len = load.valid_len as u64;
+            }
+        }
+
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| PersistError::new(&wal_path, e))?;
+        let on_disk = wal
+            .metadata()
+            .map_err(|e| PersistError::new(&wal_path, e))?
+            .len();
+        if wal_reset {
+            wal.set_len(0)
+                .map_err(|e| PersistError::new(&wal_path, e))?;
+        } else if wal_valid_len < on_disk {
+            // Drop the torn tail (or untrusted framing) before appending.
+            wal.set_len(wal_valid_len)
+                .map_err(|e| PersistError::new(&wal_path, e))?;
+        }
+        let mut persist = Persist {
+            dir: dir.to_path_buf(),
+            wal,
+            wal_records: report.wal_rows as u64,
+        };
+        if wal_reset || wal_valid_len == 0 {
+            persist
+                .wal
+                .write_all(&wal::header(wal::WAL_MAGIC))
+                .map_err(|e| PersistError::new(&wal_path, e))?;
+            persist.wal_records = 0;
+        }
+
+        Ok(Self {
+            rows: Mutex::new(rows),
+            persist: Mutex::new(Some(persist)),
+            recovery: Some(report),
+            ..Self::default()
+        })
+    }
+
+    /// What recovery found, when this cache was opened from disk.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// True when the cache has a live durable backend.
+    pub fn is_durable(&self) -> bool {
+        lock(&self.persist).is_some()
+    }
+
     /// Looks up `key`, counting the hit or miss.
     pub fn get(&self, key: u64) -> Option<PointRow> {
-        let got = self.rows.lock().unwrap().get(&key).cloned();
+        let got = lock(&self.rows).get(&key).cloned();
         match got {
             Some(row) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -44,20 +239,118 @@ impl ResultCache {
         }
     }
 
-    /// Stores a finished row under `key`. First write wins: a re-executed
-    /// job (requeued after a worker death whose original result later
-    /// trickled in) must not flap the cached value.
+    /// Stores a finished row under `key` and appends it to the WAL.
+    ///
+    /// First write wins: a re-executed job (requeued after a worker death
+    /// whose original result later trickled in) must not flap the cached
+    /// value. A second write that *disagrees semantically* is counted in
+    /// [`ResultCache::conflicts`] and warned about loudly — under the
+    /// determinism contract two executions of one job key are
+    /// bit-identical, so a conflict means that contract broke.
     pub fn put(&self, key: u64, row: &PointRow) {
-        self.rows
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert_with(|| row.clone());
+        {
+            let mut rows = lock(&self.rows);
+            match rows.entry(key) {
+                Entry::Occupied(existing) => {
+                    if existing.get() != row {
+                        self.conflicts.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "[cache] CONFLICT on job {key:016x}: a re-execution produced a \
+                             semantically different row (kept the first write). The sweep \
+                             determinism contract is broken — this is a bug, not an \
+                             operational hiccup."
+                        );
+                    }
+                    return;
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(row.clone());
+                }
+            }
+        }
+        self.append(key, row);
+    }
+
+    /// Appends one record to the WAL, degrading to in-memory (loudly) if
+    /// the disk fails, and checkpointing once the WAL is due.
+    fn append(&self, key: u64, row: &PointRow) {
+        let mut guard = lock(&self.persist);
+        let Some(persist) = guard.as_mut() else {
+            return;
+        };
+        let record = wal::encode_record(key, row);
+        if let Err(e) = persist
+            .wal
+            .write_all(&record)
+            .and_then(|()| persist.wal.flush())
+        {
+            eprintln!(
+                "[cache] WAL append failed ({}): {e}; persistence disabled, cache is \
+                 in-memory from here on",
+                persist.dir.display()
+            );
+            *guard = None;
+            return;
+        }
+        persist.wal_records += 1;
+        if persist.wal_records >= WAL_COMPACT_RECORDS {
+            self.checkpoint_guarded(&mut guard);
+        }
+    }
+
+    /// Checkpoints the cache: atomically rewrites the snapshot from the
+    /// full in-memory table and truncates the WAL. Called automatically
+    /// when the WAL is due for compaction and by the coordinator on
+    /// graceful shutdown. Returns `true` if a snapshot was written
+    /// (`false` for in-memory caches and on a failed, now-disabled
+    /// backend).
+    pub fn checkpoint(&self) -> bool {
+        let mut guard = lock(&self.persist);
+        self.checkpoint_guarded(&mut guard)
+    }
+
+    fn checkpoint_guarded(&self, guard: &mut Option<Persist>) -> bool {
+        let Some(persist) = guard.as_mut() else {
+            return false;
+        };
+        // Deterministic snapshot image: rows sorted by key.
+        let mut pairs: Vec<(u64, PointRow)> = {
+            let rows = lock(&self.rows);
+            rows.iter().map(|(k, v)| (*k, v.clone())).collect()
+        };
+        pairs.sort_unstable_by_key(|(k, _)| *k);
+        let image = wal::encode_image(&pairs, wal::SNAP_MAGIC);
+        let snap = persist.dir.join("snapshot.bin");
+        let tmp = persist.dir.join("snapshot.tmp");
+        let result = fs::write(&tmp, &image)
+            .and_then(|()| File::open(&tmp).and_then(|f| f.sync_all()))
+            .and_then(|()| fs::rename(&tmp, &snap))
+            .and_then(|()| {
+                persist
+                    .wal
+                    .set_len(wal::header(wal::WAL_MAGIC).len() as u64)
+            })
+            .and_then(|()| persist.wal.sync_data());
+        match result {
+            Ok(()) => {
+                persist.wal_records = 0;
+                true
+            }
+            Err(e) => {
+                eprintln!(
+                    "[cache] checkpoint failed ({}): {e}; persistence disabled, cache is \
+                     in-memory from here on",
+                    persist.dir.display()
+                );
+                *guard = None;
+                false
+            }
+        }
     }
 
     /// Cached entries.
     pub fn len(&self) -> usize {
-        self.rows.lock().unwrap().len()
+        lock(&self.rows).len()
     }
 
     /// True when nothing is cached.
@@ -74,6 +367,26 @@ impl ResultCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Semantically conflicting second writes observed (should be zero
+    /// forever; see [`ResultCache::put`]).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}
+
+fn absorb_load(report: &mut RecoveryReport, load: &LoadReport) {
+    report.corrupt_records += load.skipped.len();
+    report.truncated_tail |= load.truncated_tail;
+    report.rejected_files += usize::from(load.rejected.is_some());
+}
+
+fn read_optional(path: &Path) -> Result<Option<Vec<u8>>, PersistError> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(PersistError::new(path, e)),
+    }
 }
 
 #[cfg(test)]
@@ -82,13 +395,33 @@ mod tests {
     use crate::spec::{run_point, SweepSpec};
     use uve_bench::Runner;
 
-    #[test]
-    fn first_write_wins_and_counters_track() {
-        let cache = ResultCache::new();
+    fn sample_row() -> PointRow {
         let spec = SweepSpec::small_default();
         let runner = Runner::serial().verbose(false);
         let points = spec.points().unwrap();
-        let row = run_point(&runner, &points[0]).unwrap();
+        run_point(&runner, &points[0]).unwrap()
+    }
+
+    /// A unique scratch directory for one test, removed on drop.
+    struct TmpDir(PathBuf);
+    impl TmpDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("uve-sweep-cache-test-{}-{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+    impl Drop for TmpDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn first_write_wins_and_counters_track() {
+        let cache = ResultCache::new();
+        let row = sample_row();
         assert!(cache.get(1).is_none());
         cache.put(1, &row);
         let mut tampered = row.clone();
@@ -98,5 +431,105 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.conflicts(),
+            1,
+            "a semantically different second write is counted"
+        );
+        // An identical second write is benign (the normal requeue race).
+        cache.put(1, &row);
+        assert_eq!(cache.conflicts(), 1);
+    }
+
+    #[test]
+    fn rows_survive_reopen_via_wal_and_via_snapshot() {
+        let tmp = TmpDir::new("reopen");
+        let row = sample_row();
+        {
+            let cache = ResultCache::open(&tmp.0).unwrap();
+            assert!(cache.is_durable());
+            assert_eq!(cache.recovery().unwrap().rows(), 0);
+            cache.put(10, &row);
+            cache.put(11, &row);
+            // No checkpoint, no graceful anything: drop = process death.
+        }
+        {
+            let cache = ResultCache::open(&tmp.0).unwrap();
+            let rec = cache.recovery().unwrap().clone();
+            assert_eq!(rec.wal_rows, 2, "{rec:?}");
+            assert_eq!(cache.get(10).unwrap(), row);
+            assert!(cache.checkpoint(), "snapshot written");
+            cache.put(12, &row);
+        }
+        let cache = ResultCache::open(&tmp.0).unwrap();
+        let rec = cache.recovery().unwrap().clone();
+        assert_eq!(rec.snapshot_rows, 2, "{rec:?}");
+        assert_eq!(rec.wal_rows, 1, "post-checkpoint put lands in the WAL");
+        assert_eq!(rec.corrupt_records, 0);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_and_garbage_are_recovered_from() {
+        let tmp = TmpDir::new("torn");
+        let row = sample_row();
+        {
+            let cache = ResultCache::open(&tmp.0).unwrap();
+            cache.put(1, &row);
+            cache.put(2, &row);
+        }
+        // Simulate a crash mid-append: chop bytes off the WAL tail.
+        let wal_path = tmp.0.join("wal.bin");
+        let len = fs::metadata(&wal_path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&wal_path)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+        {
+            let cache = ResultCache::open(&tmp.0).unwrap();
+            let rec = cache.recovery().unwrap().clone();
+            assert_eq!(rec.wal_rows, 1, "torn record dropped: {rec:?}");
+            assert!(rec.truncated_tail);
+            // Appending after recovery lands on clean framing.
+            cache.put(3, &row);
+        }
+        let cache = ResultCache::open(&tmp.0).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some() && cache.get(3).is_some());
+
+        // An outright hostile WAL never panics the loader and is reset.
+        fs::write(&wal_path, b"not a wal file at all").unwrap();
+        let cache = ResultCache::open(&tmp.0).unwrap();
+        let rec = cache.recovery().unwrap().clone();
+        assert_eq!(rec.rejected_files, 1, "{rec:?}");
+        cache.put(4, &row);
+        drop(cache);
+        let cache = ResultCache::open(&tmp.0).unwrap();
+        assert!(cache.get(4).is_some(), "reset WAL accepts appends");
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_with_a_counter() {
+        let tmp = TmpDir::new("corrupt");
+        let row = sample_row();
+        {
+            let cache = ResultCache::open(&tmp.0).unwrap();
+            cache.put(1, &row);
+            cache.put(2, &row);
+            cache.put(3, &row);
+        }
+        // Flip one payload byte in the middle record.
+        let wal_path = tmp.0.join("wal.bin");
+        let mut bytes = fs::read(&wal_path).unwrap();
+        let rec_len = wal::encode_record(1, &row).len();
+        bytes[12 + rec_len + 20] ^= 0x40;
+        fs::write(&wal_path, &bytes).unwrap();
+        let cache = ResultCache::open(&tmp.0).unwrap();
+        let rec = cache.recovery().unwrap().clone();
+        assert_eq!(rec.wal_rows, 2, "{rec:?}");
+        assert_eq!(rec.corrupt_records, 1);
+        assert!(!rec.truncated_tail, "framing stayed intact");
     }
 }

@@ -1,11 +1,28 @@
 //! Client helpers: run a sweep against a coordinator and collect the
 //! merged rows, or poke the service (ping, remote shutdown).
+//!
+//! Two submission paths share one request loop:
+//!
+//! - [`request_sweep`] is one-shot: any failure is returned to the caller.
+//! - [`request_sweep_resilient`] survives coordinator restarts. Sweep
+//!   submission is **idempotent** — results are memoized by content-
+//!   addressed job key, so resubmitting the same spec after a dropped
+//!   connection re-executes only rows the (durable) cache has not already
+//!   absorbed. The resilient client therefore classifies failures
+//!   ([`SweepFailure`]): *transport* errors (connect refused, mid-sweep
+//!   hangup, [`Msg::Unavailable`]) trigger capped exponential backoff with
+//!   deterministic jitter and a fresh attempt, while *fatal* errors (the
+//!   coordinator answered [`Msg::Error`], a protocol violation) surface
+//!   immediately. The target address is re-resolved through a caller
+//!   closure on every attempt, so a restarted coordinator may come back on
+//!   a different port.
 
 use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::messages::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
 use crate::spec::{PointRow, SweepSpec, SweepStats};
+use uve_kernels::common::SplitMix64;
 
 /// A completed sweep as seen by a client: merged rows in canonical order
 /// plus the coordinator's operational counters.
@@ -18,10 +35,119 @@ pub struct SweepOutcome {
     pub stats: SweepStats,
 }
 
+/// Why one sweep attempt failed, split by whether retrying can help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepFailure {
+    /// The connection died or the coordinator abandoned the request for
+    /// operational reasons (shutdown mid-sweep). Resubmitting the same
+    /// spec is safe and cheap: finished rows are already cached.
+    Transport(String),
+    /// The coordinator processed the request and rejected it, or spoke
+    /// the protocol wrong. Retrying would fail identically.
+    Fatal(String),
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepFailure::Transport(m) => write!(f, "transport: {m}"),
+            SweepFailure::Fatal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepFailure {}
+
+/// Backoff schedule for [`request_sweep_resilient`].
+#[derive(Debug, Clone)]
+pub struct ReconnectPolicy {
+    /// Total submission attempts before giving up (first try included).
+    pub max_attempts: u32,
+    /// Delay before the second attempt; doubles per failure.
+    pub base_delay: Duration,
+    /// Ceiling the doubling saturates at.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter stream, so tests can replay an
+    /// exact backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_secs(5),
+            seed: 0x5eed_c11e,
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// The sleep before attempt `attempt` (1-based count of *failures* so
+    /// far): exponential with a cap, jittered to `[delay/2, delay)` so a
+    /// fleet of clients does not reconnect in lockstep.
+    fn delay(&self, failures: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << failures.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_delay).max(Duration::from_millis(1));
+        let half = capped / 2;
+        let jitter_ns = rng.next_u64() % half.as_nanos().max(1) as u64;
+        half + Duration::from_nanos(jitter_ns)
+    }
+}
+
 fn connect(addr: &str) -> Result<TcpStream, String> {
     let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream.set_nodelay(true).ok();
     Ok(stream)
+}
+
+/// One submission attempt, with failures classified for the retry loop.
+fn try_sweep(
+    addr: &str,
+    spec: &SweepSpec,
+    progress: &mut impl FnMut(u32, u32, u32),
+) -> Result<SweepOutcome, SweepFailure> {
+    let mut stream = connect(addr).map_err(SweepFailure::Transport)?;
+    write_msg(
+        &mut stream,
+        &Msg::ClientHello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(|e| SweepFailure::Transport(format!("hello: {e}")))?;
+    write_msg(&mut stream, &Msg::SweepRequest { spec: spec.clone() })
+        .map_err(|e| SweepFailure::Transport(format!("request: {e}")))?;
+    loop {
+        match read_msg(&mut stream).map_err(|e| SweepFailure::Transport(format!("read: {e}")))? {
+            Some(Msg::Progress {
+                done,
+                total,
+                cached,
+            }) => progress(done, total, cached),
+            Some(Msg::SweepDone { rows, stats }) => return Ok(SweepOutcome { rows, stats }),
+            Some(Msg::Unavailable { message }) => {
+                // Operational abandon (e.g. shutdown mid-sweep): the
+                // request was fine, the moment was not.
+                return Err(SweepFailure::Transport(format!("coordinator: {message}")));
+            }
+            Some(Msg::Error { message }) => {
+                return Err(SweepFailure::Fatal(format!("coordinator: {message}")))
+            }
+            Some(other) => {
+                return Err(SweepFailure::Fatal(format!(
+                    "unexpected message: {other:?}"
+                )))
+            }
+            None => {
+                return Err(SweepFailure::Transport(
+                    "coordinator hung up mid-sweep".to_string(),
+                ))
+            }
+        }
+    }
 }
 
 /// Submits `spec` to the coordinator at `addr`, invoking `progress(done,
@@ -36,27 +162,47 @@ pub fn request_sweep(
     spec: &SweepSpec,
     mut progress: impl FnMut(u32, u32, u32),
 ) -> Result<SweepOutcome, String> {
-    let mut stream = connect(addr)?;
-    write_msg(
-        &mut stream,
-        &Msg::ClientHello {
-            version: PROTOCOL_VERSION,
-        },
-    )
-    .map_err(|e| format!("hello: {e}"))?;
-    write_msg(&mut stream, &Msg::SweepRequest { spec: spec.clone() })
-        .map_err(|e| format!("request: {e}"))?;
+    try_sweep(addr, spec, &mut progress).map_err(|e| e.to_string())
+}
+
+/// Submits `spec`, retrying across dropped connections and coordinator
+/// restarts.
+///
+/// `addr_of` is called before every attempt to resolve the current
+/// coordinator address (a restarted coordinator may listen on a new
+/// port). Transport failures back off exponentially per
+/// [`ReconnectPolicy`] and resubmit — safe because submission is
+/// idempotent over the content-addressed result cache. Fatal failures
+/// return immediately.
+///
+/// # Errors
+///
+/// Returns [`SweepFailure::Fatal`] verbatim, or the last
+/// [`SweepFailure::Transport`] once `max_attempts` is exhausted.
+pub fn request_sweep_resilient(
+    addr_of: impl Fn() -> String,
+    spec: &SweepSpec,
+    policy: &ReconnectPolicy,
+    mut progress: impl FnMut(u32, u32, u32),
+) -> Result<SweepOutcome, SweepFailure> {
+    let mut rng = SplitMix64::new(policy.seed);
+    let mut failures = 0u32;
     loop {
-        match read_msg(&mut stream).map_err(|e| format!("read: {e}"))? {
-            Some(Msg::Progress {
-                done,
-                total,
-                cached,
-            }) => progress(done, total, cached),
-            Some(Msg::SweepDone { rows, stats }) => return Ok(SweepOutcome { rows, stats }),
-            Some(Msg::Error { message }) => return Err(format!("coordinator: {message}")),
-            Some(other) => return Err(format!("unexpected message: {other:?}")),
-            None => return Err("coordinator hung up mid-sweep".to_string()),
+        let addr = addr_of();
+        match try_sweep(&addr, spec, &mut progress) {
+            Ok(outcome) => return Ok(outcome),
+            Err(fatal @ SweepFailure::Fatal(_)) => return Err(fatal),
+            Err(transport) => {
+                failures += 1;
+                if failures >= policy.max_attempts.max(1) {
+                    return Err(transport);
+                }
+                let delay = policy.delay(failures, &mut rng);
+                eprintln!(
+                    "[client] attempt {failures} failed ({transport}); retrying in {delay:?}"
+                );
+                std::thread::sleep(delay);
+            }
         }
     }
 }
@@ -84,4 +230,58 @@ pub fn ping(addr: &str) -> Result<(), String> {
 pub fn shutdown(addr: &str) -> Result<(), String> {
     let mut stream = connect(addr)?;
     write_msg(&mut stream, &Msg::Shutdown).map_err(|e| format!("shutdown: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_jitters_and_caps() {
+        let policy = ReconnectPolicy::default();
+        let mut rng = SplitMix64::new(policy.seed);
+        let mut prev_half = Duration::ZERO;
+        for failures in 1..=12 {
+            let d = policy.delay(failures, &mut rng);
+            let exp = policy
+                .base_delay
+                .saturating_mul(1u32 << (failures - 1).min(20))
+                .min(policy.max_delay);
+            assert!(
+                d >= exp / 2 && d < exp,
+                "failure {failures}: {d:?} vs {exp:?}"
+            );
+            assert!(exp / 2 >= prev_half, "monotone until the cap");
+            prev_half = exp / 2;
+        }
+        // Deterministic: same seed replays the same schedule.
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        assert_eq!(policy.delay(3, &mut a), policy.delay(3, &mut b));
+    }
+
+    #[test]
+    fn resilient_client_gives_up_after_max_attempts() {
+        // Nothing listens on this address; every attempt is a transport
+        // failure, so the policy's attempt budget is what ends the loop.
+        let policy = ReconnectPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            ..ReconnectPolicy::default()
+        };
+        let calls = std::cell::Cell::new(0u32);
+        let err = request_sweep_resilient(
+            || {
+                calls.set(calls.get() + 1);
+                "127.0.0.1:1".to_string()
+            },
+            &crate::spec::SweepSpec::small_default(),
+            &policy,
+            |_, _, _| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepFailure::Transport(_)), "{err}");
+        assert_eq!(calls.get(), 3, "address re-resolved once per attempt");
+    }
 }

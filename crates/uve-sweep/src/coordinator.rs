@@ -5,11 +5,18 @@
 //! Scheduling model: one job in flight per worker connection. Each worker
 //! is served by its own thread, which pulls job keys off a shared queue
 //! (preferring jobs that have not already failed on that worker), writes
-//! [`Msg::RunJob`], and blocks for the reply under a read timeout. A clean
-//! [`Msg::JobOk`] caches the row and wakes waiting sweeps; a
-//! [`Msg::JobErr`], a dropped connection, or a read timeout requeues the
-//! job with bounded retries ([`CoordinatorOptions::max_attempts`]) — a job
-//! only fails a sweep once its retry budget is exhausted.
+//! [`Msg::RunJob`], and blocks for the reply under a heartbeat deadline
+//! ([`CoordinatorOptions::heartbeat_deadline`]): workers stream
+//! [`Msg::Heartbeat`] while a job runs, so a dead worker is detected
+//! within one deadline instead of one whole job budget. A clean
+//! [`Msg::JobOk`] caches the row (durably, when a cache directory is
+//! configured) and wakes waiting sweeps; a [`Msg::JobErr`], a dropped
+//! connection, a missed heartbeat deadline, or an exhausted
+//! [`CoordinatorOptions::job_timeout`] requeues the job with bounded
+//! retries ([`CoordinatorOptions::max_attempts`]) — a job only fails a
+//! sweep once its retry budget is exhausted. Shared locks are taken
+//! through poison-recovering helpers ([`crate::sync`]), so one panicking
+//! serving thread cannot cascade into a dead service.
 //!
 //! Sweeps are merged through [`Assembly`], which fills canonical slots as
 //! jobs complete, in whatever order they complete — this is what makes the
@@ -22,6 +29,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -30,6 +38,7 @@ use std::time::{Duration, Instant};
 use crate::cache::ResultCache;
 use crate::messages::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
 use crate::spec::{Assembly, PointRow, PointSpec, SweepSpec, SweepStats};
+use crate::sync::{lock, wait_timeout};
 
 /// Coordinator tuning knobs.
 #[derive(Debug, Clone)]
@@ -37,11 +46,20 @@ pub struct CoordinatorOptions {
     /// Dispatch budget per job: a job that has been handed to workers this
     /// many times and never completed fails its sweeps.
     pub max_attempts: u32,
-    /// How long the coordinator waits for a worker's reply before
-    /// declaring the worker dead and requeueing its job. Workers arm
-    /// their own (shorter) cooperative deadline, so this only fires for
-    /// truly wedged or killed workers.
+    /// Overall wall-clock budget per job dispatch: a worker that keeps
+    /// heartbeating but never finishes is cut off and its job requeued
+    /// once this much time has passed. Workers arm their own (shorter)
+    /// cooperative deadline, so this only fires for truly wedged workers.
     pub job_timeout: Duration,
+    /// How long the coordinator waits without hearing *anything* from a
+    /// working worker — reply or [`Msg::Heartbeat`] — before declaring it
+    /// dead and requeueing its job. Dead workers are detected at this
+    /// cadence instead of only after the whole `job_timeout`.
+    pub heartbeat_deadline: Duration,
+    /// Durable cache directory: `Some(dir)` opens (or creates) a
+    /// crash-safe [`ResultCache`] there; `None` keeps results in memory
+    /// only.
+    pub cache_dir: Option<PathBuf>,
     /// Suppress per-event logging to stderr.
     pub quiet: bool,
 }
@@ -51,6 +69,8 @@ impl Default for CoordinatorOptions {
         Self {
             max_attempts: 3,
             job_timeout: Duration::from_secs(630),
+            heartbeat_deadline: Duration::from_secs(15),
+            cache_dir: None,
             quiet: true,
         }
     }
@@ -122,7 +142,7 @@ impl Shared {
     /// Requeues (or permanently fails) a job that did not complete on
     /// `worker`, bumping the retry counter when it goes back on the queue.
     fn bounce(&self, key: u64, worker: u64, why: &str) {
-        let mut sched = self.sched.lock().unwrap();
+        let mut sched = lock(&self.sched);
         let Some(js) = sched.jobs.get_mut(&key) else {
             return;
         };
@@ -166,9 +186,39 @@ impl Coordinator {
     pub fn bind(addr: &str, opts: CoordinatorOptions) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let cache = match &opts.cache_dir {
+            Some(dir) => {
+                let cache = ResultCache::open(dir).map_err(io::Error::other)?;
+                if !opts.quiet {
+                    if let Some(r) = cache.recovery() {
+                        eprintln!(
+                            "[coordinator] cache {}: recovered {} row(s) ({} snapshot + {} WAL), \
+                             {} corrupt record(s) skipped{}{}",
+                            dir.display(),
+                            r.rows(),
+                            r.snapshot_rows,
+                            r.wal_rows,
+                            r.corrupt_records,
+                            if r.truncated_tail {
+                                ", torn WAL tail dropped"
+                            } else {
+                                ""
+                            },
+                            if r.rejected_files > 0 {
+                                ", unusable file reset"
+                            } else {
+                                ""
+                            },
+                        );
+                    }
+                }
+                cache
+            }
+            None => ResultCache::new(),
+        };
         let shared = Arc::new(Shared {
             opts,
-            cache: ResultCache::new(),
+            cache,
             sched: Mutex::new(Sched::default()),
             job_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -224,22 +274,37 @@ impl Coordinator {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// What cache recovery found, when this coordinator was opened with a
+    /// durable cache directory.
+    pub fn recovery(&self) -> Option<&crate::cache::RecoveryReport> {
+        self.shared.cache.recovery()
+    }
+
     /// Stops the service: wakes every parked thread, tells idle workers to
-    /// shut down, and joins the accept loop.
+    /// shut down, joins the accept loop, and flushes the durable cache
+    /// (checkpointing the WAL into a snapshot).
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
+        // The shutdown flag may already be set (remote Msg::Shutdown);
+        // the local join + flush below must still run exactly once, so it
+        // is keyed on taking the accept handle, not on the flag.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.job_cv.notify_all();
         self.shared.done_cv.notify_all();
-        // Unblock the accept loop with a throwaway connection.
-        drop(TcpStream::connect(self.addr));
         if let Some(h) = self.accept.take() {
+            // Unblock the accept loop with a throwaway connection.
+            drop(TcpStream::connect(self.addr));
             let _ = h.join();
+            // Graceful-shutdown flush: compact everything into the
+            // snapshot. (Rows arriving from still-draining workers after
+            // this append to the WAL as usual — nothing is lost, just not
+            // compacted.)
+            if self.shared.cache.checkpoint() {
+                self.shared.log("cache checkpointed on shutdown");
+            }
         }
     }
 }
@@ -389,7 +454,7 @@ fn serve_sweep(stream: &mut TcpStream, spec: &SweepSpec, shared: &Arc<Shared>) -
     {
         let keys: Vec<u64> = assembly.keys().to_vec();
         let mut seen = HashSet::new();
-        let mut sched = shared.sched.lock().unwrap();
+        let mut sched = lock(&shared.sched);
         for (i, key) in keys.into_iter().enumerate() {
             if !seen.insert(key) {
                 continue;
@@ -459,9 +524,11 @@ fn serve_sweep(stream: &mut TcpStream, spec: &SweepSpec, shared: &Arc<Shared>) -
     // Merge loop: fill slots as jobs finish, in completion order.
     while !assembly.is_complete() {
         if shared.shutdown.load(Ordering::SeqCst) {
+            // Operational abandon, not a semantic failure: a resilient
+            // client treats this as "reconnect and resubmit".
             return write_msg(
                 stream,
-                &Msg::Error {
+                &Msg::Unavailable {
                     message: "coordinator shutting down".to_string(),
                 },
             );
@@ -469,14 +536,10 @@ fn serve_sweep(stream: &mut TcpStream, spec: &SweepSpec, shared: &Arc<Shared>) -
         let mut done: Vec<(u64, PointRow)> = Vec::new();
         let mut failed: Option<String> = None;
         {
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock(&shared.sched);
             harvest(&sched, &mut pending, &mut done, &mut failed);
             if done.is_empty() && failed.is_none() {
-                sched = shared
-                    .done_cv
-                    .wait_timeout(sched, Duration::from_millis(100))
-                    .unwrap()
-                    .0;
+                sched = wait_timeout(&shared.done_cv, sched, Duration::from_millis(100));
                 harvest(&sched, &mut pending, &mut done, &mut failed);
             }
         }
@@ -537,7 +600,12 @@ fn harvest(
 fn handle_worker(mut stream: TcpStream, name: &str, shared: &Arc<Shared>) {
     let worker_id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
     shared.log(&format!("worker {name} connected (id {worker_id})"));
-    stream.set_read_timeout(Some(shared.opts.job_timeout)).ok();
+    // A working worker heartbeats, so silence for a whole deadline means
+    // it is dead (or wedged past saving) — no need to wait out the much
+    // longer job budget to requeue its job.
+    stream
+        .set_read_timeout(Some(shared.opts.heartbeat_deadline))
+        .ok();
     shared.workers_connected.fetch_add(1, Ordering::Relaxed);
     // Decrement on every exit path, including panics.
     struct Connected<'a>(&'a AtomicU32);
@@ -550,7 +618,7 @@ fn handle_worker(mut stream: TcpStream, name: &str, shared: &Arc<Shared>) {
     loop {
         // Pull the next job, preferring ones this worker hasn't failed.
         let (key, point) = {
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock(&shared.sched);
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     let _ = write_msg(&mut stream, &Msg::Shutdown);
@@ -571,11 +639,7 @@ fn handle_worker(mut stream: TcpStream, name: &str, shared: &Arc<Shared>) {
                     js.attempts += 1;
                     break (key, js.point.clone());
                 }
-                sched = shared
-                    .job_cv
-                    .wait_timeout(sched, Duration::from_millis(100))
-                    .unwrap()
-                    .0;
+                sched = wait_timeout(&shared.job_cv, sched, Duration::from_millis(100));
             }
         };
         if write_msg(
@@ -591,42 +655,62 @@ fn handle_worker(mut stream: TcpStream, name: &str, shared: &Arc<Shared>) {
             shared.bounce(key, worker_id, "worker write failed");
             return;
         }
-        match read_msg(&mut stream) {
-            Ok(Some(Msg::JobOk {
-                job,
-                row,
-                emulations,
-            })) if job == key => {
-                shared
-                    .emulations
-                    .fetch_add(u64::from(emulations), Ordering::Relaxed);
-                shared.cache.put(key, &row);
-                let mut sched = shared.sched.lock().unwrap();
-                if let Some(js) = sched.jobs.get_mut(&key) {
-                    js.phase = JobPhase::Done(row);
+        let started = Instant::now();
+        loop {
+            match read_msg(&mut stream) {
+                Ok(Some(Msg::Heartbeat { job })) if job == key => {
+                    // Alive and working — but a job may not heartbeat its
+                    // way past the overall budget.
+                    if started.elapsed() > shared.opts.job_timeout {
+                        shared.log(&format!(
+                            "worker {name}: job {key:016x} exceeded its budget; cutting off"
+                        ));
+                        shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                        shared.bounce(key, worker_id, "job budget exceeded");
+                        return;
+                    }
                 }
-                shared.done_cv.notify_all();
-            }
-            Ok(Some(Msg::JobErr { job, message })) if job == key => {
-                shared.bounce(key, worker_id, &format!("job error: {message}"));
-            }
-            Ok(Some(other)) => {
-                shared.log(&format!("worker {name}: protocol error: {other:?}"));
-                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                shared.bounce(key, worker_id, "worker protocol error");
-                return;
-            }
-            Ok(None) => {
-                shared.log(&format!("worker {name} died mid-job"));
-                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                shared.bounce(key, worker_id, "worker died");
-                return;
-            }
-            Err(e) => {
-                shared.log(&format!("worker {name} timed out or errored: {e}"));
-                shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
-                shared.bounce(key, worker_id, "worker timeout");
-                return;
+                Ok(Some(Msg::JobOk {
+                    job,
+                    row,
+                    emulations,
+                })) if job == key => {
+                    shared
+                        .emulations
+                        .fetch_add(u64::from(emulations), Ordering::Relaxed);
+                    shared.cache.put(key, &row);
+                    let mut sched = lock(&shared.sched);
+                    if let Some(js) = sched.jobs.get_mut(&key) {
+                        js.phase = JobPhase::Done(row);
+                    }
+                    drop(sched);
+                    shared.done_cv.notify_all();
+                    break;
+                }
+                Ok(Some(Msg::JobErr { job, message })) if job == key => {
+                    shared.bounce(key, worker_id, &format!("job error: {message}"));
+                    break;
+                }
+                Ok(Some(other)) => {
+                    shared.log(&format!("worker {name}: protocol error: {other:?}"));
+                    shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                    shared.bounce(key, worker_id, "worker protocol error");
+                    return;
+                }
+                Ok(None) => {
+                    shared.log(&format!("worker {name} died mid-job"));
+                    shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                    shared.bounce(key, worker_id, "worker died");
+                    return;
+                }
+                Err(e) => {
+                    shared.log(&format!(
+                        "worker {name} missed its heartbeat deadline or errored: {e}"
+                    ));
+                    shared.worker_deaths.fetch_add(1, Ordering::Relaxed);
+                    shared.bounce(key, worker_id, "worker heartbeat deadline missed");
+                    return;
+                }
             }
         }
     }

@@ -21,6 +21,17 @@
 //! **zero** new functional emulations — observable through the
 //! `emulations` counter carried in
 //! [`SweepStats`](spec::SweepStats).
+//!
+//! The service is additionally **crash-safe** (PR 9): the cache can run
+//! durably over a checksummed write-ahead log with checkpoint snapshots
+//! ([`wal`], [`cache`]) so a `kill -9`'d coordinator restarted from the
+//! same `--cache-dir` replays finished rows instead of re-executing them;
+//! job keys are build-stable FNV-1a fingerprints
+//! ([`uve_core::program_fingerprint`]) so that durability means something
+//! across binaries; workers stream [`Msg::Heartbeat`] during long jobs so
+//! the coordinator distinguishes slow from dead; and clients can ride out
+//! coordinator restarts with [`request_sweep_resilient`] (capped,
+//! jittered exponential backoff plus idempotent resubmission).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,10 +41,15 @@ pub mod client;
 pub mod coordinator;
 pub mod messages;
 pub mod spec;
+mod sync;
+pub mod wal;
 pub mod worker;
 
-pub use cache::ResultCache;
-pub use client::{ping, request_sweep, shutdown, SweepOutcome};
+pub use cache::{PersistError, RecoveryReport, ResultCache};
+pub use client::{
+    ping, request_sweep, request_sweep_resilient, shutdown, ReconnectPolicy, SweepFailure,
+    SweepOutcome,
+};
 pub use coordinator::{Coordinator, CoordinatorOptions};
 pub use messages::{read_msg, write_msg, Msg, WireError, PROTOCOL_VERSION};
 pub use spec::{

@@ -26,7 +26,9 @@ use uve_kernels::Flavor;
 
 /// Protocol version carried by the hello messages; bumped on any codec
 /// change so a stale worker fails loudly instead of mis-decoding.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added [`Msg::Unavailable`] (retryable coordinator-side
+/// abandon) and [`Msg::Heartbeat`] (worker liveness during long jobs).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (16 MiB): decoding rejects larger
 /// length prefixes before allocating.
@@ -327,6 +329,22 @@ pub enum Msg {
     /// Client → coordinator: drain and exit (also coordinator → worker:
     /// disconnect cleanly).
     Shutdown,
+    /// Coordinator → client: the sweep was abandoned for an operational
+    /// (non-semantic) reason — e.g. the coordinator is shutting down.
+    /// Unlike [`Msg::Error`], this is **retryable**: a reconnecting
+    /// client resubmits the same sweep and, thanks to content-addressed
+    /// rows, pays nothing for the work already done.
+    Unavailable {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Worker → coordinator: still alive and working on `job`. Sent
+    /// periodically while a job runs so the coordinator can tell a slow
+    /// job from a dead worker without waiting out the whole job budget.
+    Heartbeat {
+        /// The job key being worked on.
+        job: u64,
+    },
 }
 
 impl Msg {
@@ -392,6 +410,14 @@ impl Msg {
             Msg::Ping => w.u8(10),
             Msg::Pong => w.u8(11),
             Msg::Shutdown => w.u8(12),
+            Msg::Unavailable { message } => {
+                w.u8(13);
+                w.str(message);
+            }
+            Msg::Heartbeat { job } => {
+                w.u8(14);
+                w.u64(*job);
+            }
         }
         w.into_bytes()
     }
@@ -446,6 +472,8 @@ impl Msg {
             10 => Msg::Ping,
             11 => Msg::Pong,
             12 => Msg::Shutdown,
+            13 => Msg::Unavailable { message: r.str()? },
+            14 => Msg::Heartbeat { job: r.u64()? },
             t => return Err(WireError::BadTag(t)),
         };
         if r.remaining() != 0 {
@@ -529,6 +557,10 @@ mod tests {
         round_trip(&Msg::SweepRequest {
             spec: SweepSpec::small_default(),
         });
+        round_trip(&Msg::Unavailable {
+            message: "coordinator shutting down".to_string(),
+        });
+        round_trip(&Msg::Heartbeat { job: 0xdead_beef });
     }
 
     #[test]

@@ -603,7 +603,11 @@ pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
 /// on. Composes the encoded [`PointSpec`] (functional knobs, timing
 /// knobs, exec mode, fault seed, core count) with the resolved kernel's
 /// program fingerprint from [`TraceKey`], so renaming-but-reparametrising
-/// a kernel can never alias a stale cache entry.
+/// a kernel can never alias a stale cache entry. Every ingredient is
+/// build-stable (the fingerprint is canonical FNV-1a, see
+/// `uve_core::program_fingerprint`), so a key minted by one binary hits a
+/// durable cache written by another — pinned by
+/// `tests/fingerprint_golden.rs`.
 ///
 /// # Errors
 ///

@@ -1,0 +1,64 @@
+//! Poison-recovering synchronization helpers.
+//!
+//! Every connection in the service is served by its own thread, and a
+//! panic on one of them (a hostile frame tripping an assert, a bug in a
+//! handler) poisons whatever `Mutex` it held. The default `.unwrap()`
+//! response would then cascade: every other serving thread touching the
+//! same lock panics too, and one bad connection takes down the whole
+//! coordinator. All shared state here is crash-consistent — the scheduler
+//! re-derives job phases from retries and the cache is first-write-wins —
+//! so recovering the guard and continuing is always safe.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers a poisoned guard the same way
+/// (the timeout-or-not distinction is irrelevant to the polling loops
+/// here, which re-check their condition either way).
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Condvar, Mutex};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Mutex::new(7u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.is_poisoned(), "mutex must actually be poisoned");
+        assert_eq!(*lock(&m), 7, "recovered guard still reads the value");
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_recovers_from_poison() {
+        let m = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        let g = lock(&m);
+        let g = wait_timeout(&cv, g, Duration::from_millis(1));
+        assert_eq!(*g, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The durable cache's on-disk format: a pure byte codec for the
+//! append-only write-ahead log and its checkpoint snapshots.
+//!
+//! Both files share one image layout so there is exactly one loader to
+//! harden:
+//!
+//! ```text
+//! [8-byte magic][u32 format version]            // header
+//! [u32 len][payload][u64 FNV-1a of payload]*    // records
+//! ```
+//!
+//! where a record payload is the `u64` job key followed by the
+//! [`PointRow`] in the PR-8 wire encoding. The WAL uses [`WAL_MAGIC`],
+//! snapshots use [`SNAP_MAGIC`]; both carry [`CACHE_FORMAT_VERSION`], so a
+//! cache written by an incompatible build misses cleanly instead of
+//! aliasing.
+//!
+//! The loading contract, enforced by the `sweep` conformance engine's
+//! cache-file target and the unit tests here: [`decode_image`] is
+//! **total**. Arbitrary bytes — truncated tails from a `kill -9` mid-
+//! append, flipped bits, outright garbage — load partially or report a
+//! typed [`RecordError`], and never panic. A torn final record is the
+//! *expected* crash artifact and is silently dropped (the row it held
+//! simply re-executes); a corrupt record with intact framing is skipped
+//! and counted so operators can see disk rot.
+//!
+//! This module is deliberately filesystem-free (buffers in, buffers out):
+//! the file handling lives in [`crate::cache`], and the fuzzer can hammer
+//! the codec without touching disk.
+
+use crate::messages::{Reader, WireError, Writer, MAX_FRAME};
+use crate::spec::{fnv1a_bytes, PointRow};
+
+/// Magic of the append-only write-ahead log.
+pub const WAL_MAGIC: &[u8; 8] = b"UVEWAL01";
+/// Magic of a checkpoint snapshot.
+pub const SNAP_MAGIC: &[u8; 8] = b"UVESNAP1";
+/// On-disk format version carried by both headers; bump on any layout
+/// change.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Why a cache image, or one record in it, was rejected during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// The header's format version is not [`CACHE_FORMAT_VERSION`].
+    BadVersion(u32),
+    /// The file ends inside the header.
+    TruncatedHeader,
+    /// A record's length prefix exceeds [`MAX_FRAME`]; framing cannot be
+    /// trusted past this point.
+    BadLength(u64),
+    /// A record's payload does not match its stored checksum.
+    Checksum,
+    /// A record passed its checksum but its payload failed to decode
+    /// (possible only across a format change; counted, never fatal).
+    Decode(WireError),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::BadMagic => write!(f, "bad magic"),
+            RecordError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            RecordError::TruncatedHeader => write!(f, "truncated header"),
+            RecordError::BadLength(n) => write!(f, "record length {n} exceeds the frame cap"),
+            RecordError::Checksum => write!(f, "record checksum mismatch"),
+            RecordError::Decode(e) => write!(f, "record payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// What [`decode_image`] recovered and what it had to drop.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Rows decoded successfully.
+    pub rows: usize,
+    /// Corrupt records skipped (framing intact, content rejected), with
+    /// their typed causes.
+    pub skipped: Vec<RecordError>,
+    /// The image ended mid-record — the torn tail of an interrupted
+    /// append (or a length field framing can't be trusted past).
+    pub truncated_tail: bool,
+    /// The header itself was unusable; no rows were read.
+    pub rejected: Option<RecordError>,
+    /// Bytes of trustworthy framing from the start of the image: the
+    /// point to truncate to before appending new records.
+    pub valid_len: usize,
+}
+
+impl LoadReport {
+    /// True when the whole image decoded with nothing dropped.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty() && !self.truncated_tail && self.rejected.is_none()
+    }
+}
+
+/// The 12-byte image header for `magic`.
+pub fn header(magic: &[u8; 8]) -> [u8; 12] {
+    let mut h = [0u8; 12];
+    h[..8].copy_from_slice(magic);
+    h[8..].copy_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+    h
+}
+
+/// Encodes one `(key, row)` record: length-prefixed payload plus its
+/// FNV-1a checksum.
+pub fn encode_record(key: u64, row: &PointRow) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(key);
+    row.encode(&mut w);
+    let payload = w.into_bytes();
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+    out
+}
+
+/// Encodes a whole image: header plus one record per row.
+pub fn encode_image(rows: &[(u64, PointRow)], magic: &[u8; 8]) -> Vec<u8> {
+    let mut out = header(magic).to_vec();
+    for (key, row) in rows {
+        out.extend_from_slice(&encode_record(*key, row));
+    }
+    out
+}
+
+/// Decodes a cache image, recovering every intact record. Total: hostile
+/// bytes produce a partial load and a typed report, never a panic.
+pub fn decode_image(bytes: &[u8], magic: &[u8; 8]) -> (Vec<(u64, PointRow)>, LoadReport) {
+    let mut report = LoadReport::default();
+    let mut rows = Vec::new();
+    if bytes.is_empty() {
+        // A file created but never written (crash between create and
+        // header): nothing to recover, nothing wrong.
+        return (rows, report);
+    }
+    if bytes.len() < 12 {
+        report.rejected = Some(RecordError::TruncatedHeader);
+        return (rows, report);
+    }
+    if &bytes[..8] != magic {
+        report.rejected = Some(RecordError::BadMagic);
+        return (rows, report);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
+    if version != CACHE_FORMAT_VERSION {
+        report.rejected = Some(RecordError::BadVersion(version));
+        return (rows, report);
+    }
+    let mut at = 12usize;
+    report.valid_len = at;
+    while at < bytes.len() {
+        if bytes.len() - at < 4 {
+            report.truncated_tail = true;
+            break;
+        }
+        let len =
+            u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 length bytes")) as usize;
+        if len > MAX_FRAME {
+            // Framing is garbage from here on; treat the rest as a torn
+            // tail but record why.
+            report.skipped.push(RecordError::BadLength(len as u64));
+            report.truncated_tail = true;
+            break;
+        }
+        let Some(end) = at.checked_add(4 + len + 8).filter(|&e| e <= bytes.len()) else {
+            report.truncated_tail = true;
+            break;
+        };
+        let payload = &bytes[at + 4..at + 4 + len];
+        let stored = u64::from_le_bytes(bytes[end - 8..end].try_into().expect("8 checksum bytes"));
+        at = end;
+        // Framing is intact whatever the content says; appends after this
+        // record are trustworthy.
+        report.valid_len = at;
+        if fnv1a_bytes(payload) != stored {
+            report.skipped.push(RecordError::Checksum);
+            continue;
+        }
+        match decode_payload(payload) {
+            Ok(pair) => {
+                rows.push(pair);
+                report.rows += 1;
+            }
+            Err(e) => report.skipped.push(RecordError::Decode(e)),
+        }
+    }
+    (rows, report)
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(u64, PointRow), WireError> {
+    let mut r = Reader::new(payload);
+    let key = r.u64()?;
+    let row = PointRow::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok((key, row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{run_point, SweepSpec};
+    use uve_bench::Runner;
+
+    fn sample_rows(n: usize) -> Vec<(u64, PointRow)> {
+        let spec = SweepSpec::small_default();
+        let runner = Runner::serial().verbose(false);
+        let points = spec.points().unwrap();
+        let row = run_point(&runner, &points[0]).unwrap();
+        (0..n)
+            .map(|i| {
+                let mut r = row.clone();
+                r.cycles += i as u64;
+                (0x1000 + i as u64, r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn image_round_trips_bit_identically() {
+        let rows = sample_rows(3);
+        for magic in [WAL_MAGIC, SNAP_MAGIC] {
+            let image = encode_image(&rows, magic);
+            let (back, report) = decode_image(&image, magic);
+            assert_eq!(back, rows);
+            assert!(report.is_clean(), "{report:?}");
+            assert_eq!(report.valid_len, image.len());
+            // Re-encode fixpoint.
+            assert_eq!(encode_image(&back, magic), image);
+        }
+    }
+
+    #[test]
+    fn every_truncation_loads_a_clean_prefix() {
+        let rows = sample_rows(3);
+        let image = encode_image(&rows, WAL_MAGIC);
+        // Offsets at which a cut leaves a well-formed image: the header
+        // end and every record boundary after it.
+        let mut boundaries = vec![12usize];
+        for (key, row) in &rows {
+            boundaries.push(boundaries.last().unwrap() + encode_record(*key, row).len());
+        }
+        for cut in 0..image.len() {
+            let (back, report) = decode_image(&image[..cut], WAL_MAGIC);
+            assert!(back.len() <= rows.len());
+            assert_eq!(back, rows[..back.len()], "cut at {cut}");
+            if cut >= 12 {
+                // Mid-record cuts flag the torn tail; boundary cuts are
+                // clean shorter images.
+                assert_eq!(
+                    report.truncated_tail,
+                    !boundaries.contains(&cut),
+                    "tail flag wrong at cut {cut}"
+                );
+                assert_eq!(
+                    report.valid_len,
+                    *boundaries.iter().filter(|&&b| b <= cut).max().unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_and_counted_not_fatal() {
+        let rows = sample_rows(3);
+        let mut image = encode_image(&rows, WAL_MAGIC);
+        // Flip a byte inside the *second* record's payload.
+        let rec = encode_record(rows[0].0, &rows[0].1).len();
+        image[12 + rec + 10] ^= 0xff;
+        let (back, report) = decode_image(&image, WAL_MAGIC);
+        assert_eq!(back.len(), 2, "two of three records survive");
+        assert_eq!(back[0], rows[0]);
+        assert_eq!(back[1], rows[2]);
+        assert_eq!(report.skipped, vec![RecordError::Checksum]);
+        assert!(!report.truncated_tail);
+        assert_eq!(
+            report.valid_len,
+            image.len(),
+            "framing stayed intact past the corrupt record"
+        );
+    }
+
+    #[test]
+    fn hostile_headers_are_typed_errors() {
+        let rows = sample_rows(1);
+        let (r, rep) = decode_image(b"", WAL_MAGIC);
+        assert!(r.is_empty() && rep.rejected.is_none());
+        let (_, rep) = decode_image(b"short", WAL_MAGIC);
+        assert_eq!(rep.rejected, Some(RecordError::TruncatedHeader));
+        let (_, rep) = decode_image(&encode_image(&rows, SNAP_MAGIC), WAL_MAGIC);
+        assert_eq!(rep.rejected, Some(RecordError::BadMagic));
+        let mut bad_version = encode_image(&rows, WAL_MAGIC);
+        bad_version[8] = 0xee;
+        let (_, rep) = decode_image(&bad_version, WAL_MAGIC);
+        assert!(matches!(rep.rejected, Some(RecordError::BadVersion(_))));
+    }
+
+    #[test]
+    fn oversized_length_field_stops_without_allocating() {
+        let mut image = header(WAL_MAGIC).to_vec();
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        image.extend_from_slice(&[0u8; 32]);
+        let (rows, report) = decode_image(&image, WAL_MAGIC);
+        assert!(rows.is_empty());
+        assert!(report.truncated_tail);
+        assert!(matches!(report.skipped[..], [RecordError::BadLength(_)]));
+    }
+}

@@ -19,6 +19,7 @@
 
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::time::Duration;
 
 use crate::messages::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
@@ -46,6 +47,11 @@ pub struct WorkerOptions {
     pub panic_on: Option<String>,
     /// Cooperative per-job wall-clock budget.
     pub job_timeout: Duration,
+    /// How often to send [`Msg::Heartbeat`] while a job runs, so the
+    /// coordinator can tell this worker apart from a dead one without
+    /// waiting out the job budget. Must be comfortably under the
+    /// coordinator's `heartbeat_deadline`.
+    pub heartbeat: Duration,
     /// Suppress per-job logging to stderr.
     pub quiet: bool,
 }
@@ -58,6 +64,7 @@ impl Default for WorkerOptions {
             die_after: None,
             panic_on: None,
             job_timeout: DEFAULT_WORKER_JOB_TIMEOUT,
+            heartbeat: Duration::from_secs(2),
             quiet: true,
         }
     }
@@ -100,6 +107,40 @@ fn run_isolated_point(
     })
 }
 
+/// Runs one job on a scoped thread while the connection thread streams
+/// [`Msg::Heartbeat`] frames every [`WorkerOptions::heartbeat`], so a
+/// long job and a dead worker look different to the coordinator. The
+/// outer `Err` is a connection failure (heartbeat unwritable — the
+/// worker's exit message); the inner `Result` is the job's own outcome.
+fn run_with_heartbeats(
+    stream: &mut TcpStream,
+    runner: &Runner,
+    job: u64,
+    point: &PointSpec,
+    opts: &WorkerOptions,
+) -> Result<Result<PointRow, String>, String> {
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel();
+        s.spawn(move || {
+            // A send failure means the connection thread bailed; the
+            // result is moot either way.
+            let _ = tx.send(run_isolated_point(runner, point, opts));
+        });
+        loop {
+            match rx.recv_timeout(opts.heartbeat) {
+                Ok(outcome) => return Ok(outcome),
+                Err(RecvTimeoutError::Timeout) => {
+                    write_msg(stream, &Msg::Heartbeat { job })
+                        .map_err(|e| format!("heartbeat: {e}"))?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Ok(Err("job thread exited without a result".to_string()));
+                }
+            }
+        }
+    })
+}
+
 /// Connects to the coordinator at `addr` and serves jobs until the
 /// coordinator sends [`Msg::Shutdown`] or the connection closes.
 ///
@@ -139,7 +180,7 @@ pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<(), String> {
                     return Ok(());
                 }
                 let before = runner.emulations();
-                let reply = match run_isolated_point(&runner, &point, opts) {
+                let reply = match run_with_heartbeats(&mut stream, &runner, job, &point, opts)? {
                     Ok(row) => Msg::JobOk {
                         job,
                         row,

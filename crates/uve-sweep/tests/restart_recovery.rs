@@ -1,0 +1,140 @@
+//! Crash-recovery integration test against the real `uve-sweep` binary:
+//! a coordinator process is `kill -9`'d mid-sweep and restarted from the
+//! same `--cache-dir`. The restarted service must (a) recover every row
+//! the dead incarnation finished, (b) produce a merged table bit-identical
+//! to `uve-sweep serial`, and (c) serve a warm replay entirely from the
+//! cache — zero new emulations — across the process boundary.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use uve_kernels::Flavor;
+use uve_sweep::{request_sweep, run_serial, SweepSpec};
+
+struct Serve {
+    child: Child,
+    addr: String,
+}
+
+/// Starts `uve-sweep serve --cache-dir <dir> --workers 2` and parses the
+/// `LISTEN <addr>` line for the ephemeral port.
+fn serve(dir: &std::path::Path) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_uve-sweep"))
+        .args(["serve", "--workers", "2", "--cache-dir"])
+        .arg(dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn uve-sweep serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read LISTEN line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTEN ")
+        .unwrap_or_else(|| panic!("expected LISTEN line, got {line:?}"))
+        .to_string();
+    Serve { child, addr }
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec {
+        small: true,
+        kernels: ["saxpy", "memcpy", "gemm", "mvt"]
+            .map(str::to_string)
+            .to_vec(),
+        flavors: vec![Flavor::Uve, Flavor::Scalar],
+        ..SweepSpec::default()
+    }
+}
+
+#[test]
+fn kill_dash_nine_mid_sweep_recovers_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("uve-sweep-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = grid();
+
+    // Incarnation 1: start a sweep, SIGKILL the whole process the moment
+    // two jobs have completed (and were durably logged).
+    let mut first = serve(&dir);
+    let done = Arc::new(AtomicU32::new(0));
+    let client_err = std::thread::scope(|s| {
+        let sweeper = {
+            let addr = first.addr.clone();
+            let spec = spec.clone();
+            let done = Arc::clone(&done);
+            s.spawn(move || {
+                request_sweep(&addr, &spec, |d, _, _| {
+                    done.fetch_max(d, Ordering::SeqCst);
+                })
+            })
+        };
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while done.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for two finished jobs"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        first.child.kill().expect("SIGKILL the coordinator");
+        sweeper.join().unwrap()
+    });
+    let _ = first.child.wait();
+    client_err.expect_err("the killed sweep must fail at the client");
+
+    // The WAL exists and holds the finished rows; its tail may be torn
+    // (the kill can land mid-append) — recovery must not care.
+    assert!(dir.join("wal.bin").exists(), "WAL written before the kill");
+
+    // Incarnation 2: same cache dir, fresh port. The sweep completes,
+    // bit-identical to serial, re-executing only what the kill lost.
+    let second = serve(&dir);
+    let out = request_sweep(&second.addr, &spec, |_, _, _| {}).expect("post-restart sweep");
+    let (serial, serial_emulations) = run_serial(&spec).unwrap();
+    assert_eq!(out.rows, serial, "recovered sweep bit-identical to serial");
+    assert!(
+        out.stats.cached >= 2,
+        "rows finished before the kill must be cache hits: {:?}",
+        out.stats
+    );
+    assert!(
+        out.stats.emulations < serial_emulations,
+        "recovery must re-emulate strictly less than a cold run: {:?}",
+        out.stats
+    );
+
+    // Warm replay on the same incarnation: fully cached, zero fresh
+    // emulation — and the emulation counter is stable across replays.
+    let warm = request_sweep(&second.addr, &spec, |_, _, _| {}).expect("warm replay");
+    assert_eq!(warm.rows, serial, "warm replay bit-identical");
+    assert_eq!(warm.stats.cached, warm.stats.total, "fully cached");
+    assert_eq!(warm.stats.executed, 0);
+    assert_eq!(
+        warm.stats.emulations, out.stats.emulations,
+        "no new emulation work across the replay"
+    );
+
+    // Kill incarnation 2 and restart once more: the *cold-start* replay
+    // (everything from disk, nothing in memory) is also fully cached.
+    let mut second = second;
+    second.child.kill().expect("kill incarnation 2");
+    let _ = second.child.wait();
+    let mut third = serve(&dir);
+    let cold = request_sweep(&third.addr, &spec, |_, _, _| {}).expect("cold warm replay");
+    assert_eq!(cold.rows, serial, "cold replay bit-identical");
+    assert_eq!(
+        cold.stats.cached, cold.stats.total,
+        "cold replay fully cached"
+    );
+    assert_eq!(cold.stats.executed, 0, "zero re-executions after restart");
+
+    third.child.kill().ok();
+    let _ = third.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

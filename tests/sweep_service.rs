@@ -7,14 +7,16 @@
 //! the same grid, regardless of worker count, request interleaving,
 //! content-cache hits, or workers dying mid-sweep.
 
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
 use uve_core::ExecMode;
 use uve_kernels::Flavor;
 use uve_sweep::{
-    request_sweep, run_serial, Coordinator, CoordinatorOptions, SweepOutcome, SweepSpec,
-    WorkerOptions,
+    render_rows, request_sweep, request_sweep_resilient, run_serial, Coordinator,
+    CoordinatorOptions, ReconnectPolicy, SweepOutcome, SweepSpec, WorkerOptions,
 };
 
 /// Spawns `n` healthy in-process workers against `addr`.
@@ -309,6 +311,92 @@ fn sweep_of_unknown_kernel_is_a_clean_error() {
     .unwrap_err();
     assert!(err.contains("unknown kernel"), "{err}");
     coordinator.shutdown();
+}
+
+#[test]
+fn client_reconnects_across_a_coordinator_restart() {
+    // A durable cache directory shared by both coordinator incarnations.
+    let dir = std::env::temp_dir().join(format!("uve-sweep-reconnect-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = || CoordinatorOptions {
+        cache_dir: Some(dir.clone()),
+        ..CoordinatorOptions::default()
+    };
+
+    let coordinator_a = Coordinator::bind("127.0.0.1:0", opts()).unwrap();
+    let addr = Arc::new(Mutex::new(coordinator_a.local_addr().to_string()));
+    let workers_a = spawn_workers(&addr.lock().unwrap(), 2);
+
+    let spec = small_grid(&["saxpy", "memcpy", "gemm", "mvt"]);
+    let frames = Arc::new(AtomicU32::new(0));
+    let outcome = thread::scope(|s| {
+        let sweeper = {
+            let addr = Arc::clone(&addr);
+            let frames = Arc::clone(&frames);
+            let spec = spec.clone();
+            s.spawn(move || {
+                request_sweep_resilient(
+                    || addr.lock().unwrap().clone(),
+                    &spec,
+                    &ReconnectPolicy {
+                        base_delay: Duration::from_millis(20),
+                        max_delay: Duration::from_millis(200),
+                        max_attempts: 20,
+                        ..ReconnectPolicy::default()
+                    },
+                    |done, _, _| {
+                        frames.fetch_max(done, Ordering::SeqCst);
+                    },
+                )
+                .expect("resilient sweep completes across the restart")
+            })
+        };
+
+        // Drop the coordinator mid-sweep, after it has finished (and
+        // durably cached) at least two jobs but before the grid is done.
+        wait_until("two jobs complete", || frames.load(Ordering::SeqCst) >= 2);
+        coordinator_a.shutdown();
+        for w in workers_a {
+            let _ = w.join();
+        }
+
+        // Restart from the same cache directory on a fresh port. The
+        // client is backing off; once the address points at the new
+        // incarnation, its resubmission finds the finished rows on disk.
+        let coordinator_b = Coordinator::bind("127.0.0.1:0", opts()).unwrap();
+        assert!(
+            coordinator_b.recovery().is_some_and(|r| r.rows() >= 2),
+            "restarted coordinator recovered the finished rows: {:?}",
+            coordinator_b.recovery()
+        );
+        let addr_b = coordinator_b.local_addr().to_string();
+        let workers_b = spawn_workers(&addr_b, 2);
+        *addr.lock().unwrap() = addr_b;
+
+        let outcome = sweeper.join().unwrap();
+        coordinator_b.shutdown();
+        for w in workers_b {
+            let _ = w.join();
+        }
+        outcome
+    });
+
+    // The resumed sweep is byte-identical to an uninterrupted run, and
+    // the rows finished before the kill were served from the durable
+    // cache, not re-executed.
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_eq!(
+        render_rows(&outcome.rows),
+        render_rows(&serial),
+        "resumed sweep renders byte-identically to serial"
+    );
+    assert_partition(&outcome);
+    assert!(
+        outcome.stats.cached >= 2,
+        "pre-restart rows must come from the durable cache: {:?}",
+        outcome.stats
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
