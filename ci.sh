@@ -66,6 +66,23 @@ echo "== indirect packing: both-mode conform smoke + MAMR-Ind assertion =="
 ./target/release/fig8 --panel b --quiet --json BENCH_fig8.json > /dev/null
 git diff --exit-code -- BENCH_fig8.json
 
+echo "== assembler + DSP/sparse families: asm smoke, family conformance, drift gate =="
+# 2000 dedicated asm-engine cases: assemble->disassemble->assemble text
+# fixpoints on decorated programs, `.include` split equivalence, and
+# hostile byte-level mutants that must produce spanned typed errors or
+# reassemblable programs, never panics.
+./target/release/uve-conform --engine asm --seed 7 --cases 2000 --quiet
+# A wider kernel-engine slice than the packing section's 200 cases, so the
+# DSP and sparse family arms (6 of the 25 kernel variants the generator
+# draws from) get real coverage — including the `.uve`-text UVE flavors.
+./target/release/uve-conform --engine kernel --seed 7 --cases 600 --quiet
+# Per-kernel vs-scalar ratios for both families. In-binary asserts: no
+# kernel below 0.95x of its scalar twin (Histogram is scatter-serialized
+# parity by design) and each family's geomean >= 1.0x; the JSON artifact
+# is drift-gated like BENCH_fig8.json.
+./target/release/dsp --quiet --json BENCH_dsp.json > /dev/null
+git diff --exit-code -- BENCH_dsp.json
+
 echo "== translated execution: throughput gate + interpreter-differential smoke =="
 # Emulated-instruction throughput over the 19-kernel suite × 4 flavors in
 # both execution modes. In-binary asserts: every point bit-identical across

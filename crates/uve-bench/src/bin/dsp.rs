@@ -1,0 +1,18 @@
+//! The follow-on workload families (DSP + sparse) — per-kernel cycles,
+//! vs-scalar speedups and stream stall attribution.
+//!
+//! Usage: `dsp [--json PATH] [--jobs N | --serial] [--quiet] [--explain]`.
+//! `--json PATH` writes the drift-gated per-kernel artifact (see
+//! `BENCH_dsp.json` at the repo root); the binary asserts no kernel's UVE
+//! flavor regresses below its scalar twin and that each family's geomean
+//! speedup stays above 1.0x.
+
+use uve_bench::{Cli, Runner};
+
+fn main() {
+    let cli = Cli::parse();
+    let json = cli.value("--json").map(str::to_string);
+    let runner = Runner::from_cli(&cli);
+    uve_bench::figures::dsp_families(json.as_deref(), &runner);
+    std::process::exit(runner.finish());
+}

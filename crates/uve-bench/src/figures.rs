@@ -501,3 +501,105 @@ pub fn overheads() {
         ctx.min_bytes, ctx.max_bytes
     );
 }
+
+/// The follow-on workload families (PR 10): DSP (FIR, ChanEst, FFT-Stage)
+/// and sparse (SpMV, GatherReduce, Histogram), timed in the UVE and scalar
+/// flavors at the evaluation sizes.
+///
+/// Prints per-kernel cycles, the vs-scalar speedup, and the two
+/// stream-relevant stall attributions of the UVE run — `fifo-empty` (the
+/// core outran the streaming engine) and `prf` (rename starved for
+/// physical registers) — then asserts no kernel regresses below its scalar
+/// twin and each family's geomean stays above 1.0x. With `json`,
+/// additionally writes the drift-gated artifact: every
+/// number in it is deterministic, so any perf change shows up as a
+/// reviewable diff to the checked-in `BENCH_dsp.json`.
+pub fn dsp_families(json: Option<&str>, runner: &Runner) {
+    let cpu = CpuConfig::default();
+    let families: [(&str, Vec<Box<dyn Benchmark>>); 2] = [
+        ("dsp", uve_kernels::dsp_suite()),
+        ("sparse", uve_kernels::sparse_suite()),
+    ];
+    let jobs: Vec<Job> = families
+        .iter()
+        .flat_map(|(_, suite)| {
+            suite.iter().flat_map(|bench| {
+                [Flavor::Uve, Flavor::Scalar].map(|flavor| {
+                    Job::new(bench.as_ref(), flavor, cpu.clone()).exec(runner.exec_mode())
+                })
+            })
+        })
+        .collect();
+    let results = runner.run(&jobs);
+    runner.maybe_explain(&results);
+
+    header(
+        "Follow-on families — UVE vs scalar (cycles, stall attribution)",
+        &["family", "UVE", "scalar", "speedup", "fifo-empty", "prf"],
+    );
+    let mut rows = Vec::new();
+    let mut it = results.into_iter();
+    for (family, suite) in &families {
+        let mut speedups = Vec::new();
+        for bench in suite {
+            let uve = it.next().expect("uve run");
+            let scalar = it.next().expect("scalar run");
+            let speedup = scalar.cycles() as f64 / uve.cycles() as f64;
+            let fifo = 100.0 * uve.stats.account.fifo_empty as f64 / uve.cycles() as f64;
+            let prf = 100.0 * uve.stats.account.prf_starved as f64 / uve.cycles() as f64;
+            row(
+                bench.name(),
+                &[
+                    (*family).to_string(),
+                    uve.cycles().to_string(),
+                    scalar.cycles().to_string(),
+                    format!("{speedup:.2}x"),
+                    format!("{fifo:.1}%"),
+                    format!("{prf:.1}%"),
+                ],
+            );
+            // Histogram is scatter-serialized and sits at parity with its
+            // scalar twin; the floor catches real regressions, not the
+            // memory-bound tie.
+            assert!(
+                speedup >= 0.95,
+                "{}: UVE {} cycles vs scalar {} — a follow-on kernel regressed below \
+                 its scalar twin",
+                bench.name(),
+                uve.cycles(),
+                scalar.cycles()
+            );
+            speedups.push(speedup);
+            rows.push((
+                (*family).to_string(),
+                bench.name().to_string(),
+                uve.cycles(),
+                scalar.cycles(),
+                speedup,
+            ));
+        }
+        let family_geomean = geomean(&speedups);
+        println!("{family} geomean speedup vs scalar: {family_geomean:.2}x");
+        assert!(
+            family_geomean >= 1.0,
+            "{family} family geomean {family_geomean:.3}x < 1.0x vs scalar"
+        );
+    }
+
+    if let Some(path) = json {
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"figure\": \"dsp\",\n  \"kernels\": [\n");
+        for (i, (family, name, uve, scalar, speedup)) in rows.iter().enumerate() {
+            let sep = if i + 1 == rows.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{ \"family\": \"{family}\", \"kernel\": \"{name}\", \
+                 \"uve_cycles\": {uve}, \"scalar_cycles\": {scalar}, \
+                 \"speedup_vs_scalar\": {speedup:.4} }}{sep}"
+            );
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(path, &out).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("dsp json -> {path}");
+    }
+}

@@ -1,0 +1,345 @@
+//! Differential fuzzing of the assembler front end.
+//!
+//! Each case builds a random constructible program — instructions drawn
+//! from the same generator as the ISA codec fuzzer, with branch targets
+//! clamped in range and random labels (including trailing labels past the
+//! last instruction) — and checks:
+//!
+//! - program-level text round trip: `disassemble_program → assemble`
+//!   reproduces the program *exactly* (instructions, name, and label map),
+//!   and the round-tripped program encodes to the same words and
+//!   fingerprint;
+//! - unit composition: splitting the text at a line boundary into an entry
+//!   unit ending in `.include tail` plus a `tail` unit assembles to the
+//!   identical program;
+//! - hostile-input totality: a mutated or garbage text must either
+//!   assemble (mutations can be benign) or return a typed [`AsmError`]
+//!   with a plausible span — and must *never* panic. Accepted mutants must
+//!   themselves survive the disassemble→assemble *text* fixpoint (encoding
+//!   is not required: a mutant's absolute branch targets can be out of the
+//!   displacement field's reach).
+//!
+//! The hostile generator seeds its mutations with the token soup that
+//! surfaced the assembler's first corpus entries (`)8(x2` address operands
+//! and `]u2[` lane syntax once reached `unwrap`s inside the operand
+//! parsers).
+
+use crate::isa_fuzz::gen_inst;
+use crate::rng::FuzzRng;
+use crate::Engine;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use uve_core::program_fingerprint;
+use uve_isa::{assemble, assemble_units, disassemble_program, encode_program, Inst, Program};
+
+/// One assembler-fuzzer case.
+#[derive(Debug, Clone)]
+pub struct AsmCase {
+    /// The random (valid) program: instructions with in-range targets.
+    pub insts: Vec<Inst>,
+    /// Label definitions as `(index, name)`; indices may equal
+    /// `insts.len()` (trailing label).
+    pub labels: Vec<(u32, String)>,
+    /// Whether to also check the `.include`-split unit round trip.
+    pub split_include: bool,
+    /// Hostile text for the totality check, if any.
+    pub hostile: Option<String>,
+}
+
+/// Tokens that historically stressed the operand parsers (`)8(x2` and
+/// `]u2[` are the shapes behind the first two `asm` corpus entries).
+const HOSTILE_TOKENS: &[&str] = &[
+    ")8(x2",
+    "]u2[",
+    "0(",
+    "[",
+    "u2[99",
+    "so.a.mac.w.fp",
+    "so.a.mac.w.fp u4, u0",
+    ".include entry",
+    ".include",
+    ".const",
+    ".const X",
+    ".const X X",
+    "ld.w x1, (x2)8",
+    "so.v.extr.f.w f2, ]u2[",
+    "li x99, 1",
+    "p9",
+    "f77",
+    "u42",
+    "x-1",
+    "0x",
+    "halt halt",
+    "beq x1, x2",
+    "ss.ld.q u0, x1, x2, x3",
+    "fmadd.w",
+    ",,,",
+    "::",
+];
+
+/// Clamps every branch-family target into `0..len` so the program both
+/// builds and encodes at any pc.
+fn clamp_targets(insts: &mut [Inst]) {
+    let max = (insts.len() as u32).saturating_sub(1);
+    for inst in insts.iter_mut() {
+        match inst {
+            Inst::Branch { target, .. }
+            | Inst::Jal { target, .. }
+            | Inst::SsBranch { target, .. }
+            | Inst::BrPred { target, .. } => *target = (*target).min(max),
+            _ => {}
+        }
+    }
+}
+
+/// Builds the [`Program`] a case describes.
+fn build(case: &AsmCase) -> Result<Program, String> {
+    let mut b = uve_isa::ProgramBuilder::new("asmfuzz");
+    let mut labels = case.labels.clone();
+    labels.sort();
+    let mut next = labels.into_iter().peekable();
+    for (pc, inst) in case.insts.iter().enumerate() {
+        while next.peek().is_some_and(|(i, _)| *i as usize <= pc) {
+            b.label(next.next().unwrap().1);
+        }
+        b.push(*inst);
+    }
+    for (_, l) in next {
+        b.label(l);
+    }
+    b.build().map_err(|e| format!("builder rejected case: {e}"))
+}
+
+fn roundtrip(program: &Program) -> Result<(), String> {
+    let text = disassemble_program(program);
+    let back =
+        assemble(program.name(), &text).map_err(|e| format!("reassembly failed: {e}\n{text}"))?;
+    if &back != program {
+        return Err(format!(
+            "disassemble→assemble fixpoint violation:\n{text}\n got {back:?}\nwant {program:?}"
+        ));
+    }
+    let words = encode_program(program).map_err(|e| format!("encode failed: {e:?}"))?;
+    let words2 =
+        encode_program(&back).map_err(|e| format!("encode of reassembly failed: {e:?}"))?;
+    if words != words2 {
+        return Err("reassembled program encodes to different words".to_string());
+    }
+    if program_fingerprint(program) != program_fingerprint(&back) {
+        return Err("reassembled program has a different fingerprint".to_string());
+    }
+    Ok(())
+}
+
+/// Re-assembles `text` split at a line boundary into `entry` + `.include
+/// tail`, which must yield the identical program.
+fn split_roundtrip(program: &Program) -> Result<(), String> {
+    let text = disassemble_program(program);
+    let lines: Vec<&str> = text.lines().collect();
+    let cut = lines.len() / 2;
+    let entry = format!("{}\n.include tail\n", lines[..cut].join("\n"));
+    let tail = format!("{}\n", lines[cut..].join("\n"));
+    let back = assemble_units(program.name(), &[("entry", &entry), ("tail", &tail)])
+        .map_err(|e| format!("split reassembly failed: {e}\nentry:\n{entry}\ntail:\n{tail}"))?;
+    if &back != program {
+        return Err(format!(
+            "split `.include` fixpoint violation:\nentry:\n{entry}\ntail:\n{tail}"
+        ));
+    }
+    Ok(())
+}
+
+/// The hostile text must never panic the assembler; whatever it returns
+/// must be total and self-consistent.
+fn hostile_total(text: &str) -> Result<(), String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| assemble("hostile", text)));
+    match outcome {
+        Err(_) => Err(format!("assembler panicked on hostile input:\n{text}")),
+        Ok(Err(e)) => {
+            let lines = text.lines().count().max(1);
+            if e.span.line > lines {
+                return Err(format!(
+                    "error span line {} past end of {lines}-line input: {e}\n{text}",
+                    e.span.line
+                ));
+            }
+            // Rendering the diagnostic must itself be total.
+            let _ = e.to_string();
+            Ok(())
+        }
+        // Mutations can be benign; an accepted program must still satisfy
+        // the *text* fixpoint. (Encoding is deliberately not required
+        // here: absolute branch targets are context-dependent, so a
+        // mutant can legitimately assemble to a program whose
+        // displacement no longer fits the branch field.)
+        Ok(Ok(p)) => {
+            let text = disassemble_program(&p);
+            match assemble("hostile", &text) {
+                Ok(back) if back == p => Ok(()),
+                Ok(_) => Err(format!(
+                    "accepted hostile input, but its disassembly reassembles differently:\n{text}"
+                )),
+                Err(e) => Err(format!(
+                    "accepted hostile input, but its disassembly no longer assembles: {e}\n{text}"
+                )),
+            }
+        }
+    }
+}
+
+fn gen_hostile(rng: &mut FuzzRng, base: &str) -> String {
+    let mut text = if rng.chance(1, 4) {
+        // Pure token soup.
+        let n = rng.range_usize(1, 6);
+        let mut t = String::new();
+        for _ in 0..n {
+            t.push_str(HOSTILE_TOKENS[rng.below(HOSTILE_TOKENS.len() as u64) as usize]);
+            t.push(if rng.bool() { '\n' } else { ' ' });
+        }
+        t
+    } else {
+        base.to_string()
+    };
+    for _ in 0..rng.range_usize(1, 3) {
+        let len = text.chars().count();
+        match rng.below(5) {
+            0 => {
+                // Insert a hostile token at a random char position.
+                let at = rng.range_usize(0, len);
+                let byte = text.char_indices().nth(at).map_or(text.len(), |(i, _)| i);
+                text.insert_str(
+                    byte,
+                    HOSTILE_TOKENS[rng.below(HOSTILE_TOKENS.len() as u64) as usize],
+                );
+            }
+            1 if len > 0 => {
+                // Delete a random char.
+                let at = rng.range_usize(0, len - 1);
+                let byte = text.char_indices().nth(at).map(|(i, _)| i).unwrap();
+                text.remove(byte);
+            }
+            2 if len > 0 => {
+                // Replace a random char with hostile punctuation.
+                let at = rng.range_usize(0, len - 1);
+                let byte = text.char_indices().nth(at).map(|(i, _)| i).unwrap();
+                let c = *rng.pick(b"()[],:.xu9");
+                text.remove(byte);
+                text.insert(byte, c as char);
+            }
+            3 if len > 1 => {
+                // Truncate mid-text.
+                let at = rng.range_usize(1, len - 1);
+                let byte = text.char_indices().nth(at).map(|(i, _)| i).unwrap();
+                text.truncate(byte);
+            }
+            _ => {
+                text.push('\n');
+                text.push_str(HOSTILE_TOKENS[rng.below(HOSTILE_TOKENS.len() as u64) as usize]);
+            }
+        }
+    }
+    text
+}
+
+/// The assembler-front-end fuzzer engine.
+pub struct AsmEngine;
+
+impl Engine for AsmEngine {
+    type Case = AsmCase;
+
+    fn name() -> &'static str {
+        "asm"
+    }
+
+    fn generate(rng: &mut FuzzRng) -> AsmCase {
+        let n = rng.range_usize(1, 12);
+        let mut insts: Vec<Inst> = (0..n).map(|pc| gen_inst(rng, pc as u32)).collect();
+        clamp_targets(&mut insts);
+        let mut labels = Vec::new();
+        for i in 0..rng.below(4) {
+            // Distinct names; indices may collide or trail the program.
+            labels.push((rng.below(n as u64 + 1) as u32, format!("l{i}")));
+        }
+        let split_include = n >= 2 && rng.bool();
+        let hostile = rng.chance(2, 3).then(|| {
+            let base = build(&AsmCase {
+                insts: insts.clone(),
+                labels: labels.clone(),
+                split_include: false,
+                hostile: None,
+            })
+            .map(|p| disassemble_program(&p))
+            .unwrap_or_default();
+            gen_hostile(rng, &base)
+        });
+        AsmCase {
+            insts,
+            labels,
+            split_include,
+            hostile,
+        }
+    }
+
+    fn check(case: &AsmCase) -> Result<(), String> {
+        let program = build(case)?;
+        roundtrip(&program)?;
+        if case.split_include {
+            split_roundtrip(&program)?;
+        }
+        if let Some(h) = &case.hostile {
+            hostile_total(h)?;
+        }
+        Ok(())
+    }
+
+    fn shrink(case: &AsmCase) -> Vec<AsmCase> {
+        let mut out = Vec::new();
+        if case.hostile.is_some() {
+            let mut c = case.clone();
+            c.hostile = None;
+            out.push(c);
+        }
+        if let Some(h) = &case.hostile {
+            // Halve the hostile text from either end.
+            let mid = h.len() / 2;
+            if mid > 0 && h.is_char_boundary(mid) {
+                for half in [&h[..mid], &h[mid..]] {
+                    let mut c = case.clone();
+                    c.hostile = Some(half.to_string());
+                    out.push(c);
+                }
+            }
+        }
+        if case.split_include {
+            let mut c = case.clone();
+            c.split_include = false;
+            out.push(c);
+        }
+        if !case.labels.is_empty() {
+            let mut c = case.clone();
+            c.labels.clear();
+            out.push(c);
+        }
+        if case.insts.len() > 1 {
+            let mut c = case.clone();
+            c.insts.truncate(case.insts.len() / 2);
+            clamp_targets(&mut c.insts);
+            c.labels.retain(|(i, _)| *i as usize <= c.insts.len());
+            out.push(c);
+            for i in 0..case.insts.len() {
+                let mut c = case.clone();
+                c.insts.remove(i);
+                clamp_targets(&mut c.insts);
+                c.labels.retain(|(j, _)| *j as usize <= c.insts.len());
+                out.push(c);
+            }
+        }
+        for (i, inst) in case.insts.iter().enumerate() {
+            if *inst != Inst::Nop {
+                let mut c = case.clone();
+                c.insts[i] = Inst::Nop;
+                out.push(c);
+            }
+        }
+        out
+    }
+}

@@ -191,9 +191,9 @@ mod tests {
 
     #[test]
     fn every_page_faults_still_recovers_on_an_indirect_kernel() {
-        // Case (7, 63) generates MamrIndirect(3) with page_rate 1: every
+        // Case (7, 233) generates MamrIndirect(28) with page_rate 1: every
         // first-touched page faults, inside indirect-modifier regions.
-        let case = FaultEngine::generate(&mut FuzzRng::for_case(7, "fault", 63));
+        let case = FaultEngine::generate(&mut FuzzRng::for_case(7, "fault", 233));
         assert!(matches!(case.kernel, KernelCase::MamrIndirect(_)));
         assert_eq!(case.page_rate, 1);
         FaultEngine::check(&case).unwrap();

@@ -133,8 +133,10 @@ const V_OPS: [VOp; 11] = [
     VOp::Shr,
 ];
 
+/// Draws one random instruction (shared with the assembler fuzzer, which
+/// layers program-level round trips on top of the same distribution).
 #[allow(clippy::too_many_lines)]
-fn gen_inst(rng: &mut FuzzRng, pc: u32) -> Inst {
+pub(crate) fn gen_inst(rng: &mut FuzzRng, pc: u32) -> Inst {
     let param = *rng.pick(&[Param::Offset, Param::Size, Param::Stride]);
     match rng.below(50) {
         0 => Inst::Alu {

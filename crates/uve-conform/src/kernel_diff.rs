@@ -1,8 +1,9 @@
 //! Differential fuzzing of the kernel suite across flavors and vector
 //! lengths.
 //!
-//! Each case picks one of the paper's kernels (Fig. 8, rows A–S) at a
-//! random valid problem size and:
+//! Each case picks one of the paper's kernels (Fig. 8, rows A–S) or one of
+//! the follow-on DSP/sparse family kernels at a random valid problem size
+//! and:
 //!
 //! 1. runs it in all four [`Flavor`]s, checking committed memory against
 //!    the kernel's Rust reference (`Benchmark::check`);
@@ -21,10 +22,11 @@ use crate::rng::FuzzRng;
 use crate::Engine;
 use uve_core::{EmuConfig, Emulator, IndirectPacking, StreamTrace};
 use uve_kernels::{
-    covariance::Covariance, floyd::FloydWarshall, gemm::Gemm, gemver::Gemver, haccmk::Haccmk,
-    irsmk::Irsmk, jacobi::Jacobi1d, jacobi::Jacobi2d, knn::Knn, mamr::Mamr, memcpy::Memcpy,
-    mvt::Mvt, saxpy::Saxpy, seidel::Seidel2d, stream::Stream, threemm::ThreeMm, trisolv::Trisolv,
-    Benchmark, Flavor,
+    covariance::Covariance, dsp::ChanEst, dsp::FftStage, dsp::Fir, floyd::FloydWarshall,
+    gemm::Gemm, gemver::Gemver, haccmk::Haccmk, irsmk::Irsmk, jacobi::Jacobi1d, jacobi::Jacobi2d,
+    knn::Knn, mamr::Mamr, memcpy::Memcpy, mvt::Mvt, saxpy::Saxpy, seidel::Seidel2d,
+    sparse::GatherReduce, sparse::Histogram, sparse::Spmv, stream::Stream, threemm::ThreeMm,
+    trisolv::Trisolv, Benchmark, Flavor,
 };
 use uve_mem::Memory;
 
@@ -69,6 +71,19 @@ pub enum KernelCase {
     Seidel2d(usize, usize),
     /// All-pairs shortest paths at `n` vertices.
     Floyd(usize),
+    /// FIR filter, `n` outputs × `taps` coefficients.
+    Fir(usize, usize),
+    /// Complex pilot correlation over `n` sample pairs.
+    ChanEst(usize),
+    /// One radix-2 FFT butterfly stage, `n` points (power of two), stage
+    /// index with `2^(stage+1) ≤ n`.
+    FftStage(usize, usize),
+    /// CSR SpMV: `rows × cols` with `1..=maxlen` nonzeros per row.
+    Spmv(usize, usize, usize),
+    /// `Σ data[idx[i]]` over `m` gathers from a `dn`-entry table.
+    GatherReduce(usize, usize),
+    /// `hist[idx[i]] += 1` over `m` samples into `nbins ≥ 16` bins.
+    Histogram(usize, usize),
 }
 
 impl KernelCase {
@@ -94,6 +109,12 @@ impl KernelCase {
             KernelCase::MamrIndirect(n) => Box::new(Mamr::indirect(n)),
             KernelCase::Seidel2d(n, t) => Box::new(Seidel2d::new(n, t)),
             KernelCase::Floyd(n) => Box::new(FloydWarshall::new(n)),
+            KernelCase::Fir(n, taps) => Box::new(Fir::new(n, taps)),
+            KernelCase::ChanEst(n) => Box::new(ChanEst::new(n)),
+            KernelCase::FftStage(n, s) => Box::new(FftStage::new(n, s as u32)),
+            KernelCase::Spmv(r, c, l) => Box::new(Spmv::new(r, c, l)),
+            KernelCase::GatherReduce(m, dn) => Box::new(GatherReduce::new(m, dn)),
+            KernelCase::Histogram(m, b) => Box::new(Histogram::new(m, b)),
         }
     }
 
@@ -168,12 +189,60 @@ impl KernelCase {
                 v
             }
             Floyd(n) => half(n, 1).map(Floyd).into_iter().collect(),
+            Fir(n, taps) => {
+                let mut v: Vec<_> = half(n, 1).map(|m| Fir(m, taps)).into_iter().collect();
+                if let Some(t) = half(taps, 1) {
+                    v.push(Fir(n, t));
+                }
+                v
+            }
+            ChanEst(n) => half(n, 1).map(ChanEst).into_iter().collect(),
+            FftStage(n, s) => {
+                let mut v = Vec::new();
+                if n > 16 && (1usize << (s + 1)) <= n / 2 {
+                    v.push(FftStage(n / 2, s));
+                }
+                if s > 0 {
+                    v.push(FftStage(n, s - 1));
+                }
+                v
+            }
+            Spmv(r, c, l) => {
+                let mut v = Vec::new();
+                if let Some(m) = half(r, 1) {
+                    v.push(Spmv(m, c, l));
+                }
+                if let Some(m) = half(c, 1) {
+                    v.push(Spmv(r, m, l));
+                }
+                if let Some(m) = half(l, 1) {
+                    v.push(Spmv(r, c, m));
+                }
+                v
+            }
+            GatherReduce(m, dn) => {
+                let mut v: Vec<_> = half(m, 1)
+                    .map(|k| GatherReduce(k, dn))
+                    .into_iter()
+                    .collect();
+                if let Some(k) = half(dn, 1) {
+                    v.push(GatherReduce(m, k));
+                }
+                v
+            }
+            Histogram(m, b) => {
+                let mut v: Vec<_> = half(m, 1).map(|k| Histogram(k, b)).into_iter().collect();
+                if b > 16 {
+                    v.push(Histogram(m, 16));
+                }
+                v
+            }
         }
     }
 }
 
 pub(crate) fn gen_case(rng: &mut FuzzRng) -> KernelCase {
-    match rng.below(19) {
+    match rng.below(25) {
         0 => KernelCase::Memcpy(rng.range_usize(1, 256)),
         1 => KernelCase::Stream(rng.range_usize(1, 256)),
         2 => KernelCase::Saxpy(rng.range_usize(1, 256)),
@@ -196,7 +265,20 @@ pub(crate) fn gen_case(rng: &mut FuzzRng) -> KernelCase {
         15 => KernelCase::MamrDiag(rng.range_usize(1, 40)),
         16 => KernelCase::MamrIndirect(rng.range_usize(1, 40)),
         17 => KernelCase::Seidel2d(rng.range_usize(3, 20), rng.range_usize(1, 2)),
-        _ => KernelCase::Floyd(rng.range_usize(1, 20)),
+        18 => KernelCase::Floyd(rng.range_usize(1, 20)),
+        19 => KernelCase::Fir(rng.range_usize(1, 48), rng.range_usize(1, 24)),
+        20 => KernelCase::ChanEst(rng.range_usize(1, 96)),
+        21 => {
+            let n = 1usize << rng.range_usize(4, 7);
+            KernelCase::FftStage(n, rng.range_usize(0, n.trailing_zeros() as usize - 1))
+        }
+        22 => KernelCase::Spmv(
+            rng.range_usize(1, 24),
+            rng.range_usize(1, 48),
+            rng.range_usize(1, 24),
+        ),
+        23 => KernelCase::GatherReduce(rng.range_usize(1, 128), rng.range_usize(1, 96)),
+        _ => KernelCase::Histogram(rng.range_usize(1, 128), 16 * rng.range_usize(1, 4)),
     }
 }
 

@@ -11,6 +11,11 @@
 //! - [`isa_fuzz`] — random instructions round-tripped through
 //!   encode→decode→re-encode and disassemble→assemble, plus
 //!   decode-of-random-`u32` robustness;
+//! - [`asm_fuzz`] — the assembler front end: random constructible
+//!   programs (labels included) round-tripped through
+//!   `disassemble_program → assemble` to an exact fixpoint, `.include`
+//!   unit splits checked identical, and hostile mutated text checked to
+//!   return typed spanned errors without ever panicking;
 //! - [`kernel_diff`] — randomly sized instances of the paper's kernels run
 //!   across all four [`uve_kernels::Flavor`]s and cross-checked against
 //!   the Rust reference and across vector lengths;
@@ -45,6 +50,7 @@
 //! reproduction, and the checked-in corpus (`corpus/regressions.txt`)
 //! replays formerly failing cases as a tier-1 test.
 
+pub mod asm_fuzz;
 pub mod exec_diff;
 pub mod fault_fuzz;
 pub mod isa_fuzz;
@@ -65,7 +71,7 @@ pub trait Engine {
     type Case: Clone + std::fmt::Debug + Send;
 
     /// Engine name as used by the CLI and the corpus (`pattern`, `isa`,
-    /// `kernel`, `stats`, `fault`, `smp`, `exec`, `sweep`).
+    /// `asm`, `kernel`, `stats`, `fault`, `smp`, `exec`, `sweep`).
     fn name() -> &'static str;
 
     /// Generates the case owned by `rng` (must consume randomness only
@@ -240,6 +246,7 @@ pub fn replay_one(engine: &str, seed: u64, case: u64) -> Result<(), String> {
     match engine {
         "pattern" => one::<pattern_fuzz::PatternEngine>(seed, case),
         "isa" => one::<isa_fuzz::IsaEngine>(seed, case),
+        "asm" => one::<asm_fuzz::AsmEngine>(seed, case),
         "kernel" => one::<kernel_diff::KernelEngine>(seed, case),
         "stats" => one::<stats_diff::StatsEngine>(seed, case),
         "fault" => one::<fault_fuzz::FaultEngine>(seed, case),
@@ -289,7 +296,7 @@ mod tests {
         for (engine, _, _) in &entries {
             assert!(matches!(
                 engine.as_str(),
-                "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec" | "sweep"
+                "pattern" | "isa" | "asm" | "kernel" | "stats" | "fault" | "smp" | "exec" | "sweep"
             ));
         }
     }

@@ -1,8 +1,8 @@
 //! `uve-conform` — offline differential fuzzer for the UVE reproduction.
 //!
 //! ```text
-//! uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|sweep|all] [--seed N] [--cases N]
-//!             [--jobs N | --serial] [--quiet]
+//! uve-conform [--engine pattern|isa|asm|kernel|stats|fault|smp|exec|sweep|all] [--seed N]
+//!             [--cases N] [--jobs N | --serial] [--quiet]
 //! ```
 //!
 //! Output is deterministic for a given `(engine, seed, cases)` triple:
@@ -15,13 +15,13 @@
 use std::process::ExitCode;
 use uve_bench::{default_jobs, RunMode};
 use uve_conform::{
-    exec_diff::ExecEngine, fault_fuzz::FaultEngine, isa_fuzz::IsaEngine, kernel_diff::KernelEngine,
-    pattern_fuzz::PatternEngine, smp_fuzz::SmpEngine, stats_diff::StatsEngine,
-    sweep_fuzz::SweepEngine,
+    asm_fuzz::AsmEngine, exec_diff::ExecEngine, fault_fuzz::FaultEngine, isa_fuzz::IsaEngine,
+    kernel_diff::KernelEngine, pattern_fuzz::PatternEngine, smp_fuzz::SmpEngine,
+    stats_diff::StatsEngine, sweep_fuzz::SweepEngine,
 };
 
 const USAGE: &str =
-    "usage: uve-conform [--engine pattern|isa|kernel|stats|fault|smp|exec|sweep|all] \
+    "usage: uve-conform [--engine pattern|isa|asm|kernel|stats|fault|smp|exec|sweep|all] \
                      [--seed N] [--cases N] [--jobs N | --serial] [--quiet]";
 
 struct Opts {
@@ -78,9 +78,8 @@ fn parse_args() -> Result<Opts, String> {
         }
     }
     match opts.engine.as_str() {
-        "pattern" | "isa" | "kernel" | "stats" | "fault" | "smp" | "exec" | "sweep" | "all" => {
-            Ok(opts)
-        }
+        "pattern" | "isa" | "asm" | "kernel" | "stats" | "fault" | "smp" | "exec" | "sweep"
+        | "all" => Ok(opts),
         other => Err(format!("unknown engine {other:?}\n{USAGE}")),
     }
 }
@@ -96,6 +95,7 @@ fn main() -> ExitCode {
 
     let run_pattern = matches!(opts.engine.as_str(), "pattern" | "all");
     let run_isa = matches!(opts.engine.as_str(), "isa" | "all");
+    let run_asm = matches!(opts.engine.as_str(), "asm" | "all");
     let run_kernel = matches!(opts.engine.as_str(), "kernel" | "all");
     let run_stats = matches!(opts.engine.as_str(), "stats" | "all");
     let run_fault = matches!(opts.engine.as_str(), "fault" | "all");
@@ -120,6 +120,12 @@ fn main() -> ExitCode {
     }
     if run_isa {
         report(uve_conform::run_engine::<IsaEngine>(
+            opts.seed, opts.cases, opts.mode,
+        ));
+    }
+    if run_asm {
+        // Pure text/codec work, no emulation: full case budget.
+        report(uve_conform::run_engine::<AsmEngine>(
             opts.seed, opts.cases, opts.mode,
         ));
     }

@@ -3,45 +3,140 @@
 //! The syntax follows the paper's mnemonics: stream configuration uses the
 //! `ss.` prefix, stream/vector operations the `so.` prefix, and the scalar
 //! subset is RISC-V-flavoured. [`assemble`] and [`disassemble_program`]
-//! round-trip.
+//! round-trip: `assemble(p.name(), &disassemble_program(&p))` reproduces `p`
+//! exactly (instructions, labels and name) for every constructible program
+//! whose labels are identifier-shaped.
+//!
+//! Beyond the round-trip core, the front end supports:
+//!
+//! - **Spanned, typed diagnostics** — every error carries a [`Span`] (1-based
+//!   line *and* column) and an [`AsmErrorKind`]; unknown mnemonics include a
+//!   "did you mean" suggestion when a known mnemonic is within edit
+//!   distance 2.
+//! - **`.const NAME VALUE`** — symbolic integer constants usable in any
+//!   integer operand (immediates, address offsets, extract lanes, branch
+//!   targets). All constants are collected before instructions are parsed, so
+//!   an operand may reference a constant defined later in the file; a
+//!   constant's *value* may only reference constants defined above it.
+//! - **`.include UNIT`** — multi-unit composition via [`assemble_units`]. No
+//!   filesystem I/O is performed: the caller passes `(name, text)` pairs and
+//!   `.include` splices the named unit's lines in place (cycles and unknown
+//!   units are typed errors). The first unit is the entry point.
 
 use crate::inst::*;
 use crate::program::{Program, ProgramBuilder, ProgramError};
 use crate::reg::{FReg, PReg, VReg, XReg};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use uve_stream::{Behaviour, ElemWidth, IndirectBehaviour, Param};
 
-/// Error raised while assembling text.
+/// Source position of an assembler diagnostic: 1-based line and column
+/// (columns count characters, not bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (character offset).
+    pub col: usize,
+}
+
+/// What went wrong while assembling.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AsmError {
-    /// Unknown mnemonic at the given line.
+pub enum AsmErrorKind {
+    /// Unrecognized mnemonic, with a near-miss suggestion when one exists
+    /// within edit distance 2.
     UnknownMnemonic {
-        /// 1-based source line.
-        line: usize,
         /// The unrecognized mnemonic.
         mnemonic: String,
+        /// Closest known mnemonic, if any is within edit distance 2.
+        suggestion: Option<String>,
     },
     /// Malformed operand list.
     BadOperands {
-        /// 1-based source line.
-        line: usize,
         /// What was wrong.
         detail: String,
     },
-    /// Label error detected at build time.
+    /// Malformed or unknown `.`-directive.
+    BadDirective {
+        /// What was wrong.
+        detail: String,
+    },
+    /// `.include` named a unit that was not passed to [`assemble_units`].
+    UnknownInclude {
+        /// The missing unit name.
+        unit: String,
+    },
+    /// `.include` recursion re-entered a unit already being expanded.
+    IncludeCycle {
+        /// The unit that closed the cycle.
+        unit: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The doubly-defined label.
+        label: String,
+    },
+    /// A branch target or constant reference that names neither a label nor
+    /// a `.const`.
+    UndefinedSymbol {
+        /// The unresolved name.
+        symbol: String,
+    },
+    /// Label error surfaced by the program builder (unreachable in practice:
+    /// labels and targets are pre-validated before building).
     Program(ProgramError),
+}
+
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmErrorKind::UnknownMnemonic {
+                mnemonic,
+                suggestion,
+            } => {
+                write!(f, "unknown mnemonic `{mnemonic}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
+            AsmErrorKind::BadOperands { detail } => write!(f, "bad operands: {detail}"),
+            AsmErrorKind::BadDirective { detail } => write!(f, "bad directive: {detail}"),
+            AsmErrorKind::UnknownInclude { unit } => {
+                write!(f, "`.include` of unknown unit `{unit}`")
+            }
+            AsmErrorKind::IncludeCycle { unit } => {
+                write!(f, "`.include` cycle through unit `{unit}`")
+            }
+            AsmErrorKind::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmErrorKind::UndefinedSymbol { symbol } => write!(f, "undefined symbol `{symbol}`"),
+            AsmErrorKind::Program(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Error raised while assembling text: a [`Span`], the offending unit (for
+/// [`assemble_units`]; `None` for single-text [`assemble`]) and a typed
+/// [`AsmErrorKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Unit the error was found in (`None` for single-unit [`assemble`]).
+    pub unit: Option<String>,
+    /// Where in that unit.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AsmError::UnknownMnemonic { line, mnemonic } => {
-                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
-            }
-            AsmError::BadOperands { line, detail } => {
-                write!(f, "line {line}: bad operands: {detail}")
-            }
-            AsmError::Program(e) => write!(f, "{e}"),
+        match &self.unit {
+            Some(u) => write!(f, "{u}:{}:{}: {}", self.span.line, self.span.col, self.kind),
+            None => write!(
+                f,
+                "line {}, col {}: {}",
+                self.span.line, self.span.col, self.kind
+            ),
         }
     }
 }
@@ -50,7 +145,11 @@ impl std::error::Error for AsmError {}
 
 impl From<ProgramError> for AsmError {
     fn from(e: ProgramError) -> Self {
-        AsmError::Program(e)
+        AsmError {
+            unit: None,
+            span: Span { line: 0, col: 0 },
+            kind: AsmErrorKind::Program(e),
+        }
     }
 }
 
@@ -96,6 +195,25 @@ fn alu_from(name: &str) -> Option<AluOp> {
         _ => return None,
     })
 }
+
+const ALL_ALU: [AluOp; 16] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Min,
+    AluOp::Max,
+];
 
 fn fp_name(op: FpOp) -> &'static str {
     match op {
@@ -539,7 +657,8 @@ pub fn disassemble(i: &Inst) -> String {
     }
 }
 
-/// Renders a whole program, emitting labels.
+/// Renders a whole program, emitting labels (including trailing labels that
+/// sit past the last instruction).
 pub fn disassemble_program(p: &Program) -> String {
     let mut by_index: Vec<(u32, &str)> = p.labels().map(|(l, i)| (i, l)).collect();
     by_index.sort();
@@ -555,120 +674,199 @@ pub fn disassemble_program(p: &Program) -> String {
         out.push_str(&disassemble(inst));
         out.push('\n');
     }
+    for (i, l) in &by_index {
+        if *i as usize >= p.insts().len() {
+            out.push_str(l);
+            out.push_str(":\n");
+        }
+    }
     out
 }
 
-struct Parser<'a> {
-    line: usize,
-    ops: Vec<&'a str>,
-    pos: usize,
+// ---- "did you mean" suggestions ----
+
+/// Enumerates every concrete mnemonic the parser accepts. Only used on the
+/// unknown-mnemonic error path, so the allocation cost is irrelevant.
+fn known_mnemonics() -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let fixed = [
+        "halt",
+        "nop",
+        "lui",
+        "jal",
+        "li",
+        "beq",
+        "bne",
+        "blt",
+        "bge",
+        "bltu",
+        "bgeu",
+        "fmv.x.f",
+        "fmv.f.x",
+        "ss.app",
+        "ss.end",
+        "ss.suspend",
+        "ss.resume",
+        "ss.stop",
+        "so.cfg.mem.l1",
+        "so.cfg.mem.l2",
+        "so.cfg.mem.dram",
+        "so.b.nend",
+        "so.b.end",
+        "so.b.pfirst",
+        "so.b.pany",
+        "so.b.pnone",
+        "so.p.fromvalid",
+        "so.p.mov",
+        "so.p.not",
+        "so.p.and",
+        "so.p.or",
+        "so.v.mv",
+    ];
+    out.extend(fixed.iter().map(|s| (*s).to_string()));
+    for op in ALL_ALU {
+        out.push(alu_name(op).to_string());
+        out.push(format!("{}i", alu_name(op)));
+    }
+    for e in ["app", "end"] {
+        for par in ["off", "size", "stride"] {
+            for bh in ["add", "sub"] {
+                out.push(format!("ss.{e}.mod.{par}.{bh}"));
+            }
+            for bh in ["setadd", "setsub", "setval"] {
+                out.push(format!("ss.{e}.ind.{par}.{bh}"));
+            }
+        }
+    }
+    for k in 0..8 {
+        out.push(format!("so.b.dim{k}.nend"));
+        out.push(format!("so.b.dim{k}.end"));
+    }
+    for w in ElemWidth::all() {
+        let w = w.suffix();
+        for m in [
+            "ld", "st", "fld", "fst", "fmadd", "fadd", "fsub", "fmul", "fdiv", "fmin", "fmax",
+            "fsqrt", "fabs", "fneg", "fmv", "vl1", "vs1", "vgather", "vscatter", "whilelt",
+            "incvl", "cntvl",
+        ] {
+            out.push(format!("{m}.{w}"));
+        }
+        out.push(format!("fcvt.f.x.{w}"));
+        out.push(format!("fcvt.x.f.{w}"));
+        for d in ["ld", "st"] {
+            out.push(format!("ss.{d}.{w}"));
+            out.push(format!("ss.{d}.{w}.sta"));
+        }
+        for m in ["getvl", "setvl", "load", "store"] {
+            out.push(format!("ss.{m}.{w}"));
+        }
+        out.push(format!("so.v.extr.f.{w}"));
+        out.push(format!("so.v.extr.x.{w}"));
+        for ty in ["fp", "sg"] {
+            out.push(format!("so.v.dup.{w}.{ty}"));
+            out.push(format!("so.a.mac.{w}.{ty}"));
+            out.push(format!("so.a.mac.vs.{w}.{ty}"));
+            for u in ["hadd", "hmax", "hmin", "abs", "neg", "sqrt", "mvp"] {
+                out.push(format!("so.a.{u}.{w}.{ty}"));
+            }
+            for vop in [
+                "add", "sub", "mul", "div", "min", "max", "and", "or", "xor", "shl", "shr",
+            ] {
+                out.push(format!("so.a.{vop}.{w}.{ty}"));
+                out.push(format!("so.a.{vop}.vs.{w}.{ty}"));
+            }
+            for c in ["eq", "ne", "lt", "le", "gt", "ge"] {
+                out.push(format!("so.p.{c}.{w}.{ty}"));
+            }
+        }
+    }
+    out
 }
 
-impl<'a> Parser<'a> {
-    fn err(&self, detail: impl Into<String>) -> AsmError {
-        AsmError::BadOperands {
-            line: self.line,
-            detail: detail.into(),
+/// Levenshtein distance, short-circuiting to `cap + 1` when the answer
+/// cannot be within `cap`.
+fn levenshtein(a: &str, b: &str, cap: usize) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > cap {
+        return cap + 1;
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for i in 1..=a.len() {
+        cur[0] = i;
+        for j in 1..=b.len() {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            cur[j] = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
         }
+        std::mem::swap(&mut prev, &mut cur);
     }
-
-    fn next(&mut self) -> Result<&'a str, AsmError> {
-        let t = self
-            .ops
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| self.err("missing operand"))?;
-        self.pos += 1;
-        Ok(t)
-    }
-
-    fn x(&mut self) -> Result<XReg, AsmError> {
-        let t = self.next()?;
-        parse_reg(t, 'x')
-            .and_then(XReg::try_new)
-            .ok_or_else(|| self.err(format!("expected x register, got `{t}`")))
-    }
-
-    fn f(&mut self) -> Result<FReg, AsmError> {
-        let t = self.next()?;
-        parse_reg(t, 'f')
-            .and_then(FReg::try_new)
-            .ok_or_else(|| self.err(format!("expected f register, got `{t}`")))
-    }
-
-    fn v(&mut self) -> Result<VReg, AsmError> {
-        let t = self.next()?;
-        parse_reg(t, 'u')
-            .and_then(VReg::try_new)
-            .ok_or_else(|| self.err(format!("expected u register, got `{t}`")))
-    }
-
-    fn p(&mut self) -> Result<PReg, AsmError> {
-        let t = self.next()?;
-        parse_reg(t, 'p')
-            .and_then(PReg::try_new)
-            .ok_or_else(|| self.err(format!("expected p register, got `{t}`")))
-    }
-
-    fn imm(&mut self) -> Result<i64, AsmError> {
-        let t = self.next()?;
-        parse_imm(t).ok_or_else(|| self.err(format!("expected immediate, got `{t}`")))
-    }
-
-    /// `off(base)` address syntax.
-    fn addr(&mut self) -> Result<(i32, XReg), AsmError> {
-        let t = self.next()?;
-        let open = t.find('(').ok_or_else(|| self.err("expected off(base)"))?;
-        let close = t.rfind(')').ok_or_else(|| self.err("expected off(base)"))?;
-        let off = parse_imm(&t[..open]).ok_or_else(|| self.err("bad offset"))? as i32;
-        let base = parse_reg(&t[open + 1..close], 'x')
-            .and_then(XReg::try_new)
-            .ok_or_else(|| self.err("bad base register"))?;
-        Ok((off, base))
-    }
-
-    /// `uN[lane]` syntax.
-    fn v_lane(&mut self) -> Result<(VReg, u8), AsmError> {
-        let t = self.next()?;
-        let open = t.find('[').ok_or_else(|| self.err("expected u[lane]"))?;
-        let close = t.rfind(']').ok_or_else(|| self.err("expected u[lane]"))?;
-        let v = parse_reg(&t[..open], 'u')
-            .and_then(VReg::try_new)
-            .ok_or_else(|| self.err("bad u register"))?;
-        let lane = t[open + 1..close]
-            .parse::<u8>()
-            .map_err(|_| self.err("bad lane"))?;
-        Ok((v, lane))
-    }
-
-    fn dup_src(&mut self) -> Result<DupSrc, AsmError> {
-        let t = self.next()?;
-        if let Some(n) = parse_reg(t, 'x') {
-            return XReg::try_new(n)
-                .map(DupSrc::X)
-                .ok_or_else(|| self.err("bad x register"));
-        }
-        if let Some(n) = parse_reg(t, 'f') {
-            return FReg::try_new(n)
-                .map(DupSrc::F)
-                .ok_or_else(|| self.err("bad f register"));
-        }
-        Err(self.err(format!("expected x/f register, got `{t}`")))
-    }
-
-    /// Branch target: either a number (absolute) or a label.
-    fn target(&mut self) -> Result<Target<'a>, AsmError> {
-        let t = self.next()?;
-        Ok(match parse_imm(t) {
-            Some(v) => Target::Abs(v as u32),
-            None => Target::Label(t),
-        })
-    }
+    prev[b.len()]
 }
 
-enum Target<'a> {
-    Abs(u32),
-    Label(&'a str),
+/// Closest known mnemonic within edit distance 2 (ties broken
+/// lexicographically so the suggestion is deterministic).
+fn suggest(m: &str) -> Option<String> {
+    const MAX_DIST: usize = 2;
+    let mut best: Option<(usize, String)> = None;
+    for cand in known_mnemonics() {
+        let d = levenshtein(m, &cand, MAX_DIST);
+        if d <= MAX_DIST {
+            let better = match &best {
+                None => true,
+                Some((bd, bn)) => d < *bd || (d == *bd && cand < *bn),
+            };
+            if better {
+                best = Some((d, cand));
+            }
+        }
+    }
+    best.map(|(_, n)| n)
+}
+
+// ---- lexing helpers ----
+
+/// Cuts a line at the first `;` or `#` comment marker.
+fn strip_comment(s: &str) -> &str {
+    let cut = s.find([';', '#']).unwrap_or(s.len());
+    &s[..cut]
+}
+
+/// 1-based character column of byte offset `off` within `raw`.
+fn col_at(raw: &str, off: usize) -> usize {
+    raw[..off.min(raw.len())].chars().count() + 1
+}
+
+/// `true` for identifier-shaped tokens (label / constant names).
+fn is_ident(t: &str) -> bool {
+    let mut chars = t.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits leading `label:` prefixes off a comment-stripped line. Returns the
+/// labels with their byte offsets and the remaining statement with its byte
+/// offset (both relative to the start of `code`).
+#[allow(clippy::type_complexity)]
+fn split_labels(code: &str) -> (Vec<(usize, &str)>, (usize, &str)) {
+    let mut labels = Vec::new();
+    let mut off = code.len() - code.trim_start().len();
+    let mut s = code.trim_start();
+    while let Some(colon) = s.find(':') {
+        let label = s[..colon].trim_end();
+        if label.is_empty() || label.contains(char::is_whitespace) {
+            break;
+        }
+        labels.push((off, label));
+        let after = &s[colon + 1..];
+        let ws = after.len() - after.trim_start().len();
+        off += colon + 1 + ws;
+        s = after.trim_start();
+    }
+    (labels, (off, s.trim_end()))
 }
 
 fn parse_reg(t: &str, prefix: char) -> Option<u8> {
@@ -694,50 +892,517 @@ fn width_of(s: &str) -> Option<ElemWidth> {
     }
 }
 
+// ---- include expansion ----
+
+/// One post-expansion source line: which unit it came from (`None` in
+/// single-unit mode) and its 1-based line number there.
+struct SrcLine<'s> {
+    unit: Option<&'s str>,
+    line: usize,
+    raw: &'s str,
+}
+
+fn expand_units<'s>(
+    units: &[(&'s str, &'s str)],
+    named: bool,
+) -> Result<Vec<SrcLine<'s>>, AsmError> {
+    let mut seen = HashSet::new();
+    for (n, _) in units {
+        if !seen.insert(*n) {
+            return Err(AsmError {
+                unit: named.then(|| (*n).to_string()),
+                span: Span { line: 1, col: 1 },
+                kind: AsmErrorKind::BadDirective {
+                    detail: format!("unit `{n}` provided twice"),
+                },
+            });
+        }
+    }
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    expand_into(units, 0, named, &mut stack, &mut out)?;
+    Ok(out)
+}
+
+fn expand_into<'s>(
+    units: &[(&'s str, &'s str)],
+    idx: usize,
+    named: bool,
+    stack: &mut Vec<&'s str>,
+    out: &mut Vec<SrcLine<'s>>,
+) -> Result<(), AsmError> {
+    let (uname, text) = units[idx];
+    stack.push(uname);
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let unit = named.then_some(uname);
+        let stripped = strip_comment(raw);
+        let code = stripped.trim_start();
+        if let Some(rest) = code.strip_prefix(".include") {
+            if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+                let span = Span {
+                    line,
+                    col: col_at(raw, stripped.len() - code.len()),
+                };
+                let mkerr = |kind| AsmError {
+                    unit: unit.map(str::to_string),
+                    span,
+                    kind,
+                };
+                let target = rest.trim().trim_matches('"');
+                if target.is_empty() {
+                    return Err(mkerr(AsmErrorKind::BadDirective {
+                        detail: "`.include` needs a unit name".into(),
+                    }));
+                }
+                if target.contains(char::is_whitespace) {
+                    return Err(mkerr(AsmErrorKind::BadDirective {
+                        detail: "`.include` takes a single unit name".into(),
+                    }));
+                }
+                if stack.contains(&target) {
+                    return Err(mkerr(AsmErrorKind::IncludeCycle {
+                        unit: target.to_string(),
+                    }));
+                }
+                let Some(tidx) = units.iter().position(|(n, _)| *n == target) else {
+                    return Err(mkerr(AsmErrorKind::UnknownInclude {
+                        unit: target.to_string(),
+                    }));
+                };
+                expand_into(units, tidx, named, stack, out)?;
+                continue;
+            }
+        }
+        out.push(SrcLine { unit, line, raw });
+    }
+    stack.pop();
+    Ok(())
+}
+
+// ---- pass 1: labels, constants, statement list ----
+
+/// Symbol tables available while parsing instructions.
+struct Symbols<'s> {
+    labels: HashSet<&'s str>,
+    consts: HashMap<&'s str, i64>,
+}
+
+/// A non-directive statement awaiting instruction parsing.
+struct Stmt<'s> {
+    unit: Option<&'s str>,
+    line: usize,
+    raw: &'s str,
+    /// Byte offset of `text` within `raw`.
+    off: usize,
+    text: &'s str,
+}
+
+enum Item<'s> {
+    Label(&'s str),
+    Stmt(Stmt<'s>),
+}
+
+#[allow(clippy::type_complexity)]
+fn scan<'s>(lines: &[SrcLine<'s>]) -> Result<(Vec<Item<'s>>, Symbols<'s>), AsmError> {
+    let mut items = Vec::new();
+    let mut syms = Symbols {
+        labels: HashSet::new(),
+        consts: HashMap::new(),
+    };
+    let mut const_defs: Vec<(&'s str, Option<&'s str>, Span)> = Vec::new();
+    for l in lines {
+        let code = strip_comment(l.raw);
+        let (labels, (stmt_off, stmt)) = split_labels(code);
+        for (lab_off, lab) in labels {
+            let span = Span {
+                line: l.line,
+                col: col_at(l.raw, lab_off),
+            };
+            if !syms.labels.insert(lab) {
+                return Err(AsmError {
+                    unit: l.unit.map(str::to_string),
+                    span,
+                    kind: AsmErrorKind::DuplicateLabel {
+                        label: lab.to_string(),
+                    },
+                });
+            }
+            items.push(Item::Label(lab));
+        }
+        if stmt.is_empty() {
+            continue;
+        }
+        if stmt.starts_with('.') {
+            directive(l, stmt_off, stmt, &mut syms, &mut const_defs)?;
+            continue;
+        }
+        items.push(Item::Stmt(Stmt {
+            unit: l.unit,
+            line: l.line,
+            raw: l.raw,
+            off: stmt_off,
+            text: stmt,
+        }));
+    }
+    // A name must resolve unambiguously: reject label/constant collisions in
+    // either definition order.
+    for (name, unit, span) in const_defs {
+        if syms.labels.contains(name) {
+            return Err(AsmError {
+                unit: unit.map(str::to_string),
+                span,
+                kind: AsmErrorKind::BadDirective {
+                    detail: format!("constant `{name}` collides with a label of the same name"),
+                },
+            });
+        }
+    }
+    Ok((items, syms))
+}
+
+fn directive<'s>(
+    l: &SrcLine<'s>,
+    off: usize,
+    stmt: &'s str,
+    syms: &mut Symbols<'s>,
+    const_defs: &mut Vec<(&'s str, Option<&'s str>, Span)>,
+) -> Result<(), AsmError> {
+    let span = Span {
+        line: l.line,
+        col: col_at(l.raw, off),
+    };
+    let bad = |detail: String| AsmError {
+        unit: l.unit.map(str::to_string),
+        span,
+        kind: AsmErrorKind::BadDirective { detail },
+    };
+    let mut toks = stmt.split_whitespace();
+    match toks.next().unwrap_or(stmt) {
+        ".const" => {
+            let (Some(name), Some(value), None) = (toks.next(), toks.next(), toks.next()) else {
+                return Err(bad("expected `.const NAME VALUE`".into()));
+            };
+            if !is_ident(name) {
+                return Err(bad(format!("bad constant name `{name}`")));
+            }
+            let Some(v) = parse_imm(value).or_else(|| syms.consts.get(value).copied()) else {
+                return Err(bad(format!(
+                    "bad constant value `{value}` (integer literal or an already-defined constant)"
+                )));
+            };
+            if syms.consts.insert(name, v).is_some() {
+                return Err(bad(format!("constant `{name}` defined twice")));
+            }
+            const_defs.push((name, l.unit, span));
+            Ok(())
+        }
+        ".include" => Err(bad("`.include` must appear alone on its line".into())),
+        other => Err(bad(format!("unknown directive `{other}`"))),
+    }
+}
+
+// ---- pass 2: operand parsing ----
+
+struct Parser<'a, 's> {
+    unit: Option<&'s str>,
+    line: usize,
+    raw: &'s str,
+    /// Byte offset of the mnemonic within `raw`.
+    mn_off: usize,
+    mn_len: usize,
+    /// Operand tokens with their byte offsets within `raw`.
+    ops: Vec<(usize, &'s str)>,
+    pos: usize,
+    syms: &'a Symbols<'s>,
+}
+
+enum Target<'s> {
+    Abs(u32),
+    Label(&'s str),
+}
+
+impl<'a, 's> Parser<'a, 's> {
+    fn err_at(&self, off: usize, kind: AsmErrorKind) -> AsmError {
+        AsmError {
+            unit: self.unit.map(str::to_string),
+            span: Span {
+                line: self.line,
+                col: col_at(self.raw, off),
+            },
+            kind,
+        }
+    }
+
+    fn bad(&self, off: usize, detail: impl Into<String>) -> AsmError {
+        self.err_at(
+            off,
+            AsmErrorKind::BadOperands {
+                detail: detail.into(),
+            },
+        )
+    }
+
+    fn unknown(&self, m: &str) -> AsmError {
+        self.err_at(
+            self.mn_off,
+            AsmErrorKind::UnknownMnemonic {
+                mnemonic: m.to_string(),
+                suggestion: suggest(m),
+            },
+        )
+    }
+
+    /// Offset just past the last token — where a missing operand would be.
+    fn end_off(&self) -> usize {
+        self.ops
+            .last()
+            .map_or(self.mn_off + self.mn_len, |(o, t)| o + t.len())
+    }
+
+    fn next(&mut self) -> Result<(usize, &'s str), AsmError> {
+        let t = self
+            .ops
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.bad(self.end_off(), "missing operand"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn x(&mut self) -> Result<XReg, AsmError> {
+        let (off, t) = self.next()?;
+        parse_reg(t, 'x')
+            .and_then(XReg::try_new)
+            .ok_or_else(|| self.bad(off, format!("expected x register, got `{t}`")))
+    }
+
+    fn f(&mut self) -> Result<FReg, AsmError> {
+        let (off, t) = self.next()?;
+        parse_reg(t, 'f')
+            .and_then(FReg::try_new)
+            .ok_or_else(|| self.bad(off, format!("expected f register, got `{t}`")))
+    }
+
+    fn v(&mut self) -> Result<VReg, AsmError> {
+        let (off, t) = self.next()?;
+        parse_reg(t, 'u')
+            .and_then(VReg::try_new)
+            .ok_or_else(|| self.bad(off, format!("expected u register, got `{t}`")))
+    }
+
+    fn p(&mut self) -> Result<PReg, AsmError> {
+        let (off, t) = self.next()?;
+        parse_reg(t, 'p')
+            .and_then(PReg::try_new)
+            .ok_or_else(|| self.bad(off, format!("expected p register, got `{t}`")))
+    }
+
+    /// Integer literal or `.const` reference.
+    fn resolve_int(&self, t: &str) -> Option<i64> {
+        parse_imm(t).or_else(|| self.syms.consts.get(t.trim()).copied())
+    }
+
+    fn imm_at(&mut self) -> Result<(usize, i64), AsmError> {
+        let (off, t) = self.next()?;
+        if let Some(v) = self.resolve_int(t) {
+            return Ok((off, v));
+        }
+        if self.syms.labels.contains(t) {
+            return Err(self.bad(off, format!("label `{t}` is not an integer constant")));
+        }
+        if is_ident(t) {
+            return Err(self.err_at(
+                off,
+                AsmErrorKind::UndefinedSymbol {
+                    symbol: t.to_string(),
+                },
+            ));
+        }
+        Err(self.bad(off, format!("expected immediate, got `{t}`")))
+    }
+
+    fn imm(&mut self) -> Result<i64, AsmError> {
+        self.imm_at().map(|(_, v)| v)
+    }
+
+    /// Immediate that must fit the instruction's signed `bits`-bit field.
+    fn imm_bits(&mut self, bits: u32) -> Result<i32, AsmError> {
+        let (off, v) = self.imm_at()?;
+        let (min, max) = (-(1i64 << (bits - 1)), (1i64 << (bits - 1)) - 1);
+        if v < min || v > max {
+            return Err(self.bad(
+                off,
+                format!("immediate {v} outside the signed {bits}-bit field ({min}..={max})"),
+            ));
+        }
+        Ok(v as i32)
+    }
+
+    /// `off(base)` address syntax; the offset may be a `.const` name.
+    fn addr(&mut self) -> Result<(i32, XReg), AsmError> {
+        let (at, t) = self.next()?;
+        let (Some(open), Some(close)) = (t.find('('), t.rfind(')')) else {
+            return Err(self.bad(at, "expected off(base)"));
+        };
+        if close < open + 1 {
+            return Err(self.bad(at, "expected off(base)"));
+        }
+        let off = self
+            .resolve_int(&t[..open])
+            .ok_or_else(|| self.bad(at, "bad offset"))?;
+        if !(-2048..=2047).contains(&off) {
+            return Err(self.bad(
+                at,
+                format!("offset {off} outside the signed 12-bit field (-2048..=2047)"),
+            ));
+        }
+        let off = off as i32;
+        let base = parse_reg(&t[open + 1..close], 'x')
+            .and_then(XReg::try_new)
+            .ok_or_else(|| self.bad(at, "bad base register"))?;
+        Ok((off, base))
+    }
+
+    /// `uN[lane]` syntax; the lane may be a `.const` name.
+    fn v_lane(&mut self) -> Result<(VReg, u8), AsmError> {
+        let (at, t) = self.next()?;
+        let (Some(open), Some(close)) = (t.find('['), t.rfind(']')) else {
+            return Err(self.bad(at, "expected u[lane]"));
+        };
+        if close < open + 1 {
+            return Err(self.bad(at, "expected u[lane]"));
+        }
+        let v = parse_reg(&t[..open], 'u')
+            .and_then(VReg::try_new)
+            .ok_or_else(|| self.bad(at, "bad u register"))?;
+        let lane = self
+            .resolve_int(&t[open + 1..close])
+            .and_then(|l| u8::try_from(l).ok())
+            .filter(|l| *l < 64)
+            .ok_or_else(|| self.bad(at, "bad lane (must be 0..=63)"))?;
+        Ok((v, lane))
+    }
+
+    fn dup_src(&mut self) -> Result<DupSrc, AsmError> {
+        let (off, t) = self.next()?;
+        if let Some(n) = parse_reg(t, 'x') {
+            return XReg::try_new(n)
+                .map(DupSrc::X)
+                .ok_or_else(|| self.bad(off, "bad x register"));
+        }
+        if let Some(n) = parse_reg(t, 'f') {
+            return FReg::try_new(n)
+                .map(DupSrc::F)
+                .ok_or_else(|| self.bad(off, "bad f register"));
+        }
+        Err(self.bad(off, format!("expected x/f register, got `{t}`")))
+    }
+
+    /// Branch target: a number or `.const` (absolute index) or a label.
+    fn target(&mut self) -> Result<Target<'s>, AsmError> {
+        let (off, t) = self.next()?;
+        if let Some(v) = parse_imm(t) {
+            return Ok(Target::Abs(v as u32));
+        }
+        if self.syms.labels.contains(t) {
+            return Ok(Target::Label(t));
+        }
+        if let Some(&v) = self.syms.consts.get(t) {
+            return Ok(Target::Abs(v as u32));
+        }
+        Err(self.err_at(
+            off,
+            AsmErrorKind::UndefinedSymbol {
+                symbol: t.to_string(),
+            },
+        ))
+    }
+}
+
+/// Splits a statement into its mnemonic and comma-separated operand tokens,
+/// tracking byte offsets for spans.
+fn tokenize<'a, 's>(s: &Stmt<'s>, syms: &'a Symbols<'s>) -> (&'s str, Parser<'a, 's>) {
+    let text = s.text;
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(i) => (&text[..i], &text[i..]),
+        None => (text, ""),
+    };
+    let rest_off = s.off + (text.len() - rest.len());
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    for piece in rest.split(',') {
+        let t = piece.trim();
+        if !t.is_empty() {
+            let lead = piece.len() - piece.trim_start().len();
+            ops.push((rest_off + pos + lead, t));
+        }
+        pos += piece.len() + 1;
+    }
+    let parser = Parser {
+        unit: s.unit,
+        line: s.line,
+        raw: s.raw,
+        mn_off: s.off,
+        mn_len: mnemonic.len(),
+        ops,
+        pos: 0,
+        syms,
+    };
+    (mnemonic, parser)
+}
+
+// ---- entry points ----
+
 /// Assembles a text program.
 ///
 /// One instruction per line; `label:` lines (or prefixes) define labels; `;`
-/// and `#` start comments.
+/// and `#` start comments; `.const NAME VALUE` defines symbolic integer
+/// constants usable in any integer operand.
 ///
 /// # Errors
 ///
-/// Returns the first syntax or label error encountered.
+/// Returns the first syntax, directive or symbol error encountered, with a
+/// [`Span`] pointing at the offending token.
 pub fn assemble(name: &str, text: &str) -> Result<Program, AsmError> {
+    assemble_inner(name, &[("<asm>", text)], false)
+}
+
+/// Assembles a program from multiple named units, splicing `.include UNIT`
+/// lines in place. `units[0]` is the entry point; the other units are only
+/// assembled where included. No filesystem I/O happens — the caller supplies
+/// every `(name, text)` pair. Errors carry the unit name they occurred in.
+///
+/// # Errors
+///
+/// Returns the first syntax, directive, include or symbol error encountered.
+pub fn assemble_units(name: &str, units: &[(&str, &str)]) -> Result<Program, AsmError> {
+    if units.is_empty() {
+        return Err(AsmError {
+            unit: None,
+            span: Span { line: 1, col: 1 },
+            kind: AsmErrorKind::BadDirective {
+                detail: "no units provided".into(),
+            },
+        });
+    }
+    assemble_inner(name, units, true)
+}
+
+fn assemble_inner(name: &str, units: &[(&str, &str)], named: bool) -> Result<Program, AsmError> {
+    let lines = expand_units(units, named)?;
+    let (items, syms) = scan(&lines)?;
     let mut b = ProgramBuilder::new(name);
-    for (lineno, raw) in text.lines().enumerate() {
-        let line = lineno + 1;
-        let mut s = raw;
-        if let Some(i) = s.find(';') {
-            s = &s[..i];
-        }
-        if let Some(i) = s.find('#') {
-            s = &s[..i];
-        }
-        let mut s = s.trim();
-        // Leading labels (possibly several).
-        while let Some(colon) = s.find(':') {
-            let (label, rest) = s.split_at(colon);
-            let label = label.trim();
-            if label.is_empty() || label.contains(char::is_whitespace) {
-                break;
+    for item in &items {
+        match item {
+            Item::Label(l) => {
+                b.label(*l);
             }
-            b.label(label);
-            s = rest[1..].trim();
+            Item::Stmt(s) => {
+                let (mnemonic, mut p) = tokenize(s, &syms);
+                parse_inst(&mut b, mnemonic, &mut p)?;
+            }
         }
-        if s.is_empty() {
-            continue;
-        }
-        let (mnemonic, rest) = match s.find(char::is_whitespace) {
-            Some(i) => (&s[..i], &s[i..]),
-            None => (s, ""),
-        };
-        let ops: Vec<&str> = rest
-            .split(',')
-            .map(str::trim)
-            .filter(|t| !t.is_empty())
-            .collect();
-        let mut p = Parser { line, ops, pos: 0 };
-        parse_inst(&mut b, mnemonic, &mut p)?;
     }
     Ok(b.build()?)
 }
@@ -756,12 +1421,8 @@ fn push_branch(b: &mut ProgramBuilder, inst: Inst, t: Target<'_>) {
 }
 
 #[allow(clippy::too_many_lines)]
-fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(), AsmError> {
+fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_, '_>) -> Result<(), AsmError> {
     let parts: Vec<&str> = m.split('.').collect();
-    let unknown = || AsmError::UnknownMnemonic {
-        line: p.line,
-        mnemonic: m.to_string(),
-    };
     match parts.as_slice() {
         ["halt"] => {
             b.push(Inst::Halt);
@@ -772,7 +1433,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
         ["lui"] => {
             let i = Inst::Lui {
                 rd: p.x()?,
-                imm: p.imm()? as i32,
+                imm: p.imm_bits(20)?,
             };
             b.push(i);
         }
@@ -928,7 +1589,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
         ["ss", d @ ("ld" | "st"), w, rest @ ..] if width_of(w).is_some() => {
             let done = !matches!(rest, ["sta"]);
             if !rest.is_empty() && rest != ["sta"] {
-                return Err(unknown());
+                return Err(p.unknown(m));
             }
             let dir = if *d == "ld" { Dir::Load } else { Dir::Store };
             b.push(Inst::SsStart {
@@ -951,11 +1612,11 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             });
         }
         ["ss", e @ ("app" | "end"), "mod", t, bh] => {
-            let target = param_from(t).ok_or_else(unknown)?;
+            let target = param_from(t).ok_or_else(|| p.unknown(m))?;
             let behaviour = match *bh {
                 "add" => Behaviour::Add,
                 "sub" => Behaviour::Sub,
-                _ => return Err(unknown()),
+                _ => return Err(p.unknown(m)),
             };
             b.push(Inst::SsAppMod {
                 u: p.v()?,
@@ -967,12 +1628,12 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             });
         }
         ["ss", e @ ("app" | "end"), "ind", t, bh] => {
-            let target = param_from(t).ok_or_else(unknown)?;
+            let target = param_from(t).ok_or_else(|| p.unknown(m))?;
             let behaviour = match *bh {
                 "setadd" => IndirectBehaviour::SetAdd,
                 "setsub" => IndirectBehaviour::SetSub,
                 "setval" => IndirectBehaviour::SetValue,
-                _ => return Err(unknown()),
+                _ => return Err(p.unknown(m)),
             };
             b.push(Inst::SsAppInd {
                 u: p.v()?,
@@ -1030,7 +1691,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
                 "l1" => MemLevel::L1,
                 "l2" => MemLevel::L2,
                 "dram" => MemLevel::Mem,
-                _ => return Err(unknown()),
+                _ => return Err(p.unknown(m)),
             };
             b.push(Inst::SsCfgMem { u: p.v()?, level });
         }
@@ -1046,7 +1707,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             push_branch(b, Inst::SsBranch { cond, u, target: 0 }, t);
         }
         ["so", "b", dim, e @ ("nend" | "end")] if dim.starts_with("dim") => {
-            let k: u8 = dim[3..].parse().map_err(|_| unknown())?;
+            let k: u8 = dim[3..].parse().map_err(|_| p.unknown(m))?;
             let cond = if *e == "nend" {
                 StreamCond::DimNotEnd(k)
             } else {
@@ -1079,7 +1740,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             let ty = match *ty {
                 "fp" => VType::Fp,
                 "sg" => VType::Int,
-                _ => return Err(unknown()),
+                _ => return Err(p.unknown(m)),
             };
             b.push(Inst::VDup {
                 vd: p.v()?,
@@ -1115,7 +1776,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             });
         }
         ["so", "a", "mac", "vs", w, ty] if width_of(w).is_some() => {
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VMacVS {
                 ty,
                 width: width_of(w).unwrap(),
@@ -1126,7 +1787,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             });
         }
         ["so", "a", "mac", w, ty] if width_of(w).is_some() => {
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VMac {
                 ty,
                 width: width_of(w).unwrap(),
@@ -1142,7 +1803,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
                 "hmax" => HorizOp::Max,
                 _ => HorizOp::Min,
             };
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VRed {
                 op,
                 ty,
@@ -1159,7 +1820,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
                 "sqrt" => VUnOp::Sqrt,
                 _ => VUnOp::Mv,
             };
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VUn {
                 op,
                 ty,
@@ -1170,7 +1831,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             });
         }
         ["so", "a", op, "vs", w, ty] if vop_from(op).is_some() && width_of(w).is_some() => {
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VArithVS {
                 op: vop_from(op).unwrap(),
                 ty,
@@ -1182,7 +1843,7 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
             });
         }
         ["so", "a", op, w, ty] if vop_from(op).is_some() && width_of(w).is_some() => {
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VArith {
                 op: vop_from(op).unwrap(),
                 ty,
@@ -1229,9 +1890,9 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
                 "le" => VCmpOp::Le,
                 "gt" => VCmpOp::Gt,
                 "ge" => VCmpOp::Ge,
-                _ => return Err(unknown()),
+                _ => return Err(p.unknown(m)),
             };
-            let ty = vtype(ty).ok_or_else(unknown)?;
+            let ty = vtype(ty).ok_or_else(|| p.unknown(m))?;
             b.push(Inst::VCmp {
                 op,
                 ty,
@@ -1317,12 +1978,12 @@ fn parse_inst(b: &mut ProgramBuilder, m: &str, p: &mut Parser<'_>) -> Result<(),
                 if let Some(op) = alu_from(&parts[0][..parts[0].len() - 1]) {
                     let rd = p.x()?;
                     let rs1 = p.x()?;
-                    let imm = p.imm()? as i32;
+                    let imm = p.imm_bits(12)?;
                     b.push(Inst::AluImm { op, rd, rs1, imm });
                     return Ok(());
                 }
             }
-            return Err(unknown());
+            return Err(p.unknown(m));
         }
     }
     Ok(())
@@ -1380,21 +2041,59 @@ loop:
     }
 
     #[test]
-    fn unknown_mnemonic_reports_line() {
+    fn strict_roundtrip_includes_labels_and_name() {
+        use crate::reg::XReg;
+        let mut b = ProgramBuilder::new("strict");
+        b.label("start");
+        b.push(Inst::Nop);
+        b.branch(BrCond::Eq, XReg::A0, XReg::ZERO, "done");
+        b.stream_branch(StreamCond::NotEnd, crate::reg::VReg::new(0), "start");
+        b.push(Inst::Halt);
+        b.label("done");
+        let p = b.build().unwrap();
+        // `done` sits past the last instruction; it must survive the trip.
+        let p2 = assemble(p.name(), &disassemble_program(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line_and_col() {
         let err = assemble("t", "\n  bogus x0, x1\n").unwrap_err();
-        match err {
-            AsmError::UnknownMnemonic { line, mnemonic } => {
-                assert_eq!(line, 2);
-                assert_eq!(mnemonic, "bogus");
+        assert_eq!(err.span, Span { line: 2, col: 3 });
+        assert_eq!(err.unit, None);
+        match err.kind {
+            AsmErrorKind::UnknownMnemonic { mnemonic, .. } => assert_eq!(mnemonic, "bogus"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_mnemonic_suggests_near_miss() {
+        let err = assemble("t", "haltt").unwrap_err();
+        match err.kind {
+            AsmErrorKind::UnknownMnemonic { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("halt"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let err = assemble("t", "so.a.madc.w.fp u0, u1, u2, p0").unwrap_err();
+        match err.kind {
+            AsmErrorKind::UnknownMnemonic { suggestion, .. } => {
+                assert_eq!(suggestion.as_deref(), Some("so.a.mac.w.fp"));
             }
             other => panic!("unexpected: {other:?}"),
         }
     }
 
     #[test]
-    fn bad_operand_reports_detail() {
+    fn bad_operand_reports_detail_and_span() {
         let err = assemble("t", "add x1, x2").unwrap_err();
-        assert!(matches!(err, AsmError::BadOperands { line: 1, .. }));
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands { .. }));
+        // Missing operand points just past the last token.
+        assert_eq!(err.span, Span { line: 1, col: 11 });
+        let err = assemble("t", "add x1, x2, q3").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperands { .. }));
+        assert_eq!(err.span, Span { line: 1, col: 13 });
     }
 
     #[test]
@@ -1479,5 +2178,203 @@ loop:
                 imm: 0x7f
             }
         );
+    }
+
+    #[test]
+    fn const_directive_resolves_everywhere() {
+        let text = "
+.const N 64
+.const N2 N
+.const LANE 3
+    li x10, N
+    addi x11, x0, N2
+    ld.w x12, N(x11)
+    so.v.extr.f.w f1, u2[LANE]
+    halt
+";
+        let p = assemble("t", text).unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: 64
+            }
+        );
+        assert_eq!(
+            p.fetch(1).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A1,
+                rs1: XReg::ZERO,
+                imm: 64
+            }
+        );
+        assert!(matches!(p.fetch(2).unwrap(), Inst::Ld { off: 64, .. }));
+        assert!(matches!(
+            p.fetch(3).unwrap(),
+            Inst::VExtractF { lane: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn const_defined_after_use_still_resolves() {
+        // Constants are collected before instructions are parsed.
+        let p = assemble("t", "    li x10, LATE\n.const LATE 7\n    halt").unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: 7
+            }
+        );
+    }
+
+    #[test]
+    fn const_as_branch_target() {
+        let p = assemble("t", ".const TGT 1\n    nop\n    jal x0, TGT\n    halt").unwrap();
+        assert_eq!(p.fetch(1).unwrap().branch_target(), Some(1));
+    }
+
+    #[test]
+    fn bad_directives_are_typed_errors() {
+        for text in [
+            ".const",
+            ".const 5 5",
+            ".const N",
+            ".const N x,y z",
+            ".const N nope",
+            ".weird 1",
+        ] {
+            let err = assemble("t", text).unwrap_err();
+            assert!(
+                matches!(err.kind, AsmErrorKind::BadDirective { .. }),
+                "{text}: {err:?}"
+            );
+        }
+        let err = assemble("t", ".const N 1\n.const N 2\nhalt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadDirective { .. }));
+    }
+
+    #[test]
+    fn const_label_collision_is_error() {
+        let err = assemble("t", ".const foo 1\nfoo:\n    halt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadDirective { .. }));
+        let err = assemble("t", "foo:\n    halt\n.const foo 1").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadDirective { .. }));
+    }
+
+    #[test]
+    fn include_splices_units() {
+        let units = [
+            ("main", "    .include prologue\n    halt\n"),
+            ("prologue", "start:\n    nop\n"),
+        ];
+        let p = assemble_units("t", &units).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.fetch(1).unwrap(), Inst::Halt);
+    }
+
+    #[test]
+    fn include_shares_consts_across_units() {
+        let units = [
+            ("main", ".include params\n    li x10, COUNT\n    halt\n"),
+            ("params", ".const COUNT 32\n"),
+        ];
+        let p = assemble_units("t", &units).unwrap();
+        assert_eq!(
+            p.fetch(0).unwrap(),
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: XReg::A0,
+                rs1: XReg::ZERO,
+                imm: 32
+            }
+        );
+    }
+
+    #[test]
+    fn include_cycle_is_typed_error() {
+        let units = [("a", ".include b\n"), ("b", ".include a\n")];
+        let err = assemble_units("t", &units).unwrap_err();
+        assert_eq!(err.unit.as_deref(), Some("b"));
+        match err.kind {
+            AsmErrorKind::IncludeCycle { unit } => assert_eq!(unit, "a"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_include_is_typed_error() {
+        let err = assemble_units("t", &[("a", ".include nope\n    halt\n")]).unwrap_err();
+        assert_eq!(err.unit.as_deref(), Some("a"));
+        assert_eq!(err.span.line, 1);
+        match err.kind {
+            AsmErrorKind::UnknownInclude { unit } => assert_eq!(unit, "nope"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unit_errors_carry_unit_name_in_display() {
+        let units = [("main", ".include lib\n    halt\n"), ("lib", "\n  bogus\n")];
+        let err = assemble_units("t", &units).unwrap_err();
+        assert_eq!(err.unit.as_deref(), Some("lib"));
+        assert_eq!(err.span, Span { line: 2, col: 3 });
+        assert!(err.to_string().starts_with("lib:2:3:"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_label_reports_second_definition_site() {
+        let err = assemble("t", "a:\n    nop\na:\n    halt").unwrap_err();
+        assert_eq!(err.span, Span { line: 3, col: 1 });
+        match err.kind {
+            AsmErrorKind::DuplicateLabel { label } => assert_eq!(label, "a"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_symbol_reports_token_span() {
+        let err = assemble("t", "so.b.nend u0, nowhere\nhalt").unwrap_err();
+        assert_eq!(err.span, Span { line: 1, col: 15 });
+        match err.kind {
+            AsmErrorKind::UndefinedSymbol { symbol } => assert_eq!(symbol, "nowhere"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_inputs_error_instead_of_panicking() {
+        // The first two used to panic via inverted slice ranges in the
+        // off(base) / u[lane] scanners.
+        for text in [
+            "ld.w x1, )8(x2",
+            "so.v.extr.f.w f1, ]u2[",
+            "ld.w x1, 8)x2(",
+            "ld.w x1, (x2",
+            "so.v.extr.f.w f1, u2[",
+            "add x1, x2,",
+            "so.b.dim u0, 3",
+            "so.b.dim99999999 u0, 3",
+            ":\n::\nhalt",
+            ".include",
+            "x: .include y",
+        ] {
+            let _ = assemble("t", text);
+        }
+        assert!(assemble("t", "ld.w x1, )8(x2").is_err());
+        assert!(assemble("t", "so.v.extr.f.w f1, ]u2[").is_err());
+    }
+
+    #[test]
+    fn empty_units_rejected() {
+        assert!(assemble_units("t", &[]).is_err());
+        let units = [("a", "halt\n"), ("a", "nop\n")];
+        assert!(assemble_units("t", &units).is_err());
     }
 }

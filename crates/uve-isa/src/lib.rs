@@ -49,7 +49,9 @@ mod inst;
 mod program;
 mod reg;
 
-pub use asm::{assemble, disassemble, disassemble_program, AsmError};
+pub use asm::{
+    assemble, assemble_units, disassemble, disassemble_program, AsmError, AsmErrorKind, Span,
+};
 pub use encode::{decode, encode, encode_program, DecodeError, EncodeError};
 pub use flat::{lower, FlatOp};
 pub use inst::{

@@ -2,7 +2,7 @@
 //! convenience, and tolerant float comparison.
 
 use uve_core::Emulator;
-use uve_isa::{assemble, Program};
+use uve_isa::{assemble, assemble_units, Program};
 
 /// A seeded SplitMix64 PRNG (Steele, Lea & Flood, *Fast Splittable
 /// Pseudorandom Number Generators*, OOPSLA 2014) — the workload generator.
@@ -62,6 +62,20 @@ pub fn asm(name: &'static str, text: &str) -> Program {
     match assemble(name, text) {
         Ok(p) => p,
         Err(e) => panic!("kernel `{name}` failed to assemble: {e}\n{text}"),
+    }
+}
+
+/// Assembles a multi-unit program (entry unit first), panicking with a
+/// readable message on failure. The dsp/sparse families author their kernel
+/// bodies as checked-in `.uve` text that `.include`s a generated `.const`
+/// parameter unit; this is their registration entry point.
+pub fn asm_units(name: &'static str, units: &[(&str, &str)]) -> Program {
+    match assemble_units(name, units) {
+        Ok(p) => p,
+        Err(e) => {
+            let entry = units.first().map(|(_, t)| *t).unwrap_or("");
+            panic!("kernel `{name}` failed to assemble: {e}\n{entry}")
+        }
     }
 }
 

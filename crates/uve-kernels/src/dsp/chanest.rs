@@ -1,0 +1,351 @@
+//! **ChanEst** (wireless baseband): least-squares channel estimation over a
+//! pilot sequence — the complex correlation `ĥ = Σ_i y[i]·conj(p[i])` of the
+//! received symbols `y` against the known pilots `p`, both stored as
+//! interleaved re/im `f32` pairs.
+//!
+//! The UVE flavour de-interleaves with four stride-2 streams (re/im of each
+//! array) and keeps two vector accumulators (real and imaginary part) live
+//! across the whole sequence; the conjugation is a stream-register negate.
+
+use crate::common::{asm_units, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Checked-in UVE assembly: four stride-2 streams, dual MAC accumulators.
+static UVE_TEXT: &str = "
+    .include params
+    li x10, NPAIRS
+    li x12, 2
+    li x13, 1
+    li x20, YBASE
+    ss.ld.w u0, x20, x10, x12
+    li x20, YIMB
+    ss.ld.w u1, x20, x10, x12
+    li x20, PBASE
+    ss.ld.w u2, x20, x10, x12
+    li x20, PIMB
+    ss.ld.w u3, x20, x10, x12
+    li x6, 1
+    li x20, OUT
+    ss.st.w.sta u4, x20, x6, x13
+    ss.end u4, x0, x12, x13
+    so.v.dup.w.fp u8, f31
+    so.v.dup.w.fp u9, f31
+acc:
+    so.a.mvp.w.fp u10, u0, p0
+    so.a.mvp.w.fp u11, u1, p0
+    so.a.mvp.w.fp u12, u2, p0
+    so.a.mvp.w.fp u13, u3, p0
+    so.a.mac.w.fp u8, u10, u12, p0
+    so.a.mac.w.fp u8, u11, u13, p0
+    so.a.mac.w.fp u9, u11, u12, p0
+    so.a.neg.w.fp u14, u13, p0
+    so.a.mac.w.fp u9, u10, u14, p0
+    so.b.nend u0, acc
+    so.a.hadd.w.fp u4, u8, p0
+    so.a.hadd.w.fp u4, u9, p0
+    halt
+";
+
+/// Checked-in SVE/NEON assembly: gathers through a lane-index vector
+/// `{0,2,4,…}` (incremented by `2·VL` per iteration) to de-interleave.
+static SVE_TEXT: &str = "
+    .include params
+    li x10, NPAIRS
+    li x20, SCRATCH
+    cntvl.w x5
+    li x15, 0
+bld:
+    slli x16, x15, 1
+    slli x17, x15, 2
+    add x17, x20, x17
+    st.w x16, 0(x17)
+    addi x15, x15, 1
+    blt x15, x5, bld
+    li x15, 0
+    vl1.w u9, x20, x15, p0
+    slli x6, x5, 1
+    li x21, YBASE
+    li x22, YIMB
+    li x23, PBASE
+    li x24, PIMB
+    so.v.dup.w.fp u4, f31
+    so.v.dup.w.fp u6, f31
+    li x14, 0
+    whilelt.w p1, x14, x10
+acc:
+    vgather.w u1, x21, u9, p1
+    vgather.w u2, x22, u9, p1
+    vgather.w u3, x23, u9, p1
+    vgather.w u5, x24, u9, p1
+    so.a.mac.w.fp u4, u1, u3, p1
+    so.a.mac.w.fp u4, u2, u5, p1
+    so.a.mac.w.fp u6, u2, u3, p1
+    so.a.neg.w.fp u7, u5, p1
+    so.a.mac.w.fp u6, u1, u7, p1
+    so.a.add.vs.w.sg u9, u9, x6, p0
+    incvl.w x14
+    whilelt.w p1, x14, x10
+    so.b.pfirst p1, acc
+    li x20, OUT
+    so.a.hadd.w.fp u8, u4, p0
+    so.v.extr.f.w f2, u8[0]
+    fst.w f2, 0(x20)
+    so.a.hadd.w.fp u8, u6, p0
+    so.v.extr.f.w f2, u8[0]
+    fst.w f2, 4(x20)
+    halt
+";
+
+/// Checked-in scalar assembly.
+static SCALAR_TEXT: &str = "
+    .include params
+    li x10, NPAIRS
+    li x21, YBASE
+    li x23, PBASE
+    fmv.w f5, f31
+    fmv.w f6, f31
+    li x15, 0
+acc:
+    fld.w f1, 0(x21)
+    fld.w f2, 4(x21)
+    fld.w f3, 0(x23)
+    fld.w f4, 4(x23)
+    fmadd.w f5, f1, f3, f5
+    fmadd.w f5, f2, f4, f5
+    fmadd.w f6, f2, f3, f6
+    fneg.w f4, f4
+    fmadd.w f6, f1, f4, f6
+    addi x21, x21, 8
+    addi x23, x23, 8
+    addi x15, x15, 1
+    blt x15, x10, acc
+    li x20, OUT
+    fst.w f5, 0(x20)
+    fst.w f6, 4(x20)
+    halt
+";
+
+/// The channel-estimation kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct ChanEst {
+    npairs: usize,
+}
+
+impl ChanEst {
+    /// Correlates `npairs` complex samples against `npairs` complex pilots.
+    pub fn new(npairs: usize) -> Self {
+        assert!(npairs > 0);
+        Self { npairs }
+    }
+
+    fn y(&self) -> u64 {
+        region(0)
+    }
+
+    fn p(&self) -> u64 {
+        region(1)
+    }
+
+    fn out(&self) -> u64 {
+        region(2)
+    }
+
+    fn scratch(&self) -> u64 {
+        region(3)
+    }
+
+    fn params(&self) -> String {
+        format!(
+            ".const NPAIRS {}\n.const YBASE {}\n.const YIMB {}\n.const PBASE {}\n\
+             .const PIMB {}\n.const OUT {}\n.const SCRATCH {}\n",
+            self.npairs,
+            self.y(),
+            self.y() + 4,
+            self.p(),
+            self.p() + 4,
+            self.out(),
+            self.scratch()
+        )
+    }
+
+    fn reference(&self) -> [f32; 2] {
+        let n = self.npairs;
+        let y = gen_f32(0xD2, 2 * n);
+        let p = gen_f32(0xD3, 2 * n);
+        let (mut re, mut im) = (0f32, 0f32);
+        for i in 0..n {
+            let (yr, yi) = (y[2 * i], y[2 * i + 1]);
+            let (pr, pi) = (p[2 * i], p[2 * i + 1]);
+            re += yr * pr + yi * pi;
+            im += yi * pr - yr * pi;
+        }
+        [re, im]
+    }
+}
+
+impl Benchmark for ChanEst {
+    fn name(&self) -> &'static str {
+        "ChanEst"
+    }
+
+    fn domain(&self) -> &'static str {
+        "wireless baseband"
+    }
+
+    fn streams(&self) -> usize {
+        5
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D strided (complex)"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let params = self.params();
+        let (name, text) = match flavor {
+            Flavor::Uve => ("chanest-uve", UVE_TEXT),
+            Flavor::Sve | Flavor::Neon => ("chanest-sve", SVE_TEXT),
+            Flavor::Scalar => ("chanest-scalar", SCALAR_TEXT),
+        };
+        asm_units(name, &[("entry", text), ("params", &params)])
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem
+            .write_f32_slice(self.y(), &gen_f32(0xD2, 2 * self.npairs));
+        emu.mem
+            .write_f32_slice(self.p(), &gen_f32(0xD3, 2 * self.npairs));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "h", self.out(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+    use uve_core::program_fingerprint;
+    use uve_isa::{
+        encode_program, Dir, DupSrc, ElemWidth, FReg, HorizOp, Inst, PReg, ProgramBuilder,
+        StreamCond, VReg, VType, VUnOp, XReg,
+    };
+
+    #[test]
+    fn all_flavors_correct() {
+        for n in [64usize, 37] {
+            let b = ChanEst::new(n);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_text_matches_builder_twin() {
+        let k = ChanEst::new(256);
+        let x = XReg::new;
+        let v = VReg::new;
+        let w = ElemWidth::Word;
+        let p0 = PReg::new(0);
+        let fp = VType::Fp;
+
+        let mut b = ProgramBuilder::new("chanest-uve");
+        b.li(x(10), k.npairs as i64);
+        b.li(x(12), 2);
+        b.li(x(13), 1);
+        for (i, base) in [k.y(), k.y() + 4, k.p(), k.p() + 4].into_iter().enumerate() {
+            b.li(x(20), base as i64);
+            b.push(Inst::SsStart {
+                u: v(i as u8),
+                dir: Dir::Load,
+                width: w,
+                base: x(20),
+                size: x(10),
+                stride: x(12),
+                done: true,
+            });
+        }
+        b.li(x(6), 1);
+        b.li(x(20), k.out() as i64);
+        b.push(Inst::SsStart {
+            u: v(4),
+            dir: Dir::Store,
+            width: w,
+            base: x(20),
+            size: x(6),
+            stride: x(13),
+            done: false,
+        });
+        b.push(Inst::SsApp {
+            u: v(4),
+            offset: x(0),
+            size: x(12),
+            stride: x(13),
+            end: true,
+        });
+        for acc in [8u8, 9] {
+            b.push(Inst::VDup {
+                vd: v(acc),
+                src: DupSrc::F(FReg::new(31)),
+                width: w,
+                ty: fp,
+            });
+        }
+        b.label("acc");
+        for (dst, src) in [(10u8, 0u8), (11, 1), (12, 2), (13, 3)] {
+            b.push(Inst::VUn {
+                op: VUnOp::Mv,
+                ty: fp,
+                width: w,
+                vd: v(dst),
+                vs: v(src),
+                pred: p0,
+            });
+        }
+        let mac = |vd: u8, vs1: u8, vs2: u8| Inst::VMac {
+            ty: fp,
+            width: w,
+            vd: v(vd),
+            vs1: v(vs1),
+            vs2: v(vs2),
+            pred: p0,
+        };
+        b.push(mac(8, 10, 12));
+        b.push(mac(8, 11, 13));
+        b.push(mac(9, 11, 12));
+        b.push(Inst::VUn {
+            op: VUnOp::Neg,
+            ty: fp,
+            width: w,
+            vd: v(14),
+            vs: v(13),
+            pred: p0,
+        });
+        b.push(mac(9, 10, 14));
+        b.stream_branch(StreamCond::NotEnd, v(0), "acc");
+        for acc in [8u8, 9] {
+            b.push(Inst::VRed {
+                op: HorizOp::Add,
+                ty: fp,
+                width: w,
+                vd: v(4),
+                vs: v(acc),
+                pred: p0,
+            });
+        }
+        b.push(Inst::Halt);
+        let twin = b.build().unwrap();
+
+        let text = k.program(Flavor::Uve);
+        assert_eq!(text, twin);
+        assert_eq!(
+            encode_program(&text).unwrap(),
+            encode_program(&twin).unwrap()
+        );
+        assert_eq!(program_fingerprint(&text), program_fingerprint(&twin));
+    }
+}

@@ -1,0 +1,468 @@
+//! **FFT-Stage** (wireless baseband): one radix-2 decimation-in-time
+//! butterfly stage of an `n`-point split-complex FFT, out-of-place.
+//!
+//! For stage `s` (butterfly half-span `h = 2^s`, group span `m = 2h`,
+//! `g = n/m` groups): `t = W·b`, `a' = a + t`, `b' = a − t`, with twiddles
+//! `W[j] = e^{-2πi·j/m}`.
+//!
+//! The UVE flavour expresses the whole stage as ten 2-D streams (four
+//! loads, two stride-0 twiddle replays, four stores) and a single
+//! branch-per-chunk butterfly loop — the group structure lives entirely in
+//! the stream descriptors.
+
+use crate::common::{asm_units, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Checked-in UVE assembly: ten streams, descriptor-encoded groups.
+static UVE_TEXT: &str = "
+    .include params
+    li x10, GROUPS
+    li x11, HALF
+    li x12, SPAN
+    li x13, 1
+    li x20, XR
+    ss.ld.w.sta u0, x20, x11, x13
+    ss.end u0, x0, x10, x12
+    li x20, XI
+    ss.ld.w.sta u1, x20, x11, x13
+    ss.end u1, x0, x10, x12
+    li x20, XRB
+    ss.ld.w.sta u2, x20, x11, x13
+    ss.end u2, x0, x10, x12
+    li x20, XIB
+    ss.ld.w.sta u3, x20, x11, x13
+    ss.end u3, x0, x10, x12
+    li x20, TWR
+    ss.ld.w.sta u4, x20, x11, x13
+    ss.end u4, x0, x10, x0
+    li x20, TWI
+    ss.ld.w.sta u5, x20, x11, x13
+    ss.end u5, x0, x10, x0
+    li x20, YR
+    ss.st.w.sta u6, x20, x11, x13
+    ss.end u6, x0, x10, x12
+    li x20, YI
+    ss.st.w.sta u7, x20, x11, x13
+    ss.end u7, x0, x10, x12
+    li x20, YRB
+    ss.st.w.sta u8, x20, x11, x13
+    ss.end u8, x0, x10, x12
+    li x20, YIB
+    ss.st.w.sta u9, x20, x11, x13
+    ss.end u9, x0, x10, x12
+bfly:
+    so.a.mvp.w.fp u10, u2, p0
+    so.a.mvp.w.fp u11, u3, p0
+    so.a.mvp.w.fp u12, u4, p0
+    so.a.mvp.w.fp u13, u5, p0
+    so.a.mvp.w.fp u14, u0, p0
+    so.a.mvp.w.fp u15, u1, p0
+    so.a.mul.w.fp u16, u12, u10, p0
+    so.a.mul.w.fp u17, u13, u11, p0
+    so.a.sub.w.fp u18, u16, u17, p0
+    so.a.mul.w.fp u16, u12, u11, p0
+    so.a.mul.w.fp u17, u13, u10, p0
+    so.a.add.w.fp u19, u16, u17, p0
+    so.a.add.w.fp u6, u14, u18, p0
+    so.a.add.w.fp u7, u15, u19, p0
+    so.a.sub.w.fp u8, u14, u18, p0
+    so.a.sub.w.fp u9, u15, u19, p0
+    so.b.nend u0, bfly
+    halt
+";
+
+/// Checked-in SVE/NEON assembly: scalar group loop, predicated j-loop.
+static SVE_TEXT: &str = "
+    .include params
+    li x10, GROUPS
+    li x11, HALF
+    li x12, SPAN
+    li x14, 0
+grp:
+    mul x16, x14, x12
+    slli x16, x16, 2
+    li x20, XR
+    add x21, x20, x16
+    li x20, XI
+    add x22, x20, x16
+    li x20, XRB
+    add x23, x20, x16
+    li x20, XIB
+    add x24, x20, x16
+    li x20, YR
+    add x25, x20, x16
+    li x20, YI
+    add x26, x20, x16
+    li x20, YRB
+    add x27, x20, x16
+    li x20, YIB
+    add x28, x20, x16
+    li x20, TWR
+    li x19, TWI
+    li x15, 0
+    whilelt.w p1, x15, x11
+bfly:
+    vl1.w u10, x23, x15, p1
+    vl1.w u11, x24, x15, p1
+    vl1.w u12, x20, x15, p1
+    vl1.w u13, x19, x15, p1
+    vl1.w u14, x21, x15, p1
+    vl1.w u15, x22, x15, p1
+    so.a.mul.w.fp u16, u12, u10, p1
+    so.a.mul.w.fp u17, u13, u11, p1
+    so.a.sub.w.fp u18, u16, u17, p1
+    so.a.mul.w.fp u16, u12, u11, p1
+    so.a.mul.w.fp u17, u13, u10, p1
+    so.a.add.w.fp u19, u16, u17, p1
+    so.a.add.w.fp u1, u14, u18, p1
+    vs1.w u1, x25, x15, p1
+    so.a.add.w.fp u1, u15, u19, p1
+    vs1.w u1, x26, x15, p1
+    so.a.sub.w.fp u1, u14, u18, p1
+    vs1.w u1, x27, x15, p1
+    so.a.sub.w.fp u1, u15, u19, p1
+    vs1.w u1, x28, x15, p1
+    incvl.w x15
+    whilelt.w p1, x15, x11
+    so.b.pfirst p1, bfly
+    addi x14, x14, 1
+    blt x14, x10, grp
+    halt
+";
+
+/// Checked-in scalar assembly.
+static SCALAR_TEXT: &str = "
+    .include params
+    li x10, GROUPS
+    li x11, HALF
+    li x12, SPAN
+    li x14, 0
+grp:
+    mul x16, x14, x12
+    slli x16, x16, 2
+    li x20, XR
+    add x21, x20, x16
+    li x20, XI
+    add x22, x20, x16
+    li x20, XRB
+    add x23, x20, x16
+    li x20, XIB
+    add x24, x20, x16
+    li x20, YR
+    add x25, x20, x16
+    li x20, YI
+    add x26, x20, x16
+    li x20, YRB
+    add x27, x20, x16
+    li x20, YIB
+    add x28, x20, x16
+    li x20, TWR
+    li x19, TWI
+    li x15, 0
+bfly:
+    fld.w f1, 0(x21)
+    fld.w f2, 0(x22)
+    fld.w f3, 0(x23)
+    fld.w f4, 0(x24)
+    fld.w f5, 0(x20)
+    fld.w f6, 0(x19)
+    fmul.w f7, f5, f3
+    fmul.w f8, f6, f4
+    fsub.w f7, f7, f8
+    fmul.w f8, f5, f4
+    fmul.w f9, f6, f3
+    fadd.w f8, f8, f9
+    fadd.w f10, f1, f7
+    fst.w f10, 0(x25)
+    fadd.w f10, f2, f8
+    fst.w f10, 0(x26)
+    fsub.w f10, f1, f7
+    fst.w f10, 0(x27)
+    fsub.w f10, f2, f8
+    fst.w f10, 0(x28)
+    addi x21, x21, 4
+    addi x22, x22, 4
+    addi x23, x23, 4
+    addi x24, x24, 4
+    addi x25, x25, 4
+    addi x26, x26, 4
+    addi x27, x27, 4
+    addi x28, x28, 4
+    addi x20, x20, 4
+    addi x19, x19, 4
+    addi x15, x15, 1
+    blt x15, x11, bfly
+    addi x14, x14, 1
+    blt x14, x10, grp
+    halt
+";
+
+/// One radix-2 FFT butterfly stage.
+#[derive(Debug, Clone, Copy)]
+pub struct FftStage {
+    n: usize,
+    stage: u32,
+}
+
+impl FftStage {
+    /// Stage `stage` (half-span `2^stage`) of an `n`-point FFT. `n` must be
+    /// a power of two with at least one full group at this stage.
+    pub fn new(n: usize, stage: u32) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two");
+        assert!(1usize << (stage + 1) <= n, "stage exceeds FFT size");
+        Self { n, stage }
+    }
+
+    fn half(&self) -> usize {
+        1 << self.stage
+    }
+
+    fn span(&self) -> usize {
+        2 * self.half()
+    }
+
+    fn groups(&self) -> usize {
+        self.n / self.span()
+    }
+
+    fn xr(&self) -> u64 {
+        region(0)
+    }
+
+    fn xi(&self) -> u64 {
+        region(1)
+    }
+
+    fn yr(&self) -> u64 {
+        region(2)
+    }
+
+    fn yi(&self) -> u64 {
+        region(3)
+    }
+
+    fn twr(&self) -> u64 {
+        region(4)
+    }
+
+    fn twi(&self) -> u64 {
+        region(5)
+    }
+
+    fn twiddles(&self) -> (Vec<f32>, Vec<f32>) {
+        let m = self.span() as f64;
+        (0..self.half())
+            .map(|j| {
+                let th = -2.0 * std::f64::consts::PI * j as f64 / m;
+                (th.cos() as f32, th.sin() as f32)
+            })
+            .unzip()
+    }
+
+    fn params(&self) -> String {
+        let hb = 4 * self.half() as u64;
+        format!(
+            ".const GROUPS {}\n.const HALF {}\n.const SPAN {}\n.const XR {}\n.const XI {}\n\
+             .const XRB {}\n.const XIB {}\n.const YR {}\n.const YI {}\n.const YRB {}\n\
+             .const YIB {}\n.const TWR {}\n.const TWI {}\n",
+            self.groups(),
+            self.half(),
+            self.span(),
+            self.xr(),
+            self.xi(),
+            self.xr() + hb,
+            self.xi() + hb,
+            self.yr(),
+            self.yi(),
+            self.yr() + hb,
+            self.yi() + hb,
+            self.twr(),
+            self.twi()
+        )
+    }
+
+    fn reference(&self) -> (Vec<f32>, Vec<f32>) {
+        let (n, h, m) = (self.n, self.half(), self.span());
+        let xr = gen_f32(0xD4, n);
+        let xi = gen_f32(0xD5, n);
+        let (twr, twi) = self.twiddles();
+        let mut yr = vec![0f32; n];
+        let mut yi = vec![0f32; n];
+        for p in 0..self.groups() {
+            let base = p * m;
+            for j in 0..h {
+                let (ar, ai) = (xr[base + j], xi[base + j]);
+                let (br, bi) = (xr[base + h + j], xi[base + h + j]);
+                let tr = twr[j] * br - twi[j] * bi;
+                let ti = twr[j] * bi + twi[j] * br;
+                yr[base + j] = ar + tr;
+                yi[base + j] = ai + ti;
+                yr[base + h + j] = ar - tr;
+                yi[base + h + j] = ai - ti;
+            }
+        }
+        (yr, yi)
+    }
+}
+
+impl Benchmark for FftStage {
+    fn name(&self) -> &'static str {
+        "FFT-Stage"
+    }
+
+    fn domain(&self) -> &'static str {
+        "wireless baseband"
+    }
+
+    fn streams(&self) -> usize {
+        10
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D grouped + replay"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let params = self.params();
+        let (name, text) = match flavor {
+            Flavor::Uve => ("fft-uve", UVE_TEXT),
+            Flavor::Sve | Flavor::Neon => ("fft-sve", SVE_TEXT),
+            Flavor::Scalar => ("fft-scalar", SCALAR_TEXT),
+        };
+        asm_units(name, &[("entry", text), ("params", &params)])
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem.write_f32_slice(self.xr(), &gen_f32(0xD4, self.n));
+        emu.mem.write_f32_slice(self.xi(), &gen_f32(0xD5, self.n));
+        let (twr, twi) = self.twiddles();
+        emu.mem.write_f32_slice(self.twr(), &twr);
+        emu.mem.write_f32_slice(self.twi(), &twi);
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        let (yr, yi) = self.reference();
+        check_f32(emu, "yr", self.yr(), &yr, TOL)?;
+        check_f32(emu, "yi", self.yi(), &yi, TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+    use uve_core::program_fingerprint;
+    use uve_isa::{
+        encode_program, Dir, ElemWidth, Inst, PReg, ProgramBuilder, StreamCond, VOp, VReg, VType,
+        VUnOp, XReg,
+    };
+
+    #[test]
+    fn all_flavors_correct() {
+        for (n, stage) in [(64usize, 0u32), (64, 2), (128, 4)] {
+            let b = FftStage::new(n, stage);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn stage_zero_through_log2n_compose() {
+        // Sanity of the reference construction: every legal stage runs.
+        for stage in 0..5 {
+            run_checked(&FftStage::new(32, stage), Flavor::Uve).unwrap();
+        }
+    }
+
+    #[test]
+    fn uve_text_matches_builder_twin() {
+        let k = FftStage::new(256, 3);
+        let x = XReg::new;
+        let v = VReg::new;
+        let w = ElemWidth::Word;
+        let p0 = PReg::new(0);
+        let fp = VType::Fp;
+        let hb = 4 * k.half() as u64;
+
+        let mut b = ProgramBuilder::new("fft-uve");
+        b.li(x(10), k.groups() as i64);
+        b.li(x(11), k.half() as i64);
+        b.li(x(12), k.span() as i64);
+        b.li(x(13), 1);
+        let streams: [(u8, u64, Dir, u8); 10] = [
+            (0, k.xr(), Dir::Load, 12),
+            (1, k.xi(), Dir::Load, 12),
+            (2, k.xr() + hb, Dir::Load, 12),
+            (3, k.xi() + hb, Dir::Load, 12),
+            (4, k.twr(), Dir::Load, 0),
+            (5, k.twi(), Dir::Load, 0),
+            (6, k.yr(), Dir::Store, 12),
+            (7, k.yi(), Dir::Store, 12),
+            (8, k.yr() + hb, Dir::Store, 12),
+            (9, k.yi() + hb, Dir::Store, 12),
+        ];
+        for (u, base, dir, outer_stride) in streams {
+            b.li(x(20), base as i64);
+            b.push(Inst::SsStart {
+                u: v(u),
+                dir,
+                width: w,
+                base: x(20),
+                size: x(11),
+                stride: x(13),
+                done: false,
+            });
+            b.push(Inst::SsApp {
+                u: v(u),
+                offset: x(0),
+                size: x(10),
+                stride: x(outer_stride),
+                end: true,
+            });
+        }
+        b.label("bfly");
+        for (dst, src) in [(10u8, 2u8), (11, 3), (12, 4), (13, 5), (14, 0), (15, 1)] {
+            b.push(Inst::VUn {
+                op: VUnOp::Mv,
+                ty: fp,
+                width: w,
+                vd: v(dst),
+                vs: v(src),
+                pred: p0,
+            });
+        }
+        let arith = |op: VOp, vd: u8, vs1: u8, vs2: u8| Inst::VArith {
+            op,
+            ty: fp,
+            width: w,
+            vd: v(vd),
+            vs1: v(vs1),
+            vs2: v(vs2),
+            pred: p0,
+        };
+        b.push(arith(VOp::Mul, 16, 12, 10));
+        b.push(arith(VOp::Mul, 17, 13, 11));
+        b.push(arith(VOp::Sub, 18, 16, 17));
+        b.push(arith(VOp::Mul, 16, 12, 11));
+        b.push(arith(VOp::Mul, 17, 13, 10));
+        b.push(arith(VOp::Add, 19, 16, 17));
+        b.push(arith(VOp::Add, 6, 14, 18));
+        b.push(arith(VOp::Add, 7, 15, 19));
+        b.push(arith(VOp::Sub, 8, 14, 18));
+        b.push(arith(VOp::Sub, 9, 15, 19));
+        b.stream_branch(StreamCond::NotEnd, v(0), "bfly");
+        b.push(Inst::Halt);
+        let twin = b.build().unwrap();
+
+        let text = k.program(Flavor::Uve);
+        assert_eq!(text, twin);
+        assert_eq!(
+            encode_program(&text).unwrap(),
+            encode_program(&twin).unwrap()
+        );
+        assert_eq!(program_fingerprint(&text), program_fingerprint(&twin));
+    }
+}

@@ -1,0 +1,316 @@
+//! **FIR** (wireless baseband): `n`-output finite-impulse-response filter in
+//! correlation form, `y[i] = Σ_k x[i+k]·h[k]` for `taps` coefficients.
+//!
+//! The UVE flavour streams the sliding input window as a 2-D descriptor
+//! (`dim0 = taps, dim1` slides by one element per output) and replays the
+//! coefficient vector with a stride-0 outer dimension — no scalar address
+//! arithmetic in the loop at all.
+
+use crate::common::{asm_units, check_f32, gen_f32, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Checked-in UVE assembly: the sliding-window MAC loop.
+static UVE_TEXT: &str = "
+    .include params
+    li x10, N
+    li x11, TAPS
+    li x13, 1
+    li x20, XBASE
+    ss.ld.w.sta u0, x20, x11, x13
+    ss.end u0, x0, x10, x13
+    li x20, HBASE
+    ss.ld.w.sta u1, x20, x11, x13
+    ss.end u1, x0, x10, x0
+    li x6, 1
+    li x20, YBASE
+    ss.st.w.sta u2, x20, x6, x13
+    ss.end u2, x0, x10, x13
+row:
+    so.v.dup.w.fp u4, f31
+chunk:
+    so.a.mac.w.fp u4, u0, u1, p0
+    so.b.dim0.nend u0, chunk
+    so.a.hadd.w.fp u2, u4, p0
+    so.b.nend u0, row
+    halt
+";
+
+/// Checked-in SVE/NEON assembly: per-output predicated MAC over the taps.
+static SVE_TEXT: &str = "
+    .include params
+    li x10, N
+    li x11, TAPS
+    li x22, YBASE
+    li x14, 0
+row:
+    so.v.dup.w.fp u4, f31
+    slli x16, x14, 2
+    li x20, XBASE
+    add x16, x20, x16
+    li x21, HBASE
+    li x15, 0
+    whilelt.w p1, x15, x11
+chunk:
+    vl1.w u1, x16, x15, p1
+    vl1.w u2, x21, x15, p1
+    so.a.mac.w.fp u4, u1, u2, p1
+    incvl.w x15
+    whilelt.w p1, x15, x11
+    so.b.pfirst p1, chunk
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f1, u5[0]
+    slli x17, x14, 2
+    add x17, x22, x17
+    fst.w f1, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, row
+    halt
+";
+
+/// Checked-in scalar assembly.
+static SCALAR_TEXT: &str = "
+    .include params
+    li x10, N
+    li x11, TAPS
+    li x22, YBASE
+    li x14, 0
+row:
+    fmv.w f2, f31
+    slli x16, x14, 2
+    li x20, XBASE
+    add x16, x20, x16
+    li x21, HBASE
+    li x15, 0
+tap:
+    fld.w f3, 0(x16)
+    fld.w f4, 0(x21)
+    fmadd.w f2, f3, f4, f2
+    addi x16, x16, 4
+    addi x21, x21, 4
+    addi x15, x15, 1
+    blt x15, x11, tap
+    slli x17, x14, 2
+    add x17, x22, x17
+    fst.w f2, 0(x17)
+    addi x14, x14, 1
+    blt x14, x10, row
+    halt
+";
+
+/// The FIR kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Fir {
+    n: usize,
+    taps: usize,
+}
+
+impl Fir {
+    /// `n` outputs filtered through `taps` coefficients (the input signal
+    /// has `n + taps - 1` samples).
+    pub fn new(n: usize, taps: usize) -> Self {
+        assert!(n > 0 && taps > 0);
+        Self { n, taps }
+    }
+
+    fn x(&self) -> u64 {
+        region(0)
+    }
+
+    fn h(&self) -> u64 {
+        region(1)
+    }
+
+    fn y(&self) -> u64 {
+        region(2)
+    }
+
+    fn params(&self) -> String {
+        format!(
+            ".const N {}\n.const TAPS {}\n.const XBASE {}\n.const HBASE {}\n.const YBASE {}\n",
+            self.n,
+            self.taps,
+            self.x(),
+            self.h(),
+            self.y()
+        )
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let (n, t) = (self.n, self.taps);
+        let x = gen_f32(0xD0, n + t - 1);
+        let h = gen_f32(0xD1, t);
+        (0..n)
+            .map(|i| (0..t).map(|k| x[i + k] * h[k]).sum())
+            .collect()
+    }
+}
+
+impl Benchmark for Fir {
+    fn name(&self) -> &'static str {
+        "FIR"
+    }
+
+    fn domain(&self) -> &'static str {
+        "wireless baseband"
+    }
+
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "2D sliding window"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let params = self.params();
+        let text = match flavor {
+            Flavor::Uve => UVE_TEXT,
+            Flavor::Sve | Flavor::Neon => SVE_TEXT,
+            Flavor::Scalar => SCALAR_TEXT,
+        };
+        let name = match flavor {
+            Flavor::Uve => "fir-uve",
+            Flavor::Sve | Flavor::Neon => "fir-sve",
+            Flavor::Scalar => "fir-scalar",
+        };
+        asm_units(name, &[("entry", text), ("params", &params)])
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem
+            .write_f32_slice(self.x(), &gen_f32(0xD0, self.n + self.taps - 1));
+        emu.mem.write_f32_slice(self.h(), &gen_f32(0xD1, self.taps));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "y", self.y(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+    use uve_core::program_fingerprint;
+    use uve_isa::{
+        encode_program, Dir, DupSrc, ElemWidth, FReg, Inst, PReg, ProgramBuilder, StreamCond, VReg,
+        VType, XReg,
+    };
+
+    #[test]
+    fn all_flavors_correct() {
+        for (n, taps) in [(32usize, 8usize), (19, 7)] {
+            let b = Fir::new(n, taps);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    /// The checked-in `.uve` text must assemble byte-identical to a program
+    /// built directly through the `ProgramBuilder` API.
+    #[test]
+    fn uve_text_matches_builder_twin() {
+        let k = Fir::new(96, 16);
+        let x = XReg::new;
+        let v = VReg::new;
+        let w = ElemWidth::Word;
+        let p0 = PReg::new(0);
+
+        let mut b = ProgramBuilder::new("fir-uve");
+        b.li(x(10), k.n as i64);
+        b.li(x(11), k.taps as i64);
+        b.li(x(13), 1);
+        b.li(x(20), k.x() as i64);
+        b.push(Inst::SsStart {
+            u: v(0),
+            dir: Dir::Load,
+            width: w,
+            base: x(20),
+            size: x(11),
+            stride: x(13),
+            done: false,
+        });
+        b.push(Inst::SsApp {
+            u: v(0),
+            offset: x(0),
+            size: x(10),
+            stride: x(13),
+            end: true,
+        });
+        b.li(x(20), k.h() as i64);
+        b.push(Inst::SsStart {
+            u: v(1),
+            dir: Dir::Load,
+            width: w,
+            base: x(20),
+            size: x(11),
+            stride: x(13),
+            done: false,
+        });
+        b.push(Inst::SsApp {
+            u: v(1),
+            offset: x(0),
+            size: x(10),
+            stride: x(0),
+            end: true,
+        });
+        b.li(x(6), 1);
+        b.li(x(20), k.y() as i64);
+        b.push(Inst::SsStart {
+            u: v(2),
+            dir: Dir::Store,
+            width: w,
+            base: x(20),
+            size: x(6),
+            stride: x(13),
+            done: false,
+        });
+        b.push(Inst::SsApp {
+            u: v(2),
+            offset: x(0),
+            size: x(10),
+            stride: x(13),
+            end: true,
+        });
+        b.label("row");
+        b.push(Inst::VDup {
+            vd: v(4),
+            src: DupSrc::F(FReg::new(31)),
+            width: w,
+            ty: VType::Fp,
+        });
+        b.label("chunk");
+        b.push(Inst::VMac {
+            ty: VType::Fp,
+            width: w,
+            vd: v(4),
+            vs1: v(0),
+            vs2: v(1),
+            pred: p0,
+        });
+        b.stream_branch(StreamCond::DimNotEnd(0), v(0), "chunk");
+        b.push(Inst::VRed {
+            op: uve_isa::HorizOp::Add,
+            ty: VType::Fp,
+            width: w,
+            vd: v(2),
+            vs: v(4),
+            pred: p0,
+        });
+        b.stream_branch(StreamCond::NotEnd, v(0), "row");
+        b.push(Inst::Halt);
+        let twin = b.build().unwrap();
+
+        let text = k.program(Flavor::Uve);
+        assert_eq!(text, twin);
+        assert_eq!(
+            encode_program(&text).unwrap(),
+            encode_program(&twin).unwrap()
+        );
+        assert_eq!(program_fingerprint(&text), program_fingerprint(&twin));
+    }
+}

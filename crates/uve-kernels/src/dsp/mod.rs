@@ -1,0 +1,33 @@
+//! Wireless-baseband DSP kernel family (FIR, channel estimation, FFT),
+//! following *"Unlimited Vector Processing for Wireless Baseband"*
+//! (arXiv:2504.10832).
+//!
+//! Unlike the 19 paper kernels (built from `format!`-interpolated strings),
+//! every kernel in this family is authored as **checked-in `.uve` assembly
+//! text**: a `&'static str` body that `.include`s a generated `.const`
+//! parameter unit and is assembled through [`assemble_units`] at
+//! registration. The textual assembler front end is load-bearing here — each
+//! kernel's test suite asserts the text assembles byte-identical (encoded
+//! words and fingerprint) to a [`ProgramBuilder`]-built twin.
+//!
+//! [`assemble_units`]: uve_isa::assemble_units
+//! [`ProgramBuilder`]: uve_isa::ProgramBuilder
+
+pub mod chanest;
+pub mod fft;
+pub mod fir;
+
+pub use chanest::ChanEst;
+pub use fft::FftStage;
+pub use fir::Fir;
+
+use crate::Benchmark;
+
+/// The DSP family at its default evaluation sizes.
+pub fn suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Fir::new(96, 16)),
+        Box::new(ChanEst::new(256)),
+        Box::new(FftStage::new(256, 3)),
+    ]
+}

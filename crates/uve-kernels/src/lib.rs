@@ -1,5 +1,6 @@
-//! The 19 evaluation kernels of the UVE paper (Fig. 8), each in four
-//! flavours:
+//! The 19 evaluation kernels of the UVE paper (Fig. 8) — plus two
+//! follow-on workload families ([`dsp`] and [`sparse`]) authored as
+//! checked-in UVE assembly text — each in four flavours:
 //!
 //! - [`Flavor::Uve`]: hand-coded UVE streaming assembly (512-bit vectors),
 //! - [`Flavor::Sve`]: SVE-like predicated vector-length-agnostic assembly
@@ -27,6 +28,7 @@
 
 pub mod common;
 pub mod covariance;
+pub mod dsp;
 pub mod floyd;
 pub mod gemm;
 pub mod gemver;
@@ -39,6 +41,7 @@ pub mod memcpy;
 pub mod mvt;
 pub mod saxpy;
 pub mod seidel;
+pub mod sparse;
 pub mod stream;
 pub mod threemm;
 pub mod trisolv;
@@ -201,22 +204,75 @@ pub fn evaluation_suite() -> Vec<Box<dyn Benchmark>> {
     ]
 }
 
+/// The DSP/baseband workload family (FIR, ChanEst, FFT-Stage) at its
+/// default evaluation sizes.
+pub fn dsp_suite() -> Vec<Box<dyn Benchmark>> {
+    dsp::suite()
+}
+
+/// The sparse/indirect workload family (SpMV, GatherReduce, Histogram) at
+/// its default evaluation sizes.
+pub fn sparse_suite() -> Vec<Box<dyn Benchmark>> {
+    sparse::suite()
+}
+
+/// Every kernel the crate ships: the paper's 19-row evaluation suite plus
+/// the [`dsp`] and [`sparse`] families.
+///
+/// The Fig. 8 reproduction artefacts (and their drift gates) stay pinned to
+/// [`evaluation_suite`]; new families only extend this roster.
+pub fn extended_suite() -> Vec<Box<dyn Benchmark>> {
+    let mut suite = evaluation_suite();
+    suite.extend(dsp_suite());
+    suite.extend(sparse_suite());
+    suite
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn names(suite: &[Box<dyn Benchmark>]) -> Vec<&str> {
+        suite.iter().map(|b| b.name()).collect()
+    }
+
     #[test]
-    fn suite_has_nineteen_kernels() {
-        let suite = evaluation_suite();
-        assert_eq!(suite.len(), 19);
-        let names: Vec<&str> = suite.iter().map(|b| b.name()).collect();
-        assert!(names.contains(&"SAXPY"));
-        assert!(names.contains(&"Floyd-Warshall"));
+    fn family_registries_are_complete() {
+        let (eval_suite, dsp_s, sparse_s, all_suite) = (
+            evaluation_suite(),
+            dsp_suite(),
+            sparse_suite(),
+            extended_suite(),
+        );
+        let eval = names(&eval_suite);
+        assert_eq!(eval.len(), 19, "Fig. 8 suite stays pinned at 19 rows");
+        assert!(eval.contains(&"SAXPY"));
+        assert!(eval.contains(&"Floyd-Warshall"));
+
+        let dsp = names(&dsp_s);
+        for k in ["FIR", "ChanEst", "FFT-Stage"] {
+            assert!(dsp.contains(&k), "dsp family missing {k}");
+        }
+
+        let sparse = names(&sparse_s);
+        for k in ["SpMV", "GatherReduce", "Histogram"] {
+            assert!(sparse.contains(&k), "sparse family missing {k}");
+        }
+
+        let mut all = names(&all_suite);
+        assert_eq!(all.len(), eval.len() + dsp.len() + sparse.len());
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            eval.len() + dsp.len() + sparse.len(),
+            "kernel names must be unique across families"
+        );
     }
 
     #[test]
     fn every_kernel_declares_its_table_row() {
-        for b in evaluation_suite() {
+        for b in extended_suite() {
             assert!(b.streams() >= 2, "{}", b.name());
             assert!(!b.pattern().is_empty(), "{}", b.name());
             assert_ne!(b.domain(), "misc", "{}", b.name());

@@ -1,0 +1,273 @@
+//! **GatherReduce** (sparse): `out = Σ_i data[idx[i]]` — a pure indirect
+//! gather feeding a horizontal reduction.
+//!
+//! The UVE flavour is the paper's Fig. 3.B5 single-descriptor form: a
+//! one-element base descriptor whose offset is set per element from the
+//! index origin stream, packed to full vector width by the streaming
+//! engine.
+
+use crate::common::{asm_units, check_f32, gen_f32, gen_indices, region, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Checked-in UVE assembly: B5 gather + one-lane running sum.
+static UVE_TEXT: &str = "
+    .include params
+    li x10, M
+    li x13, 1
+    li x20, IDX
+    ss.ld.w u2, x20, x10, x13
+    li x6, 1
+    li x20, DATA
+    ss.ld.w.sta u0, x20, x6, x0
+    ss.end.ind.off.setadd u0, u2
+    li x20, OUT
+    ss.st.w u1, x20, x6, x13
+    so.v.dup.w.fp u4, f31
+acc:
+    so.a.hadd.w.fp u5, u0, p0
+    so.a.add.w.fp u4, u4, u5, p0
+    so.b.nend u0, acc
+    so.v.mv u1, u4
+    halt
+";
+
+/// Checked-in SVE/NEON assembly: predicated gather + MAC against ones.
+static SVE_TEXT: &str = "
+    .include params
+    li x10, M
+    li x21, IDX
+    li x22, DATA
+    li x7, 1
+    fcvt.f.x.w f1, x7
+    so.v.dup.w.fp u2, f1
+    so.v.dup.w.fp u4, f31
+    li x15, 0
+    whilelt.w p1, x15, x10
+acc:
+    vl1.w u3, x21, x15, p1
+    vgather.w u1, x22, u3, p1
+    so.a.mac.w.fp u4, u1, u2, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, acc
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f2, u5[0]
+    li x20, OUT
+    fst.w f2, 0(x20)
+    halt
+";
+
+/// Checked-in scalar assembly.
+static SCALAR_TEXT: &str = "
+    .include params
+    li x10, M
+    li x21, IDX
+    li x20, DATA
+    li x22, OUT
+    fmv.w f1, f31
+    li x15, 0
+acc:
+    ld.w x16, 0(x21)
+    addi x21, x21, 4
+    slli x16, x16, 2
+    add x16, x20, x16
+    fld.w f2, 0(x16)
+    fadd.w f1, f1, f2
+    addi x15, x15, 1
+    blt x15, x10, acc
+    fst.w f1, 0(x22)
+    halt
+";
+
+/// The gather-reduce kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct GatherReduce {
+    m: usize,
+    dn: usize,
+}
+
+impl GatherReduce {
+    /// Sums `m` gathered elements out of a `dn`-element table.
+    pub fn new(m: usize, dn: usize) -> Self {
+        assert!(m > 0 && dn > 0);
+        Self { m, dn }
+    }
+
+    fn data(&self) -> u64 {
+        region(0)
+    }
+
+    fn idx(&self) -> u64 {
+        region(1)
+    }
+
+    fn out(&self) -> u64 {
+        region(2)
+    }
+
+    fn params(&self) -> String {
+        format!(
+            ".const M {}\n.const DATA {}\n.const IDX {}\n.const OUT {}\n",
+            self.m,
+            self.data(),
+            self.idx(),
+            self.out()
+        )
+    }
+
+    fn reference(&self) -> f32 {
+        let data = gen_f32(0xE0, self.dn);
+        let idx = gen_indices(0xE1, self.m, self.dn as i32);
+        idx.iter().map(|&i| data[i as usize]).sum()
+    }
+}
+
+impl Benchmark for GatherReduce {
+    fn name(&self) -> &'static str {
+        "GatherReduce"
+    }
+
+    fn domain(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D + indirect modifier"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let params = self.params();
+        let (name, text) = match flavor {
+            Flavor::Uve => ("gatherred-uve", UVE_TEXT),
+            Flavor::Sve | Flavor::Neon => ("gatherred-sve", SVE_TEXT),
+            Flavor::Scalar => ("gatherred-scalar", SCALAR_TEXT),
+        };
+        asm_units(name, &[("entry", text), ("params", &params)])
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem
+            .write_f32_slice(self.data(), &gen_f32(0xE0, self.dn));
+        emu.mem
+            .write_i32_slice(self.idx(), &gen_indices(0xE1, self.m, self.dn as i32));
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "out", self.out(), &[self.reference()], TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+    use uve_core::program_fingerprint;
+    use uve_isa::{
+        encode_program, Dir, DupSrc, ElemWidth, FReg, HorizOp, IndirectBehaviour, Inst, PReg,
+        Param, ProgramBuilder, StreamCond, VOp, VReg, VType, XReg,
+    };
+
+    #[test]
+    fn all_flavors_correct() {
+        for (m, dn) in [(128usize, 64usize), (61, 33)] {
+            let b = GatherReduce::new(m, dn);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_text_matches_builder_twin() {
+        let k = GatherReduce::new(512, 256);
+        let x = XReg::new;
+        let v = VReg::new;
+        let w = ElemWidth::Word;
+        let p0 = PReg::new(0);
+        let fp = VType::Fp;
+
+        let mut b = ProgramBuilder::new("gatherred-uve");
+        b.li(x(10), k.m as i64);
+        b.li(x(13), 1);
+        b.li(x(20), k.idx() as i64);
+        b.push(Inst::SsStart {
+            u: v(2),
+            dir: Dir::Load,
+            width: w,
+            base: x(20),
+            size: x(10),
+            stride: x(13),
+            done: true,
+        });
+        b.li(x(6), 1);
+        b.li(x(20), k.data() as i64);
+        b.push(Inst::SsStart {
+            u: v(0),
+            dir: Dir::Load,
+            width: w,
+            base: x(20),
+            size: x(6),
+            stride: x(0),
+            done: false,
+        });
+        b.push(Inst::SsAppInd {
+            u: v(0),
+            target: Param::Offset,
+            behaviour: IndirectBehaviour::SetAdd,
+            origin: v(2),
+            end: true,
+        });
+        b.li(x(20), k.out() as i64);
+        b.push(Inst::SsStart {
+            u: v(1),
+            dir: Dir::Store,
+            width: w,
+            base: x(20),
+            size: x(6),
+            stride: x(13),
+            done: true,
+        });
+        b.push(Inst::VDup {
+            vd: v(4),
+            src: DupSrc::F(FReg::new(31)),
+            width: w,
+            ty: fp,
+        });
+        b.label("acc");
+        b.push(Inst::VRed {
+            op: HorizOp::Add,
+            ty: fp,
+            width: w,
+            vd: v(5),
+            vs: v(0),
+            pred: p0,
+        });
+        b.push(Inst::VArith {
+            op: VOp::Add,
+            ty: fp,
+            width: w,
+            vd: v(4),
+            vs1: v(4),
+            vs2: v(5),
+            pred: p0,
+        });
+        b.stream_branch(StreamCond::NotEnd, v(0), "acc");
+        b.push(Inst::VMv { vd: v(1), vs: v(4) });
+        b.push(Inst::Halt);
+        let twin = b.build().unwrap();
+
+        let text = k.program(Flavor::Uve);
+        assert_eq!(text, twin);
+        assert_eq!(
+            encode_program(&text).unwrap(),
+            encode_program(&twin).unwrap()
+        );
+        assert_eq!(program_fingerprint(&text), program_fingerprint(&twin));
+    }
+}

@@ -1,0 +1,288 @@
+//! **Histogram** (sparse): `hist[idx[i]] += 1.0` — an indirect *gather +
+//! scatter* read-modify-write over a bin table.
+//!
+//! The UVE flavour binds the same index origin stream to two B5
+//! single-descriptor streams — an indirect gather load and an indirect
+//! scatter *store* over the same table — demonstrating that origin patterns
+//! are cloned per modifier. The loop body is a single vector-scalar add per
+//! chunk.
+//!
+//! Vectorized flavours have a classic intra-vector RAW hazard when two
+//! lanes of one chunk hit the same bin; the generator sidesteps it the way
+//! baseband firmware does, by emitting conflict-free index blocks: indices
+//! are unique within every 16-element aligned block (16 = the widest
+//! flavour's lane count, and every narrower chunking — NEON's 4, the
+//! unpacked ablation's 1 — subdivides those blocks).
+
+use crate::common::{asm_units, check_f32, gen_f32, region, SplitMix64, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Checked-in UVE assembly: dual B5 descriptors (gather + scatter) off one
+/// origin, counting with a vector-scalar add.
+static UVE_TEXT: &str = "
+    .include params
+    li x10, M
+    li x13, 1
+    li x20, IDX
+    ss.ld.w u2, x20, x10, x13
+    li x6, 1
+    li x20, HIST
+    ss.ld.w.sta u0, x20, x6, x0
+    ss.end.ind.off.setadd u0, u2
+    li x20, HIST
+    ss.st.w.sta u1, x20, x6, x0
+    ss.end.ind.off.setadd u1, u2
+    li x7, 1
+    fcvt.f.x.w f1, x7
+bump:
+    so.a.add.vs.w.fp u1, u0, f1, p0
+    so.b.nend u0, bump
+    halt
+";
+
+/// Checked-in SVE/NEON assembly: gather, bump, scatter per chunk.
+static SVE_TEXT: &str = "
+    .include params
+    li x10, M
+    li x21, IDX
+    li x22, HIST
+    li x7, 1
+    fcvt.f.x.w f1, x7
+    li x15, 0
+    whilelt.w p1, x15, x10
+bump:
+    vl1.w u3, x21, x15, p1
+    vgather.w u1, x22, u3, p1
+    so.a.add.vs.w.fp u1, u1, f1, p1
+    vscatter.w u1, x22, u3, p1
+    incvl.w x15
+    whilelt.w p1, x15, x10
+    so.b.pfirst p1, bump
+    halt
+";
+
+/// Checked-in scalar assembly.
+static SCALAR_TEXT: &str = "
+    .include params
+    li x10, M
+    li x21, IDX
+    li x20, HIST
+    li x7, 1
+    fcvt.f.x.w f1, x7
+    li x15, 0
+bump:
+    ld.w x16, 0(x21)
+    addi x21, x21, 4
+    slli x16, x16, 2
+    add x16, x20, x16
+    fld.w f2, 0(x16)
+    fadd.w f2, f2, f1
+    fst.w f2, 0(x16)
+    addi x15, x15, 1
+    blt x15, x10, bump
+    halt
+";
+
+/// Conflict-free block size: the widest vector flavour's f32 lane count.
+const BLOCK: usize = 16;
+
+/// The histogram kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    m: usize,
+    nbins: usize,
+}
+
+impl Histogram {
+    /// Bumps `m` samples into `nbins` bins (`nbins ≥ 16` so every aligned
+    /// 16-sample block can draw distinct bins).
+    pub fn new(m: usize, nbins: usize) -> Self {
+        assert!(m > 0);
+        assert!(nbins >= BLOCK, "need at least {BLOCK} bins");
+        Self { m, nbins }
+    }
+
+    fn hist(&self) -> u64 {
+        region(0)
+    }
+
+    fn idx(&self) -> u64 {
+        region(1)
+    }
+
+    /// Bin indices, unique within each aligned [`BLOCK`]-sample block.
+    fn indices(&self) -> Vec<i32> {
+        let mut rng = SplitMix64::new(0xE2);
+        let mut out = Vec::with_capacity(self.m);
+        while out.len() < self.m {
+            // Partial Fisher–Yates: the first `take` slots of a bin
+            // permutation are a uniform distinct sample.
+            let mut bins: Vec<i32> = (0..self.nbins as i32).collect();
+            let take = BLOCK.min(self.m - out.len());
+            for i in 0..take {
+                let j = i + rng.below((self.nbins - i) as u64) as usize;
+                bins.swap(i, j);
+                out.push(bins[i]);
+            }
+        }
+        out
+    }
+
+    fn params(&self) -> String {
+        format!(
+            ".const M {}\n.const HIST {}\n.const IDX {}\n",
+            self.m,
+            self.hist(),
+            self.idx()
+        )
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let mut hist = gen_f32(0xE3, self.nbins);
+        for &i in &self.indices() {
+            hist[i as usize] += 1.0;
+        }
+        hist
+    }
+}
+
+impl Benchmark for Histogram {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn domain(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn streams(&self) -> usize {
+        3
+    }
+
+    fn pattern(&self) -> &'static str {
+        "1D + indirect scatter"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let params = self.params();
+        let (name, text) = match flavor {
+            Flavor::Uve => ("histogram-uve", UVE_TEXT),
+            Flavor::Sve | Flavor::Neon => ("histogram-sve", SVE_TEXT),
+            Flavor::Scalar => ("histogram-scalar", SCALAR_TEXT),
+        };
+        asm_units(name, &[("entry", text), ("params", &params)])
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        emu.mem
+            .write_f32_slice(self.hist(), &gen_f32(0xE3, self.nbins));
+        emu.mem.write_i32_slice(self.idx(), &self.indices());
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "hist", self.hist(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+    use uve_core::program_fingerprint;
+    use uve_isa::{
+        encode_program, Dir, DupSrc, ElemWidth, FReg, IndirectBehaviour, Inst, PReg, Param,
+        ProgramBuilder, StreamCond, VOp, VReg, VType, XReg,
+    };
+
+    #[test]
+    fn all_flavors_correct() {
+        for (m, nbins) in [(256usize, 32usize), (93, 16)] {
+            let b = Histogram::new(m, nbins);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn indices_are_conflict_free_per_block() {
+        let k = Histogram::new(93, 16);
+        for block in k.indices().chunks(BLOCK) {
+            let mut seen: Vec<i32> = block.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), block.len(), "duplicate bin within a block");
+        }
+    }
+
+    #[test]
+    fn uve_text_matches_builder_twin() {
+        let k = Histogram::new(384, 64);
+        let x = XReg::new;
+        let v = VReg::new;
+        let w = ElemWidth::Word;
+
+        let mut b = ProgramBuilder::new("histogram-uve");
+        b.li(x(10), k.m as i64);
+        b.li(x(13), 1);
+        b.li(x(20), k.idx() as i64);
+        b.push(Inst::SsStart {
+            u: v(2),
+            dir: Dir::Load,
+            width: w,
+            base: x(20),
+            size: x(10),
+            stride: x(13),
+            done: true,
+        });
+        b.li(x(6), 1);
+        for (u, dir) in [(0u8, Dir::Load), (1, Dir::Store)] {
+            b.li(x(20), k.hist() as i64);
+            b.push(Inst::SsStart {
+                u: v(u),
+                dir,
+                width: w,
+                base: x(20),
+                size: x(6),
+                stride: x(0),
+                done: false,
+            });
+            b.push(Inst::SsAppInd {
+                u: v(u),
+                target: Param::Offset,
+                behaviour: IndirectBehaviour::SetAdd,
+                origin: v(2),
+                end: true,
+            });
+        }
+        b.li(x(7), 1);
+        b.push(Inst::FCvtFX {
+            width: w,
+            fd: FReg::new(1),
+            rs: x(7),
+        });
+        b.label("bump");
+        b.push(Inst::VArithVS {
+            op: VOp::Add,
+            ty: VType::Fp,
+            width: w,
+            vd: v(1),
+            vs1: v(0),
+            scalar: DupSrc::F(FReg::new(1)),
+            pred: PReg::new(0),
+        });
+        b.stream_branch(StreamCond::NotEnd, v(0), "bump");
+        b.push(Inst::Halt);
+        let twin = b.build().unwrap();
+
+        let text = k.program(Flavor::Uve);
+        assert_eq!(text, twin);
+        assert_eq!(
+            encode_program(&text).unwrap(),
+            encode_program(&twin).unwrap()
+        );
+        assert_eq!(program_fingerprint(&text), program_fingerprint(&twin));
+    }
+}

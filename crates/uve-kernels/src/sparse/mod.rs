@@ -1,0 +1,29 @@
+//! Sparse/indirect kernel family (CSR SpMV, gather-reduce, histogram),
+//! exercising the descriptor shapes of the Multi-Dimensional Vector ISA
+//! paper (arXiv:2501.09902): single-descriptor gathers (Fig. 3.B5),
+//! dual same-shaped gathers in lockstep, per-row indirect *size*
+//! modifiers, and an indirect scatter store.
+//!
+//! Like the [`crate::dsp`] family, every kernel is authored as checked-in
+//! `.uve` assembly text assembled through `assemble_units` against a
+//! generated `.const` parameter unit, with a `ProgramBuilder` twin asserted
+//! byte-identical by test.
+
+pub mod gather;
+pub mod histogram;
+pub mod spmv;
+
+pub use gather::GatherReduce;
+pub use histogram::Histogram;
+pub use spmv::Spmv;
+
+use crate::Benchmark;
+
+/// The sparse family at its default evaluation sizes.
+pub fn suite() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Spmv::new(48, 64, 24)),
+        Box::new(GatherReduce::new(512, 256)),
+        Box::new(Histogram::new(384, 64)),
+    ]
+}

@@ -1,0 +1,409 @@
+//! **SpMV** (sparse algebra): `y = A·x` with `A` in CSR form — the paper's
+//! flagship indirection workload.
+//!
+//! The UVE flavour configures two three-dimensional gather streams in
+//! lockstep, each carrying *two* indirect modifiers off shared origins:
+//! the row-lengths stream sets each row's inner **size** (`ind.size.setval`)
+//! while a per-element origin sets the inner **offset** (an iota stream with
+//! `setval` for the values walk, the column stream with `setadd` for the
+//! `x` gather). Both gathers therefore expose the identical descriptor
+//! shape, the per-row reduction loop keys off the dim-1 end flag, and the
+//! scalar core issues only the butterfly of `mac`/`hadd` ops per row.
+
+use crate::common::{asm_units, check_f32, gen_f32, gen_indices, region, SplitMix64, TOL};
+use crate::{Benchmark, Flavor};
+use uve_core::Emulator;
+use uve_isa::Program;
+
+/// Checked-in UVE assembly: dual dual-modifier gathers + per-row hadd.
+static UVE_TEXT: &str = "
+    .include params
+    li x10, NROWS
+    li x11, NNZ
+    li x13, 1
+    li x20, IOTA
+    ss.ld.w u3, x20, x11, x13
+    li x20, COLS
+    ss.ld.w u4, x20, x11, x13
+    li x20, LENS
+    ss.ld.w u5, x20, x10, x13
+    li x6, 1
+    li x20, VALS
+    ss.ld.w.sta u0, x20, x6, x0
+    ss.app u0, x0, x0, x0
+    ss.app.ind.off.setval u0, u3
+    ss.app u0, x0, x10, x0
+    ss.end.ind.size.setval u0, u5
+    li x20, XBASE
+    ss.ld.w.sta u1, x20, x6, x0
+    ss.app u1, x0, x0, x0
+    ss.app.ind.off.setadd u1, u4
+    ss.app u1, x0, x10, x0
+    ss.end.ind.size.setval u1, u5
+    li x20, YBASE
+    ss.st.w.sta u2, x20, x6, x13
+    ss.end u2, x0, x10, x13
+row:
+    so.v.dup.w.fp u8, f31
+chunk:
+    so.a.mac.w.fp u8, u0, u1, p0
+    so.b.dim1.nend u0, chunk
+    so.a.hadd.w.fp u2, u8, p0
+    so.b.nend u0, row
+    halt
+";
+
+/// Checked-in SVE/NEON assembly: per-row predicated gather loop over a
+/// running nonzero cursor.
+static SVE_TEXT: &str = "
+    .include params
+    li x10, NROWS
+    li x21, LENS
+    li x22, COLS
+    li x23, VALS
+    li x24, XBASE
+    li x25, YBASE
+    li x18, 0
+    li x14, 0
+rows:
+    ld.w x9, 0(x21)
+    addi x21, x21, 4
+    slli x16, x18, 2
+    add x26, x22, x16
+    add x27, x23, x16
+    so.v.dup.w.fp u4, f31
+    li x15, 0
+    whilelt.w p1, x15, x9
+body:
+    vl1.w u3, x26, x15, p1
+    vgather.w u1, x24, u3, p1
+    vl1.w u2, x27, x15, p1
+    so.a.mac.w.fp u4, u2, u1, p1
+    incvl.w x15
+    whilelt.w p1, x15, x9
+    so.b.pfirst p1, body
+    so.a.hadd.w.fp u5, u4, p0
+    so.v.extr.f.w f2, u5[0]
+    slli x16, x14, 2
+    add x16, x25, x16
+    fst.w f2, 0(x16)
+    add x18, x18, x9
+    addi x14, x14, 1
+    blt x14, x10, rows
+    halt
+";
+
+/// Checked-in scalar assembly.
+static SCALAR_TEXT: &str = "
+    .include params
+    li x10, NROWS
+    li x21, LENS
+    li x22, COLS
+    li x23, VALS
+    li x24, XBASE
+    li x25, YBASE
+    li x14, 0
+rows:
+    ld.w x9, 0(x21)
+    addi x21, x21, 4
+    fmv.w f1, f31
+    li x15, 0
+body:
+    ld.w x16, 0(x22)
+    addi x22, x22, 4
+    slli x16, x16, 2
+    add x16, x24, x16
+    fld.w f2, 0(x16)
+    fld.w f3, 0(x23)
+    addi x23, x23, 4
+    fmadd.w f1, f3, f2, f1
+    addi x15, x15, 1
+    blt x15, x9, body
+    fst.w f1, 0(x25)
+    addi x25, x25, 4
+    addi x14, x14, 1
+    blt x14, x10, rows
+    halt
+";
+
+/// The CSR sparse matrix–vector product kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct Spmv {
+    nrows: usize,
+    ncols: usize,
+    maxlen: usize,
+}
+
+impl Spmv {
+    /// An `nrows × ncols` CSR matrix with 1..=`maxlen` nonzeros per row.
+    ///
+    /// Row lengths stay ≥ 1 because the streaming engine elides
+    /// zero-iteration dims, which would desync the per-row `hadd` count.
+    pub fn new(nrows: usize, ncols: usize, maxlen: usize) -> Self {
+        assert!(nrows > 0 && ncols > 0 && maxlen >= 1);
+        Self {
+            nrows,
+            ncols,
+            maxlen,
+        }
+    }
+
+    fn vals(&self) -> u64 {
+        region(0)
+    }
+
+    fn cols(&self) -> u64 {
+        region(1)
+    }
+
+    fn lens(&self) -> u64 {
+        region(2)
+    }
+
+    fn x(&self) -> u64 {
+        region(3)
+    }
+
+    fn y(&self) -> u64 {
+        region(4)
+    }
+
+    fn iota(&self) -> u64 {
+        region(5)
+    }
+
+    fn row_lens(&self) -> Vec<i32> {
+        let mut rng = SplitMix64::new(0xE4);
+        (0..self.nrows)
+            .map(|_| 1 + rng.below(self.maxlen as u64) as i32)
+            .collect()
+    }
+
+    fn nnz(&self) -> usize {
+        self.row_lens().iter().map(|&l| l as usize).sum()
+    }
+
+    fn params(&self) -> String {
+        format!(
+            ".const NROWS {}\n.const NNZ {}\n.const VALS {}\n.const COLS {}\n\
+             .const LENS {}\n.const XBASE {}\n.const YBASE {}\n.const IOTA {}\n",
+            self.nrows,
+            self.nnz(),
+            self.vals(),
+            self.cols(),
+            self.lens(),
+            self.x(),
+            self.y(),
+            self.iota()
+        )
+    }
+
+    fn reference(&self) -> Vec<f32> {
+        let lens = self.row_lens();
+        let nnz = self.nnz();
+        let vals = gen_f32(0xE5, nnz);
+        let cols = gen_indices(0xE6, nnz, self.ncols as i32);
+        let x = gen_f32(0xE7, self.ncols);
+        let mut y = Vec::with_capacity(self.nrows);
+        let mut cursor = 0usize;
+        for &len in &lens {
+            let mut acc = 0f32;
+            for j in 0..len as usize {
+                acc += vals[cursor + j] * x[cols[cursor + j] as usize];
+            }
+            cursor += len as usize;
+            y.push(acc);
+        }
+        y
+    }
+}
+
+impl Benchmark for Spmv {
+    fn name(&self) -> &'static str {
+        "SpMV"
+    }
+
+    fn domain(&self) -> &'static str {
+        "sparse algebra"
+    }
+
+    fn streams(&self) -> usize {
+        6
+    }
+
+    fn pattern(&self) -> &'static str {
+        "3D + dual indirect modifiers"
+    }
+
+    fn program(&self, flavor: Flavor) -> Program {
+        let params = self.params();
+        let (name, text) = match flavor {
+            Flavor::Uve => ("spmv-uve", UVE_TEXT),
+            Flavor::Sve | Flavor::Neon => ("spmv-sve", SVE_TEXT),
+            Flavor::Scalar => ("spmv-scalar", SCALAR_TEXT),
+        };
+        asm_units(name, &[("entry", text), ("params", &params)])
+    }
+
+    fn setup(&self, emu: &mut Emulator) {
+        let nnz = self.nnz();
+        emu.mem.write_f32_slice(self.vals(), &gen_f32(0xE5, nnz));
+        emu.mem
+            .write_i32_slice(self.cols(), &gen_indices(0xE6, nnz, self.ncols as i32));
+        emu.mem.write_i32_slice(self.lens(), &self.row_lens());
+        emu.mem
+            .write_f32_slice(self.x(), &gen_f32(0xE7, self.ncols));
+        let iota: Vec<i32> = (0..nnz as i32).collect();
+        emu.mem.write_i32_slice(self.iota(), &iota);
+    }
+
+    fn check(&self, emu: &Emulator) -> Result<(), String> {
+        check_f32(emu, "y", self.y(), &self.reference(), TOL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_checked;
+    use uve_core::program_fingerprint;
+    use uve_isa::{
+        encode_program, Dir, DupSrc, ElemWidth, FReg, HorizOp, IndirectBehaviour, Inst, PReg,
+        Param, ProgramBuilder, StreamCond, VReg, VType, XReg,
+    };
+
+    #[test]
+    fn all_flavors_correct() {
+        // maxlen > 16 in both cases so rows span multiple packed chunks.
+        for (nrows, ncols, maxlen) in [(48usize, 64usize, 24usize), (13, 33, 20)] {
+            let b = Spmv::new(nrows, ncols, maxlen);
+            for f in Flavor::all() {
+                run_checked(&b, f).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn uve_text_matches_builder_twin() {
+        let k = Spmv::new(48, 64, 24);
+        let x = XReg::new;
+        let v = VReg::new;
+        let w = ElemWidth::Word;
+        let p0 = PReg::new(0);
+        let fp = VType::Fp;
+
+        let mut b = ProgramBuilder::new("spmv-uve");
+        b.li(x(10), k.nrows as i64);
+        b.li(x(11), k.nnz() as i64);
+        b.li(x(13), 1);
+        for (u, base, size) in [(3u8, k.iota(), 11u8), (4, k.cols(), 11), (5, k.lens(), 10)] {
+            b.li(x(20), base as i64);
+            b.push(Inst::SsStart {
+                u: v(u),
+                dir: Dir::Load,
+                width: w,
+                base: x(20),
+                size: x(size),
+                stride: x(13),
+                done: true,
+            });
+        }
+        b.li(x(6), 1);
+        for (u, base, origin, behaviour) in [
+            (0u8, k.vals(), 3u8, IndirectBehaviour::SetValue),
+            (1, k.x(), 4, IndirectBehaviour::SetAdd),
+        ] {
+            b.li(x(20), base as i64);
+            b.push(Inst::SsStart {
+                u: v(u),
+                dir: Dir::Load,
+                width: w,
+                base: x(20),
+                size: x(6),
+                stride: x(0),
+                done: false,
+            });
+            b.push(Inst::SsApp {
+                u: v(u),
+                offset: x(0),
+                size: x(0),
+                stride: x(0),
+                end: false,
+            });
+            b.push(Inst::SsAppInd {
+                u: v(u),
+                target: Param::Offset,
+                behaviour,
+                origin: v(origin),
+                end: false,
+            });
+            b.push(Inst::SsApp {
+                u: v(u),
+                offset: x(0),
+                size: x(10),
+                stride: x(0),
+                end: false,
+            });
+            b.push(Inst::SsAppInd {
+                u: v(u),
+                target: Param::Size,
+                behaviour: IndirectBehaviour::SetValue,
+                origin: v(5),
+                end: true,
+            });
+        }
+        b.li(x(20), k.y() as i64);
+        b.push(Inst::SsStart {
+            u: v(2),
+            dir: Dir::Store,
+            width: w,
+            base: x(20),
+            size: x(6),
+            stride: x(13),
+            done: false,
+        });
+        b.push(Inst::SsApp {
+            u: v(2),
+            offset: x(0),
+            size: x(10),
+            stride: x(13),
+            end: true,
+        });
+        b.label("row");
+        b.push(Inst::VDup {
+            vd: v(8),
+            src: DupSrc::F(FReg::new(31)),
+            width: w,
+            ty: fp,
+        });
+        b.label("chunk");
+        b.push(Inst::VMac {
+            ty: fp,
+            width: w,
+            vd: v(8),
+            vs1: v(0),
+            vs2: v(1),
+            pred: p0,
+        });
+        b.stream_branch(StreamCond::DimNotEnd(1), v(0), "chunk");
+        b.push(Inst::VRed {
+            op: HorizOp::Add,
+            ty: fp,
+            width: w,
+            vd: v(2),
+            vs: v(8),
+            pred: p0,
+        });
+        b.stream_branch(StreamCond::NotEnd, v(0), "row");
+        b.push(Inst::Halt);
+        let twin = b.build().unwrap();
+
+        let text = k.program(Flavor::Uve);
+        assert_eq!(text, twin);
+        assert_eq!(
+            encode_program(&text).unwrap(),
+            encode_program(&twin).unwrap()
+        );
+        assert_eq!(program_fingerprint(&text), program_fingerprint(&twin));
+    }
+}

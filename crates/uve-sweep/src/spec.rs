@@ -528,12 +528,13 @@ impl SweepStats {
 // --- kernel catalog ----------------------------------------------------
 
 /// The kernel catalog a sweep resolves names against: the paper's
-/// 19-kernel evaluation suite, or the same kernels at smoke-test sizes
-/// when `small` (the `smp` binary's `--small` sizes).
+/// 19-kernel evaluation suite plus the DSP and sparse follow-on
+/// families, or the same kernels at smoke-test sizes when `small` (the
+/// `smp` binary's `--small` sizes).
 pub fn catalog(small: bool) -> Vec<Box<dyn Benchmark>> {
     use uve_kernels::*;
     if !small {
-        return evaluation_suite();
+        return extended_suite();
     }
     vec![
         Box::new(memcpy::Memcpy::new(4096)),
@@ -555,6 +556,12 @@ pub fn catalog(small: bool) -> Vec<Box<dyn Benchmark>> {
         Box::new(mamr::Mamr::indirect(48)),
         Box::new(seidel::Seidel2d::new(20, 2)),
         Box::new(floyd::FloydWarshall::new(16)),
+        Box::new(dsp::Fir::new(96, 16)),
+        Box::new(dsp::ChanEst::new(128)),
+        Box::new(dsp::FftStage::new(128, 2)),
+        Box::new(sparse::Spmv::new(24, 48, 20)),
+        Box::new(sparse::GatherReduce::new(192, 96)),
+        Box::new(sparse::Histogram::new(128, 32)),
     ]
 }
 

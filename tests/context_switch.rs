@@ -637,3 +637,100 @@ fn saved_walker_restores_across_fault_at_non_vlen_multiple_cuts() {
         assert_eq!(got, want, "after {chunks_before_fault} clean chunk(s)");
     }
 }
+
+#[test]
+fn preemption_in_sparse_gather_kernels_is_invisible() {
+    // PR 10: SpMV walks two dual-indirect-modifier gather streams in
+    // lockstep (per-row indirect *size* modifiers), and Histogram pairs a
+    // gather with an indirect scatter store off a shared origin. A small
+    // scheduler quantum lands context switches mid-chunk inside those
+    // regions; save/restore must stay architecturally invisible.
+    use uve::kernels::{sparse, Benchmark, Flavor};
+    use uve::smp::{run_round_robin, Job};
+
+    let spmv = sparse::Spmv::new(13, 33, 20); // rows span chunk boundaries
+    let hist = sparse::Histogram::new(93, 16);
+    let benches: [&dyn Benchmark; 2] = [&spmv, &hist];
+    let flavor = Flavor::Uve;
+    let mut jobs = Vec::new();
+    let mut solo = Vec::new();
+    for bench in benches {
+        let run = uve::kernels::run(bench, flavor).unwrap();
+        solo.push((run.emulator.arch_digest(), run.emulator.mem.content_hash()));
+        let cfg = EmuConfig {
+            vlen_bytes: flavor.vlen_bytes(),
+            ..EmuConfig::default()
+        };
+        let mut emu = Emulator::new(cfg, Memory::new());
+        bench.setup(&mut emu);
+        jobs.push(Job {
+            name: bench.name().to_string(),
+            program: bench.program(flavor),
+            emu,
+        });
+    }
+    let outcomes = run_round_robin(jobs, 2, 3).unwrap();
+    for (out, (digest, hash)) in outcomes.iter().zip(&solo) {
+        assert!(
+            out.preemptions >= 2,
+            "{}: {} preemptions",
+            out.name,
+            out.preemptions
+        );
+        assert_eq!(
+            out.arch_digest, *digest,
+            "{}: register state differs",
+            out.name
+        );
+        assert_eq!(out.mem_hash, *hash, "{}: memory image differs", out.name);
+    }
+}
+
+#[test]
+fn budgeted_resume_cuts_inside_spmv_rows_are_invisible() {
+    // Prime instruction budgets over SpMV with maxlen > VL: rows re-chunk
+    // off any VLEN multiple and the resume cursor lands inside the
+    // dual-gather rows. Every pause does a full stream-context round trip.
+    use uve::core::RunCursor;
+    use uve::kernels::{sparse::Spmv, Benchmark, Flavor};
+
+    let bench = Spmv::new(13, 33, 20);
+    let flavor = Flavor::Uve;
+    let solo = uve::kernels::run(&bench, flavor).unwrap();
+    let want = (
+        solo.emulator.arch_digest(),
+        solo.emulator.mem.content_hash(),
+    );
+
+    for budget in [1u64, 7, 13] {
+        let cfg = EmuConfig {
+            vlen_bytes: flavor.vlen_bytes(),
+            ..EmuConfig::default()
+        };
+        let mut emu = Emulator::new(cfg, Memory::new());
+        bench.setup(&mut emu);
+        let program = bench.program(flavor);
+        let mut cursor = RunCursor::new();
+        let mut pauses = 0u64;
+        loop {
+            let halted = emu.resume(&program, &mut cursor, Some(budget)).unwrap();
+            if halted {
+                break;
+            }
+            pauses += 1;
+            let saved = emu.save_stream_context();
+            emu.restore_stream_context(&saved);
+        }
+        assert!(pauses >= 2, "budget {budget}: only {pauses} pauses");
+        assert_eq!(
+            emu.arch_digest(),
+            want.0,
+            "budget {budget}: register state differs"
+        );
+        assert_eq!(
+            emu.mem.content_hash(),
+            want.1,
+            "budget {budget}: memory image differs"
+        );
+    }
+}

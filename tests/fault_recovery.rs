@@ -206,3 +206,50 @@ fn poisoned_job_in_parallel_sweep_leaves_other_jobs_bit_identical() {
     assert!(repro.contains("deliberately poisoned job"), "{repro}");
     assert_eq!(runner.finish(), 1);
 }
+
+#[test]
+fn recovered_faults_are_bit_identical_on_the_dsp_and_sparse_families() {
+    // PR 10 follow-on families: the sparse kernels are gather-heavy (SpMV
+    // runs two dual-indirect-modifier streams in lockstep, Histogram pairs
+    // a gather with an indirect scatter store), so a rate-1 plan lands
+    // precise traps inside indirect-modifier regions; the DSP kernels cover
+    // the long 1-D and strided shapes. Recovery must leave no trace.
+    use uve::kernels::{dsp, sparse};
+    let benches: Vec<Box<dyn Benchmark>> = vec![
+        Box::new(dsp::Fir::new(45, 9)),
+        Box::new(dsp::ChanEst::new(90)),
+        Box::new(dsp::FftStage::new(64, 3)),
+        Box::new(sparse::Spmv::new(13, 33, 20)),
+        Box::new(sparse::GatherReduce::new(90, 40)),
+        Box::new(sparse::Histogram::new(93, 16)),
+    ];
+    for bench in benches {
+        let (clean_mem, clean_arch, clean_committed, _, _) = run_uve(bench.as_ref(), None);
+        let plan = StreamFaultPlan::new(0x5eed, 1);
+        let (mem, arch, committed, faults, trace) = run_uve(bench.as_ref(), Some(plan));
+        assert_eq!(
+            mem,
+            clean_mem,
+            "{}: final memory diverged after {faults} recovered fault(s)",
+            bench.name()
+        );
+        assert_eq!(
+            arch,
+            clean_arch,
+            "{}: architectural state diverged after {faults} recovered fault(s)",
+            bench.name()
+        );
+        assert_eq!(committed, clean_committed, "{}", bench.name());
+        assert!(faults > 0, "{}: rate-1 plan must fault", bench.name());
+
+        // The faulted trace stays conserved in the timing model, with
+        // hostile memory-hierarchy injection layered on top.
+        let mut cpu = CpuConfig::default();
+        cpu.mem.fault = Some(FaultConfig::hostile(0x5eed));
+        let stats = OoOCore::new(cpu).run(&trace);
+        stats
+            .account
+            .check(stats.cycles)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name()));
+    }
+}

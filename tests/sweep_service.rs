@@ -424,3 +424,31 @@ fn progress_is_streamed_and_monotonic() {
     // the next test binds a fresh port (not required for correctness).
     thread::sleep(Duration::from_millis(10));
 }
+
+#[test]
+fn dsp_and_sparse_kernels_sweep_bit_identically() {
+    // PR 10: the follow-on families are first-class catalog entries — a
+    // grid mixing a DSP kernel with sparse gather kernels must merge
+    // bit-identically to serial, resolve case-insensitively, and come
+    // back under the catalog's canonical spelling.
+    let coordinator = Coordinator::bind("127.0.0.1:0", CoordinatorOptions::default()).unwrap();
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 2);
+
+    let spec = small_grid(&["fir", "fft-stage", "spmv", "histogram"]);
+    let out = sweep(&addr, &spec);
+    let (serial, _) = run_serial(&spec).unwrap();
+    assert_eq!(out.rows, serial, "dsp/sparse grid matches serial");
+    assert_partition(&out);
+    for name in ["FIR", "FFT-Stage", "SpMV", "Histogram"] {
+        assert!(
+            out.rows.iter().any(|r| r.point.kernel == name),
+            "canonical name {name} missing from rows"
+        );
+    }
+
+    coordinator.shutdown();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
